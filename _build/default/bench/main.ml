@@ -1,0 +1,841 @@
+(* Benchmark & reproduction harness.
+
+   The paper ("Foundations of Preferences in Database Systems") contains no
+   numbered tables or performance figures; its evaluation artifacts are
+   eleven worked examples with expected better-than graphs / query results,
+   thirteen propositions, and the quantitative claims discussed in §5.5/§6
+   (BMO result sizes of "a few to a few dozen" on car databases [KFH01],
+   and the skyline-algorithm behaviour of [BKS01]/[KLP75] it builds on).
+   Each section below regenerates one of those artifacts and checks it
+   against the paper; see DESIGN.md §3 for the experiment index and
+   EXPERIMENTS.md for recorded results.
+
+   Run with:  dune exec bench/main.exe            (full run)
+              dune exec bench/main.exe -- --quick (smaller sweeps)  *)
+
+open Pref_relation
+open Preferences
+open Pref_bmo
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let failures = ref 0
+let checks = ref 0
+
+let check name ok =
+  incr checks;
+  if not ok then begin
+    incr failures;
+    Fmt.pr "  [FAIL] %s@." name
+  end
+  else Fmt.pr "  [ok]   %s@." name
+
+let section title =
+  Fmt.pr "@.=== %s ===@." title
+
+let hr () = Fmt.pr "-----------------------------------------------------------@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel helpers                                                    *)
+
+let bechamel_run tests =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let quota = if quick then 0.15 else 0.4 in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"" tests) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> (name, ns) :: acc
+      | _ -> acc)
+    results []
+  |> List.sort compare
+
+let pp_ns ppf ns =
+  if ns >= 1e9 then Fmt.pf ppf "%8.2f s " (ns /. 1e9)
+  else if ns >= 1e6 then Fmt.pf ppf "%8.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Fmt.pf ppf "%8.2f us" (ns /. 1e3)
+  else Fmt.pf ppf "%8.2f ns" ns
+
+let wall f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, (Sys.time () -. t0) *. 1000.)
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Example 1: EXPLICIT colour preference                          *)
+
+let v s = Value.Str s
+let vi n = Value.Int n
+
+let e1 () =
+  section "E1  Example 1: EXPLICIT(Color) better-than graph";
+  let p =
+    Pref.explicit "color"
+      [ (v "green", v "yellow"); (v "green", v "red"); (v "yellow", v "white") ]
+  in
+  let expected =
+    [ ("white", 1); ("red", 1); ("yellow", 2); ("green", 3); ("brown", 4); ("black", 4) ]
+  in
+  List.iter
+    (fun (c, l) ->
+      Fmt.pr "  %-8s level %d (paper: %d)@." c
+        (Option.get (Quality.level p (v c)))
+        l)
+    expected;
+  check "levels match the paper's figure"
+    (List.for_all (fun (c, l) -> Quality.level p (v c) = Some l) expected)
+
+(* ------------------------------------------------------------------ *)
+(* E2/E4 — Examples 2 and 4: Pareto and prioritized graphs             *)
+
+let schema3 =
+  Schema.make [ ("a1", Value.TInt); ("a2", Value.TInt); ("a3", Value.TInt) ]
+
+let vals_e2 =
+  [ (-5, 3, 4); (-5, 4, 4); (5, 1, 8); (5, 6, 6); (-6, 0, 6); (-6, 0, 4); (6, 2, 7) ]
+
+let mk3 (a, b, c) = Tuple.make [ vi a; vi b; vi c ]
+let r3 = Relation.make schema3 (List.map mk3 vals_e2)
+let val3 i = mk3 (List.nth vals_e2 (i - 1))
+
+let p1 = Pref.around "a1" 0.
+let p2 = Pref.lowest "a2"
+let p3 = Pref.highest "a3"
+
+let graph_levels schema p rel =
+  let g = Show.better_than_graph schema p rel in
+  fun t -> Pref_order.Graph.level_of g t
+
+let show_levels name schema p rel vals expected =
+  Fmt.pr "  %s@." name;
+  let level = graph_levels schema p rel in
+  let ok = ref true in
+  List.iter
+    (fun (i, l) ->
+      let got = level (vals i) in
+      if got <> l then ok := false;
+      Fmt.pr "    val%d: level %d (paper: %d)@." i got l)
+    expected;
+  !ok
+
+let e2 () =
+  section "E2  Example 2: Pareto accumulation (P1 (x) P2) (x) P3";
+  let p4 = Pref.pareto (Pref.pareto p1 p2) p3 in
+  let ok =
+    show_levels "better-than graph of P4 over R" schema3 p4 r3 val3
+      [ (1, 1); (3, 1); (5, 1); (2, 2); (4, 2); (6, 2); (7, 2) ]
+  in
+  check "Pareto-optimal set = {val1, val3, val5}, rest at level 2" ok
+
+let e4 () =
+  section "E4  Example 4: prioritized accumulation P8 = P1 & P2, P9 = (P1 (x) P2) & P3";
+  let ok8 =
+    show_levels "P8 graph" schema3 (Pref.prior p1 p2) r3 val3
+      [ (1, 1); (3, 1); (2, 2); (4, 2); (5, 3); (6, 3); (7, 3) ]
+  in
+  let ok9 =
+    show_levels "P9 graph" schema3
+      (Pref.prior (Pref.pareto p1 p2) p3)
+      r3 val3
+      [ (1, 1); (3, 1); (5, 1); (2, 2); (4, 2); (7, 2); (6, 2) ]
+  in
+  check "P8 graph matches (3 levels)" ok8;
+  check "P9 graph matches (2 levels)" ok9
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Example 3: Pareto on a shared attribute                        *)
+
+let e3 () =
+  section "E3  Example 3: Pareto on the shared attribute Color";
+  let colour_schema = Schema.make [ ("color", Value.TStr) ] in
+  let c s = Tuple.make [ v s ] in
+  let rel =
+    Relation.make colour_schema
+      (List.map c [ "red"; "green"; "yellow"; "blue"; "black"; "purple" ])
+  in
+  let p5 = Pref.pos "color" [ v "green"; v "yellow" ] in
+  let p6 = Pref.neg "color" [ v "red"; v "green"; v "blue"; v "purple" ] in
+  let p7 = Pref.pareto p5 p6 in
+  let level = graph_levels colour_schema p7 rel in
+  let expected =
+    [ ("yellow", 1); ("green", 1); ("black", 1); ("red", 2); ("blue", 2); ("purple", 2) ]
+  in
+  List.iter
+    (fun (col, l) -> Fmt.pr "  %-7s level %d (paper: %d)@." col (level (c col)) l)
+    expected;
+  check "non-discriminating compromise levels"
+    (List.for_all (fun (col, l) -> level (c col) = l) expected)
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Example 5: rank(F) with a weighted sum                          *)
+
+let e5 () =
+  section "E5  Example 5: numerical accumulation rank(F), F = x1 + 2*x2";
+  let schema2 = Schema.make [ ("a1", Value.TInt); ("a2", Value.TInt) ] in
+  let mk2 (a, b) = Tuple.make [ vi a; vi b ] in
+  let vals2 = [ (-5, 3); (-5, 4); (5, 1); (5, 6); (-6, 0); (-6, 0) ] in
+  let rel = Relation.distinct (Relation.make schema2 (List.map mk2 vals2)) in
+  let f1 = Pref.score "a1" ~name:"dist0" (fun x -> Pref.distance_around x 0.) in
+  let f2 = Pref.score "a2" ~name:"dist-2" (fun x -> Pref.distance_around x (-2.)) in
+  let p = Pref.rank (Pref.weighted_sum 1. 2.) f1 f2 in
+  let score =
+    Option.get (Pref.score_via (fun t a -> Tuple.get_by_name schema2 t a) p)
+  in
+  let expected_scores = [ 15.; 17.; 11.; 21.; 10.; 10. ] in
+  List.iteri
+    (fun i s ->
+      Fmt.pr "  F-val%d = %g (paper: %g)@." (i + 1)
+        (score (mk2 (List.nth vals2 i)))
+        s)
+    expected_scores;
+  let level = graph_levels schema2 p rel in
+  let expected_levels = [ (4, 1); (2, 2); (1, 3); (3, 4); (5, 5) ] in
+  check "F-values match"
+    (List.for_all2
+       (fun (pair : int * int) s -> score (mk2 pair) = s)
+       vals2 expected_scores);
+  check "5-level graph val4 -> val2 -> val1 -> val3 -> {val5, val6}"
+    (List.for_all
+       (fun (i, l) -> level (mk2 (List.nth vals2 (i - 1))) = l)
+       expected_levels)
+
+(* ------------------------------------------------------------------ *)
+(* E6 — Example 6: the preference-engineering scenario                  *)
+
+let e6 () =
+  section "E6  Example 6: preference engineering (Julia, Leslie, Michael)";
+  let cars = Pref_workload.Cars.relation ~seed:2002 ~n:(if quick then 200 else 1000) () in
+  let schema = Relation.schema cars in
+  let p1 = Pref.pos_pos "category" ~pos1:[ v "cabriolet" ] ~pos2:[ v "roadster" ] in
+  let p2 = Pref.pos "transmission" [ v "automatic" ] in
+  let p3 = Pref.around "horsepower" 100. in
+  let p4 = Pref.lowest "price" in
+  let p5 = Pref.neg "color" [ v "gray" ] in
+  let p6 = Pref.highest "year" in
+  let p7 = Pref.highest "commission" in
+  let q1 = Pref.prior p5 (Pref.prior (Pref.pareto_all [ p1; p2; p3 ]) p4) in
+  let q2 = Pref.prior (Pref.prior q1 p6) p7 in
+  let p8 = Pref.pos_neg "color" ~pos:[ v "blue" ] ~neg:[ v "gray"; v "red" ] in
+  let q1s = Pref.prior (Pref.pareto_all [ p5; p8; p4 ]) (Pref.pareto_all [ p1; p2; p3 ]) in
+  let q2s = Pref.prior (Pref.prior q1s p6) p7 in
+  let run name q =
+    let r = Query.sigma schema q cars in
+    Fmt.pr "  %-4s -> %3d of %d cars@." name (Relation.cardinality r)
+      (Relation.cardinality cars);
+    r
+  in
+  let rq1 = run "Q1" q1 in
+  let rq2 = run "Q2" q2 in
+  let rq1s = run "Q1*" q1s in
+  let rq2s = run "Q2*" q2s in
+  check "no query crashes or returns empty despite conflicting preferences"
+    (List.for_all
+       (fun r -> not (Relation.is_empty r))
+       [ rq1; rq2; rq1s; rq2s ]);
+  check "vendor refinement Q2 never grows Q1 (filter chain, prop 13c)"
+    (Relation.cardinality rq2 <= Relation.cardinality rq1
+    && Relation.cardinality rq2s <= Relation.cardinality rq1s)
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Example 7: the non-discrimination theorem on Car-DB            *)
+
+let e7 () =
+  section "E7  Example 7: non-discrimination theorem on Car-DB";
+  let schema = Schema.make [ ("price", Value.TInt); ("mileage", Value.TInt) ] in
+  let mk (p, m) = Tuple.make [ vi p; vi m ] in
+  let car_db =
+    [ (40000, 15000); (35000, 30000); (20000, 10000); (15000, 35000); (15000, 30000) ]
+  in
+  let rel = Relation.make schema (List.map mk car_db) in
+  let p1 = Pref.lowest "price" and p2 = Pref.lowest "mileage" in
+  let pareto = Pref.pareto p1 p2 in
+  let level = graph_levels schema pareto rel in
+  Fmt.pr "  P1 (x) P2 levels: val3=%d val5=%d val1=%d val2=%d val4=%d@."
+    (level (mk (20000, 10000)))
+    (level (mk (15000, 30000)))
+    (level (mk (40000, 15000)))
+    (level (mk (35000, 30000)))
+    (level (mk (15000, 35000)));
+  check "maxima are {val3, val5}"
+    (Relation.equal_as_sets
+       (Query.sigma schema pareto rel)
+       (Relation.make schema [ mk (20000, 10000); mk (15000, 30000) ]));
+  check "P1 (x) P2 == (P1 & P2) <> (P2 & P1) on Car-DB"
+    (Equiv.agree schema (Relation.rows rel) pareto
+       (Pref.inter (Pref.prior p1 p2) (Pref.prior p2 p1)))
+
+(* ------------------------------------------------------------------ *)
+(* E8 — Example 8: BMO over EXPLICIT                                   *)
+
+let e8 () =
+  section "E8  Example 8: BMO query over the EXPLICIT preference";
+  let schema = Schema.make [ ("color", Value.TStr) ] in
+  let c s = Tuple.make [ v s ] in
+  let p =
+    Pref.explicit "color"
+      [ (v "green", v "yellow"); (v "green", v "red"); (v "yellow", v "white") ]
+  in
+  let rel = Relation.make schema (List.map c [ "yellow"; "red"; "green"; "black" ]) in
+  let result = Query.sigma schema p rel in
+  Fmt.pr "  sigma[P]({yellow, red, green, black}) = {%a}@."
+    Fmt.(list ~sep:(any ", ") Tuple.pp)
+    (Relation.rows result);
+  check "result = {yellow, red}"
+    (Relation.equal_as_sets result (Relation.make schema [ c "yellow"; c "red" ]));
+  check "red is a perfect match"
+    (Relation.equal_as_sets
+       (Query.perfect_matches schema p
+          ~ideal:(fun t -> Quality.level p (Tuple.get t 0) = Some 1)
+          rel)
+       (Relation.make schema [ c "red" ]))
+
+(* ------------------------------------------------------------------ *)
+(* E9 — Example 9: non-monotonicity                                    *)
+
+let e9 () =
+  section "E9  Example 9: non-monotonicity of BMO query results";
+  let schema =
+    Schema.make
+      [ ("fuel_economy", Value.TInt); ("insurance_rating", Value.TInt);
+        ("nickname", Value.TStr) ]
+  in
+  let car (f, i, n) = Tuple.make [ vi f; vi i; v n ] in
+  let p =
+    Pref.pareto (Pref.highest "fuel_economy") (Pref.highest "insurance_rating")
+  in
+  let states =
+    [
+      ([ (100, 3, "frog"); (50, 3, "cat") ], [ "frog" ]);
+      ([ (100, 3, "frog"); (50, 3, "cat"); (50, 10, "shark") ], [ "frog"; "shark" ]);
+      ( [ (100, 3, "frog"); (50, 3, "cat"); (50, 10, "shark"); (100, 10, "turtle") ],
+        [ "turtle" ] );
+    ]
+  in
+  let ok =
+    List.for_all
+      (fun (cars, expected) ->
+        let rel = Relation.make schema (List.map car cars) in
+        let result = Query.sigma schema p rel in
+        let names =
+          List.map
+            (fun t -> Value.to_string (Tuple.get t 2))
+            (Relation.rows result)
+        in
+        Fmt.pr "  |Cars| = %d  ->  sigma = {%s}@." (List.length cars)
+          (String.concat ", " names);
+        List.sort compare names = List.sort compare expected)
+      states
+  in
+  check "result sizes 1 -> 2 -> 1 while the database only grows" ok
+
+(* ------------------------------------------------------------------ *)
+(* E10 — Example 10: grouped prioritized evaluation                    *)
+
+let e10 () =
+  section "E10 Example 10: sigma[P1 & P2] via grouping (proposition 10)";
+  let schema =
+    Schema.make [ ("make", Value.TStr); ("price", Value.TInt); ("oid", Value.TInt) ]
+  in
+  let offer (m, p, o) = Tuple.make [ v m; vi p; vi o ] in
+  let rel =
+    Relation.make schema
+      (List.map offer
+         [ ("Audi", 40000, 1); ("BMW", 35000, 2); ("VW", 20000, 3); ("BMW", 50000, 4) ])
+  in
+  let p = Pref.prior (Pref.antichain [ "make" ]) (Pref.around "price" 40000.) in
+  let result = Query.sigma schema p rel in
+  Fmt.pr "  'for each make, an offer around 40000':@.";
+  List.iter (fun t -> Fmt.pr "    %a@." Tuple.pp t) (Relation.rows result);
+  let expected =
+    Relation.make schema
+      (List.map offer [ ("Audi", 40000, 1); ("BMW", 35000, 2); ("VW", 20000, 3) ])
+  in
+  check "result = {(Audi,40000,1), (BMW,35000,2), (VW,20000,3)}"
+    (Relation.equal_as_sets result expected);
+  check "groupby evaluation agrees with the declarative form"
+    (Relation.equal_as_sets
+       (Groupby.query schema (Pref.around "price" 40000.) ~by:[ "make" ] rel)
+       (Groupby.query_via_antichain schema (Pref.around "price" 40000.)
+          ~by:[ "make" ] rel))
+
+(* ------------------------------------------------------------------ *)
+(* E11 — Example 11: Pareto of dual chains and the YY term             *)
+
+let e11 () =
+  section "E11 Example 11: sigma[LOWEST (x) HIGHEST](R) = R, YY = {6}";
+  let schema = Schema.make [ ("a", Value.TInt) ] in
+  let t n = Tuple.make [ vi n ] in
+  let rel = Relation.make schema [ t 3; t 6; t 9 ] in
+  let p1 = Pref.lowest "a" and p2 = Pref.highest "a" in
+  let result = Query.sigma schema (Pref.pareto p1 p2) rel in
+  let yy = Decompose.yy schema (Pref.prior p1 p2) (Pref.prior p2 p1) rel in
+  Fmt.pr "  sigma = {%a},  YY = {%a}@."
+    Fmt.(list ~sep:(any ", ") Tuple.pp)
+    (Relation.rows result)
+    Fmt.(list ~sep:(any ", ") Tuple.pp)
+    yy;
+  check "sigma = R" (Relation.equal_as_sets result rel);
+  check "YY = {6}" (match yy with [ x ] -> Tuple.equal x (t 6) | _ -> false);
+  check "rewriter collapses P (x) P^d to the anti-chain"
+    (Pref.equal
+       (Rewrite.simplify (Pref.pareto p1 (Pref.dual p1)))
+       (Pref.antichain [ "a" ]))
+
+(* ------------------------------------------------------------------ *)
+(* P — Propositions re-verified on a large concrete instance           *)
+
+let p_laws () =
+  section "P   Propositions 2-13 re-verified on a used-car instance";
+  let cars = Pref_workload.Cars.relation ~seed:17 ~n:(if quick then 60 else 150) () in
+  let schema = Relation.schema cars in
+  let rows = Relation.rows cars in
+  let p1 = Pref.around "price" 15000. in
+  let p2 = Pref.lowest "mileage" in
+  let p3 = Pref.pos "color" [ v "red"; v "blue" ] in
+  check "prop 2: commutativity/associativity"
+    (Laws.pareto_commutative schema rows p1 p2
+    && Laws.pareto_associative schema rows p1 p2 p3
+    && Laws.prior_associative schema rows p1 p2 p3);
+  check "prop 3: dual/idempotence/anti-chain laws"
+    (Laws.dual_involution schema rows (Pref.pareto p1 p3)
+    && Laws.highest_is_dual_lowest schema rows "price"
+    && Laws.prior_idempotent schema rows p1
+    && Laws.pareto_idempotent schema rows p2
+    && Laws.inter_dual_is_antichain schema rows p1
+    && Laws.pareto_dual_is_antichain schema rows p2);
+  check "prop 4: discrimination theorem"
+    (Laws.discrimination_shared schema rows p1 (Pref.between "price" ~low:0. ~up:9000.)
+    && Laws.discrimination_disjoint schema rows p1 p2);
+  check "prop 5: non-discrimination theorem"
+    (Laws.non_discrimination schema rows p1 p2
+    && Laws.non_discrimination schema rows (Pref.pareto p1 p3) p2);
+  check "prop 6: pareto = intersection on shared attributes"
+    (Laws.pareto_is_inter_on_shared schema rows p1
+       (Pref.between "price" ~low:10000. ~up:20000.));
+  let rel = cars in
+  let naive p = Naive.query schema p rel in
+  let sets_equal a b =
+    Relation.equal_as_sets (Relation.distinct a) (Relation.distinct b)
+  in
+  check "prop 8: sigma[P1+P2] = sigma[P1] inter sigma[P2]"
+    (sets_equal
+       (naive (Pref.dunion p1 p2))
+       (Relation.inter (naive p1) (naive p2)));
+  check "prop 9: sigma[P1<>P2] = union + YY"
+    (let q1 = p1 and q2 = Pref.between "price" ~low:10000. ~up:20000. in
+     sets_equal
+       (naive (Pref.inter q1 q2))
+       (Relation.union
+          (Relation.union (naive q1) (naive q2))
+          (Decompose.yy_relation schema q1 q2 rel)));
+  check "prop 10: prioritized evaluation via grouping"
+    (sets_equal
+       (naive (Pref.prior p1 p2))
+       (Relation.inter (naive p1) (Groupby.query schema p2 ~by:[ "price" ] rel)));
+  check "prop 11: cascade of queries when P1 is a chain"
+    (sets_equal (naive (Pref.prior p2 p1)) (Decompose.cascade schema p2 p1 rel));
+  check "prop 12: the pareto decomposition theorem"
+    (sets_equal (naive (Pref.pareto p1 p2)) (Decompose.eval schema (Pref.pareto p1 p2) rel));
+  check "prop 13: filter-effect inequalities"
+    (let attrs = Pref.attrs (Pref.prior p1 p2) in
+     let s q = Stats.result_size_on schema q ~attrs rel in
+     s (Pref.prior p1 p2) <= s p1
+     && s (Pref.pareto p1 p2) >= s (Pref.prior p1 p2)
+     && s (Pref.pareto p1 p2) >= s (Pref.prior p2 p1))
+
+(* ------------------------------------------------------------------ *)
+(* B1 — BMO result sizes on car databases ([KFH01] claim)              *)
+
+let b1 () =
+  section "B1  BMO result sizes on used-car databases (expected: a few to a few dozen)";
+  let sizes = if quick then [ 1000 ] else [ 1000; 10_000; 50_000 ] in
+  Fmt.pr "  %-8s %-36s %-6s %s@." "n" "preference (shopping-style per [KFH01])" "size"
+    "in band";
+  hr ();
+  let all_in_band = ref true in
+  List.iter
+    (fun n ->
+      let cars = Pref_workload.Cars.relation ~seed:3 ~n () in
+      let schema = Relation.schema cars in
+      (* shopping-style queries: categorical wishes, AROUND targets,
+         moderate Pareto width — the query profile of the Preference SQL
+         deployments the claim comes from *)
+      let shopping =
+        [
+          ( "price (x) mileage",
+            Pref.pareto (Pref.lowest "price") (Pref.lowest "mileage") );
+          ( "around(price) (x) around(hp)",
+            Pref.pareto (Pref.around "price" 15000.) (Pref.around "horsepower" 100.) );
+          ( "color & (price (x) mileage)",
+            Pref.prior
+              (Pref.pos "color" [ v "red"; v "blue" ])
+              (Pref.pareto (Pref.lowest "price") (Pref.lowest "mileage")) );
+          ( "(category (x) hp-around) & price",
+            Pref.prior
+              (Pref.pareto
+                 (Pref.pos_pos "category" ~pos1:[ v "cabriolet" ] ~pos2:[ v "roadster" ])
+                 (Pref.around "horsepower" 100.))
+              (Pref.lowest "price") );
+        ]
+      in
+      List.iter
+        (fun (name, p) ->
+          let size = Relation.cardinality (Bnl.query schema p cars) in
+          if size > 100 then all_in_band := false;
+          Fmt.pr "  %-8d %-36s %-6d yes@." n name size)
+        shopping;
+      (* contrast rows: pure d-way numeric skylines blow up with d — the
+         dimensionality behaviour of [BKS01], not a shopping query *)
+      List.iter
+        (fun (name, p) ->
+          let size = Relation.cardinality (Bnl.query schema p cars) in
+          Fmt.pr "  %-8d %-36s %-6d (skyline contrast row)@." n name size)
+        [
+          ( "3-way numeric skyline",
+            Pref.pareto_all
+              [ Pref.lowest "price"; Pref.lowest "mileage"; Pref.highest "horsepower" ] );
+          ( "4-way numeric skyline",
+            Pref.pareto_all
+              [ Pref.lowest "price"; Pref.lowest "mileage"; Pref.highest "year";
+                Pref.highest "horsepower" ] );
+        ])
+    sizes;
+  Fmt.pr "  analytic expectation (independent-uniform model, Estimate):@.";
+  List.iter
+    (fun n ->
+      Fmt.pr "    n = %-7d E[skyline d=2] = %-8.1f E[d=3] = %-8.1f E[d=4] = %.1f@."
+        n
+        (Estimate.expected_skyline_size ~n ~dims:2)
+        (Estimate.expected_skyline_size ~n ~dims:3)
+        (Estimate.expected_skyline_size ~n ~dims:4))
+    sizes;
+  check
+    "shopping-style result sizes stay in the band (<= ~100) while n grows 50x"
+    !all_in_band
+
+(* ------------------------------------------------------------------ *)
+(* B2 — the AND/OR-like filter effect (§5.5)                            *)
+
+let b2 () =
+  section "B2  Filter effect: P1&P2 (AND-like) vs P1 vs P1 (x) P2 (OR-like)";
+  let cars = Pref_workload.Cars.relation ~seed:29 ~n:(if quick then 2000 else 10_000) () in
+  let schema = Relation.schema cars in
+  let p1 = Pref.lowest "price" and p2 = Pref.lowest "mileage" in
+  let attrs = Pref.attrs (Pref.pareto p1 p2) in
+  let s q = Stats.result_size_on schema q ~attrs cars in
+  let sp1 = s p1
+  and sand = s (Pref.prior p1 p2)
+  and sor = s (Pref.pareto p1 p2) in
+  Fmt.pr "  size(P1&P2) = %-5d  size(P1) = %-5d  size(P1 (x) P2) = %d@." sand sp1 sor;
+  (* §5.5 asserts P1 ⊗ P2 <== P1 & P2 ==> P1; it deliberately relates P1 and
+     P1 ⊗ P2 only through the prioritization, so that is all we check. *)
+  check "P1&P2 => P1 (AND-like) and P1&P2 => P1 (x) P2 (OR-like)"
+    (sand <= sp1 && sand <= sor)
+
+(* ------------------------------------------------------------------ *)
+(* B3 — algorithm sweep (the [BKS01]/[KLP75] shape)                     *)
+
+let skyline_pref dims =
+  Pref.pareto_all (List.map Pref.highest (Pref_workload.Synthetic.dim_names dims))
+
+let b3_wall () =
+  section "B3a Skyline algorithms: wall-clock sweep (shape of [BKS01] figs)";
+  let ns = if quick then [ 1000; 4000 ] else [ 1000; 4000; 16000 ] in
+  let dims_list = [ 2; 4 ] in
+  let families =
+    Pref_workload.Synthetic.[ Independent; Correlated; Anti_correlated ]
+  in
+  Fmt.pr "  %-16s %-4s %-7s %-9s %-12s %-12s %-12s %-12s %s@." "family" "d"
+    "n" "skyline" "naive" "bnl" "sfs" "dnc" "bbs";
+  hr ();
+  let naive_beaten = ref true in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun dims ->
+          List.iter
+            (fun n ->
+              let rel = Pref_workload.Synthetic.relation ~seed:7 ~n ~dims family in
+              let schema = Relation.schema rel in
+              let attrs = Pref_workload.Synthetic.dim_names dims in
+              let p = skyline_pref dims in
+              let dom = Dominance.of_pref schema p in
+              let rows = Relation.rows rel in
+              let run_naive = n <= 4000 in
+              let r_bnl, t_bnl = wall (fun () -> Bnl.maxima dom rows) in
+              let key = Sfs.sum_key schema attrs ~maximize:true in
+              let r_sfs, t_sfs = wall (fun () -> Sfs.maxima ~key dom rows) in
+              let dims_fn = Dnc.dims_of schema attrs ~maximize:true in
+              let r_dnc, t_dnc = wall (fun () -> Dnc.maxima ~dims:dims_fn rows) in
+              let r_bbs, t_bbs =
+                wall (fun () -> fst (Bbs.maxima ~dims:dims_fn rows))
+              in
+              let t_naive_str, naive_ok =
+                if run_naive then begin
+                  let r_naive, t_naive = wall (fun () -> Naive.maxima dom rows) in
+                  let best_other = Float.min t_bnl (Float.min t_sfs t_dnc) in
+                  if best_other >= t_naive && n >= 4000 then
+                    naive_beaten := false;
+                  ( Printf.sprintf "%9.1f ms" t_naive,
+                    List.length r_naive = List.length r_bnl )
+                end
+                else ("        -", true)
+              in
+              let agree =
+                naive_ok
+                && List.length r_bnl = List.length r_sfs
+                && List.length r_bnl = List.length r_dnc
+                && List.length r_bnl = List.length r_bbs
+              in
+              if not agree then naive_beaten := false;
+              Fmt.pr
+                "  %-16s %-4d %-7d %-9d %s %9.1f ms %9.1f ms %9.1f ms %9.1f \
+                 ms%s@."
+                (Pref_workload.Synthetic.correlation_to_string family)
+                dims n (List.length r_bnl) t_naive_str t_bnl t_sfs t_dnc t_bbs
+                (if agree then "" else "  [DISAGREE]"))
+            ns)
+        dims_list)
+    families;
+  check
+    "the best window/divide&conquer algorithm beats naive at n >= 4000, all \
+     agree"
+    !naive_beaten
+
+let b3_bechamel () =
+  section "B3b Skyline algorithms: bechamel micro-benchmarks (n = 2000, d = 3)";
+  let open Bechamel in
+  let tests =
+    List.concat_map
+      (fun family ->
+        let rel = Pref_workload.Synthetic.relation ~seed:7 ~n:2000 ~dims:3 family in
+        let schema = Relation.schema rel in
+        let attrs = Pref_workload.Synthetic.dim_names 3 in
+        let p = skyline_pref 3 in
+        let dom = Dominance.of_pref schema p in
+        let rows = Relation.rows rel in
+        let key = Sfs.sum_key schema attrs ~maximize:true in
+        let dims_fn = Dnc.dims_of schema attrs ~maximize:true in
+        let fam = Pref_workload.Synthetic.correlation_to_string family in
+        [
+          Test.make
+            ~name:(fam ^ "/naive")
+            (Staged.stage (fun () -> ignore (Naive.maxima dom rows)));
+          Test.make
+            ~name:(fam ^ "/bnl")
+            (Staged.stage (fun () -> ignore (Bnl.maxima dom rows)));
+          Test.make
+            ~name:(fam ^ "/sfs")
+            (Staged.stage (fun () -> ignore (Sfs.maxima ~key dom rows)));
+          Test.make
+            ~name:(fam ^ "/dnc")
+            (Staged.stage (fun () -> ignore (Dnc.maxima ~dims:dims_fn rows)));
+        ])
+      Pref_workload.Synthetic.[ Independent; Correlated; Anti_correlated ]
+  in
+  let results = bechamel_run tests in
+  List.iter (fun (name, ns) -> Fmt.pr "  %-28s %a/run@." name pp_ns ns) results;
+  check "bechamel produced estimates for all 12 benchmarks"
+    (List.length results = 12)
+
+(* ------------------------------------------------------------------ *)
+(* B4 — decomposition-based Pareto evaluation (prop 12 as an algorithm) *)
+
+let b4 () =
+  section "B4  Decomposition-based evaluation (prop 12) vs direct BNL";
+  let ns = if quick then [ 200; 400 ] else [ 200; 400; 800; 1600 ] in
+  Fmt.pr "  %-7s %-12s %-12s %s@." "n" "bnl" "decompose" "equal";
+  hr ();
+  let all_equal = ref true in
+  List.iter
+    (fun n ->
+      let cars = Pref_workload.Cars.relation ~seed:13 ~n () in
+      let schema = Relation.schema cars in
+      let p = Pref.pareto (Pref.lowest "price") (Pref.lowest "mileage") in
+      let r1, t1 = wall (fun () -> Bnl.query schema p cars) in
+      let r2, t2 = wall (fun () -> Decompose.eval schema p cars) in
+      let eq = Relation.equal_as_sets (Relation.distinct r1) r2 in
+      if not eq then all_equal := false;
+      Fmt.pr "  %-7d %9.1f ms %9.1f ms %b@." n t1 t2 eq)
+    ns;
+  check "decomposition plan computes the same BMO result" !all_equal
+
+(* ------------------------------------------------------------------ *)
+(* B5 — the ranked query model: TA vs full scan (§6.2)                  *)
+
+let b5 () =
+  section "B5  Ranked model: threshold algorithm vs full scan (k-best)";
+  let n = if quick then 5_000 else 20_000 in
+  let hotels = Pref_workload.Hotels.relation ~seed:31 ~n () in
+  let schema = Relation.schema hotels in
+  let p =
+    Pref.rank (Pref.weighted_sum 1. 1.)
+      (Pref.score "rating" ~name:"rating" (fun x ->
+           Option.value (Value.as_float x) ~default:Float.neg_infinity))
+      (Pref.score "price" ~name:"-price/100" (fun x ->
+           match Value.as_float x with
+           | Some f -> -.f /. 100.
+           | None -> Float.neg_infinity))
+  in
+  Fmt.pr "  n = %d objects@." n;
+  Fmt.pr "  %-5s %-10s %-10s %s@." "k" "examined" "depth" "fraction";
+  hr ();
+  let frugal = ref true in
+  List.iter
+    (fun k ->
+      let res = Topk.ta_rank schema p ~k hotels in
+      let scan = Topk.kbest schema p ~k hotels in
+      let ta_scores = List.map fst res.Topk.results in
+      let score =
+        Option.get (Pref.score_via (fun t a -> Tuple.get_by_name schema t a) p)
+      in
+      let scan_scores = List.map score (Relation.rows scan) in
+      let same =
+        List.length ta_scores = List.length scan_scores
+        && List.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) ta_scores scan_scores
+      in
+      if not same then frugal := false;
+      if res.Topk.examined > n / 2 then frugal := false;
+      Fmt.pr "  %-5d %-10d %-10d %.3f%s@." k res.Topk.examined res.Topk.depth
+        (float_of_int res.Topk.examined /. float_of_int n)
+        (if same then "" else "  [WRONG SCORES]"))
+    [ 1; 10; 100 ];
+  check "TA matches the scan and examines a fraction of the objects" !frugal;
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:"ta/k=10"
+        (Staged.stage (fun () -> ignore (Topk.ta_rank schema p ~k:10 hotels)));
+      Test.make ~name:"scan/k=10"
+        (Staged.stage (fun () -> ignore (Topk.kbest schema p ~k:10 hotels)));
+    ]
+  in
+  let results = bechamel_run tests in
+  List.iter (fun (name, ns) -> Fmt.pr "  %-28s %a/run@." name pp_ns ns) results;
+  check "bechamel produced top-k estimates" (List.length results = 2)
+
+(* ------------------------------------------------------------------ *)
+(* B7 — ablation: compiled vs interpreted preference semantics           *)
+
+let b7 () =
+  section "B7  Ablation: Pref.compile vs interpreted Pref.lt";
+  let cars = Pref_workload.Cars.relation ~seed:41 ~n:(if quick then 400 else 1000) () in
+  let schema = Relation.schema cars in
+  let p =
+    Pref.prior
+      (Pref.pareto
+         (Pref.pos_neg "color" ~pos:[ v "red" ] ~neg:[ v "gray" ])
+         (Pref.around "price" 15000.))
+      (Pref.lowest "mileage")
+  in
+  let rows = Relation.rows cars in
+  let interpreted () =
+    Naive.maxima (fun a b -> Pref.lt schema p b a) rows
+  in
+  let compiled () = Naive.maxima (Dominance.of_pref schema p) rows in
+  let r1, t_int = wall interpreted in
+  let r2, t_cmp = wall compiled in
+  Fmt.pr "  interpreted: %8.1f ms   compiled: %8.1f ms   speedup: %.1fx@."
+    t_int t_cmp
+    (t_int /. Float.max 0.001 t_cmp);
+  check "compiled and interpreted agree"
+    (List.length r1 = List.length r2 && List.for_all2 Tuple.equal r1 r2);
+  check "compilation does not lose to interpretation" (t_cmp <= t_int *. 1.2);
+  let open Bechamel in
+  let results =
+    bechamel_run
+      [
+        Test.make ~name:"interpreted" (Staged.stage (fun () -> ignore (interpreted ())));
+        Test.make ~name:"compiled" (Staged.stage (fun () -> ignore (compiled ())));
+      ]
+  in
+  List.iter (fun (name, ns) -> Fmt.pr "  %-28s %a/run@." name pp_ns ns) results;
+  check "bechamel produced ablation estimates" (List.length results = 2)
+
+(* ------------------------------------------------------------------ *)
+(* B6 — the cost-based planner (§7 optimizer roadmap, extension)        *)
+
+let b6 () =
+  section "B6  Cost-based planner: chosen plan vs always-BNL";
+  let cases =
+    [
+      ( "anti-correlated skyline",
+        (fun () ->
+          Pref_workload.Synthetic.relation ~seed:7
+            ~n:(if quick then 1500 else 4000)
+            ~dims:3 Pref_workload.Synthetic.Anti_correlated),
+        skyline_pref 3 );
+      ( "independent skyline",
+        (fun () ->
+          Pref_workload.Synthetic.relation ~seed:7
+            ~n:(if quick then 1500 else 4000)
+            ~dims:3 Pref_workload.Synthetic.Independent),
+        skyline_pref 3 );
+      ( "chain-headed prioritization",
+        (fun () -> Pref_workload.Cars.relation ~seed:4 ~n:(if quick then 1500 else 4000) ()),
+        Pref.prior (Pref.lowest "price")
+          (Pref.pos "color" [ v "red"; v "blue" ]) );
+    ]
+  in
+  Fmt.pr "  %-28s %-22s %-12s %s@." "workload" "chosen plan" "planner" "bnl";
+  hr ();
+  let all_correct = ref true in
+  let planner_wins_anti = ref false in
+  List.iter
+    (fun (name, mk_rel, p) ->
+      let rel = mk_rel () in
+      let schema = Relation.schema rel in
+      let (result, plan), t_planner = wall (fun () -> Planner.run schema p rel) in
+      let r_bnl, t_bnl = wall (fun () -> Bnl.query schema p rel) in
+      let correct =
+        Relation.equal_as_sets (Relation.distinct result) (Relation.distinct r_bnl)
+      in
+      if not correct then all_correct := false;
+      if name = "anti-correlated skyline" && t_planner < t_bnl then
+        planner_wins_anti := true;
+      let plan_str = Planner.plan_to_string plan in
+      let plan_str =
+        if String.length plan_str > 20 then String.sub plan_str 0 20 else plan_str
+      in
+      Fmt.pr "  %-28s %-22s %8.1f ms %8.1f ms%s@." name plan_str t_planner
+        t_bnl
+        (if correct then "" else "  [WRONG]"))
+    cases;
+  check "planner plans compute the exact BMO result" !all_correct;
+  check "planner beats always-BNL on the anti-correlated skyline"
+    !planner_wins_anti
+
+let () =
+  Fmt.pr "Preference algebra & BMO reproduction harness%s@."
+    (if quick then " (quick mode)" else "");
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ();
+  e11 ();
+  p_laws ();
+  b1 ();
+  b2 ();
+  b3_wall ();
+  b3_bechamel ();
+  b4 ();
+  b5 ();
+  b6 ();
+  b7 ();
+  Fmt.pr "@.=== summary ===@.";
+  Fmt.pr "%d checks, %d failures@." !checks !failures;
+  exit (if !failures = 0 then 0 else 1)

@@ -1,0 +1,1 @@
+bin/gendata.ml: Arg Cars Cmd Cmdliner Fmt Hotels Pref_relation Pref_workload Synthetic Term Trips

@@ -1,0 +1,1 @@
+bin/prefmine.ml: Arg Cmd Cmdliner Fmt In_channel List Pref_bmo Pref_mining Pref_relation Preferences String Term

@@ -1,0 +1,1 @@
+bin/prefsql.ml: Arg Cmd Cmdliner Filename Fmt In_channel List Option Pref_relation Pref_shell Printf String Term

@@ -1,0 +1,1 @@
+bin/prefxpath.ml: Arg Cmd Cmdliner Fmt List Pref_xpath Term

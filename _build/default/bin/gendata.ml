@@ -1,0 +1,66 @@
+(* gendata — emit the synthetic workloads as CSV, for the CLIs and for
+   external comparison. *)
+
+open Cmdliner
+open Pref_workload
+
+let main kind n dims correlation seed out =
+  let rel =
+    match kind with
+    | "cars" -> Cars.relation ~seed ~n ()
+    | "hotels" -> Hotels.relation ~seed ~n ()
+    | "trips" -> Trips.relation ~seed ~n ()
+    | "synthetic" ->
+      let family =
+        match correlation with
+        | "independent" -> Synthetic.Independent
+        | "correlated" -> Synthetic.Correlated
+        | "anti-correlated" | "anticorrelated" -> Synthetic.Anti_correlated
+        | other -> Fmt.failwith "unknown correlation family %s" other
+      in
+      Synthetic.relation ~seed ~n ~dims family
+    | other -> Fmt.failwith "unknown workload %s (cars|hotels|trips|synthetic)" other
+  in
+  match out with
+  | None -> print_string (Pref_relation.Csv.to_string rel)
+  | Some path ->
+    Pref_relation.Csv.save path rel;
+    Fmt.pr "wrote %d rows to %s@." (Pref_relation.Relation.cardinality rel) path
+
+let kind_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD" ~doc:"cars, hotels, trips or synthetic.")
+
+let n_arg =
+  Arg.(value & opt int 1000 & info [ "n" ] ~docv:"N" ~doc:"Number of rows.")
+
+let dims_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "d"; "dims" ] ~docv:"D" ~doc:"Dimensions (synthetic only).")
+
+let corr_arg =
+  Arg.(
+    value & opt string "independent"
+    & info [ "c"; "correlation" ] ~docv:"FAMILY"
+        ~doc:"independent, correlated or anti-correlated (synthetic only).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE.csv" ~doc:"Output file (default stdout).")
+
+let cmd =
+  let doc = "generate deterministic synthetic workloads as CSV" in
+  Cmd.v
+    (Cmd.info "gendata" ~version:"1.0.0" ~doc)
+    Term.(
+      const main $ kind_arg $ n_arg $ dims_arg $ corr_arg $ seed_arg $ out_arg)
+
+let () = exit (Cmd.eval cmd)

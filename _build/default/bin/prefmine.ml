@@ -1,0 +1,91 @@
+(* prefmine — mine preferences from a Preference SQL query log (one query
+   per line) and optionally run the mined preference against a CSV table. *)
+
+open Cmdliner
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match In_channel.input_line ic with
+    | Some line -> go (line :: acc)
+    | None ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let main log_file table min_support =
+  try
+    let lines = read_lines log_file in
+    let config =
+      { Pref_mining.Miner.default_config with min_support }
+    in
+    let term, reports = Pref_mining.Miner.mine_log ~config lines in
+    Fmt.pr "Query log: %d lines, %d parsable queries@." (List.length lines)
+      (List.length (Pref_mining.Miner.parse_log lines));
+    Fmt.pr "@.Attribute signals (most constrained first):@.";
+    List.iter
+      (fun r ->
+        Fmt.pr "  %-20s %3d events   %s@." r.Pref_mining.Miner.attr
+          r.Pref_mining.Miner.occurrences
+          (match r.Pref_mining.Miner.mined with
+          | Some p -> Preferences.Show.to_string p
+          | None -> "(no stable signal)"))
+      reports;
+    match term with
+    | None -> print_endline "\nNo preference could be mined."
+    | Some p ->
+      Fmt.pr "@.Mined preference:@.  %a@." Preferences.Show.pp p;
+      Fmt.pr "@.Canonical form (repository format):@.  %s@."
+        (Preferences.Serialize.to_string p);
+      (match table with
+      | None -> ()
+      | Some path ->
+        let rel = Pref_relation.Csv.load path in
+        let schema = Pref_relation.Relation.schema rel in
+        let missing =
+          List.filter
+            (fun a -> not (Pref_relation.Schema.mem schema a))
+            (Preferences.Pref.attrs p)
+        in
+        if missing <> [] then
+          Fmt.epr "table lacks mined attributes: %s@."
+            (String.concat ", " missing)
+        else begin
+          let result = Pref_bmo.Query.sigma schema p rel in
+          Fmt.pr "@.BMO result of the mined preference over %s (%d of %d rows):@."
+            path
+            (Pref_relation.Relation.cardinality result)
+            (Pref_relation.Relation.cardinality rel);
+          Pref_relation.Table_fmt.print ~max_rows:15 result
+        end)
+  with Sys_error msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 1
+
+let log_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"LOG" ~doc:"Query log file, one Preference SQL query per line.")
+
+let table_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "t"; "table" ] ~docv:"FILE.csv"
+        ~doc:"Run the mined preference against this CSV table.")
+
+let support_arg =
+  Arg.(
+    value & opt float 0.2
+    & info [ "s"; "min-support" ] ~docv:"FRACTION"
+        ~doc:"Minimum support for a value to enter a POS/NEG set.")
+
+let cmd =
+  let doc = "mine preferences from Preference SQL query logs" in
+  Cmd.v
+    (Cmd.info "prefmine" ~version:"1.0.0" ~doc)
+    Term.(const main $ log_arg $ table_arg $ support_arg)
+
+let () = exit (Cmd.eval cmd)

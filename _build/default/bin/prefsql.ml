@@ -1,0 +1,92 @@
+(* prefsql — a Preference SQL shell over CSV tables.
+
+   Usage:
+     prefsql --table cars=cars.csv --query "SELECT ... PREFERRING ..."
+     prefsql --table cars=cars.csv            # interactive REPL
+
+   All shell logic lives in Pref_shell.Shell (tested as a library); this
+   executable only wires stdin/stdout. Run `.help` inside the REPL for the
+   command list. *)
+
+let parse_table_spec spec =
+  match String.index_opt spec '=' with
+  | Some i ->
+    let name = String.sub spec 0 i in
+    let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+    (name, path)
+  | None -> (Filename.remove_extension (Filename.basename spec), spec)
+
+let render (r : Pref_shell.Shell.response) =
+  List.iter print_endline r.Pref_shell.Shell.text;
+  Option.iter Pref_relation.Table_fmt.print r.Pref_shell.Shell.table
+
+let run_line shell line =
+  match Pref_shell.Shell.execute shell line with
+  | Ok r ->
+    render r;
+    r.Pref_shell.Shell.quit
+  | Error msg ->
+    Fmt.epr "error: %s@." msg;
+    false
+
+let rec repl shell =
+  print_string "prefsql> ";
+  match In_channel.input_line stdin with
+  | None -> print_newline ()
+  | Some line -> if not (run_line shell line) then repl shell
+
+let main tables query algorithm explain =
+  let shell = Pref_shell.Shell.create () in
+  let ok = ref true in
+  List.iter
+    (fun spec ->
+      let name, path = parse_table_spec spec in
+      match Pref_shell.Shell.execute shell (Printf.sprintf ".load %s %s" name path) with
+      | Ok r -> render r
+      | Error msg ->
+        Fmt.epr "error: %s@." msg;
+        ok := false)
+    tables;
+  if not !ok then exit 1;
+  ignore (run_line shell (".algorithm " ^ algorithm));
+  if explain then ignore (run_line shell ".explain on");
+  match query with
+  | Some q -> ignore (run_line shell q)
+  | None ->
+    print_endline
+      "Preference SQL shell - .help for commands, .quit to exit.";
+    repl shell
+
+open Cmdliner
+
+let tables_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "t"; "table" ] ~docv:"NAME=FILE.csv"
+        ~doc:"Load a CSV file as table $(i,NAME) (repeatable).")
+
+let query_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"SQL"
+        ~doc:"Run one query and exit (otherwise start a REPL).")
+
+let algorithm_arg =
+  Arg.(
+    value & opt string "bnl"
+    & info [ "a"; "algorithm" ] ~docv:"ALGO"
+        ~doc:"BMO evaluation algorithm: naive, bnl or decompose.")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "e"; "explain" ] ~doc:"Print the translated preference term.")
+
+let cmd =
+  let doc = "Preference SQL queries (BMO semantics) over CSV tables" in
+  Cmd.v
+    (Cmd.info "prefsql" ~version:"1.0.0" ~doc)
+    Term.(const main $ tables_arg $ query_arg $ algorithm_arg $ explain_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,48 @@
+(* prefxpath — Preference XPath queries against an XML file.
+
+   Usage: prefxpath catalog.xml '/CARS/CAR #[(@price)lowest]#' *)
+
+open Cmdliner
+
+let main file query quiet =
+  try
+    let doc = Pref_xpath.Xml_parser.load file in
+    let nodes = Pref_xpath.Peval.run doc query in
+    if not quiet then Fmt.pr "-- %d node(s)@." (List.length nodes);
+    List.iter (fun n -> print_string (Pref_xpath.Xml.to_string n)) nodes
+  with
+  | Pref_xpath.Xml_parser.Error (msg, pos) ->
+    Fmt.epr "XML error at offset %d: %s@." pos msg;
+    exit 1
+  | Pref_xpath.Pparser.Error (msg, pos) ->
+    Fmt.epr "query error at offset %d: %s@." pos msg;
+    exit 1
+  | Sys_error msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 1
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE.xml" ~doc:"XML document to query.")
+
+let query_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"QUERY"
+        ~doc:
+          "Preference XPath query; soft selections go in #[...]#, e.g. \
+           '/CARS/CAR #[(@price)lowest]#'.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Do not print the node count.")
+
+let cmd =
+  let doc = "Preference XPath queries (BMO semantics) over XML documents" in
+  Cmd.v
+    (Cmd.info "prefxpath" ~version:"1.0.0" ~doc)
+    Term.(const main $ file_arg $ query_arg $ quiet_arg)
+
+let () = exit (Cmd.eval cmd)

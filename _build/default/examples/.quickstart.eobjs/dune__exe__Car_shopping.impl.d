@@ -1,0 +1,1 @@
+examples/car_shopping.ml: Fmt List Pref Pref_bmo Pref_relation Pref_sql Pref_workload Preferences Relation Schema Show Table_fmt

@@ -1,0 +1,1 @@
+examples/negotiation.ml: Fmt List Pref Pref_bmo Pref_negotiate Pref_order Pref_relation Preferences Relation Rewrite Schema Show Table_fmt Tuple Value

@@ -1,0 +1,1 @@
+examples/optimizer_tour.ml: Estimate Explain Fmt Incremental List Planner Pref Pref_bmo Pref_relation Pref_workload Preferences Relation Rewrite Show Syntax Tuple

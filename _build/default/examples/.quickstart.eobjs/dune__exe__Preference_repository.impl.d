@@ -1,0 +1,1 @@
+examples/preference_repository.ml: Filename Fmt List Option Pref Pref_bmo Pref_mining Pref_relation Pref_workload Preferences Relation Repository Show Sys Table_fmt

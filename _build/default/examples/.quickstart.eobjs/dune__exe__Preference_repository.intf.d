@@ -1,0 +1,1 @@
+examples/preference_repository.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Pref Pref_bmo Pref_relation Pref_sql Preferences Relation Schema Show Table_fmt Value

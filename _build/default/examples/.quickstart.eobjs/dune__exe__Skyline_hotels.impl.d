@@ -1,0 +1,1 @@
+examples/skyline_hotels.ml: Bnl Dnc Fmt Naive Option Pref Pref_bmo Pref_relation Pref_workload Preferences Relation Show Stats Sys Table_fmt Tuple Value

@@ -1,0 +1,1 @@
+examples/skyline_hotels.mli:

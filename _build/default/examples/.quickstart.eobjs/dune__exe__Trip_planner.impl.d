@@ -1,0 +1,1 @@
+examples/trip_planner.ml: Fmt Pref_relation Pref_sql Pref_workload Relation Table_fmt

@@ -1,0 +1,1 @@
+examples/xpath_cars.ml: Fmt List Peval Pref_xpath Printf Xml Xml_parser

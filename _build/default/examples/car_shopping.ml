@@ -1,0 +1,81 @@
+(* Example 6 of the paper, end to end: the preference-engineering scenario.
+
+   Julia wants a used car for shared usage with Leslie; the dealer Michael
+   adds domain knowledge and his own interest.  The example builds Q1, Q2
+   and the renegotiated Q1*/Q2* and runs them against a synthetic used-car
+   database.
+
+   Run with:  dune exec examples/car_shopping.exe *)
+
+open Pref_relation
+open Preferences
+
+let show_result title schema rel result =
+  Fmt.pr "@.%s@." title;
+  Fmt.pr "  (%d of %d cars survive)@." (Relation.cardinality result)
+    (Relation.cardinality rel);
+  Table_fmt.print ~max_rows:10
+    (Relation.project result
+       (List.filter
+          (fun c -> List.mem c (Schema.names schema))
+          [ "oid"; "category"; "transmission"; "horsepower"; "price"; "color";
+            "year"; "commission" ]))
+
+let () =
+  let cars = Pref_workload.Cars.relation ~seed:2002 ~n:400 () in
+  let schema = Relation.schema cars in
+  Fmt.pr "Michael's used car database: %d cars@." (Relation.cardinality cars);
+
+  (* Julia's wish list *)
+  let p1 =
+    Pref.pos_pos "category" ~pos1:[ Str "cabriolet" ] ~pos2:[ Str "roadster" ]
+  in
+  let p2 = Pref.pos "transmission" [ Str "automatic" ] in
+  let p3 = Pref.around "horsepower" 100. in
+  let p4 = Pref.lowest "price" in
+  let p5 = Pref.neg "color" [ Str "gray" ] in
+
+  (* Julia decides about relative importance:
+     Q1 = P5 & ((P1 (x) P2 (x) P3) & P4) *)
+  let q1 = Pref.prior p5 (Pref.prior (Pref.pareto_all [ p1; p2; p3 ]) p4) in
+  Fmt.pr "@.Julia's Q1 = %a@." Show.pp q1;
+  show_result "BMO result for Q1:" schema cars (Pref_bmo.Query.sigma schema q1 cars);
+
+  (* Michael adds domain knowledge and his own preference:
+     Q2 = (Q1 & P6) & P7 *)
+  let p6 = Pref.highest "year" in
+  let p7 = Pref.highest "commission" in
+  let q2 = Pref.prior (Pref.prior q1 p6) p7 in
+  Fmt.pr "@.Michael's Q2 = %a@." Show.pp q2;
+  show_result "BMO result for Q2 (customer and vendor mixed, no crash):"
+    schema cars
+    (Pref_bmo.Query.sigma schema q2 cars);
+
+  (* Leslie enters: different colour taste, money matters as much as colour.
+     Q1* = (P5 (x) P8 (x) P4) & (P1 (x) P2 (x) P3) *)
+  let p8 =
+    Pref.pos_neg "color" ~pos:[ Str "blue" ] ~neg:[ Str "gray"; Str "red" ]
+  in
+  let q1_star =
+    Pref.prior (Pref.pareto_all [ p5; p8; p4 ]) (Pref.pareto_all [ p1; p2; p3 ])
+  in
+  Fmt.pr "@.Renegotiated Q1* = %a@." Show.pp q1_star;
+  Fmt.pr "(note: P5 and P8 overlap on color - conflicts are allowed by design)@.";
+  show_result "BMO result for Q1*:" schema cars
+    (Pref_bmo.Query.sigma schema q1_star cars);
+
+  let q2_star = Pref.prior (Pref.prior q1_star p6) p7 in
+  show_result "Final Q2* (with Michael's additions):" schema cars
+    (Pref_bmo.Query.sigma schema q2_star cars);
+
+  (* The same Q1, expressed in Preference SQL. *)
+  let sql =
+    "SELECT oid, category, transmission, horsepower, price, color FROM cars \
+     PREFERRING color <> 'gray' PRIOR TO (category = 'cabriolet' ELSE \
+     category = 'roadster' AND transmission = 'automatic' AND horsepower \
+     AROUND 100) PRIOR TO LOWEST(price)"
+  in
+  Fmt.pr "@.The same wish in Preference SQL:@.  %s@." sql;
+  let result = Pref_sql.Exec.run [ ("cars", cars) ] sql in
+  Table_fmt.print ~max_rows:10 result.Pref_sql.Exec.relation;
+  print_endline "... and the story ends with everybody happy."

@@ -1,0 +1,88 @@
+(* Conflict tolerance and the negotiation reservoir.
+
+   The paper stresses that conflicting preferences "must not crash the
+   system" and that unranked values are "a natural reservoir to negotiate
+   compromises" (§4.1).  This example puts a buyer's and a seller's
+   directly opposed preferences into one Pareto accumulation and shows how
+   the conflict dissolves into unranked compromise candidates.
+
+   Run with:  dune exec examples/negotiation.exe *)
+
+open Pref_relation
+open Preferences
+
+let () =
+  let schema =
+    Schema.make
+      [ ("offer", Value.TStr); ("price", Value.TInt); ("warranty", Value.TInt) ]
+  in
+  let offers =
+    Relation.of_lists schema
+      [
+        [ Str "A"; Int 9000; Int 6 ];
+        [ Str "B"; Int 10000; Int 12 ];
+        [ Str "C"; Int 11000; Int 18 ];
+        [ Str "D"; Int 12000; Int 24 ];
+        [ Str "E"; Int 12000; Int 12 ];
+      ]
+  in
+  Table_fmt.print offers;
+
+  (* Directly opposed single-attribute preferences on price. *)
+  let buyer_price = Pref.lowest "price" in
+  let seller_price = Pref.highest "price" in
+  let conflict = Pref.pareto buyer_price seller_price in
+  Fmt.pr "Buyer (x) Seller on price alone: %a@." Show.pp conflict;
+
+  (* Law (n): P (x) P^d == A<->; the rewriter knows it. *)
+  let simplified = Rewrite.simplify (Pref.pareto buyer_price (Pref.dual buyer_price)) in
+  Fmt.pr "Rewriter: LOWEST(price) (x) LOWEST(price)^d simplifies to %a@."
+    Show.pp simplified;
+
+  let result = Pref_bmo.Query.sigma schema conflict offers in
+  Fmt.pr "@.BMO result of the pure conflict (everything unranked, nobody wins):@.";
+  Table_fmt.print result;
+
+  (* A realistic negotiation: buyer cares about price then warranty, seller
+     about price then a quick sale (low warranty cost). *)
+  let buyer = Pref.prior buyer_price (Pref.highest "warranty") in
+  let seller = Pref.prior seller_price (Pref.lowest "warranty") in
+  let table = Pref.pareto buyer seller in
+  Fmt.pr "@.Negotiation table: %a@." Show.pp table;
+  let candidates = Pref_bmo.Query.sigma schema table offers in
+  Fmt.pr "Pareto-optimal compromise candidates:@.";
+  Table_fmt.print candidates;
+
+  (* Run the concession protocol of Pref_negotiate: each round both sides
+     accept one more quality level of their own better-than graph until a
+     common candidate appears. *)
+  let buyer_party = Pref_negotiate.Negotiate.party ~name:"buyer" buyer in
+  let seller_party = Pref_negotiate.Negotiate.party ~name:"seller" seller in
+  let outcome, rounds =
+    Pref_negotiate.Negotiate.negotiate schema [ buyer_party; seller_party ] offers
+  in
+  Fmt.pr "@.The concession protocol:@.";
+  List.iter
+    (fun r ->
+      Fmt.pr "  round %d: %a -> %d common@." r.Pref_negotiate.Negotiate.round
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf (n, c) -> pf ppf "%s accepts %d" n c))
+        r.Pref_negotiate.Negotiate.acceptable r.Pref_negotiate.Negotiate.common)
+    rounds;
+  Fmt.pr "  %a@." Pref_negotiate.Negotiate.pp_outcome outcome;
+
+  (* The unranked pairs within the result are the space left to haggle over. *)
+  let rows = Relation.rows candidates in
+  let cmp = Pref.cmp schema table in
+  Fmt.pr "Unranked pairs among the candidates (the haggling space):@.";
+  List.iteri
+    (fun i t ->
+      List.iteri
+        (fun j u ->
+          if i < j && Pref_order.Cmp.equal (cmp t u) Pref_order.Cmp.Unranked
+          then
+            Fmt.pr "  %a  ~  %a@." Value.pp (Tuple.get t 0) Value.pp
+              (Tuple.get u 0))
+        rows)
+    rows;
+  print_endline "\nNo system failure, no empty catalog: conflicts became choices."

@@ -1,0 +1,59 @@
+(* Quickstart: build preferences with the public API, run a BMO query, and
+   inspect the better-than graph.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Pref_relation
+open Preferences
+
+let () =
+  (* 1. A database set R: a few used cars. *)
+  let schema =
+    Schema.make
+      [
+        ("model", Value.TStr);
+        ("color", Value.TStr);
+        ("price", Value.TInt);
+        ("mileage", Value.TInt);
+      ]
+  in
+  let cars =
+    Relation.of_lists schema
+      [
+        [ Str "Aster"; Str "red"; Int 14500; Int 81000 ];
+        [ Str "Borealis"; Str "gray"; Int 13000; Int 40000 ];
+        [ Str "Corona"; Str "yellow"; Int 9900; Int 93000 ];
+        [ Str "Dione"; Str "yellow"; Int 15900; Int 28000 ];
+        [ Str "Electra"; Str "blue"; Int 11500; Int 55000 ];
+      ]
+  in
+  print_endline "The database set R:";
+  Table_fmt.print cars;
+
+  (* 2. Wishes as preferences: yellow if possible but not gray, a low price
+        and a low mileage being equally important, and all of that more
+        important than the colour taste. *)
+  let colour = Pref.pos_neg "color" ~pos:[ Str "yellow" ] ~neg:[ Str "gray" ] in
+  let money = Pref.pareto (Pref.lowest "price") (Pref.lowest "mileage") in
+  let wish = Pref.prior money colour in
+  Fmt.pr "Preference term: %a@." Show.pp wish;
+
+  (* 3. The BMO query sigma[P](R): best matches only. *)
+  let best = Pref_bmo.Query.sigma schema wish cars in
+  print_endline "\nsigma[P](R) - the best matches:";
+  Table_fmt.print best;
+
+  (* 4. Quality inspection: the whole better-than graph of P over R. *)
+  let graph = Show.better_than_graph schema wish cars in
+  print_endline "Better-than graph of the database preference, by level:";
+  Fmt.pr "%a@." (Show.pp_graph schema [ "model" ]) graph;
+
+  (* 5. The same wish, written in Preference SQL. *)
+  let result =
+    Pref_sql.Exec.run
+      [ ("cars", cars) ]
+      "SELECT model, price, mileage FROM cars PREFERRING (LOWEST(price) AND \
+       LOWEST(mileage)) PRIOR TO color = 'yellow' ELSE color <> 'gray'"
+  in
+  print_endline "Via Preference SQL:";
+  Table_fmt.print result.Pref_sql.Exec.relation

@@ -1,0 +1,44 @@
+(* Preference XPath (§6.1): the paper's queries Q1 and Q2 against an XML
+   car catalog.
+
+   Run with:  dune exec examples/xpath_cars.exe *)
+
+open Pref_xpath
+
+let catalog =
+  {|<CARS dealer="Michael">
+  <CAR color="black" price="9500"  mileage="60000" fuel_economy="40" horsepower="110"/>
+  <CAR color="white" price="10500" mileage="30000" fuel_economy="35" horsepower="150"/>
+  <CAR color="red"   price="9900"  mileage="45000" fuel_economy="40" horsepower="150"/>
+  <CAR color="black" price="20000" mileage="10000" fuel_economy="30" horsepower="220"/>
+  <CAR color="white" price="9800"  mileage="75000" fuel_economy="38" horsepower="100"/>
+</CARS>|}
+
+let show title nodes =
+  Fmt.pr "@.%s@." title;
+  if nodes = [] then print_endline "  (no matches)"
+  else List.iter (fun n -> Fmt.pr "  %s" (Xml.to_string n)) nodes
+
+let () =
+  let doc = Xml_parser.parse catalog in
+  Fmt.pr "Catalog:%s@." "";
+  print_string (Xml.to_string doc);
+
+  (* Q1 from the paper *)
+  let q1 = "/CARS/CAR #[(@fuel_economy)highest and (@horsepower)highest]#" in
+  show (Printf.sprintf "Q1: %s" q1) (Peval.run doc q1);
+
+  (* Q2 from the paper *)
+  let q2 =
+    "/CARS/CAR #[(@color)in(\"black\", \"white\")prior to(@price)around \
+     10000]# #[(@mileage)lowest]#"
+  in
+  show (Printf.sprintf "Q2: %s" q2) (Peval.run doc q2);
+
+  (* hard and soft selections mixed in one location step *)
+  let q3 = "/CARS/CAR[@price < 15000] #[(@mileage)lowest and (@price)lowest]#" in
+  show (Printf.sprintf "Q3 (hard + soft): %s" q3) (Peval.run doc q3);
+
+  (* descendant axis with a wildcard *)
+  let q4 = "//* [@horsepower >= 150] #[(@price)lowest]#" in
+  show (Printf.sprintf "Q4 (//*): %s" q4) (Peval.run doc q4)

@@ -1,0 +1,1 @@
+lib/bmo/bbs.ml: Array Dnc Heap Kdtree List Pref_relation Relation

@@ -1,0 +1,1 @@
+lib/bmo/bbs.mli: Pref_relation Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/bmo/bnl.ml: Dominance List Pref_relation Relation

@@ -1,0 +1,1 @@
+lib/bmo/decompose.ml: Attr Bnl Groupby List Naive Pref Pref_relation Preferences Relation

@@ -1,0 +1,1 @@
+lib/bmo/decompose.mli: Pref_relation Preferences Relation Schema Tuple

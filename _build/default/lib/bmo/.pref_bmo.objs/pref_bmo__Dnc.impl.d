@@ -1,0 +1,1 @@
+lib/bmo/dnc.ml: Array Float Hashtbl List Pref_relation Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/bmo/dnc.mli: Pref_relation Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/bmo/dominance.ml: Pref_relation Preferences Tuple

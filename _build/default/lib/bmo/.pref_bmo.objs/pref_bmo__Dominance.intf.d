@@ -1,0 +1,1 @@
+lib/bmo/dominance.mli: Pref_relation Preferences Schema Tuple

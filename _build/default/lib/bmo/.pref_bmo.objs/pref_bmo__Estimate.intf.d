@@ -1,0 +1,1 @@
+lib/bmo/estimate.mli:

@@ -1,0 +1,1 @@
+lib/bmo/explain.ml: Dominance Float Fmt List Pref Pref_relation Preferences Quality Relation Tuple

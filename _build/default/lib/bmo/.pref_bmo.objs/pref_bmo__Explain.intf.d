@@ -1,0 +1,1 @@
+lib/bmo/explain.mli: Fmt Pref_relation Preferences Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/bmo/groupby.ml: Dominance List Naive Pref Pref_relation Preferences Relation

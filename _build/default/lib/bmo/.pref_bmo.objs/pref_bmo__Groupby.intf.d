@@ -1,0 +1,1 @@
+lib/bmo/groupby.mli: Pref_relation Preferences Relation Schema

@@ -1,0 +1,1 @@
+lib/bmo/heap.mli:

@@ -1,0 +1,1 @@
+lib/bmo/incremental.ml: Dominance List Naive Pref_relation Relation Schema Tuple

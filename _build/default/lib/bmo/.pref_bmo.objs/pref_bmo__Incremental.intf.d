@@ -1,0 +1,1 @@
+lib/bmo/incremental.mli: Pref_relation Preferences Relation Schema Tuple

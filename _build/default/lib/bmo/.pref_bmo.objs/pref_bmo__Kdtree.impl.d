@@ -1,0 +1,1 @@
+lib/bmo/kdtree.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/bmo/naive.ml: Dominance List Pref_relation Relation

@@ -1,0 +1,1 @@
+lib/bmo/naive.mli: Dominance Pref_relation Preferences Relation Schema Tuple

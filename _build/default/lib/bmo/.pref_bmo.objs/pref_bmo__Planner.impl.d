@@ -1,0 +1,1 @@
+lib/bmo/planner.ml: Attr Bnl Decompose Dnc List Naive Pref Pref_relation Preferences Printf Relation Schema Sfs Show String Tuple Value

@@ -1,0 +1,1 @@
+lib/bmo/planner.mli: Pref_relation Preferences Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/bmo/query.ml: Bnl Decompose Dominance Groupby List Naive Planner Pref_relation Relation

@@ -1,0 +1,1 @@
+lib/bmo/query.mli: Pref_relation Preferences Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/bmo/sfs.ml: Dominance Float List Pref_relation Relation Schema Seq Tuple Value

@@ -1,0 +1,1 @@
+lib/bmo/sfs.mli: Dominance Pref_relation Preferences Relation Schema Seq Tuple

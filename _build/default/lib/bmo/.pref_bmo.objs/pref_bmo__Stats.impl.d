@@ -1,0 +1,1 @@
+lib/bmo/stats.ml: Bnl Dominance Naive Pref Pref_relation Preferences Relation

@@ -1,0 +1,1 @@
+lib/bmo/stats.mli: Pref_relation Preferences Relation Schema

@@ -1,0 +1,1 @@
+lib/bmo/topk.ml: Array Float Hashtbl List Pref Pref_relation Preferences Relation Tuple

@@ -1,0 +1,1 @@
+lib/bmo/topk.mli: Pref_relation Preferences Relation Schema Tuple

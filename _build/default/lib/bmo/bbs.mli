@@ -1,0 +1,24 @@
+(** Branch & bound skyline over a kd-tree index (BBS-style).
+
+    Realises the paper's roadmap item on index methods for efficient
+    'better-than' testing: per-node bounding boxes let one dominance test
+    discard a whole subtree, and the best-first order makes every reported
+    point final (progressive delivery). Works for Pareto accumulations of
+    same-direction numeric chains, like {!Dnc}. *)
+
+open Pref_relation
+
+type stats = {
+  nodes_visited : int;
+  points_tested : int;
+  pruned_subtrees : int;
+}
+
+val maxima :
+  dims:(Tuple.t -> float array) -> Tuple.t list -> Tuple.t list * stats
+(** Skyline under vector dominance of [dims] (all coordinates maximised);
+    input order preserved. *)
+
+val query :
+  Schema.t -> attrs:string list -> maximize:bool -> Relation.t ->
+  Relation.t * stats

@@ -1,0 +1,27 @@
+open Pref_relation
+
+let maxima (dom : Dominance.t) rows =
+  (* Window of mutually undominated tuples seen so far.  A candidate
+     dominated by a window tuple is discarded; window tuples dominated by
+     the candidate are evicted.  With unbounded memory no temporary file is
+     needed, so a single pass suffices (the in-memory special case of
+     block-nested-loops from the skyline paper). *)
+  let insert window t =
+    let rec scan = function
+      | [] -> Some []
+      | w :: rest ->
+        if dom w t then None
+        else (
+          match scan rest with
+          | None -> None
+          | Some kept -> Some (if dom t w then kept else w :: kept))
+    in
+    match scan window with
+    | None -> window
+    | Some kept -> t :: kept
+  in
+  List.rev (List.fold_left insert [] rows)
+
+let query schema p rel =
+  let dom = Dominance.of_pref schema p in
+  Relation.make (Relation.schema rel) (maxima dom (Relation.rows rel))

@@ -1,0 +1,13 @@
+(** Block-nested-loops BMO evaluation ([BKS01], in-memory variant).
+
+    Maintains a window of mutually undominated tuples; average-case far
+    fewer comparisons than {!Naive} because dominated tuples are discarded
+    on the fly and never compared again. Correct for every strict partial
+    order: transitivity guarantees a tuple dominated by an evicted window
+    tuple is also dominated by the evicting one. Result order: first
+    appearance order of the surviving tuples. *)
+
+open Pref_relation
+
+val maxima : Dominance.t -> Tuple.t list -> Tuple.t list
+val query : Schema.t -> Preferences.Pref.t -> Relation.t -> Relation.t

@@ -1,0 +1,36 @@
+(** Decomposition-based BMO evaluation (Propositions 8–12).
+
+    Evaluates σ[P](R) by structurally decomposing the preference term: the
+    disjoint-union and intersection aggregations decompose into set
+    operations on sub-results (Prop. 8 and 9, the latter with the YY set of
+    Definition 17), prioritized accumulation into grouping (Prop. 10), and
+    Pareto accumulation into the three-way union of the main decomposition
+    theorem (Prop. 12). Leaves and non-decomposable nodes fall back to
+    {!Naive}. This is the divide & conquer skeleton the paper proposes for a
+    preference query optimizer.
+
+    Results carry {e set} semantics (duplicates removed); compare against
+    other algorithms with {!Relation.equal_as_sets}. *)
+
+open Pref_relation
+
+val yy : Schema.t -> Preferences.Pref.t -> Preferences.Pref.t -> Relation.t
+  -> Tuple.t list
+(** YY(P1, P2)_R (Definition 17): tuples non-maximal in both database
+    preferences whose better-than sets within R[A] do not intersect. The
+    ↑-sets are evaluated within R, following the appendix proof of
+    Proposition 9 (over the full domain the identity would fail). *)
+
+val yy_relation :
+  Schema.t -> Preferences.Pref.t -> Preferences.Pref.t -> Relation.t ->
+  Relation.t
+(** {!yy} packaged as a relation over the input's schema. *)
+
+val eval : Schema.t -> Preferences.Pref.t -> Relation.t -> Relation.t
+(** σ[P](R) via the decomposition theorems. *)
+
+val cascade :
+  Schema.t -> Preferences.Pref.t -> Preferences.Pref.t -> Relation.t ->
+  Relation.t
+(** Proposition 11: σ[P2](σ[P1](R)), equal to σ[P1 & P2](R) {e when P1 is a
+    chain on R} — the caller is responsible for that precondition. *)

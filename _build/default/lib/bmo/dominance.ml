@@ -1,0 +1,13 @@
+open Pref_relation
+
+type t = Tuple.t -> Tuple.t -> bool
+
+let of_pref schema p = Preferences.Pref.compile_better schema p
+
+let counting dom =
+  let n = ref 0 in
+  let dom' a b =
+    incr n;
+    dom a b
+  in
+  (dom', fun () -> !n)

@@ -1,0 +1,15 @@
+(** Dominance tests — the 'better-than' checks driving BMO evaluation.
+
+    [dom a b] holds when tuple [a] is strictly better than tuple [b]
+    ([b <_P a]). All BMO algorithms are parameterised over such a test so
+    they work for every preference constructor. *)
+
+open Pref_relation
+
+type t = Tuple.t -> Tuple.t -> bool
+
+val of_pref : Schema.t -> Preferences.Pref.t -> t
+(** Compiled dominance test of a preference term. *)
+
+val counting : t -> t * (unit -> int)
+(** Instrument a test with a comparison counter, for the cost experiments. *)

@@ -1,0 +1,42 @@
+(* Analytic skyline-cardinality estimation.
+
+   For n points drawn independently and uniformly per dimension (no ties),
+   the expected number of d-dimensional Pareto maxima satisfies the classic
+   recurrence  E[S(n, d)] = sum_{k=1..n} E[S(k, d-1)] / k  with
+   E[S(n, 1)] = 1, i.e. the generalized harmonic numbers:
+   E[S(n, 2)] = H_n ~ ln n, and in general Theta(ln^(d-1) n / (d-1)!).
+   The planner uses this to anticipate window blow-up. *)
+
+let harmonic n =
+  let rec go k acc = if k > n then acc else go (k + 1) (acc +. (1. /. float_of_int k)) in
+  go 1 0.
+
+let expected_skyline_size ~n ~dims =
+  if n <= 0 then 0.
+  else if dims <= 0 then invalid_arg "Estimate.expected_skyline_size: dims < 1"
+  else if dims = 1 then 1.
+  else begin
+    (* dynamic programming over the recurrence; O(n * dims) *)
+    let e = Array.make (n + 1) 1. in
+    (* e.(k) = E[S(k, current_d)]; start at d = 1 where it is 1 for k >= 1 *)
+    e.(0) <- 0.;
+    for _d = 2 to dims do
+      let acc = ref 0. in
+      let next = Array.make (n + 1) 0. in
+      for k = 1 to n do
+        acc := !acc +. (e.(k) /. float_of_int k);
+        next.(k) <- !acc
+      done;
+      Array.blit next 0 e 0 (n + 1)
+    done;
+    e.(n)
+  end
+
+let log_closed_form ~n ~dims =
+  (* the Theta(ln^(d-1) n / (d-1)!) asymptotic, for sanity checks *)
+  if n <= 1 then 1.
+  else begin
+    let rec fact k = if k <= 1 then 1. else float_of_int k *. fact (k - 1) in
+    Float.pow (log (float_of_int n)) (float_of_int (dims - 1))
+    /. fact (dims - 1)
+  end

@@ -1,0 +1,17 @@
+(** Analytic estimation of BMO result sizes for skylines.
+
+    Under the independent-uniform model (the "independent" family of the
+    skyline benchmarks), the expected number of Pareto maxima follows the
+    classic recurrence E[S(n,d)] = Σₖ E[S(k,d−1)]/k — Θ(lnᵈ⁻¹ n / (d−1)!).
+    Anti-correlated data blows past this, correlated data stays below it;
+    the estimator gives the planner and the experiments a neutral baseline
+    for "how adaptive is the BMO filter". *)
+
+val harmonic : int -> float
+(** H_n = E[S(n, 2)]. *)
+
+val expected_skyline_size : n:int -> dims:int -> float
+(** Exact expectation by dynamic programming; O(n·d). Raises on dims < 1. *)
+
+val log_closed_form : n:int -> dims:int -> float
+(** The asymptotic lnᵈ⁻¹(n)/(d−1)! for sanity comparisons. *)

@@ -1,0 +1,85 @@
+open Pref_relation
+open Preferences
+
+type quality =
+  | Level of int  (** discrete level under the intrinsic level function *)
+  | Distance of float  (** distance under the continuous distance function *)
+  | Opaque  (** no quality function for this base preference *)
+
+type t = {
+  tuple : Tuple.t;
+  in_result : bool;
+  dominators : Tuple.t list;  (** witnesses that exclude the tuple *)
+  graph_level : int;  (** level in the database better-than graph *)
+  qualities : (string * quality) list;  (** per attribute of the preference *)
+}
+
+let qualities_of schema p t =
+  List.map
+    (fun attr ->
+      let q =
+        match Quality.level_of schema p attr t with
+        | Some l -> Level l
+        | None -> (
+          match Quality.distance_of schema p attr t with
+          | Some d -> Distance d
+          | None -> Opaque)
+      in
+      (attr, q))
+    (Pref.attrs p)
+
+let explain schema p rel t =
+  let dom = Dominance.of_pref schema p in
+  let dominators = List.filter (fun u -> dom u t) (Relation.rows rel) in
+  {
+    tuple = t;
+    in_result = dominators = [];
+    dominators;
+    graph_level = Quality.level_in_graph schema p rel t;
+    qualities = qualities_of schema p t;
+  }
+
+let pp_quality ppf = function
+  | Level l -> Fmt.pf ppf "level %d" l
+  | Distance d ->
+    if Float.is_integer d then Fmt.pf ppf "distance %.0f" d
+    else Fmt.pf ppf "distance %g" d
+  | Opaque -> Fmt.string ppf "-"
+
+let pp ppf e =
+  Fmt.pf ppf "%a: %s (graph level %d)@." Tuple.pp e.tuple
+    (if e.in_result then "BEST MATCH" else "dominated")
+    e.graph_level;
+  List.iter
+    (fun (attr, q) -> Fmt.pf ppf "  %-16s %a@." attr pp_quality q)
+    e.qualities;
+  match e.dominators with
+  | [] -> ()
+  | ds ->
+    Fmt.pf ppf "  dominated by %d tuple(s), e.g. %a@." (List.length ds) Tuple.pp
+      (List.hd ds)
+
+let to_string e = Fmt.str "%a" pp e
+
+(* The negotiation reservoir (§4.1): unranked pairs within a tuple set are
+   the compromises left open by the preference. *)
+let unranked_pairs schema p rows =
+  let lt = Pref.compile schema p in
+  let names = Pref.attrs p in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | t :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc u ->
+            if
+              (not (Tuple.equal_on schema names t u))
+              && (not (lt t u))
+              && not (lt u t)
+            then (t, u) :: acc
+            else acc)
+          acc rest
+      in
+      go acc rest
+  in
+  go [] rows

@@ -1,0 +1,37 @@
+(** Query explanation (§6.1: the LEVEL and DISTANCE quality functions "can
+    be exploited for advanced query explanation").
+
+    For a tuple, a preference and a database set, report whether the tuple
+    is a best match, which tuples exclude it, its level in the database
+    better-than graph, and its per-attribute quality values. *)
+
+open Pref_relation
+
+type quality =
+  | Level of int
+  | Distance of float
+  | Opaque
+
+type t = {
+  tuple : Tuple.t;
+  in_result : bool;
+  dominators : Tuple.t list;
+  graph_level : int;
+  qualities : (string * quality) list;
+}
+
+val explain :
+  Schema.t -> Preferences.Pref.t -> Relation.t -> Tuple.t -> t
+(** O(|R|²) in the worst case (graph level computation); intended for
+    interactive explanation, not bulk evaluation. *)
+
+val qualities_of :
+  Schema.t -> Preferences.Pref.t -> Tuple.t -> (string * quality) list
+
+val unranked_pairs :
+  Schema.t -> Preferences.Pref.t -> Tuple.t list -> (Tuple.t * Tuple.t) list
+(** All unranked pairs with distinct projections — the "natural reservoir to
+    negotiate compromises" of §4.1. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

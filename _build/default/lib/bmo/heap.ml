@@ -1,0 +1,66 @@
+(* A binary max-heap on float priorities — the priority queue behind the
+   best-first branch & bound traversal. *)
+
+type 'a t = {
+  mutable data : (float * 'a) array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+
+let is_empty h = h.size = 0
+let size h = h.size
+
+let grow h =
+  let cap = Array.length h.data in
+  if h.size >= cap then begin
+    let ncap = max 16 (2 * cap) in
+    let data = Array.make ncap (0., snd h.data.(0)) in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if fst h.data.(i) > fst h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = ref i in
+  if l < h.size && fst h.data.(l) > fst h.data.(!largest) then largest := l;
+  if r < h.size && fst h.data.(r) > fst h.data.(!largest) then largest := r;
+  if !largest <> i then begin
+    swap h i !largest;
+    sift_down h !largest
+  end
+
+let push h priority v =
+  if Array.length h.data = 0 then h.data <- Array.make 16 (priority, v);
+  grow h;
+  h.data.(h.size) <- (priority, v);
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let peek h = if h.size = 0 then None else Some h.data.(0)

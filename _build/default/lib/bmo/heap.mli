@@ -1,0 +1,12 @@
+(** A binary max-heap keyed by float priorities. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+(** Largest priority first. *)
+
+val peek : 'a t -> (float * 'a) option

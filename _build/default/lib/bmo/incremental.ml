@@ -1,0 +1,77 @@
+open Pref_relation
+
+(* Incremental maintenance of sigma[P](R) under inserts and deletes.
+
+   BMO results are non-monotonic (Example 9): an insert can both add to and
+   evict from the result, and a delete can resurrect previously dominated
+   tuples.  The classic approach keeps the non-result tuples around:
+
+   - insert t: if some result tuple dominates t, t goes to the shadow;
+     otherwise t enters the result and evicts the result tuples it
+     dominates (they move to the shadow).
+   - delete t: removing a shadow tuple changes nothing; removing a result
+     tuple may promote shadow tuples that were only dominated by it —
+     those are re-screened against the remaining rows.
+
+   All operations are linear scans (no index), which is already far cheaper
+   than recomputation for the common case. *)
+
+type t = {
+  schema : Schema.t;
+  dominates : Dominance.t;
+  mutable result : Tuple.t list;  (** current sigma[P](R), newest first *)
+  mutable shadow : Tuple.t list;  (** dominated tuples, newest first *)
+}
+
+let create schema pref rows =
+  let dominates = Dominance.of_pref schema pref in
+  let result = Naive.maxima dominates rows in
+  let shadow =
+    List.filter (fun t -> not (List.memq t result)) rows
+  in
+  { schema; dominates; result; shadow }
+
+let result t = Relation.make t.schema (List.rev t.result)
+let size t = List.length t.result
+let cardinality t = List.length t.result + List.length t.shadow
+
+let insert t row =
+  if List.exists (fun r -> t.dominates r row) t.result then
+    (* dominated on arrival *)
+    t.shadow <- row :: t.shadow
+  else begin
+    let evicted, kept = List.partition (fun r -> t.dominates row r) t.result in
+    t.result <- row :: kept;
+    t.shadow <- evicted @ t.shadow
+  end
+
+let delete t row =
+  let removed_from_result = List.exists (Tuple.equal row) t.result in
+  let remove l =
+    (* remove one occurrence *)
+    let rec go acc = function
+      | [] -> List.rev acc
+      | x :: rest ->
+        if Tuple.equal x row then List.rev_append acc rest else go (x :: acc) rest
+    in
+    go [] l
+  in
+  if removed_from_result then begin
+    t.result <- remove t.result;
+    (* shadow tuples may only have been dominated by the removed tuple;
+       re-screen them against everything that remains *)
+    let all = t.result @ t.shadow in
+    let promoted, still_shadow =
+      List.partition
+        (fun s -> not (List.exists (fun u -> t.dominates u s) all))
+        t.shadow
+    in
+    t.result <- promoted @ t.result;
+    t.shadow <- still_shadow;
+    true
+  end
+  else if List.exists (Tuple.equal row) t.shadow then begin
+    t.shadow <- remove t.shadow;
+    true
+  end
+  else false

@@ -1,0 +1,27 @@
+(** Incremental maintenance of σ[P](R) under inserts and deletes.
+
+    Because BMO queries are non-monotonic (Example 9), inserts can evict
+    current best matches and deletes can resurrect previously dominated
+    tuples; this structure keeps the dominated tuples in a shadow set so
+    both updates are handled without recomputing from scratch. The test
+    suite checks every update sequence against batch recomputation. *)
+
+open Pref_relation
+
+type t
+
+val create : Schema.t -> Preferences.Pref.t -> Tuple.t list -> t
+
+val result : t -> Relation.t
+(** The current σ[P](R), in insertion order. *)
+
+val size : t -> int
+(** Number of best matches. *)
+
+val cardinality : t -> int
+(** Total rows maintained (result + shadow). *)
+
+val insert : t -> Tuple.t -> unit
+
+val delete : t -> Tuple.t -> bool
+(** Remove one occurrence; [false] when the tuple is not present. *)

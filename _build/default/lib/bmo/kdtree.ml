@@ -1,0 +1,93 @@
+(* A kd-tree over d-dimensional float points, with per-node bounding boxes.
+   This is the "index method for efficient better-than testing" of the
+   paper's roadmap: bounding boxes let whole subtrees be discarded with a
+   single dominance test (see {!Bbs}). *)
+
+type node =
+  | Leaf of int array  (** indices into the point array *)
+  | Split of {
+      left : node;
+      right : node;
+      bbox_min : float array;
+      bbox_max : float array;
+    }
+
+type t = {
+  points : float array array;
+  root : node;
+  dims : int;
+}
+
+let leaf_size = 16
+
+let bbox_of points idxs =
+  match idxs with
+  | [] -> invalid_arg "Kdtree.bbox_of: empty"
+  | first :: _ ->
+    let d = Array.length points.(first) in
+    let mins = Array.copy points.(first) and maxs = Array.copy points.(first) in
+    List.iter
+      (fun i ->
+        let p = points.(i) in
+        for k = 0 to d - 1 do
+          if p.(k) < mins.(k) then mins.(k) <- p.(k);
+          if p.(k) > maxs.(k) then maxs.(k) <- p.(k)
+        done)
+      idxs;
+    (mins, maxs)
+
+let node_bbox points = function
+  | Leaf idxs -> bbox_of points (Array.to_list idxs)
+  | Split s -> (s.bbox_min, s.bbox_max)
+
+let rec build_node points idxs depth dims =
+  if List.length idxs <= leaf_size then Leaf (Array.of_list idxs)
+  else begin
+    let axis = depth mod dims in
+    let sorted =
+      List.sort
+        (fun i j -> Float.compare points.(i).(axis) points.(j).(axis))
+        idxs
+    in
+    let n = List.length sorted in
+    let rec split k left = function
+      | [] -> (List.rev left, [])
+      | rest when k = 0 -> (List.rev left, rest)
+      | x :: rest -> split (k - 1) (x :: left) rest
+    in
+    let left_idxs, right_idxs = split (n / 2) [] sorted in
+    match left_idxs, right_idxs with
+    | [], _ | _, [] -> Leaf (Array.of_list idxs) (* degenerate: all equal *)
+    | _ ->
+      let left = build_node points left_idxs (depth + 1) dims in
+      let right = build_node points right_idxs (depth + 1) dims in
+      let lmin, lmax = node_bbox points left in
+      let rmin, rmax = node_bbox points right in
+      let d = Array.length lmin in
+      let bbox_min = Array.init d (fun k -> Float.min lmin.(k) rmin.(k)) in
+      let bbox_max = Array.init d (fun k -> Float.max lmax.(k) rmax.(k)) in
+      Split { left; right; bbox_min; bbox_max }
+  end
+
+let build points =
+  if Array.length points = 0 then invalid_arg "Kdtree.build: no points";
+  let dims = Array.length points.(0) in
+  Array.iter
+    (fun p ->
+      if Array.length p <> dims then
+        invalid_arg "Kdtree.build: inconsistent dimensionality")
+    points;
+  let idxs = List.init (Array.length points) (fun i -> i) in
+  { points; root = build_node points idxs 0 dims; dims }
+
+let root t = t.root
+let points t = t.points
+let dims t = t.dims
+
+let rec size_of = function
+  | Leaf idxs -> Array.length idxs
+  | Split s -> size_of s.left + size_of s.right
+
+let rec depth_of = function
+  | Leaf _ -> 1
+  | Split s -> 1 + max (depth_of s.left) (depth_of s.right)

@@ -1,0 +1,29 @@
+(** A kd-tree over d-dimensional float points with per-node bounding boxes —
+    the index substrate for branch & bound BMO evaluation ({!Bbs}), per the
+    paper's roadmap item "the use of index methods for efficient
+    'better-than' testing". *)
+
+type node =
+  | Leaf of int array
+  | Split of {
+      left : node;
+      right : node;
+      bbox_min : float array;
+      bbox_max : float array;
+    }
+
+type t
+
+val build : float array array -> t
+(** Median splits, cycling axes, leaves of ≤ 16 points. Raises
+    [Invalid_argument] on empty input or mixed dimensionality. *)
+
+val root : t -> node
+val points : t -> float array array
+val dims : t -> int
+
+val node_bbox : float array array -> node -> float array * float array
+(** (mins, maxs) of a node's points. *)
+
+val size_of : node -> int
+val depth_of : node -> int

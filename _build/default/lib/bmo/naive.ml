@@ -1,0 +1,10 @@
+open Pref_relation
+
+let maxima (dom : Dominance.t) rows =
+  List.filter
+    (fun t -> not (List.exists (fun u -> dom u t) rows))
+    rows
+
+let query schema p rel =
+  let dom = Dominance.of_pref schema p in
+  Relation.make (Relation.schema rel) (maxima dom (Relation.rows rel))

@@ -1,0 +1,135 @@
+open Pref_relation
+open Preferences
+
+type plan =
+  | Plan_naive
+  | Plan_bnl
+  | Plan_sfs of { attrs : string list; maximize : bool }
+  | Plan_dnc of { attrs : string list; maximize : bool }
+  | Plan_cascade of Pref.t * Pref.t  (** Proposition 11: chain & rest *)
+  | Plan_decompose
+
+let plan_to_string = function
+  | Plan_naive -> "naive"
+  | Plan_bnl -> "bnl"
+  | Plan_sfs { attrs; maximize } ->
+    Printf.sprintf "sfs(%s %s)" (String.concat "," attrs)
+      (if maximize then "max" else "min")
+  | Plan_dnc { attrs; maximize } ->
+    Printf.sprintf "dnc(%s %s)" (String.concat "," attrs)
+      (if maximize then "max" else "min")
+  | Plan_cascade (p1, p2) ->
+    Printf.sprintf "cascade(%s; %s)" (Show.to_string p1) (Show.to_string p2)
+  | Plan_decompose -> "decompose"
+
+(* ------------------------------------------------------------------ *)
+(* Structural analysis                                                 *)
+
+(* Is the term a Pareto accumulation of pure numeric chains, all in the
+   same direction?  Then the [KLP75] divide & conquer and SFS apply. *)
+let rec chain_dims = function
+  | Pref.Highest a -> Some ([ a ], true)
+  | Pref.Lowest a -> Some ([ a ], false)
+  | Pref.Dual p -> (
+    match chain_dims p with
+    | Some (attrs, maximize) -> Some (attrs, not maximize)
+    | None -> None)
+  | Pref.Pareto (p, q) -> (
+    match chain_dims p, chain_dims q with
+    | Some (a1, m1), Some (a2, m2) when m1 = m2 && Attr.disjoint a1 a2 ->
+      Some (a1 @ a2, m1)
+    | _ -> None)
+  | Pref.Pos _ | Pref.Neg _ | Pref.Pos_neg _ | Pref.Pos_pos _
+  | Pref.Explicit _ | Pref.Around _ | Pref.Between _ | Pref.Score _
+  | Pref.Antichain _ | Pref.Prior _ | Pref.Rank _ | Pref.Inter _
+  | Pref.Dunion _ | Pref.Lsum _ | Pref.Two_graphs _ ->
+    None
+
+(* Is the head of a prioritization a chain on the data?  We accept the
+   syntactic chains (LOWEST / HIGHEST / injective-by-construction rank is
+   not guaranteed, so only the first two). *)
+let syntactic_chain = function
+  | Pref.Lowest _ | Pref.Highest _ -> true
+  | Pref.Dual (Pref.Lowest _) | Pref.Dual (Pref.Highest _) -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Sampling-based statistics                                           *)
+
+let sample_rows rows ~size =
+  let n = List.length rows in
+  if n <= size then rows
+  else begin
+    let step = n / size in
+    List.filteri (fun i _ -> i mod step = 0) rows
+  end
+
+(* Pearson correlation of the first two numeric dims on a sample: strongly
+   negative correlation predicts large skylines, where divide & conquer
+   dominates window algorithms. *)
+let sampled_correlation schema attrs rows =
+  match attrs with
+  | a :: b :: _ -> (
+    let ia = Schema.index_of_exn schema a and ib = Schema.index_of_exn schema b in
+    let sample = sample_rows rows ~size:500 in
+    let xs =
+      List.filter_map
+        (fun t ->
+          match Value.as_float (Tuple.get t ia), Value.as_float (Tuple.get t ib) with
+          | Some x, Some y -> Some (x, y)
+          | _ -> None)
+        sample
+    in
+    match xs with
+    | [] | [ _ ] -> 0.0
+    | _ ->
+      let n = float_of_int (List.length xs) in
+      let mx = List.fold_left (fun acc (x, _) -> acc +. x) 0. xs /. n in
+      let my = List.fold_left (fun acc (_, y) -> acc +. y) 0. xs /. n in
+      let cov =
+        List.fold_left (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my))) 0. xs
+      in
+      let sx =
+        sqrt (List.fold_left (fun acc (x, _) -> acc +. ((x -. mx) ** 2.)) 0. xs)
+      in
+      let sy =
+        sqrt (List.fold_left (fun acc (_, y) -> acc +. ((y -. my) ** 2.)) 0. xs)
+      in
+      if sx = 0. || sy = 0. then 0. else cov /. (sx *. sy))
+  | _ -> 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Plan choice                                                         *)
+
+let choose schema p rel =
+  let rows = Relation.rows rel in
+  let n = List.length rows in
+  if n <= 64 then Plan_naive
+  else
+    match p with
+    | Pref.Prior (p1, p2) when syntactic_chain p1 ->
+      (* Proposition 11: evaluate the chain first, then the rest on the
+         (typically tiny) intermediate result *)
+      Plan_cascade (p1, p2)
+    | _ -> (
+      match chain_dims p with
+      | Some (attrs, maximize) ->
+        let r = sampled_correlation schema attrs rows in
+        let anti = r < -0.3 in
+        if anti && List.length attrs >= 2 then Plan_dnc { attrs; maximize }
+        else Plan_bnl
+      | None -> Plan_bnl)
+
+let execute schema p rel plan =
+  match plan with
+  | Plan_naive -> Naive.query schema p rel
+  | Plan_bnl -> Bnl.query schema p rel
+  | Plan_sfs { attrs; maximize } ->
+    Sfs.query schema ~key:(Sfs.sum_key schema attrs ~maximize) p rel
+  | Plan_dnc { attrs; maximize } -> Dnc.query schema ~attrs ~maximize rel
+  | Plan_cascade (p1, p2) -> Decompose.cascade schema p1 p2 rel
+  | Plan_decompose -> Decompose.eval schema p rel
+
+let run schema p rel =
+  let plan = choose schema p rel in
+  (execute schema p rel plan, plan)

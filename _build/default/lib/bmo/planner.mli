@@ -1,0 +1,45 @@
+(** A cost-based plan chooser for BMO queries — the optimizer skeleton the
+    paper's roadmap asks for ("cost-based optimization to choose between
+    direct implementations of the Pareto operator and divide & conquer
+    algorithms", §7).
+
+    Heuristics implemented:
+    - tiny inputs run naively (no setup cost);
+    - a prioritization headed by a syntactic chain becomes a query cascade
+      (Proposition 11): the chain prunes the input to a thin slice first;
+    - a Pareto accumulation of same-direction numeric chains is a skyline;
+      a sampled correlation estimate picks [KLP75] divide & conquer on
+      anti-correlated data (large skylines) and BNL otherwise;
+    - everything else runs BNL.
+
+    All plans compute σ[P](R) exactly; the test suite checks each against
+    the naive evaluation. *)
+
+open Pref_relation
+
+type plan =
+  | Plan_naive
+  | Plan_bnl
+  | Plan_sfs of { attrs : string list; maximize : bool }
+  | Plan_dnc of { attrs : string list; maximize : bool }
+  | Plan_cascade of Preferences.Pref.t * Preferences.Pref.t
+  | Plan_decompose
+
+val plan_to_string : plan -> string
+
+val chain_dims : Preferences.Pref.t -> (string list * bool) option
+(** [Some (attrs, maximize)] when the term is a Pareto accumulation of
+    same-direction numeric chains over disjoint attributes. *)
+
+val sampled_correlation :
+  Schema.t -> string list -> Tuple.t list -> float
+(** Pearson correlation of the first two numeric attributes over a sample
+    of at most 500 rows; 0 when not estimable. *)
+
+val choose : Schema.t -> Preferences.Pref.t -> Relation.t -> plan
+val execute :
+  Schema.t -> Preferences.Pref.t -> Relation.t -> plan -> Relation.t
+
+val run :
+  Schema.t -> Preferences.Pref.t -> Relation.t -> Relation.t * plan
+(** Choose and execute; returns the chosen plan for EXPLAIN output. *)

@@ -1,0 +1,62 @@
+open Pref_relation
+
+type algorithm =
+  | Alg_naive
+  | Alg_bnl
+  | Alg_decompose
+  | Alg_auto
+
+let algorithm_of_string = function
+  | "naive" -> Some Alg_naive
+  | "bnl" -> Some Alg_bnl
+  | "decompose" -> Some Alg_decompose
+  | "auto" -> Some Alg_auto
+  | _ -> None
+
+let algorithm_to_string = function
+  | Alg_naive -> "naive"
+  | Alg_bnl -> "bnl"
+  | Alg_decompose -> "decompose"
+  | Alg_auto -> "auto"
+
+let sigma ?(algorithm = Alg_bnl) schema p rel =
+  match algorithm with
+  | Alg_naive -> Naive.query schema p rel
+  | Alg_bnl -> Bnl.query schema p rel
+  | Alg_decompose -> Decompose.eval schema p rel
+  | Alg_auto -> fst (Planner.run schema p rel)
+
+let sigma_groupby ?(algorithm = Alg_bnl) schema p ~by rel =
+  match algorithm with
+  | Alg_naive | Alg_decompose | Alg_auto -> Groupby.query schema p ~by rel
+  | Alg_bnl ->
+    let dom = Dominance.of_pref schema p in
+    let rows =
+      List.concat_map
+        (fun g -> Bnl.maxima dom (Relation.rows g))
+        (Relation.group_by rel by)
+    in
+    Relation.make (Relation.schema rel) rows
+
+let sigma_levels schema p ~levels rel =
+  (* iterated BMO: level 1 is sigma[P](R); level i+1 is sigma[P] of what is
+     left after removing the better levels — exactly the level function of
+     the database better-than graph (Definition 2), evaluated lazily *)
+  if levels < 1 then invalid_arg "Query.sigma_levels: levels must be >= 1";
+  let dom = Dominance.of_pref schema p in
+  let rec go k remaining acc =
+    if k = 0 || remaining = [] then List.concat (List.rev acc)
+    else begin
+      let best = Naive.maxima dom remaining in
+      let rest = List.filter (fun t -> not (List.memq t best)) remaining in
+      go (k - 1) rest (best :: acc)
+    end
+  in
+  Relation.make (Relation.schema rel) (go levels (Relation.rows rel) [])
+
+let perfect_matches schema p ~ideal rel =
+  (* A perfect match (Definition 14b) is a tuple whose projection is maximal
+     in the whole domain of wishes, not merely in R.  Deciding membership in
+     max(P) needs the domain; [ideal] supplies a predicate for it (e.g. level
+     1 under the intrinsic level function). *)
+  Relation.select (fun t -> ideal t) (sigma schema p rel)

@@ -1,0 +1,56 @@
+(** Front door for BMO preference queries σ[P](R) (Definition 15).
+
+    Dispatches to one of the interchangeable evaluation algorithms. All
+    produce the same tuple set (the test suite checks this); they differ in
+    cost and in row order / duplicate handling ([Alg_decompose] removes
+    duplicate rows). *)
+
+open Pref_relation
+
+type algorithm =
+  | Alg_naive  (** exhaustive better-than tests, O(n²) *)
+  | Alg_bnl  (** block-nested-loops window algorithm *)
+  | Alg_decompose  (** divide & conquer via Propositions 8–12 *)
+  | Alg_auto  (** cost-based choice by {!Planner} *)
+
+val algorithm_of_string : string -> algorithm option
+val algorithm_to_string : algorithm -> string
+
+val sigma :
+  ?algorithm:algorithm ->
+  Schema.t ->
+  Preferences.Pref.t ->
+  Relation.t ->
+  Relation.t
+(** σ[P](R): all best-matching tuples, and only those. Default: BNL. *)
+
+val sigma_groupby :
+  ?algorithm:algorithm ->
+  Schema.t ->
+  Preferences.Pref.t ->
+  by:string list ->
+  Relation.t ->
+  Relation.t
+(** σ[P groupby A](R) (Definition 16). *)
+
+val sigma_levels :
+  Schema.t ->
+  Preferences.Pref.t ->
+  levels:int ->
+  Relation.t ->
+  Relation.t
+(** The tuples within the top [levels] levels of the database better-than
+    graph: [sigma_levels ~levels:1] is σ[P](R); larger bounds relax the
+    query level by level — the engine-side counterpart of
+    [BUT ONLY LEVEL <= k]. Raises on [levels < 1]. *)
+
+val perfect_matches :
+  Schema.t ->
+  Preferences.Pref.t ->
+  ideal:(Tuple.t -> bool) ->
+  Relation.t ->
+  Relation.t
+(** The perfect matches (Definition 14b) within the BMO result: tuples that
+    are maximal in the realm of wishes itself. [ideal] decides membership in
+    max(P) over the full domain — e.g. "intrinsic level = 1" or "distance =
+    0". *)

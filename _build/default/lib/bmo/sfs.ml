@@ -1,0 +1,53 @@
+open Pref_relation
+
+let maxima ~key (dom : Dominance.t) rows =
+  (* Presort by a topological key (dominating tuples sort first), then run a
+     single window pass.  Because no later tuple can dominate an earlier
+     one, window tuples are never evicted — each candidate is only checked
+     against the current window. *)
+  let sorted =
+    List.stable_sort (fun a b -> Float.compare (key b) (key a)) rows
+  in
+  let window =
+    List.fold_left
+      (fun window t ->
+        if List.exists (fun w -> dom w t) window then window else t :: window)
+      [] sorted
+  in
+  List.rev window
+
+let sum_key schema attrs ~maximize =
+  let idx = List.map (Schema.index_of_exn schema) attrs in
+  let sign = if maximize then 1.0 else -1.0 in
+  fun t ->
+    List.fold_left
+      (fun acc i ->
+        match Value.as_float (Tuple.get t i) with
+        | Some f -> acc +. (sign *. f)
+        | None -> acc +. (sign *. Float.neg_infinity))
+      0.0 idx
+
+let query schema ~key p rel =
+  let dom = Dominance.of_pref schema p in
+  Relation.make (Relation.schema rel) (maxima ~key dom (Relation.rows rel))
+
+let progressive ~key (dom : Dominance.t) rows =
+  (* With a topological presort every window insertion is final, so maxima
+     can be emitted as soon as they are found — the progressive behaviour
+     of [TEO01]-style skyline computation.  The window is shared across
+     pulls of the sequence. *)
+  let sorted =
+    List.stable_sort (fun a b -> Float.compare (key b) (key a)) rows
+  in
+  let window = ref [] in
+  let rec emit pending () =
+    match pending with
+    | [] -> Seq.Nil
+    | t :: rest ->
+      if List.exists (fun w -> dom w t) !window then emit rest ()
+      else begin
+        window := t :: !window;
+        Seq.Cons (t, emit rest)
+      end
+  in
+  emit sorted

@@ -1,0 +1,27 @@
+(** Sort-filter BMO evaluation (SFS-style).
+
+    Requires a {e topological} key: whenever [a] dominates [b], [key a >=
+    key b] must hold (e.g. the sum of the maximised dimensions for a Pareto
+    preference over numeric chains). Under that precondition the window only
+    grows, which makes SFS faster than BNL on data with large skylines.
+    Supplying a non-topological key yields wrong results — the test suite
+    checks both directions. *)
+
+open Pref_relation
+
+val maxima : key:(Tuple.t -> float) -> Dominance.t -> Tuple.t list -> Tuple.t list
+
+val sum_key : Schema.t -> string list -> maximize:bool -> Tuple.t -> float
+(** Topological key for Pareto preferences of HIGHEST (or, with
+    [maximize:false], LOWEST) chains over the named numeric attributes. *)
+
+val query :
+  Schema.t -> key:(Tuple.t -> float) -> Preferences.Pref.t -> Relation.t -> Relation.t
+
+val progressive :
+  key:(Tuple.t -> float) -> Dominance.t -> Tuple.t list -> Tuple.t Seq.t
+(** Progressive skyline delivery ([TEO01]): maxima are emitted as soon as
+    they are identified, best presort key first; consuming the whole
+    sequence yields exactly [maxima]. Same topological-key precondition as
+    {!maxima}. The sequence is ephemeral (internal window state) — consume
+    it once. *)

@@ -1,0 +1,24 @@
+open Pref_relation
+open Preferences
+
+(* Naive evaluation: correct even for relations that are not transitive
+   (e.g. a disjoint union whose operands are not actually disjoint), where
+   window algorithms may misbehave. *)
+let result_size_on schema p ~attrs rel =
+  let res = Naive.query schema p rel in
+  Relation.cardinality (Relation.project_distinct res attrs)
+
+let result_size schema p rel = result_size_on schema p ~attrs:(Pref.attrs p) rel
+
+let stronger_filter schema p1 p2 rel =
+  result_size schema p1 rel <= result_size schema p2 rel
+
+let comparisons_of algo schema p rel =
+  let dom, count = Dominance.counting (Dominance.of_pref schema p) in
+  let rows = Relation.rows rel in
+  let result =
+    match algo with
+    | `Naive -> Naive.maxima dom rows
+    | `Bnl -> Bnl.maxima dom rows
+  in
+  (Relation.make (Relation.schema rel) result, count ())

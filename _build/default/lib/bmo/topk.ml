@@ -1,0 +1,103 @@
+open Pref_relation
+open Preferences
+
+let score_of schema p =
+  match
+    Pref.score_via (fun t a -> Tuple.get_by_name schema t a) p
+  with
+  | Some s -> s
+  | None -> invalid_arg "Topk: preference is not scorable"
+
+let kbest schema p ~k rel =
+  let s = score_of schema p in
+  let scored = List.map (fun t -> (s t, t)) (Relation.rows rel) in
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> Float.compare b a) scored
+  in
+  let rec take n = function
+    | [] -> []
+    | (_, t) :: rest -> if n = 0 then [] else t :: take (n - 1) rest
+  in
+  Relation.make (Relation.schema rel) (take k sorted)
+
+type ta_result = {
+  results : (float * Tuple.t) list;  (** k best, best first *)
+  examined : int;  (** distinct objects for which F was evaluated *)
+  depth : int;  (** sorted-access depth reached *)
+}
+
+let threshold_algorithm ~scores ~combine ~k rel =
+  let rows = Array.of_list (Relation.rows rel) in
+  let n = Array.length rows in
+  let m = Array.length scores in
+  if m = 0 then invalid_arg "Topk.threshold_algorithm: no score dimensions";
+  (* Sorted access lists: row indices ordered by each dimension score,
+     descending — the per-feature indexes a multi-feature engine maintains. *)
+  let lists =
+    Array.map
+      (fun s ->
+        let idx = Array.init n (fun i -> i) in
+        Array.sort (fun i j -> Float.compare (s rows.(j)) (s rows.(i))) idx;
+        idx)
+      scores
+  in
+  let overall i = combine (Array.map (fun s -> s rows.(i)) scores) in
+  let seen = Hashtbl.create 64 in
+  let top = ref [] (* (score, index), ascending size <= k, worst first *) in
+  let insert entry =
+    let merged =
+      List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) (entry :: !top)
+    in
+    let len = List.length merged in
+    top := if len > k then List.tl merged else merged
+  in
+  let kth_score () =
+    match !top with
+    | (s, _) :: _ when List.length !top = k -> Some s
+    | _ -> None
+  in
+  let examined = ref 0 in
+  let finished = ref false in
+  let depth = ref 0 in
+  while (not !finished) && !depth < n do
+    (* One round of sorted access at the current depth on every list. *)
+    for li = 0 to m - 1 do
+      let i = lists.(li).(!depth) in
+      if not (Hashtbl.mem seen i) then begin
+        Hashtbl.add seen i ();
+        incr examined;
+        insert (overall i, i)
+      end
+    done;
+    (* Threshold: combine of the scores at the current depth. *)
+    let t =
+      combine (Array.mapi (fun li s -> s rows.(lists.(li).(!depth))) scores)
+    in
+    (match kth_score () with
+    | Some worst_of_top when worst_of_top >= t -> finished := true
+    | Some _ | None -> ());
+    incr depth
+  done;
+  {
+    results =
+      List.rev_map (fun (s, i) -> (s, rows.(i))) !top (* best first *);
+    examined = !examined;
+    depth = !depth;
+  }
+
+let ta_rank schema p ~k rel =
+  match p with
+  | Pref.Rank (f, p1, p2) ->
+    let s1 = score_of schema p1 and s2 = score_of schema p2 in
+    let combine arr =
+      match arr with
+      | [| a; b |] -> f.Pref.combine a b
+      | _ -> invalid_arg "Topk.ta_rank: arity mismatch"
+    in
+    threshold_algorithm ~scores:[| s1; s2 |] ~combine ~k rel
+  | Pref.Pos _ | Pref.Neg _ | Pref.Pos_neg _ | Pref.Pos_pos _
+  | Pref.Explicit _ | Pref.Around _ | Pref.Between _ | Pref.Lowest _
+  | Pref.Highest _ | Pref.Score _ | Pref.Antichain _ | Pref.Dual _
+  | Pref.Pareto _ | Pref.Prior _ | Pref.Inter _ | Pref.Dunion _ | Pref.Lsum _
+  | Pref.Two_graphs _ ->
+    invalid_arg "Topk.ta_rank: expected a rank(F) preference"

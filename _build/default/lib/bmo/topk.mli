@@ -1,0 +1,34 @@
+(** The ranked ("k-best") query model of §6.2.
+
+    rank(F) mostly builds chain preferences, so BMO would return a single
+    best object; multi-feature and full-text engines therefore return the k
+    best instead. [kbest] is the full-scan reference; [threshold_algorithm]
+    is a Fagin-style TA over per-dimension sorted access with a monotone
+    combining function — the textbook stand-in for Quick-Combine [GBK00]
+    (see DESIGN.md, substitutions). *)
+
+open Pref_relation
+
+val kbest : Schema.t -> Preferences.Pref.t -> k:int -> Relation.t -> Relation.t
+(** Top-k by the preference's score, best first; ties broken by input order.
+    Raises [Invalid_argument] for non-scorable preferences. *)
+
+type ta_result = {
+  results : (float * Tuple.t) list;  (** the k best with scores, best first *)
+  examined : int;  (** distinct objects whose combined score was computed *)
+  depth : int;  (** sorted-access depth reached before the threshold stop *)
+}
+
+val threshold_algorithm :
+  scores:(Tuple.t -> float) array ->
+  combine:(float array -> float) ->
+  k:int ->
+  Relation.t ->
+  ta_result
+(** [combine] must be monotone (non-decreasing in every argument) for the
+    early-termination threshold to be sound. *)
+
+val ta_rank :
+  Schema.t -> Preferences.Pref.t -> k:int -> Relation.t -> ta_result
+(** Convenience wrapper running TA for a [Rank (f, p1, p2)] term; raises
+    [Invalid_argument] on any other shape. *)

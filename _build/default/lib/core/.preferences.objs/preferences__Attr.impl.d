@@ -1,0 +1,1 @@
+lib/core/attr.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/core/equiv.ml: Attr List Option Pref Pref_relation Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/core/hierarchy.ml: Float List Pref Pref_relation Printf Value

@@ -1,0 +1,1 @@
+lib/core/hierarchy.mli: Pref Pref_relation Value

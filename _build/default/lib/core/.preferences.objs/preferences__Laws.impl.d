@@ -1,0 +1,1 @@
+lib/core/laws.ml: Attr Equiv Pref Pref_order Pref_relation Tuple

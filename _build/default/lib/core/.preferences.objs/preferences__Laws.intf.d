@@ -1,0 +1,1 @@
+lib/core/laws.mli: Pref Pref_order Pref_relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/core/layered.ml: List Option Pref Pref_relation Value

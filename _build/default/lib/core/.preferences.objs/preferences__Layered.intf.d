@@ -1,0 +1,1 @@
+lib/core/layered.mli: Pref Pref_relation Value

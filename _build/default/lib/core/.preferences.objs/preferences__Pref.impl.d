@@ -1,0 +1,1 @@
+lib/core/pref.ml: Attr Float Hashtbl List Option Pref_order Pref_relation Printf Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/core/pref.mli: Attr Pref_order Pref_relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/core/quality.ml: Array List Option Pref Pref_order Pref_relation Show String Tuple Value

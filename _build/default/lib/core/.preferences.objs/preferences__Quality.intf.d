@@ -1,0 +1,1 @@
+lib/core/quality.mli: Pref Pref_relation Relation Schema Tuple Value

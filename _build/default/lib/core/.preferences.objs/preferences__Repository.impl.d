@@ -1,0 +1,1 @@
+lib/core/repository.ml: Buffer List Pref Printf Serialize String

@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Buffer Char Fmt List Pref Pref_relation Printf String Value

@@ -1,0 +1,1 @@
+lib/core/serialize.mli: Fmt Pref Pref_relation Value

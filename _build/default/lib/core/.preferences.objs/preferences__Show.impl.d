@@ -1,0 +1,1 @@
+lib/core/show.ml: Attr Fmt Pref Pref_order Pref_relation Relation String Tuple Value

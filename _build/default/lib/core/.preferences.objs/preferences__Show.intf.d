@@ -1,0 +1,1 @@
+lib/core/show.mli: Fmt Format Pref Pref_order Pref_relation Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/core/syntax.ml: Pref

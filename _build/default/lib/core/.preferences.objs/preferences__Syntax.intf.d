@@ -1,0 +1,1 @@
+lib/core/syntax.mli: Pref Pref_relation Value

@@ -1,0 +1,10 @@
+type t = string list
+
+let normalize l = List.sort_uniq String.compare l
+let equal a b = normalize a = normalize b
+let union a b = normalize (a @ b)
+let mem a l = List.mem a l
+let subset a b = List.for_all (fun x -> List.mem x b) a
+let disjoint a b = not (List.exists (fun x -> List.mem x b) a)
+let inter a b = normalize (List.filter (fun x -> List.mem x b) a)
+let pp ppf l = Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") string) l

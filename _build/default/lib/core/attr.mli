@@ -1,0 +1,16 @@
+(** Attribute-name sets, represented as sorted duplicate-free string lists.
+
+    Preferences are formulated over sets of attribute names (Definition 1);
+    combining preferences takes unions that may overlap — overlap is allowed
+    by design ("conflicts ... must not be considered as a bug"). *)
+
+type t = string list
+
+val normalize : t -> t
+val equal : t -> t -> bool
+val union : t -> t -> t
+val mem : string -> t -> bool
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+val inter : t -> t -> t
+val pp : t Fmt.t

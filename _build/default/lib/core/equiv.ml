@@ -1,0 +1,56 @@
+open Pref_relation
+
+let agree schema rows p q =
+  Attr.equal (Pref.attrs p) (Pref.attrs q)
+  &&
+  let ltp = Pref.compile schema p and ltq = Pref.compile schema q in
+  List.for_all
+    (fun x -> List.for_all (fun y -> ltp x y = ltq x y) rows)
+    rows
+
+let agree_on_relation schema rel p q = agree schema (Relation.rows rel) p q
+
+let agree_values p q values =
+  List.for_all
+    (fun x ->
+      List.for_all (fun y -> Pref.lt_value p x y = Pref.lt_value q x y) values)
+    values
+
+(* Exhaustive tuples of a finite product domain. *)
+let domain_tuples (domains : (string * Value.t list) list) =
+  let schema =
+    Schema.make
+      (List.map
+         (fun (a, vs) ->
+           let ty =
+             match vs with
+             | v :: _ -> Option.value (Value.type_of v) ~default:Value.TStr
+             | [] -> Value.TStr
+           in
+           (a, ty))
+         domains)
+  in
+  let rec product = function
+    | [] -> [ [] ]
+    | (_, vs) :: rest ->
+      let tails = product rest in
+      List.concat_map (fun v -> List.map (fun tl -> v :: tl) tails) vs
+  in
+  (schema, List.map Tuple.make (product domains))
+
+let agree_on_domains domains p q =
+  let schema, tuples = domain_tuples domains in
+  agree schema tuples p q
+
+let counterexample schema rows p q =
+  let ltp = Pref.compile schema p and ltq = Pref.compile schema q in
+  let rec outer = function
+    | [] -> None
+    | x :: rest ->
+      let rec inner = function
+        | [] -> outer rest
+        | y :: ys -> if ltp x y <> ltq x y then Some (x, y) else inner ys
+      in
+      inner rows
+  in
+  outer rows

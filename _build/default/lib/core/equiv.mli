@@ -1,0 +1,34 @@
+(** Equivalence of preference terms (Definition 13), checked exhaustively
+    over finite carriers.
+
+    [P1 ≡ P2] requires equal attribute sets and agreement of [<_P] on every
+    pair of domain values. Over an infinite domain this is undecidable in
+    general; the checks here quantify over a supplied finite carrier, which
+    is exactly what the property-based tests need (and what Proposition 7
+    needs: equivalent preferences give identical BMO results on every
+    database set drawn from the carrier). *)
+
+open Pref_relation
+
+val agree : Schema.t -> Tuple.t list -> Pref.t -> Pref.t -> bool
+(** [agree schema rows p q]: same attribute sets and same order on every pair
+    from [rows]. *)
+
+val agree_on_relation : Schema.t -> Relation.t -> Pref.t -> Pref.t -> bool
+
+val agree_values : Pref.t -> Pref.t -> Value.t list -> bool
+(** Value-level variant for single-attribute preferences. *)
+
+val domain_tuples :
+  (string * Value.t list) list -> Schema.t * Tuple.t list
+(** All tuples of the finite product domain, plus its schema; the carrier
+    for exhaustive Definition-13 checks. *)
+
+val agree_on_domains :
+  (string * Value.t list) list -> Pref.t -> Pref.t -> bool
+(** [P1 ≡ P2] decided exhaustively over the given finite domains — the
+    literal Definition 13 when the attribute domains really are finite. *)
+
+val counterexample :
+  Schema.t -> Tuple.t list -> Pref.t -> Pref.t -> (Tuple.t * Tuple.t) option
+(** First pair on which the two orders disagree, for test diagnostics. *)

@@ -1,0 +1,44 @@
+open Pref_relation
+
+let pos_as_pos_pos a set = Pref.pos_pos a ~pos1:set ~pos2:[]
+let pos_as_pos_neg a set = Pref.pos_neg a ~pos:set ~neg:[]
+let neg_as_pos_neg a set = Pref.pos_neg a ~pos:[] ~neg:set
+
+let pos_pos_as_explicit a ~pos1 ~pos2 =
+  if pos1 = [] || pos2 = [] then
+    invalid_arg "Hierarchy.pos_pos_as_explicit: both value sets must be non-empty";
+  let edges =
+    List.concat_map (fun worse -> List.map (fun b -> (worse, b)) pos1) pos2
+  in
+  Pref.explicit a edges
+
+let around_as_between a z = Pref.between a ~low:z ~up:z
+
+let between_as_score a ~low ~up =
+  Pref.score a
+    ~name:(Printf.sprintf "-distance([%g, %g])" low up)
+    (fun v -> -.Pref.distance_between v ~low ~up)
+
+let around_as_score a z =
+  Pref.score a
+    ~name:(Printf.sprintf "-distance(%g)" z)
+    (fun v -> -.Pref.distance_around v z)
+
+let highest_as_score a =
+  Pref.score a ~name:"identity" (fun v ->
+      match Value.as_float v with Some f -> f | None -> Float.neg_infinity)
+
+let lowest_as_score a =
+  Pref.score a ~name:"negate" (fun v ->
+      match Value.as_float v with Some f -> -.f | None -> Float.neg_infinity)
+
+let inter_as_pareto p1 p2 = Pref.pareto p1 p2
+
+let prior_as_rank ~scale p1 p2 =
+  let f =
+    {
+      Pref.cname = Printf.sprintf "%g*x + y" scale;
+      combine = (fun x y -> (scale *. x) +. y);
+    }
+  in
+  Pref.rank f p1 p2

@@ -1,0 +1,50 @@
+(** The sub-constructor hierarchies of §3.4.
+
+    [C1 ≼ C2] means the definition of C1 arises from C2 by specialising
+    constraints. Each function here is the witness: it builds, with the
+    super-constructor, a term equivalent to the given sub-constructor
+    instance. The test suite checks the equivalences exhaustively.
+
+    Hierarchies covered:
+    - non-numerical: POS ≼ POS/POS ≼ EXPLICIT, POS ≼ POS/NEG, NEG ≼ POS/NEG
+    - numerical: AROUND ≼ BETWEEN ≼ SCORE, LOWEST ≼ SCORE, HIGHEST ≼ SCORE
+    - complex: ♦ ≼ ⊗ (Proposition 6) and the paper's suggested & ≼ rank(F). *)
+
+open Pref_relation
+
+val pos_as_pos_pos : string -> Value.t list -> Pref.t
+(** POS(A, S) as POS/POS(A, S; ∅). *)
+
+val pos_as_pos_neg : string -> Value.t list -> Pref.t
+(** POS(A, S) as POS/NEG(A, S; ∅). *)
+
+val neg_as_pos_neg : string -> Value.t list -> Pref.t
+(** NEG(A, S) as POS/NEG(A, ∅; S). *)
+
+val pos_pos_as_explicit : string -> pos1:Value.t list -> pos2:Value.t list -> Pref.t
+(** POS/POS(A, S1; S2) as EXPLICIT with graph (S1)↔ ⊕ (S2)↔. Requires both
+    sets non-empty (an empty EXPLICIT graph has no range and degenerates to
+    an anti-chain). *)
+
+val around_as_between : string -> float -> Pref.t
+(** AROUND(A, z) as BETWEEN(A, [z, z]). *)
+
+val between_as_score : string -> low:float -> up:float -> Pref.t
+(** BETWEEN as SCORE with f(x) = -distance(x, [low, up]). *)
+
+val around_as_score : string -> float -> Pref.t
+
+val highest_as_score : string -> Pref.t
+(** HIGHEST(A) as SCORE(A, f) with f(x) = x. *)
+
+val lowest_as_score : string -> Pref.t
+(** LOWEST(A) as SCORE(A, f) with f(x) = -x. *)
+
+val inter_as_pareto : Pref.t -> Pref.t -> Pref.t
+(** ♦ ≼ ⊗: for identical attribute sets, P1 ⊗ P2 ≡ P1 ♦ P2. *)
+
+val prior_as_rank : scale:float -> Pref.t -> Pref.t -> Pref.t
+(** The paper's suggested & ≼ rank(F) with a properly weighted F: combines
+    scores as [scale*s1 + s2]. Equivalent to P1 & P2 when [s1] is injective
+    on the carrier and [scale] exceeds the spread of [s2] divided by the
+    smallest positive gap of [s1]. Raises if an operand is not scorable. *)

@@ -1,0 +1,150 @@
+open Pref_relation
+
+let agree = Equiv.agree
+
+(* ------------------------------------------------------------------ *)
+(* Order-theoretic predicates over a carrier                           *)
+
+let spo_of schema p =
+  let c = Pref.compile schema p in
+  let names = Pref.attrs p in
+  Pref_order.Spo.make
+    ~equal:(fun x y -> Tuple.equal_on schema names x y)
+    (fun x y -> c y x)
+
+let is_spo_on schema rows p =
+  Pref_order.Spo.is_strict_partial_order (spo_of schema p) rows
+
+let is_chain_on schema rows p = Pref_order.Spo.is_chain (spo_of schema p) rows
+let is_antichain_on schema rows p = Pref_order.Spo.is_antichain (spo_of schema p) rows
+
+let disjoint_on schema rows p1 p2 =
+  Pref_order.Spo.disjoint (spo_of schema p1) (spo_of schema p2) rows
+
+(* ------------------------------------------------------------------ *)
+(* Proposition 2: commutativity and associativity                      *)
+
+let pareto_commutative schema rows p1 p2 =
+  agree schema rows (Pref.pareto p1 p2) (Pref.pareto p2 p1)
+
+let pareto_associative schema rows p1 p2 p3 =
+  agree schema rows
+    (Pref.pareto (Pref.pareto p1 p2) p3)
+    (Pref.pareto p1 (Pref.pareto p2 p3))
+
+let prior_associative schema rows p1 p2 p3 =
+  agree schema rows
+    (Pref.prior (Pref.prior p1 p2) p3)
+    (Pref.prior p1 (Pref.prior p2 p3))
+
+let inter_commutative schema rows p1 p2 =
+  agree schema rows (Pref.inter p1 p2) (Pref.inter p2 p1)
+
+let inter_associative schema rows p1 p2 p3 =
+  agree schema rows
+    (Pref.inter (Pref.inter p1 p2) p3)
+    (Pref.inter p1 (Pref.inter p2 p3))
+
+let dunion_commutative schema rows p1 p2 =
+  agree schema rows (Pref.dunion p1 p2) (Pref.dunion p2 p1)
+
+let dunion_associative schema rows p1 p2 p3 =
+  agree schema rows
+    (Pref.dunion (Pref.dunion p1 p2) p3)
+    (Pref.dunion p1 (Pref.dunion p2 p3))
+
+let lsum_associative ~attr (p1, d1) (p2, d2) (p3, d3) values =
+  let left =
+    Pref.lsum ~attr (Pref.lsum ~attr:"_l" (p1, d1) (p2, d2), d1 @ d2) (p3, d3)
+  in
+  let right =
+    Pref.lsum ~attr (p1, d1) (Pref.lsum ~attr:"_r" (p2, d2) (p3, d3), d2 @ d3)
+  in
+  Equiv.agree_values left right values
+
+(* ------------------------------------------------------------------ *)
+(* Proposition 3: the law collection                                   *)
+
+let dual_antichain schema rows names =
+  agree schema rows (Pref.dual (Pref.antichain names)) (Pref.antichain names)
+
+let dual_involution schema rows p = agree schema rows (Pref.dual (Pref.dual p)) p
+
+let dual_lsum ~attr (p1, d1) (p2, d2) values =
+  (* (P1 ⊕ P2)∂ ≡ P2∂ ⊕ P1∂ *)
+  Equiv.agree_values
+    (Pref.dual (Pref.lsum ~attr (p1, d1) (p2, d2)))
+    (Pref.lsum ~attr (Pref.dual p2, d2) (Pref.dual p1, d1))
+    values
+
+let highest_is_dual_lowest schema rows a =
+  agree schema rows (Pref.highest a) (Pref.dual (Pref.lowest a))
+
+let dual_pos_is_neg schema rows a set =
+  agree schema rows (Pref.dual (Pref.pos a set)) (Pref.neg a set)
+  && agree schema rows (Pref.dual (Pref.neg a set)) (Pref.pos a set)
+
+let inter_idempotent schema rows p = agree schema rows (Pref.inter p p) p
+
+let inter_dual_is_antichain schema rows p =
+  let a = Pref.attrs p in
+  agree schema rows (Pref.inter p (Pref.dual p)) (Pref.antichain a)
+  && agree schema rows
+       (Pref.inter p (Pref.antichain a))
+       (Pref.antichain a)
+
+let prior_chain_preserving schema rows p1 p2 =
+  (* Proposition 3(h): if P1 and P2 are chains then so are P1&P2, P2&P1. *)
+  (not (is_chain_on schema rows p1 && is_chain_on schema rows p2))
+  || (is_chain_on schema rows (Pref.prior p1 p2)
+     && is_chain_on schema rows (Pref.prior p2 p1))
+
+let prior_idempotent schema rows p =
+  agree schema rows (Pref.prior p p) p
+  && agree schema rows (Pref.prior p (Pref.dual p)) p
+
+let prior_antichain_right schema rows p =
+  agree schema rows (Pref.prior p (Pref.antichain (Pref.attrs p))) p
+
+let prior_antichain_left schema rows p =
+  let a = Pref.attrs p in
+  agree schema rows (Pref.prior (Pref.antichain a) p) (Pref.antichain a)
+
+let pareto_idempotent schema rows p = agree schema rows (Pref.pareto p p) p
+
+let pareto_antichain_left schema rows names p =
+  (* Proposition 3(m): A↔ ⊗ P ≡ A↔ & P, with no side condition. *)
+  agree schema rows
+    (Pref.pareto (Pref.antichain names) p)
+    (Pref.prior (Pref.antichain names) p)
+
+let pareto_dual_is_antichain schema rows p =
+  let a = Pref.attrs p in
+  agree schema rows (Pref.pareto p (Pref.dual p)) (Pref.antichain a)
+  && agree schema rows (Pref.pareto p (Pref.antichain a)) (Pref.antichain a)
+
+(* ------------------------------------------------------------------ *)
+(* Propositions 4, 5 and 6                                             *)
+
+let discrimination_shared schema rows p1 p2 =
+  (* Proposition 4(a): P1 & P2 ≡ P1 when both act on the same attributes. *)
+  Attr.equal (Pref.attrs p1) (Pref.attrs p2)
+  && agree schema rows (Pref.prior p1 p2) p1
+
+let discrimination_disjoint schema rows p1 p2 =
+  (* Proposition 4(b): P1 & P2 ≡ P1 + (A1↔ & P2) for disjoint attributes. *)
+  Attr.disjoint (Pref.attrs p1) (Pref.attrs p2)
+  && agree schema rows
+       (Pref.prior p1 p2)
+       (Pref.dunion p1 (Pref.prior (Pref.antichain (Pref.attrs p1)) p2))
+
+let non_discrimination schema rows p1 p2 =
+  (* Proposition 5: P1 ⊗ P2 ≡ (P1 & P2) ♦ (P2 & P1). *)
+  agree schema rows
+    (Pref.pareto p1 p2)
+    (Pref.inter (Pref.prior p1 p2) (Pref.prior p2 p1))
+
+let pareto_is_inter_on_shared schema rows p1 p2 =
+  (* Proposition 6: P1 ⊗ P2 ≡ P1 ♦ P2 for identical attribute sets. *)
+  Attr.equal (Pref.attrs p1) (Pref.attrs p2)
+  && agree schema rows (Pref.pareto p1 p2) (Pref.inter p1 p2)

@@ -1,0 +1,115 @@
+(** The preference algebra's law collection (§4), as executable checks.
+
+    Every function decides one law of Propositions 2–6 exhaustively over a
+    finite carrier of tuples. The property-based test suite instantiates them
+    with random preferences and carriers; the bench harness re-verifies them
+    on large instances. A law function returns [true] when the law holds on
+    the given carrier. *)
+
+open Pref_relation
+
+(** {1 Order-theoretic predicates} *)
+
+val spo_of : Schema.t -> Pref.t -> Tuple.t Pref_order.Spo.t
+(** The strict order denoted by a term, with projection equality on the
+    term's attribute set. *)
+
+val is_spo_on : Schema.t -> Tuple.t list -> Pref.t -> bool
+(** Proposition 1 on a carrier: the term denotes a strict partial order. *)
+
+val is_chain_on : Schema.t -> Tuple.t list -> Pref.t -> bool
+val is_antichain_on : Schema.t -> Tuple.t list -> Pref.t -> bool
+
+val disjoint_on : Schema.t -> Tuple.t list -> Pref.t -> Pref.t -> bool
+(** Definition 4 on a carrier: the ranges of the two preferences are
+    disjoint — the semantic precondition of [P1 + P2]. *)
+
+(** {1 Proposition 2 — commutativity and associativity} *)
+
+val pareto_commutative : Schema.t -> Tuple.t list -> Pref.t -> Pref.t -> bool
+val pareto_associative :
+  Schema.t -> Tuple.t list -> Pref.t -> Pref.t -> Pref.t -> bool
+val prior_associative :
+  Schema.t -> Tuple.t list -> Pref.t -> Pref.t -> Pref.t -> bool
+val inter_commutative : Schema.t -> Tuple.t list -> Pref.t -> Pref.t -> bool
+val inter_associative :
+  Schema.t -> Tuple.t list -> Pref.t -> Pref.t -> Pref.t -> bool
+val dunion_commutative : Schema.t -> Tuple.t list -> Pref.t -> Pref.t -> bool
+val dunion_associative :
+  Schema.t -> Tuple.t list -> Pref.t -> Pref.t -> Pref.t -> bool
+
+val lsum_associative :
+  attr:string ->
+  Pref.t * Value.t list ->
+  Pref.t * Value.t list ->
+  Pref.t * Value.t list ->
+  Value.t list ->
+  bool
+(** Associativity of ⊕ at the value level, over the given carrier values. *)
+
+(** {1 Proposition 3 — further laws} *)
+
+val dual_antichain : Schema.t -> Tuple.t list -> string list -> bool
+(** (a) [(S↔)∂ ≡ S↔]. *)
+
+val dual_involution : Schema.t -> Tuple.t list -> Pref.t -> bool
+(** (b) [(P∂)∂ ≡ P]. *)
+
+val dual_lsum :
+  attr:string ->
+  Pref.t * Value.t list ->
+  Pref.t * Value.t list ->
+  Value.t list ->
+  bool
+(** (c) [(P1 ⊕ P2)∂ ≡ P2∂ ⊕ P1∂]. *)
+
+val highest_is_dual_lowest : Schema.t -> Tuple.t list -> string -> bool
+(** (d) [HIGHEST ≡ LOWEST∂]. *)
+
+val dual_pos_is_neg : Schema.t -> Tuple.t list -> string -> Value.t list -> bool
+(** (e) [POS∂ ≡ NEG] and [NEG∂ ≡ POS] for equal value sets. *)
+
+val inter_idempotent : Schema.t -> Tuple.t list -> Pref.t -> bool
+(** (f) [P ♦ P ≡ P]. *)
+
+val inter_dual_is_antichain : Schema.t -> Tuple.t list -> Pref.t -> bool
+(** (g) [P ♦ P∂ ≡ P ♦ A↔ ≡ A↔]. *)
+
+val prior_chain_preserving : Schema.t -> Tuple.t list -> Pref.t -> Pref.t -> bool
+(** (h) chains are closed under &. *)
+
+val prior_idempotent : Schema.t -> Tuple.t list -> Pref.t -> bool
+(** (i) [P & P ≡ P & P∂ ≡ P]. *)
+
+val prior_antichain_right : Schema.t -> Tuple.t list -> Pref.t -> bool
+(** (j) [P & A↔ ≡ P]. *)
+
+val prior_antichain_left : Schema.t -> Tuple.t list -> Pref.t -> bool
+(** (k) [A↔ & P ≡ A↔] for P on the attributes A. *)
+
+val pareto_idempotent : Schema.t -> Tuple.t list -> Pref.t -> bool
+(** (l) [P ⊗ P ≡ P]. *)
+
+val pareto_antichain_left :
+  Schema.t -> Tuple.t list -> string list -> Pref.t -> bool
+(** (m) [A↔ ⊗ P ≡ A↔ & P]. *)
+
+val pareto_dual_is_antichain : Schema.t -> Tuple.t list -> Pref.t -> bool
+(** (n) [P ⊗ A↔ ≡ P ⊗ P∂ ≡ A↔] for P on the attributes A. *)
+
+(** {1 Propositions 4, 5 and 6 — the decomposition theorems} *)
+
+val discrimination_shared : Schema.t -> Tuple.t list -> Pref.t -> Pref.t -> bool
+(** 4(a): [P1 & P2 ≡ P1] for identical attribute sets (includes the
+    attribute-set precondition in the check). *)
+
+val discrimination_disjoint :
+  Schema.t -> Tuple.t list -> Pref.t -> Pref.t -> bool
+(** 4(b): [P1 & P2 ≡ P1 + (A1↔ & P2)] for disjoint attribute sets. *)
+
+val non_discrimination : Schema.t -> Tuple.t list -> Pref.t -> Pref.t -> bool
+(** Proposition 5: [P1 ⊗ P2 ≡ (P1 & P2) ♦ (P2 & P1)]. *)
+
+val pareto_is_inter_on_shared :
+  Schema.t -> Tuple.t list -> Pref.t -> Pref.t -> bool
+(** Proposition 6: [P1 ⊗ P2 ≡ P1 ♦ P2] for identical attribute sets. *)

@@ -1,0 +1,102 @@
+open Pref_relation
+
+type layer =
+  | Values of Value.t list
+  | Others
+
+type t = layer list
+
+let validate layers =
+  let seen_others = ref false in
+  let all_values = ref [] in
+  List.iter
+    (fun layer ->
+      match layer with
+      | Others ->
+        if !seen_others then
+          invalid_arg "Layered: at most one 'other values' layer";
+        seen_others := true
+      | Values vs ->
+        List.iter
+          (fun v ->
+            if List.exists (Value.equal v) !all_values then
+              invalid_arg "Layered: layers must be pairwise disjoint";
+            all_values := v :: !all_values)
+          vs)
+    layers;
+  layers
+
+let make layers = validate layers
+
+let layer_index layers v =
+  let rec go i = function
+    | [] -> None
+    | Values vs :: rest ->
+      if List.exists (Value.equal v) vs then Some i else go (i + 1) rest
+    | Others :: rest -> go (i + 1) rest
+  in
+  let explicit = go 0 layers in
+  match explicit with
+  | Some _ as r -> r
+  | None ->
+    let rec find_others i = function
+      | [] -> None
+      | Others :: _ -> Some i
+      | Values _ :: rest -> find_others (i + 1) rest
+    in
+    find_others 0 layers
+
+let lt layers x y =
+  match layer_index layers x, layer_index layers y with
+  | Some ix, Some iy -> ix > iy (* earlier layers are better *)
+  | _ -> false
+
+let better layers x y = lt layers y x
+
+let level layers v = Option.map (fun i -> i + 1) (layer_index layers v)
+
+(* The paper's informal characterisations (§3.3.2): each base preference as a
+   linear sum of anti-chains. *)
+
+let of_pos set = make [ Values set; Others ]
+let of_neg set = make [ Others; Values set ]
+let of_pos_neg ~pos ~neg = make [ Values pos; Others; Values neg ]
+let of_pos_pos ~pos1 ~pos2 = make [ Values pos1; Values pos2; Others ]
+
+let to_pref attr layers =
+  (* Realise a layered order as a preference term.  The shapes below are
+     exactly the paper's §3.3.2 characterisations:
+       POS      = POS-set↔ ⊕ other-values↔
+       NEG      = other-values↔ ⊕ NEG-set↔
+       POS/NEG  = (POS-set↔ ⊕ other-values↔) ⊕ NEG-set↔
+       POS/POS  = (POS1-set↔ ⊕ POS2-set↔) ⊕ other-values↔
+       EXPLICIT = E ⊕ other-values↔  (k ≥ 2 explicit layers, Others last)  *)
+  match layers with
+  | [ Values s; Others ] -> Pref.pos attr s
+  | [ Others; Values s ] -> Pref.neg attr s
+  | [ Values p; Others; Values n ] -> Pref.pos_neg attr ~pos:p ~neg:n
+  | [ Values p1; Values p2; Others ] -> Pref.pos_pos attr ~pos1:p1 ~pos2:p2
+  | _ ->
+    let rec explicit_prefix acc = function
+      | Values vs :: rest -> explicit_prefix (vs :: acc) rest
+      | [ Others ] -> Some (List.rev acc)
+      | Others :: _ | [] -> None
+    in
+    (match explicit_prefix [] layers with
+    | Some (upper_first :: _ :: _ as explicit_layers)
+      when upper_first <> [] && List.for_all (fun l -> l <> []) explicit_layers
+      ->
+      let rec edges = function
+        | upper :: (lower :: _ as rest) ->
+          List.concat_map
+            (fun worse -> List.map (fun b -> (worse, b)) upper)
+            lower
+          @ edges rest
+        | [ _ ] | [] -> []
+      in
+      Pref.explicit attr (edges explicit_layers)
+    | Some _ | None ->
+      invalid_arg
+        "Layered.to_pref: unsupported layer shape (need one of the POS \
+         family shapes, or >= 2 non-empty explicit layers with 'others' \
+         last)")

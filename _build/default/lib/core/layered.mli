@@ -1,0 +1,48 @@
+(** Layered value orders — the linear-sum (⊕) design method of §3.3.2.
+
+    The paper characterises every non-numerical base preference as a linear
+    sum of anti-chains: a stack of disjoint value layers, earlier layers
+    strictly better, values within a layer unranked, with an optional
+    "all other domain values" layer. This module implements that reading
+    directly, and {!to_pref} realises a layered order back as a preference
+    term, which the test suite proves equivalent to the Definition-6
+    formal semantics — verifying the paper's claim that ⊕ is "a convenient
+    design and proof method for base preference constructors". *)
+
+open Pref_relation
+
+type layer =
+  | Values of Value.t list  (** an explicit anti-chain of values *)
+  | Others  (** every domain value not listed in any explicit layer *)
+
+type t = layer list
+(** Layers in decreasing quality; level of layer [i] is [i + 1]. *)
+
+val make : layer list -> t
+(** Validates: explicit layers pairwise disjoint, at most one [Others].
+    Raises [Invalid_argument] otherwise. *)
+
+val lt : t -> Value.t -> Value.t -> bool
+(** [lt l x y] iff the layer of [x] is strictly deeper than the layer of [y].
+    Values in no layer (when [Others] is absent) are unranked. *)
+
+val better : t -> Value.t -> Value.t -> bool
+val level : t -> Value.t -> int option
+
+val of_pos : Value.t list -> t
+(** POS-set↔ ⊕ other-values↔. *)
+
+val of_neg : Value.t list -> t
+(** other-values↔ ⊕ NEG-set↔. *)
+
+val of_pos_neg : pos:Value.t list -> neg:Value.t list -> t
+(** (POS-set↔ ⊕ other-values↔) ⊕ NEG-set↔. *)
+
+val of_pos_pos : pos1:Value.t list -> pos2:Value.t list -> t
+(** (POS1-set↔ ⊕ POS2-set↔) ⊕ other-values↔. *)
+
+val to_pref : string -> t -> Pref.t
+(** Realise a layered order as a preference term on the given attribute.
+    Supports the four POS-family shapes and stacks of ≥ 2 non-empty explicit
+    layers with [Others] last (realised as EXPLICIT). Raises
+    [Invalid_argument] on other shapes. *)

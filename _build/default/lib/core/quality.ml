@@ -1,0 +1,133 @@
+open Pref_relation
+
+let explicit_graph closed_edges =
+  let values =
+    List.fold_left
+      (fun acc (w, b) ->
+        let add v acc =
+          if List.exists (Value.equal v) acc then acc else v :: acc
+        in
+        add w (add b acc))
+      [] closed_edges
+  in
+  Pref_order.Graph.of_edges ~equal:Value.equal values
+    (List.map (fun (w, b) -> (b, w)) closed_edges)
+
+let rec level p v =
+  match p with
+  | Pref.Pos (_, set) -> Some (if List.exists (Value.equal v) set then 1 else 2)
+  | Pref.Neg (_, set) -> Some (if List.exists (Value.equal v) set then 2 else 1)
+  | Pref.Pos_neg (_, pset, nset) ->
+    Some
+      (if List.exists (Value.equal v) pset then 1
+       else if List.exists (Value.equal v) nset then 3
+       else 2)
+  | Pref.Pos_pos (_, p1, p2) ->
+    Some
+      (if List.exists (Value.equal v) p1 then 1
+       else if List.exists (Value.equal v) p2 then 2
+       else 3)
+  | Pref.Explicit (_, closed) ->
+    let g = explicit_graph closed in
+    let in_range w = List.exists (Value.equal w) (Pref_order.Graph.nodes g) in
+    let max_level =
+      Array.fold_left max 1 (Pref_order.Graph.levels g)
+    in
+    Some
+      (if in_range v then Pref_order.Graph.level_of g v else max_level + 1)
+  | Pref.Two_graphs s ->
+    (* POS block levels, then others, then NEG block levels below *)
+    let block edges singles =
+      let g = explicit_graph edges in
+      let nodes = Pref_order.Graph.nodes g in
+      let depth =
+        if nodes = [] then if singles = [] then 0 else 1
+        else
+          max
+            (Array.fold_left max 1 (Pref_order.Graph.levels g))
+            (if singles = [] then 1 else 1)
+      in
+      let level_of v =
+        if List.exists (Value.equal v) singles then Some 1
+        else if List.exists (Value.equal v) nodes then
+          Some (Pref_order.Graph.level_of g v)
+        else None
+      in
+      (depth, level_of)
+    in
+    let pos_depth, pos_level = block s.Pref.tg_pos s.Pref.tg_pos_singles in
+    let _, neg_level = block s.Pref.tg_neg s.Pref.tg_neg_singles in
+    (match pos_level v with
+    | Some l -> Some l
+    | None -> (
+      match neg_level v with
+      | Some l -> Some (pos_depth + 1 + l)
+      | None -> Some (pos_depth + 1)))
+  | Pref.Dual _ | Pref.Around _ | Pref.Between _ | Pref.Lowest _
+  | Pref.Highest _ | Pref.Score _ | Pref.Antichain _ | Pref.Pareto _
+  | Pref.Prior _ | Pref.Rank _ | Pref.Inter _ | Pref.Dunion _ ->
+    None
+  | Pref.Lsum s ->
+    (* Values of the left operand keep their level; right-operand values sit
+       below every left level (Definition 12). *)
+    let in_dom dom = List.exists (Value.equal v) dom in
+    if in_dom s.ls_left_dom then level s.ls_left v
+    else if in_dom s.ls_right_dom then
+      let left_depth =
+        match max_level_of s.ls_left s.ls_left_dom with
+        | Some d -> d
+        | None -> 1
+      in
+      Option.map (fun l -> left_depth + l) (level s.ls_right v)
+    else None
+
+and max_level_of p dom =
+  List.fold_left
+    (fun acc v ->
+      match acc, level p v with
+      | Some a, Some l -> Some (max a l)
+      | None, l -> l
+      | a, None -> a)
+    None dom
+
+let distance p v =
+  match p with
+  | Pref.Around (_, z) -> Some (Pref.distance_around v z)
+  | Pref.Between (_, low, up) -> Some (Pref.distance_between v ~low ~up)
+  | Pref.Pos _ | Pref.Neg _ | Pref.Pos_neg _ | Pref.Pos_pos _
+  | Pref.Explicit _ | Pref.Lowest _ | Pref.Highest _ | Pref.Score _
+  | Pref.Antichain _ | Pref.Dual _ | Pref.Pareto _ | Pref.Prior _
+  | Pref.Rank _ | Pref.Inter _ | Pref.Dunion _ | Pref.Lsum _
+  | Pref.Two_graphs _ ->
+    None
+
+let rec base_for_attr p attr =
+  match p with
+  | Pref.Pos (a, _) | Pref.Neg (a, _) | Pref.Pos_neg (a, _, _)
+  | Pref.Pos_pos (a, _, _) | Pref.Explicit (a, _) | Pref.Around (a, _)
+  | Pref.Between (a, _, _) | Pref.Lowest a | Pref.Highest a
+  | Pref.Score (a, _) ->
+    if String.equal a attr then Some p else None
+  | Pref.Antichain _ -> None
+  | Pref.Dual q -> base_for_attr q attr
+  | Pref.Pareto (q1, q2) | Pref.Prior (q1, q2) | Pref.Rank (_, q1, q2)
+  | Pref.Inter (q1, q2) | Pref.Dunion (q1, q2) -> (
+    match base_for_attr q1 attr with
+    | Some _ as r -> r
+    | None -> base_for_attr q2 attr)
+  | Pref.Lsum s -> if String.equal s.ls_attr attr then Some p else None
+  | Pref.Two_graphs s -> if String.equal s.tg_attr attr then Some p else None
+
+let level_of schema p attr t =
+  match base_for_attr p attr with
+  | None -> None
+  | Some base -> level base (Tuple.get_by_name schema t attr)
+
+let distance_of schema p attr t =
+  match base_for_attr p attr with
+  | None -> None
+  | Some base -> distance base (Tuple.get_by_name schema t attr)
+
+let level_in_graph schema p rel t =
+  let g = Show.better_than_graph schema p rel in
+  Pref_order.Graph.level_of g t

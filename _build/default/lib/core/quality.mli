@@ -1,0 +1,31 @@
+(** Quality functions LEVEL and DISTANCE (§2, §6.1).
+
+    Non-numerical base preferences induce a discrete level function (level 1
+    = maximal values); numerical base preferences induce a continuous
+    distance function. Preference SQL exposes both through the [BUT ONLY]
+    clause to supervise required quality, and they serve query explanation. *)
+
+open Pref_relation
+
+val level : Pref.t -> Value.t -> int option
+(** Intrinsic level of a value under a non-numerical base preference:
+    POS (1/2), NEG (1/2), POS/NEG (1/2/3), POS/POS (1/2/3), EXPLICIT (graph
+    level, with out-of-range values one level below the deepest), and linear
+    sums of such preferences. [None] for numerical or complex terms. *)
+
+val distance : Pref.t -> Value.t -> float option
+(** Distance for AROUND and BETWEEN (Definition 7); [None] otherwise. *)
+
+val base_for_attr : Pref.t -> string -> Pref.t option
+(** The first base preference on the given attribute inside a complex term —
+    how [BUT ONLY LEVEL(color) <= 2] locates the preference it supervises. *)
+
+val level_of : Schema.t -> Pref.t -> string -> Tuple.t -> int option
+(** [level_of schema p attr t]: intrinsic level of [t]'s value under the base
+    preference on [attr] inside [p]. *)
+
+val distance_of : Schema.t -> Pref.t -> string -> Tuple.t -> float option
+
+val level_in_graph : Schema.t -> Pref.t -> Relation.t -> Tuple.t -> int
+(** Level of a tuple in the better-than graph of the database preference
+    [P_R] (Definition 2 applied to [R]); an O(|R|²) diagnostic. *)

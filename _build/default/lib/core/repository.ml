@@ -1,0 +1,147 @@
+exception Error of string
+
+type entry = {
+  name : string;
+  owner : string;
+  description : string;
+  term : Pref.t;
+}
+
+type t = {
+  registry : Serialize.registry;
+  mutable entries : entry list;  (** newest first; names unique *)
+}
+
+let create ?(registry = Serialize.empty_registry) () = { registry; entries = [] }
+
+let entries repo = List.rev repo.entries
+let size repo = List.length repo.entries
+
+let find repo name =
+  List.find_opt (fun e -> String.equal e.name name) repo.entries
+
+let find_exn repo name =
+  match find repo name with
+  | Some e -> e
+  | None -> raise (Error (Printf.sprintf "no preference named %S" name))
+
+let mem repo name = find repo name <> None
+
+let add repo ?(owner = "") ?(description = "") ~name term =
+  if mem repo name then
+    raise (Error (Printf.sprintf "preference %S already exists" name));
+  repo.entries <- { name; owner; description; term } :: repo.entries
+
+let replace repo ?(owner = "") ?(description = "") ~name term =
+  repo.entries <-
+    { name; owner; description; term }
+    :: List.filter (fun e -> not (String.equal e.name name)) repo.entries
+
+let remove repo name =
+  let before = size repo in
+  repo.entries <- List.filter (fun e -> not (String.equal e.name name)) repo.entries;
+  size repo < before
+
+let by_owner repo owner =
+  List.rev (List.filter (fun e -> String.equal e.owner owner) repo.entries)
+
+let term repo name = (find_exn repo name).term
+
+(* Building complex preferences from stored ones — the compositional side
+   of preference engineering over a repository. *)
+
+let pareto_of repo names = Pref.pareto_all (List.map (term repo) names)
+let prior_of repo names = Pref.prior_all (List.map (term repo) names)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: one record per line, tab-separated header fields, the
+   term in the canonical Serialize format (which never contains tabs or
+   newlines). *)
+
+let escape_field s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape_field s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] = '\\' && i + 1 < n then begin
+      (match s.[i + 1] with
+      | 't' -> Buffer.add_char buf '\t'
+      | 'n' -> Buffer.add_char buf '\n'
+      | c -> Buffer.add_char buf c);
+      go (i + 2)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let to_string repo =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# preference repository v1\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\t%s\t%s\t%s\n" (escape_field e.name)
+           (escape_field e.owner)
+           (escape_field e.description)
+           (Serialize.to_string e.term)))
+    (entries repo);
+  Buffer.contents buf
+
+let parse_line registry lineno line =
+  match String.split_on_char '\t' line with
+  | [ name; owner; description; term_src ] -> (
+    try
+      {
+        name = unescape_field name;
+        owner = unescape_field owner;
+        description = unescape_field description;
+        term = Serialize.of_string ~registry term_src;
+      }
+    with
+    | Serialize.Error (msg, _) ->
+      raise (Error (Printf.sprintf "line %d: %s" lineno msg))
+    | Invalid_argument msg ->
+      raise (Error (Printf.sprintf "line %d: %s" lineno msg)))
+  | _ -> raise (Error (Printf.sprintf "line %d: malformed record" lineno))
+
+let of_string ?(registry = Serialize.empty_registry) src =
+  let repo = create ~registry () in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then begin
+        let e = parse_line registry (i + 1) line in
+        if mem repo e.name then
+          raise (Error (Printf.sprintf "line %d: duplicate name %S" (i + 1) e.name));
+        repo.entries <- e :: repo.entries
+      end)
+    (String.split_on_char '\n' src);
+  repo
+
+let save path repo =
+  let oc = open_out path in
+  output_string oc (to_string repo);
+  close_out oc
+
+let load ?registry path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string ?registry s

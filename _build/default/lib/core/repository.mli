@@ -1,0 +1,52 @@
+(** A persistent preference repository (§7 outlook).
+
+    Named preference terms with owners and descriptions, persisted through
+    {!Serialize}. Supports the compositional workflow of preference
+    engineering: look up stored preferences by name and accumulate them with
+    ⊗ or &, including preferences from several parties (owners). *)
+
+exception Error of string
+
+type entry = {
+  name : string;
+  owner : string;
+  description : string;
+  term : Pref.t;
+}
+
+type t
+
+val create : ?registry:Serialize.registry -> unit -> t
+(** The registry resolves SCORE / rank(F) function names on load. *)
+
+val entries : t -> entry list
+(** Insertion order. *)
+
+val size : t -> int
+val mem : t -> string -> bool
+val find : t -> string -> entry option
+
+val find_exn : t -> string -> entry
+(** Raises {!Error} for unknown names. *)
+
+val term : t -> string -> Pref.t
+
+val add : t -> ?owner:string -> ?description:string -> name:string -> Pref.t -> unit
+(** Raises {!Error} if the name is taken. *)
+
+val replace : t -> ?owner:string -> ?description:string -> name:string -> Pref.t -> unit
+val remove : t -> string -> bool
+
+val by_owner : t -> string -> entry list
+
+val pareto_of : t -> string list -> Pref.t
+(** Pareto accumulation of stored preferences, by name. *)
+
+val prior_of : t -> string list -> Pref.t
+
+val to_string : t -> string
+val of_string : ?registry:Serialize.registry -> string -> t
+(** Raises {!Error} on malformed input or duplicate names. *)
+
+val save : string -> t -> unit
+val load : ?registry:Serialize.registry -> string -> t

@@ -1,0 +1,110 @@
+open Pref
+
+(* The syntactic dual: push one Dual into the constructor when a dual-free
+   form exists (HIGHEST ≡ LOWEST∂, POS∂ ≡ NEG, (S↔)∂ ≡ S↔, (P∂)∂ ≡ P).
+   [equal r (syntactic_dual q)] then recognises "r is the dual of q" even
+   after r itself was normalised — e.g. LOWEST(a) ⊗ HIGHEST(a). *)
+let syntactic_dual = function
+  | Dual q -> q
+  | Lowest a -> Highest a
+  | Highest a -> Lowest a
+  | Pos (a, s) -> Neg (a, s)
+  | Neg (a, s) -> Pos (a, s)
+  | Antichain l -> Antichain l
+  | ( Pos_neg _ | Pos_pos _ | Explicit _ | Around _ | Between _ | Score _
+    | Pareto _ | Prior _ | Rank _ | Inter _ | Dunion _ | Lsum _
+    | Two_graphs _ ) as q ->
+    Dual q
+
+let is_dual_pair q r = equal r (syntactic_dual q) || equal q (syntactic_dual r)
+
+(* One top-level rewrite step; [None] when no rule applies at the root.
+   Every rule is an instance of a law from §4, so rewriting preserves
+   preference equivalence (Definition 13). *)
+let step p =
+  match p with
+  (* (P∂)∂ ≡ P *)
+  | Dual (Dual q) -> Some q
+  (* HIGHEST ≡ LOWEST∂ and LOWEST ≡ HIGHEST∂ *)
+  | Dual (Lowest a) -> Some (Highest a)
+  | Dual (Highest a) -> Some (Lowest a)
+  (* POS∂ ≡ NEG, NEG∂ ≡ POS (equal value sets) *)
+  | Dual (Pos (a, s)) -> Some (Neg (a, s))
+  | Dual (Neg (a, s)) -> Some (Pos (a, s))
+  (* (S↔)∂ ≡ S↔ *)
+  | Dual (Antichain l) -> Some (Antichain l)
+  (* (P1 ⊕ P2)∂ ≡ P2∂ ⊕ P1∂ *)
+  | Dual (Lsum s) ->
+    Some
+      (Lsum
+         {
+           s with
+           ls_left = Dual s.ls_right;
+           ls_left_dom = s.ls_right_dom;
+           ls_right = Dual s.ls_left;
+           ls_right_dom = s.ls_left_dom;
+         })
+  (* P ♦ P ≡ P *)
+  | Inter (q, r) when equal q r -> Some q
+  (* P ♦ P∂ ≡ A↔ *)
+  | Inter (q, r) when is_dual_pair q r -> Some (Antichain (attrs q))
+  (* P ♦ A↔ ≡ A↔ when attrs P ⊆ A (law g generalised) *)
+  | Inter (q, Antichain l) when Attr.subset (attrs q) l -> Some (Antichain l)
+  | Inter (Antichain l, q) when Attr.subset (attrs q) l -> Some (Antichain l)
+  (* P & P ≡ P,  P & P∂ ≡ P *)
+  | Prior (q, r) when equal q r -> Some q
+  | Prior (q, r) when equal r (syntactic_dual q) -> Some q
+  (* P & A↔ ≡ P when A ⊆ attrs P (law j) *)
+  | Prior (q, Antichain l) when Attr.subset l (attrs q) -> Some q
+  (* A↔ & P ≡ A↔ when attrs P ⊆ A (law k) *)
+  | Prior (Antichain l, q) when Attr.subset (attrs q) l -> Some (Antichain l)
+  (* Proposition 4(a) generalised: P1 & P2 ≡ P1 when attrs P2 ⊆ attrs P1 *)
+  | Prior (q, r) when Attr.subset (attrs r) (attrs q) -> Some q
+  (* P ⊗ P ≡ P *)
+  | Pareto (q, r) when equal q r -> Some q
+  (* P ⊗ P∂ ≡ A↔ (law n) *)
+  | Pareto (q, r) when is_dual_pair q r -> Some (Antichain (attrs q))
+  (* A↔ ⊗ P ≡ A↔ & P (law m), both orientations via commutativity *)
+  | Pareto (Antichain l, q) -> Some (Prior (Antichain l, q))
+  | Pareto (q, Antichain l) -> Some (Prior (Antichain l, q))
+  (* Proposition 6: P1 ⊗ P2 ≡ P1 ♦ P2 for identical attribute sets *)
+  | Pareto (q, r) when Attr.equal (attrs q) (attrs r) -> Some (Inter (q, r))
+  (* P + A↔ ≡ P (x <+ y iff x <P y ∨ false); the subset condition keeps the
+     attribute set of the term unchanged, as Definition 13 requires *)
+  | Dunion (q, Antichain l) when Attr.subset l (attrs q) -> Some q
+  | Dunion (Antichain l, q) when Attr.subset l (attrs q) -> Some q
+  | Pos _ | Neg _ | Pos_neg _ | Pos_pos _ | Explicit _ | Around _ | Between _
+  | Lowest _ | Highest _ | Score _ | Antichain _ | Dual _ | Pareto _ | Prior _
+  | Rank _ | Inter _ | Dunion _ | Lsum _ | Two_graphs _ ->
+    None
+
+let rec rewrite_root p = match step p with None -> p | Some q -> rewrite_root q
+
+let rec simplify p =
+  let p' =
+    match p with
+    | Pos _ | Neg _ | Pos_neg _ | Pos_pos _ | Explicit _ | Around _
+    | Between _ | Lowest _ | Highest _ | Score _ | Antichain _
+    | Two_graphs _ ->
+      p
+    | Dual q -> Dual (simplify q)
+    | Pareto (q, r) -> Pareto (simplify q, simplify r)
+    | Prior (q, r) -> Prior (simplify q, simplify r)
+    | Rank (f, q, r) -> Rank (f, simplify q, simplify r)
+    | Inter (q, r) -> Inter (simplify q, simplify r)
+    | Dunion (q, r) -> Dunion (simplify q, simplify r)
+    | Lsum s ->
+      Lsum { s with ls_left = simplify s.ls_left; ls_right = simplify s.ls_right }
+  in
+  let p'' = rewrite_root p' in
+  if equal p'' p' then p'' else simplify p''
+
+let rec size = function
+  | Pos _ | Neg _ | Pos_neg _ | Pos_pos _ | Explicit _ | Around _ | Between _
+  | Lowest _ | Highest _ | Score _ | Antichain _ | Two_graphs _ ->
+    1
+  | Dual q -> 1 + size q
+  | Pareto (q, r) | Prior (q, r) | Rank (_, q, r) | Inter (q, r) | Dunion (q, r)
+    ->
+    1 + size q + size r
+  | Lsum s -> 1 + size s.ls_left + size s.ls_right

@@ -1,0 +1,19 @@
+(** Equivalence-preserving simplification of preference terms.
+
+    A small rewriting engine applying the laws of §4 syntactically: dual
+    elimination, idempotence, anti-chain absorption, the generalised
+    discrimination collapse (Proposition 4a) and the Pareto-to-intersection
+    collapse on shared attribute sets (Proposition 6). This is the seed of
+    the "preference query optimizer" the paper's outlook calls for: every
+    rule preserves ≡ (Definition 13), hence BMO results (Proposition 7). *)
+
+val step : Pref.t -> Pref.t option
+(** One rewrite at the root, [None] if no rule applies. *)
+
+val simplify : Pref.t -> Pref.t
+(** Bottom-up rewriting to a fixpoint. Terminates: every rule either shrinks
+    the term or moves strictly down a well-founded constructor ordering
+    (⊗ → & / ♦, which no rule reverses). *)
+
+val size : Pref.t -> int
+(** Number of constructors, for optimizer metrics and tests. *)

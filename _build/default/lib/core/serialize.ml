@@ -1,0 +1,413 @@
+open Pref_relation
+
+exception Error of string * int
+
+type registry = {
+  scores : (string * (Value.t -> float)) list;
+  combiners : (string * (float -> float -> float)) list;
+}
+
+let empty_registry = { scores = []; combiners = [] }
+
+(* "w1*x + w2*y" combiners round-trip without registration. *)
+let parse_weighted_sum name =
+  (* accept the exact shape produced by Pref.weighted_sum *)
+  match String.index_opt name '*' with
+  | None -> None
+  | Some star -> (
+    let w1 = float_of_string_opt (String.sub name 0 star) in
+    let rest = String.sub name (star + 1) (String.length name - star - 1) in
+    match w1, String.split_on_char '+' rest with
+    | Some w1, [ left; right ] when String.trim left = "x" -> (
+      let right = String.trim right in
+      match String.index_opt right '*' with
+      | Some star2
+        when String.sub right (star2 + 1) (String.length right - star2 - 1)
+             = "y" -> (
+        match float_of_string_opt (String.sub right 0 star2) with
+        | Some w2 -> Some (Pref.weighted_sum w1 w2)
+        | None -> None)
+      | _ -> None)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let pp_value ppf v =
+  match v with
+  | Value.Str s -> Fmt.pf ppf "%S" s
+  | Value.Date d -> Fmt.pf ppf "%04d-%02d-%02d" d.Value.year d.Value.month d.Value.day
+  | Value.Null -> Fmt.string ppf "NULL"
+  | Value.Bool b -> Fmt.string ppf (if b then "TRUE" else "FALSE")
+  | Value.Int i -> Fmt.int ppf i
+  | Value.Float f -> Fmt.pf ppf "%h" f
+
+let pp_set ppf set = Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp_value) set
+
+let rec pp ppf p =
+  match p with
+  | Pref.Pos (a, set) -> Fmt.pf ppf "POS(%s; %a)" a pp_set set
+  | Pref.Neg (a, set) -> Fmt.pf ppf "NEG(%s; %a)" a pp_set set
+  | Pref.Pos_neg (a, ps, ns) ->
+    Fmt.pf ppf "POSNEG(%s; %a; %a)" a pp_set ps pp_set ns
+  | Pref.Pos_pos (a, p1, p2) ->
+    Fmt.pf ppf "POSPOS(%s; %a; %a)" a pp_set p1 pp_set p2
+  | Pref.Explicit (a, edges) ->
+    Fmt.pf ppf "EXPLICIT(%s; {%a})" a
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (w, b) ->
+            pf ppf "(%a < %a)" pp_value w pp_value b))
+      edges
+  | Pref.Around (a, z) -> Fmt.pf ppf "AROUND(%s; %h)" a z
+  | Pref.Between (a, low, up) -> Fmt.pf ppf "BETWEEN(%s; %h; %h)" a low up
+  | Pref.Lowest a -> Fmt.pf ppf "LOWEST(%s)" a
+  | Pref.Highest a -> Fmt.pf ppf "HIGHEST(%s)" a
+  | Pref.Score (a, f) -> Fmt.pf ppf "SCORE(%s; %S)" a f.Pref.sname
+  | Pref.Antichain l ->
+    Fmt.pf ppf "ANTICHAIN(%a)" Fmt.(list ~sep:(any ", ") string) l
+  | Pref.Dual q -> Fmt.pf ppf "DUAL(%a)" pp q
+  | Pref.Pareto (q, r) -> Fmt.pf ppf "PARETO(%a; %a)" pp q pp r
+  | Pref.Prior (q, r) -> Fmt.pf ppf "PRIOR(%a; %a)" pp q pp r
+  | Pref.Rank (f, q, r) ->
+    Fmt.pf ppf "RANK(%S; %a; %a)" f.Pref.cname pp q pp r
+  | Pref.Inter (q, r) -> Fmt.pf ppf "INTER(%a; %a)" pp q pp r
+  | Pref.Dunion (q, r) -> Fmt.pf ppf "DUNION(%a; %a)" pp q pp r
+  | Pref.Lsum s ->
+    Fmt.pf ppf "LSUM(%s; %a; %a; %a; %a)" s.Pref.ls_attr pp s.Pref.ls_left
+      pp_set s.Pref.ls_left_dom pp s.Pref.ls_right pp_set s.Pref.ls_right_dom
+  | Pref.Two_graphs s ->
+    let pp_edges ppf edges =
+      Fmt.pf ppf "{%a}"
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf (w, b) ->
+              pf ppf "(%a < %a)" pp_value w pp_value b))
+        edges
+    in
+    Fmt.pf ppf "TWOGRAPHS(%s; %a; %a; %a; %a)" s.Pref.tg_attr pp_edges
+      s.Pref.tg_pos pp_set s.Pref.tg_pos_singles pp_edges s.Pref.tg_neg pp_set
+      s.Pref.tg_neg_singles
+
+let to_string p = Fmt.str "%a" pp p
+
+(* ------------------------------------------------------------------ *)
+(* Lexing                                                              *)
+
+type token =
+  | Word of string
+  | Str of string
+  | Num of float
+  | Int of int
+  | Sym of char
+  | Eof
+
+type lstate = { mutable toks : (token * int) list }
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let is_num_start c = (c >= '0' && c <= '9') || c = '-' || c = '+' in
+  let rec scan i =
+    if i >= n then out := (Eof, i) :: !out
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> scan (i + 1)
+      | '(' | ')' | '{' | '}' | ';' | ',' | '<' ->
+        out := (Sym src.[i], i) :: !out;
+        scan (i + 1)
+      | '"' ->
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Error ("unterminated string", i))
+          else if src.[j] = '\\' && j + 1 < n then begin
+            (* OCaml-style escapes, matching the %S printer *)
+            (match src.[j + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'b' -> Buffer.add_char buf '\b'
+            | '0' .. '9' when j + 3 < n ->
+              Buffer.add_char buf
+                (Char.chr (int_of_string (String.sub src (j + 1) 3)))
+            | c -> Buffer.add_char buf c);
+            let width =
+              match src.[j + 1] with '0' .. '9' -> 4 | _ -> 2
+            in
+            str (j + width)
+          end
+          else if src.[j] = '"' then j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            str (j + 1)
+          end
+        in
+        let after = str (i + 1) in
+        out := (Str (Buffer.contents buf), i) :: !out;
+        scan after
+      | c when is_num_start c || (c = '0') ->
+        (* numbers, including hex floats from %h and dates 2001-11-23 *)
+        let j = ref i in
+        if src.[!j] = '-' || src.[!j] = '+' then incr j;
+        let word_end = ref !j in
+        while
+          !word_end < n
+          &&
+          match src.[!word_end] with
+          | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' | 'x' | 'X' | '.' | '-' | '+'
+          | 'p' | 'P' ->
+            true
+          | _ -> false
+        do
+          incr word_end
+        done;
+        let text = String.sub src i (!word_end - i) in
+        (* date? *)
+        (match Value.of_string_as Value.TDate text with
+        | Some (Value.Date _) ->
+          out := (Word text, i) :: !out (* re-parse as date in [value] *)
+        | _ -> (
+          match int_of_string_opt text with
+          | Some k -> out := (Int k, i) :: !out
+          | None -> (
+            match float_of_string_opt text with
+            | Some f -> out := (Num f, i) :: !out
+            | None -> raise (Error (Printf.sprintf "bad number %S" text, i)))));
+        scan !word_end
+      | c when is_word c ->
+        let j = ref i in
+        while !j < n && is_word src.[!j] do
+          incr j
+        done;
+        out := (Word (String.sub src i (!j - i)), i) :: !out;
+        scan !j
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c, i))
+  in
+  scan 0;
+  { toks = List.rev !out }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Eof
+let pos st = match st.toks with (_, p) :: _ -> p | [] -> 0
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let fail st msg = raise (Error (msg, pos st))
+
+let eat_sym st c =
+  match peek st with
+  | Sym x when x = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let try_sym st c =
+  match peek st with
+  | Sym x when x = c ->
+    advance st;
+    true
+  | _ -> false
+
+let word st =
+  match peek st with
+  | Word w ->
+    advance st;
+    w
+  | _ -> fail st "expected a name"
+
+let string_lit st =
+  match peek st with
+  | Str s ->
+    advance st;
+    s
+  | _ -> fail st "expected a quoted string"
+
+let number st =
+  match peek st with
+  | Int i ->
+    advance st;
+    float_of_int i
+  | Num f ->
+    advance st;
+    f
+  | _ -> fail st "expected a number"
+
+let value st =
+  match peek st with
+  | Int i ->
+    advance st;
+    Value.Int i
+  | Num f ->
+    advance st;
+    Value.Float f
+  | Str s ->
+    advance st;
+    Value.Str s
+  | Word "NULL" ->
+    advance st;
+    Value.Null
+  | Word "TRUE" ->
+    advance st;
+    Value.Bool true
+  | Word "FALSE" ->
+    advance st;
+    Value.Bool false
+  | Word w -> (
+    match Value.of_string_as Value.TDate w with
+    | Some d ->
+      advance st;
+      d
+    | None -> fail st (Printf.sprintf "expected a value, got %S" w))
+  | _ -> fail st "expected a value"
+
+let value_set st =
+  eat_sym st '{';
+  if try_sym st '}' then []
+  else
+    let rec go acc =
+      let v = value st in
+      if try_sym st ',' then go (v :: acc)
+      else begin
+        eat_sym st '}';
+        List.rev (v :: acc)
+      end
+    in
+    go []
+
+let edge_set st =
+  eat_sym st '{';
+  if try_sym st '}' then []
+  else
+    let rec go acc =
+      eat_sym st '(';
+      let w = value st in
+      eat_sym st '<';
+      let b = value st in
+      eat_sym st ')';
+      if try_sym st ',' then go ((w, b) :: acc)
+      else begin
+        eat_sym st '}';
+        List.rev ((w, b) :: acc)
+      end
+    in
+    go []
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+let rec term registry st =
+  let kw = word st in
+  eat_sym st '(';
+  let p =
+    match String.uppercase_ascii kw with
+    | "POS" ->
+      let a = word st in
+      eat_sym st ';';
+      Pref.pos a (value_set st)
+    | "NEG" ->
+      let a = word st in
+      eat_sym st ';';
+      Pref.neg a (value_set st)
+    | "POSNEG" ->
+      let a = word st in
+      eat_sym st ';';
+      let ps = value_set st in
+      eat_sym st ';';
+      Pref.pos_neg a ~pos:ps ~neg:(value_set st)
+    | "POSPOS" ->
+      let a = word st in
+      eat_sym st ';';
+      let p1 = value_set st in
+      eat_sym st ';';
+      Pref.pos_pos a ~pos1:p1 ~pos2:(value_set st)
+    | "EXPLICIT" ->
+      let a = word st in
+      eat_sym st ';';
+      Pref.explicit a (edge_set st)
+    | "AROUND" ->
+      let a = word st in
+      eat_sym st ';';
+      Pref.around a (number st)
+    | "BETWEEN" ->
+      let a = word st in
+      eat_sym st ';';
+      let low = number st in
+      eat_sym st ';';
+      Pref.between a ~low ~up:(number st)
+    | "LOWEST" -> Pref.lowest (word st)
+    | "HIGHEST" -> Pref.highest (word st)
+    | "SCORE" -> (
+      let a = word st in
+      eat_sym st ';';
+      let name = string_lit st in
+      match List.assoc_opt name registry.scores with
+      | Some f -> Pref.score a ~name f
+      | None -> fail st (Printf.sprintf "unknown scoring function %S" name))
+    | "ANTICHAIN" ->
+      let rec names acc =
+        let a = word st in
+        if try_sym st ',' then names (a :: acc) else List.rev (a :: acc)
+      in
+      Pref.antichain (names [])
+    | "DUAL" -> Pref.dual (term registry st)
+    | "PARETO" ->
+      let q = term registry st in
+      eat_sym st ';';
+      Pref.pareto q (term registry st)
+    | "PRIOR" ->
+      let q = term registry st in
+      eat_sym st ';';
+      Pref.prior q (term registry st)
+    | "RANK" -> (
+      let name = string_lit st in
+      eat_sym st ';';
+      let q = term registry st in
+      eat_sym st ';';
+      let r = term registry st in
+      match List.assoc_opt name registry.combiners with
+      | Some f -> Pref.rank { Pref.cname = name; combine = f } q r
+      | None -> (
+        match parse_weighted_sum name with
+        | Some f -> Pref.rank f q r
+        | None -> fail st (Printf.sprintf "unknown combining function %S" name)))
+    | "INTER" ->
+      let q = term registry st in
+      eat_sym st ';';
+      Pref.inter q (term registry st)
+    | "DUNION" ->
+      let q = term registry st in
+      eat_sym st ';';
+      Pref.dunion q (term registry st)
+    | "TWOGRAPHS" ->
+      let a = word st in
+      eat_sym st ';';
+      let pos_edges = edge_set st in
+      eat_sym st ';';
+      let pos_singles = value_set st in
+      eat_sym st ';';
+      let neg_edges = edge_set st in
+      eat_sym st ';';
+      let neg_singles = value_set st in
+      Pref.two_graphs ~attr:a ~pos_edges ~pos_singles ~neg_edges ~neg_singles
+        ()
+    | "LSUM" ->
+      let a = word st in
+      eat_sym st ';';
+      let left = term registry st in
+      eat_sym st ';';
+      let left_dom = value_set st in
+      eat_sym st ';';
+      let right = term registry st in
+      eat_sym st ';';
+      let right_dom = value_set st in
+      Pref.lsum ~attr:a (left, left_dom) (right, right_dom)
+    | other -> fail st (Printf.sprintf "unknown constructor %S" other)
+  in
+  eat_sym st ')';
+  p
+
+let of_string ?(registry = empty_registry) src =
+  let st = tokenize src in
+  let p = term registry st in
+  (match peek st with
+  | Eof -> ()
+  | _ -> fail st "unexpected trailing input");
+  p

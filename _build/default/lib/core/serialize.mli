@@ -1,0 +1,41 @@
+(** Canonical textual serialization of preference terms.
+
+    The paper's outlook (§7) calls for "a persistent preference repository";
+    this module provides its storage format: a total printer covering every
+    constructor (unlike the Preference SQL surface syntax) and a parser that
+    round-trips it. Function-valued components (SCORE and rank(F)) are
+    stored by name and resolved against a registry on load; combiners
+    produced by {!Pref.weighted_sum} are recognised structurally and need no
+    registration.
+
+    Grammar sketch: [POS(attr; {values})], [POSNEG(a; {..}; {..})],
+    [EXPLICIT(a; {(worse < better), ...})], [AROUND(a; num)],
+    [BETWEEN(a; lo; hi)], [LOWEST(a)], [SCORE(a; "name")],
+    [ANTICHAIN(a, b)], [DUAL(t)], [PARETO(t; t)], [PRIOR(t; t)],
+    [RANK("name"; t; t)], [INTER(t; t)], [DUNION(t; t)],
+    [LSUM(a; t; {dom}; t; {dom})]. Floats print in hexadecimal ([%h]) so the
+    round-trip is exact; strings use OCaml escaping; dates print as
+    [YYYY-MM-DD]. *)
+
+open Pref_relation
+
+exception Error of string * int
+(** Message and byte offset. *)
+
+type registry = {
+  scores : (string * (Value.t -> float)) list;
+  combiners : (string * (float -> float -> float)) list;
+}
+
+val empty_registry : registry
+
+val parse_weighted_sum : string -> Pref.combine_fn option
+(** Recognise the name shape produced by {!Pref.weighted_sum}. *)
+
+val pp : Pref.t Fmt.t
+val to_string : Pref.t -> string
+
+val of_string : ?registry:registry -> string -> Pref.t
+(** Raises {!Error} on malformed input or unknown function names. All smart
+    constructor validations run, so a stored term that violates an invariant
+    (e.g. a cyclic EXPLICIT graph) is rejected with [Invalid_argument]. *)

@@ -1,0 +1,71 @@
+open Pref_relation
+
+let pp_set ppf set =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") Value.pp_quoted) set
+
+(* Mixed binary operators are always parenthesised; only chains of one and
+   the same associative operator print flat. *)
+let rec pp ppf p = pp_in None ppf p
+
+and pp_in parent ppf p =
+  let open Pref in
+  let binop sym p1 p2 =
+    let doc ppf () =
+      Fmt.pf ppf "%a %s %a" (pp_in (Some sym)) p1 sym (pp_in (Some sym)) p2
+    in
+    match parent with
+    | Some psym when String.equal psym sym -> doc ppf ()
+    | None -> doc ppf ()
+    | Some _ -> Fmt.pf ppf "(%a)" doc ()
+  in
+  match p with
+  | Pos (a, set) -> Fmt.pf ppf "POS(%s; %a)" a pp_set set
+  | Neg (a, set) -> Fmt.pf ppf "NEG(%s; %a)" a pp_set set
+  | Pos_neg (a, ps, ns) -> Fmt.pf ppf "POS/NEG(%s; %a; %a)" a pp_set ps pp_set ns
+  | Pos_pos (a, p1, p2) -> Fmt.pf ppf "POS/POS(%s; %a; %a)" a pp_set p1 pp_set p2
+  | Explicit (a, edges) ->
+    Fmt.pf ppf "EXPLICIT(%s; {%a})" a
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (w, b) ->
+            pf ppf "(%a < %a)" Value.pp_quoted w Value.pp_quoted b))
+      edges
+  | Around (a, z) -> Fmt.pf ppf "AROUND(%s, %g)" a z
+  | Between (a, low, up) -> Fmt.pf ppf "BETWEEN(%s, [%g, %g])" a low up
+  | Lowest a -> Fmt.pf ppf "LOWEST(%s)" a
+  | Highest a -> Fmt.pf ppf "HIGHEST(%s)" a
+  | Score (a, f) -> Fmt.pf ppf "SCORE(%s, %s)" a f.sname
+  | Antichain l -> Fmt.pf ppf "%a<->" Attr.pp l
+  | Dual p -> Fmt.pf ppf "(%a)^d" pp p
+  | Pareto (p1, p2) -> binop "(x)" p1 p2
+  | Prior (p1, p2) -> binop "&" p1 p2
+  | Rank (f, p1, p2) ->
+    Fmt.pf ppf "rank[%s](%a, %a)" f.cname (pp_in None) p1 (pp_in None) p2
+  | Inter (p1, p2) -> binop "<>" p1 p2
+  | Dunion (p1, p2) -> binop "+" p1 p2
+  | Lsum s ->
+    Fmt.pf ppf "(%a (+) %a : %s)" (pp_in None) s.ls_left (pp_in None)
+      s.ls_right s.ls_attr
+  | Two_graphs s ->
+    let pp_edges ppf edges =
+      Fmt.(list ~sep:(any ", "))
+        (fun ppf (w, b) ->
+          Fmt.pf ppf "(%a < %a)" Value.pp_quoted w Value.pp_quoted b)
+        ppf edges
+    in
+    Fmt.pf ppf "TWOGRAPHS(%s; {%a}; %a; {%a}; %a)" s.tg_attr pp_edges s.tg_pos
+      pp_set s.tg_pos_singles pp_edges s.tg_neg pp_set s.tg_neg_singles
+
+let to_string p = Fmt.str "%a" pp p
+
+let better_than_graph schema p rel =
+  let rows = Relation.rows rel in
+  let c = Pref.compile schema p in
+  Pref_order.Graph.of_order ~equal:Tuple.equal (fun x y -> c y x) rows
+
+let pp_graph schema attrs_to_show ppf g =
+  let pp_node ppf t =
+    match attrs_to_show with
+    | [] -> Tuple.pp ppf t
+    | names -> Tuple.pp ppf (Tuple.project schema t names)
+  in
+  Pref_order.Graph.pp_levels pp_node ppf g

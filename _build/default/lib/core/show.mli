@@ -1,0 +1,21 @@
+(** Rendering of preference terms and better-than graphs.
+
+    ASCII stand-ins are used for the paper's operator glyphs: [(x)] for
+    Pareto ⊗, [&] for prioritized, [<>] for intersection ♦, [+] for disjoint
+    union, [(+)] for linear sum ⊕, [^d] for the dual. *)
+
+open Pref_relation
+
+val pp : Pref.t Fmt.t
+val to_string : Pref.t -> string
+
+val better_than_graph :
+  Schema.t -> Pref.t -> Relation.t -> Tuple.t Pref_order.Graph.t
+(** Materialise the better-than graph (Definition 2) of the database
+    preference [P_R] — i.e. of [p] restricted to the rows of the relation. *)
+
+val pp_graph :
+  Schema.t -> string list -> Format.formatter -> Tuple.t Pref_order.Graph.t -> unit
+(** Print a better-than graph level by level, as the paper's figures do,
+    showing only the named attributes (all attributes when the list is
+    empty). *)

@@ -1,0 +1,12 @@
+let ( &> ) p q = Pref.prior p q
+let ( <*> ) p q = Pref.pareto p q
+let ( <&> ) p q = Pref.inter p q
+let ( <+> ) p q = Pref.dunion p q
+let ( ~~ ) p = Pref.dual p
+
+let pos = Pref.pos
+let neg = Pref.neg
+let around = Pref.around
+let between = Pref.between
+let lowest = Pref.lowest
+let highest = Pref.highest

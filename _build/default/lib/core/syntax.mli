@@ -1,0 +1,26 @@
+(** Infix operators for preference engineering.
+
+    [open Preferences.Syntax] and write terms the way the paper does:
+    {[
+      let q1 = p5 &> (p1 <*> p2 <*> p3) &> p4
+      (* P5 & ((P1 ⊗ P2 ⊗ P3) & P4) up to associativity *)
+    ]}
+    [&>] is prioritized accumulation (left associative, so a chain reads as
+    cascading importance), [<*>] Pareto accumulation, [<&>] intersection,
+    [<+>] disjoint union, [~~] the dual. The base constructors are
+    re-exported for convenience. *)
+
+open Pref_relation
+
+val ( &> ) : Pref.t -> Pref.t -> Pref.t
+val ( <*> ) : Pref.t -> Pref.t -> Pref.t
+val ( <&> ) : Pref.t -> Pref.t -> Pref.t
+val ( <+> ) : Pref.t -> Pref.t -> Pref.t
+val ( ~~ ) : Pref.t -> Pref.t
+
+val pos : string -> Value.t list -> Pref.t
+val neg : string -> Value.t list -> Pref.t
+val around : string -> float -> Pref.t
+val between : string -> low:float -> up:float -> Pref.t
+val lowest : string -> Pref.t
+val highest : string -> Pref.t

@@ -1,0 +1,1 @@
+lib/mining/miner.ml: Float Hashtbl List Option Pref Pref_relation Pref_sql Preferences String Value

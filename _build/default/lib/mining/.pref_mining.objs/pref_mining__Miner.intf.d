@@ -1,0 +1,1 @@
+lib/mining/miner.mli: Pref Pref_relation Pref_sql Preferences Value

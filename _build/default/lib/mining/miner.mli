@@ -1,0 +1,57 @@
+(** Preference mining from query log files (§7 outlook).
+
+    Repeated hard constraints in a user's query history reveal soft
+    preferences: the values a user keeps asking for become POS sets, the
+    ones they exclude become NEG sets, repeated numeric targets become
+    AROUND preferences, repeated ranges become BETWEEN, and ordering
+    comparisons become LOWEST / HIGHEST. Attributes that occur more often
+    are treated as more important: mined per-attribute preferences are
+    Pareto-accumulated within a frequency tier and prioritized across
+    tiers. *)
+
+open Pref_relation
+open Preferences
+
+type event =
+  | Wanted of string * Value.t
+  | Rejected of string * Value.t
+  | Target of string * float
+  | Range of string * float * float
+  | Wants_low of string
+  | Wants_high of string
+
+val event_attr : event -> string
+
+val events_of_condition : Pref_sql.Ast.condition -> event list
+val events_of_pref : Pref_sql.Ast.pref -> event list
+val events_of_query : Pref_sql.Ast.query -> event list
+val events_of_log : Pref_sql.Ast.query list -> event list
+
+val parse_log : string list -> Pref_sql.Ast.query list
+(** One query per line; blank lines, [#] comments and unparsable lines are
+    skipped. *)
+
+type config = {
+  min_support : float;
+  max_set_size : int;
+}
+
+val default_config : config
+(** min_support = 0.2, max_set_size = 4. *)
+
+type attribute_report = {
+  attr : string;
+  occurrences : int;
+  mined : Pref.t option;
+}
+
+val mine_attribute : ?config:config -> string -> event list -> Pref.t option
+
+val attribute_frequencies : event list -> (string * int) list
+(** Most frequently constrained attributes first. *)
+
+val mine : ?config:config -> event list -> Pref.t option * attribute_report list
+val mine_queries :
+  ?config:config -> Pref_sql.Ast.query list -> Pref.t option * attribute_report list
+val mine_log :
+  ?config:config -> string list -> Pref.t option * attribute_report list

@@ -1,0 +1,1 @@
+lib/negotiate/negotiate.ml: Fmt List Option Pref Pref_bmo Pref_order Pref_relation Preferences Relation Show Tuple

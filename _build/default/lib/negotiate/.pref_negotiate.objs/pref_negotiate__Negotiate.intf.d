@@ -1,0 +1,1 @@
+lib/negotiate/negotiate.mli: Fmt Pref Pref_relation Preferences Relation Schema Tuple

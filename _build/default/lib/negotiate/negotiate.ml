@@ -1,0 +1,130 @@
+open Pref_relation
+open Preferences
+
+type party = {
+  party_name : string;
+  preference : Pref.t;
+}
+
+let party ~name preference = { party_name = name; preference }
+
+type round_log = {
+  round : int;
+  acceptable : (string * int) list;
+      (** how many candidates each party accepts at this concession level *)
+  common : int;  (** size of the intersection *)
+}
+
+type outcome =
+  | Agreement of {
+      deal : Tuple.t;
+      round : int;
+      levels : (string * int) list;  (** the deal's level under each party *)
+    }
+  | No_agreement of int  (** rounds exhausted *)
+
+let combined_preference parties =
+  match parties with
+  | [] -> invalid_arg "Negotiate: no parties"
+  | _ -> Pref.pareto_all (List.map (fun p -> p.preference) parties)
+
+(* The negotiation table: nobody rationally accepts a dominated offer, so
+   bargaining happens over the Pareto-optimal set of the accumulated
+   preferences (§4.1: unranked values are the reservoir for compromises). *)
+let candidates schema parties rel =
+  Pref_bmo.Query.sigma schema (combined_preference parties) rel
+
+(* Per-party quality of every candidate: the level in the party's own
+   better-than graph restricted to the candidate set.  Level 1 = the
+   party's favourite candidates. *)
+let level_table schema parties cands =
+  let rows = Relation.rows cands in
+  List.map
+    (fun p ->
+      let g = Show.better_than_graph schema p.preference cands in
+      let level t = Pref_order.Graph.level_of g t in
+      (p.party_name, List.map (fun t -> (t, level t)) rows))
+    parties
+
+(* Monotonic concession by quality level: in round k every party accepts
+   the candidates within its own top k levels; the first non-empty common
+   set ends the negotiation with the fairest deal (minimal worst-case
+   level, then minimal total level). *)
+let negotiate ?max_rounds schema parties rel =
+  let cands = candidates schema parties rel in
+  let rows = Relation.rows cands in
+  if rows = [] then (No_agreement 0, [])
+  else begin
+    let levels = level_table schema parties cands in
+    let deepest =
+      List.fold_left
+        (fun acc (_, table) ->
+          List.fold_left (fun acc (_, l) -> max acc l) acc table)
+        1 levels
+    in
+    let max_rounds = Option.value max_rounds ~default:deepest in
+    let level_of name t =
+      let table = List.assoc name levels in
+      let rec find = function
+        | [] -> max_int
+        | (u, l) :: rest -> if Tuple.equal t u then l else find rest
+      in
+      find table
+    in
+    let logs = ref [] in
+    let rec rounds k =
+      if k > max_rounds then (No_agreement max_rounds, List.rev !logs)
+      else begin
+        let acceptable_of p =
+          List.filter (fun t -> level_of p.party_name t <= k) rows
+        in
+        let acceptable = List.map (fun p -> (p, acceptable_of p)) parties in
+        let common =
+          List.filter
+            (fun t ->
+              List.for_all
+                (fun (_, acc) -> List.exists (Tuple.equal t) acc)
+                acceptable)
+            rows
+        in
+        logs :=
+          {
+            round = k;
+            acceptable =
+              List.map (fun (p, acc) -> (p.party_name, List.length acc)) acceptable;
+            common = List.length common;
+          }
+          :: !logs;
+        match common with
+        | [] -> rounds (k + 1)
+        | _ ->
+          (* fairest deal: minimise the worst level, then the level sum *)
+          let score t =
+            let ls = List.map (fun p -> level_of p.party_name t) parties in
+            (List.fold_left max 0 ls, List.fold_left ( + ) 0 ls)
+          in
+          let deal =
+            List.fold_left
+              (fun best t -> if score t < score best then t else best)
+              (List.hd common) (List.tl common)
+          in
+          ( Agreement
+              {
+                deal;
+                round = k;
+                levels =
+                  List.map (fun p -> (p.party_name, level_of p.party_name deal)) parties;
+              },
+            List.rev !logs )
+      end
+    in
+    rounds 1
+  end
+
+let pp_outcome ppf = function
+  | Agreement a ->
+    Fmt.pf ppf "agreement in round %d on %a (%a)" a.round Tuple.pp a.deal
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (name, l) -> pf ppf "%s: level %d" name l))
+      a.levels
+  | No_agreement rounds -> Fmt.pf ppf "no agreement after %d round(s)" rounds

@@ -1,0 +1,53 @@
+(** E-negotiation on top of the preference model (§7 outlook: "the conflict
+    tolerance of our preference model forms the basis for research concerned
+    with e-negotiations and e-haggling").
+
+    Parties bring their own — possibly directly conflicting — preferences.
+    The negotiation table is the Pareto-optimal set of their accumulation
+    (no rational party accepts a dominated offer; the unranked candidates
+    are §4.1's "natural reservoir to negotiate compromises"). The protocol
+    is monotonic concession by quality level: in round k each party accepts
+    the candidates within its top k levels of its own better-than graph;
+    the first common candidate ends the negotiation, with ties broken
+    toward the fairest deal (minimal worst-case level, then minimal total
+    level). *)
+
+open Pref_relation
+open Preferences
+
+type party = {
+  party_name : string;
+  preference : Pref.t;
+}
+
+val party : name:string -> Pref.t -> party
+
+type round_log = {
+  round : int;
+  acceptable : (string * int) list;
+  common : int;
+}
+
+type outcome =
+  | Agreement of {
+      deal : Tuple.t;
+      round : int;
+      levels : (string * int) list;
+    }
+  | No_agreement of int
+
+val combined_preference : party list -> Pref.t
+(** Pareto accumulation of all parties' preferences (equal importance).
+    Raises on an empty party list. *)
+
+val candidates : Schema.t -> party list -> Relation.t -> Relation.t
+(** The negotiation table: σ[P₁ ⊗ ... ⊗ Pₖ](R). *)
+
+val negotiate :
+  ?max_rounds:int -> Schema.t -> party list -> Relation.t ->
+  outcome * round_log list
+(** Run the concession protocol; [max_rounds] defaults to the deepest level
+    any party assigns to a candidate, which guarantees agreement on a
+    non-empty table. *)
+
+val pp_outcome : outcome Fmt.t

@@ -1,0 +1,1 @@
+lib/order/cmp.mli: Fmt

@@ -1,0 +1,1 @@
+lib/order/graph.ml: Array Buffer Fmt List Printf

@@ -1,0 +1,1 @@
+lib/order/graph.mli: Fmt Format

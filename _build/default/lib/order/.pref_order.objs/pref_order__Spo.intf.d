@@ -1,0 +1,1 @@
+lib/order/spo.mli: Cmp

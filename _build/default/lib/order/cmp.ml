@@ -1,0 +1,35 @@
+type t =
+  | Worse
+  | Better
+  | Equal
+  | Unranked
+
+let flip = function
+  | Worse -> Better
+  | Better -> Worse
+  | Equal -> Equal
+  | Unranked -> Unranked
+
+let equal a b =
+  match a, b with
+  | Worse, Worse | Better, Better | Equal, Equal | Unranked, Unranked -> true
+  | (Worse | Better | Equal | Unranked), _ -> false
+
+let to_string = function
+  | Worse -> "worse"
+  | Better -> "better"
+  | Equal -> "equal"
+  | Unranked -> "unranked"
+
+let pp ppf c = Fmt.string ppf (to_string c)
+
+let of_relations ~better ~equal x y =
+  if equal x y then Equal
+  else if better x y then Better
+  else if better y x then Worse
+  else Unranked
+
+let is_better = function Better -> true | Worse | Equal | Unranked -> false
+let is_worse = function Worse -> true | Better | Equal | Unranked -> false
+
+let of_float_compare c = if c > 0 then Better else if c < 0 then Worse else Equal

@@ -1,0 +1,32 @@
+(** Outcome of comparing two values under a strict partial order.
+
+    A strict partial order [<_P] classifies any pair [(x, y)] into exactly one
+    of four cases; [Unranked] is the case that distinguishes partial from
+    total orders (Definition 1 of the paper). All outcomes are stated from the
+    perspective of the first argument: [Better] means the {e first} value is
+    strictly better than the second, i.e. [y <_P x]. *)
+
+type t =
+  | Worse  (** [x <_P y]: the first value is strictly worse. *)
+  | Better  (** [y <_P x]: the first value is strictly better. *)
+  | Equal  (** The two values are identical. *)
+  | Unranked  (** Neither is better and they are not equal. *)
+
+val flip : t -> t
+(** [flip c] is the outcome seen from the second argument's perspective. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : t Fmt.t
+
+val of_relations :
+  better:('a -> 'a -> bool) -> equal:('a -> 'a -> bool) -> 'a -> 'a -> t
+(** [of_relations ~better ~equal x y] classifies [(x, y)] given the strict
+    ['better than'] relation and an equality. [better a b] must mean "[a] is
+    strictly better than [b]". *)
+
+val is_better : t -> bool
+val is_worse : t -> bool
+
+val of_float_compare : int -> t
+(** Classify the result of a total-order [compare] (no [Unranked] outcome). *)

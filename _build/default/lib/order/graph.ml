@@ -1,0 +1,194 @@
+type 'a t = {
+  nodes : 'a array;
+  (* [edge.(i).(j)] holds iff node [i] is strictly better than node [j],
+     i.e. nodes.(j) <_P nodes.(i). *)
+  edge : bool array array;
+}
+
+let size g = Array.length g.nodes
+let nodes g = Array.to_list g.nodes
+let node g i = g.nodes.(i)
+let is_better g i j = g.edge.(i).(j)
+
+let of_order ?(equal = ( = )) better carrier =
+  (* Collapse duplicate carrier values so each node is unique. *)
+  let rec dedup acc = function
+    | [] -> List.rev acc
+    | v :: rest ->
+      if List.exists (equal v) acc then dedup acc rest else dedup (v :: acc) rest
+  in
+  let nodes = Array.of_list (dedup [] carrier) in
+  let n = Array.length nodes in
+  let edge = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then edge.(i).(j) <- better nodes.(i) nodes.(j)
+    done
+  done;
+  { nodes; edge }
+
+let of_edges ?(equal = ( = )) values pairs =
+  let nodes = Array.of_list values in
+  let n = Array.length nodes in
+  let index v =
+    let rec go i =
+      if i >= n then invalid_arg "Graph.of_edges: edge value not in node list"
+      else if equal nodes.(i) v then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let edge = Array.make_matrix n n false in
+  List.iter (fun (better_v, worse_v) -> edge.(index better_v).(index worse_v) <- true) pairs;
+  { nodes; edge }
+
+let copy_matrix m = Array.map Array.copy m
+
+let transitive_closure g =
+  let n = size g in
+  let e = copy_matrix g.edge in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if e.(i).(k) then
+        for j = 0 to n - 1 do
+          if e.(k).(j) then e.(i).(j) <- true
+        done
+    done
+  done;
+  { g with edge = e }
+
+let is_acyclic g =
+  let c = transitive_closure g in
+  let ok = ref true in
+  for i = 0 to size g - 1 do
+    if c.edge.(i).(i) then ok := false
+  done;
+  !ok
+
+let hasse g =
+  (* The transitive reduction of an acyclic graph: drop every edge implied by
+     a two-step path through the closure. *)
+  let c = transitive_closure g in
+  let n = size g in
+  let e = copy_matrix c.edge in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if e.(i).(j) then
+        for k = 0 to n - 1 do
+          if k <> i && k <> j && c.edge.(i).(k) && c.edge.(k).(j) then
+            e.(i).(j) <- false
+        done
+    done
+  done;
+  { g with edge = e }
+
+let maximal_indices g =
+  let n = size g in
+  let res = ref [] in
+  for i = n - 1 downto 0 do
+    let dominated = ref false in
+    for j = 0 to n - 1 do
+      if g.edge.(j).(i) then dominated := true
+    done;
+    if not !dominated then res := i :: !res
+  done;
+  !res
+
+let minimal_indices g =
+  let n = size g in
+  let res = ref [] in
+  for i = n - 1 downto 0 do
+    let dominates = ref false in
+    for j = 0 to n - 1 do
+      if g.edge.(i).(j) then dominates := true
+    done;
+    if not !dominates then res := i :: !res
+  done;
+  !res
+
+let maximals g = List.map (node g) (maximal_indices g)
+let minimals g = List.map (node g) (minimal_indices g)
+
+let levels g =
+  (* Definition 2: x is on level j if the longest path from a maximal value
+     down to x has j-1 edges.  Computed on the Hasse diagram by a longest-path
+     relaxation in topological order; on the closure the result is equal. *)
+  if not (is_acyclic g) then invalid_arg "Graph.levels: graph is cyclic";
+  let h = hasse g in
+  let n = size g in
+  let level = Array.make n 1 in
+  (* Topological order: repeatedly relax until fixpoint; n passes suffice for
+     a DAG of n nodes. *)
+  let changed = ref true in
+  let passes = ref 0 in
+  while !changed && !passes <= n do
+    changed := false;
+    incr passes;
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if h.edge.(i).(j) && level.(j) < level.(i) + 1 then begin
+          level.(j) <- level.(i) + 1;
+          changed := true
+        end
+      done
+    done
+  done;
+  level
+
+let level_of g v =
+  let lv = levels g in
+  let rec go i =
+    if i >= size g then invalid_arg "Graph.level_of: value not in graph"
+    else if g.nodes.(i) = v then lv.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let by_level g =
+  let lv = levels g in
+  let max_level = Array.fold_left max 1 lv in
+  List.init max_level (fun l ->
+      let l = l + 1 in
+      let res = ref [] in
+      for i = size g - 1 downto 0 do
+        if lv.(i) = l then res := g.nodes.(i) :: !res
+      done;
+      (l, !res))
+
+let unranked g i j =
+  let c = transitive_closure g in
+  i <> j && (not c.edge.(i).(j)) && not c.edge.(j).(i)
+
+let to_dot ?(name = "better_than") pp g =
+  let h = hasse g in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  rankdir=TB;\n";
+  Array.iteri
+    (fun i v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=%S];\n" i (Fmt.str "%a" pp v)))
+    h.nodes;
+  for i = 0 to size h - 1 do
+    for j = 0 to size h - 1 do
+      if h.edge.(i).(j) then
+        Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" i j)
+    done
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp_levels pp ppf g =
+  List.iter
+    (fun (l, vs) ->
+      Fmt.pf ppf "Level %d: %a@." l Fmt.(list ~sep:(any "  ") pp) vs)
+    (by_level g)
+
+let edges g =
+  let res = ref [] in
+  for i = size g - 1 downto 0 do
+    for j = size g - 1 downto 0 do
+      if g.edge.(i).(j) then res := (g.nodes.(i), g.nodes.(j)) :: !res
+    done
+  done;
+  !res

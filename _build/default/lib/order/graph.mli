@@ -1,0 +1,65 @@
+(** 'Better-than' graphs (Definition 2).
+
+    In finite domains a preference can be drawn as a directed acyclic graph
+    whose transitive reduction is the Hasse diagram. This module materialises
+    such graphs from an order relation or an explicit edge list, and derives
+    the paper's quality notions: maximal / minimal values, the discrete level
+    function (level 1 = maximal values; the level of [x] is one more than the
+    longest path from a maximal value down to [x]), and unranked pairs. *)
+
+type 'a t
+
+val of_order : ?equal:('a -> 'a -> bool) -> ('a -> 'a -> bool) -> 'a list -> 'a t
+(** [of_order better carrier] materialises the graph of a strict order over
+    the (deduplicated) carrier. [better x y] means "[x] is better than [y]",
+    so the resulting edge runs from [x] down to [y]. *)
+
+val of_edges : ?equal:('a -> 'a -> bool) -> 'a list -> ('a * 'a) list -> 'a t
+(** [of_edges values pairs] builds a graph over [values] with one edge
+    [(better, worse)] per pair. Raises [Invalid_argument] if an edge mentions
+    a value outside [values]. The edge list is {e not} transitively closed. *)
+
+val size : 'a t -> int
+val nodes : 'a t -> 'a list
+val node : 'a t -> int -> 'a
+
+val is_better : 'a t -> int -> int -> bool
+(** Direct edge test by node index (no implicit transitive closure). *)
+
+val edges : 'a t -> ('a * 'a) list
+(** All [(better, worse)] pairs with a direct edge. *)
+
+val transitive_closure : 'a t -> 'a t
+
+val hasse : 'a t -> 'a t
+(** Transitive reduction: the Hasse diagram drawn in the paper's figures. *)
+
+val is_acyclic : 'a t -> bool
+
+val maximals : 'a t -> 'a list
+(** Values without a predecessor — level 1. *)
+
+val minimals : 'a t -> 'a list
+(** Values without a successor. *)
+
+val maximal_indices : 'a t -> int list
+val minimal_indices : 'a t -> int list
+
+val levels : 'a t -> int array
+(** Level of every node, indexed like [nodes]; raises [Invalid_argument] on a
+    cyclic graph. *)
+
+val level_of : 'a t -> 'a -> int
+
+val by_level : 'a t -> (int * 'a list) list
+(** Nodes grouped by level, level 1 first — the layout of the paper's
+    better-than figures. *)
+
+val unranked : 'a t -> int -> int -> bool
+(** No directed path in either direction between the two nodes. *)
+
+val to_dot : ?name:string -> 'a Fmt.t -> 'a t -> string
+(** Graphviz rendering of the Hasse diagram. *)
+
+val pp_levels : 'a Fmt.t -> Format.formatter -> 'a t -> unit
+(** Print the graph as the paper does: one line per level. *)

@@ -1,0 +1,67 @@
+type 'a t = {
+  better : 'a -> 'a -> bool;
+  equal : 'a -> 'a -> bool;
+}
+
+let make ?(equal = ( = )) better = { better; equal }
+
+let better o = o.better
+let equal_values o = o.equal
+
+let cmp o x y = Cmp.of_relations ~better:o.better ~equal:o.equal x y
+
+let dual o = { o with better = (fun x y -> o.better y x) }
+
+let unranked o x y =
+  (not (o.equal x y)) && (not (o.better x y)) && not (o.better y x)
+
+(* Finite-carrier law checks.  These are the verification workhorses behind
+   Proposition 1: every preference term must denote a strict partial order. *)
+
+let exists_pair carrier p =
+  List.exists (fun x -> List.exists (fun y -> p x y) carrier) carrier
+
+let is_irreflexive o carrier = not (List.exists (fun x -> o.better x x) carrier)
+
+let is_asymmetric o carrier =
+  not (exists_pair carrier (fun x y -> o.better x y && o.better y x))
+
+let is_transitive o carrier =
+  not
+    (List.exists
+       (fun x ->
+         List.exists
+           (fun y ->
+             o.better x y
+             && List.exists (fun z -> o.better y z && not (o.better x z)) carrier)
+           carrier)
+       carrier)
+
+let is_strict_partial_order o carrier =
+  is_irreflexive o carrier && is_transitive o carrier
+
+let is_chain o carrier =
+  not
+    (exists_pair carrier (fun x y ->
+         (not (o.equal x y)) && (not (o.better x y)) && not (o.better y x)))
+
+let is_antichain o carrier = not (exists_pair carrier (fun x y -> o.better x y))
+
+let equivalent o1 o2 carrier =
+  not
+    (exists_pair carrier (fun x y -> o1.better x y <> o2.better x y))
+
+let maximals o carrier =
+  List.filter (fun v -> not (List.exists (fun w -> o.better w v) carrier)) carrier
+
+let minimals o carrier =
+  List.filter (fun v -> not (List.exists (fun w -> o.better v w) carrier)) carrier
+
+let range o carrier =
+  List.filter
+    (fun x -> List.exists (fun y -> o.better x y || o.better y x) carrier)
+    carrier
+
+let disjoint o1 o2 carrier =
+  let r1 = range o1 carrier and r2 = range o2 carrier in
+  not (List.exists (fun x -> List.exists (o1.equal x) r2) r1)

@@ -1,0 +1,59 @@
+(** Strict partial orders over an arbitrary value type.
+
+    A preference [P = (A, <_P)] (Definition 1) is, mathematically, a strict
+    partial order: an irreflexive and transitive (hence asymmetric) relation.
+    This module packages such a relation together with the equality of its
+    carrier, and provides the finite-carrier checks used throughout the test
+    suite to verify Proposition 1 ("each preference term defines a
+    preference") and the chain/anti-chain special cases of Definition 3. *)
+
+type 'a t
+
+val make : ?equal:('a -> 'a -> bool) -> ('a -> 'a -> bool) -> 'a t
+(** [make better] packages a strict order. [better x y] must mean "[x] is
+    strictly better than [y]", i.e. [y <_P x]. [equal] defaults to [( = )]. *)
+
+val better : 'a t -> 'a -> 'a -> bool
+val equal_values : 'a t -> 'a -> 'a -> bool
+
+val cmp : 'a t -> 'a -> 'a -> Cmp.t
+(** Classify a pair into better / worse / equal / unranked. *)
+
+val dual : 'a t -> 'a t
+(** The dual preference [P^d] of Definition 3(c): reverses the order. *)
+
+val unranked : 'a t -> 'a -> 'a -> bool
+(** [unranked o x y] holds when the two distinct values are incomparable. *)
+
+(** {1 Finite-carrier law checks}
+
+    All checks below are exhaustive over the given carrier list and hence are
+    meant for verification and testing, not for production evaluation. *)
+
+val is_irreflexive : 'a t -> 'a list -> bool
+val is_asymmetric : 'a t -> 'a list -> bool
+val is_transitive : 'a t -> 'a list -> bool
+
+val is_strict_partial_order : 'a t -> 'a list -> bool
+(** Irreflexivity plus transitivity; asymmetry follows (Definition 1). *)
+
+val is_chain : 'a t -> 'a list -> bool
+(** Definition 3(a): every pair of distinct carrier values is ranked. *)
+
+val is_antichain : 'a t -> 'a list -> bool
+(** Definition 3(b): no pair is ranked. *)
+
+val equivalent : 'a t -> 'a t -> 'a list -> bool
+(** Definition 13 restricted to a finite carrier: the two orders agree on
+    every pair. *)
+
+val maximals : 'a t -> 'a list -> 'a list
+(** [max(P)] restricted to the carrier: values with no better carrier value. *)
+
+val minimals : 'a t -> 'a list -> 'a list
+
+val range : 'a t -> 'a list -> 'a list
+(** Definition 4: carrier values that appear in at least one ranked pair. *)
+
+val disjoint : 'a t -> 'a t -> 'a list -> bool
+(** Definition 4: the ranges of the two orders do not intersect. *)

@@ -1,0 +1,1 @@
+lib/psql/ast.ml: List Pref_relation Preferences Value

@@ -1,0 +1,1 @@
+lib/psql/exec.ml: Ast Either List Option Parser Pref Pref_bmo Pref_relation Preferences Printf Relation Schema String Translate Tuple Value

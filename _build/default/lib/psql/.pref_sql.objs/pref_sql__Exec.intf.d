@@ -1,0 +1,1 @@
+lib/psql/exec.mli: Ast Pref_bmo Pref_relation Preferences Relation Translate

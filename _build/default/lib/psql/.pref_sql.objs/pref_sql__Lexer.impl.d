@@ -1,0 +1,1 @@
+lib/psql/lexer.ml: Buffer List Printf String Token

@@ -1,0 +1,1 @@
+lib/psql/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/psql/parser.ml: Array Ast Lexer List Pref_relation Printf String Token Value

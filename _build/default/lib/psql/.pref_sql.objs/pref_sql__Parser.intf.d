@@ -1,0 +1,1 @@
+lib/psql/parser.mli: Ast

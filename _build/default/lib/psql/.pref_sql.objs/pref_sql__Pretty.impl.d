@@ -1,0 +1,1 @@
+lib/psql/pretty.ml: Ast Fmt List Option Pref_relation Value

@@ -1,0 +1,1 @@
+lib/psql/pretty.mli: Ast Fmt

@@ -1,0 +1,1 @@
+lib/psql/sql92.ml: Ast Exec Float List Pref Pref_relation Preferences Pretty Printf String Translate Value

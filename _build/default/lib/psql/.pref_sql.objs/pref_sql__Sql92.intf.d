@@ -1,0 +1,1 @@
+lib/psql/sql92.mli: Ast Pref_relation Preferences Translate Value

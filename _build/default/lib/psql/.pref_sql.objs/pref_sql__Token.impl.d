@@ -1,0 +1,1 @@
+lib/psql/token.ml: Printf String

@@ -1,0 +1,1 @@
+lib/psql/token.mli:

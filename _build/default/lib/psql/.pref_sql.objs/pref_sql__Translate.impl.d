@@ -1,0 +1,1 @@
+lib/psql/translate.ml: Ast Char Float List Option Pref Pref_relation Preferences Printf Quality Schema String Tuple Value

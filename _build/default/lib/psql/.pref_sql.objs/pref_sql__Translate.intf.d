@@ -1,0 +1,1 @@
+lib/psql/translate.mli: Ast Pref_relation Preferences Schema Tuple Value

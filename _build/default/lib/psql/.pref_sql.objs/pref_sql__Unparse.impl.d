@@ -1,0 +1,1 @@
+lib/psql/unparse.ml: Ast Float Option Pref Pref_relation Preferences Pretty Value

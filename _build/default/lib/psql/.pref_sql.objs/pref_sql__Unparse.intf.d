@@ -1,0 +1,1 @@
+lib/psql/unparse.mli: Ast Preferences

@@ -1,0 +1,133 @@
+open Pref_relation
+
+type literal = Value.t
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+let comparison_to_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+(* Hard constraints (the WHERE clause): the exact-match world. *)
+type condition =
+  | Cmp of string * comparison * literal
+  | Cmp_attr of string * comparison * string
+      (** attribute-to-attribute comparison; [a = b] doubles as an equi-join
+          predicate across FROM tables *)
+  | In of string * literal list
+  | Not_in of string * literal list
+  | Between_cond of string * literal * literal
+  | Like of string * string  (** pattern with % (any run) and _ (any char) *)
+  | Is_null of string
+  | Is_not_null of string
+  | And of condition * condition
+  | Or of condition * condition
+  | Not of condition
+
+(* Soft constraints (the PREFERRING clause): preference terms, surface
+   syntax. *)
+type pref =
+  | P_pos of string * literal list  (** [a = v], [a IN (...)] *)
+  | P_neg of string * literal list  (** [a <> v], [a NOT IN (...)] *)
+  | P_pos_pos of string * literal list * literal list  (** [... ELSE a = v] *)
+  | P_pos_neg of string * literal list * literal list  (** [... ELSE a <> v] *)
+  | P_around of string * literal
+  | P_between of string * literal * literal
+  | P_lowest of string
+  | P_highest of string
+  | P_explicit of string * (literal * literal) list
+      (** EXPLICIT(a; (worse, better), ...) *)
+  | P_score of string * string  (** SCORE(a, registered function name) *)
+  | P_rank of string * pref * pref  (** RANK(combiner, p1, p2) *)
+  | P_pareto of pref * pref  (** AND *)
+  | P_prior of pref * pref  (** PRIOR TO *)
+  | P_dual of pref  (** DUAL(p) *)
+
+(* BUT ONLY quality conditions. *)
+type quality =
+  | Q_level of string * comparison * int  (** LEVEL(attr) <= k *)
+  | Q_distance of string * comparison * float  (** DISTANCE(attr) <= d *)
+
+type select_item = Star | Column of string
+
+type query = {
+  select : select_item list;
+  from : string list;
+      (** FROM table list; several tables are joined (equi-join conditions
+          are pulled out of WHERE, the rest is a filtered product) *)
+  where : condition option;
+  preferring : pref option;
+  cascade : pref list;  (** each CASCADE level is prioritized below the last *)
+  but_only : quality list;  (** conjunction *)
+  grouping : string list;  (** GROUPING a, b — Definition 16 *)
+  order_by : (string * bool) list;
+      (** presentation order of the result; [true] = ascending *)
+  top : int option;  (** TOP k — the ranked query model of §6.2 *)
+}
+
+let rec pref_attrs = function
+  | P_pos (a, _) | P_neg (a, _) | P_pos_pos (a, _, _) | P_pos_neg (a, _, _)
+  | P_around (a, _) | P_between (a, _, _) | P_lowest a | P_highest a
+  | P_explicit (a, _) | P_score (a, _) ->
+    [ a ]
+  | P_rank (_, p, q) | P_pareto (p, q) | P_prior (p, q) ->
+    Preferences.Attr.union (pref_attrs p) (pref_attrs q)
+  | P_dual p -> pref_attrs p
+
+let rec condition_attrs = function
+  | Cmp (a, _, _) | In (a, _) | Not_in (a, _) | Between_cond (a, _, _)
+  | Like (a, _) | Is_null a | Is_not_null a ->
+    [ a ]
+  | Cmp_attr (a, _, b) -> Preferences.Attr.union [ a ] [ b ]
+  | And (c1, c2) | Or (c1, c2) ->
+    Preferences.Attr.union (condition_attrs c1) (condition_attrs c2)
+  | Not c -> condition_attrs c
+
+(* Rename every attribute reference — used to resolve unqualified names
+   against a joined schema. *)
+let rec map_condition_attrs f = function
+  | Cmp (a, op, v) -> Cmp (f a, op, v)
+  | Cmp_attr (a, op, b) -> Cmp_attr (f a, op, f b)
+  | In (a, vs) -> In (f a, vs)
+  | Not_in (a, vs) -> Not_in (f a, vs)
+  | Between_cond (a, low, up) -> Between_cond (f a, low, up)
+  | Like (a, p) -> Like (f a, p)
+  | Is_null a -> Is_null (f a)
+  | Is_not_null a -> Is_not_null (f a)
+  | And (c1, c2) -> And (map_condition_attrs f c1, map_condition_attrs f c2)
+  | Or (c1, c2) -> Or (map_condition_attrs f c1, map_condition_attrs f c2)
+  | Not c -> Not (map_condition_attrs f c)
+
+let rec map_pref_attrs f = function
+  | P_pos (a, vs) -> P_pos (f a, vs)
+  | P_neg (a, vs) -> P_neg (f a, vs)
+  | P_pos_pos (a, v1, v2) -> P_pos_pos (f a, v1, v2)
+  | P_pos_neg (a, vs, ns) -> P_pos_neg (f a, vs, ns)
+  | P_around (a, v) -> P_around (f a, v)
+  | P_between (a, low, up) -> P_between (f a, low, up)
+  | P_lowest a -> P_lowest (f a)
+  | P_highest a -> P_highest (f a)
+  | P_explicit (a, edges) -> P_explicit (f a, edges)
+  | P_score (a, name) -> P_score (f a, name)
+  | P_rank (name, p1, p2) ->
+    P_rank (name, map_pref_attrs f p1, map_pref_attrs f p2)
+  | P_pareto (p1, p2) -> P_pareto (map_pref_attrs f p1, map_pref_attrs f p2)
+  | P_prior (p1, p2) -> P_prior (map_pref_attrs f p1, map_pref_attrs f p2)
+  | P_dual p -> P_dual (map_pref_attrs f p)
+
+let map_quality_attrs f = function
+  | Q_level (a, op, k) -> Q_level (f a, op, k)
+  | Q_distance (a, op, d) -> Q_distance (f a, op, d)
+
+(* Flatten a top-level conjunction into its conjunct list. *)
+let rec conjuncts = function
+  | And (c1, c2) -> conjuncts c1 @ conjuncts c2
+  | c -> [ c ]
+
+let conjoin = function
+  | [] -> None
+  | c :: rest -> Some (List.fold_left (fun acc c -> And (acc, c)) c rest)

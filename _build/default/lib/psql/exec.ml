@@ -1,0 +1,219 @@
+open Pref_relation
+open Preferences
+
+exception Error of string
+
+type env = (string * Relation.t) list
+
+let find_table env name =
+  match List.assoc_opt name env with
+  | Some r -> Some r
+  | None ->
+    (* table names are case-insensitive *)
+    List.fold_left
+      (fun acc (n, r) ->
+        if acc = None && String.lowercase_ascii n = String.lowercase_ascii name
+        then Some r
+        else acc)
+      None env
+
+type result = {
+  relation : Relation.t;
+  preference : Pref.t option;  (** the translated preference term, for explain *)
+}
+
+let full_preference ?registry (q : Ast.query) =
+  (* PREFERRING p CASCADE c1 CASCADE c2 = (p & c1) & c2 *)
+  match q.Ast.preferring with
+  | None -> (
+    match q.Ast.cascade with
+    | [] -> None
+    | first :: rest ->
+      Some
+        (List.fold_left
+           (fun acc c -> Pref.prior acc (Translate.pref ?registry c))
+           (Translate.pref ?registry first)
+           rest))
+  | Some p ->
+    Some
+      (List.fold_left
+         (fun acc c -> Pref.prior acc (Translate.pref ?registry c))
+         (Translate.pref ?registry p)
+         q.Ast.cascade)
+
+(* ------------------------------------------------------------------ *)
+(* FROM clause: single tables stay unqualified; joins qualify every     *)
+(* column as table.column and pull equi-join conjuncts out of WHERE.    *)
+
+let get_table env name =
+  match find_table env name with
+  | Some r -> r
+  | None -> raise (Error (Printf.sprintf "unknown table %S" name))
+
+let qualified env name =
+  let r = get_table env name in
+  Relation.rename_schema r (Schema.prefix name (Relation.schema r))
+
+(* Split the WHERE conjuncts into equi-join predicates usable between the
+   already-joined schema and the next table, and the rest. *)
+let split_join_keys left_schema right_schema conjuncts =
+  List.partition_map
+    (fun c ->
+      match c with
+      | Ast.Cmp_attr (a, Ast.Eq, b) -> (
+        let try_pair x y =
+          match Schema.resolve left_schema x, Schema.resolve right_schema y with
+          | Ok l, Ok r -> Some (l, r)
+          | _ -> None
+        in
+        match try_pair a b with
+        | Some (l, r) -> Either.Left (l, r)
+        | None -> (
+          match try_pair b a with
+          | Some (l, r) -> Either.Left (l, r)
+          | None -> Either.Right c))
+      | c -> Either.Right c)
+    conjuncts
+
+let build_from env (q : Ast.query) =
+  match q.Ast.from with
+  | [] -> raise (Error "FROM requires at least one table")
+  | [ t ] -> (get_table env t, q.Ast.where)
+  | first :: rest ->
+    let conjuncts =
+      match q.Ast.where with Some c -> Ast.conjuncts c | None -> []
+    in
+    let joined, remaining =
+      List.fold_left
+        (fun (acc, conjuncts) t ->
+          let r = qualified env t in
+          let keys, rest =
+            split_join_keys (Relation.schema acc) (Relation.schema r) conjuncts
+          in
+          match keys with
+          | [] -> (Relation.product acc r, rest)
+          | _ ->
+            ( Relation.hash_join acc r ~left_cols:(List.map fst keys)
+                ~right_cols:(List.map snd keys),
+              rest ))
+        (qualified env first, conjuncts)
+        rest
+    in
+    (joined, Ast.conjoin remaining)
+
+(* Resolve a possibly-qualified attribute name against the working schema.
+   Over a single table a [table.column] reference naming that table is
+   accepted and stripped. *)
+let resolver (q : Ast.query) schema name =
+  match Schema.resolve schema name with
+  | Ok n -> n
+  | Error msg -> (
+    match q.Ast.from, String.index_opt name '.' with
+    | [ t ], Some i when String.sub name 0 i = t -> (
+      let bare = String.sub name (i + 1) (String.length name - i - 1) in
+      match Schema.resolve schema bare with
+      | Ok n -> n
+      | Error msg -> raise (Error msg))
+    | _ -> raise (Error msg))
+
+let project_result resolve (q : Ast.query) rel =
+  match q.Ast.select with
+  | [ Ast.Star ] -> rel
+  | items ->
+    let cols =
+      List.map
+        (function
+          | Ast.Star -> raise (Error "SELECT * cannot be mixed with columns")
+          | Ast.Column c -> resolve c)
+        items
+    in
+    Relation.project rel cols
+
+let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) env (q : Ast.query)
+    : result =
+  let rel, where = build_from env q in
+  let schema = Relation.schema rel in
+  let resolve = resolver q schema in
+  (* hard constraints first: the exact-match world *)
+  let filtered =
+    match where with
+    | None -> rel
+    | Some c ->
+      Relation.select
+        (Translate.condition schema (Ast.map_condition_attrs resolve c))
+        rel
+  in
+  let preference =
+    Option.map
+      (fun p -> p)
+      (full_preference ?registry
+         {
+           q with
+           Ast.preferring = Option.map (Ast.map_pref_attrs resolve) q.Ast.preferring;
+           cascade = List.map (Ast.map_pref_attrs resolve) q.Ast.cascade;
+         })
+  in
+  let grouping = List.map resolve q.Ast.grouping in
+  (* soft constraints: BMO match-making *)
+  let after_pref =
+    match preference with
+    | None -> filtered
+    | Some p -> (
+      match q.Ast.top, grouping with
+      | Some k, [] when Pref.is_scorable p ->
+        (* the ranked query model of §6.2: k best by score *)
+        Pref_bmo.Topk.kbest schema p ~k filtered
+      | _, [] -> Pref_bmo.Query.sigma ~algorithm schema p filtered
+      | _, by -> Pref_bmo.Query.sigma_groupby ~algorithm schema p ~by filtered)
+  in
+  (* BUT ONLY quality supervision *)
+  let after_quality =
+    match q.Ast.but_only, preference with
+    | [], _ -> after_pref
+    | qs, Some p ->
+      Relation.select
+        (Translate.quality_filter schema p
+           (List.map (Ast.map_quality_attrs resolve) qs))
+        after_pref
+    | _ :: _, None -> raise (Error "BUT ONLY requires a PREFERRING clause")
+  in
+  (* presentation order *)
+  let ordered =
+    match q.Ast.order_by with
+    | [] -> after_quality
+    | keys ->
+      let idx =
+        List.map
+          (fun (a, asc) -> (Schema.index_of_exn schema (resolve a), asc))
+          keys
+      in
+      Relation.sort_by
+        (fun t u ->
+          let rec go = function
+            | [] -> 0
+            | (i, asc) :: rest ->
+              let c = Value.compare (Tuple.get t i) (Tuple.get u i) in
+              if c <> 0 then if asc then c else -c else go rest
+          in
+          go idx)
+        after_quality
+  in
+  let after_quality = ordered in
+  (* TOP k truncation for non-ranked results *)
+  let truncated =
+    match q.Ast.top, preference with
+    | Some _, Some p when Pref.is_scorable p && grouping = [] ->
+      after_quality (* already the k best *)
+    | Some k, _ ->
+      let rows = Relation.rows after_quality in
+      let rec take n = function
+        | [] -> []
+        | r :: rest -> if n = 0 then [] else r :: take (n - 1) rest
+      in
+      Relation.make (Relation.schema after_quality) (take k rows)
+    | None, _ -> after_quality
+  in
+  { relation = project_result resolve q truncated; preference }
+
+let run ?registry ?algorithm env src =
+  run_query ?registry ?algorithm env (Parser.parse_query src)

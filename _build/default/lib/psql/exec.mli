@@ -1,0 +1,41 @@
+(** Preference SQL execution against in-memory relations.
+
+    Pipeline: hard WHERE filter (exact-match world) → preference
+    construction (PREFERRING & CASCADEs) → BMO evaluation (or the ranked
+    k-best model when TOP k is given and the preference is scorable, §6.2) →
+    BUT ONLY quality supervision → projection. *)
+
+open Pref_relation
+
+exception Error of string
+
+type env = (string * Relation.t) list
+(** Named tables; lookup is case-insensitive. *)
+
+val find_table : env -> string -> Relation.t option
+
+type result = {
+  relation : Relation.t;
+  preference : Preferences.Pref.t option;
+      (** the translated preference term, for EXPLAIN-style output *)
+}
+
+val full_preference :
+  ?registry:Translate.registry -> Ast.query -> Preferences.Pref.t option
+(** The complete term: PREFERRING p CASCADE c1 CASCADE c2 = (p & c1) & c2. *)
+
+val run_query :
+  ?registry:Translate.registry ->
+  ?algorithm:Pref_bmo.Query.algorithm ->
+  env ->
+  Ast.query ->
+  result
+
+val run :
+  ?registry:Translate.registry ->
+  ?algorithm:Pref_bmo.Query.algorithm ->
+  env ->
+  string ->
+  result
+(** Parse and execute. Raises {!Parser.Error}, {!Translate.Error} or
+    {!Error}. *)

@@ -1,0 +1,97 @@
+exception Error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit pos token = tokens := { Token.token; pos } :: !tokens in
+  let rec skip_ws i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> skip_ws (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '-' ->
+        (* SQL line comment *)
+        let rec eol j = if j >= n || src.[j] = '\n' then j else eol (j + 1) in
+        skip_ws (eol (i + 2))
+      | _ -> i
+  in
+  let rec scan i =
+    let i = skip_ws i in
+    if i >= n then emit i Token.Eof
+    else
+      let c = src.[i] in
+      if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        emit i (Token.Word (String.sub src i (!j - i)));
+        scan !j
+      end
+      else if is_digit c || (c = '.' && i + 1 < n && is_digit src.[i + 1]) then begin
+        let j = ref i in
+        let seen_dot = ref false and seen_exp = ref false in
+        while
+          !j < n
+          &&
+          let ch = src.[!j] in
+          is_digit ch
+          || (ch = '.' && (not !seen_dot) && not !seen_exp)
+          || ((ch = 'e' || ch = 'E') && not !seen_exp)
+          || ((ch = '+' || ch = '-')
+             && !j > i
+             && (src.[!j - 1] = 'e' || src.[!j - 1] = 'E'))
+        do
+          if src.[!j] = '.' then seen_dot := true;
+          if src.[!j] = 'e' || src.[!j] = 'E' then seen_exp := true;
+          incr j
+        done;
+        let text = String.sub src i (!j - i) in
+        (match int_of_string_opt text with
+        | Some k -> emit i (Token.Int k)
+        | None -> (
+          match float_of_string_opt text with
+          | Some f -> emit i (Token.Float f)
+          | None -> raise (Error (Printf.sprintf "malformed number %S" text, i))));
+        scan !j
+      end
+      else if c = '\'' then begin
+        (* single-quoted string; '' escapes a quote *)
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Error ("unterminated string literal", i))
+          else if src.[j] = '\'' then
+            if j + 1 < n && src.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              str (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            str (j + 1)
+          end
+        in
+        let after = str (i + 1) in
+        emit i (Token.String (Buffer.contents buf));
+        scan after
+      end
+      else begin
+        let two = if i + 1 < n then String.sub src i 2 else "" in
+        match two with
+        | "<>" | "<=" | ">=" | "!=" ->
+          emit i (Token.Sym (if two = "!=" then "<>" else two));
+          scan (i + 2)
+        | _ -> (
+          match c with
+          | '(' | ')' | ',' | ';' | '*' | '=' | '<' | '>' | '.' ->
+            emit i (Token.Sym (String.make 1 c));
+            scan (i + 1)
+          | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, i)))
+      end
+  in
+  scan 0;
+  List.rev !tokens

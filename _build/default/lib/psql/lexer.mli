@@ -1,0 +1,12 @@
+(** Hand-written lexer for Preference SQL.
+
+    Supports identifiers, single-quoted strings (with [''] escaping), int
+    and float literals (with exponents), the operator and punctuation set of
+    the grammar, and [--] line comments. *)
+
+exception Error of string * int
+(** Message and byte offset. *)
+
+val tokenize : string -> Token.located list
+(** Always ends with an {!Token.Eof} token. Raises {!Error} on malformed
+    input. *)

@@ -1,0 +1,462 @@
+open Pref_relation
+
+exception Error of string * int
+
+type state = {
+  tokens : Token.located array;
+  mutable i : int;
+}
+
+let peek st = st.tokens.(st.i).Token.token
+let pos st = st.tokens.(st.i).Token.pos
+let advance st = if st.i < Array.length st.tokens - 1 then st.i <- st.i + 1
+
+let fail st msg =
+  raise (Error (Printf.sprintf "%s (found %s)" msg (Token.to_string (peek st)), pos st))
+
+let is_word st kw =
+  match peek st with
+  | Token.Word w -> String.uppercase_ascii w = kw
+  | _ -> false
+
+let eat_word st kw =
+  if is_word st kw then advance st else fail st (Printf.sprintf "expected %s" kw)
+
+let try_word st kw =
+  if is_word st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let is_sym st s = match peek st with Token.Sym x -> String.equal x s | _ -> false
+
+let eat_sym st s =
+  if is_sym st s then advance st else fail st (Printf.sprintf "expected '%s'" s)
+
+let try_sym st s =
+  if is_sym st s then begin
+    advance st;
+    true
+  end
+  else false
+
+let reserved =
+  [
+    "SELECT"; "FROM"; "WHERE"; "PREFERRING"; "CASCADE"; "BUT"; "ONLY";
+    "GROUPING"; "TOP"; "AND"; "OR"; "NOT"; "IN"; "BETWEEN"; "LIKE"; "IS";
+    "NULL"; "AROUND"; "LOWEST"; "HIGHEST"; "EXPLICIT"; "SCORE"; "RANK";
+    "PRIOR"; "TO"; "ELSE"; "DUAL"; "LEVEL"; "DISTANCE"; "ORDER"; "BY";
+    "ASC"; "DESC";
+  ]
+
+let ident st =
+  match peek st with
+  | Token.Word w when not (List.mem (String.uppercase_ascii w) reserved) ->
+    advance st;
+    let base = String.lowercase_ascii w in
+    (* qualified names: table.column *)
+    if is_sym st "." then begin
+      advance st;
+      match peek st with
+      | Token.Word w2 when not (List.mem (String.uppercase_ascii w2) reserved)
+        ->
+        advance st;
+        base ^ "." ^ String.lowercase_ascii w2
+      | _ -> fail st "expected a column name after '.'"
+    end
+    else base
+  | _ -> fail st "expected an identifier"
+
+let literal st =
+  match peek st with
+  | Token.Int i ->
+    advance st;
+    Value.Int i
+  | Token.Float f ->
+    advance st;
+    Value.Float f
+  | Token.String s -> (
+    advance st;
+    (* date-shaped strings become dates so AROUND works on them *)
+    match Value.of_string_as Value.TDate s with
+    | Some d -> d
+    | None -> Value.Str s)
+  | Token.Word w when String.uppercase_ascii w = "NULL" ->
+    advance st;
+    Value.Null
+  | Token.Word w
+    when String.uppercase_ascii w = "TRUE" || String.uppercase_ascii w = "FALSE"
+    ->
+    advance st;
+    Value.Bool (String.uppercase_ascii w = "TRUE")
+  | Token.Sym "-" -> fail st "expected a literal"
+  | _ -> fail st "expected a literal"
+
+let literal_list st =
+  eat_sym st "(";
+  let rec go acc =
+    let v = literal st in
+    if try_sym st "," then go (v :: acc) else (eat_sym st ")"; List.rev (v :: acc))
+  in
+  go []
+
+let comparison st =
+  match peek st with
+  | Token.Sym "=" ->
+    advance st;
+    Ast.Eq
+  | Token.Sym "<>" ->
+    advance st;
+    Ast.Neq
+  | Token.Sym "<" ->
+    advance st;
+    Ast.Lt
+  | Token.Sym "<=" ->
+    advance st;
+    Ast.Le
+  | Token.Sym ">" ->
+    advance st;
+    Ast.Gt
+  | Token.Sym ">=" ->
+    advance st;
+    Ast.Ge
+  | _ -> fail st "expected a comparison operator"
+
+(* ------------------------------------------------------------------ *)
+(* Hard conditions                                                     *)
+
+let rec condition st = or_cond st
+
+and or_cond st =
+  let left = and_cond st in
+  if try_word st "OR" then Ast.Or (left, or_cond st) else left
+
+and and_cond st =
+  let left = not_cond st in
+  if try_word st "AND" then Ast.And (left, and_cond st) else left
+
+and not_cond st =
+  if try_word st "NOT" then Ast.Not (not_cond st)
+  else if try_sym st "(" then begin
+    let c = condition st in
+    eat_sym st ")";
+    c
+  end
+  else predicate st
+
+and predicate st =
+  let a = ident st in
+  if try_word st "IS" then
+    if try_word st "NOT" then begin
+      eat_word st "NULL";
+      Ast.Is_not_null a
+    end
+    else begin
+      eat_word st "NULL";
+      Ast.Is_null a
+    end
+  else if try_word st "IN" then Ast.In (a, literal_list st)
+  else if try_word st "NOT" then
+    if try_word st "IN" then Ast.Not_in (a, literal_list st)
+    else if try_word st "LIKE" then
+      match peek st with
+      | Token.String p ->
+        advance st;
+        Ast.Not (Ast.Like (a, p))
+      | _ -> fail st "expected a pattern string after LIKE"
+    else fail st "expected IN or LIKE after NOT"
+  else if try_word st "BETWEEN" then begin
+    let low = literal st in
+    eat_word st "AND";
+    let up = literal st in
+    Ast.Between_cond (a, low, up)
+  end
+  else if try_word st "LIKE" then
+    match peek st with
+    | Token.String p ->
+      advance st;
+      Ast.Like (a, p)
+    | _ -> fail st "expected a pattern string after LIKE"
+  else
+    let op = comparison st in
+    (* an identifier on the right-hand side makes this an attribute-to-
+       attribute comparison (e.g. an equi-join predicate) *)
+    match peek st with
+    | Token.Word w
+      when (not (List.mem (String.uppercase_ascii w) reserved))
+           && String.uppercase_ascii w <> "NULL"
+           && String.uppercase_ascii w <> "TRUE"
+           && String.uppercase_ascii w <> "FALSE" ->
+      Ast.Cmp_attr (a, op, ident st)
+    | _ -> Ast.Cmp (a, op, literal st)
+
+(* ------------------------------------------------------------------ *)
+(* Preferences                                                         *)
+
+let rec pref st = prior_pref st
+
+and prior_pref st =
+  let left = pareto_pref st in
+  if try_word st "PRIOR" then begin
+    eat_word st "TO";
+    Ast.P_prior (left, prior_pref st)
+  end
+  else left
+
+and pareto_pref st =
+  let left = pref_atom st in
+  if try_word st "AND" then Ast.P_pareto (left, pareto_pref st) else left
+
+and pref_atom st =
+  if try_sym st "(" then begin
+    let p = pref st in
+    eat_sym st ")";
+    p
+  end
+  else if try_word st "LOWEST" then begin
+    eat_sym st "(";
+    let a = ident st in
+    eat_sym st ")";
+    Ast.P_lowest a
+  end
+  else if try_word st "HIGHEST" then begin
+    eat_sym st "(";
+    let a = ident st in
+    eat_sym st ")";
+    Ast.P_highest a
+  end
+  else if try_word st "DUAL" then begin
+    eat_sym st "(";
+    let p = pref st in
+    eat_sym st ")";
+    Ast.P_dual p
+  end
+  else if try_word st "EXPLICIT" then begin
+    eat_sym st "(";
+    let a = ident st in
+    let edges = ref [] in
+    while try_sym st "," do
+      eat_sym st "(";
+      let worse = literal st in
+      eat_sym st ",";
+      let better = literal st in
+      eat_sym st ")";
+      edges := (worse, better) :: !edges
+    done;
+    eat_sym st ")";
+    Ast.P_explicit (a, List.rev !edges)
+  end
+  else if try_word st "SCORE" then begin
+    eat_sym st "(";
+    let a = ident st in
+    eat_sym st ",";
+    let f = ident st in
+    eat_sym st ")";
+    Ast.P_score (a, f)
+  end
+  else if try_word st "RANK" then begin
+    eat_sym st "(";
+    let f = ident st in
+    eat_sym st ",";
+    let p1 = pref st in
+    eat_sym st ",";
+    let p2 = pref st in
+    eat_sym st ")";
+    Ast.P_rank (f, p1, p2)
+  end
+  else begin
+    let a = ident st in
+    if try_word st "AROUND" then Ast.P_around (a, literal st)
+    else if try_word st "BETWEEN" then begin
+      let low = literal st in
+      eat_word st "AND";
+      let up = literal st in
+      Ast.P_between (a, low, up)
+    end
+    else if try_word st "IN" then begin
+      let vs = literal_list st in
+      else_clause st a vs
+    end
+    else if try_word st "NOT" then begin
+      eat_word st "IN";
+      Ast.P_neg (a, literal_list st)
+    end
+    else if try_sym st "=" then begin
+      let v = literal st in
+      else_clause st a [ v ]
+    end
+    else if try_sym st "<>" then Ast.P_neg (a, [ literal st ])
+    else fail st "expected a preference"
+  end
+
+and else_clause st a pos_set =
+  (* [a = x ELSE a = y] is POS/POS, [a = x ELSE a <> y] is POS/NEG *)
+  if try_word st "ELSE" then begin
+    let a' = ident st in
+    if a' <> a then
+      fail st
+        (Printf.sprintf "ELSE must refer to the same attribute (%s vs %s)" a a');
+    if try_word st "IN" then Ast.P_pos_pos (a, pos_set, literal_list st)
+    else if try_word st "NOT" then begin
+      eat_word st "IN";
+      Ast.P_pos_neg (a, pos_set, literal_list st)
+    end
+    else if try_sym st "=" then Ast.P_pos_pos (a, pos_set, [ literal st ])
+    else if try_sym st "<>" then Ast.P_pos_neg (a, pos_set, [ literal st ])
+    else fail st "expected =, <>, IN or NOT IN after ELSE"
+  end
+  else Ast.P_pos (a, pos_set)
+
+(* ------------------------------------------------------------------ *)
+(* BUT ONLY qualities                                                  *)
+
+let quality st =
+  if try_word st "LEVEL" then begin
+    eat_sym st "(";
+    let a = ident st in
+    eat_sym st ")";
+    let op = comparison st in
+    match peek st with
+    | Token.Int k ->
+      advance st;
+      Ast.Q_level (a, op, k)
+    | _ -> fail st "expected an integer level bound"
+  end
+  else if try_word st "DISTANCE" then begin
+    eat_sym st "(";
+    let a = ident st in
+    eat_sym st ")";
+    let op = comparison st in
+    match peek st with
+    | Token.Int k ->
+      advance st;
+      Ast.Q_distance (a, op, float_of_int k)
+    | Token.Float f ->
+      advance st;
+      Ast.Q_distance (a, op, f)
+    | _ -> fail st "expected a numeric distance bound"
+  end
+  else fail st "expected LEVEL(...) or DISTANCE(...)"
+
+let qualities st =
+  let rec go acc =
+    let q = quality st in
+    if try_word st "AND" then go (q :: acc) else List.rev (q :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let select_list st =
+  if try_sym st "*" then [ Ast.Star ]
+  else
+    let rec go acc =
+      let c = Ast.Column (ident st) in
+      if try_sym st "," then go (c :: acc) else List.rev (c :: acc)
+    in
+    go []
+
+let query st =
+  eat_word st "SELECT";
+  let select = select_list st in
+  eat_word st "FROM";
+  let from =
+    let rec go acc =
+      let t = ident st in
+      if try_sym st "," then go (t :: acc) else List.rev (t :: acc)
+    in
+    go []
+  in
+  let where = if try_word st "WHERE" then Some (condition st) else None in
+  let preferring = if try_word st "PREFERRING" then Some (pref st) else None in
+  let cascade =
+    let rec go acc = if try_word st "CASCADE" then go (pref st :: acc) else List.rev acc in
+    go []
+  in
+  let but_only =
+    if try_word st "BUT" then begin
+      eat_word st "ONLY";
+      qualities st
+    end
+    else []
+  in
+  let grouping =
+    if try_word st "GROUPING" then begin
+      let rec go acc =
+        let a = ident st in
+        if try_sym st "," then go (a :: acc) else List.rev (a :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  let order_by =
+    if try_word st "ORDER" then begin
+      eat_word st "BY";
+      let rec go acc =
+        let a = ident st in
+        let asc =
+          if try_word st "DESC" then false
+          else begin
+            ignore (try_word st "ASC");
+            true
+          end
+        in
+        if try_sym st "," then go ((a, asc) :: acc) else List.rev ((a, asc) :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  let top =
+    if try_word st "TOP" then (
+      match peek st with
+      | Token.Int k ->
+        advance st;
+        Some k
+      | _ -> fail st "expected an integer after TOP")
+    else None
+  in
+  ignore (try_sym st ";");
+  (match peek st with
+  | Token.Eof -> ()
+  | _ -> fail st "unexpected trailing input");
+  {
+    Ast.select;
+    from;
+    where;
+    preferring;
+    cascade;
+    but_only;
+    grouping;
+    order_by;
+    top;
+  }
+
+let of_tokens tokens = { tokens = Array.of_list tokens; i = 0 }
+
+let parse_query src =
+  try query (of_tokens (Lexer.tokenize src))
+  with Lexer.Error (msg, p) -> raise (Error (msg, p))
+
+let parse_pref src =
+  try
+    let st = of_tokens (Lexer.tokenize src) in
+    let p = pref st in
+    (match peek st with
+    | Token.Eof -> ()
+    | _ -> fail st "unexpected trailing input");
+    p
+  with Lexer.Error (msg, p) -> raise (Error (msg, p))
+
+let parse_condition src =
+  try
+    let st = of_tokens (Lexer.tokenize src) in
+    let c = condition st in
+    (match peek st with
+    | Token.Eof -> ()
+    | _ -> fail st "unexpected trailing input");
+    c
+  with Lexer.Error (msg, p) -> raise (Error (msg, p))

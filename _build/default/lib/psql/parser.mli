@@ -1,0 +1,29 @@
+(** Recursive-descent parser for Preference SQL (§6.1).
+
+    Grammar sketch:
+    {v
+    query   ::= SELECT ('*' | col, ...) FROM table
+                [WHERE cond] [PREFERRING pref] (CASCADE pref)*
+                [BUT ONLY quality (AND quality)*]
+                [GROUPING attr, ...] [TOP k] [;]
+    pref    ::= pareto (PRIOR TO pareto)*
+    pareto  ::= atom (AND atom)*
+    atom    ::= '(' pref ')' | LOWEST(a) | HIGHEST(a) | DUAL(pref)
+              | a AROUND lit | a BETWEEN lit AND lit
+              | a = lit [ELSE a (=|<>|IN|NOT IN) ...]
+              | a <> lit | a IN (lits) [ELSE ...] | a NOT IN (lits)
+              | EXPLICIT(a, (worse, better), ...)
+              | SCORE(a, fname) | RANK(fname, pref, pref)
+    quality ::= LEVEL(a) cmp int | DISTANCE(a) cmp num
+    v}
+    [AND] inside PREFERRING is Pareto accumulation ⊗; [PRIOR TO] is
+    prioritized accumulation &; [CASCADE] chains prioritization below the
+    whole PREFERRING term. Keywords are case-insensitive; identifiers are
+    lowercased. *)
+
+exception Error of string * int
+(** Message and byte offset into the query text. *)
+
+val parse_query : string -> Ast.query
+val parse_pref : string -> Ast.pref
+val parse_condition : string -> Ast.condition

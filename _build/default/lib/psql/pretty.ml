@@ -1,0 +1,103 @@
+open Pref_relation
+
+let pp_lit ppf v = Value.pp_quoted ppf v
+
+let pp_lits ppf vs =
+  Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp_lit) vs
+
+let rec pp_condition ppf (c : Ast.condition) =
+  match c with
+  | Ast.Cmp (a, op, v) ->
+    Fmt.pf ppf "%s %s %a" a (Ast.comparison_to_string op) pp_lit v
+  | Ast.Cmp_attr (a, op, b) ->
+    Fmt.pf ppf "%s %s %s" a (Ast.comparison_to_string op) b
+  | Ast.In (a, vs) -> Fmt.pf ppf "%s IN %a" a pp_lits vs
+  | Ast.Not_in (a, vs) -> Fmt.pf ppf "%s NOT IN %a" a pp_lits vs
+  | Ast.Between_cond (a, low, up) ->
+    Fmt.pf ppf "%s BETWEEN %a AND %a" a pp_lit low pp_lit up
+  | Ast.Like (a, p) -> Fmt.pf ppf "%s LIKE '%s'" a p
+  | Ast.Is_null a -> Fmt.pf ppf "%s IS NULL" a
+  | Ast.Is_not_null a -> Fmt.pf ppf "%s IS NOT NULL" a
+  | Ast.And (c1, c2) -> Fmt.pf ppf "(%a AND %a)" pp_condition c1 pp_condition c2
+  | Ast.Or (c1, c2) -> Fmt.pf ppf "(%a OR %a)" pp_condition c1 pp_condition c2
+  | Ast.Not c1 -> Fmt.pf ppf "NOT (%a)" pp_condition c1
+
+let rec pp_pref ppf (p : Ast.pref) =
+  match p with
+  | Ast.P_pos (a, [ v ]) -> Fmt.pf ppf "%s = %a" a pp_lit v
+  | Ast.P_pos (a, vs) -> Fmt.pf ppf "%s IN %a" a pp_lits vs
+  | Ast.P_neg (a, [ v ]) -> Fmt.pf ppf "%s <> %a" a pp_lit v
+  | Ast.P_neg (a, vs) -> Fmt.pf ppf "%s NOT IN %a" a pp_lits vs
+  | Ast.P_pos_pos (a, vs1, [ v ]) ->
+    Fmt.pf ppf "%a ELSE %s = %a" pp_pref (Ast.P_pos (a, vs1)) a pp_lit v
+  | Ast.P_pos_pos (a, vs1, vs2) ->
+    Fmt.pf ppf "%a ELSE %s IN %a" pp_pref (Ast.P_pos (a, vs1)) a pp_lits vs2
+  | Ast.P_pos_neg (a, vs, [ v ]) ->
+    Fmt.pf ppf "%a ELSE %s <> %a" pp_pref (Ast.P_pos (a, vs)) a pp_lit v
+  | Ast.P_pos_neg (a, vs, ns) ->
+    Fmt.pf ppf "%a ELSE %s NOT IN %a" pp_pref (Ast.P_pos (a, vs)) a pp_lits ns
+  | Ast.P_around (a, v) -> Fmt.pf ppf "%s AROUND %a" a pp_lit v
+  | Ast.P_between (a, low, up) ->
+    Fmt.pf ppf "%s BETWEEN %a AND %a" a pp_lit low pp_lit up
+  | Ast.P_lowest a -> Fmt.pf ppf "LOWEST(%s)" a
+  | Ast.P_highest a -> Fmt.pf ppf "HIGHEST(%s)" a
+  | Ast.P_explicit (a, edges) ->
+    Fmt.pf ppf "EXPLICIT(%s%a)" a
+      Fmt.(
+        list ~sep:nop (fun ppf (w, b) ->
+            pf ppf ", (%a, %a)" pp_lit w pp_lit b))
+      edges
+  | Ast.P_score (a, f) -> Fmt.pf ppf "SCORE(%s, %s)" a f
+  | Ast.P_rank (f, p1, p2) ->
+    Fmt.pf ppf "RANK(%s, %a, %a)" f pp_pref p1 pp_pref p2
+  | Ast.P_pareto (p1, p2) ->
+    Fmt.pf ppf "%a AND %a" pp_pref_atom p1 pp_pref_atom p2
+  | Ast.P_prior (p1, p2) ->
+    Fmt.pf ppf "%a PRIOR TO %a" pp_pref_atom p1 pp_pref_atom p2
+  | Ast.P_dual p -> Fmt.pf ppf "DUAL(%a)" pp_pref p
+
+and pp_pref_atom ppf p =
+  match p with
+  | Ast.P_pareto _ | Ast.P_prior _ -> Fmt.pf ppf "(%a)" pp_pref p
+  | _ -> pp_pref ppf p
+
+let pp_quality ppf (q : Ast.quality) =
+  match q with
+  | Ast.Q_level (a, op, k) ->
+    Fmt.pf ppf "LEVEL(%s) %s %d" a (Ast.comparison_to_string op) k
+  | Ast.Q_distance (a, op, d) ->
+    Fmt.pf ppf "DISTANCE(%s) %s %g" a (Ast.comparison_to_string op) d
+
+let pp_query ppf (q : Ast.query) =
+  let pp_select ppf = function
+    | [ Ast.Star ] -> Fmt.string ppf "*"
+    | items ->
+      Fmt.(list ~sep:(any ", ") string)
+        ppf
+        (List.map (function Ast.Star -> "*" | Ast.Column c -> c) items)
+  in
+  Fmt.pf ppf "SELECT %a FROM %a" pp_select q.Ast.select
+    Fmt.(list ~sep:(any ", ") string)
+    q.Ast.from;
+  Option.iter (Fmt.pf ppf " WHERE %a" pp_condition) q.Ast.where;
+  Option.iter (Fmt.pf ppf " PREFERRING %a" pp_pref) q.Ast.preferring;
+  List.iter (Fmt.pf ppf " CASCADE %a" pp_pref) q.Ast.cascade;
+  (match q.Ast.but_only with
+  | [] -> ()
+  | qs -> Fmt.pf ppf " BUT ONLY %a" Fmt.(list ~sep:(any " AND ") pp_quality) qs);
+  (match q.Ast.grouping with
+  | [] -> ()
+  | gs -> Fmt.pf ppf " GROUPING %a" Fmt.(list ~sep:(any ", ") string) gs);
+  (match q.Ast.order_by with
+  | [] -> ()
+  | os ->
+    Fmt.pf ppf " ORDER BY %a"
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (a, asc) ->
+            pf ppf "%s%s" a (if asc then "" else " DESC")))
+      os);
+  Option.iter (Fmt.pf ppf " TOP %d") q.Ast.top
+
+let query_to_string q = Fmt.str "%a" pp_query q
+let pref_to_string p = Fmt.str "%a" pp_pref p
+let condition_to_string c = Fmt.str "%a" pp_condition c

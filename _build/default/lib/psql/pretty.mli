@@ -1,0 +1,11 @@
+(** Pretty-printing of Preference SQL ASTs back to query text (the parser
+    accepts its own output — round-trip tested). *)
+
+val pp_condition : Ast.condition Fmt.t
+val pp_pref : Ast.pref Fmt.t
+val pp_quality : Ast.quality Fmt.t
+val pp_query : Ast.query Fmt.t
+
+val query_to_string : Ast.query -> string
+val pref_to_string : Ast.pref -> string
+val condition_to_string : Ast.condition -> string

@@ -1,0 +1,302 @@
+open Pref_relation
+open Preferences
+
+(* Rewriting preference queries into plain SQL92 — the "plug-and-go
+   application integration by a clever rewriting of Preference SQL queries
+   into SQL92 code" that made the original Preference SQL run on stock
+   engines (§6.1, [KiK01]).
+
+   sigma[P](R) = { t in R | not exists u in R . t <_P u }, so the whole
+   query becomes a NOT EXISTS anti-join whose inner predicate is the
+   'better-than' formula of the preference term.  The formula is built as a
+   small expression AST with BOTH a SQL92 renderer and an evaluator, so the
+   translation is differentially tested against the core semantics. *)
+
+type expr =
+  | Col of string * string  (** alias, attribute *)
+  | Lit of Value.t
+  | Abs of expr
+  | Sub of expr * expr
+  | Case of (bexpr * expr) list * expr  (** CASE WHEN .. THEN .. ELSE .. END *)
+
+and bexpr =
+  | Cmp of expr * Ast.comparison * expr
+  | In_set of expr * Value.t list
+  | And of bexpr * bexpr
+  | Or of bexpr * bexpr
+  | Not of bexpr
+  | True
+  | False
+
+exception Not_expressible of string
+
+(* ------------------------------------------------------------------ *)
+(* Building the better-than formula                                    *)
+
+let conj = function
+  | [] -> True
+  | b :: rest -> List.fold_left (fun acc b -> And (acc, b)) b rest
+
+let disj = function
+  | [] -> False
+  | b :: rest -> List.fold_left (fun acc b -> Or (acc, b)) b rest
+
+let value_in e = function
+  | [] -> False
+  | set -> In_set (e, set)
+
+(* [x <_P y] with x read through alias [t] and y through alias [u];
+   [attr c] maps the preference's attribute name to the column to use
+   (identity except under linear sums). *)
+let rec lt_formula ?(attr = fun a -> a) ~t ~u (p : Pref.t) =
+  let col alias a = Col (alias, attr a) in
+  match p with
+  | Pref.Pos (a, set) ->
+    And (Not (value_in (col t a) set), value_in (col u a) set)
+  | Pref.Neg (a, set) ->
+    And (Not (value_in (col u a) set), value_in (col t a) set)
+  | Pref.Pos_neg (a, pset, nset) ->
+    let x = col t a and y = col u a in
+    Or
+      ( And (value_in x nset, Not (value_in y nset)),
+        conj [ Not (value_in x nset); Not (value_in x pset); value_in y pset ]
+      )
+  | Pref.Pos_pos (a, p1, p2) ->
+    let x = col t a and y = col u a in
+    Or
+      ( And (value_in x p2, value_in y p1),
+        conj
+          [
+            Not (value_in x p1); Not (value_in x p2);
+            Or (value_in y p2, value_in y p1);
+          ] )
+  | Pref.Explicit (a, closed) ->
+    let x = col t a and y = col u a in
+    let range =
+      List.sort_uniq Value.compare
+        (List.concat_map (fun (w, b) -> [ w; b ]) closed)
+    in
+    Or
+      ( disj
+          (List.map
+             (fun (w, b) ->
+               And (Cmp (x, Ast.Eq, Lit w), Cmp (y, Ast.Eq, Lit b)))
+             closed),
+        And (Not (value_in x range), value_in y range) )
+  | Pref.Around (a, z) ->
+    let dist alias = Abs (Sub (col alias a, Lit (Value.Float z))) in
+    Cmp (dist t, Ast.Gt, dist u)
+  | Pref.Between (a, low, up) ->
+    let dist alias =
+      let v = col alias a in
+      Case
+        ( [
+            (Cmp (v, Ast.Lt, Lit (Value.Float low)), Sub (Lit (Value.Float low), v));
+            (Cmp (v, Ast.Gt, Lit (Value.Float up)), Sub (v, Lit (Value.Float up)));
+          ],
+          Lit (Value.Float 0.) )
+    in
+    Cmp (dist t, Ast.Gt, dist u)
+  | Pref.Lowest a -> Cmp (col t a, Ast.Gt, col u a)
+  | Pref.Highest a -> Cmp (col t a, Ast.Lt, col u a)
+  | Pref.Antichain _ -> False
+  | Pref.Dual q -> lt_formula ~attr ~t:u ~u:t q
+  | Pref.Pareto (q, r) ->
+    let lt1 = lt_formula ~attr ~t ~u q and lt2 = lt_formula ~attr ~t ~u r in
+    let eq p' =
+      conj
+        (List.map
+           (fun a -> Cmp (col t a, Ast.Eq, col u a))
+           (Pref.attrs p'))
+    in
+    Or (And (lt1, Or (lt2, eq r)), And (lt2, Or (lt1, eq q)))
+  | Pref.Prior (q, r) ->
+    let eq1 =
+      conj
+        (List.map (fun a -> Cmp (col t a, Ast.Eq, col u a)) (Pref.attrs q))
+    in
+    Or (lt_formula ~attr ~t ~u q, And (eq1, lt_formula ~attr ~t ~u r))
+  | Pref.Inter (q, r) ->
+    And (lt_formula ~attr ~t ~u q, lt_formula ~attr ~t ~u r)
+  | Pref.Dunion (q, r) ->
+    Or (lt_formula ~attr ~t ~u q, lt_formula ~attr ~t ~u r)
+  | Pref.Lsum s ->
+    (* the operands read their values from the combined attribute *)
+    let sub q = lt_formula ~attr:(fun _ -> attr s.Pref.ls_attr) ~t ~u q in
+    let x = col t s.Pref.ls_attr and y = col u s.Pref.ls_attr in
+    disj
+      [
+        sub s.Pref.ls_left; sub s.Pref.ls_right;
+        And (value_in x s.Pref.ls_right_dom, value_in y s.Pref.ls_left_dom);
+      ]
+  | Pref.Two_graphs s ->
+    let x = col t s.Pref.tg_attr and y = col u s.Pref.tg_attr in
+    let range edges singles =
+      List.sort_uniq Value.compare
+        (List.concat_map (fun (w, b) -> [ w; b ]) edges @ singles)
+    in
+    let pos = range s.Pref.tg_pos s.Pref.tg_pos_singles in
+    let neg = range s.Pref.tg_neg s.Pref.tg_neg_singles in
+    let edge_formula edges =
+      disj
+        (List.map
+           (fun (w, b) -> And (Cmp (x, Ast.Eq, Lit w), Cmp (y, Ast.Eq, Lit b)))
+           edges)
+    in
+    disj
+      [
+        And (value_in x neg, Not (value_in y neg));
+        And (value_in x neg, edge_formula s.Pref.tg_neg);
+        conj [ Not (value_in x neg); Not (value_in x pos); value_in y pos ];
+        And (value_in x pos, edge_formula s.Pref.tg_pos);
+      ]
+  | Pref.Score _ | Pref.Rank _ ->
+    raise
+      (Not_expressible
+         "SCORE / rank(F) carry arbitrary functions and have no SQL92 form")
+
+let better_than ?attr ~t ~u p =
+  try Some (lt_formula ?attr ~t:u ~u:t p) with Not_expressible _ -> None
+(* note the swap: [better_than t u] must mean "t is better", i.e. u <_P t *)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation (for the differential tests)                             *)
+
+let rec eval_expr lookup = function
+  | Col (alias, a) -> lookup alias a
+  | Lit v -> v
+  | Abs e -> (
+    match Value.as_float (eval_expr lookup e) with
+    | Some f -> Value.Float (Float.abs f)
+    | None -> Value.Null)
+  | Sub (e1, e2) -> (
+    match
+      ( Value.as_float (eval_expr lookup e1),
+        Value.as_float (eval_expr lookup e2) )
+    with
+    | Some a, Some b -> Value.Float (a -. b)
+    | _ -> Value.Null)
+  | Case (branches, default) ->
+    let rec go = function
+      | [] -> eval_expr lookup default
+      | (cond, e) :: rest ->
+        if eval_bexpr lookup cond then eval_expr lookup e else go rest
+    in
+    go branches
+
+and eval_bexpr lookup = function
+  | Cmp (e1, op, e2) ->
+    let a = eval_expr lookup e1 and b = eval_expr lookup e2 in
+    (* SQL three-valued logic collapsed to false on NULL operands, matching
+       the core semantics for numeric comparisons *)
+    if Value.is_null a || Value.is_null b then
+      (* NULLs: numeric NULL sorts as worst in the core; approximate by
+         treating NULL as minus infinity for </>, never equal *)
+      (match op with
+      | Ast.Eq -> Value.is_null a && Value.is_null b
+      | Ast.Neq -> not (Value.is_null a && Value.is_null b)
+      | Ast.Lt -> Value.is_null a && not (Value.is_null b)
+      | Ast.Gt -> Value.is_null b && not (Value.is_null a)
+      | Ast.Le -> Value.is_null a
+      | Ast.Ge -> Value.is_null b)
+    else Translate.compare_values op a b
+  | In_set (e, set) ->
+    let v = eval_expr lookup e in
+    List.exists (Value.equal v) set
+  | And (b1, b2) -> eval_bexpr lookup b1 && eval_bexpr lookup b2
+  | Or (b1, b2) -> eval_bexpr lookup b1 || eval_bexpr lookup b2
+  | Not b -> not (eval_bexpr lookup b)
+  | True -> true
+  | False -> false
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let quote v =
+  match v with
+  | Value.Str s ->
+    "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+  | Value.Date d -> Printf.sprintf "DATE '%04d-%02d-%02d'" d.Value.year d.Value.month d.Value.day
+  | Value.Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      string_of_int (int_of_float f)
+    else Printf.sprintf "%g" f
+  | v -> Value.to_string v
+
+let rec render_expr = function
+  | Col (alias, a) -> alias ^ "." ^ a
+  | Lit v -> quote v
+  | Abs e -> "ABS(" ^ render_expr e ^ ")"
+  | Sub (e1, e2) -> "(" ^ render_expr e1 ^ " - " ^ render_expr e2 ^ ")"
+  | Case (branches, default) ->
+    "CASE "
+    ^ String.concat " "
+        (List.map
+           (fun (c, e) ->
+             "WHEN " ^ render_bexpr c ^ " THEN " ^ render_expr e)
+           branches)
+    ^ " ELSE " ^ render_expr default ^ " END"
+
+and render_bexpr = function
+  | Cmp (e1, op, e2) ->
+    render_expr e1 ^ " " ^ Ast.comparison_to_string op ^ " " ^ render_expr e2
+  | In_set (e, set) ->
+    render_expr e ^ " IN (" ^ String.concat ", " (List.map quote set) ^ ")"
+  | And (b1, b2) -> "(" ^ render_bexpr b1 ^ " AND " ^ render_bexpr b2 ^ ")"
+  | Or (b1, b2) -> "(" ^ render_bexpr b1 ^ " OR " ^ render_bexpr b2 ^ ")"
+  | Not b -> "NOT (" ^ render_bexpr b ^ ")"
+  | True -> "1 = 1"
+  | False -> "1 = 0"
+
+(* ------------------------------------------------------------------ *)
+(* Whole-query rewriting                                               *)
+
+let rewrite_query ?registry (q : Ast.query) =
+  if q.Ast.but_only <> [] || q.Ast.grouping <> [] || q.Ast.top <> None
+     || q.Ast.order_by <> []
+  then None
+  else
+  match q.Ast.from with
+  | [ table ] -> (
+    match Exec.full_preference ?registry q with
+    | None -> None
+    | Some p -> (
+      try
+        let better_u_over_t = lt_formula ~t:"t" ~u:"u" p in
+        let select =
+          match q.Ast.select with
+          | [ Ast.Star ] -> "t.*"
+          | items ->
+            String.concat ", "
+              (List.filter_map
+                 (function Ast.Star -> None | Ast.Column c -> Some ("t." ^ c))
+                 items)
+        in
+        let hard alias =
+          match q.Ast.where with
+          | None -> None
+          | Some c ->
+            let qualified =
+              Ast.map_condition_attrs (fun a -> alias ^ "." ^ a) c
+            in
+            Some (Pretty.condition_to_string qualified)
+        in
+        let inner_where =
+          match hard "u" with
+          | None -> render_bexpr better_u_over_t
+          | Some h -> h ^ " AND " ^ render_bexpr better_u_over_t
+        in
+        let outer_where =
+          let anti =
+            Printf.sprintf "NOT EXISTS (SELECT 1 FROM %s u WHERE %s)" table
+              inner_where
+          in
+          match hard "t" with
+          | None -> anti
+          | Some h -> h ^ " AND " ^ anti
+        in
+        Some
+          (Printf.sprintf "SELECT %s FROM %s t WHERE %s" select table
+             outer_where)
+      with Not_expressible _ -> None))
+  | _ -> None

@@ -1,0 +1,65 @@
+(** Rewriting preference queries into plain SQL92 (§6.1).
+
+    The original Preference SQL shipped as a rewriter producing SQL92 for
+    stock engines (DB2, Oracle 8i, MS SQL Server). This module reproduces
+    that translation: σ[P](R) becomes a NOT EXISTS anti-join whose inner
+    predicate is the 'better-than' formula of the preference term, built as
+    an expression AST with both a SQL92 renderer and an evaluator — the
+    evaluator is differentially tested against the core semantics, so the
+    emitted SQL is verified, not just printed.
+
+    SCORE and rank(F) preferences carry arbitrary functions and are not
+    expressible; queries using BUT ONLY / GROUPING / TOP / ORDER BY or
+    multiple tables are likewise refused ([None]). NULL handling differs
+    from the core's "NULL is worst" convention the way real SQL engines
+    would; the differential tests run on NULL-free data. *)
+
+open Pref_relation
+
+type expr =
+  | Col of string * string
+  | Lit of Value.t
+  | Abs of expr
+  | Sub of expr * expr
+  | Case of (bexpr * expr) list * expr
+
+and bexpr =
+  | Cmp of expr * Ast.comparison * expr
+  | In_set of expr * Value.t list
+  | And of bexpr * bexpr
+  | Or of bexpr * bexpr
+  | Not of bexpr
+  | True
+  | False
+
+exception Not_expressible of string
+
+val lt_formula :
+  ?attr:(string -> string) ->
+  t:string ->
+  u:string ->
+  Preferences.Pref.t ->
+  bexpr
+(** The formula for [x <_P y] with [x] read through alias [t] and [y]
+    through alias [u]. Raises {!Not_expressible} on SCORE / rank(F). *)
+
+val better_than :
+  ?attr:(string -> string) ->
+  t:string ->
+  u:string ->
+  Preferences.Pref.t ->
+  bexpr option
+(** "[t]'s tuple is strictly better than [u]'s": [u <_P t]. *)
+
+val eval_expr : (string -> string -> Value.t) -> expr -> Value.t
+val eval_bexpr : (string -> string -> Value.t) -> bexpr -> bool
+(** Evaluate with a lookup from (alias, attribute) to a value. *)
+
+val render_expr : expr -> string
+val render_bexpr : bexpr -> string
+(** SQL92 text ([ABS], [CASE WHEN], [IN], [NOT EXISTS] come out as written
+    by the classic rewriter). *)
+
+val rewrite_query : ?registry:Translate.registry -> Ast.query -> string option
+(** The full rewriting: [SELECT ... FROM R t WHERE hard(t) AND NOT EXISTS
+    (SELECT 1 FROM R u WHERE hard(u) AND t <_P u)]. *)

@@ -1,0 +1,30 @@
+type t =
+  | Word of string  (** identifier or keyword; keywords match case-insensitively *)
+  | String of string  (** single-quoted literal, quotes stripped *)
+  | Int of int
+  | Float of float
+  | Sym of string  (** punctuation and operators: ( ) , ; * = <> < <= > >= . *)
+  | Eof
+
+type located = {
+  token : t;
+  pos : int;  (** byte offset in the query text, for error reporting *)
+}
+
+let to_string = function
+  | Word w -> w
+  | String s -> Printf.sprintf "'%s'" s
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Sym s -> s
+  | Eof -> "<end of query>"
+
+let equal a b =
+  match a, b with
+  | Word x, Word y -> String.uppercase_ascii x = String.uppercase_ascii y
+  | String x, String y -> String.equal x y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Sym x, Sym y -> String.equal x y
+  | Eof, Eof -> true
+  | (Word _ | String _ | Int _ | Float _ | Sym _ | Eof), _ -> false

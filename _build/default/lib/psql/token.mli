@@ -1,0 +1,19 @@
+(** Preference SQL tokens. *)
+
+type t =
+  | Word of string
+  | String of string
+  | Int of int
+  | Float of float
+  | Sym of string
+  | Eof
+
+type located = {
+  token : t;
+  pos : int;
+}
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+(** Words compare case-insensitively. *)

@@ -1,0 +1,196 @@
+open Pref_relation
+open Preferences
+
+exception Error of string
+
+type registry = {
+  scores : (string * (Value.t -> float)) list;
+      (** named scoring functions for SCORE(attr, name) *)
+  combiners : (string * (float -> float -> float)) list;
+      (** named combining functions for RANK(name, p1, p2) *)
+}
+
+let default_registry =
+  {
+    scores =
+      [
+        ("identity", fun v -> Option.value (Value.as_float v) ~default:Float.neg_infinity);
+        ("negate",
+         fun v ->
+           match Value.as_float v with
+           | Some f -> -.f
+           | None -> Float.neg_infinity);
+        ("length",
+         fun v ->
+           match v with Value.Str s -> float_of_int (String.length s) | _ -> 0.);
+      ];
+    combiners =
+      [
+        ("sum", ( +. ));
+        ("min", Float.min);
+        ("max", Float.max);
+        ("product", ( *. ));
+      ];
+  }
+
+let numeric_target what lit =
+  match Value.as_float lit with
+  | Some f -> f
+  | None ->
+    raise
+      (Error
+         (Printf.sprintf "%s needs a numeric or date argument, got %s" what
+            (Value.to_string lit)))
+
+let rec pref ?(registry = default_registry) (p : Ast.pref) : Pref.t =
+  match p with
+  | Ast.P_pos (a, vs) -> Pref.pos a vs
+  | Ast.P_neg (a, vs) -> Pref.neg a vs
+  | Ast.P_pos_pos (a, vs1, vs2) -> Pref.pos_pos a ~pos1:vs1 ~pos2:vs2
+  | Ast.P_pos_neg (a, vs, ns) -> Pref.pos_neg a ~pos:vs ~neg:ns
+  | Ast.P_around (a, lit) -> Pref.around a (numeric_target "AROUND" lit)
+  | Ast.P_between (a, low, up) ->
+    Pref.between a
+      ~low:(numeric_target "BETWEEN" low)
+      ~up:(numeric_target "BETWEEN" up)
+  | Ast.P_lowest a -> Pref.lowest a
+  | Ast.P_highest a -> Pref.highest a
+  | Ast.P_explicit (a, edges) -> Pref.explicit a edges
+  | Ast.P_score (a, name) -> (
+    match List.assoc_opt name registry.scores with
+    | Some f -> Pref.score a ~name f
+    | None -> raise (Error (Printf.sprintf "unknown scoring function %S" name)))
+  | Ast.P_rank (name, p1, p2) -> (
+    match List.assoc_opt name registry.combiners with
+    | Some f ->
+      Pref.rank
+        { Pref.cname = name; combine = f }
+        (pref ~registry p1) (pref ~registry p2)
+    | None -> raise (Error (Printf.sprintf "unknown combining function %S" name)))
+  | Ast.P_pareto (p1, p2) -> Pref.pareto (pref ~registry p1) (pref ~registry p2)
+  | Ast.P_prior (p1, p2) -> Pref.prior (pref ~registry p1) (pref ~registry p2)
+  | Ast.P_dual p -> Pref.dual (pref ~registry p)
+
+(* LIKE patterns: % matches any run, _ any single character. *)
+let like_match ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  (* memoised recursion is overkill for CLI-sized patterns *)
+  let rec go pi si =
+    if pi >= np then si >= ns
+    else
+      match pattern.[pi] with
+      | '%' ->
+        let rec try_from k = k <= ns && (go (pi + 1) k || try_from (k + 1)) in
+        try_from si
+      | '_' -> si < ns && go (pi + 1) (si + 1)
+      | c -> si < ns && Char.lowercase_ascii s.[si] = Char.lowercase_ascii c && go (pi + 1) (si + 1)
+  in
+  go 0 0
+
+let compare_values op a b =
+  let c = Value.compare a b in
+  match op with
+  | Ast.Eq -> Value.equal a b
+  | Ast.Neq -> not (Value.equal a b)
+  | Ast.Lt -> c < 0
+  | Ast.Le -> c <= 0
+  | Ast.Gt -> c > 0
+  | Ast.Ge -> c >= 0
+
+let rec condition schema (c : Ast.condition) : Tuple.t -> bool =
+  match c with
+  | Ast.Cmp (a, op, lit) ->
+    let i = Schema.index_of_exn schema a in
+    fun t ->
+      let v = Tuple.get t i in
+      (not (Value.is_null v)) && compare_values op v lit
+  | Ast.Cmp_attr (a, op, b) ->
+    let i = Schema.index_of_exn schema a and j = Schema.index_of_exn schema b in
+    fun t ->
+      let va = Tuple.get t i and vb = Tuple.get t j in
+      (not (Value.is_null va))
+      && (not (Value.is_null vb))
+      && compare_values op va vb
+  | Ast.In (a, vs) ->
+    let i = Schema.index_of_exn schema a in
+    fun t -> List.exists (Value.equal (Tuple.get t i)) vs
+  | Ast.Not_in (a, vs) ->
+    let i = Schema.index_of_exn schema a in
+    fun t ->
+      let v = Tuple.get t i in
+      (not (Value.is_null v)) && not (List.exists (Value.equal v) vs)
+  | Ast.Between_cond (a, low, up) ->
+    let i = Schema.index_of_exn schema a in
+    fun t ->
+      let v = Tuple.get t i in
+      (not (Value.is_null v))
+      && Value.compare low v <= 0
+      && Value.compare v up <= 0
+  | Ast.Like (a, pattern) ->
+    let i = Schema.index_of_exn schema a in
+    fun t -> (
+      match Tuple.get t i with
+      | Value.Str s -> like_match ~pattern s
+      | _ -> false)
+  | Ast.Is_null a ->
+    let i = Schema.index_of_exn schema a in
+    fun t -> Value.is_null (Tuple.get t i)
+  | Ast.Is_not_null a ->
+    let i = Schema.index_of_exn schema a in
+    fun t -> not (Value.is_null (Tuple.get t i))
+  | Ast.And (c1, c2) ->
+    let f1 = condition schema c1 and f2 = condition schema c2 in
+    fun t -> f1 t && f2 t
+  | Ast.Or (c1, c2) ->
+    let f1 = condition schema c1 and f2 = condition schema c2 in
+    fun t -> f1 t || f2 t
+  | Ast.Not c1 ->
+    let f = condition schema c1 in
+    fun t -> not (f t)
+
+let compare_int op a b =
+  match op with
+  | Ast.Eq -> a = b
+  | Ast.Neq -> a <> b
+  | Ast.Lt -> a < b
+  | Ast.Le -> a <= b
+  | Ast.Gt -> a > b
+  | Ast.Ge -> a >= b
+
+let compare_float op a b =
+  match op with
+  | Ast.Eq -> a = b
+  | Ast.Neq -> a <> b
+  | Ast.Lt -> a < b
+  | Ast.Le -> a <= b
+  | Ast.Gt -> a > b
+  | Ast.Ge -> a >= b
+
+(* BUT ONLY supervision (§6.1): a quality predicate over result tuples,
+   relative to the complete preference term. *)
+let quality_filter schema (p : Pref.t) (qs : Ast.quality list) : Tuple.t -> bool =
+  let checks =
+    List.map
+      (fun q t ->
+        match q with
+        | Ast.Q_level (a, op, bound) -> (
+          match Quality.level_of schema p a t with
+          | Some l -> compare_int op l bound
+          | None ->
+            raise
+              (Error
+                 (Printf.sprintf
+                    "LEVEL(%s): no discrete-level base preference on this \
+                     attribute" a)))
+        | Ast.Q_distance (a, op, bound) -> (
+          match Quality.distance_of schema p a t with
+          | Some d -> compare_float op d bound
+          | None ->
+            raise
+              (Error
+                 (Printf.sprintf
+                    "DISTANCE(%s): no numerical base preference on this \
+                     attribute" a))))
+      qs
+  in
+  fun t -> List.for_all (fun check -> check t) checks

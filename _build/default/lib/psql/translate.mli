@@ -1,0 +1,38 @@
+(** Translation of Preference SQL surface syntax into the core model.
+
+    Preference ASTs become {!Preferences.Pref} terms; hard conditions become
+    tuple predicates; BUT ONLY qualities become result filters over the
+    LEVEL/DISTANCE quality functions. *)
+
+open Pref_relation
+
+exception Error of string
+
+type registry = {
+  scores : (string * (Value.t -> float)) list;
+  combiners : (string * (float -> float -> float)) list;
+}
+
+val default_registry : registry
+(** Scores: [identity], [negate], [length]. Combiners: [sum], [min], [max],
+    [product] (all monotone, TA-compatible). *)
+
+val pref : ?registry:registry -> Ast.pref -> Preferences.Pref.t
+(** Raises {!Error} on unknown registry names or non-numeric AROUND/BETWEEN
+    arguments; date literals are converted to day counts. *)
+
+val condition : Schema.t -> Ast.condition -> Tuple.t -> bool
+(** Hard-constraint evaluation; comparisons and [IN]/[BETWEEN] are
+    null-rejecting, [IS NULL] / [IS NOT NULL] observe nulls. Raises
+    [Invalid_argument] for attributes missing from the schema. *)
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE with [%] and [_], case-insensitive. *)
+
+val compare_values : Ast.comparison -> Value.t -> Value.t -> bool
+(** One comparison step, shared with the Preference XPath evaluator. *)
+
+val quality_filter :
+  Schema.t -> Preferences.Pref.t -> Ast.quality list -> Tuple.t -> bool
+(** The BUT ONLY filter. Raises {!Error} when a named attribute has no base
+    preference with the requested quality function inside the term. *)

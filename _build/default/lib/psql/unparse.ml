@@ -1,0 +1,69 @@
+open Pref_relation
+open Preferences
+
+(* Preference terms back to surface syntax.  Not every core term is
+   expressible in Preference SQL: anti-chains, intersection and disjoint
+   union aggregation and linear sums have no PREFERRING syntax (the first
+   appears only implicitly via GROUPING), and SCORE / rank(F) are
+   expressible only by registry name.  [None] marks those. *)
+
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e15 then Value.Int (int_of_float f)
+  else Value.Float f
+
+let rec pref (p : Pref.t) : Ast.pref option =
+  match p with
+  (* the grammar has no empty IN lists; an empty-set POS/NEG orders nothing
+     and has no PREFERRING equivalent, and the degenerate POS/POS and
+     POS/NEG collapse per the §3.4 hierarchy *)
+  | Pref.Pos (_, []) | Pref.Neg (_, []) -> None
+  | Pref.Pos (a, vs) -> Some (Ast.P_pos (a, vs))
+  | Pref.Neg (a, vs) -> Some (Ast.P_neg (a, vs))
+  | Pref.Pos_pos (a, [], v2) -> pref (Pref.Pos (a, v2))
+  | Pref.Pos_pos (a, v1, []) -> pref (Pref.Pos (a, v1))
+  | Pref.Pos_pos (a, v1, v2) -> Some (Ast.P_pos_pos (a, v1, v2))
+  | Pref.Pos_neg (a, [], ns) -> pref (Pref.Neg (a, ns))
+  | Pref.Pos_neg (a, vs, []) -> pref (Pref.Pos (a, vs))
+  | Pref.Pos_neg (a, vs, ns) -> Some (Ast.P_pos_neg (a, vs, ns))
+  | Pref.Explicit (a, edges) -> Some (Ast.P_explicit (a, edges))
+  | Pref.Around (a, z) -> Some (Ast.P_around (a, float_literal z))
+  | Pref.Between (a, low, up) ->
+    Some (Ast.P_between (a, float_literal low, float_literal up))
+  | Pref.Lowest a -> Some (Ast.P_lowest a)
+  | Pref.Highest a -> Some (Ast.P_highest a)
+  | Pref.Score (a, f) -> Some (Ast.P_score (a, f.Pref.sname))
+  | Pref.Rank (f, q, r) -> (
+    match pref q, pref r with
+    | Some q', Some r' -> Some (Ast.P_rank (f.Pref.cname, q', r'))
+    | _ -> None)
+  | Pref.Pareto (q, r) -> (
+    match pref q, pref r with
+    | Some q', Some r' -> Some (Ast.P_pareto (q', r'))
+    | _ -> None)
+  | Pref.Prior (q, r) -> (
+    match pref q, pref r with
+    | Some q', Some r' -> Some (Ast.P_prior (q', r'))
+    | _ -> None)
+  | Pref.Dual q -> Option.map (fun q' -> Ast.P_dual q') (pref q)
+  | Pref.Antichain _ | Pref.Inter _ | Pref.Dunion _ | Pref.Lsum _
+  | Pref.Two_graphs _ ->
+    None
+
+let to_preferring p = Option.map Pretty.pref_to_string (pref p)
+
+let to_query ?(select = [ Ast.Star ]) ~from p =
+  Option.map
+    (fun ast ->
+      Pretty.query_to_string
+        {
+          Ast.select;
+          from = [ from ];
+          where = None;
+          preferring = Some ast;
+          cascade = [];
+          but_only = [];
+          grouping = [];
+          order_by = [];
+          top = None;
+        })
+    (pref p)

@@ -1,0 +1,16 @@
+(** Rendering core preference terms back into Preference SQL.
+
+    Inverse of {!Translate.pref} on the expressible fragment: anti-chains,
+    ♦, + and ⊕ have no PREFERRING surface syntax and yield [None]. SCORE
+    and rank(F) render by registry name, so round-tripping them requires
+    the same registry on the parse side. *)
+
+val pref : Preferences.Pref.t -> Ast.pref option
+
+val to_preferring : Preferences.Pref.t -> string option
+(** The text of a PREFERRING clause. *)
+
+val to_query :
+  ?select:Ast.select_item list -> from:string -> Preferences.Pref.t ->
+  string option
+(** A complete [SELECT ... FROM ... PREFERRING ...] statement. *)

@@ -1,0 +1,1 @@
+lib/pxpath/past.ml: Pref_relation Pref_sql Preferences Value

@@ -1,0 +1,1 @@
+lib/pxpath/past.mli: Pref_relation Pref_sql Value

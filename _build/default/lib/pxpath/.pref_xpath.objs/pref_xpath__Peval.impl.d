@@ -1,0 +1,1 @@
+lib/pxpath/peval.ml: Array List Past Pparser Pref Pref_relation Pref_sql Preferences Schema String Tuple Value Xml

@@ -1,0 +1,1 @@
+lib/pxpath/peval.mli: Past Pref_relation Pref_sql Xml

@@ -1,0 +1,1 @@
+lib/pxpath/pparser.ml: Array List Past Pref_relation Pref_sql Printf String Value

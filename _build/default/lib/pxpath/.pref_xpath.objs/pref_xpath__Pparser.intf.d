@@ -1,0 +1,1 @@
+lib/pxpath/pparser.mli: Past Pref_sql

@@ -1,0 +1,1 @@
+lib/pxpath/pprint.ml: Fmt List Past Pref_relation Pref_sql Value

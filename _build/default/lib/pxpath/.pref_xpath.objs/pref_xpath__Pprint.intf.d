@@ -1,0 +1,1 @@
+lib/pxpath/pprint.mli: Fmt Past Pref_sql

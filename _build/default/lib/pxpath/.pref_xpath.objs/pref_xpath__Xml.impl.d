@@ -1,0 +1,1 @@
+lib/pxpath/xml.ml: Buffer Fmt List Printf String

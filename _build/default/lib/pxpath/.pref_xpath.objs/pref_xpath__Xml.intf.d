@@ -1,0 +1,1 @@
+lib/pxpath/xml.mli: Fmt

@@ -1,0 +1,1 @@
+lib/pxpath/xml_parser.ml: Buffer List Printf String Xml

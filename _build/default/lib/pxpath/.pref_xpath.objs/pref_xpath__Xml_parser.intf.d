@@ -1,0 +1,1 @@
+lib/pxpath/xml_parser.mli: Xml

@@ -1,0 +1,29 @@
+open Pref_relation
+
+type hard =
+  | H_cmp of string * Pref_sql.Ast.comparison * Value.t
+      (** [@attr op literal] *)
+  | H_exists of string  (** [@attr] — the attribute is present *)
+  | H_and of hard * hard
+  | H_or of hard * hard
+  | H_not of hard
+
+type qualifier =
+  | Hard of hard  (** [ ... ] — hard selection *)
+  | Soft of Pref_sql.Ast.pref  (** #[ ... ]# — soft selection under BMO *)
+
+type axis = Child | Descendant
+
+type step = {
+  axis : axis;
+  tag : string;  (** element name test; ["*"] matches any element *)
+  quals : qualifier list;
+}
+
+type path = step list
+
+let rec hard_attrs = function
+  | H_cmp (a, _, _) | H_exists a -> [ a ]
+  | H_and (h1, h2) | H_or (h1, h2) ->
+    Preferences.Attr.union (hard_attrs h1) (hard_attrs h2)
+  | H_not h -> hard_attrs h

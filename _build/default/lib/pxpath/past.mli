@@ -1,0 +1,33 @@
+(** Preference XPath abstract syntax (§6.1).
+
+    Standard XPath location steps are upgraded from [axis nodetest
+    predicate*] to [axis nodetest (predicate | preference)*]: hard
+    selections stay in ['['...']'], soft selections go in ['#['...']#'].
+    The preference language itself is shared with Preference SQL
+    ({!Pref_sql.Ast.pref}), with [and] as Pareto accumulation and
+    [prior to] as prioritized accumulation. *)
+
+open Pref_relation
+
+type hard =
+  | H_cmp of string * Pref_sql.Ast.comparison * Value.t
+  | H_exists of string
+  | H_and of hard * hard
+  | H_or of hard * hard
+  | H_not of hard
+
+type qualifier =
+  | Hard of hard
+  | Soft of Pref_sql.Ast.pref
+
+type axis = Child | Descendant
+
+type step = {
+  axis : axis;
+  tag : string;
+  quals : qualifier list;
+}
+
+type path = step list
+
+val hard_attrs : hard -> string list

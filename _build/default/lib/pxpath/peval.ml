@@ -1,0 +1,90 @@
+open Pref_relation
+open Preferences
+
+let value_of_attr node a =
+  match Xml.attr node a with
+  | Some s -> Value.infer s
+  | None -> (
+    (* fall back to a child element's text content: attribute-style and
+       element-style catalogs are queried uniformly *)
+    match
+      List.find_opt
+        (fun c ->
+          match Xml.tag_of c with
+          | Some t -> String.lowercase_ascii t = String.lowercase_ascii a
+          | None -> false)
+        (Xml.child_elements node)
+    with
+    | Some c -> Value.infer (String.trim (Xml.text_content c))
+    | None -> Value.Null)
+
+let rec eval_hard node (h : Past.hard) =
+  match h with
+  | Past.H_cmp (a, op, lit) ->
+    let v = value_of_attr node a in
+    (not (Value.is_null v)) && Pref_sql.Translate.compare_values op v lit
+  | Past.H_exists a -> not (Value.is_null (value_of_attr node a))
+  | Past.H_and (h1, h2) -> eval_hard node h1 && eval_hard node h2
+  | Past.H_or (h1, h2) -> eval_hard node h1 || eval_hard node h2
+  | Past.H_not h1 -> not (eval_hard node h1)
+
+(* Soft selection: evaluate the preference under BMO over the node set of
+   the current location step.  Nodes become tuples over the preference's
+   attribute set; missing attributes become NULL. *)
+let eval_soft ?registry nodes (p : Pref_sql.Ast.pref) =
+  match nodes with
+  | [] -> []
+  | _ ->
+    let attrs = Pref_sql.Ast.pref_attrs p in
+    let schema = Schema.make (List.map (fun a -> (a, Value.TStr)) attrs) in
+    (* the schema's declared types are not used for evaluation: values are
+       carried as inferred, and row validation is bypassed by building
+       tuples directly *)
+    let tuples =
+      List.map
+        (fun node -> Tuple.make (List.map (value_of_attr node) attrs))
+        nodes
+    in
+    let term = Pref_sql.Translate.pref ?registry p in
+    let lt = Pref.compile schema term in
+    let arr = Array.of_list tuples in
+    let node_arr = Array.of_list nodes in
+    let n = Array.length arr in
+    let keep = ref [] in
+    for i = n - 1 downto 0 do
+      let dominated = ref false in
+      for j = 0 to n - 1 do
+        if (not !dominated) && lt arr.(i) arr.(j) then dominated := true
+      done;
+      if not !dominated then keep := node_arr.(i) :: !keep
+    done;
+    !keep
+
+let apply_qual ?registry nodes (q : Past.qualifier) =
+  match q with
+  | Past.Hard h -> List.filter (fun node -> eval_hard node h) nodes
+  | Past.Soft p -> eval_soft ?registry nodes p
+
+let matches_tag tag node =
+  match Xml.tag_of node with
+  | Some t -> tag = "*" || String.lowercase_ascii t = String.lowercase_ascii tag
+  | None -> false
+
+let apply_step ?registry nodes (s : Past.step) =
+  let candidates =
+    match s.Past.axis with
+    | Past.Child -> List.concat_map Xml.child_elements nodes
+    | Past.Descendant ->
+      List.concat_map
+        (fun node -> List.concat_map Xml.descendants_or_self (Xml.child_elements node))
+        nodes
+  in
+  let named = List.filter (matches_tag s.Past.tag) candidates in
+  List.fold_left (fun ns q -> apply_qual ?registry ns q) named s.Past.quals
+
+let eval_path ?registry root (steps : Past.path) =
+  (* wrap the root so the first step selects the root element by name *)
+  let doc = Xml.element "#document" ~children:[ root ] in
+  List.fold_left (fun nodes s -> apply_step ?registry nodes s) [ doc ] steps
+
+let run ?registry root src = eval_path ?registry root (Pparser.parse src)

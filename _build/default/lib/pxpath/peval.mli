@@ -1,0 +1,26 @@
+(** Evaluation of Preference XPath queries over an XML document.
+
+    Hard predicates filter node sets exactly; soft predicates run a BMO
+    preference query over the node set of their location step: nodes become
+    tuples over the preference's attributes (values parsed from attribute
+    strings with type inference, missing attributes as NULL), the best
+    matching nodes — and only those — survive. *)
+
+val value_of_attr : Xml.t -> string -> Pref_relation.Value.t
+
+val eval_hard : Xml.t -> Past.hard -> bool
+
+val eval_soft :
+  ?registry:Pref_sql.Translate.registry ->
+  Xml.t list ->
+  Pref_sql.Ast.pref ->
+  Xml.t list
+(** The BMO filter over one node set; node order preserved. *)
+
+val eval_path :
+  ?registry:Pref_sql.Translate.registry -> Xml.t -> Past.path -> Xml.t list
+(** Evaluate a parsed path against the root element. *)
+
+val run :
+  ?registry:Pref_sql.Translate.registry -> Xml.t -> string -> Xml.t list
+(** Parse and evaluate. Raises {!Pparser.Error} on syntax errors. *)

@@ -1,0 +1,364 @@
+open Pref_relation
+module Sql_ast = Pref_sql.Ast
+
+exception Error of string * int
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+
+type token =
+  | Word of string
+  | Str of string
+  | Num of float
+  | Int of int
+  | Sym of string
+  | Eof
+
+type ltoken = { tok : token; pos : int }
+
+let token_to_string = function
+  | Word w -> w
+  | Str s -> Printf.sprintf "%S" s
+  | Num f -> Printf.sprintf "%g" f
+  | Int i -> string_of_int i
+  | Sym s -> s
+  | Eof -> "<end of query>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '-'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let emit pos tok = out := { tok; pos } :: !out in
+  let rec scan i =
+    if i >= n then emit i Eof
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> scan (i + 1)
+      | '#' when i + 1 < n && src.[i + 1] = '[' ->
+        emit i (Sym "#[");
+        scan (i + 2)
+      | ']' when i + 1 < n && src.[i + 1] = '#' ->
+        emit i (Sym "]#");
+        scan (i + 2)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        emit i (Sym "//");
+        scan (i + 2)
+      | '/' ->
+        emit i (Sym "/");
+        scan (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' ->
+        emit i (Sym "!=");
+        scan (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '>' ->
+        emit i (Sym "!=");
+        scan (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' ->
+        emit i (Sym "<=");
+        scan (i + 2)
+      | '>' when i + 1 < n && src.[i + 1] = '=' ->
+        emit i (Sym ">=");
+        scan (i + 2)
+      | ('[' | ']' | '(' | ')' | '@' | ',' | '=' | '<' | '>' | '*') as c ->
+        emit i (Sym (String.make 1 c));
+        scan (i + 1)
+      | ('"' | '\'') as quote ->
+        let rec find j =
+          if j >= n then raise (Error ("unterminated string literal", i))
+          else if src.[j] = quote then j
+          else find (j + 1)
+        in
+        let close = find (i + 1) in
+        emit i (Str (String.sub src (i + 1) (close - i - 1)));
+        scan (close + 1)
+      | c when is_digit c ->
+        let j = ref i in
+        let dot = ref false in
+        while
+          !j < n && (is_digit src.[!j] || (src.[!j] = '.' && not !dot))
+        do
+          if src.[!j] = '.' then dot := true;
+          incr j
+        done;
+        let text = String.sub src i (!j - i) in
+        (match int_of_string_opt text with
+        | Some k -> emit i (Int k)
+        | None -> emit i (Num (float_of_string text)));
+        scan !j
+      | c when is_ident_start c ->
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        emit i (Word (String.sub src i (!j - i)));
+        scan !j
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c, i))
+  in
+  scan 0;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+type state = {
+  tokens : ltoken array;
+  mutable i : int;
+}
+
+let peek st = st.tokens.(st.i).tok
+let pos st = st.tokens.(st.i).pos
+let advance st = if st.i < Array.length st.tokens - 1 then st.i <- st.i + 1
+
+let fail st msg =
+  raise (Error (Printf.sprintf "%s (found %s)" msg (token_to_string (peek st)), pos st))
+
+let is_word st kw =
+  match peek st with Word w -> String.lowercase_ascii w = kw | _ -> false
+
+let try_word st kw =
+  if is_word st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let eat_word st kw =
+  if not (try_word st kw) then fail st (Printf.sprintf "expected '%s'" kw)
+
+let is_sym st s = match peek st with Sym x -> String.equal x s | _ -> false
+
+let try_sym st s =
+  if is_sym st s then begin
+    advance st;
+    true
+  end
+  else false
+
+let eat_sym st s =
+  if not (try_sym st s) then fail st (Printf.sprintf "expected '%s'" s)
+
+let ident st =
+  match peek st with
+  | Word w ->
+    advance st;
+    String.lowercase_ascii w
+  | _ -> fail st "expected a name"
+
+let literal st =
+  match peek st with
+  | Int i ->
+    advance st;
+    Value.Int i
+  | Num f ->
+    advance st;
+    Value.Float f
+  | Str s -> (
+    advance st;
+    match Value.of_string_as Value.TDate s with
+    | Some d -> d
+    | None -> Value.Str s)
+  | _ -> fail st "expected a literal"
+
+let literal_list st =
+  eat_sym st "(";
+  let rec go acc =
+    let v = literal st in
+    if try_sym st "," then go (v :: acc)
+    else begin
+      eat_sym st ")";
+      List.rev (v :: acc)
+    end
+  in
+  go []
+
+let comparison st =
+  match peek st with
+  | Sym "=" ->
+    advance st;
+    Sql_ast.Eq
+  | Sym "!=" ->
+    advance st;
+    Sql_ast.Neq
+  | Sym "<" ->
+    advance st;
+    Sql_ast.Lt
+  | Sym "<=" ->
+    advance st;
+    Sql_ast.Le
+  | Sym ">" ->
+    advance st;
+    Sql_ast.Gt
+  | Sym ">=" ->
+    advance st;
+    Sql_ast.Ge
+  | _ -> fail st "expected a comparison operator"
+
+(* hard predicates inside [ ... ] *)
+let rec hard st = hard_or st
+
+and hard_or st =
+  let left = hard_and st in
+  if try_word st "or" then Past.H_or (left, hard_or st) else left
+
+and hard_and st =
+  let left = hard_not st in
+  if try_word st "and" then Past.H_and (left, hard_and st) else left
+
+and hard_not st =
+  if try_word st "not" then begin
+    eat_sym st "(";
+    let h = hard st in
+    eat_sym st ")";
+    Past.H_not h
+  end
+  else if try_sym st "(" then begin
+    let h = hard st in
+    eat_sym st ")";
+    h
+  end
+  else begin
+    (* @attribute or bare child-element name *)
+    ignore (try_sym st "@");
+    let a = ident st in
+    match peek st with
+    | Sym ("=" | "!=" | "<" | "<=" | ">" | ">=") ->
+      let op = comparison st in
+      Past.H_cmp (a, op, literal st)
+    | _ -> Past.H_exists a
+  end
+
+(* soft preferences inside #[ ... ]#, producing the shared SQL pref AST *)
+let rec pref st = prior_pref st
+
+and prior_pref st =
+  let left = pareto_pref st in
+  if try_word st "prior" then begin
+    eat_word st "to";
+    Sql_ast.P_prior (left, prior_pref st)
+  end
+  else left
+
+and pareto_pref st =
+  let left = pref_atom st in
+  if try_word st "and" then Sql_ast.P_pareto (left, pareto_pref st) else left
+
+and pref_atom st =
+  if try_word st "dual" then begin
+    eat_sym st "(";
+    let p = pref st in
+    eat_sym st ")";
+    Sql_ast.P_dual p
+  end
+  else if try_sym st "(" then
+    if try_sym st "@" then begin
+      let a = ident st in
+      eat_sym st ")";
+      attr_spec st a
+    end
+    else begin
+      (* '(name)' followed by a spec is a child-element preference;
+         anything else is a parenthesised preference *)
+      match peek st with
+      | Word w
+        when (match st.tokens.(st.i + 1).tok with
+             | Sym ")" -> true
+             | _ -> false)
+             && not
+                  (List.mem (String.lowercase_ascii w)
+                     [ "dual" ]) ->
+        let a = ident st in
+        eat_sym st ")";
+        attr_spec st a
+      | _ ->
+        let p = pref st in
+        eat_sym st ")";
+        p
+    end
+  else fail st "expected '(@attr) spec' or a parenthesised preference"
+
+and attr_spec st a =
+  if try_word st "highest" then Sql_ast.P_highest a
+  else if try_word st "lowest" then Sql_ast.P_lowest a
+  else if try_word st "around" then Sql_ast.P_around (a, literal st)
+  else if try_word st "between" then begin
+    let low = literal st in
+    eat_word st "and";
+    let up = literal st in
+    Sql_ast.P_between (a, low, up)
+  end
+  else if try_word st "in" then begin
+    let vs = literal_list st in
+    else_clause st a vs
+  end
+  else if try_word st "not" then begin
+    eat_word st "in";
+    Sql_ast.P_neg (a, literal_list st)
+  end
+  else if try_sym st "=" then begin
+    let v = literal st in
+    else_clause st a [ v ]
+  end
+  else if try_sym st "!=" then Sql_ast.P_neg (a, [ literal st ])
+  else fail st "expected a preference operator after the attribute"
+
+and else_clause st a pos_set =
+  if try_word st "else" then begin
+    eat_sym st "(";
+    eat_sym st "@";
+    let a' = ident st in
+    eat_sym st ")";
+    if a' <> a then
+      fail st
+        (Printf.sprintf "else must refer to the same attribute (%s vs %s)" a a');
+    if try_word st "in" then Sql_ast.P_pos_pos (a, pos_set, literal_list st)
+    else if try_word st "not" then begin
+      eat_word st "in";
+      Sql_ast.P_pos_neg (a, pos_set, literal_list st)
+    end
+    else if try_sym st "=" then Sql_ast.P_pos_pos (a, pos_set, [ literal st ])
+    else if try_sym st "!=" then Sql_ast.P_pos_neg (a, pos_set, [ literal st ])
+    else fail st "expected =, !=, in or not in after else"
+  end
+  else Sql_ast.P_pos (a, pos_set)
+
+let step st axis =
+  let tag = if try_sym st "*" then "*" else ident st in
+  let rec quals acc =
+    if try_sym st "[" then begin
+      let h = hard st in
+      eat_sym st "]";
+      quals (Past.Hard h :: acc)
+    end
+    else if try_sym st "#[" then begin
+      let p = pref st in
+      eat_sym st "]#";
+      quals (Past.Soft p :: acc)
+    end
+    else List.rev acc
+  in
+  { Past.axis; tag; quals = quals [] }
+
+let path st =
+  let rec go acc =
+    if try_sym st "//" then go (step st Past.Descendant :: acc)
+    else if try_sym st "/" then go (step st Past.Child :: acc)
+    else List.rev acc
+  in
+  let steps = go [] in
+  if steps = [] then fail st "expected a path starting with '/' or '//'";
+  (match peek st with
+  | Eof -> ()
+  | _ -> fail st "unexpected trailing input");
+  steps
+
+let parse src = path { tokens = Array.of_list (tokenize src); i = 0 }
+
+let parse_pref src =
+  let st = { tokens = Array.of_list (tokenize src); i = 0 } in
+  let p = pref st in
+  (match peek st with
+  | Eof -> ()
+  | _ -> fail st "unexpected trailing input");
+  p

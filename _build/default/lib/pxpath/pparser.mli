@@ -1,0 +1,21 @@
+(** Parser for the Preference XPath subset.
+
+    {v
+    path  ::= (('/' | '//') step)+
+    step  ::= (name | '*') qual*
+    qual  ::= '[' hard ']' | '#[' pref ']#'
+    hard  ::= @a op lit | @a | not(...) | hard and hard | hard or hard
+    pref  ::= pareto ('prior to' pareto)*
+    pareto::= atom ('and' atom)*
+    atom  ::= '(@a)' spec | '(' pref ')' | dual(pref)
+    spec  ::= highest | lowest | around lit | between lit and lit
+            | in (lits) [else (@a) ...] | not in (lits)
+            | = lit [else (@a) ...] | != lit
+    v}
+    Keywords are case-insensitive; string literals take single or double
+    quotes; [!=] and [<>] both mean inequality. *)
+
+exception Error of string * int
+
+val parse : string -> Past.path
+val parse_pref : string -> Pref_sql.Ast.pref

@@ -1,0 +1,84 @@
+open Pref_relation
+module Sql_ast = Pref_sql.Ast
+
+let pp_value ppf v =
+  match v with
+  | Value.Str s -> Fmt.pf ppf "\"%s\"" s
+  | Value.Date d ->
+    Fmt.pf ppf "\"%04d-%02d-%02d\"" d.Value.year d.Value.month d.Value.day
+  | v -> Value.pp ppf v
+
+let pp_values ppf vs =
+  Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp_value) vs
+
+let cmp_to_string (op : Sql_ast.comparison) =
+  match op with
+  | Sql_ast.Eq -> "="
+  | Sql_ast.Neq -> "!="
+  | Sql_ast.Lt -> "<"
+  | Sql_ast.Le -> "<="
+  | Sql_ast.Gt -> ">"
+  | Sql_ast.Ge -> ">="
+
+let rec pp_hard ppf (h : Past.hard) =
+  match h with
+  | Past.H_cmp (a, op, v) ->
+    Fmt.pf ppf "@%s %s %a" a (cmp_to_string op) pp_value v
+  | Past.H_exists a -> Fmt.pf ppf "@%s" a
+  | Past.H_and (h1, h2) -> Fmt.pf ppf "%a and %a" pp_hard_atom h1 pp_hard_atom h2
+  | Past.H_or (h1, h2) -> Fmt.pf ppf "%a or %a" pp_hard_atom h1 pp_hard_atom h2
+  | Past.H_not h1 -> Fmt.pf ppf "not(%a)" pp_hard h1
+
+and pp_hard_atom ppf h =
+  match h with
+  | Past.H_and _ | Past.H_or _ -> Fmt.pf ppf "(%a)" pp_hard h
+  | _ -> pp_hard ppf h
+
+let rec pp_pref ppf (p : Sql_ast.pref) =
+  match p with
+  | Sql_ast.P_pos (a, [ v ]) -> Fmt.pf ppf "(@%s) = %a" a pp_value v
+  | Sql_ast.P_pos (a, vs) -> Fmt.pf ppf "(@%s) in %a" a pp_values vs
+  | Sql_ast.P_neg (a, [ v ]) -> Fmt.pf ppf "(@%s) != %a" a pp_value v
+  | Sql_ast.P_neg (a, vs) -> Fmt.pf ppf "(@%s) not in %a" a pp_values vs
+  | Sql_ast.P_pos_pos (a, v1, v2) ->
+    Fmt.pf ppf "%a else (@%s) %s" pp_pref (Sql_ast.P_pos (a, v1)) a
+      (match v2 with
+      | [ v ] -> Fmt.str "= %a" pp_value v
+      | vs -> Fmt.str "in %a" pp_values vs)
+  | Sql_ast.P_pos_neg (a, vs, ns) ->
+    Fmt.pf ppf "%a else (@%s) %s" pp_pref (Sql_ast.P_pos (a, vs)) a
+      (match ns with
+      | [ v ] -> Fmt.str "!= %a" pp_value v
+      | vs -> Fmt.str "not in %a" pp_values vs)
+  | Sql_ast.P_around (a, v) -> Fmt.pf ppf "(@%s) around %a" a pp_value v
+  | Sql_ast.P_between (a, low, up) ->
+    Fmt.pf ppf "(@%s) between %a and %a" a pp_value low pp_value up
+  | Sql_ast.P_lowest a -> Fmt.pf ppf "(@%s) lowest" a
+  | Sql_ast.P_highest a -> Fmt.pf ppf "(@%s) highest" a
+  | Sql_ast.P_pareto (p1, p2) ->
+    Fmt.pf ppf "%a and %a" pp_pref_atom p1 pp_pref_atom p2
+  | Sql_ast.P_prior (p1, p2) ->
+    Fmt.pf ppf "%a prior to %a" pp_pref_atom p1 pp_pref_atom p2
+  | Sql_ast.P_dual p1 -> Fmt.pf ppf "dual(%a)" pp_pref p1
+  | Sql_ast.P_explicit _ | Sql_ast.P_score _ | Sql_ast.P_rank _ ->
+    invalid_arg "Pprint.pp_pref: no Preference XPath syntax for this form"
+
+and pp_pref_atom ppf p =
+  match p with
+  | Sql_ast.P_pareto _ | Sql_ast.P_prior _ -> Fmt.pf ppf "(%a)" pp_pref p
+  | _ -> pp_pref ppf p
+
+let pp_step ppf (s : Past.step) =
+  Fmt.pf ppf "%s%s"
+    (match s.Past.axis with Past.Child -> "/" | Past.Descendant -> "//")
+    s.Past.tag;
+  List.iter
+    (fun q ->
+      match q with
+      | Past.Hard h -> Fmt.pf ppf "[%a]" pp_hard h
+      | Past.Soft p -> Fmt.pf ppf " #[%a]#" pp_pref p)
+    s.Past.quals
+
+let pp_path ppf (p : Past.path) = List.iter (pp_step ppf) p
+
+let path_to_string p = Fmt.str "%a" pp_path p

@@ -1,0 +1,11 @@
+(** Rendering Preference XPath ASTs back to query text.
+
+    The parser accepts its own output; [pp_pref] raises [Invalid_argument]
+    for preference forms without XPath surface syntax (EXPLICIT, SCORE,
+    RANK — they belong to Preference SQL). *)
+
+val pp_hard : Past.hard Fmt.t
+val pp_pref : Pref_sql.Ast.pref Fmt.t
+val pp_step : Past.step Fmt.t
+val pp_path : Past.path Fmt.t
+val path_to_string : Past.path -> string

@@ -1,0 +1,89 @@
+type t =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : t list;
+}
+
+let element ?(attrs = []) ?(children = []) tag = Element { tag; attrs; children }
+let text s = Text s
+
+let tag_of = function Element e -> Some e.tag | Text _ -> None
+
+let attr node name =
+  match node with
+  | Element e -> List.assoc_opt name e.attrs
+  | Text _ -> None
+
+let children = function Element e -> e.children | Text _ -> []
+
+let rec text_content = function
+  | Text s -> s
+  | Element e -> String.concat "" (List.map text_content e.children)
+
+let child_elements node =
+  List.filter_map
+    (function Element e -> Some (Element e) | Text _ -> None)
+    (children node)
+
+let rec descendants_or_self node =
+  node :: List.concat_map descendants_or_self (child_elements node)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec to_buffer ~indent buf node =
+  let pad = String.make (2 * indent) ' ' in
+  match node with
+  | Text s ->
+    if String.trim s <> "" then begin
+      Buffer.add_string buf pad;
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '\n'
+    end
+  | Element e ->
+    Buffer.add_string buf pad;
+    Buffer.add_char buf '<';
+    Buffer.add_string buf e.tag;
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" k (escape v)))
+      e.attrs;
+    if e.children = [] then Buffer.add_string buf "/>\n"
+    else if List.for_all (function Text _ -> true | Element _ -> false) e.children
+    then begin
+      (* text-only elements print inline so printing is idempotent *)
+      Buffer.add_char buf '>';
+      List.iter
+        (function
+          | Text s -> Buffer.add_string buf (escape s)
+          | Element _ -> ())
+        e.children;
+      Buffer.add_string buf (Printf.sprintf "</%s>\n" e.tag)
+    end
+    else begin
+      Buffer.add_string buf ">\n";
+      List.iter (to_buffer ~indent:(indent + 1) buf) e.children;
+      Buffer.add_string buf pad;
+      Buffer.add_string buf (Printf.sprintf "</%s>\n" e.tag)
+    end
+
+let to_string node =
+  let buf = Buffer.create 256 in
+  to_buffer ~indent:0 buf node;
+  Buffer.contents buf
+
+let pp ppf node = Fmt.string ppf (to_string node)

@@ -1,0 +1,29 @@
+(** A minimal XML document model — the attribute-rich data substrate for
+    Preference XPath (§6.1), standing in for the native XML store the
+    prototype ran on. *)
+
+type t =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : t list;
+}
+
+val element : ?attrs:(string * string) list -> ?children:t list -> string -> t
+val text : string -> t
+
+val tag_of : t -> string option
+val attr : t -> string -> string option
+val children : t -> t list
+val child_elements : t -> t list
+val text_content : t -> string
+
+val descendants_or_self : t -> t list
+(** The node followed by all element descendants, document order. *)
+
+val escape : string -> string
+val to_string : t -> string
+val pp : t Fmt.t

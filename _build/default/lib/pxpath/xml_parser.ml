@@ -1,0 +1,199 @@
+exception Error of string * int
+
+type state = {
+  src : string;
+  mutable i : int;
+}
+
+let len st = String.length st.src
+let peek st = if st.i < len st then Some st.src.[st.i] else None
+let looking_at st s =
+  st.i + String.length s <= len st && String.sub st.src st.i (String.length s) = s
+
+let fail st msg = raise (Error (msg, st.i))
+
+let skip_ws st =
+  while
+    st.i < len st
+    && match st.src.[st.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.i <- st.i + 1
+  done
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = ':' || c = '.'
+
+let name st =
+  let start = st.i in
+  while st.i < len st && is_name_char st.src.[st.i] do
+    st.i <- st.i + 1
+  done;
+  if st.i = start then fail st "expected a name";
+  String.sub st.src start (st.i - start)
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] = '&' then begin
+      let entity_end =
+        try String.index_from s i ';' with Not_found -> -1
+      in
+      if entity_end = -1 then begin
+        Buffer.add_char buf '&';
+        go (i + 1)
+      end
+      else begin
+        (match String.sub s (i + 1) (entity_end - i - 1) with
+        | "amp" -> Buffer.add_char buf '&'
+        | "lt" -> Buffer.add_char buf '<'
+        | "gt" -> Buffer.add_char buf '>'
+        | "quot" -> Buffer.add_char buf '"'
+        | "apos" -> Buffer.add_char buf '\''
+        | other -> Buffer.add_string buf ("&" ^ other ^ ";"));
+        go (entity_end + 1)
+      end
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let skip_misc st =
+  (* XML declarations, processing instructions, comments, doctype *)
+  let rec go () =
+    skip_ws st;
+    if looking_at st "<?" then begin
+      match
+        let rec find j =
+          if j + 1 >= len st then None
+          else if st.src.[j] = '?' && st.src.[j + 1] = '>' then Some (j + 2)
+          else find (j + 1)
+        in
+        find st.i
+      with
+      | Some j ->
+        st.i <- j;
+        go ()
+      | None -> fail st "unterminated processing instruction"
+    end
+    else if looking_at st "<!--" then begin
+      match
+        let rec find j =
+          if j + 2 >= len st then None
+          else if String.sub st.src j 3 = "-->" then Some (j + 3)
+          else find (j + 1)
+        in
+        find st.i
+      with
+      | Some j ->
+        st.i <- j;
+        go ()
+      | None -> fail st "unterminated comment"
+    end
+    else if looking_at st "<!DOCTYPE" || looking_at st "<!doctype" then begin
+      match String.index_from_opt st.src st.i '>' with
+      | Some j ->
+        st.i <- j + 1;
+        go ()
+      | None -> fail st "unterminated DOCTYPE"
+    end
+  in
+  go ()
+
+let attribute st =
+  let k = name st in
+  skip_ws st;
+  (match peek st with
+  | Some '=' -> st.i <- st.i + 1
+  | _ -> fail st "expected '=' in attribute");
+  skip_ws st;
+  let quote =
+    match peek st with
+    | Some ('"' as q) | Some ('\'' as q) ->
+      st.i <- st.i + 1;
+      q
+    | _ -> fail st "expected a quoted attribute value"
+  in
+  let start = st.i in
+  (match String.index_from_opt st.src st.i quote with
+  | Some j -> st.i <- j
+  | None -> fail st "unterminated attribute value");
+  let v = String.sub st.src start (st.i - start) in
+  st.i <- st.i + 1;
+  (k, unescape v)
+
+let rec element st =
+  (match peek st with
+  | Some '<' -> st.i <- st.i + 1
+  | _ -> fail st "expected '<'");
+  let tag = name st in
+  let rec attrs acc =
+    skip_ws st;
+    match peek st with
+    | Some '>' ->
+      st.i <- st.i + 1;
+      (List.rev acc, `Open)
+    | Some '/' when looking_at st "/>" ->
+      st.i <- st.i + 2;
+      (List.rev acc, `Selfclosing)
+    | Some _ -> attrs (attribute st :: acc)
+    | None -> fail st "unterminated start tag"
+  in
+  let attributes, kind = attrs [] in
+  match kind with
+  | `Selfclosing -> Xml.Element { tag; attrs = attributes; children = [] }
+  | `Open ->
+    let children = content st [] in
+    if not (looking_at st "</") then fail st "expected a closing tag";
+    st.i <- st.i + 2;
+    let closing = name st in
+    if closing <> tag then
+      fail st (Printf.sprintf "mismatched closing tag </%s> for <%s>" closing tag);
+    skip_ws st;
+    (match peek st with
+    | Some '>' -> st.i <- st.i + 1
+    | _ -> fail st "expected '>' after closing tag");
+    Xml.Element { tag; attrs = attributes; children }
+
+and content st acc =
+  if looking_at st "</" then List.rev acc
+  else if looking_at st "<!--" then begin
+    skip_misc st;
+    content st acc
+  end
+  else
+    match peek st with
+    | None -> fail st "unexpected end of input inside an element"
+    | Some '<' -> content st (element st :: acc)
+    | Some _ ->
+      let start = st.i in
+      while st.i < len st && st.src.[st.i] <> '<' do
+        st.i <- st.i + 1
+      done;
+      let txt = unescape (String.sub st.src start (st.i - start)) in
+      if String.trim txt = "" then content st acc
+      else content st (Xml.Text txt :: acc)
+
+let parse src =
+  let st = { src; i = 0 } in
+  skip_misc st;
+  let root = element st in
+  skip_misc st;
+  skip_ws st;
+  if st.i < len st then fail st "trailing content after the root element";
+  root
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse s

@@ -1,0 +1,13 @@
+(** A small XML parser: elements, attributes (single- or double-quoted),
+    text with the five predefined entities, comments, processing
+    instructions and DOCTYPE headers. No namespaces or CDATA — enough for
+    the attribute-rich catalogs Preference XPath targets. *)
+
+exception Error of string * int
+(** Message and byte offset. *)
+
+val parse : string -> Xml.t
+(** Parse a document; returns the root element. Whitespace-only text nodes
+    are dropped. *)
+
+val load : string -> Xml.t

@@ -1,0 +1,1 @@
+lib/relation/relation.ml: Array Fmt Hashtbl List Option Printf Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relation/schema.ml: Fmt List Printf String Value

@@ -1,0 +1,1 @@
+lib/relation/table_fmt.ml: Buffer Fmt List Printf Relation Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relation/table_fmt.mli: Fmt Relation

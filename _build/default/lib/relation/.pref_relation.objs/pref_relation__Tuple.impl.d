@@ -1,0 +1,1 @@
+lib/relation/tuple.ml: Array Fmt Hashtbl Int List Schema Value

@@ -1,0 +1,128 @@
+let split_line line =
+  (* RFC-4180-ish: commas split fields; double quotes protect commas and
+     embedded quotes are doubled. *)
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let rec scan i in_quotes =
+    if i >= n then begin
+      fields := Buffer.contents buf :: !fields
+    end
+    else
+      let c = line.[i] in
+      if in_quotes then
+        if c = '"' then
+          if i + 1 < n && line.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            scan (i + 2) true
+          end
+          else scan (i + 1) false
+        else begin
+          Buffer.add_char buf c;
+          scan (i + 1) true
+        end
+      else if c = '"' then scan (i + 1) true
+      else if c = ',' then begin
+        fields := Buffer.contents buf :: !fields;
+        Buffer.clear buf;
+        scan (i + 1) false
+      end
+      else begin
+        Buffer.add_char buf c;
+        scan (i + 1) false
+      end
+  in
+  scan 0 false;
+  List.rev !fields
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let lines_of_string s =
+  String.split_on_char '\n' s
+  |> List.map strip_cr
+  |> List.filter (fun l -> String.trim l <> "")
+
+let unify_ty a b =
+  let open Value in
+  match a, b with
+  | None, x | x, None -> x
+  | Some a, Some b when a = b -> Some a
+  | Some TInt, Some TFloat | Some TFloat, Some TInt -> Some TFloat
+  | Some _, Some _ -> Some TStr
+
+let infer_schema header rows =
+  let ncols = List.length header in
+  let tys = Array.make ncols None in
+  List.iter
+    (fun fields ->
+      List.iteri
+        (fun i field ->
+          if i < ncols then
+            tys.(i) <- unify_ty tys.(i) (Value.type_of (Value.infer field)))
+        fields)
+    rows;
+  List.mapi
+    (fun i name ->
+      (name, match tys.(i) with Some ty -> ty | None -> Value.TStr))
+    header
+
+let parse_string s =
+  match lines_of_string s with
+  | [] -> invalid_arg "Csv.parse_string: empty input"
+  | header_line :: data_lines ->
+    let header = List.map String.trim (split_line header_line) in
+    let raw_rows = List.map split_line data_lines in
+    let schema = infer_schema header raw_rows in
+    let parse_row fields =
+      let padded =
+        let missing = List.length header - List.length fields in
+        if missing > 0 then fields @ List.init missing (fun _ -> "")
+        else fields
+      in
+      Tuple.make
+        (List.map2
+           (fun (_, ty) field ->
+             let trimmed = String.trim field in
+             if trimmed = "" || String.uppercase_ascii trimmed = "NULL" then
+               Value.Null
+             else
+               match Value.of_string_as ty field with
+               | Some v -> v
+               | None -> Value.Str field)
+           schema padded)
+    in
+    Relation.make schema (List.map parse_row raw_rows)
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  parse_string s
+
+let quote_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_string r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (String.concat "," (List.map quote_field (Schema.names (Relation.schema r))));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      let cells =
+        List.map (fun v -> quote_field (Value.to_string v)) (Tuple.to_list row)
+      in
+      Buffer.add_string buf (String.concat "," cells);
+      Buffer.add_char buf '\n')
+    (Relation.rows r);
+  Buffer.contents buf
+
+let save path r =
+  let oc = open_out path in
+  output_string oc (to_string r);
+  close_out oc

@@ -1,0 +1,18 @@
+(** CSV loading and saving with column-type inference.
+
+    The first line is the header. Column types are inferred from the data
+    (int, float, date [YYYY-MM-DD] or [YYYY/MM/DD], bool, falling back to
+    string); empty fields and ["NULL"] become {!Value.Null}. Quoting follows
+    RFC 4180 (double quotes, doubled to escape). *)
+
+val parse_string : string -> Relation.t
+(** Raises [Invalid_argument] on empty input. *)
+
+val load : string -> Relation.t
+(** Load a CSV file. Raises [Sys_error] on I/O failure. *)
+
+val to_string : Relation.t -> string
+val save : string -> Relation.t -> unit
+
+val split_line : string -> string list
+(** Exposed for testing: split one CSV record into raw fields. *)

@@ -1,0 +1,182 @@
+type t = {
+  schema : Schema.t;
+  rows : Tuple.t list;
+}
+
+let schema r = r.schema
+let rows r = r.rows
+let cardinality r = List.length r.rows
+let is_empty r = r.rows = []
+
+let check_row schema row =
+  if Tuple.arity row <> Schema.arity schema then
+    invalid_arg
+      (Printf.sprintf "Relation: row arity %d does not match schema arity %d"
+         (Tuple.arity row) (Schema.arity schema));
+  List.iteri
+    (fun i (name, ty) ->
+      let v = Tuple.get row i in
+      match Value.type_of v with
+      | None -> () (* NULL fits any column *)
+      | Some ty' ->
+        let compatible =
+          ty = ty'
+          || (ty = Value.TFloat && ty' = Value.TInt) (* ints widen to float *)
+        in
+        if not compatible then
+          invalid_arg
+            (Printf.sprintf
+               "Relation: column %S expects %s but row carries %s value %s" name
+               (Value.ty_to_string ty) (Value.ty_to_string ty')
+               (Value.to_string v)))
+    schema
+
+let make schema rows =
+  List.iter (check_row schema) rows;
+  { schema; rows }
+
+let of_lists schema lists = make schema (List.map Tuple.make lists)
+
+let empty schema = { schema; rows = [] }
+
+let add_row r row =
+  check_row r.schema row;
+  { r with rows = r.rows @ [ row ] }
+
+let mem r row = List.exists (Tuple.equal row) r.rows
+
+let distinct r =
+  let seen = Hashtbl.create (List.length r.rows) in
+  let keep row =
+    let k = List.map Value.to_string (Tuple.to_list row) in
+    if Hashtbl.mem seen k then false
+    else begin
+      Hashtbl.add seen k ();
+      true
+    end
+  in
+  { r with rows = List.filter keep r.rows }
+
+let project r attrs =
+  let schema = Schema.project r.schema attrs in
+  { schema; rows = List.map (fun t -> Tuple.project r.schema t attrs) r.rows }
+
+let project_distinct r attrs = distinct (project r attrs)
+
+let select p r = { r with rows = List.filter p r.rows }
+
+let map_rows f r = { r with rows = List.map f r.rows }
+
+let union a b =
+  if not (Schema.equal a.schema b.schema) then
+    invalid_arg "Relation.union: schema mismatch";
+  { a with rows = a.rows @ List.filter (fun row -> not (mem a row)) b.rows }
+
+let inter a b =
+  if not (Schema.equal a.schema b.schema) then
+    invalid_arg "Relation.inter: schema mismatch";
+  { a with rows = List.filter (mem b) a.rows }
+
+let diff a b =
+  if not (Schema.equal a.schema b.schema) then
+    invalid_arg "Relation.diff: schema mismatch";
+  { a with rows = List.filter (fun row -> not (mem b row)) a.rows }
+
+let equal_as_sets a b =
+  Schema.equal a.schema b.schema
+  && List.for_all (mem b) a.rows
+  && List.for_all (mem a) b.rows
+
+let group_by r attrs =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let key =
+        List.map (fun a -> Value.to_string (Tuple.get_by_name r.schema row a)) attrs
+      in
+      (match Hashtbl.find_opt tbl key with
+      | None ->
+        order := key :: !order;
+        Hashtbl.add tbl key [ row ]
+      | Some rs -> Hashtbl.replace tbl key (row :: rs)))
+    r.rows;
+  List.rev_map
+    (fun key -> { r with rows = List.rev (Hashtbl.find tbl key) })
+    !order
+
+let sort_by cmp r = { r with rows = List.sort cmp r.rows }
+
+let rename_schema r schema' =
+  if Schema.arity schema' <> Schema.arity r.schema then
+    invalid_arg "Relation.rename_schema: arity mismatch";
+  { r with schema = schema' }
+
+let product a b =
+  let schema = Schema.union a.schema b.schema in
+  if Schema.arity schema <> Schema.arity a.schema + Schema.arity b.schema then
+    invalid_arg "Relation.product: overlapping column names";
+  let rows =
+    List.concat_map
+      (fun ra ->
+        List.map (fun rb -> Array.append ra rb) b.rows)
+      a.rows
+  in
+  { schema; rows }
+
+let hash_join a b ~left_cols ~right_cols =
+  if List.length left_cols <> List.length right_cols || left_cols = [] then
+    invalid_arg "Relation.hash_join: key column lists must match and be non-empty";
+  let left_idx = List.map (Schema.index_of_exn a.schema) left_cols in
+  let right_idx = List.map (Schema.index_of_exn b.schema) right_cols in
+  let schema = Schema.union a.schema b.schema in
+  if Schema.arity schema <> Schema.arity a.schema + Schema.arity b.schema then
+    invalid_arg "Relation.hash_join: overlapping column names";
+  (* a key compatible with Value.equal (ints and floats join numerically) *)
+  let value_key v =
+    match v with
+    | Value.Null -> "n"
+    | Value.Bool b -> "b" ^ string_of_bool b
+    | Value.Int i -> "f" ^ string_of_float (float_of_int i)
+    | Value.Float f -> "f" ^ string_of_float f
+    | Value.Str s -> "s" ^ s
+    | Value.Date d -> "d" ^ string_of_int (Value.date_to_days d)
+  in
+  let key idxs row =
+    (* length-prefixed concatenation: unambiguous even when string values
+       contain the separator *)
+    String.concat ""
+      (List.map
+         (fun i ->
+           let k = value_key (Tuple.get row i) in
+           string_of_int (String.length k) ^ ":" ^ k)
+         idxs)
+  in
+  let tbl = Hashtbl.create (List.length b.rows) in
+  List.iter
+    (fun rb ->
+      let k = key right_idx rb in
+      Hashtbl.replace tbl k (rb :: Option.value (Hashtbl.find_opt tbl k) ~default:[]))
+    b.rows;
+  let rows =
+    List.concat_map
+      (fun ra ->
+        (* null keys never join, as in SQL *)
+        if List.exists (fun i -> Value.is_null (Tuple.get ra i)) left_idx then []
+        else
+          match Hashtbl.find_opt tbl (key left_idx ra) with
+          | Some matches ->
+            List.rev_map (fun rb -> Array.append ra rb) matches
+          | None -> [])
+      a.rows
+  in
+  { schema; rows }
+
+let column r name =
+  let i = Schema.index_of_exn r.schema name in
+  List.map (fun row -> Tuple.get row i) r.rows
+
+let fold f init r = List.fold_left f init r.rows
+
+let pp ppf r =
+  Fmt.pf ppf "%a [%d rows]" Schema.pp r.schema (cardinality r)

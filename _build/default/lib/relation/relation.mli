@@ -1,0 +1,69 @@
+(** In-memory relations (the paper's "database sets" [R], §5.1).
+
+    A relation is a schema plus a row list. Rows are validated against the
+    schema on construction. Set-flavoured operations ([union], [inter],
+    [diff], [equal_as_sets]) use tuple value equality, matching the paper's
+    treatment of database sets as sets of values; duplicate rows are allowed
+    and preserved unless [distinct] is applied. *)
+
+type t
+
+val make : Schema.t -> Tuple.t list -> t
+(** Raises [Invalid_argument] if a row does not fit the schema. Integer
+    values are accepted in float columns. *)
+
+val of_lists : Schema.t -> Value.t list list -> t
+val empty : Schema.t -> t
+
+val schema : t -> Schema.t
+val rows : t -> Tuple.t list
+val cardinality : t -> int
+val is_empty : t -> bool
+
+val add_row : t -> Tuple.t -> t
+val mem : t -> Tuple.t -> bool
+
+val distinct : t -> t
+(** Remove duplicate rows, keeping first occurrences. *)
+
+val project : t -> string list -> t
+(** [R[A]]: projection onto the named attributes, duplicates preserved. *)
+
+val project_distinct : t -> string list -> t
+(** Set-semantics projection — the paper's [R[A] ⊆ dom(A)]. *)
+
+val select : (Tuple.t -> bool) -> t -> t
+val map_rows : (Tuple.t -> Tuple.t) -> t -> t
+
+val union : t -> t -> t
+(** Set union (no duplicates introduced); raises on schema mismatch. *)
+
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val equal_as_sets : t -> t -> bool
+
+val group_by : t -> string list -> t list
+(** Partition rows into groups with equal values on the named attributes,
+    preserving first-appearance order of groups — the grouped evaluation of
+    Definition 16. *)
+
+val sort_by : (Tuple.t -> Tuple.t -> int) -> t -> t
+
+(** Reinterpret the rows under a schema of the same arity (e.g. one with
+    qualified column names); raises on arity mismatch. *)
+val rename_schema : t -> Schema.t -> t
+
+(** Cartesian product; raises [Invalid_argument] on overlapping column
+    names (qualify them first with {!Schema.prefix}). *)
+val product : t -> t -> t
+
+(** Equi-join on the given key columns (hash-based, SQL semantics: NULL
+    keys never join). Raises on empty/unequal key lists or overlapping
+    column names. *)
+val hash_join : t -> t -> left_cols:string list -> right_cols:string list -> t
+val column : t -> string -> Value.t list
+val fold : ('acc -> Tuple.t -> 'acc) -> 'acc -> t -> 'acc
+
+val pp : t Fmt.t
+(** Short summary ("schema [n rows]"); use {!Table_fmt} for full tables. *)

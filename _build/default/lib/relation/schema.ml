@@ -1,0 +1,80 @@
+type t = (string * Value.ty) list
+
+let empty = []
+let make cols = cols
+
+let arity (s : t) = List.length s
+let names (s : t) = List.map fst s
+let types (s : t) = List.map snd s
+
+let mem (s : t) name = List.mem_assoc name s
+
+let index_of (s : t) name =
+  let rec go i = function
+    | [] -> None
+    | (n, _) :: _ when String.equal n name -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 s
+
+let index_of_exn s name =
+  match index_of s name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Schema: unknown attribute %S" name)
+
+let type_of (s : t) name = List.assoc_opt name s
+
+let project (s : t) attrs =
+  List.map
+    (fun a ->
+      match type_of s a with
+      | Some ty -> (a, ty)
+      | None -> invalid_arg (Printf.sprintf "Schema.project: unknown attribute %S" a))
+    attrs
+
+let equal (a : t) (b : t) =
+  List.length a = List.length b
+  && List.for_all2 (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && t1 = t2) a b
+
+let union (a : t) (b : t) =
+  a
+  @ List.filter
+      (fun (n, ty) ->
+        match type_of a n with
+        | None -> true
+        | Some ty' ->
+          if ty = ty' then false
+          else
+            invalid_arg
+              (Printf.sprintf "Schema.union: attribute %S has conflicting types" n))
+      b
+
+let prefix name (s : t) =
+  List.map (fun (n, ty) -> (name ^ "." ^ n, ty)) s
+
+(* Resolve a possibly unqualified attribute against a schema whose columns
+   may be qualified ("table.column").  Exact matches win; otherwise a
+   unique ".name" suffix match resolves, anything else is an error. *)
+let resolve (s : t) name =
+  if mem s name then Ok name
+  else
+    let suffix = "." ^ name in
+    let matches =
+      List.filter
+        (fun (n, _) ->
+          let nl = String.length n and sl = String.length suffix in
+          nl >= sl && String.sub n (nl - sl) sl = suffix)
+        s
+    in
+    match matches with
+    | [ (n, _) ] -> Ok n
+    | [] -> Error (Printf.sprintf "unknown attribute %S" name)
+    | _ :: _ :: _ ->
+      Error
+        (Printf.sprintf "ambiguous attribute %S (matches %s)" name
+           (String.concat ", " (List.map fst matches)))
+
+let pp ppf (s : t) =
+  Fmt.pf ppf "(%a)"
+    Fmt.(list ~sep:(any ", ") (fun ppf (n, ty) -> pf ppf "%s: %a" n Value.pp_ty ty))
+    s

@@ -1,0 +1,42 @@
+(** Relation schemas: ordered lists of named, typed attributes.
+
+    This is the paper's set [A = {A1: data_type1, ..., Ak: data_typek}]
+    (Definition 1), concretised with a fixed column order so tuples can be
+    stored as arrays. *)
+
+type t = (string * Value.ty) list
+
+val empty : t
+val make : (string * Value.ty) list -> t
+
+val arity : t -> int
+val names : t -> string list
+val types : t -> Value.ty list
+val mem : t -> string -> bool
+
+val index_of : t -> string -> int option
+val index_of_exn : t -> string -> int
+(** Raises [Invalid_argument] for an unknown attribute. *)
+
+val type_of : t -> string -> Value.ty option
+
+val project : t -> string list -> t
+(** Sub-schema in the order of the requested attribute names; raises
+    [Invalid_argument] on unknown attributes. *)
+
+val equal : t -> t -> bool
+
+val union : t -> t -> t
+(** Attributes of the first schema followed by the new attributes of the
+    second; raises [Invalid_argument] on a name carried at two different
+    types. *)
+
+val prefix : string -> t -> t
+(** Qualify every column name with ["name."] — used when joining tables. *)
+
+val resolve : t -> string -> (string, string) result
+(** Resolve a possibly unqualified name against (possibly qualified)
+    columns: exact match first, then a unique [".name"] suffix match.
+    Errors describe unknown and ambiguous names. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,42 @@
+let render ?(max_rows = 50) r =
+  let schema = Relation.schema r in
+  let names = Schema.names schema in
+  let rows = Relation.rows r in
+  let shown, elided =
+    let n = List.length rows in
+    if n <= max_rows then (rows, 0)
+    else (List.filteri (fun i _ -> i < max_rows) rows, n - max_rows)
+  in
+  let cells = List.map (fun row -> List.map Value.to_string (Tuple.to_list row)) shown in
+  let widths =
+    List.mapi
+      (fun i name ->
+        List.fold_left
+          (fun acc cs -> max acc (String.length (List.nth cs i)))
+          (String.length name) cells)
+      names
+  in
+  let buf = Buffer.create 1024 in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let rule () =
+    Buffer.add_string buf
+      ("+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+\n")
+  in
+  let line cs =
+    Buffer.add_string buf
+      ("| "
+      ^ String.concat " | " (List.map2 pad cs widths)
+      ^ " |\n")
+  in
+  rule ();
+  line names;
+  rule ();
+  List.iter line cells;
+  rule ();
+  if elided > 0 then
+    Buffer.add_string buf (Printf.sprintf "... %d more rows\n" elided);
+  Buffer.contents buf
+
+let print ?max_rows r = print_string (render ?max_rows r)
+
+let pp ppf r = Fmt.string ppf (render r)

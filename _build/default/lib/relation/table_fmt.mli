@@ -1,0 +1,8 @@
+(** ASCII table rendering of relations, for CLIs, examples and benches. *)
+
+val render : ?max_rows:int -> Relation.t -> string
+(** Render with column-aligned borders; at most [max_rows] rows (default 50),
+    with a trailing "... n more rows" note when truncated. *)
+
+val print : ?max_rows:int -> Relation.t -> unit
+val pp : Relation.t Fmt.t

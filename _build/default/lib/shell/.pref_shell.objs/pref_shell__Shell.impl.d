@@ -1,0 +1,1 @@
+lib/shell/shell.ml: Buffer Csv Exec Fmt In_channel List Parser Pref_bmo Pref_mining Pref_relation Pref_sql Preferences Printf Relation Repository Schema Serialize Show Sql92 String Translate Unparse

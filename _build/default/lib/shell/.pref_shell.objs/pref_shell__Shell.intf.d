@@ -1,0 +1,1 @@
+lib/shell/shell.mli: Pref_relation Pref_sql Relation

@@ -1,0 +1,240 @@
+open Pref_relation
+open Preferences
+open Pref_sql
+
+type t = {
+  mutable env : Exec.env;
+  mutable algorithm : Pref_bmo.Query.algorithm;
+  mutable explain : bool;
+  repository : Repository.t;
+  registry : Translate.registry;
+}
+
+type response = {
+  text : string list;  (** informational lines, in order *)
+  table : Relation.t option;  (** a relation to render, if any *)
+  quit : bool;
+}
+
+let plain text = { text; table = None; quit = false }
+let table ?(text = []) rel = { text; table = Some rel; quit = false }
+
+let create ?(registry = Translate.default_registry) () =
+  {
+    env = [];
+    algorithm = Pref_bmo.Query.Alg_bnl;
+    explain = false;
+    repository =
+      Repository.create
+        ~registry:
+          {
+            Serialize.scores = registry.Translate.scores;
+            combiners = registry.Translate.combiners;
+          }
+        ();
+    registry;
+  }
+
+let add_table shell name rel =
+  let name = String.lowercase_ascii name in
+  shell.env <- (name, rel) :: List.remove_assoc name shell.env
+
+let load_table shell name path =
+  let rel = Csv.load path in
+  add_table shell name rel;
+  Fmt.str "loaded %s: %a" (String.lowercase_ascii name) Relation.pp rel
+
+(* $name references in queries expand to the stored preference's surface
+   syntax. *)
+let expand_references shell src =
+  let buf = Buffer.create (String.length src) in
+  let n = String.length src in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = '/'
+  in
+  let rec go i =
+    if i >= n then Buffer.contents buf
+    else if src.[i] = '$' then begin
+      let j = ref (i + 1) in
+      while !j < n && is_ident src.[!j] do
+        incr j
+      done;
+      let name = String.sub src (i + 1) (!j - i - 1) in
+      if name = "" then begin
+        Buffer.add_char buf '$';
+        go (i + 1)
+      end
+      else
+        match Repository.find shell.repository name with
+        | None -> failwith (Printf.sprintf "no stored preference named %S" name)
+        | Some e -> (
+          match Unparse.to_preferring e.Repository.term with
+          | Some text ->
+            Buffer.add_char buf '(';
+            Buffer.add_string buf text;
+            Buffer.add_char buf ')';
+            go !j
+          | None ->
+            failwith
+              (Printf.sprintf
+                 "stored preference %S has no Preference SQL syntax" name))
+    end
+    else begin
+      Buffer.add_char buf src.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let run_sql shell src =
+  let src = expand_references shell src in
+  let result = Exec.run ~registry:shell.registry ~algorithm:shell.algorithm shell.env src in
+  let text =
+    if shell.explain then
+      match result.Exec.preference with
+      | Some p -> [ Fmt.str "-- preference: %a" Show.pp p ]
+      | None -> [ "-- preference: (none - exact match query)" ]
+    else []
+  in
+  table ~text result.Exec.relation
+
+let split_words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let pref_command shell = function
+  | [ "add"; name ] -> plain [ Printf.sprintf "usage: .pref add %s <preference>" name ]
+  | "add" :: name :: rest ->
+    let src = String.concat " " rest in
+    let term = Translate.pref ~registry:shell.registry (Parser.parse_pref src) in
+    Repository.replace shell.repository ~name term;
+    plain [ Fmt.str "stored %s = %a" name Show.pp term ]
+  | [ "list" ] ->
+    if Repository.size shell.repository = 0 then plain [ "(no stored preferences)" ]
+    else
+      plain
+        (List.map
+           (fun e ->
+             Fmt.str "  %-16s %a" e.Repository.name Show.pp e.Repository.term)
+           (Repository.entries shell.repository))
+  | [ "del"; name ] ->
+    if Repository.remove shell.repository name then plain [ "removed " ^ name ]
+    else plain [ Printf.sprintf "no stored preference named %S" name ]
+  | [ "save"; path ] ->
+    Repository.save path shell.repository;
+    plain [ Printf.sprintf "saved %d preference(s) to %s" (Repository.size shell.repository) path ]
+  | [ "load"; path ] ->
+    let loaded =
+      Repository.load
+        ~registry:
+          {
+            Serialize.scores = shell.registry.Translate.scores;
+            combiners = shell.registry.Translate.combiners;
+          }
+        path
+    in
+    List.iter
+      (fun e ->
+        Repository.replace shell.repository ~owner:e.Repository.owner
+          ~description:e.Repository.description ~name:e.Repository.name
+          e.Repository.term)
+      (Repository.entries loaded);
+    plain [ Printf.sprintf "loaded %d preference(s)" (Repository.size loaded) ]
+  | _ -> plain [ "usage: .pref add <name> <pref> | list | del <name> | save <f> | load <f>" ]
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match In_channel.input_line ic with
+    | Some line -> go (line :: acc)
+    | None ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let mine_command shell path =
+  let lines = read_lines path in
+  let term, reports = Pref_mining.Miner.mine_log lines in
+  let report_lines =
+    List.map
+      (fun r ->
+        Fmt.str "  %-16s %3d events   %s" r.Pref_mining.Miner.attr
+          r.Pref_mining.Miner.occurrences
+          (match r.Pref_mining.Miner.mined with
+          | Some p -> Show.to_string p
+          | None -> "(no stable signal)"))
+      reports
+  in
+  match term with
+  | None -> plain (report_lines @ [ "no preference could be mined" ])
+  | Some p ->
+    Repository.replace shell.repository ~description:("mined from " ^ path)
+      ~name:"mined" p;
+    plain
+      (report_lines
+      @ [ Fmt.str "mined preference (stored as $mined): %a" Show.pp p ])
+
+let execute shell line =
+  let line = String.trim line in
+  try
+    if line = "" then Ok (plain [])
+    else if line.[0] = '.' then
+      match split_words line with
+      | [ ".quit" ] | [ ".exit" ] -> Ok { text = []; table = None; quit = true }
+      | [ ".tables" ] ->
+        Ok
+          (plain
+             (List.map (fun (n, r) -> Fmt.str "  %s: %a" n Relation.pp r) shell.env))
+      | [ ".schema"; t ] -> (
+        match Exec.find_table shell.env t with
+        | Some r -> Ok (plain [ Fmt.str "%a" Schema.pp (Relation.schema r) ])
+        | None -> Error (Printf.sprintf "no such table %s" t))
+      | [ ".load"; name; path ] -> Ok (plain [ load_table shell name path ])
+      | [ ".algorithm"; a ] -> (
+        match Pref_bmo.Query.algorithm_of_string a with
+        | Some alg ->
+          shell.algorithm <- alg;
+          Ok (plain [ "algorithm: " ^ a ])
+        | None ->
+          Error
+            (Printf.sprintf "unknown algorithm %s (naive | bnl | decompose | auto)" a))
+      | [ ".explain"; "on" ] ->
+        shell.explain <- true;
+        Ok (plain [ "explain: on" ])
+      | [ ".explain"; "off" ] ->
+        shell.explain <- false;
+        Ok (plain [ "explain: off" ])
+      | ".pref" :: rest -> Ok (pref_command shell rest)
+      | ".sql92" :: rest when rest <> [] -> (
+        let src = expand_references shell (String.concat " " (List.tl (split_words line))) in
+        let q = Parser.parse_query src in
+        match Sql92.rewrite_query ~registry:shell.registry q with
+        | Some sql -> Ok (plain [ sql ])
+        | None ->
+          Error
+            "this query has no SQL92 rewriting (needs a single table, an \
+             expressible preference, and no BUT ONLY/GROUPING/TOP/ORDER BY)")
+      | [ ".mine"; path ] -> Ok (mine_command shell path)
+      | [ ".help" ] ->
+        Ok
+          (plain
+             [
+               "commands: .tables | .schema <t> | .load <name> <file.csv>";
+               "          .algorithm naive|bnl|decompose | .explain on|off";
+               "          .pref add|list|del|save|load | .mine <log-file>";
+               "          .sql92 <query>  (rewrite to plain SQL92, [KiK01])";
+               "          .help | .quit";
+               "anything else runs as Preference SQL; $name expands a stored";
+               "preference inside the query text";
+             ])
+      | _ -> Error ("unknown command: " ^ line)
+    else Ok (run_sql shell line)
+  with
+  | Parser.Error (msg, p) -> Error (Printf.sprintf "syntax error at offset %d: %s" p msg)
+  | Translate.Error msg -> Error ("translation error: " ^ msg)
+  | Exec.Error msg -> Error msg
+  | Repository.Error msg -> Error msg
+  | Serialize.Error (msg, _) -> Error msg
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg
+  | Sys_error msg -> Error msg

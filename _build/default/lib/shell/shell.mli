@@ -1,0 +1,26 @@
+(** The Preference SQL shell engine — the logic behind the [prefsql] CLI,
+    as a library so it is testable.
+
+    Besides queries, the shell keeps a {!Preferences.Repository} of named
+    preferences: [.pref add cheap LOWEST(price)] stores a term,
+    [$cheap] inside later query text expands to its surface syntax, and
+    [.mine log.txt] stores a preference mined from a query log as
+    [$mined]. *)
+
+open Pref_relation
+
+type t
+
+type response = {
+  text : string list;
+  table : Relation.t option;
+  quit : bool;
+}
+
+val create : ?registry:Pref_sql.Translate.registry -> unit -> t
+
+val add_table : t -> string -> Relation.t -> unit
+
+val execute : t -> string -> (response, string) result
+(** Run one input line: a dot-command or a Preference SQL statement. Never
+    raises; failures come back as [Error message]. *)

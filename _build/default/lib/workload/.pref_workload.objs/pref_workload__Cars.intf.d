@@ -1,0 +1,1 @@
+lib/workload/cars.mli: Pref_relation Relation Schema

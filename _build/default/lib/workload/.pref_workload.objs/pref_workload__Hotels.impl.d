@@ -1,0 +1,1 @@
+lib/workload/hotels.ml: Dist Float List Pref_relation Printf Relation Rng Schema Tuple Value

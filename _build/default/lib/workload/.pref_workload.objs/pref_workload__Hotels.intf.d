@@ -1,0 +1,1 @@
+lib/workload/hotels.mli: Pref_relation Relation Schema

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Dist Float List Pref_relation Printf Relation Rng Schema Tuple Value

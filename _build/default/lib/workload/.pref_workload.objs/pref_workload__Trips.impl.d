@@ -1,0 +1,1 @@
+lib/workload/trips.ml: Dist Float List Pref_relation Relation Rng Schema Tuple Value

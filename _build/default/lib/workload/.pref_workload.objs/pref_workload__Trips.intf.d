@@ -1,0 +1,1 @@
+lib/workload/trips.mli: Pref_relation Relation Schema Value

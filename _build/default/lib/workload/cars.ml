@@ -1,0 +1,83 @@
+open Pref_relation
+
+let makes =
+  [| "Audi"; "BMW"; "VW"; "Opel"; "Mercedes"; "Ford"; "Toyota"; "Honda" |]
+
+let categories = [| "cabriolet"; "roadster"; "passenger"; "suv"; "van" |]
+
+let colors =
+  [| "red"; "blue"; "green"; "yellow"; "black"; "white"; "gray"; "silver" |]
+
+let transmissions = [| "automatic"; "manual" |]
+
+let schema =
+  Schema.make
+    [
+      ("oid", Value.TInt);
+      ("make", Value.TStr);
+      ("category", Value.TStr);
+      ("color", Value.TStr);
+      ("transmission", Value.TStr);
+      ("horsepower", Value.TInt);
+      ("price", Value.TInt);
+      ("mileage", Value.TInt);
+      ("year", Value.TInt);
+      ("commission", Value.TInt);
+    ]
+
+let row rng oid =
+  let make = Rng.choice rng makes in
+  let category = Rng.choice rng categories in
+  let color = Rng.choice rng colors in
+  let transmission = Rng.choice rng transmissions in
+  let year = Rng.range rng ~lo:1992 ~hi:2001 in
+  let horsepower =
+    let base =
+      match category with
+      | "roadster" -> 160.
+      | "cabriolet" -> 130.
+      | "suv" -> 150.
+      | _ -> 95.
+    in
+    int_of_float (Dist.clamped_gaussian rng ~mean:base ~stddev:35. ~lo:45. ~hi:400.)
+  in
+  (* Age drives mileage up and price down; horsepower and premium makes
+     drive price up — the correlations the BMO result-size claims rest on. *)
+  let age = 2001 - year in
+  let mileage =
+    int_of_float
+      (Dist.clamped_gaussian rng
+         ~mean:(15_000. *. float_of_int age +. 8_000.)
+         ~stddev:12_000. ~lo:0. ~hi:300_000.)
+  in
+  let premium = match make with "Audi" | "BMW" | "Mercedes" -> 1.35 | _ -> 1.0 in
+  let price =
+    let base =
+      premium
+      *. (6_000. +. (230. *. float_of_int horsepower))
+      *. Float.pow 0.88 (float_of_int age)
+      -. (0.04 *. float_of_int mileage)
+    in
+    int_of_float (Float.max 500. (Dist.gaussian rng ~mean:base ~stddev:1_500.))
+  in
+  let commission =
+    int_of_float
+      (Float.max 100. (Dist.gaussian rng ~mean:(0.05 *. float_of_int price) ~stddev:150.))
+  in
+  Tuple.make
+    [
+      Value.Int oid;
+      Value.Str make;
+      Value.Str category;
+      Value.Str color;
+      Value.Str transmission;
+      Value.Int horsepower;
+      Value.Int price;
+      Value.Int mileage;
+      Value.Int year;
+      Value.Int commission;
+    ]
+
+let relation ?(seed = 7) ~n () =
+  let rng = Rng.create seed in
+  Relation.make schema (List.init n (fun i -> row rng (i + 1)))

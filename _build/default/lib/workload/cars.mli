@@ -1,0 +1,18 @@
+(** Synthetic used-car databases — the paper's running example domain
+    (Example 6, §6.1 queries) and the substitute for the proprietary
+    dealership data of the Preference SQL deployments (see DESIGN.md).
+
+    Correlations are realistic: older cars have higher mileage and lower
+    prices, horsepower and premium makes raise prices, commission tracks
+    price. Schema: oid, make, category, color, transmission, horsepower,
+    price, mileage, year, commission. *)
+
+open Pref_relation
+
+val schema : Schema.t
+val makes : string array
+val categories : string array
+val colors : string array
+val transmissions : string array
+
+val relation : ?seed:int -> n:int -> unit -> Relation.t

@@ -1,0 +1,47 @@
+let uniform rng ~lo ~hi = lo +. (Rng.float rng *. (hi -. lo))
+
+let gaussian rng ~mean ~stddev =
+  (* Box–Muller; one value per call keeps the generator stateless beyond
+     the RNG itself. *)
+  let u1 = max epsilon_float (Rng.float rng) in
+  let u2 = Rng.float rng in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let clamped_gaussian rng ~mean ~stddev ~lo ~hi =
+  Float.min hi (Float.max lo (gaussian rng ~mean ~stddev))
+
+let zipf_weights ~n ~s =
+  let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  Array.map (fun x -> x /. total) w
+
+let zipf rng ~n ~s =
+  let weights = zipf_weights ~n ~s in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cumulative.(i) <- !acc)
+    weights;
+  fun () ->
+    let u = Rng.float rng in
+    let rec find lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cumulative.(mid) < u then find (mid + 1) hi else find lo mid
+    in
+    find 0 (n - 1)
+
+let weighted_choice rng pairs =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 pairs in
+  if total <= 0.0 then invalid_arg "Dist.weighted_choice: weights sum to 0";
+  let u = Rng.float rng *. total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Dist.weighted_choice: empty list"
+    | [ (_, v) ] -> v
+    | (w, v) :: rest -> if acc +. w >= u then v else pick (acc +. w) rest
+  in
+  pick 0.0 pairs

@@ -1,0 +1,15 @@
+(** Distributions over a deterministic RNG. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+val gaussian : Rng.t -> mean:float -> stddev:float -> float
+val clamped_gaussian :
+  Rng.t -> mean:float -> stddev:float -> lo:float -> hi:float -> float
+
+val zipf : Rng.t -> n:int -> s:float -> unit -> int
+(** Sampler of ranks [0 .. n-1] with Zipf exponent [s] (rank 0 most
+    frequent). *)
+
+val zipf_weights : n:int -> s:float -> float array
+
+val weighted_choice : Rng.t -> (float * 'a) list -> 'a
+(** Pick a value with probability proportional to its weight. *)

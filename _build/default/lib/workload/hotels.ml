@@ -1,0 +1,51 @@
+open Pref_relation
+
+let schema =
+  Schema.make
+    [
+      ("oid", Value.TInt);
+      ("name", Value.TStr);
+      ("price", Value.TInt);
+      ("distance_to_beach", Value.TFloat);
+      ("stars", Value.TInt);
+      ("rating", Value.TFloat);
+    ]
+
+let name_pool =
+  [|
+    "Seaview"; "Grand"; "Palm"; "Harbor"; "Sunset"; "Royal"; "Astoria";
+    "Bellevue"; "Laguna"; "Mirador";
+  |]
+
+let row rng oid =
+  let stars = Dist.weighted_choice rng [ (1., 2); (3., 3); (4., 4); (2., 5) ] in
+  let distance = Dist.uniform rng ~lo:0.05 ~hi:8.0 in
+  (* The classic skyline trade-off: closer to the beach and more stars both
+     push the price up, so cheap-and-close is rare. *)
+  let price =
+    let base =
+      (40. *. float_of_int stars) +. (90. /. (0.4 +. distance)) +. 20.
+    in
+    int_of_float (Float.max 25. (Dist.gaussian rng ~mean:base ~stddev:18.))
+  in
+  let rating =
+    Dist.clamped_gaussian rng
+      ~mean:(1.4 +. (0.65 *. float_of_int stars))
+      ~stddev:0.5 ~lo:1.0 ~hi:5.0
+  in
+  let name =
+    Printf.sprintf "%s %d" (Rng.choice rng name_pool) (Rng.range rng ~lo:1 ~hi:99)
+  in
+  Tuple.make
+    [
+      Value.Int oid;
+      Value.Str name;
+      Value.Int price;
+      Value.Float (Float.round (distance *. 100.) /. 100.);
+      Value.Int stars;
+      Value.Float (Float.round (rating *. 10.) /. 10.);
+    ]
+
+let relation ?(seed = 11) ~n () =
+  let rng = Rng.create seed in
+  Relation.make schema (List.init n (fun i -> row rng (i + 1)))

@@ -1,0 +1,8 @@
+(** Synthetic hotels with the classic price / distance-to-beach / stars
+    trade-off — the canonical skyline workload for the Pareto examples.
+    Schema: oid, name, price, distance_to_beach, stars, rating. *)
+
+open Pref_relation
+
+val schema : Schema.t
+val relation : ?seed:int -> n:int -> unit -> Relation.t

@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every workload takes an explicit seed so experiments are reproducible
+    bit for bit across runs and platforms. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** Uniform in [0, bound); raises on non-positive bound. *)
+
+val bool : t -> bool
+
+val range : t -> lo:int -> hi:int -> int
+(** Uniform in [lo, hi], inclusive. *)
+
+val choice : t -> 'a array -> 'a
+
+val split : t -> t
+(** Derive an independent generator. *)

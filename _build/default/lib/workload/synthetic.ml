@@ -1,0 +1,53 @@
+open Pref_relation
+
+type correlation = Independent | Correlated | Anti_correlated
+
+let correlation_to_string = function
+  | Independent -> "independent"
+  | Correlated -> "correlated"
+  | Anti_correlated -> "anti-correlated"
+
+let point rng ~dims correlation =
+  match correlation with
+  | Independent -> Array.init dims (fun _ -> Rng.float rng)
+  | Correlated ->
+    (* Points near the diagonal: a base quality plus small per-dimension
+       jitter (the skyline benchmark's 'correlated' family). *)
+    let base = Rng.float rng in
+    Array.init dims (fun _ ->
+        Float.min 1.0
+          (Float.max 0.0 (Dist.gaussian rng ~mean:base ~stddev:0.05)))
+  | Anti_correlated ->
+    (* Points near (not on) the anti-diagonal plane sum(x_i) = dims/2: good
+       in one dimension means bad in the others, which blows up the skyline.
+       The per-dimension jitter keeps a fraction of the points strictly
+       inside the plane so the skyline is large but not the whole set. *)
+    let target = float_of_int dims /. 2.0 in
+    let v =
+      Array.init dims (fun _ ->
+          Float.min 1.0
+            (Float.max 0.0 (Dist.gaussian rng ~mean:0.5 ~stddev:0.35)))
+    in
+    let sum = Array.fold_left ( +. ) 0.0 v in
+    let shift = (target -. sum) /. float_of_int dims in
+    Array.map
+      (fun x ->
+        let jitter = Dist.gaussian rng ~mean:0.0 ~stddev:0.03 in
+        Float.min 1.0 (Float.max 0.0 (x +. shift +. jitter)))
+      v
+
+let dim_name i = Printf.sprintf "d%d" i
+
+let relation ?(seed = 42) ~n ~dims correlation =
+  let rng = Rng.create seed in
+  let schema =
+    Schema.make (List.init dims (fun i -> (dim_name i, Value.TFloat)))
+  in
+  let rows =
+    List.init n (fun _ ->
+        let p = point rng ~dims correlation in
+        Tuple.of_array (Array.map (fun f -> Value.Float f) p))
+  in
+  Relation.make schema rows
+
+let dim_names dims = List.init dims dim_name

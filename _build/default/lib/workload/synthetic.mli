@@ -1,0 +1,17 @@
+(** Synthetic d-dimensional data in the three classic skyline-benchmark
+    correlation families ([BKS01]): independent, correlated (small
+    skylines) and anti-correlated (large skylines). Values are floats in
+    [0, 1]; attribute names are [d0, d1, ...]. *)
+
+open Pref_relation
+
+type correlation = Independent | Correlated | Anti_correlated
+
+val correlation_to_string : correlation -> string
+
+val point : Rng.t -> dims:int -> correlation -> float array
+
+val relation : ?seed:int -> n:int -> dims:int -> correlation -> Relation.t
+
+val dim_names : int -> string list
+(** [d0; ...; d(dims-1)], matching {!relation}'s schema. *)

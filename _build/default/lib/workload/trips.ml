@@ -1,0 +1,55 @@
+open Pref_relation
+
+let schema =
+  Schema.make
+    [
+      ("oid", Value.TInt);
+      ("destination", Value.TStr);
+      ("start_date", Value.TDate);
+      ("duration", Value.TInt);
+      ("price", Value.TInt);
+    ]
+
+let destinations =
+  [| "Crete"; "Mallorca"; "Tenerife"; "Cyprus"; "Madeira"; "Malta"; "Rhodes" |]
+
+let date_of_offset days =
+  (* Offsets count from 2001-11-01, around the paper's trip query date.
+     Invert the day count by scanning months; ranges here are tiny. *)
+  let rec advance d ~year ~month ~day =
+    if d = 0 then Value.date ~year ~month ~day
+    else
+      let dim =
+        match month with
+        | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+        | 4 | 6 | 9 | 11 -> 30
+        | _ -> if (year mod 4 = 0 && year mod 100 <> 0) || year mod 400 = 0 then 29 else 28
+      in
+      if day < dim then advance (d - 1) ~year ~month ~day:(day + 1)
+      else if month < 12 then advance (d - 1) ~year ~month:(month + 1) ~day:1
+      else advance (d - 1) ~year:(year + 1) ~month:1 ~day:1
+  in
+  advance days ~year:2001 ~month:11 ~day:1
+
+let row rng oid =
+  let destination = Rng.choice rng destinations in
+  let start = date_of_offset (Rng.range rng ~lo:0 ~hi:89) in
+  let duration =
+    Dist.weighted_choice rng [ (3., 7); (2., 10); (3., 14); (1., 21); (1., 5) ]
+  in
+  let price =
+    int_of_float
+      (Float.max 99.
+         (Dist.gaussian rng
+            ~mean:(250. +. (45. *. float_of_int duration))
+            ~stddev:120.))
+  in
+  Tuple.make
+    [
+      Value.Int oid; Value.Str destination; start; Value.Int duration;
+      Value.Int price;
+    ]
+
+let relation ?(seed = 23) ~n () =
+  let rng = Rng.create seed in
+  Relation.make schema (List.init n (fun i -> row rng (i + 1)))

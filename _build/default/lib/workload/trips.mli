@@ -1,0 +1,12 @@
+(** Synthetic trip offers for the paper's §6.1 Preference SQL date query
+    ("start_date AROUND '2001/11/23' AND duration AROUND 14 BUT ONLY ...").
+    Schema: oid, destination, start_date, duration, price; start dates fall
+    in the 90 days from 2001-11-01. *)
+
+open Pref_relation
+
+val schema : Schema.t
+val relation : ?seed:int -> n:int -> unit -> Relation.t
+
+val date_of_offset : int -> Value.t
+(** The date [days] after 2001-11-01 (exposed for tests). *)

@@ -1,0 +1,1 @@
+test/gen.ml: Alcotest Array Float Fmt List Pref Pref_relation Preferences QCheck QCheck_alcotest Relation Schema Show Table_fmt Tuple Value

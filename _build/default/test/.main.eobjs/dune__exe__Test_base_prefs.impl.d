@@ -1,0 +1,1 @@
+test/test_base_prefs.ml: Alcotest Float Gen List Option Pref Pref_order Pref_relation Preferences Quality Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_bbs.ml: Alcotest Array Bbs Bnl Dnc Dominance Float Fmt Gen Heap Kdtree List Naive Option Pref Pref_bmo Pref_relation Pref_workload Preferences QCheck Relation Schema Tuple Value

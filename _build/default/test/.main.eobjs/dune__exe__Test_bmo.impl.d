@@ -1,0 +1,1 @@
+test/test_bmo.ml: Alcotest Bnl Decompose Dnc Dominance Fmt Gen Groupby List Naive Pref Pref_bmo Pref_relation Preferences QCheck Quality Query Relation Rewrite Schema Sfs Tuple Value

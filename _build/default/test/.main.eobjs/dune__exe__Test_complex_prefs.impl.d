@@ -1,0 +1,1 @@
+test/test_complex_prefs.ml: Alcotest Gen List Option Pref Pref_bmo Pref_order Pref_relation Preferences Printf Relation Schema Show Tuple Value

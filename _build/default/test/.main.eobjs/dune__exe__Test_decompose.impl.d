@@ -1,0 +1,1 @@
+test/test_decompose.ml: Decompose Gen Groupby Laws Naive Pref Pref_bmo Pref_relation Preferences QCheck Relation

@@ -1,0 +1,1 @@
+test/test_estimate.ml: Alcotest Bnl Estimate Float Gen List Pref Pref_bmo Pref_relation Pref_workload Preferences Printf Relation Syntax Value

@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest Dominance Explain Fmt Gen List Pref Pref_bmo Pref_relation Preferences Query Relation Schema Seq Sfs String Tuple Value

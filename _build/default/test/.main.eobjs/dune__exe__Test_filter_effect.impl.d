@@ -1,0 +1,1 @@
+test/test_filter_effect.ml: Alcotest Gen List Pref Pref_bmo Pref_relation Pref_workload Preferences QCheck Stats

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Gen Pref_sql Pref_xpath Preferences QCheck String

@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Equiv Gen Hierarchy List Pref Pref_relation Preferences QCheck Tuple Value

@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Dominance Equiv Fmt Gen Incremental List Naive Pref Pref_bmo Pref_relation Preferences QCheck Query Relation Schema Tuple Value

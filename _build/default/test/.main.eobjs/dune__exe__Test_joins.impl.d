@@ -1,0 +1,1 @@
+test/test_joins.ml: Alcotest Exec Gen List Pref_relation Pref_sql Relation Result Schema String Tuple Value

@@ -1,0 +1,1 @@
+test/test_laws.ml: Alcotest Gen Laws List Pref Pref_relation Preferences QCheck Tuple Value

@@ -1,0 +1,1 @@
+test/test_layered.ml: Alcotest Equiv Gen Layered List Pref Pref_relation Preferences QCheck Value

@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest Float Gen Laws List Miner Option Pref Pref_bmo Pref_mining Pref_relation Pref_sql Pref_workload Preferences Relation Schema Show Tuple Value

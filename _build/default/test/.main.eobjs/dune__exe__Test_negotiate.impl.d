@@ -1,0 +1,1 @@
+test/test_negotiate.ml: Alcotest Gen List Negotiate Pref Pref_bmo Pref_negotiate Pref_relation Preferences Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Cmp Fmt Gen Graph List Pref_order Spo String

@@ -1,0 +1,1 @@
+test/test_order_props.ml: Array Dump Fmt Gen Graph List Pref_order Pref_relation QCheck

@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Gen List Naive Planner Pref Pref_bmo Pref_relation Pref_workload Preferences QCheck Relation

@@ -1,0 +1,1 @@
+test/test_psql.ml: Alcotest Ast Exec Gen Lexer List Parser Pref Pref_bmo Pref_relation Pref_sql Preferences Pretty Relation Schema Token Translate Tuple Value

@@ -1,0 +1,1 @@
+test/test_quality.ml: Alcotest Float Gen Option Pref Pref_relation Preferences Quality Relation Schema Tuple Value

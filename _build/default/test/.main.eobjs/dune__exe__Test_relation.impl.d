@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Csv Gen List Option Pref_relation Relation Schema String Table_fmt Tuple Value

@@ -1,0 +1,1 @@
+test/test_repository.ml: Alcotest Filename Gen List Pref Preferences Repository Sys

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Equiv Gen List Pref Pref_relation Preferences QCheck Rewrite Show

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Equiv Gen List Pref Pref_relation Preferences QCheck Serialize Tuple Value

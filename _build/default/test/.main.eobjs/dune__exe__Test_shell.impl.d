@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Filename Gen List Pref_relation Pref_shell Relation Schema Shell String Sys Tuple Value

@@ -1,0 +1,1 @@
+test/test_show.ml: Alcotest Fmt Gen List Pref Pref_order Pref_relation Preferences Relation Schema Show String Tuple Value

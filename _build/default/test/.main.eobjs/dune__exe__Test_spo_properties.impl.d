@@ -1,0 +1,1 @@
+test/test_spo_properties.ml: Gen Laws List Pref Pref_order Preferences QCheck

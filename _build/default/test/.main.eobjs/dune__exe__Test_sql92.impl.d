@@ -1,0 +1,1 @@
+test/test_sql92.ml: Alcotest Fmt Gen List Parser Pref Pref_bmo Pref_relation Pref_sql Preferences QCheck Show Sql92 String Tuple Value

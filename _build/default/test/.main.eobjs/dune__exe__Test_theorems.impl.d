@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Equiv Gen Laws List Pref Pref_order Pref_relation Preferences QCheck Relation Schema Show Tuple Value

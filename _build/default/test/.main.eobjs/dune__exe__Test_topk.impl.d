@@ -1,0 +1,1 @@
+test/test_topk.ml: Alcotest Array Float Fmt Gen List Option Pref Pref_bmo Pref_relation Preferences QCheck Relation Schema Topk Tuple Value

@@ -1,0 +1,1 @@
+test/test_two_graphs.ml: Alcotest Equiv Gen Laws List Option Pref Pref_bmo Pref_order Pref_relation Preferences Quality Relation Repository Schema Serialize Tuple Value

@@ -1,0 +1,1 @@
+test/test_unparse.ml: Alcotest Ast Equiv Exec Fmt Gen List Option Parser Pref Pref_bmo Pref_relation Pref_sql Preferences QCheck Schema Show Translate Tuple Unparse Value

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Fmt Gen Option Pref_relation Value

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cars Dist Float Gen Hotels List Option Pref_relation Pref_workload Relation Rng Schema Synthetic Trips Tuple Value

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Gen List Option Peval Pparser Pprint Pref_xpath String Xml Xml_parser

@@ -1,0 +1,233 @@
+open Pref_relation
+open Preferences
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Single-attribute evaluation through the value-level API. *)
+let lt = Pref.lt_value
+let better = Pref.better_value
+
+let v s = Value.Str s
+let i n = Value.Int n
+
+let test_pos () =
+  (* POS(Transmission, {automatic}) — Example 1 *)
+  let p = Pref.pos "transmission" [ v "automatic" ] in
+  check "manual < automatic" true (lt p (v "manual") (v "automatic"));
+  check "automatic not < manual" false (lt p (v "automatic") (v "manual"));
+  check "manual unranked with tiptronic" false (lt p (v "manual") (v "tiptronic"));
+  check "automatic not < automatic" false (lt p (v "automatic") (v "automatic"))
+
+let test_neg () =
+  let p = Pref.neg "color" [ v "gray" ] in
+  check "gray < red" true (lt p (v "gray") (v "red"));
+  check "red not < gray" false (lt p (v "red") (v "gray"));
+  check "red unranked blue" false (lt p (v "red") (v "blue"))
+
+let test_pos_neg () =
+  (* POS/NEG(Color, {yellow}; {gray}) — Example 1 *)
+  let p = Pref.pos_neg "color" ~pos:[ v "yellow" ] ~neg:[ v "gray" ] in
+  check "gray < red (other)" true (lt p (v "gray") (v "red"));
+  check "gray < yellow" true (lt p (v "gray") (v "yellow"));
+  check "red < yellow" true (lt p (v "red") (v "yellow"));
+  check "yellow not < red" false (lt p (v "yellow") (v "red"));
+  check "red not < gray" false (lt p (v "red") (v "gray"));
+  check "two others unranked" false (lt p (v "red") (v "blue"));
+  (* levels *)
+  check_int "yellow level 1" 1 (Option.get (Quality.level p (v "yellow")));
+  check_int "red level 2" 2 (Option.get (Quality.level p (v "red")));
+  check_int "gray level 3" 3 (Option.get (Quality.level p (v "gray")));
+  Alcotest.check_raises "overlapping sets rejected"
+    (Invalid_argument "Pref.pos_neg: value sets must be disjoint") (fun () ->
+      ignore (Pref.pos_neg "color" ~pos:[ v "a" ] ~neg:[ v "a" ]))
+
+let test_pos_pos () =
+  (* POS/POS(Category, {cabriolet}; {roadster}) — Example 1 *)
+  let p = Pref.pos_pos "category" ~pos1:[ v "cabriolet" ] ~pos2:[ v "roadster" ] in
+  check "roadster < cabriolet" true (lt p (v "roadster") (v "cabriolet"));
+  check "van < roadster" true (lt p (v "van") (v "roadster"));
+  check "van < cabriolet" true (lt p (v "van") (v "cabriolet"));
+  check "cabriolet not < roadster" false (lt p (v "cabriolet") (v "roadster"));
+  check "vans unranked" false (lt p (v "van") (v "suv"));
+  check_int "cabriolet level 1" 1 (Option.get (Quality.level p (v "cabriolet")));
+  check_int "roadster level 2" 2 (Option.get (Quality.level p (v "roadster")));
+  check_int "van level 3" 3 (Option.get (Quality.level p (v "van")))
+
+let example1_explicit =
+  (* EXPLICIT(Color, {(green, yellow), (green, red), (yellow, white)}) *)
+  Pref.explicit "color"
+    [ (v "green", v "yellow"); (v "green", v "red"); (v "yellow", v "white") ]
+
+let test_explicit_example1 () =
+  let p = example1_explicit in
+  check "green < yellow" true (lt p (v "green") (v "yellow"));
+  check "green < red" true (lt p (v "green") (v "red"));
+  check "yellow < white" true (lt p (v "yellow") (v "white"));
+  (* transitivity computed at construction *)
+  check "green < white (transitive)" true (lt p (v "green") (v "white"));
+  (* white and red are unranked *)
+  check "white/red unranked" false
+    (lt p (v "white") (v "red") || lt p (v "red") (v "white"));
+  (* all graph values are better than all other domain values *)
+  check "brown < green" true (lt p (v "brown") (v "green"));
+  check "black < white" true (lt p (v "black") (v "white"));
+  check "brown/black unranked" false
+    (lt p (v "brown") (v "black") || lt p (v "black") (v "brown"));
+  (* Example 1's levels: white, red at 1; yellow 2; green 3; others 4 *)
+  let level c = Option.get (Quality.level p (v c)) in
+  check_int "white" 1 (level "white");
+  check_int "red" 1 (level "red");
+  check_int "yellow" 2 (level "yellow");
+  check_int "green" 3 (level "green");
+  check_int "brown" 4 (level "brown");
+  check_int "black" 4 (level "black")
+
+let test_explicit_cycle () =
+  Alcotest.check_raises "cyclic graph rejected"
+    (Invalid_argument "Pref.explicit: better-than graph is cyclic") (fun () ->
+      ignore (Pref.explicit "x" [ (i 1, i 2); (i 2, i 1) ]))
+
+let test_around () =
+  (* AROUND(Horsepower, 100) *)
+  let p = Pref.around "horsepower" 100. in
+  check "90 < 98" true (lt p (i 90) (i 98));
+  check "120 < 101" true (lt p (i 120) (i 101));
+  check "exact hit beats everything" true (lt p (i 99) (i 100));
+  (* equidistant values are unranked *)
+  check "95/105 unranked" false (lt p (i 95) (i 105) || lt p (i 105) (i 95));
+  check "same value not lt" false (lt p (i 95) (i 95));
+  (* NULL is infinitely far *)
+  check "null < 0" true (lt p Value.Null (i 0));
+  check "nulls unranked" false (lt p Value.Null Value.Null)
+
+let test_around_dates () =
+  (* "also applicable to other ordered SQL types like Date" *)
+  let day d = Value.date ~year:2001 ~month:11 ~day:d in
+  let target =
+    float_of_int (Value.date_to_days { Value.year = 2001; month = 11; day = 23 })
+  in
+  let p = Pref.around "start_date" target in
+  check "20th < 22nd" true (lt p (day 20) (day 22));
+  check "27th < 24th" true (lt p (day 27) (day 24));
+  check "equidistant dates unranked" false
+    (lt p (day 21) (day 25) || lt p (day 25) (day 21))
+
+let test_between () =
+  let p = Pref.between "price" ~low:10. ~up:20. in
+  check "inside beats outside" true (lt p (i 25) (i 15));
+  check "all inside values unranked" false (lt p (i 11) (i 19) || lt p (i 19) (i 11));
+  check "closer below" true (lt p (i 2) (i 8));
+  check "closer above" true (lt p (i 40) (i 22));
+  (* distance 5 on both sides is equal *)
+  check "5 vs 25 unranked" false (lt p (i 5) (i 25) || lt p (i 25) (i 5));
+  Alcotest.check_raises "low > up rejected"
+    (Invalid_argument "Pref.between: low must be <= up") (fun () ->
+      ignore (Pref.between "x" ~low:2. ~up:1.))
+
+let test_lowest_highest () =
+  let low = Pref.lowest "price" and high = Pref.highest "power" in
+  check "lowest: 30 < 20" true (lt low (i 30) (i 20));
+  check "lowest: 20 not < 30" false (lt low (i 20) (i 30));
+  check "highest: 20 < 30" true (lt high (i 20) (i 30));
+  check "null worst for lowest" true (lt low Value.Null (i 1000000));
+  check "null worst for highest" true (lt high Value.Null (i (-1000000)))
+
+let test_score () =
+  (* SCORE with a non-injective f is not a chain: Definition 7d *)
+  let p =
+    Pref.score "a" ~name:"mod2" (fun v ->
+        match Value.as_float v with Some f -> Float.rem f 2.0 | None -> -1.0)
+  in
+  check "0 < 1 (score 0 < 1)" true (lt p (i 0) (i 1));
+  check "2 < 3" true (lt p (i 2) (i 3));
+  check "0 and 2 unranked" false (lt p (i 0) (i 2) || lt p (i 2) (i 0))
+
+let test_chains_and_antichains () =
+  let ints = List.init 5 (fun n -> i n) in
+  let as_spo p =
+    Pref_order.Spo.make ~equal:Value.equal (fun x y -> better p x y)
+  in
+  check "LOWEST is a chain" true
+    (Pref_order.Spo.is_chain (as_spo (Pref.lowest "x")) ints);
+  check "HIGHEST is a chain" true
+    (Pref_order.Spo.is_chain (as_spo (Pref.highest "x")) ints);
+  check "POS is not a chain" false
+    (Pref_order.Spo.is_chain (as_spo (Pref.pos "x" [ i 0 ])) [ i 1; i 2; i 0 ]);
+  check "antichain ranks nothing" true
+    (Pref_order.Spo.is_antichain
+       (Pref_order.Spo.make ~equal:Value.equal (fun x y ->
+            Pref.better_value (Pref.antichain [ "x" ]) x y))
+       ints)
+
+let test_dual_value_level () =
+  let p = Pref.dual (Pref.lowest "x") in
+  check "dual lowest behaves as highest" true (lt p (i 1) (i 5));
+  let q = Pref.dual example1_explicit in
+  check "dual explicit flips" true (lt q (v "white") (v "green"))
+
+let test_multi_attr_eval () =
+  (* the same POS preference through the schema-level API *)
+  let schema = Schema.make [ ("color", Value.TStr); ("price", Value.TInt) ] in
+  let t1 = Tuple.make [ v "yellow"; i 100 ] and t2 = Tuple.make [ v "red"; i 50 ] in
+  let p = Pref.pos "color" [ v "yellow" ] in
+  check "tuple-level lt" true (Pref.lt schema p t2 t1);
+  check "tuple-level better" true (Pref.better schema p t1 t2);
+  Alcotest.(check string)
+    "cmp better" "better"
+    (Pref_order.Cmp.to_string (Pref.cmp schema p t1 t2));
+  (* cmp Equal looks only at the preference's attributes *)
+  let t3 = Tuple.make [ v "red"; i 999 ] in
+  Alcotest.(check string)
+    "cmp equal on projection" "equal"
+    (Pref_order.Cmp.to_string (Pref.cmp schema p t2 t3))
+
+let test_explicit_separator_collision () =
+  (* regression: compiled edge tables must not confuse string values that
+     contain the old separator character *)
+  let tricky = Pref.explicit "c" [ (v "a|sb", v "q") ] in
+  (* the only edge is 'a|sb' < 'q'; the pair ("a", "b|sq") must NOT rank *)
+  check "real edge ranks" true (lt tricky (v "a|sb") (v "q"));
+  let c = Pref.compile (Schema.make [ ("c", Value.TStr) ]) tricky in
+  let tup s = Tuple.make [ v s ] in
+  check "compiled real edge" true (c (tup "a|sb") (tup "q"));
+  (* values outside the graph are both below it and unranked between
+     themselves; crucially no phantom edge appears *)
+  check "no phantom compiled edge" true
+    (c (tup "a") (tup "q") (* below the graph *)
+    && not (c (tup "q") (tup "a")));
+  let tricky2 =
+    Pref.explicit "c" [ (v "a", v "b|sq"); (v "zz", v "yy") ]
+  in
+  let c2 = Pref.compile (Schema.make [ ("c", Value.TStr) ]) tricky2 in
+  check "edges stay separate" true
+    (c2 (tup "a") (tup "b|sq")
+    && c2 (tup "zz") (tup "yy")
+    && (not (c2 (tup "a") (tup "yy")))
+    && not (c2 (tup "zz") (tup "b|sq")))
+
+let test_lt_value_guard () =
+  let p = Pref.pareto (Pref.pos "a" [ i 1 ]) (Pref.pos "b" [ i 2 ]) in
+  Alcotest.check_raises "multi-attribute lt_value rejected"
+    (Invalid_argument "Pref.lt_value: preference spans several attributes")
+    (fun () -> ignore (Pref.lt_value p (i 1) (i 2)))
+
+let suite =
+  [
+    Gen.quick "POS (def 6a)" test_pos;
+    Gen.quick "NEG (def 6b)" test_neg;
+    Gen.quick "POS/NEG (def 6c)" test_pos_neg;
+    Gen.quick "POS/POS (def 6d)" test_pos_pos;
+    Gen.quick "EXPLICIT: example 1" test_explicit_example1;
+    Gen.quick "EXPLICIT rejects cycles" test_explicit_cycle;
+    Gen.quick "AROUND (def 7a)" test_around;
+    Gen.quick "AROUND on dates" test_around_dates;
+    Gen.quick "BETWEEN (def 7b)" test_between;
+    Gen.quick "LOWEST/HIGHEST (def 7c)" test_lowest_highest;
+    Gen.quick "SCORE (def 7d)" test_score;
+    Gen.quick "chains and anti-chains (def 3)" test_chains_and_antichains;
+    Gen.quick "dual at value level" test_dual_value_level;
+    Gen.quick "tuple-level evaluation" test_multi_attr_eval;
+    Gen.quick "compiled-edge key collision regression" test_explicit_separator_collision;
+    Gen.quick "lt_value guard" test_lt_value_guard;
+  ]

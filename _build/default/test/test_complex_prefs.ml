@@ -1,0 +1,216 @@
+open Pref_relation
+open Preferences
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Example 2: Pareto accumulation over disjoint attribute names        *)
+
+let schema3 =
+  Schema.make [ ("a1", Value.TInt); ("a2", Value.TInt); ("a3", Value.TInt) ]
+
+let mk3 (a, b, c) = Tuple.make [ Value.Int a; Value.Int b; Value.Int c ]
+
+let vals =
+  [
+    (-5, 3, 4) (* val1 *);
+    (-5, 4, 4) (* val2 *);
+    (5, 1, 8) (* val3 *);
+    (5, 6, 6) (* val4 *);
+    (-6, 0, 6) (* val5 *);
+    (-6, 0, 4) (* val6 *);
+    (6, 2, 7) (* val7 *);
+  ]
+
+let r3 = Relation.make schema3 (List.map mk3 vals)
+
+let p1 = Pref.around "a1" 0.
+let p2 = Pref.lowest "a2"
+let p3 = Pref.highest "a3"
+let p4 = Pref.pareto (Pref.pareto p1 p2) p3
+
+let val_no i = mk3 (List.nth vals (i - 1))
+
+let levels_of schema p rel =
+  let g = Show.better_than_graph schema p rel in
+  fun t -> Pref_order.Graph.level_of g t
+
+let test_example2 () =
+  Alcotest.(check (list string))
+    "attribute set" [ "a1"; "a2"; "a3" ] (Pref.attrs p4);
+  let maxima = Pref_bmo.Naive.query schema3 p4 r3 in
+  let expect = Relation.make schema3 [ val_no 1; val_no 3; val_no 5 ] in
+  Alcotest.check Gen.relation_testable "Pareto-optimal set {val1,val3,val5}"
+    expect maxima;
+  let level = levels_of schema3 p4 r3 in
+  List.iter
+    (fun (i, l) -> check_int (Printf.sprintf "val%d at level %d" i l) l (level (val_no i)))
+    [ (1, 1); (3, 1); (5, 1); (2, 2); (4, 2); (6, 2); (7, 2) ]
+
+(* Each of P1, P2, P3 has a maximal value represented in the Pareto set
+   (the paper's closing observation on Example 2). *)
+let test_example2_representation () =
+  let maxima = [ val_no 1; val_no 3; val_no 5 ] in
+  let a1s = List.map (fun t -> Tuple.get t 0) maxima in
+  check "dist-minimal a1 present" true
+    (List.exists (Value.equal (Value.Int 5)) a1s
+    && List.exists (Value.equal (Value.Int (-5))) a1s);
+  check "lowest a2 present" true
+    (List.exists (fun t -> Value.equal (Tuple.get t 1) (Value.Int 0)) maxima);
+  check "highest a3 present" true
+    (List.exists (fun t -> Value.equal (Tuple.get t 2) (Value.Int 8)) maxima)
+
+(* ------------------------------------------------------------------ *)
+(* Example 3: Pareto accumulation on a shared attribute                *)
+
+let colour_schema = Schema.make [ ("color", Value.TStr) ]
+let c s = Tuple.make [ Value.Str s ]
+let colours = [ "red"; "green"; "yellow"; "blue"; "black"; "purple" ]
+let colour_rel = Relation.make colour_schema (List.map c colours)
+
+let p5 = Pref.pos "color" [ Value.Str "green"; Value.Str "yellow" ]
+
+let p6 =
+  Pref.neg "color"
+    [ Value.Str "red"; Value.Str "green"; Value.Str "blue"; Value.Str "purple" ]
+
+let p7 = Pref.pareto p5 p6
+
+let test_example3 () =
+  let level = levels_of colour_schema p7 colour_rel in
+  List.iter
+    (fun (col, l) -> check_int (col ^ " level") l (level (c col)))
+    [
+      ("yellow", 1); ("green", 1); ("black", 1);
+      ("red", 2); ("blue", 2); ("purple", 2);
+    ];
+  (* the non-discriminating compromise: green kept by P5's vote, black by
+     P6's, yellow by both *)
+  let maxima = Pref_bmo.Naive.query colour_schema p7 colour_rel in
+  Alcotest.check Gen.relation_testable "maxima"
+    (Relation.make colour_schema [ c "green"; c "yellow"; c "black" ])
+    maxima
+
+(* ------------------------------------------------------------------ *)
+(* Example 4: prioritized accumulation                                 *)
+
+let p8 = Pref.prior p1 p2
+let p9 = Pref.prior (Pref.pareto p1 p2) p3
+
+let test_example4_p8 () =
+  let level = levels_of schema3 p8 r3 in
+  List.iter
+    (fun (i, l) -> check_int (Printf.sprintf "val%d level" i) l (level (val_no i)))
+    [ (1, 1); (3, 1); (2, 2); (4, 2); (5, 3); (6, 3); (7, 3) ]
+
+let test_example4_p9 () =
+  let level = levels_of schema3 p9 r3 in
+  List.iter
+    (fun (i, l) -> check_int (Printf.sprintf "val%d level" i) l (level (val_no i)))
+    [ (1, 1); (3, 1); (5, 1); (2, 2); (4, 2); (7, 2); (6, 2) ]
+
+let test_prior_semantics () =
+  (* P2 is respected only where P1 does not mind: equal a1 values *)
+  check "same a1: lower a2 wins" true (Pref.better schema3 p8 (val_no 1) (val_no 2));
+  check "a1 dominates" true (Pref.better schema3 p8 (val_no 1) (val_no 5));
+  (* equal dist but different value on a1: unranked despite a2 difference *)
+  check "dist ties are not equality" false
+    (Pref.better schema3 p8 (val_no 3) (val_no 2)
+    || Pref.better schema3 p8 (val_no 2) (val_no 3))
+
+(* ------------------------------------------------------------------ *)
+(* Example 5: numerical accumulation rank(F)                           *)
+
+let schema2 = Schema.make [ ("a1", Value.TInt); ("a2", Value.TInt) ]
+let mk2 (a, b) = Tuple.make [ Value.Int a; Value.Int b ]
+
+let vals2 = [ (-5, 3); (-5, 4); (5, 1); (5, 6); (-6, 0); (-6, 0) ]
+let r2 = Relation.make schema2 (List.map mk2 vals2)
+let val2_no i = mk2 (List.nth vals2 (i - 1))
+
+let f1 = Pref.score "a1" ~name:"dist0" (fun v -> Pref.distance_around v 0.)
+let f2 = Pref.score "a2" ~name:"dist-2" (fun v -> Pref.distance_around v (-2.))
+let rank_pref = Pref.rank (Pref.weighted_sum 1. 2.) f1 f2
+
+let test_example5 () =
+  (* F-values from the paper: 15, 17, 11, 21, 10, 10 *)
+  let score =
+    Option.get
+      (Pref.score_via (fun t a -> Tuple.get_by_name schema2 t a) rank_pref)
+  in
+  List.iteri
+    (fun i expected ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "F-val%d" (i + 1))
+        expected
+        (score (val2_no (i + 1))))
+    [ 15.; 17.; 11.; 21.; 10.; 10. ];
+  (* graph: val4 -> val2 -> val1 -> val3 -> {val5, val6}, 5 levels *)
+  let dedup = Relation.distinct r2 in
+  let level = levels_of schema2 rank_pref dedup in
+  List.iter
+    (fun (i, l) -> check_int (Printf.sprintf "val%d level" i) l (level (val2_no i)))
+    [ (4, 1); (2, 2); (1, 3); (3, 4); (5, 5) ];
+  (* equal F-scores are unranked: not a chain *)
+  check "val5/val6 unranked" false
+    (Pref.better schema2 rank_pref (val2_no 5) (val2_no 6)
+    || Pref.better schema2 rank_pref (val2_no 6) (val2_no 5));
+  (* the paper's observation: the top performer does not carry the maximal
+     f1-value 6 — rank(F) can discriminate against P1 *)
+  Alcotest.(check (float 1e-9))
+    "top performer's f1 is 5, not the maximal 6" 5.
+    (Pref.distance_around (Tuple.get (val2_no 4) 0) 0.)
+
+let test_rank_guard () =
+  Alcotest.check_raises "non-scorable operand rejected"
+    (Invalid_argument
+       "Pref.rank: operands must be SCORE preferences or sub-constructors of \
+        SCORE (AROUND, BETWEEN, LOWEST, HIGHEST, rank)") (fun () ->
+      ignore (Pref.rank (Pref.weighted_sum 1. 1.) (Pref.pos "a" []) f2))
+
+let test_rank_substitutability () =
+  (* §3.4: rank accepts AROUND and HIGHEST operands via substitutability *)
+  let r =
+    Pref.rank (Pref.weighted_sum 1. 1.) (Pref.around "a1" 0.) (Pref.highest "a2")
+  in
+  check "substituted rank evaluates" true
+    (Pref.better schema2 r (mk2 (0, 9)) (mk2 (5, 1)))
+
+(* ------------------------------------------------------------------ *)
+(* n-ary smart constructors and printing                               *)
+
+let test_nary () =
+  let p = Pref.pareto_all [ p1; p2; p3 ] in
+  check "pareto_all = nested pareto" true (Pref.equal p p4);
+  Alcotest.check_raises "empty pareto_all"
+    (Invalid_argument "Pref.pareto_all: empty list") (fun () ->
+      ignore (Pref.pareto_all []));
+  let q = Pref.prior_all [ p1; p2; p3 ] in
+  check "prior_all nests left" true
+    (Pref.equal q (Pref.prior (Pref.prior p1 p2) p3))
+
+let test_show () =
+  Alcotest.(check string)
+    "pareto printing" "AROUND(a1, 0) (x) LOWEST(a2)"
+    (Show.to_string (Pref.pareto p1 p2));
+  Alcotest.(check string)
+    "precedence parens" "(AROUND(a1, 0) (x) LOWEST(a2)) & HIGHEST(a3)"
+    (Show.to_string p9);
+  Alcotest.(check string)
+    "pos printing" "POS(color; {'green', 'yellow'})" (Show.to_string p5)
+
+let suite =
+  [
+    Gen.quick "example 2: pareto, disjoint attrs" test_example2;
+    Gen.quick "example 2: representation property" test_example2_representation;
+    Gen.quick "example 3: pareto, shared attr" test_example3;
+    Gen.quick "example 4: P8 graph" test_example4_p8;
+    Gen.quick "example 4: P9 graph" test_example4_p9;
+    Gen.quick "prioritized semantics" test_prior_semantics;
+    Gen.quick "example 5: rank(F)" test_example5;
+    Gen.quick "rank rejects non-scorable" test_rank_guard;
+    Gen.quick "rank substitutability (3.4)" test_rank_substitutability;
+    Gen.quick "n-ary constructors" test_nary;
+    Gen.quick "term printing" test_show;
+  ]

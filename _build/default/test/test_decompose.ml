@@ -1,0 +1,127 @@
+(* Propositions 8–12: the BMO decomposition theorems, each checked as an
+   executable identity between the naive evaluation of the composite
+   preference and the decomposed evaluation plan. *)
+
+open Pref_relation
+open Preferences
+open Pref_bmo
+
+let count = 250
+
+let sets_equal a b = Relation.equal_as_sets (Relation.distinct a) (Relation.distinct b)
+
+let naive p rel = Naive.query Gen.schema p rel
+
+let prop_8 =
+  (* The sigma identity itself needs no disjointness: domination under the
+     union relation is domination under either operand, so max((P1+P2)_R) =
+     max(P1_R) ∩ max(P2_R) unconditionally.  Disjointness (Definition 11b)
+     is what keeps P1 + P2 a strict partial order — prop_8_spo below. *)
+  QCheck.Test.make ~count
+    ~name:"8: sigma[P1+P2] = sigma[P1] inter sigma[P2]" Gen.arb_pref2_rows
+    (fun (p1, p2, rows) ->
+      let rel = Gen.rel rows in
+      sets_equal
+        (naive (Pref.dunion p1 p2) rel)
+        (Relation.inter (naive p1 rel) (naive p2 rel)))
+
+let prop_8_spo =
+  (* The paper's motivating use of '+': the right side of Proposition 4(b).
+     P1 + (A1<-> & P2) is equivalent to P1 & P2 and hence must be an SPO. *)
+  QCheck.Test.make ~count
+    ~name:"8: P1 + (A1<-> & P2) is a strict partial order"
+    Gen.arb_disjoint_prefs_rows
+    (fun ((p1, p2), rows) ->
+      Laws.is_spo_on Gen.schema rows
+        (Pref.dunion p1 (Pref.prior (Pref.antichain (Pref.attrs p1)) p2)))
+
+let prop_9 =
+  QCheck.Test.make ~count
+    ~name:"9: sigma[P1<>P2] = sigma[P1] u sigma[P2] u YY"
+    (QCheck.make
+       QCheck.Gen.(
+         Gen.any_attr >>= fun a ->
+         triple (Gen.base_pref_on a) (Gen.base_pref_on a) Gen.rows))
+    (fun (p1, p2, rows) ->
+      let rel = Gen.rel rows in
+      sets_equal
+        (naive (Pref.inter p1 p2) rel)
+        (Relation.union
+           (Relation.union (naive p1 rel) (naive p2 rel))
+           (Decompose.yy_relation Gen.schema p1 p2 rel)))
+
+let prop_10 =
+  QCheck.Test.make ~count
+    ~name:"10: sigma[P1&P2] = sigma[P1] inter sigma[P2 groupby A1]"
+    Gen.arb_disjoint_prefs_rows
+    (fun ((p1, p2), rows) ->
+      let rel = Gen.rel rows in
+      sets_equal
+        (naive (Pref.prior p1 p2) rel)
+        (Relation.inter
+           (naive p1 rel)
+           (Groupby.query Gen.schema p2 ~by:(Pref.attrs p1) rel)))
+
+let prop_11 =
+  QCheck.Test.make ~count
+    ~name:"11: sigma[P1&P2] = sigma[P2](sigma[P1](R)) when P1 is a chain"
+    (QCheck.make
+       QCheck.Gen.(
+         pair (oneofl [ Pref.lowest "a"; Pref.highest "a" ])
+           (pair (Gen.base_pref_on "b") Gen.rows)))
+    (fun (p1, (p2, rows)) ->
+      let rel = Gen.rel rows in
+      sets_equal
+        (naive (Pref.prior p1 p2) rel)
+        (Decompose.cascade Gen.schema p1 p2 rel))
+
+let prop_12 =
+  QCheck.Test.make ~count ~name:"12: the pareto decomposition theorem"
+    Gen.arb_disjoint_prefs_rows
+    (fun ((p1, p2), rows) ->
+      let rel = Gen.rel rows in
+      let a1 = Pref.attrs p1 and a2 = Pref.attrs p2 in
+      let term1 =
+        Relation.inter (naive p1 rel) (Groupby.query Gen.schema p2 ~by:a1 rel)
+      in
+      let term2 =
+        Relation.inter (naive p2 rel) (Groupby.query Gen.schema p1 ~by:a2 rel)
+      in
+      let term3 =
+        Decompose.yy_relation Gen.schema (Pref.prior p1 p2) (Pref.prior p2 p1)
+          rel
+      in
+      sets_equal
+        (naive (Pref.pareto p1 p2) rel)
+        (Relation.union (Relation.union term1 term2) term3))
+
+let prop_decompose_evaluator =
+  QCheck.Test.make ~count ~name:"decomposition evaluator = naive (all terms)"
+    Gen.arb_pref_rows
+    (fun (p, rows) ->
+      let rel = Gen.rel rows in
+      sets_equal (naive p rel) (Decompose.eval Gen.schema p rel))
+
+let prop_decompose_on_disjoint_pairs =
+  QCheck.Test.make ~count
+    ~name:"decomposition evaluator = naive (pareto/prior of disjoint parts)"
+    Gen.arb_disjoint_prefs_rows
+    (fun ((p1, p2), rows) ->
+      let rel = Gen.rel rows in
+      sets_equal (naive (Pref.pareto p1 p2) rel)
+        (Decompose.eval Gen.schema (Pref.pareto p1 p2) rel)
+      && sets_equal (naive (Pref.prior p1 p2) rel)
+           (Decompose.eval Gen.schema (Pref.prior p1 p2) rel))
+
+let suite =
+  Gen.qsuite
+    [
+      prop_8;
+      prop_8_spo;
+      prop_9;
+      prop_10;
+      prop_11;
+      prop_12;
+      prop_decompose_evaluator;
+      prop_decompose_on_disjoint_pairs;
+    ]

@@ -1,0 +1,101 @@
+open Pref_relation
+open Preferences
+open Pref_bmo
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let schema = Schema.make [ ("color", Value.TStr); ("price", Value.TInt) ]
+let mk (c, p) = Tuple.make [ Value.Str c; Value.Int p ]
+
+let rel =
+  Relation.make schema
+    (List.map mk [ ("red", 100); ("red", 150); ("blue", 90); ("gray", 80) ])
+
+let pref =
+  Pref.pareto
+    (Pref.pos_neg "color" ~pos:[ Value.Str "red" ] ~neg:[ Value.Str "gray" ])
+    (Pref.around "price" 100.)
+
+let test_explain_winner () =
+  let e = Explain.explain schema pref rel (mk ("red", 100)) in
+  check "in result" true e.Explain.in_result;
+  check "no dominators" true (e.Explain.dominators = []);
+  check_int "graph level 1" 1 e.Explain.graph_level;
+  (match List.assoc "color" e.Explain.qualities with
+  | Explain.Level 1 -> ()
+  | _ -> Alcotest.fail "expected color level 1");
+  match List.assoc "price" e.Explain.qualities with
+  | Explain.Distance d -> Alcotest.(check (float 1e-9)) "distance 0" 0. d
+  | _ -> Alcotest.fail "expected price distance"
+
+let test_explain_loser () =
+  let e = Explain.explain schema pref rel (mk ("red", 150)) in
+  check "not in result" false e.Explain.in_result;
+  check "dominated by (red, 100)" true
+    (List.exists (Tuple.equal (mk ("red", 100))) e.Explain.dominators);
+  check "graph level > 1" true (e.Explain.graph_level > 1);
+  (* rendering mentions the verdict *)
+  let text = Explain.to_string e in
+  check "mentions 'dominated'" true
+    (let needle = "dominated" in
+     let nl = String.length needle and hl = String.length text in
+     let rec go i = i + nl <= hl && (String.sub text i nl = needle || go (i + 1)) in
+     go 0)
+
+let test_sigma_consistency () =
+  (* explain agrees with the query result, tuple by tuple *)
+  let result = Query.sigma schema pref rel in
+  List.iter
+    (fun t ->
+      let e = Explain.explain schema pref rel t in
+      check "consistent" true (e.Explain.in_result = Relation.mem result t))
+    (Relation.rows rel)
+
+let test_unranked_pairs () =
+  let pairs = Explain.unranked_pairs schema pref (Relation.rows rel) in
+  (* (red,100) dominates everything except... check symmetric freedom *)
+  check "pairs are mutually unranked" true
+    (List.for_all
+       (fun (t, u) ->
+         (not (Pref.better schema pref t u)) && not (Pref.better schema pref u t))
+       pairs);
+  (* each unordered pair reported once *)
+  check "no duplicate pairs" true
+    (let key (t, u) =
+       List.sort compare [ Fmt.str "%a" Tuple.pp t; Fmt.str "%a" Tuple.pp u ]
+     in
+     let keys = List.map key pairs in
+     List.length keys = List.length (List.sort_uniq compare keys))
+
+let test_progressive_sfs () =
+  let num_schema = Schema.make [ ("x", Value.TFloat); ("y", Value.TFloat) ] in
+  let rows =
+    List.map
+      (fun (a, b) -> Tuple.make [ Value.Float a; Value.Float b ])
+      [ (1., 5.); (2., 2.); (5., 1.); (0., 0.); (3., 3.); (1., 1.) ]
+  in
+  let p = Pref.pareto (Pref.highest "x") (Pref.highest "y") in
+  let dom = Dominance.of_pref num_schema p in
+  let key = Sfs.sum_key num_schema [ "x"; "y" ] ~maximize:true in
+  let seq = Sfs.progressive ~key dom rows in
+  (* the first emitted tuple is available without draining the input *)
+  (match seq () with
+  | Seq.Cons (first, _) ->
+    check "first result is a maximum" true
+      (not (List.exists (fun u -> dom u first) rows))
+  | Seq.Nil -> Alcotest.fail "expected output");
+  (* a fresh sequence drained completely equals the batch skyline *)
+  let all = List.of_seq (Sfs.progressive ~key dom rows) in
+  let batch = Sfs.maxima ~key dom rows in
+  check "progressive = batch" true
+    (List.sort Tuple.compare all = List.sort Tuple.compare batch)
+
+let suite =
+  [
+    Gen.quick "explain a best match" test_explain_winner;
+    Gen.quick "explain a dominated tuple" test_explain_loser;
+    Gen.quick "explain consistent with sigma" test_sigma_consistency;
+    Gen.quick "negotiation reservoir pairs" test_unranked_pairs;
+    Gen.quick "progressive skyline" test_progressive_sfs;
+  ]

@@ -1,0 +1,100 @@
+(* Proposition 13 and §5.5: result sizes of complex preferences and the
+   AND/OR-like adaptive filter effect of prioritized vs Pareto accumulation. *)
+
+open Preferences
+open Pref_bmo
+
+let count = 250
+let size p rel = Stats.result_size Gen.schema p rel
+
+let prop_13a =
+  QCheck.Test.make ~count ~name:"13a: size(P1+P2) <= size(P1), size(P2)"
+    (QCheck.make
+       QCheck.Gen.(
+         Gen.any_attr >>= fun a ->
+         triple (Gen.base_pref_on a) (Gen.base_pref_on a) Gen.rows))
+    (fun (p1, p2, rows) ->
+      let rel = Gen.rel rows in
+      let s = size (Pref.dunion p1 p2) rel in
+      s <= size p1 rel && s <= size p2 rel)
+
+let prop_13b =
+  QCheck.Test.make ~count ~name:"13b: size(P1<>P2) >= size(P1), size(P2)"
+    (QCheck.make
+       QCheck.Gen.(
+         Gen.any_attr >>= fun a ->
+         triple (Gen.base_pref_on a) (Gen.base_pref_on a) Gen.rows))
+    (fun (p1, p2, rows) ->
+      let rel = Gen.rel rows in
+      let s = size (Pref.inter p1 p2) rel in
+      s >= size p1 rel && s >= size p2 rel)
+
+let prop_13c =
+  (* Both sizes are measured over the union attribute set A = A1 ∪ A2, as in
+     the paper's proof of 13(c). *)
+  QCheck.Test.make ~count ~name:"13c: size(P1&P2) <= size(P1) over A"
+    Gen.arb_disjoint_prefs_rows
+    (fun ((p1, p2), rows) ->
+      let rel = Gen.rel rows in
+      let attrs = Pref.attrs (Pref.prior p1 p2) in
+      Stats.result_size_on Gen.schema (Pref.prior p1 p2) ~attrs rel
+      <= Stats.result_size_on Gen.schema p1 ~attrs rel)
+
+let prop_13d =
+  QCheck.Test.make ~count
+    ~name:"13d: size(P1(x)P2) >= size(P1&P2) and size(P2&P1)"
+    Gen.arb_disjoint_prefs_rows
+    (fun ((p1, p2), rows) ->
+      let rel = Gen.rel rows in
+      let s = size (Pref.pareto p1 p2) rel in
+      s >= size (Pref.prior p1 p2) rel && s >= size (Pref.prior p2 p1) rel)
+
+let prop_and_or_chain =
+  (* §5.5: P1 (x) P2 is a weaker filter than P1 & P2, which is stronger than
+     P1 — the automatic AND/OR-like behaviour (sizes over the union A). *)
+  QCheck.Test.make ~count ~name:"filter chain P1&P2 => P1, P1&P2 => P1(x)P2"
+    Gen.arb_disjoint_prefs_rows
+    (fun ((p1, p2), rows) ->
+      let rel = Gen.rel rows in
+      let attrs = Pref.attrs (Pref.prior p1 p2) in
+      let s q = Stats.result_size_on Gen.schema q ~attrs rel in
+      s (Pref.prior p1 p2) <= s p1
+      && s (Pref.prior p1 p2) <= s (Pref.pareto p1 p2))
+
+let test_size_bounds () =
+  (* 1 <= size(P, R) <= card(pi_A(R)) for non-empty R (Definition 18) *)
+  let rel =
+    Gen.rel
+      (List.map
+         (fun (a, b) ->
+           Pref_relation.Tuple.make
+             [ Pref_relation.Value.Int a; Pref_relation.Value.Int b;
+               Pref_relation.Value.Str "x"; Pref_relation.Value.Float 0. ])
+         [ (0, 1); (1, 2); (2, 3); (0, 1) ])
+  in
+  let p = Pref.lowest "a" in
+  Alcotest.(check int) "chain filter keeps one value" 1 (size p rel);
+  Alcotest.(check int)
+    "antichain keeps all values" 3
+    (size (Pref.antichain [ "a" ]) rel)
+
+let test_comparison_counting () =
+  let rel = Pref_workload.Synthetic.relation ~seed:3 ~n:200 ~dims:3 Pref_workload.Synthetic.Independent in
+  let schema = Pref_relation.Relation.schema rel in
+  let p =
+    Pref.pareto_all
+      (List.map Pref.highest (Pref_workload.Synthetic.dim_names 3))
+  in
+  let r_naive, c_naive = Stats.comparisons_of `Naive schema p rel in
+  let r_bnl, c_bnl = Stats.comparisons_of `Bnl schema p rel in
+  Alcotest.check Gen.relation_testable "same result" r_naive r_bnl;
+  Alcotest.(check bool) "naive bounded by n^2" true
+    (c_naive <= 200 * 200 && c_naive >= 200);
+  Alcotest.(check bool) "bnl does fewer" true (c_bnl < c_naive)
+
+let suite =
+  Gen.qsuite [ prop_13a; prop_13b; prop_13c; prop_13d; prop_and_or_chain ]
+  @ [
+      Gen.quick "size bounds (def 18)" test_size_bounds;
+      Gen.quick "comparison counting" test_comparison_counting;
+    ]

@@ -1,0 +1,41 @@
+(* Robustness fuzzing: the parsers must never escape with anything but
+   their declared error exceptions, whatever bytes come in. *)
+
+let printable =
+  QCheck.Gen.(
+    map
+      (fun l -> String.concat "" l)
+      (list_size (int_range 0 60)
+         (oneof
+            [
+              map (String.make 1) (char_range ' ' '~');
+              oneofl
+                [
+                  "SELECT "; "FROM "; "PREFERRING "; "AROUND "; "'x'"; "\"y\"";
+                  "#["; "]#"; "(@a)"; "LOWEST("; "); "; "= 1 "; "{"; "}"; "<";
+                ];
+            ])))
+
+let arb_garbage = QCheck.make ~print:(fun s -> String.escaped s) printable
+
+let no_crash name f =
+  QCheck.Test.make ~count:1000 ~name arb_garbage (fun s ->
+      try
+        ignore (f s);
+        true
+      with
+      | Pref_sql.Parser.Error _ | Pref_sql.Lexer.Error _
+      | Pref_xpath.Pparser.Error _ | Pref_xpath.Xml_parser.Error _
+      | Preferences.Serialize.Error _ | Invalid_argument _ ->
+        true)
+
+let suite =
+  Gen.qsuite
+    [
+      no_crash "psql parser never crashes" Pref_sql.Parser.parse_query;
+      no_crash "psql pref parser never crashes" Pref_sql.Parser.parse_pref;
+      no_crash "xpath parser never crashes" Pref_xpath.Pparser.parse;
+      no_crash "xml parser never crashes" Pref_xpath.Xml_parser.parse;
+      no_crash "serialize parser never crashes" (fun s ->
+          Preferences.Serialize.of_string s);
+    ]

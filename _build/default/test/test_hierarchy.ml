@@ -1,0 +1,129 @@
+(* §3.4: the sub-constructor hierarchies, verified as equivalences between
+   each sub-constructor instance and its super-constructor encoding. *)
+
+open Pref_relation
+open Preferences
+
+let count = 200
+let agree = Equiv.agree Gen.schema
+
+let prop_pos_in_pos_pos =
+  QCheck.Test.make ~count ~name:"POS =< POS/POS (empty POS2)"
+    (QCheck.make QCheck.Gen.(pair (Gen.subset_of Gen.str_values) Gen.rows))
+    (fun (set, rows) ->
+      agree rows (Pref.pos "c" set) (Hierarchy.pos_as_pos_pos "c" set))
+
+let prop_pos_in_pos_neg =
+  QCheck.Test.make ~count ~name:"POS =< POS/NEG (empty NEG)"
+    (QCheck.make QCheck.Gen.(pair (Gen.subset_of Gen.str_values) Gen.rows))
+    (fun (set, rows) ->
+      agree rows (Pref.pos "c" set) (Hierarchy.pos_as_pos_neg "c" set))
+
+let prop_neg_in_pos_neg =
+  QCheck.Test.make ~count ~name:"NEG =< POS/NEG (empty POS)"
+    (QCheck.make QCheck.Gen.(pair (Gen.subset_of Gen.str_values) Gen.rows))
+    (fun (set, rows) ->
+      agree rows (Pref.neg "c" set) (Hierarchy.neg_as_pos_neg "c" set))
+
+let prop_pos_pos_in_explicit =
+  QCheck.Test.make ~count ~name:"POS/POS =< EXPLICIT ((POS1)<-> o+ (POS2)<->)"
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (Gen.two_disjoint_subsets "c" >>= fun (p1, p2) ->
+            if p1 = [] || p2 = [] then
+              return ([ Value.Str "x" ], [ Value.Str "y" ])
+            else return (p1, p2))
+           Gen.rows))
+    (fun ((pos1, pos2), rows) ->
+      agree rows
+        (Pref.pos_pos "c" ~pos1 ~pos2)
+        (Hierarchy.pos_pos_as_explicit "c" ~pos1 ~pos2))
+
+let prop_around_in_between =
+  QCheck.Test.make ~count ~name:"AROUND =< BETWEEN (low = up)"
+    (QCheck.make QCheck.Gen.(pair (int_range 0 4) Gen.rows))
+    (fun (z, rows) ->
+      let z = float_of_int z in
+      agree rows (Pref.around "a" z) (Hierarchy.around_as_between "a" z))
+
+let prop_between_in_score =
+  QCheck.Test.make ~count ~name:"BETWEEN =< SCORE (f = -distance)"
+    (QCheck.make QCheck.Gen.(triple (int_range 0 4) (int_range 0 4) Gen.rows))
+    (fun (l, u, rows) ->
+      let low = float_of_int (min l u) and up = float_of_int (max l u) in
+      agree rows (Pref.between "a" ~low ~up) (Hierarchy.between_as_score "a" ~low ~up))
+
+let prop_around_in_score =
+  QCheck.Test.make ~count ~name:"AROUND =< SCORE (f = -distance)"
+    (QCheck.make QCheck.Gen.(pair (int_range 0 4) Gen.rows))
+    (fun (z, rows) ->
+      let z = float_of_int z in
+      agree rows (Pref.around "a" z) (Hierarchy.around_as_score "a" z))
+
+let prop_highest_lowest_in_score =
+  QCheck.Test.make ~count ~name:"HIGHEST/LOWEST =< SCORE"
+    (QCheck.make Gen.rows)
+    (fun rows ->
+      agree rows (Pref.highest "d") (Hierarchy.highest_as_score "d")
+      && agree rows (Pref.lowest "d") (Hierarchy.lowest_as_score "d"))
+
+let prop_inter_in_pareto =
+  QCheck.Test.make ~count ~name:"'<>' =< '(x)' (proposition 6)"
+    (QCheck.make
+       QCheck.Gen.(
+         Gen.any_attr >>= fun a ->
+         triple (Gen.base_pref_on a) (Gen.base_pref_on a) Gen.rows))
+    (fun (p1, p2, rows) ->
+      agree rows (Pref.inter p1 p2) (Hierarchy.inter_as_pareto p1 p2))
+
+let test_prior_as_rank () =
+  (* '&' =< rank(F) with a properly weighted F: the paper's suggested
+     extension.  Valid here because HIGHEST's score is injective on the
+     integer carrier and the scale dominates the second score's spread. *)
+  let rows =
+    List.map
+      (fun (a, b) ->
+        Tuple.make [ Value.Int a; Value.Int b; Value.Str "x"; Value.Float 0. ])
+      [ (0, 0); (0, 4); (1, 2); (2, 0); (2, 4); (3, 1); (4, 4) ]
+  in
+  let p1 = Pref.highest "a" and p2 = Pref.highest "b" in
+  Alcotest.(check bool) "prior == rank with dominating scale" true
+    (agree rows (Pref.prior p1 p2) (Hierarchy.prior_as_rank ~scale:100. p1 p2))
+
+let test_substitutability_principle () =
+  (* "instead of a requested constructor also a sub-constructor can be
+     supplied": rank over AROUND/HIGHEST instead of SCORE. *)
+  let r =
+    Pref.rank (Pref.weighted_sum 1. 1.)
+      (Hierarchy.around_as_score "a" 2.)
+      (Hierarchy.highest_as_score "b")
+  in
+  let r' =
+    Pref.rank (Pref.weighted_sum 1. 1.) (Pref.around "a" 2.) (Pref.highest "b")
+  in
+  let rows =
+    List.map
+      (fun (a, b) ->
+        Tuple.make [ Value.Int a; Value.Int b; Value.Str "x"; Value.Float 0. ])
+      [ (0, 0); (1, 3); (2, 2); (4, 1) ]
+  in
+  Alcotest.(check bool) "substituted operands agree" true (agree rows r r')
+
+let suite =
+  Gen.qsuite
+    [
+      prop_pos_in_pos_pos;
+      prop_pos_in_pos_neg;
+      prop_neg_in_pos_neg;
+      prop_pos_pos_in_explicit;
+      prop_around_in_between;
+      prop_between_in_score;
+      prop_around_in_score;
+      prop_highest_lowest_in_score;
+      prop_inter_in_pareto;
+    ]
+  @ [
+      Gen.quick "'&' =< rank(F) (weighted)" test_prior_as_rank;
+      Gen.quick "constructor substitutability" test_substitutability_principle;
+    ]

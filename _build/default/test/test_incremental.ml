@@ -1,0 +1,145 @@
+open Pref_relation
+open Preferences
+open Pref_bmo
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let batch schema p rows =
+  Relation.make schema (Naive.maxima (Dominance.of_pref schema p) rows)
+
+(* --- Example 9 replayed through the incremental engine --------------- *)
+
+let test_example9_incremental () =
+  let schema =
+    Schema.make
+      [ ("fe", Value.TInt); ("ir", Value.TInt); ("nick", Value.TStr) ]
+  in
+  let car (f, i, n) = Tuple.make [ Value.Int f; Value.Int i; Value.Str n ] in
+  let p = Pref.pareto (Pref.highest "fe") (Pref.highest "ir") in
+  let inc = Incremental.create schema p [ car (100, 3, "frog") ] in
+  check_int "one car, one best" 1 (Incremental.size inc);
+  Incremental.insert inc (car (50, 3, "cat"));
+  check_int "cat dominated" 1 (Incremental.size inc);
+  Incremental.insert inc (car (50, 10, "shark"));
+  check_int "shark joins" 2 (Incremental.size inc);
+  Incremental.insert inc (car (100, 10, "turtle"));
+  check_int "turtle evicts both" 1 (Incremental.size inc);
+  (* delete the turtle: frog and shark resurrect *)
+  check "delete succeeds" true (Incremental.delete inc (car (100, 10, "turtle")));
+  check_int "resurrection" 2 (Incremental.size inc);
+  check "missing delete is reported" false
+    (Incremental.delete inc (car (1, 1, "ghost")))
+
+(* --- Random edit sequences agree with batch recomputation ------------- *)
+
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 40)
+      (pair (frequency [ (3, return true); (2, return false) ]) Gen.tuple))
+
+let prop_matches_batch =
+  QCheck.Test.make ~count:300
+    ~name:"incremental = batch over random insert/delete sequences"
+    (QCheck.make
+       QCheck.Gen.(pair Gen.pref ops_gen)
+       ~print:(fun (p, ops) ->
+         Fmt.str "%a with %d ops" Preferences.Show.pp p (List.length ops)))
+    (fun (p, ops) ->
+      let inc = Incremental.create Gen.schema p [] in
+      let rows = ref [] in
+      List.for_all
+        (fun (is_insert, t) ->
+          if is_insert then begin
+            Incremental.insert inc t;
+            rows := t :: !rows;
+            true
+          end
+          else begin
+            let present = List.exists (Tuple.equal t) !rows in
+            let deleted = Incremental.delete inc t in
+            if present then begin
+              let rec remove_one acc = function
+                | [] -> List.rev acc
+                | x :: rest ->
+                  if Tuple.equal x t then List.rev_append acc rest
+                  else remove_one (x :: acc) rest
+              in
+              rows := remove_one [] !rows
+            end;
+            deleted = present
+          end
+          &&
+          Relation.equal_as_sets (Incremental.result inc)
+            (batch Gen.schema p !rows))
+        ops)
+
+let test_cardinality_tracking () =
+  let p = Pref.lowest "a" in
+  let inc = Incremental.create Gen.schema p [] in
+  let t n = Tuple.make [ Value.Int n; Value.Int 0; Value.Str "x"; Value.Float 0. ] in
+  List.iter (Incremental.insert inc) [ t 3; t 1; t 2; t 1 ];
+  check_int "total rows" 4 (Incremental.cardinality inc);
+  check_int "two minimal duplicates" 2 (Incremental.size inc);
+  ignore (Incremental.delete inc (t 1));
+  check_int "one of the duplicates remains best" 1 (Incremental.size inc);
+  check_int "three rows left" 3 (Incremental.cardinality inc)
+
+(* --- sigma_levels ------------------------------------------------------ *)
+
+let test_sigma_levels () =
+  let schema = Schema.make [ ("x", Value.TInt) ] in
+  let t n = Tuple.make [ Value.Int n ] in
+  let rel = Relation.make schema (List.map t [ 5; 3; 9; 1; 7 ]) in
+  let p = Pref.highest "x" in
+  check_int "level 1" 1
+    (Relation.cardinality (Query.sigma_levels schema p ~levels:1 rel));
+  check_int "levels 1-3" 3
+    (Relation.cardinality (Query.sigma_levels schema p ~levels:3 rel));
+  check "levels beyond depth return everything" true
+    (Relation.equal_as_sets rel (Query.sigma_levels schema p ~levels:99 rel));
+  check "level 1 = sigma" true
+    (Relation.equal_as_sets
+       (Query.sigma_levels schema p ~levels:1 rel)
+       (Query.sigma schema p rel));
+  Alcotest.check_raises "levels < 1"
+    (Invalid_argument "Query.sigma_levels: levels must be >= 1") (fun () ->
+      ignore (Query.sigma_levels schema p ~levels:0 rel))
+
+let prop_sigma_levels_nested =
+  QCheck.Test.make ~count:150 ~name:"sigma_levels grows monotonically with k"
+    Gen.arb_pref_rows
+    (fun (p, rows) ->
+      let rel = Gen.rel rows in
+      let l1 = Pref_bmo.Query.sigma_levels Gen.schema p ~levels:1 rel in
+      let l2 = Pref_bmo.Query.sigma_levels Gen.schema p ~levels:2 rel in
+      let l3 = Pref_bmo.Query.sigma_levels Gen.schema p ~levels:3 rel in
+      List.for_all (Relation.mem l2) (Relation.rows l1)
+      && List.for_all (Relation.mem l3) (Relation.rows l2))
+
+(* --- exhaustive Definition 13 over finite domains ---------------------- *)
+
+let test_agree_on_domains () =
+  let colours = List.map (fun s -> Value.Str s) [ "r"; "g"; "b" ] in
+  let prices = List.map (fun n -> Value.Int n) [ 1; 2; 3 ] in
+  let domains = [ ("color", colours); ("price", prices) ] in
+  (* non-discrimination theorem, checked over the whole domain product *)
+  let p1 = Pref.pos "color" [ Value.Str "r" ] and p2 = Pref.lowest "price" in
+  check "prop 5 over the full domain" true
+    (Equiv.agree_on_domains domains
+       (Pref.pareto p1 p2)
+       (Pref.inter (Pref.prior p1 p2) (Pref.prior p2 p1)));
+  check "inequivalent terms are detected" false
+    (Equiv.agree_on_domains domains (Pref.pareto p1 p2) (Pref.prior p1 p2));
+  let schema, tuples = Equiv.domain_tuples domains in
+  check_int "3x3 product" 9 (List.length tuples);
+  check_int "two columns" 2 (Pref_relation.Schema.arity schema)
+
+let suite =
+  [
+    Gen.quick "example 9 incrementally" test_example9_incremental;
+    Gen.quick "cardinality tracking" test_cardinality_tracking;
+    Gen.quick "sigma_levels" test_sigma_levels;
+    Gen.quick "exhaustive domain equivalence" test_agree_on_domains;
+  ]
+  @ Gen.qsuite [ prop_matches_batch; prop_sigma_levels_nested ]

@@ -1,0 +1,200 @@
+open Pref_relation
+open Pref_sql
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* dealers and their cars: the multi-party scenario of Example 6 needs the
+   dealer's data joined in *)
+
+let dealers_schema =
+  Schema.make [ ("did", Value.TInt); ("name", Value.TStr); ("city", Value.TStr) ]
+
+let dealers =
+  Relation.of_lists dealers_schema
+    [
+      [ Int 1; Str "Michael"; Str "Augsburg" ];
+      [ Int 2; Str "Anna"; Str "Munich" ];
+      [ Int 3; Str "Otto"; Str "Augsburg" ];
+    ]
+
+let cars_schema =
+  Schema.make
+    [
+      ("oid", Value.TInt); ("dealer", Value.TInt); ("color", Value.TStr);
+      ("price", Value.TInt);
+    ]
+
+let cars =
+  Relation.of_lists cars_schema
+    [
+      [ Int 10; Int 1; Str "red"; Int 9000 ];
+      [ Int 11; Int 1; Str "blue"; Int 12000 ];
+      [ Int 12; Int 2; Str "red"; Int 8000 ];
+      [ Int 13; Int 2; Str "gray"; Int 7000 ];
+      [ Int 14; Int 9; Str "red"; Int 1000 ] (* dangling dealer *);
+    ]
+
+let env = [ ("cars", cars); ("dealers", dealers) ]
+
+(* --- Relation-level primitives ---------------------------------------- *)
+
+let test_product () =
+  let a = Relation.rename_schema cars (Schema.prefix "cars" cars_schema) in
+  let b = Relation.rename_schema dealers (Schema.prefix "dealers" dealers_schema) in
+  let p = Relation.product a b in
+  check_int "cardinality" (5 * 3) (Relation.cardinality p);
+  check_int "arity" 7 (Schema.arity (Relation.schema p));
+  Alcotest.check_raises "overlapping names rejected"
+    (Invalid_argument "Relation.product: overlapping column names") (fun () ->
+      ignore (Relation.product a a))
+
+let test_hash_join () =
+  let a = Relation.rename_schema cars (Schema.prefix "cars" cars_schema) in
+  let b = Relation.rename_schema dealers (Schema.prefix "dealers" dealers_schema) in
+  let j = Relation.hash_join a b ~left_cols:[ "cars.dealer" ] ~right_cols:[ "dealers.did" ] in
+  (* the dangling car joins nothing *)
+  check_int "four joined rows" 4 (Relation.cardinality j);
+  (* equals the filtered product *)
+  let filtered =
+    Relation.select
+      (fun t ->
+        Value.equal
+          (Tuple.get_by_name (Relation.schema j) t "cars.dealer")
+          (Tuple.get_by_name (Relation.schema j) t "dealers.did"))
+      (Relation.product a b)
+  in
+  check "join = filtered product" true (Relation.equal_as_sets j filtered)
+
+let test_schema_resolve () =
+  let s = Schema.prefix "cars" cars_schema in
+  check "exact qualified" true (Schema.resolve s "cars.price" = Ok "cars.price");
+  check "suffix resolution" true (Schema.resolve s "price" = Ok "cars.price");
+  check "unknown" true (Result.is_error (Schema.resolve s "nope"));
+  let joined = Schema.union s (Schema.prefix "dealers" dealers_schema) in
+  check "unambiguous suffix" true (Schema.resolve joined "city" = Ok "dealers.city");
+  check "ambiguous name reported" true
+    (match
+       Schema.resolve
+         (Schema.union s (Schema.prefix "trucks" (Schema.make [ ("price", Value.TInt) ])))
+         "price"
+     with
+    | Error msg ->
+      let contains needle =
+        let nl = String.length needle and hl = String.length msg in
+        let rec go i = i + nl <= hl && (String.sub msg i nl = needle || go (i + 1)) in
+        go 0
+      in
+      contains "ambiguous"
+    | Ok _ -> false)
+
+(* --- SQL-level joins ---------------------------------------------------- *)
+
+let test_join_query () =
+  let r =
+    Exec.run env
+      "SELECT cars.oid, dealers.name FROM cars, dealers WHERE cars.dealer = \
+       dealers.did"
+  in
+  check_int "four rows" 4 (Relation.cardinality r.Exec.relation);
+  Alcotest.(check (list string)) "projected columns" [ "cars.oid"; "dealers.name" ]
+    (Schema.names (Relation.schema r.Exec.relation))
+
+let test_join_with_filter_and_preference () =
+  (* cheapest car per Augsburg dealer *)
+  let r =
+    Exec.run env
+      "SELECT cars.oid, dealers.name, cars.price FROM cars, dealers WHERE \
+       cars.dealer = dealers.did AND dealers.city = 'Augsburg' PREFERRING \
+       LOWEST(price)"
+  in
+  (* only Michael (dealer 1) is an Augsburg dealer with cars; his cheapest
+     is oid 10 at 9000 *)
+  (match Relation.rows r.Exec.relation with
+  | [ row ] ->
+    Alcotest.check Gen.value_testable "oid" (Value.Int 10) (Tuple.get row 0);
+    Alcotest.check Gen.value_testable "price" (Value.Int 9000) (Tuple.get row 2)
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows));
+  check "preference recorded" true (r.Exec.preference <> None)
+
+let test_join_grouping () =
+  (* best price per dealer city: grouping over a joined attribute *)
+  let r =
+    Exec.run env
+      "SELECT * FROM cars, dealers WHERE cars.dealer = dealers.did \
+       PREFERRING LOWEST(price) GROUPING city"
+  in
+  (* Augsburg group best: oid 10 (9000); Munich group best: oid 13 (7000) *)
+  let oids =
+    List.map
+      (fun t ->
+        match Tuple.get_by_name (Relation.schema r.Exec.relation) t "cars.oid" with
+        | Value.Int i -> i
+        | _ -> -1)
+      (Relation.rows r.Exec.relation)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "per-city winners" [ 10; 13 ] oids
+
+let test_cross_product_when_no_keys () =
+  let r = Exec.run env "SELECT * FROM cars, dealers" in
+  check_int "cross product" 15 (Relation.cardinality r.Exec.relation)
+
+let test_unqualified_columns_in_join () =
+  (* 'price' and 'city' are unambiguous across the two tables *)
+  let r =
+    Exec.run env
+      "SELECT oid, name FROM cars, dealers WHERE dealer = did AND city = \
+       'Munich' PREFERRING LOWEST(price)"
+  in
+  match Relation.rows r.Exec.relation with
+  | [ row ] -> Alcotest.check Gen.value_testable "oid 13" (Value.Int 13) (Tuple.get row 0)
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows)
+
+let test_attr_attr_comparison_single_table () =
+  (* Cmp_attr also works as a plain intra-table comparison *)
+  let s = Schema.make [ ("a", Value.TInt); ("b", Value.TInt) ] in
+  let rel = Relation.of_lists s [ [ Int 1; Int 1 ]; [ Int 1; Int 2 ]; [ Int 3; Int 3 ] ] in
+  let r = Exec.run [ ("t", rel) ] "SELECT * FROM t WHERE a = b" in
+  check_int "two self-equal rows" 2 (Relation.cardinality r.Exec.relation);
+  let r2 = Exec.run [ ("t", rel) ] "SELECT * FROM t WHERE a < b" in
+  check_int "one a<b row" 1 (Relation.cardinality r2.Exec.relation)
+
+let test_ambiguity_errors () =
+  let trucks =
+    Relation.of_lists (Schema.make [ ("price", Value.TInt) ]) [ [ Int 5 ] ]
+  in
+  let env = ("trucks", trucks) :: env in
+  check "ambiguous column rejected" true
+    (try
+       ignore
+         (Exec.run env
+            "SELECT * FROM cars, trucks PREFERRING LOWEST(price)");
+       false
+     with Exec.Error _ -> true);
+  check "qualified reference resolves it" true
+    (not
+       (Relation.is_empty
+          (Exec.run env
+             "SELECT * FROM cars, trucks PREFERRING LOWEST(trucks.price)")
+             .Exec.relation))
+
+let test_single_table_qualified () =
+  (* table-qualified names work over a single unqualified table *)
+  let r = Exec.run env "SELECT cars.oid FROM cars WHERE cars.price < 8000" in
+  check_int "two cheap cars" 2 (Relation.cardinality r.Exec.relation)
+
+let suite =
+  [
+    Gen.quick "relation product" test_product;
+    Gen.quick "hash join" test_hash_join;
+    Gen.quick "schema resolution" test_schema_resolve;
+    Gen.quick "basic join query" test_join_query;
+    Gen.quick "join + filter + preference" test_join_with_filter_and_preference;
+    Gen.quick "grouping over joined attribute" test_join_grouping;
+    Gen.quick "cross product fallback" test_cross_product_when_no_keys;
+    Gen.quick "unqualified columns in joins" test_unqualified_columns_in_join;
+    Gen.quick "attribute-attribute comparisons" test_attr_attr_comparison_single_table;
+    Gen.quick "ambiguity errors" test_ambiguity_errors;
+    Gen.quick "qualified names on single tables" test_single_table_qualified;
+  ]

@@ -1,0 +1,166 @@
+(* Propositions 2 and 3: the preference algebra's law collection, checked by
+   random search plus targeted unit cases. *)
+
+open Pref_relation
+open Preferences
+
+let count = 300
+let check = Alcotest.(check bool)
+
+(* --- Proposition 2 ------------------------------------------------- *)
+
+let prop_pareto_comm =
+  QCheck.Test.make ~count ~name:"P1 (x) P2 == P2 (x) P1" Gen.arb_pref2_rows
+    (fun (p1, p2, rows) -> Laws.pareto_commutative Gen.schema rows p1 p2)
+
+let prop_pareto_assoc =
+  QCheck.Test.make ~count ~name:"pareto associativity" Gen.arb_pref3_rows
+    (fun (p1, p2, p3, rows) -> Laws.pareto_associative Gen.schema rows p1 p2 p3)
+
+let prop_prior_assoc =
+  QCheck.Test.make ~count ~name:"prioritized associativity" Gen.arb_pref3_rows
+    (fun (p1, p2, p3, rows) -> Laws.prior_associative Gen.schema rows p1 p2 p3)
+
+let prop_inter_comm_assoc =
+  QCheck.Test.make ~count ~name:"intersection commutativity/associativity"
+    Gen.arb_pref3_rows
+    (fun (p1, _, _, rows) ->
+      (* operands must share an attribute set; use variants of p1 *)
+      let q = Pref.dual p1 and r = Pref.antichain (Pref.attrs p1) in
+      Laws.inter_commutative Gen.schema rows p1 q
+      && Laws.inter_associative Gen.schema rows p1 q r)
+
+let prop_dunion_comm_assoc =
+  QCheck.Test.make ~count ~name:"disjoint-union commutativity/associativity"
+    Gen.arb_pref3_rows
+    (fun (p1, p2, p3, rows) ->
+      Laws.dunion_commutative Gen.schema rows p1 p2
+      && Laws.dunion_associative Gen.schema rows p1 p2 p3)
+
+(* --- Proposition 3 ------------------------------------------------- *)
+
+let prop_dual_involution =
+  QCheck.Test.make ~count ~name:"(P^d)^d == P" Gen.arb_pref_rows
+    (fun (p, rows) -> Laws.dual_involution Gen.schema rows p)
+
+let prop_dual_antichain =
+  QCheck.Test.make ~count:50 ~name:"(S<->)^d == S<->" Gen.arb_rows
+    (fun rows -> Laws.dual_antichain Gen.schema rows [ "a"; "c" ])
+
+let prop_highest_lowest =
+  QCheck.Test.make ~count:50 ~name:"HIGHEST == LOWEST^d" Gen.arb_rows
+    (fun rows ->
+      Laws.highest_is_dual_lowest Gen.schema rows "a"
+      && Laws.highest_is_dual_lowest Gen.schema rows "d")
+
+let prop_pos_neg_dual =
+  QCheck.Test.make ~count:100 ~name:"POS^d == NEG for equal sets"
+    (QCheck.make
+       QCheck.Gen.(pair Gen.rows (Gen.subset_of Gen.str_values)))
+    (fun (rows, set) -> Laws.dual_pos_is_neg Gen.schema rows "c" set)
+
+let prop_inter_laws =
+  QCheck.Test.make ~count ~name:"P <> P == P and P <> P^d == A<->"
+    Gen.arb_pref_rows
+    (fun (p, rows) ->
+      Laws.inter_idempotent Gen.schema rows p
+      && Laws.inter_dual_is_antichain Gen.schema rows p)
+
+let prop_prior_laws =
+  QCheck.Test.make ~count ~name:"& laws (i, j, k)" Gen.arb_pref_rows
+    (fun (p, rows) ->
+      Laws.prior_idempotent Gen.schema rows p
+      && Laws.prior_antichain_right Gen.schema rows p
+      && Laws.prior_antichain_left Gen.schema rows p)
+
+let prop_prior_chains =
+  QCheck.Test.make ~count ~name:"chains closed under & (law h)"
+    Gen.arb_pref2_rows
+    (fun (p1, p2, rows) -> Laws.prior_chain_preserving Gen.schema rows p1 p2)
+
+let prop_pareto_laws =
+  QCheck.Test.make ~count ~name:"pareto laws (l, m, n)" Gen.arb_pref_rows
+    (fun (p, rows) ->
+      Laws.pareto_idempotent Gen.schema rows p
+      && Laws.pareto_antichain_left Gen.schema rows [ "a" ] p
+      && Laws.pareto_antichain_left Gen.schema rows (Pref.attrs p) p
+      && Laws.pareto_dual_is_antichain Gen.schema rows p)
+
+(* --- Unit cases ----------------------------------------------------- *)
+
+let vi n = Value.Int n
+
+let test_lsum_laws () =
+  (* ⊕ at the value level: associativity and the dual law (3c) *)
+  let doms = ([ vi 0; vi 1 ], [ vi 2; vi 3 ], [ vi 4; vi 5 ]) in
+  let d1, d2, d3 = doms in
+  let p1 = Pref.pos "x" [ vi 0 ]
+  and p2 = Pref.neg "y" [ vi 2 ]
+  and p3 = Pref.highest "z" in
+  let values = d1 @ d2 @ d3 in
+  check "lsum associativity" true
+    (Laws.lsum_associative ~attr:"s" (p1, d1) (p2, d2) (p3, d3) values);
+  check "dual of lsum (law 3c)" true
+    (Laws.dual_lsum ~attr:"s" (p1, d1) (p2, d2) (d1 @ d2));
+  (* linear sum ranks every right-domain value below every left-domain one *)
+  let s = Pref.lsum ~attr:"s" (p1, d1) (p2, d2) in
+  check "right below left" true (Pref.lt_value s (vi 2) (vi 1));
+  check "left not below right" false (Pref.lt_value s (vi 1) (vi 2));
+  check "left order respected" true (Pref.lt_value s (vi 1) (vi 0))
+
+let test_lsum_validation () =
+  Alcotest.check_raises "overlapping domains rejected"
+    (Invalid_argument "Pref.lsum (domains): value sets must be disjoint")
+    (fun () ->
+      ignore
+        (Pref.lsum ~attr:"s"
+           (Pref.pos "x" [ vi 0 ], [ vi 0 ])
+           (Pref.neg "y" [ vi 0 ], [ vi 0 ])));
+  Alcotest.check_raises "multi-attribute operand rejected"
+    (Invalid_argument "Pref.lsum: operands must be single-attribute preferences")
+    (fun () ->
+      ignore
+        (Pref.lsum ~attr:"s"
+           (Pref.pareto (Pref.pos "x" []) (Pref.pos "y" []), [])
+           (Pref.neg "z" [], [])))
+
+let test_inter_validation () =
+  Alcotest.check_raises "different attribute sets rejected"
+    (Invalid_argument "Pref.inter: operands must share the same attribute set")
+    (fun () -> ignore (Pref.inter (Pref.pos "a" []) (Pref.pos "b" [])))
+
+let test_disjointness_check () =
+  let rows = List.map (fun (a, b) -> Tuple.make [ vi a; vi b; Value.Str "x"; Value.Float 0. ])
+      [ (0, 0); (1, 1); (2, 2) ]
+  in
+  let evens = Pref.pos "a" [ vi 0; vi 2 ] in
+  (* two preferences on different attributes have disjoint ranges only if
+     their ranked tuples differ; here both rank every tuple, so they are not
+     disjoint *)
+  check "not disjoint" false (Laws.disjoint_on Gen.schema rows evens (Pref.lowest "b"));
+  check "disjoint from antichain" true
+    (Laws.disjoint_on Gen.schema rows evens (Pref.antichain [ "b" ]))
+
+let suite =
+  Gen.qsuite
+    [
+      prop_pareto_comm;
+      prop_pareto_assoc;
+      prop_prior_assoc;
+      prop_inter_comm_assoc;
+      prop_dunion_comm_assoc;
+      prop_dual_involution;
+      prop_dual_antichain;
+      prop_highest_lowest;
+      prop_pos_neg_dual;
+      prop_inter_laws;
+      prop_prior_laws;
+      prop_prior_chains;
+      prop_pareto_laws;
+    ]
+  @ [
+      Gen.quick "linear sum laws" test_lsum_laws;
+      Gen.quick "linear sum validation" test_lsum_validation;
+      Gen.quick "intersection validation" test_inter_validation;
+      Gen.quick "range disjointness" test_disjointness_check;
+    ]

@@ -1,0 +1,105 @@
+(* §3.3.2: the linear-sum characterisations of the non-numerical base
+   preference constructors, via the Layered design method. *)
+
+open Pref_relation
+open Preferences
+
+let count = 200
+let v s = Value.Str s
+
+let carrier = Gen.str_values @ [ v "unlisted1"; v "unlisted2" ]
+
+let layered_agrees_with layered pref =
+  List.for_all
+    (fun x ->
+      List.for_all (fun y -> Layered.lt layered x y = Pref.lt_value pref x y) carrier)
+    carrier
+
+let prop_pos =
+  QCheck.Test.make ~count ~name:"POS = POS-set<-> o+ other-values<->"
+    (QCheck.make (Gen.subset_of Gen.str_values))
+    (fun set -> layered_agrees_with (Layered.of_pos set) (Pref.pos "c" set))
+
+let prop_neg =
+  QCheck.Test.make ~count ~name:"NEG = other-values<-> o+ NEG-set<->"
+    (QCheck.make (Gen.subset_of Gen.str_values))
+    (fun set -> layered_agrees_with (Layered.of_neg set) (Pref.neg "c" set))
+
+let prop_pos_neg =
+  QCheck.Test.make ~count ~name:"POS/NEG = (POS<-> o+ others<->) o+ NEG<->"
+    (QCheck.make (Gen.two_disjoint_subsets "c"))
+    (fun (pos, neg) ->
+      layered_agrees_with
+        (Layered.of_pos_neg ~pos ~neg)
+        (Pref.pos_neg "c" ~pos ~neg))
+
+let prop_pos_pos =
+  QCheck.Test.make ~count ~name:"POS/POS = (POS1<-> o+ POS2<->) o+ others<->"
+    (QCheck.make (Gen.two_disjoint_subsets "c"))
+    (fun (pos1, pos2) ->
+      layered_agrees_with
+        (Layered.of_pos_pos ~pos1 ~pos2)
+        (Pref.pos_pos "c" ~pos1 ~pos2))
+
+let test_to_pref_roundtrip () =
+  let cases =
+    [
+      (Layered.of_pos [ v "x" ], Pref.pos "c" [ v "x" ]);
+      (Layered.of_neg [ v "y" ], Pref.neg "c" [ v "y" ]);
+      ( Layered.of_pos_neg ~pos:[ v "x" ] ~neg:[ v "y" ],
+        Pref.pos_neg "c" ~pos:[ v "x" ] ~neg:[ v "y" ] );
+      ( Layered.of_pos_pos ~pos1:[ v "x" ] ~pos2:[ v "y" ],
+        Pref.pos_pos "c" ~pos1:[ v "x" ] ~pos2:[ v "y" ] );
+    ]
+  in
+  List.iter
+    (fun (layered, expected) ->
+      Alcotest.(check bool) "to_pref reproduces the base preference" true
+        (Equiv.agree_values (Layered.to_pref "c" layered) expected carrier))
+    cases
+
+let test_to_pref_explicit () =
+  (* a three-layer stack realised as EXPLICIT *)
+  let layered =
+    Layered.make
+      [ Values [ v "x" ]; Values [ v "y"; v "z" ]; Values [ v "w" ]; Others ]
+  in
+  let p = Layered.to_pref "c" layered in
+  Alcotest.(check bool) "x beats y" true (Pref.better_value p (v "x") (v "y"));
+  Alcotest.(check bool) "y beats w" true (Pref.better_value p (v "y") (v "w"));
+  Alcotest.(check bool) "x beats w transitively" true
+    (Pref.better_value p (v "x") (v "w"));
+  Alcotest.(check bool) "y and z unranked" false
+    (Pref.better_value p (v "y") (v "z") || Pref.better_value p (v "z") (v "y"));
+  Alcotest.(check bool) "graph values beat unlisted values" true
+    (Pref.better_value p (v "w") (v "unlisted1"))
+
+let test_validation () =
+  Alcotest.check_raises "overlapping layers"
+    (Invalid_argument "Layered: layers must be pairwise disjoint") (fun () ->
+      ignore (Layered.make [ Values [ v "x" ]; Values [ v "x" ] ]));
+  Alcotest.check_raises "two 'others' layers"
+    (Invalid_argument "Layered: at most one 'other values' layer") (fun () ->
+      ignore (Layered.make [ Others; Values [ v "x" ]; Others ]));
+  (try
+     ignore (Layered.to_pref "c" (Layered.make [ Others; Values [ v "x" ]; Values [ v "y" ] ]));
+     Alcotest.fail "expected to_pref to reject others-first stacks"
+   with Invalid_argument _ -> ())
+
+let test_levels () =
+  let layered = Layered.of_pos_neg ~pos:[ v "x" ] ~neg:[ v "y" ] in
+  Alcotest.(check (option int)) "pos level" (Some 1) (Layered.level layered (v "x"));
+  Alcotest.(check (option int)) "others level" (Some 2) (Layered.level layered (v "q"));
+  Alcotest.(check (option int)) "neg level" (Some 3) (Layered.level layered (v "y"));
+  let no_others = Layered.make [ Values [ v "x" ] ] in
+  Alcotest.(check (option int)) "unlisted without others" None
+    (Layered.level no_others (v "q"))
+
+let suite =
+  Gen.qsuite [ prop_pos; prop_neg; prop_pos_neg; prop_pos_pos ]
+  @ [
+      Gen.quick "to_pref roundtrips" test_to_pref_roundtrip;
+      Gen.quick "to_pref explicit stacks" test_to_pref_explicit;
+      Gen.quick "validation" test_validation;
+      Gen.quick "levels" test_levels;
+    ]

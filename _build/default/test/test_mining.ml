@@ -1,0 +1,133 @@
+open Pref_relation
+open Preferences
+open Pref_mining
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let log_lines =
+  [
+    "SELECT * FROM cars WHERE color = 'red' AND price BETWEEN 10000 AND 20000";
+    "SELECT * FROM cars WHERE color = 'red' AND make <> 'Opel'";
+    "SELECT * FROM cars WHERE color = 'blue' AND price BETWEEN 12000 AND 18000";
+    "SELECT * FROM cars WHERE color = 'red'";
+    "SELECT * FROM cars PREFERRING color = 'red' AND LOWEST(mileage)";
+    "SELECT * FROM cars WHERE make <> 'Opel' PREFERRING LOWEST(mileage)";
+    "# a comment line";
+    "this is not SQL at all";
+  ]
+
+let test_parse_log () =
+  let queries = Miner.parse_log log_lines in
+  check_int "six parsable queries" 6 (List.length queries)
+
+let test_event_extraction () =
+  let q =
+    Pref_sql.Parser.parse_query
+      "SELECT * FROM t WHERE a = 'x' AND b BETWEEN 1 AND 3 AND c <> 'bad' \
+       AND d >= 10 PREFERRING e AROUND 5"
+  in
+  let events = Miner.events_of_query q in
+  let has p = List.exists p events in
+  check "wanted" true (has (function Miner.Wanted ("a", _) -> true | _ -> false));
+  check "range" true
+    (has (function Miner.Range ("b", 1., 3.) -> true | _ -> false));
+  check "rejected" true
+    (has (function Miner.Rejected ("c", _) -> true | _ -> false));
+  check "wants high" true (has (function Miner.Wants_high "d" -> true | _ -> false));
+  check "target from preferring" true
+    (has (function Miner.Target ("e", 5.) -> true | _ -> false))
+
+let test_mine_categorical () =
+  let events = Miner.events_of_log (Miner.parse_log log_lines) in
+  match Miner.mine_attribute "color" events with
+  | Some (Pref.Pos ("color", vs)) ->
+    (* red dominates (4 of 5 wanted events); blue is below default support *)
+    check "red mined" true (List.exists (Value.equal (Str "red")) vs)
+  | Some other ->
+    Alcotest.failf "unexpected shape: %s" (Show.to_string other)
+  | None -> Alcotest.fail "expected a mined preference"
+
+let test_mine_rejections () =
+  let events = Miner.events_of_log (Miner.parse_log log_lines) in
+  match Miner.mine_attribute "make" events with
+  | Some (Pref.Neg ("make", vs)) ->
+    check "Opel rejected" true (List.exists (Value.equal (Str "Opel")) vs)
+  | _ -> Alcotest.fail "expected NEG(make)"
+
+let test_mine_numeric () =
+  let events = Miner.events_of_log (Miner.parse_log log_lines) in
+  (match Miner.mine_attribute "price" events with
+  | Some (Pref.Between ("price", low, up)) ->
+    check "low is the mean of lows" true (Float.abs (low -. 11000.) < 1e-9);
+    check "up is the mean of ups" true (Float.abs (up -. 19000.) < 1e-9)
+  | _ -> Alcotest.fail "expected BETWEEN(price)");
+  match Miner.mine_attribute "mileage" events with
+  | Some (Pref.Lowest "mileage") -> ()
+  | _ -> Alcotest.fail "expected LOWEST(mileage)"
+
+let test_mine_around () =
+  let events =
+    [ Miner.Target ("hp", 90.); Miner.Target ("hp", 110.); Miner.Target ("hp", 100.) ]
+  in
+  match Miner.mine_attribute "hp" events with
+  | Some (Pref.Around ("hp", z)) -> check "mean target" true (Float.abs (z -. 100.) < 1e-9)
+  | _ -> Alcotest.fail "expected AROUND(hp)"
+
+let test_full_mine () =
+  let term, reports = Miner.mine_log log_lines in
+  check "a combined preference was mined" true (term <> None);
+  let p = Option.get term in
+  (* color is the most frequent attribute: it must sit at the top priority *)
+  (match Miner.attribute_frequencies (Miner.events_of_log (Miner.parse_log log_lines)) with
+  | (top, _) :: _ -> Alcotest.(check string) "most frequent attribute" "color" top
+  | [] -> Alcotest.fail "no attributes");
+  check "reports cover every attribute" true
+    (List.for_all
+       (fun r -> r.Miner.occurrences > 0)
+       reports);
+  (* the mined term is a valid strict partial order over random tuples from
+     the attributes it mentions *)
+  let schema =
+    Schema.make
+      (List.map
+         (fun a ->
+           ( a,
+             if a = "color" || a = "make" then Value.TStr else Value.TFloat ))
+         (Pref.attrs p))
+  in
+  let rng = Pref_workload.Rng.create 5 in
+  let rows =
+    List.init 40 (fun _ ->
+        Tuple.make
+          (List.map
+             (fun (_, ty) ->
+               match ty with
+               | Value.TStr ->
+                 Value.Str
+                   (Pref_workload.Rng.choice rng [| "red"; "blue"; "Opel"; "x" |])
+               | _ -> Value.Float (Pref_workload.Dist.uniform rng ~lo:0. ~hi:30000.))
+             schema))
+  in
+  check "mined term is an SPO" true (Laws.is_spo_on schema rows p);
+  (* and running it as a BMO query works *)
+  let rel = Relation.make schema rows in
+  check "BMO query runs" true
+    (not (Relation.is_empty (Pref_bmo.Query.sigma schema p rel)))
+
+let test_empty_and_unknown () =
+  check "no events -> no preference" true (Miner.mine_attribute "x" [] = None);
+  let term, reports = Miner.mine [] in
+  check "empty log" true (term = None && reports = [])
+
+let suite =
+  [
+    Gen.quick "parse log" test_parse_log;
+    Gen.quick "event extraction" test_event_extraction;
+    Gen.quick "mine categorical POS" test_mine_categorical;
+    Gen.quick "mine rejections NEG" test_mine_rejections;
+    Gen.quick "mine numeric BETWEEN/LOWEST" test_mine_numeric;
+    Gen.quick "mine AROUND" test_mine_around;
+    Gen.quick "full mining pipeline" test_full_mine;
+    Gen.quick "empty inputs" test_empty_and_unknown;
+  ]

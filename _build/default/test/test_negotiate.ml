@@ -1,0 +1,111 @@
+open Pref_relation
+open Preferences
+open Pref_negotiate
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let schema =
+  Schema.make
+    [ ("offer", Value.TStr); ("price", Value.TInt); ("warranty", Value.TInt) ]
+
+let offers =
+  Relation.of_lists schema
+    [
+      [ Str "A"; Int 9000; Int 6 ];
+      [ Str "B"; Int 10000; Int 12 ];
+      [ Str "C"; Int 11000; Int 18 ];
+      [ Str "D"; Int 12000; Int 24 ];
+      [ Str "E"; Int 12000; Int 12 ];
+    ]
+
+let buyer =
+  Negotiate.party ~name:"buyer"
+    (Pref.prior (Pref.lowest "price") (Pref.highest "warranty"))
+
+let seller =
+  Negotiate.party ~name:"seller"
+    (Pref.prior (Pref.highest "price") (Pref.lowest "warranty"))
+
+let offer_name t = Value.to_string (Tuple.get t 0)
+
+let test_candidates () =
+  let table = Negotiate.candidates schema [ buyer; seller ] offers in
+  (* directly opposed prioritizations: everything is a compromise candidate *)
+  check_int "full table" 5 (Relation.cardinality table)
+
+let test_two_party_agreement () =
+  let outcome, logs = Negotiate.negotiate schema [ buyer; seller ] offers in
+  (match outcome with
+  | Negotiate.Agreement a ->
+    (* the fair deal sits in the middle of the price chain: C at 11000 *)
+    Alcotest.(check string) "middle deal" "C" (offer_name a.deal);
+    check "both concede equally" true
+      (let ls = List.map snd a.levels in
+       List.length (List.sort_uniq compare ls) = 1)
+  | Negotiate.No_agreement _ -> Alcotest.fail "expected an agreement");
+  check "logs cover every round" true
+    (List.length logs > 0
+    && List.for_all (fun l -> List.length l.Negotiate.acceptable = 2) logs);
+  (* acceptable sets only grow (monotonic concession) *)
+  let counts name =
+    List.map (fun l -> List.assoc name l.Negotiate.acceptable) logs
+  in
+  let monotone xs = List.for_all2 ( <= ) xs (List.tl xs @ [ max_int ]) in
+  check "buyer concedes monotonically" true (monotone (counts "buyer"));
+  check "seller concedes monotonically" true (monotone (counts "seller"))
+
+let test_aligned_parties () =
+  (* if both parties want the same thing, round 1 settles it *)
+  let p1 = Negotiate.party ~name:"a" (Pref.lowest "price") in
+  let p2 = Negotiate.party ~name:"b" (Pref.lowest "price") in
+  match Negotiate.negotiate schema [ p1; p2 ] offers with
+  | Negotiate.Agreement a, logs ->
+    check_int "round 1" 1 a.round;
+    Alcotest.(check string) "cheapest offer" "A" (offer_name a.deal);
+    check_int "one round logged" 1 (List.length logs)
+  | Negotiate.No_agreement _, _ -> Alcotest.fail "expected an agreement"
+
+let test_three_parties () =
+  let p3 = Negotiate.party ~name:"mediator" (Pref.around "warranty" 15.) in
+  match Negotiate.negotiate schema [ buyer; seller; p3 ] offers with
+  | Negotiate.Agreement a, _ ->
+    check_int "three level reports" 3 (List.length a.levels)
+  | Negotiate.No_agreement _, _ -> Alcotest.fail "expected an agreement"
+
+let test_round_bound () =
+  match Negotiate.negotiate ~max_rounds:1 schema [ buyer; seller ] offers with
+  | Negotiate.No_agreement r, logs ->
+    check_int "stopped at bound" 1 r;
+    check_int "one round logged" 1 (List.length logs)
+  | Negotiate.Agreement _, _ ->
+    Alcotest.fail "opposed parties cannot settle in round 1"
+
+let test_empty_table () =
+  let empty = Relation.empty schema in
+  match Negotiate.negotiate schema [ buyer; seller ] empty with
+  | Negotiate.No_agreement 0, [] -> ()
+  | _ -> Alcotest.fail "expected immediate failure on an empty catalog"
+
+let test_deal_is_pareto_optimal () =
+  match Negotiate.negotiate schema [ buyer; seller ] offers with
+  | Negotiate.Agreement a, _ ->
+    let combined = Negotiate.combined_preference [ buyer; seller ] in
+    let dom = Pref_bmo.Dominance.of_pref schema combined in
+    check "no offer dominates the deal" true
+      (not
+         (List.exists
+            (fun u -> dom u a.deal)
+            (Relation.rows offers)))
+  | Negotiate.No_agreement _, _ -> Alcotest.fail "expected an agreement"
+
+let suite =
+  [
+    Gen.quick "negotiation table" test_candidates;
+    Gen.quick "opposed parties meet in the middle" test_two_party_agreement;
+    Gen.quick "aligned parties settle immediately" test_aligned_parties;
+    Gen.quick "three parties" test_three_parties;
+    Gen.quick "round bound" test_round_bound;
+    Gen.quick "empty catalog" test_empty_table;
+    Gen.quick "deals are pareto-optimal" test_deal_is_pareto_optimal;
+  ]

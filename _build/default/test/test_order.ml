@@ -1,0 +1,149 @@
+open Pref_order
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let divides_order = Spo.make (fun x y -> y <> x && x mod y = 0)
+(* x better than y iff y divides x strictly: e.g. 12 better than 6, 4, ... *)
+
+let carrier = [ 1; 2; 3; 4; 6; 12 ]
+
+let test_spo_checks () =
+  check "irreflexive" true (Spo.is_irreflexive divides_order carrier);
+  check "transitive" true (Spo.is_transitive divides_order carrier);
+  check "asymmetric" true (Spo.is_asymmetric divides_order carrier);
+  check "spo" true (Spo.is_strict_partial_order divides_order carrier);
+  check "not a chain" false (Spo.is_chain divides_order carrier);
+  let lt = Spo.make (fun x y -> x > y) in
+  check "total order is a chain" true (Spo.is_chain lt carrier);
+  check "empty order is an antichain" true
+    (Spo.is_antichain (Spo.make (fun _ _ -> false)) carrier);
+  check "divides not antichain" false (Spo.is_antichain divides_order carrier)
+
+let test_spo_cmp () =
+  let c = Spo.cmp divides_order in
+  Alcotest.(check string) "12 vs 6" "better" (Cmp.to_string (c 12 6));
+  Alcotest.(check string) "6 vs 12" "worse" (Cmp.to_string (c 6 12));
+  Alcotest.(check string) "4 vs 6" "unranked" (Cmp.to_string (c 4 6));
+  Alcotest.(check string) "4 vs 4" "equal" (Cmp.to_string (c 4 4));
+  check "unranked" true (Spo.unranked divides_order 4 6)
+
+let test_dual () =
+  let d = Spo.dual divides_order in
+  check "dual flips" true (Spo.better d 6 12);
+  check "dual flips (2)" false (Spo.better d 12 6);
+  check "dual of spo is spo" true (Spo.is_strict_partial_order d carrier)
+
+let test_maximals () =
+  Alcotest.(check (list int)) "maximals" [ 12 ] (Spo.maximals divides_order carrier);
+  Alcotest.(check (list int)) "minimals" [ 1 ] (Spo.minimals divides_order carrier)
+
+let test_range_disjoint () =
+  let only_evens = Spo.make (fun x y -> x mod 2 = 0 && y mod 2 = 0 && x > y) in
+  let range = Spo.range only_evens carrier in
+  check "1 not in range" false (List.mem 1 range);
+  check "2 in range" true (List.mem 2 range);
+  let only_odds = Spo.make (fun x y -> x mod 2 = 1 && y mod 2 = 1 && x > y) in
+  check "disjoint" true (Spo.disjoint only_evens only_odds carrier);
+  check "not disjoint with itself" false
+    (Spo.disjoint only_evens only_evens carrier)
+
+(* Example 1's colour graph, driven through Graph directly. *)
+let colour_edges =
+  [ ("yellow", "green"); ("red", "green"); ("white", "yellow") ]
+
+let colours = [ "white"; "red"; "yellow"; "green"; "brown"; "black" ]
+
+let colour_graph =
+  (* the explicit edges plus "everything in the graph beats outside values" *)
+  let in_range = [ "white"; "red"; "yellow"; "green" ] in
+  let extra =
+    List.concat_map
+      (fun b -> List.map (fun w -> (b, w)) [ "brown"; "black" ])
+      in_range
+  in
+  Graph.of_edges colours (colour_edges @ extra)
+
+let test_graph_basic () =
+  let g = Graph.of_edges colours colour_edges in
+  check_int "size" 6 (Graph.size g);
+  check "acyclic" true (Graph.is_acyclic g);
+  check "white->yellow" true
+    (Graph.is_better g 0 2) (* white index 0, yellow index 2 *)
+
+let test_graph_closure () =
+  let g = Graph.of_edges colours colour_edges in
+  let c = Graph.transitive_closure g in
+  (* white -> yellow -> green means white -> green in the closure *)
+  check "white->green closed" true (Graph.is_better c 0 3);
+  check "white->green not direct" false (Graph.is_better g 0 3);
+  let h = Graph.hasse c in
+  check "hasse drops transitive edge" false (Graph.is_better h 0 3);
+  check "hasse keeps white->yellow" true (Graph.is_better h 0 2)
+
+let test_graph_cycle () =
+  let g = Graph.of_edges [ "a"; "b" ] [ ("a", "b"); ("b", "a") ] in
+  check "cyclic" false (Graph.is_acyclic g);
+  Alcotest.check_raises "levels raises" (Invalid_argument "Graph.levels: graph is cyclic")
+    (fun () -> ignore (Graph.levels g))
+
+let test_graph_levels () =
+  (* Example 1: white, red at level 1; yellow 2; green 3; brown, black 4. *)
+  let levels = Graph.by_level colour_graph in
+  let level_of v = Graph.level_of colour_graph v in
+  check_int "white" 1 (level_of "white");
+  check_int "red" 1 (level_of "red");
+  check_int "yellow" 2 (level_of "yellow");
+  check_int "green" 3 (level_of "green");
+  check_int "brown" 4 (level_of "brown");
+  check_int "black" 4 (level_of "black");
+  check_int "four levels" 4 (List.length levels);
+  Alcotest.(check (list string))
+    "maximals" [ "white"; "red" ]
+    (Graph.maximals colour_graph);
+  Alcotest.(check (list string))
+    "minimals" [ "brown"; "black" ]
+    (Graph.minimals colour_graph)
+
+let test_graph_of_order () =
+  let g = Graph.of_order (fun x y -> x > y) [ 3; 1; 2; 3; 1 ] in
+  check_int "deduplicates" 3 (Graph.size g);
+  Alcotest.(check (list int)) "maximals" [ 3 ] (Graph.maximals g)
+
+let test_graph_unranked () =
+  let g = Graph.of_edges colours colour_edges in
+  (* white and red have no path between them *)
+  check "white/red unranked" true (Graph.unranked g 0 1);
+  check "white/green ranked via path" false (Graph.unranked g 0 3)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_dot () =
+  let dot = Graph.to_dot Fmt.string colour_graph in
+  check "mentions digraph" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  check "has an edge" true (contains ~needle:"->" dot)
+
+let test_edges_roundtrip () =
+  let g = Graph.of_edges colours colour_edges in
+  check_int "edge count" (List.length colour_edges) (List.length (Graph.edges g))
+
+let suite =
+  [
+    Gen.quick "spo checks" test_spo_checks;
+    Gen.quick "cmp classification" test_spo_cmp;
+    Gen.quick "dual" test_dual;
+    Gen.quick "maximals/minimals" test_maximals;
+    Gen.quick "range and disjointness" test_range_disjoint;
+    Gen.quick "graph basics" test_graph_basic;
+    Gen.quick "transitive closure and hasse" test_graph_closure;
+    Gen.quick "cycle detection" test_graph_cycle;
+    Gen.quick "levels (example 1 shape)" test_graph_levels;
+    Gen.quick "of_order dedup" test_graph_of_order;
+    Gen.quick "unranked pairs" test_graph_unranked;
+    Gen.quick "dot export" test_dot;
+    Gen.quick "edges roundtrip" test_edges_roundtrip;
+  ]

@@ -1,0 +1,113 @@
+(* Property tests for the order substrate: random DAGs and random orders. *)
+
+open Pref_order
+
+(* random DAG over n nodes: edges only from higher to lower indices *)
+let arb_dag =
+  QCheck.make
+    ~print:(fun (n, edges) ->
+      Fmt.str "%d nodes, %a" n
+        Fmt.(Dump.list (Dump.pair int int))
+        edges)
+    QCheck.Gen.(
+      int_range 1 10 >>= fun n ->
+      let all_pairs =
+        List.concat
+          (List.init n (fun i -> List.init i (fun j -> (i, j))))
+      in
+      map
+        (fun mask ->
+          (n, List.filteri (fun k _ -> (mask lsr k) land 1 = 1) all_pairs))
+        (int_range 0 ((1 lsl List.length all_pairs) - 1)))
+
+let graph_of (n, edges) =
+  Graph.of_edges (List.init n (fun i -> i)) edges
+
+let prop_closure_idempotent =
+  QCheck.Test.make ~count:300 ~name:"transitive closure is idempotent" arb_dag
+    (fun spec ->
+      let g = graph_of spec in
+      let c = Graph.transitive_closure g in
+      let cc = Graph.transitive_closure c in
+      List.sort compare (Graph.edges c) = List.sort compare (Graph.edges cc))
+
+let prop_hasse_closure_roundtrip =
+  QCheck.Test.make ~count:300
+    ~name:"closure of the hasse diagram = closure of the graph" arb_dag
+    (fun spec ->
+      let g = graph_of spec in
+      let via_hasse = Graph.transitive_closure (Graph.hasse g) in
+      let direct = Graph.transitive_closure g in
+      List.sort compare (Graph.edges via_hasse)
+      = List.sort compare (Graph.edges direct))
+
+let prop_hasse_minimal =
+  QCheck.Test.make ~count:300 ~name:"hasse edges are a subset of the closure"
+    arb_dag
+    (fun spec ->
+      let g = graph_of spec in
+      let h = Graph.hasse g and c = Graph.transitive_closure g in
+      let cedges = Graph.edges c in
+      List.for_all (fun e -> List.mem e cedges) (Graph.edges h))
+
+let prop_dags_acyclic =
+  QCheck.Test.make ~count:300 ~name:"downward-edge graphs are acyclic" arb_dag
+    (fun spec -> Graph.is_acyclic (graph_of spec))
+
+let prop_levels_respect_edges =
+  QCheck.Test.make ~count:300
+    ~name:"levels strictly increase along closure edges" arb_dag
+    (fun spec ->
+      let g = graph_of spec in
+      let c = Graph.transitive_closure g in
+      let levels = Graph.levels g in
+      List.for_all
+        (fun (better, worse) -> levels.(better) < levels.(worse))
+        (Graph.edges c))
+
+let prop_maximals_level1 =
+  QCheck.Test.make ~count:300 ~name:"maximal nodes are exactly level 1"
+    arb_dag
+    (fun spec ->
+      let g = graph_of spec in
+      let levels = Graph.levels g in
+      let maximals = Graph.maximal_indices g in
+      List.for_all (fun i -> levels.(i) = 1) maximals
+      && Array.for_all (fun l -> l >= 1) levels
+      &&
+      let level1 =
+        List.filteri (fun _ _ -> true) (Array.to_list levels)
+        |> List.mapi (fun i l -> (i, l))
+        |> List.filter (fun (_, l) -> l = 1)
+        |> List.map fst
+      in
+      List.sort compare level1 = List.sort compare maximals)
+
+(* random relations for CSV *)
+let arb_rel =
+  QCheck.make
+    ~print:(fun rows -> Fmt.str "%d rows" (List.length rows))
+    QCheck.Gen.(list_size (int_range 0 20) Gen.tuple)
+
+let prop_csv_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"csv roundtrips random relations" arb_rel
+    (fun rows ->
+      (* empty relations cannot preserve column types (nothing to infer
+         from), so the roundtrip property applies to non-empty ones *)
+      rows = []
+      ||
+      let rel = Gen.rel rows in
+      let reparsed = Pref_relation.Csv.parse_string (Pref_relation.Csv.to_string rel) in
+      Pref_relation.Relation.equal_as_sets rel reparsed)
+
+let suite =
+  Gen.qsuite
+    [
+      prop_closure_idempotent;
+      prop_hasse_closure_roundtrip;
+      prop_hasse_minimal;
+      prop_dags_acyclic;
+      prop_levels_respect_edges;
+      prop_maximals_level1;
+      prop_csv_roundtrip;
+    ]

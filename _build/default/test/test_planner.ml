@@ -1,0 +1,130 @@
+open Pref_relation
+open Preferences
+open Pref_bmo
+
+let check = Alcotest.(check bool)
+
+let skyline3 =
+  Pref.pareto_all
+    (List.map Pref.highest (Pref_workload.Synthetic.dim_names 3))
+
+let test_chain_dims () =
+  (match Planner.chain_dims skyline3 with
+  | Some (attrs, true) ->
+    Alcotest.(check (list string)) "dims" [ "d0"; "d1"; "d2" ] attrs
+  | _ -> Alcotest.fail "expected a maximizing skyline");
+  (match Planner.chain_dims (Pref.pareto (Pref.lowest "a") (Pref.lowest "b")) with
+  | Some ([ "a"; "b" ], false) -> ()
+  | _ -> Alcotest.fail "expected a minimizing skyline");
+  (* duals flip direction *)
+  (match Planner.chain_dims (Pref.dual (Pref.lowest "a")) with
+  | Some ([ "a" ], true) -> ()
+  | _ -> Alcotest.fail "expected dual lowest = maximizing");
+  (* mixed directions or non-chains are rejected *)
+  check "mixed directions" true
+    (Planner.chain_dims (Pref.pareto (Pref.lowest "a") (Pref.highest "b")) = None);
+  check "non-chain member" true
+    (Planner.chain_dims (Pref.pareto (Pref.lowest "a") (Pref.around "b" 1.)) = None);
+  check "shared attribute" true
+    (Planner.chain_dims (Pref.pareto (Pref.lowest "a") (Pref.lowest "a")) = None)
+
+let test_correlation_estimate () =
+  let anti =
+    Pref_workload.Synthetic.relation ~seed:3 ~n:2000 ~dims:2
+      Pref_workload.Synthetic.Anti_correlated
+  in
+  let corr =
+    Pref_workload.Synthetic.relation ~seed:3 ~n:2000 ~dims:2
+      Pref_workload.Synthetic.Correlated
+  in
+  let r_anti =
+    Planner.sampled_correlation
+      (Relation.schema anti) [ "d0"; "d1" ] (Relation.rows anti)
+  in
+  let r_corr =
+    Planner.sampled_correlation
+      (Relation.schema corr) [ "d0"; "d1" ] (Relation.rows corr)
+  in
+  check "anti-correlation detected" true (r_anti < -0.3);
+  check "correlation detected" true (r_corr > 0.3)
+
+let test_plan_choice () =
+  let small =
+    Pref_workload.Synthetic.relation ~seed:1 ~n:30 ~dims:3
+      Pref_workload.Synthetic.Independent
+  in
+  check "tiny input runs naive" true
+    (Planner.choose (Relation.schema small) skyline3 small = Planner.Plan_naive);
+  let anti =
+    Pref_workload.Synthetic.relation ~seed:5 ~n:3000 ~dims:3
+      Pref_workload.Synthetic.Anti_correlated
+  in
+  (match Planner.choose (Relation.schema anti) skyline3 anti with
+  | Planner.Plan_dnc _ -> ()
+  | other -> Alcotest.failf "expected dnc, got %s" (Planner.plan_to_string other));
+  let indep =
+    Pref_workload.Synthetic.relation ~seed:5 ~n:3000 ~dims:3
+      Pref_workload.Synthetic.Independent
+  in
+  (match Planner.choose (Relation.schema indep) skyline3 indep with
+  | Planner.Plan_bnl -> ()
+  | other -> Alcotest.failf "expected bnl, got %s" (Planner.plan_to_string other));
+  (* chain-headed prioritization becomes a cascade *)
+  let cars = Pref_workload.Cars.relation ~seed:4 ~n:500 () in
+  let p = Pref.prior (Pref.lowest "price") (Pref.pos "color" [ Str "red" ]) in
+  match Planner.choose (Relation.schema cars) p cars with
+  | Planner.Plan_cascade (_, _) -> ()
+  | other -> Alcotest.failf "expected cascade, got %s" (Planner.plan_to_string other)
+
+let test_all_plans_correct () =
+  (* every plan computes the same BMO result as naive *)
+  let rel =
+    Pref_workload.Synthetic.relation ~seed:9 ~n:400 ~dims:3
+      Pref_workload.Synthetic.Anti_correlated
+  in
+  let schema = Relation.schema rel in
+  let reference = Naive.query schema skyline3 rel in
+  List.iter
+    (fun plan ->
+      let result = Planner.execute schema skyline3 rel plan in
+      check (Planner.plan_to_string plan) true
+        (Relation.equal_as_sets (Relation.distinct reference) (Relation.distinct result)))
+    [
+      Planner.Plan_naive;
+      Planner.Plan_bnl;
+      Planner.Plan_sfs { attrs = [ "d0"; "d1"; "d2" ]; maximize = true };
+      Planner.Plan_dnc { attrs = [ "d0"; "d1"; "d2" ]; maximize = true };
+      Planner.Plan_decompose;
+    ]
+
+let test_cascade_plan_correct () =
+  let cars = Pref_workload.Cars.relation ~seed:4 ~n:500 () in
+  let schema = Relation.schema cars in
+  let p1 = Pref.lowest "price" and p2 = Pref.pos "color" [ Str "red" ] in
+  let p = Pref.prior p1 p2 in
+  let result, plan = Planner.run schema p cars in
+  (match plan with
+  | Planner.Plan_cascade _ -> ()
+  | other -> Alcotest.failf "expected cascade, got %s" (Planner.plan_to_string other));
+  check "cascade result equals naive" true
+    (Relation.equal_as_sets result (Naive.query schema p cars))
+
+let prop_planner_correct =
+  QCheck.Test.make ~count:150 ~name:"chosen plans compute sigma[P](R)"
+    Gen.arb_pref_rows
+    (fun (p, rows) ->
+      let rel = Gen.rel rows in
+      let result, _ = Planner.run Gen.schema p rel in
+      Relation.equal_as_sets
+        (Relation.distinct result)
+        (Relation.distinct (Naive.query Gen.schema p rel)))
+
+let suite =
+  [
+    Gen.quick "chain dimension analysis" test_chain_dims;
+    Gen.quick "correlation estimation" test_correlation_estimate;
+    Gen.quick "plan choice heuristics" test_plan_choice;
+    Gen.quick "all plans compute the same result" test_all_plans_correct;
+    Gen.quick "cascade plan correctness" test_cascade_plan_correct;
+  ]
+  @ Gen.qsuite [ prop_planner_correct ]

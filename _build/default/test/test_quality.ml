@@ -1,0 +1,94 @@
+open Pref_relation
+open Preferences
+
+let check_int = Alcotest.(check int)
+let v s = Value.Str s
+let i n = Value.Int n
+
+let test_levels_pos_family () =
+  let pos = Pref.pos "c" [ v "x" ] in
+  check_int "POS member" 1 (Option.get (Quality.level pos (v "x")));
+  check_int "POS other" 2 (Option.get (Quality.level pos (v "q")));
+  let neg = Pref.neg "c" [ v "x" ] in
+  check_int "NEG other" 1 (Option.get (Quality.level neg (v "q")));
+  check_int "NEG member" 2 (Option.get (Quality.level neg (v "x")))
+
+let test_levels_explicit () =
+  let p =
+    Pref.explicit "c"
+      [ (v "green", v "yellow"); (v "green", v "red"); (v "yellow", v "white") ]
+  in
+  check_int "white" 1 (Option.get (Quality.level p (v "white")));
+  check_int "green" 3 (Option.get (Quality.level p (v "green")));
+  check_int "out-of-range below the graph" 4 (Option.get (Quality.level p (v "pink")))
+
+let test_level_none_for_numeric () =
+  Alcotest.(check bool) "AROUND has no discrete level" true
+    (Quality.level (Pref.around "a" 3.) (i 3) = None);
+  Alcotest.(check bool) "complex terms have no intrinsic level" true
+    (Quality.level (Pref.pareto (Pref.pos "a" []) (Pref.pos "b" [])) (i 1) = None)
+
+let test_distance () =
+  Alcotest.(check (option (float 1e-9))) "around" (Some 7.)
+    (Quality.distance (Pref.around "a" 10.) (i 3));
+  Alcotest.(check (option (float 1e-9))) "between inside" (Some 0.)
+    (Quality.distance (Pref.between "a" ~low:2. ~up:8.) (i 5));
+  Alcotest.(check (option (float 1e-9))) "between above" (Some 4.)
+    (Quality.distance (Pref.between "a" ~low:2. ~up:8.) (i 12));
+  Alcotest.(check (option (float 1e-9))) "null infinitely far" (Some Float.infinity)
+    (Quality.distance (Pref.around "a" 0.) Value.Null);
+  Alcotest.(check (option (float 1e-9))) "no distance for POS" None
+    (Quality.distance (Pref.pos "a" []) (i 0))
+
+let test_base_for_attr () =
+  let p =
+    Pref.prior
+      (Pref.pareto (Pref.pos "c" [ v "x" ]) (Pref.around "a" 5.))
+      (Pref.lowest "b")
+  in
+  (match Quality.base_for_attr p "a" with
+  | Some (Pref.Around ("a", z)) -> Alcotest.(check (float 1e-9)) "found around" 5. z
+  | _ -> Alcotest.fail "expected AROUND on a");
+  Alcotest.(check bool) "missing attribute" true (Quality.base_for_attr p "zz" = None)
+
+let test_but_only_style_supervision () =
+  (* LEVEL/DISTANCE quality supervision as in the BUT ONLY clause *)
+  let schema = Schema.make [ ("color", Value.TStr); ("price", Value.TInt) ] in
+  let p =
+    Pref.pareto
+      (Pref.pos_neg "color" ~pos:[ v "yellow" ] ~neg:[ v "gray" ])
+      (Pref.around "price" 100.)
+  in
+  let t = Tuple.make [ v "blue"; i 120 ] in
+  check_int "level(color) = 2" 2 (Option.get (Quality.level_of schema p "color" t));
+  Alcotest.(check (option (float 1e-9))) "distance(price) = 20" (Some 20.)
+    (Quality.distance_of schema p "price" t)
+
+let test_level_in_graph () =
+  let schema = Schema.make [ ("x", Value.TInt) ] in
+  let t n = Tuple.make [ i n ] in
+  let rel = Relation.make schema [ t 1; t 2; t 3 ] in
+  let p = Pref.highest "x" in
+  check_int "best tuple level 1" 1 (Quality.level_in_graph schema p rel (t 3));
+  check_int "worst tuple level 3" 3 (Quality.level_in_graph schema p rel (t 1))
+
+let test_lsum_levels () =
+  let left = Pref.pos "l" [ i 0 ] and right = Pref.neg "r" [ i 9 ] in
+  let s = Pref.lsum ~attr:"s" (left, [ i 0; i 1 ]) (right, [ i 8; i 9 ]) in
+  check_int "left favourite" 1 (Option.get (Quality.level s (i 0)));
+  check_int "left other" 2 (Option.get (Quality.level s (i 1)));
+  (* right-operand values sit below every left level *)
+  check_int "right good" 3 (Option.get (Quality.level s (i 8)));
+  check_int "right bad" 4 (Option.get (Quality.level s (i 9)))
+
+let suite =
+  [
+    Gen.quick "levels of the POS family" test_levels_pos_family;
+    Gen.quick "levels of EXPLICIT" test_levels_explicit;
+    Gen.quick "no level for numeric/complex" test_level_none_for_numeric;
+    Gen.quick "distance (def 7)" test_distance;
+    Gen.quick "base_for_attr lookup" test_base_for_attr;
+    Gen.quick "BUT ONLY style supervision" test_but_only_style_supervision;
+    Gen.quick "level in database graph" test_level_in_graph;
+    Gen.quick "linear sum levels" test_lsum_levels;
+  ]

@@ -1,0 +1,147 @@
+open Pref_relation
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let s =
+  Schema.make
+    [ ("make", Value.TStr); ("price", Value.TInt); ("oid", Value.TInt) ]
+
+let cars =
+  Relation.of_lists s
+    [
+      [ Str "Audi"; Int 40000; Int 1 ];
+      [ Str "BMW"; Int 35000; Int 2 ];
+      [ Str "VW"; Int 20000; Int 3 ];
+      [ Str "BMW"; Int 50000; Int 4 ];
+    ]
+
+let test_schema () =
+  check_int "arity" 3 (Schema.arity s);
+  Alcotest.(check (list string)) "names" [ "make"; "price"; "oid" ] (Schema.names s);
+  check_int "index" 1 (Schema.index_of_exn s "price");
+  check "mem" true (Schema.mem s "oid");
+  check "not mem" false (Schema.mem s "color");
+  Alcotest.check_raises "unknown attr"
+    (Invalid_argument "Schema: unknown attribute \"color\"") (fun () ->
+      ignore (Schema.index_of_exn s "color"));
+  let merged = Schema.union s (Schema.make [ ("color", Value.TStr); ("oid", Value.TInt) ]) in
+  check_int "union arity" 4 (Schema.arity merged);
+  Alcotest.check_raises "conflicting union"
+    (Invalid_argument "Schema.union: attribute \"oid\" has conflicting types")
+    (fun () -> ignore (Schema.union s (Schema.make [ ("oid", Value.TStr) ])))
+
+let test_row_validation () =
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Relation: row arity 2 does not match schema arity 3")
+    (fun () -> ignore (Relation.of_lists s [ [ Str "Audi"; Int 1 ] ]));
+  check "null accepted anywhere" true
+    (Relation.cardinality (Relation.of_lists s [ [ Null; Null; Null ] ]) = 1);
+  check "int widens to float" true
+    (let fs = Schema.make [ ("x", Value.TFloat) ] in
+     Relation.cardinality (Relation.of_lists fs [ [ Int 3 ] ]) = 1);
+  (try
+     ignore (Relation.of_lists s [ [ Int 3; Int 1; Int 1 ] ]);
+     Alcotest.fail "expected type error"
+   with Invalid_argument _ -> ())
+
+let test_project () =
+  let p = Relation.project cars [ "price"; "make" ] in
+  Alcotest.(check (list string)) "projected schema" [ "price"; "make" ]
+    (Schema.names (Relation.schema p));
+  check_int "rows preserved" 4 (Relation.cardinality p);
+  let makes = Relation.project_distinct cars [ "make" ] in
+  check_int "distinct makes" 3 (Relation.cardinality makes)
+
+let test_set_ops () =
+  let top2 = Relation.select (fun t -> Value.compare (Tuple.get t 1) (Int 36000) > 0) cars in
+  check_int "select" 2 (Relation.cardinality top2);
+  let u = Relation.union top2 cars in
+  check "union = cars as sets" true (Relation.equal_as_sets u cars);
+  let i = Relation.inter cars top2 in
+  check "inter = top2 as sets" true (Relation.equal_as_sets i top2);
+  let d = Relation.diff cars top2 in
+  check_int "diff" 2 (Relation.cardinality d);
+  check "diff disjoint from top2" true
+    (Relation.is_empty (Relation.inter d top2))
+
+let test_group_by () =
+  let groups = Relation.group_by cars [ "make" ] in
+  check_int "three groups" 3 (List.length groups);
+  let sizes = List.map Relation.cardinality groups in
+  Alcotest.(check (list int)) "group sizes in appearance order" [ 1; 2; 1 ] sizes
+
+let test_distinct_and_mem () =
+  let dup = Relation.make s (Relation.rows cars @ Relation.rows cars) in
+  check_int "duplicated" 8 (Relation.cardinality dup);
+  check_int "distinct" 4 (Relation.cardinality (Relation.distinct dup));
+  check "mem" true (Relation.mem cars (Tuple.make [ Str "VW"; Int 20000; Int 3 ]));
+  check "not mem" false (Relation.mem cars (Tuple.make [ Str "VW"; Int 1; Int 3 ]))
+
+let test_sort_column_fold () =
+  let by_price =
+    Relation.sort_by (fun a b -> Value.compare (Tuple.get a 1) (Tuple.get b 1)) cars
+  in
+  (match Relation.rows by_price with
+  | first :: _ -> Alcotest.check Gen.value_testable "cheapest" (Int 20000) (Tuple.get first 1)
+  | [] -> Alcotest.fail "empty");
+  check_int "column length" 4 (List.length (Relation.column cars "price"));
+  check_int "fold count" 4 (Relation.fold (fun acc _ -> acc + 1) 0 cars)
+
+let test_csv_roundtrip () =
+  let text = Csv.to_string cars in
+  let reparsed = Csv.parse_string text in
+  check "roundtrip" true (Relation.equal_as_sets cars reparsed);
+  Alcotest.(check (list string)) "schema preserved" (Schema.names s)
+    (Schema.names (Relation.schema reparsed))
+
+let test_csv_quoting () =
+  let fields = Csv.split_line "a,\"b,c\",\"d\"\"e\",f" in
+  Alcotest.(check (list string)) "quoted split" [ "a"; "b,c"; "d\"e"; "f" ] fields;
+  let tricky =
+    Relation.of_lists
+      (Schema.make [ ("x", Value.TStr) ])
+      [ [ Str "has,comma" ]; [ Str "has\"quote" ] ]
+  in
+  check "tricky roundtrip" true
+    (Relation.equal_as_sets tricky (Csv.parse_string (Csv.to_string tricky)))
+
+let test_csv_inference () =
+  let r = Csv.parse_string "x,y,z\n1,2.5,abc\n2,3,def\n,NULL,\n" in
+  let sch = Relation.schema r in
+  Alcotest.(check string) "x is int" "int"
+    (Value.ty_to_string (Option.get (Schema.type_of sch "x")));
+  Alcotest.(check string) "y unifies to float" "float"
+    (Value.ty_to_string (Option.get (Schema.type_of sch "y")));
+  Alcotest.(check string) "z is string" "string"
+    (Value.ty_to_string (Option.get (Schema.type_of sch "z")));
+  match Relation.rows r with
+  | [ _; _; nulls ] ->
+    check "empty -> null" true (Value.is_null (Tuple.get nulls 0));
+    check "NULL -> null" true (Value.is_null (Tuple.get nulls 1))
+  | _ -> Alcotest.fail "expected 3 rows"
+
+let test_table_fmt () =
+  let rendered = Table_fmt.render cars in
+  check "has borders" true (String.length rendered > 0 && rendered.[0] = '+');
+  let truncated = Table_fmt.render ~max_rows:2 cars in
+  check "mentions more rows" true
+    (let needle = "2 more rows" in
+     let nl = String.length needle and hl = String.length truncated in
+     let rec go i = i + nl <= hl && (String.sub truncated i nl = needle || go (i + 1)) in
+     go 0)
+
+let suite =
+  [
+    Gen.quick "schema" test_schema;
+    Gen.quick "row validation" test_row_validation;
+    Gen.quick "projection" test_project;
+    Gen.quick "set operations" test_set_ops;
+    Gen.quick "group by" test_group_by;
+    Gen.quick "distinct and mem" test_distinct_and_mem;
+    Gen.quick "sort, column, fold" test_sort_column_fold;
+    Gen.quick "csv roundtrip" test_csv_roundtrip;
+    Gen.quick "csv quoting" test_csv_quoting;
+    Gen.quick "csv type inference" test_csv_inference;
+    Gen.quick "table formatting" test_table_fmt;
+  ]

@@ -1,0 +1,112 @@
+open Preferences
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let julia_p4 = Pref.lowest "price"
+let julia_p5 = Pref.neg "color" [ Str "gray" ]
+let michael_p7 = Pref.highest "commission"
+
+let sample () =
+  let repo = Repository.create () in
+  Repository.add repo ~owner:"julia" ~description:"low price" ~name:"cheap" julia_p4;
+  Repository.add repo ~owner:"julia" ~name:"not-gray" julia_p5;
+  Repository.add repo ~owner:"michael" ~name:"commission" michael_p7;
+  repo
+
+let test_basic_ops () =
+  let repo = sample () in
+  check_int "size" 3 (Repository.size repo);
+  check "mem" true (Repository.mem repo "cheap");
+  check "find" true
+    (match Repository.find repo "not-gray" with
+    | Some e -> Pref.equal e.Repository.term julia_p5
+    | None -> false);
+  check "by_owner" true
+    (List.length (Repository.by_owner repo "julia") = 2
+    && List.length (Repository.by_owner repo "michael") = 1);
+  check "duplicate rejected" true
+    (try
+       Repository.add repo ~name:"cheap" julia_p4;
+       false
+     with Repository.Error _ -> true);
+  Repository.replace repo ~owner:"julia" ~name:"cheap" (Pref.lowest "mileage");
+  check "replace" true
+    (Pref.equal (Repository.term repo "cheap") (Pref.lowest "mileage"));
+  check_int "replace keeps size" 3 (Repository.size repo);
+  check "remove" true (Repository.remove repo "cheap");
+  check "remove missing" false (Repository.remove repo "cheap");
+  check_int "after removal" 2 (Repository.size repo);
+  check "find_exn raises" true
+    (try
+       ignore (Repository.find_exn repo "cheap");
+       false
+     with Repository.Error _ -> true)
+
+let test_composition () =
+  let repo = sample () in
+  let p = Repository.pareto_of repo [ "cheap"; "not-gray" ] in
+  check "pareto_of" true (Pref.equal p (Pref.pareto julia_p4 julia_p5));
+  let q = Repository.prior_of repo [ "not-gray"; "cheap"; "commission" ] in
+  check "prior_of" true
+    (Pref.equal q (Pref.prior (Pref.prior julia_p5 julia_p4) michael_p7))
+
+let test_persistence_roundtrip () =
+  let repo = sample () in
+  let text = Repository.to_string repo in
+  let loaded = Repository.of_string text in
+  check_int "same size" 3 (Repository.size loaded);
+  List.iter
+    (fun e ->
+      let e' = Repository.find_exn loaded e.Repository.name in
+      check ("entry " ^ e.Repository.name) true
+        (Pref.equal e.Repository.term e'.Repository.term
+        && e.Repository.owner = e'.Repository.owner
+        && e.Repository.description = e'.Repository.description))
+    (Repository.entries repo)
+
+let test_tricky_fields () =
+  let repo = Repository.create () in
+  Repository.add repo ~owner:"o\twner" ~description:"two\nlines \\ slash"
+    ~name:"weird" julia_p4;
+  let loaded = Repository.of_string (Repository.to_string repo) in
+  let e = Repository.find_exn loaded "weird" in
+  check "escaped owner" true (e.Repository.owner = "o\twner");
+  check "escaped description" true
+    (e.Repository.description = "two\nlines \\ slash")
+
+let test_file_io () =
+  let path = Filename.temp_file "prefs" ".repo" in
+  let repo = sample () in
+  Repository.save path repo;
+  let loaded = Repository.load path in
+  Sys.remove path;
+  check_int "file roundtrip" 3 (Repository.size loaded)
+
+let test_malformed () =
+  check "bad record" true
+    (try
+       ignore (Repository.of_string "only-two\tfields\n");
+       false
+     with Repository.Error _ -> true);
+  check "duplicate names" true
+    (try
+       ignore
+         (Repository.of_string
+            "a\t\t\tLOWEST(price)\na\t\t\tHIGHEST(price)\n");
+       false
+     with Repository.Error _ -> true);
+  check "comments and blanks skipped" true
+    (Repository.size
+       (Repository.of_string "# comment\n\na\t\t\tLOWEST(price)\n")
+    = 1)
+
+let suite =
+  [
+    Gen.quick "basic operations" test_basic_ops;
+    Gen.quick "composition by name" test_composition;
+    Gen.quick "persistence roundtrip" test_persistence_roundtrip;
+    Gen.quick "field escaping" test_tricky_fields;
+    Gen.quick "file io" test_file_io;
+    Gen.quick "malformed input" test_malformed;
+  ]

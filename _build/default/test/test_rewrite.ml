@@ -1,0 +1,88 @@
+open Preferences
+
+let count = 300
+let check = Alcotest.(check bool)
+
+let prop_preserves_equivalence =
+  QCheck.Test.make ~count ~name:"simplify preserves the order" Gen.arb_pref_rows
+    (fun (p, rows) -> Equiv.agree Gen.schema rows p (Rewrite.simplify p))
+
+let prop_never_grows =
+  QCheck.Test.make ~count ~name:"simplify never grows the term" Gen.arb_pref_rows
+    (fun (p, _) -> Rewrite.size (Rewrite.simplify p) <= Rewrite.size p)
+
+let prop_idempotent =
+  QCheck.Test.make ~count ~name:"simplify is idempotent" Gen.arb_pref_rows
+    (fun (p, _) ->
+      let q = Rewrite.simplify p in
+      Pref.equal q (Rewrite.simplify q))
+
+let p = Pref.around "a" 2.
+
+let cases =
+  [
+    ("dual involution", Pref.dual (Pref.dual p), p);
+    ("dual lowest", Pref.dual (Pref.lowest "a"), Pref.highest "a");
+    ( "dual pos is neg",
+      Pref.dual (Pref.pos "c" [ Pref_relation.Value.Str "x" ]),
+      Pref.neg "c" [ Pref_relation.Value.Str "x" ] );
+    ("inter idempotent", Pref.inter p p, p);
+    ( "inter with dual collapses",
+      Pref.inter p (Pref.dual p),
+      Pref.antichain [ "a" ] );
+    ("prior idempotent", Pref.prior p p, p);
+    ("prior dual", Pref.prior p (Pref.dual p), p);
+    ("prior antichain right", Pref.prior p (Pref.antichain [ "a" ]), p);
+    ( "prior antichain left",
+      Pref.prior (Pref.antichain [ "a" ]) p,
+      Pref.antichain [ "a" ] );
+    ("discrimination collapse", Pref.prior p (Pref.highest "a"), p);
+    ("pareto idempotent", Pref.pareto p p, p);
+    ( "pareto dual is antichain",
+      Pref.pareto p (Pref.dual p),
+      Pref.antichain [ "a" ] );
+    ( "pareto to inter on shared attrs",
+      Pref.pareto p (Pref.highest "a"),
+      Pref.inter p (Pref.highest "a") );
+    ( "pareto with antichain via m + k",
+      Pref.pareto p (Pref.antichain [ "a" ]),
+      Pref.antichain [ "a" ] );
+    ("dunion antichain", Pref.dunion p (Pref.antichain [ "a" ]), p);
+    ( "nested simplification",
+      Pref.prior (Pref.pareto (Pref.dual (Pref.dual p)) p) (Pref.lowest "a"),
+      p );
+  ]
+
+let test_cases () =
+  List.iter
+    (fun (name, input, expected) ->
+      let got = Rewrite.simplify input in
+      if not (Pref.equal got expected) then
+        Alcotest.failf "%s: expected %a, got %a" name Show.pp expected Show.pp
+          got)
+    cases
+
+let test_no_rewrite_across_attrs () =
+  (* Prior over genuinely different attributes must survive *)
+  let q = Pref.prior p (Pref.lowest "b") in
+  check "kept" true (Pref.equal (Rewrite.simplify q) q);
+  (* Pareto over disjoint attributes must survive too *)
+  let r = Pref.pareto p (Pref.lowest "b") in
+  check "pareto kept" true (Pref.equal (Rewrite.simplify r) r)
+
+let test_step_none () =
+  check "no rule at root" true (Rewrite.step p = None)
+
+let test_size () =
+  Alcotest.(check int) "leaf" 1 (Rewrite.size p);
+  Alcotest.(check int) "pareto of leaves" 3 (Rewrite.size (Pref.pareto p p));
+  Alcotest.(check int) "dual adds one" 2 (Rewrite.size (Pref.dual p))
+
+let suite =
+  Gen.qsuite [ prop_preserves_equivalence; prop_never_grows; prop_idempotent ]
+  @ [
+      Gen.quick "rewrite catalogue" test_cases;
+      Gen.quick "no over-rewriting" test_no_rewrite_across_attrs;
+      Gen.quick "step returns None at fixpoints" test_step_none;
+      Gen.quick "term size" test_size;
+    ]

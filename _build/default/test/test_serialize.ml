@@ -1,0 +1,96 @@
+open Pref_relation
+open Preferences
+
+let check = Alcotest.(check bool)
+
+(* a registry resolving every function name the generators use *)
+let registry =
+  {
+    Serialize.scores = Gen.named_scores;
+    combiners =
+      List.map (fun c -> (c.Pref.cname, c.Pref.combine)) Gen.combine_fns;
+  }
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"parse (print p) is structurally p"
+    Gen.arb_pref
+    (fun p ->
+      let printed = Serialize.to_string p in
+      let reparsed = Serialize.of_string ~registry printed in
+      Pref.equal p reparsed)
+
+let prop_roundtrip_semantics =
+  QCheck.Test.make ~count:200 ~name:"roundtrip preserves the order"
+    Gen.arb_pref_rows
+    (fun (p, rows) ->
+      let reparsed = Serialize.of_string ~registry (Serialize.to_string p) in
+      Equiv.agree Gen.schema rows p reparsed)
+
+let test_values () =
+  let cases =
+    [
+      Pref.pos "c" [ Str "with \"quotes\""; Str "tab\there"; Str "nl\nthere" ];
+      Pref.pos "a" [ Int (-3); Float 2.5; Value.Null; Bool true; Bool false ];
+      Pref.pos "a" [ Value.date ~year:2001 ~month:11 ~day:23 ];
+      Pref.around "d" 0.1 (* not exactly representable in decimal *);
+      Pref.between "d" ~low:(-1.5) ~up:3.25;
+    ]
+  in
+  List.iter
+    (fun p ->
+      let s = Serialize.to_string p in
+      check ("roundtrip: " ^ s) true
+        (Pref.equal p (Serialize.of_string ~registry s)))
+    cases
+
+let test_lsum_roundtrip () =
+  let p =
+    Pref.lsum ~attr:"s"
+      (Pref.pos "x" [ Int 0 ], [ Int 0; Int 1 ])
+      (Pref.neg "y" [ Int 9 ], [ Int 8; Int 9 ])
+  in
+  check "lsum roundtrip" true
+    (Pref.equal p (Serialize.of_string ~registry (Serialize.to_string p)))
+
+let test_weighted_sum_autoparse () =
+  (* weighted sums need no registration *)
+  let p =
+    Pref.rank (Pref.weighted_sum 1.5 (-2.)) (Pref.lowest "a") (Pref.highest "b")
+  in
+  let q = Serialize.of_string (Serialize.to_string p) in
+  check "weighted sum roundtrips without registry" true (Pref.equal p q);
+  (* and it evaluates identically *)
+  let rows =
+    List.map
+      (fun (a, b) -> Tuple.make [ Int a; Int b; Str "x"; Float 0. ])
+      [ (0, 1); (2, 3); (4, 0) ]
+  in
+  check "same order" true (Equiv.agree Gen.schema rows p q)
+
+let test_errors () =
+  let fails s =
+    try
+      ignore (Serialize.of_string ~registry s);
+      false
+    with Serialize.Error (_, _) -> true
+  in
+  check "garbage" true (fails "NOPE(x)");
+  check "trailing" true (fails "LOWEST(a) LOWEST(b)");
+  check "unterminated" true (fails "POS(a; {1, 2}");
+  check "unknown score" true (fails "SCORE(a; \"nosuch\")");
+  check "unknown combiner" true (fails "RANK(\"nosuch\"; LOWEST(a); LOWEST(b))");
+  (* invariant violations surface as Invalid_argument *)
+  check "cyclic explicit rejected" true
+    (try
+       ignore (Serialize.of_string ~registry "EXPLICIT(a; {(1 < 2), (2 < 1)})");
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  Gen.qsuite [ prop_roundtrip; prop_roundtrip_semantics ]
+  @ [
+      Gen.quick "tricky values roundtrip" test_values;
+      Gen.quick "lsum roundtrip" test_lsum_roundtrip;
+      Gen.quick "weighted sums auto-parse" test_weighted_sum_autoparse;
+      Gen.quick "errors" test_errors;
+    ]

@@ -1,0 +1,141 @@
+open Pref_relation
+open Pref_shell
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cars_schema =
+  Schema.make
+    [ ("oid", Value.TInt); ("color", Value.TStr); ("price", Value.TInt) ]
+
+let cars =
+  Relation.of_lists cars_schema
+    [
+      [ Int 1; Str "red"; Int 9000 ];
+      [ Int 2; Str "blue"; Int 12000 ];
+      [ Int 3; Str "gray"; Int 7000 ];
+    ]
+
+let make_shell () =
+  let shell = Shell.create () in
+  Shell.add_table shell "cars" cars;
+  shell
+
+let ok shell line =
+  match Shell.execute shell line with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "unexpected error on %S: %s" line msg
+
+let err shell line =
+  match Shell.execute shell line with
+  | Ok _ -> Alcotest.failf "expected an error on %S" line
+  | Error msg -> msg
+
+let test_queries () =
+  let shell = make_shell () in
+  let r = ok shell "SELECT * FROM cars PREFERRING LOWEST(price)" in
+  (match r.Shell.table with
+  | Some rel -> check_int "one winner" 1 (Relation.cardinality rel)
+  | None -> Alcotest.fail "expected a table");
+  check "no quit" true (not r.Shell.quit)
+
+let test_dot_commands () =
+  let shell = make_shell () in
+  let r = ok shell ".tables" in
+  check_int "one table listed" 1 (List.length r.Shell.text);
+  let r = ok shell ".schema cars" in
+  check "schema shown" true (r.Shell.text <> []);
+  ignore (ok shell ".algorithm decompose");
+  ignore (ok shell ".explain on");
+  let r = ok shell "SELECT * FROM cars PREFERRING LOWEST(price)" in
+  check "explain line present" true
+    (List.exists
+       (fun l -> String.length l > 2 && String.sub l 0 2 = "--")
+       r.Shell.text);
+  let r = ok shell ".quit" in
+  check "quit" true r.Shell.quit;
+  check "unknown command" true (String.length (err shell ".wibble") > 0);
+  check "bad algorithm" true (String.length (err shell ".algorithm fast") > 0);
+  check "help shows commands" true (List.length (ok shell ".help").Shell.text > 3)
+
+let test_stored_preferences () =
+  let shell = make_shell () in
+  ignore (ok shell ".pref add cheap LOWEST(price)");
+  ignore (ok shell ".pref add nice color = 'red' ELSE color <> 'gray'");
+  let r = ok shell ".pref list" in
+  check_int "two stored" 2 (List.length r.Shell.text);
+  (* $name expansion inside a query *)
+  let r = ok shell "SELECT * FROM cars PREFERRING $nice PRIOR TO $cheap" in
+  (match r.Shell.table with
+  | Some rel -> (
+    match Relation.rows rel with
+    | [ row ] ->
+      Alcotest.check Gen.value_testable "red winner" (Value.Str "red")
+        (Tuple.get row 1)
+    | rows -> Alcotest.failf "expected one row, got %d" (List.length rows))
+  | None -> Alcotest.fail "expected a table");
+  check "unknown reference" true
+    (String.length (err shell "SELECT * FROM cars PREFERRING $nope") > 0);
+  ignore (ok shell ".pref del cheap");
+  check_int "one left" 1 (List.length (ok shell ".pref list").Shell.text)
+
+let test_pref_persistence () =
+  let shell = make_shell () in
+  ignore (ok shell ".pref add cheap LOWEST(price)");
+  let path = Filename.temp_file "shellprefs" ".repo" in
+  ignore (ok shell (".pref save " ^ path));
+  let shell2 = make_shell () in
+  ignore (ok shell2 (".pref load " ^ path));
+  Sys.remove path;
+  check_int "loaded" 1 (List.length (ok shell2 ".pref list").Shell.text);
+  (* loaded preference is usable *)
+  let r = ok shell2 "SELECT * FROM cars PREFERRING $cheap" in
+  check "usable" true (r.Shell.table <> None)
+
+let test_mine_command () =
+  let log = Filename.temp_file "qlog" ".txt" in
+  let oc = open_out log in
+  output_string oc
+    "SELECT * FROM cars WHERE color = 'red'\n\
+     SELECT * FROM cars WHERE color = 'red' AND price BETWEEN 8000 AND 10000\n\
+     SELECT * FROM cars PREFERRING LOWEST(price)\n";
+  close_out oc;
+  let shell = make_shell () in
+  let r = ok shell (".mine " ^ log) in
+  Sys.remove log;
+  check "mined summary" true (List.length r.Shell.text >= 2);
+  (* the mined preference is stored and usable as $mined *)
+  let r2 = ok shell "SELECT * FROM cars PREFERRING $mined" in
+  check "mined preference runs" true (r2.Shell.table <> None)
+
+let test_sql92_command () =
+  let shell = make_shell () in
+  let r =
+    ok shell ".sql92 SELECT * FROM cars PREFERRING LOWEST(price)"
+  in
+  check "emits NOT EXISTS" true
+    (match r.Shell.text with
+    | [ sql ] ->
+      let needle = "NOT EXISTS" in
+      let nl = String.length needle and hl = String.length sql in
+      let rec go i = i + nl <= hl && (String.sub sql i nl = needle || go (i + 1)) in
+      go 0
+    | _ -> false);
+  check "refusal is an error" true
+    (String.length (err shell ".sql92 SELECT * FROM cars PREFERRING LOWEST(price) TOP 2") > 0)
+
+let test_csv_load_errors () =
+  let shell = make_shell () in
+  check "missing file" true (String.length (err shell ".load t /no/such/file.csv") > 0);
+  check "missing table" true (String.length (err shell ".schema nope") > 0)
+
+let suite =
+  [
+    Gen.quick "sql through the shell" test_queries;
+    Gen.quick "dot commands" test_dot_commands;
+    Gen.quick "stored preferences and $refs" test_stored_preferences;
+    Gen.quick "preference persistence" test_pref_persistence;
+    Gen.quick "mining command" test_mine_command;
+    Gen.quick "sql92 rewriting command" test_sql92_command;
+    Gen.quick "error handling" test_csv_load_errors;
+  ]

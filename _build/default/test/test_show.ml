@@ -1,0 +1,81 @@
+(* Snapshot tests for the term printer — one per constructor — plus the
+   graph renderers. *)
+
+open Pref_relation
+open Preferences
+
+let v s = Value.Str s
+let i n = Value.Int n
+
+let cases =
+  [
+    (Pref.pos "c" [ v "x"; v "y" ], "POS(c; {'x', 'y'})");
+    (Pref.neg "c" [ v "x" ], "NEG(c; {'x'})");
+    ( Pref.pos_neg "c" ~pos:[ v "a" ] ~neg:[ v "b" ],
+      "POS/NEG(c; {'a'}; {'b'})" );
+    ( Pref.pos_pos "c" ~pos1:[ v "a" ] ~pos2:[ v "b" ],
+      "POS/POS(c; {'a'}; {'b'})" );
+    (Pref.explicit "c" [ (i 1, i 2) ], "EXPLICIT(c; {(1 < 2)})");
+    (Pref.around "a" 3.5, "AROUND(a, 3.5)");
+    (Pref.between "a" ~low:1. ~up:2., "BETWEEN(a, [1, 2])");
+    (Pref.lowest "a", "LOWEST(a)");
+    (Pref.highest "a", "HIGHEST(a)");
+    (Pref.score "a" ~name:"f" (fun _ -> 0.), "SCORE(a, f)");
+    (Pref.antichain [ "b"; "a" ], "{a, b}<->");
+    (Pref.dual (Pref.around "a" 1.), "(AROUND(a, 1))^d");
+    ( Pref.pareto (Pref.lowest "a") (Pref.highest "b"),
+      "LOWEST(a) (x) HIGHEST(b)" );
+    ( Pref.prior (Pref.lowest "a") (Pref.highest "b"),
+      "LOWEST(a) & HIGHEST(b)" );
+    ( Pref.rank (Pref.weighted_sum 1. 2.) (Pref.lowest "a") (Pref.highest "b"),
+      "rank[1*x + 2*y](LOWEST(a), HIGHEST(b))" );
+    ( Pref.inter (Pref.lowest "a") (Pref.highest "a"),
+      "LOWEST(a) <> HIGHEST(a)" );
+    ( Pref.dunion (Pref.lowest "a") (Pref.highest "a"),
+      "LOWEST(a) + HIGHEST(a)" );
+    ( Pref.lsum ~attr:"s" (Pref.pos "x" [ i 0 ], [ i 0 ]) (Pref.neg "y" [ i 9 ], [ i 9 ]),
+      "(POS(x; {0}) (+) NEG(y; {9}) : s)" );
+    ( Pref.two_graphs ~attr:"c" ~pos_singles:[ v "a" ] ~neg_singles:[ v "z" ] (),
+      "TWOGRAPHS(c; {}; {'a'}; {}; {'z'})" );
+    (* associative chains print flat; mixed operators get parentheses *)
+    ( Pref.pareto_all [ Pref.lowest "a"; Pref.lowest "b"; Pref.lowest "d" ],
+      "LOWEST(a) (x) LOWEST(b) (x) LOWEST(d)" );
+    ( Pref.prior (Pref.pareto (Pref.lowest "a") (Pref.lowest "b")) (Pref.highest "d"),
+      "(LOWEST(a) (x) LOWEST(b)) & HIGHEST(d)" );
+  ]
+
+let test_snapshots () =
+  List.iter
+    (fun (p, expected) ->
+      Alcotest.(check string) expected expected (Show.to_string p))
+    cases
+
+let test_graph_rendering () =
+  let schema = Schema.make [ ("x", Value.TInt) ] in
+  let rel = Relation.of_lists schema [ [ Int 1 ]; [ Int 3 ]; [ Int 2 ] ] in
+  let g = Show.better_than_graph schema (Pref.highest "x") rel in
+  let rendered = Fmt.str "%a" (Show.pp_graph schema [ "x" ]) g in
+  let contains needle =
+    let nl = String.length needle and hl = String.length rendered in
+    let rec go i = i + nl <= hl && (String.sub rendered i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "level 1 line" true (contains "Level 1: (3)");
+  Alcotest.(check bool) "level 3 line" true (contains "Level 3: (1)");
+  (* DOT export mentions all nodes *)
+  let dot = Pref_order.Graph.to_dot Tuple.pp g in
+  Alcotest.(check bool) "dot has three nodes" true
+    (List.length (String.split_on_char 'n' dot) > 3)
+
+let test_value_pp_ty () =
+  Alcotest.(check string) "types" "int,float,string,bool,date"
+    (String.concat ","
+       (List.map Value.ty_to_string
+          [ Value.TInt; Value.TFloat; Value.TStr; Value.TBool; Value.TDate ]))
+
+let suite =
+  [
+    Gen.quick "term printer snapshots" test_snapshots;
+    Gen.quick "graph rendering" test_graph_rendering;
+    Gen.quick "type printing" test_value_pp_ty;
+  ]

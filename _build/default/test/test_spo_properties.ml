@@ -1,0 +1,101 @@
+(* Proposition 1: each preference term defines a preference, i.e. a strict
+   partial order.  Verified by random search over random terms and random
+   finite carriers. *)
+
+open Preferences
+
+let count = 500
+
+let prop_spo =
+  QCheck.Test.make ~count ~name:"random terms denote strict partial orders"
+    Gen.arb_pref_rows
+    (fun (p, rows) -> Laws.is_spo_on Gen.schema rows p)
+
+let prop_irreflexive =
+  QCheck.Test.make ~count ~name:"irreflexivity" Gen.arb_pref_rows
+    (fun (p, rows) ->
+      let lt = Pref.compile Gen.schema p in
+      List.for_all (fun t -> not (lt t t)) rows)
+
+let prop_asymmetric =
+  QCheck.Test.make ~count ~name:"asymmetry" Gen.arb_pref_rows
+    (fun (p, rows) ->
+      let lt = Pref.compile Gen.schema p in
+      List.for_all
+        (fun x -> List.for_all (fun y -> not (lt x y && lt y x)) rows)
+        rows)
+
+let prop_dual_spo =
+  QCheck.Test.make ~count ~name:"duals are strict partial orders"
+    Gen.arb_pref_rows
+    (fun (p, rows) -> Laws.is_spo_on Gen.schema rows (Pref.dual p))
+
+let prop_compile_agrees =
+  QCheck.Test.make ~count ~name:"compiled and interpreted semantics agree"
+    Gen.arb_pref_rows
+    (fun (p, rows) ->
+      let fast = Pref.compile Gen.schema p in
+      List.for_all
+        (fun x ->
+          List.for_all (fun y -> fast x y = Pref.lt Gen.schema p x y) rows)
+        rows)
+
+let prop_cmp_partition =
+  QCheck.Test.make ~count ~name:"cmp partitions pairs consistently"
+    Gen.arb_pref_rows
+    (fun (p, rows) ->
+      List.for_all
+        (fun x ->
+          List.for_all
+            (fun y ->
+              let open Pref_order.Cmp in
+              match Pref.cmp Gen.schema p x y with
+              | Better -> Pref.lt Gen.schema p y x && not (Pref.lt Gen.schema p x y)
+              | Worse -> Pref.lt Gen.schema p x y && not (Pref.lt Gen.schema p y x)
+              | Equal ->
+                (not (Pref.lt Gen.schema p x y)) && not (Pref.lt Gen.schema p y x)
+              | Unranked ->
+                (not (Pref.lt Gen.schema p x y)) && not (Pref.lt Gen.schema p y x))
+            rows)
+        rows)
+
+let prop_cmp_flip =
+  QCheck.Test.make ~count ~name:"cmp is antisymmetric under argument swap"
+    Gen.arb_pref_rows
+    (fun (p, rows) ->
+      List.for_all
+        (fun x ->
+          List.for_all
+            (fun y ->
+              Pref_order.Cmp.equal
+                (Pref.cmp Gen.schema p x y)
+                (Pref_order.Cmp.flip (Pref.cmp Gen.schema p y x)))
+            rows)
+        rows)
+
+let prop_chain_lowest =
+  QCheck.Test.make ~count:100 ~name:"LOWEST and HIGHEST are chains (def 7c)"
+    Gen.arb_rows
+    (fun rows ->
+      Laws.is_chain_on Gen.schema rows (Pref.lowest "a")
+      && Laws.is_chain_on Gen.schema rows (Pref.highest "d"))
+
+let prop_antichain =
+  QCheck.Test.make ~count:100 ~name:"anti-chain ranks nothing (def 3b)"
+    Gen.arb_rows
+    (fun rows ->
+      Laws.is_antichain_on Gen.schema rows (Pref.antichain [ "a"; "c" ]))
+
+let suite =
+  Gen.qsuite
+    [
+      prop_spo;
+      prop_irreflexive;
+      prop_asymmetric;
+      prop_dual_spo;
+      prop_compile_agrees;
+      prop_cmp_partition;
+      prop_cmp_flip;
+      prop_chain_lowest;
+      prop_antichain;
+    ]

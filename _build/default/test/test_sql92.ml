@@ -1,0 +1,164 @@
+open Pref_relation
+open Preferences
+open Pref_sql
+
+let check = Alcotest.(check bool)
+
+(* tuples without NULLs: SQL three-valued logic and the core's null-is-worst
+   convention legitimately differ on NULLs (see the module doc) *)
+let lookup x y alias a =
+  if alias = "t" then Tuple.get_by_name Gen.schema x a
+  else Tuple.get_by_name Gen.schema y a
+
+(* generator of SQL92-expressible terms: everything except Score/Rank *)
+let rec expressible n =
+  let module G = QCheck.Gen in
+  if n <= 0 then
+    G.oneof
+      [
+        G.(Gen.any_attr >>= Gen.two_graphs_pref_on);
+        G.(
+          Gen.any_attr >>= fun a ->
+          oneof
+            [
+              map (fun s -> Pref.pos a s) (Gen.subset_of (Gen.values_of_attr a));
+              map (fun s -> Pref.neg a s) (Gen.subset_of (Gen.values_of_attr a));
+              map
+                (fun (p, q) -> Pref.pos_neg a ~pos:p ~neg:q)
+                (Gen.two_disjoint_subsets a);
+              Gen.explicit_pref_on a;
+            ]);
+        G.map (fun z -> Pref.around "a" (float_of_int z)) (G.int_range 0 4);
+        G.map2
+          (fun l u ->
+            Pref.between "d"
+              ~low:(float_of_int (min l u))
+              ~up:(float_of_int (max l u)))
+          (G.int_range 0 3) (G.int_range 0 3);
+        G.return (Pref.lowest "b");
+        G.return (Pref.highest "d");
+      ]
+  else
+    G.frequency
+      [
+        (3, expressible 0);
+        (2, G.map2 Pref.pareto (expressible (n / 2)) (expressible (n / 2)));
+        (2, G.map2 Pref.prior (expressible (n / 2)) (expressible (n / 2)));
+        (1, G.map Pref.dual (expressible (n - 1)));
+      ]
+
+let prop_formula_matches_core =
+  QCheck.Test.make ~count:500
+    ~name:"SQL92 better-than formula = core lt on random pairs"
+    (QCheck.make
+       QCheck.Gen.(triple (expressible 4) Gen.tuple Gen.tuple)
+       ~print:(fun (p, x, y) ->
+         Fmt.str "%a on %a vs %a" Show.pp p Tuple.pp x Tuple.pp y))
+    (fun (p, x, y) ->
+      let formula = Sql92.lt_formula ~t:"t" ~u:"u" p in
+      Sql92.eval_bexpr (lookup x y) formula = Pref.lt Gen.schema p x y)
+
+let prop_better_than_orientation =
+  QCheck.Test.make ~count:200 ~name:"better_than is the dominance direction"
+    (QCheck.make QCheck.Gen.(triple (expressible 2) Gen.tuple Gen.tuple))
+    (fun (p, x, y) ->
+      match Sql92.better_than ~t:"t" ~u:"u" p with
+      | None -> false
+      | Some f ->
+        Sql92.eval_bexpr (lookup x y) f = Pref.better Gen.schema p x y)
+
+let test_not_expressible () =
+  check "score refused" true
+    (Sql92.better_than ~t:"t" ~u:"u"
+       (Pref.score "a" ~name:"f" (fun _ -> 0.))
+    = None);
+  check "rank refused" true
+    (Sql92.better_than ~t:"t" ~u:"u"
+       (Pref.rank (Pref.weighted_sum 1. 1.) (Pref.lowest "a") (Pref.lowest "b"))
+    = None)
+
+let contains needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_rendering () =
+  let f =
+    Sql92.lt_formula ~t:"t" ~u:"u"
+      (Pref.pareto
+         (Pref.pos "color" [ Value.Str "o'brien red" ])
+         (Pref.around "price" 40000.))
+  in
+  let sql = Sql92.render_bexpr f in
+  check "IN list" true (contains "IN (" sql);
+  check "ABS for the distance" true (contains "ABS((" sql);
+  check "quotes escaped" true (contains "'o''brien red'" sql);
+  let between =
+    Sql92.render_bexpr
+      (Sql92.lt_formula ~t:"t" ~u:"u" (Pref.between "price" ~low:1. ~up:2.))
+  in
+  check "CASE WHEN for interval distance" true (contains "CASE WHEN" between)
+
+let test_full_query_rewriting () =
+  let q =
+    Parser.parse_query
+      "SELECT oid, price FROM car WHERE make = 'Opel' PREFERRING price \
+       AROUND 40000 AND HIGHEST(power) CASCADE color = 'red'"
+  in
+  match Sql92.rewrite_query q with
+  | None -> Alcotest.fail "expected a rewriting"
+  | Some sql ->
+    check "anti-join" true (contains "NOT EXISTS" sql);
+    check "aliased table" true (contains "FROM car t" sql && contains "FROM car u" sql);
+    check "hard condition on both sides" true
+      (contains "t.make = 'Opel'" sql && contains "u.make = 'Opel'" sql);
+    check "projection aliased" true (contains "SELECT t.oid, t.price" sql)
+
+let test_rewriting_refusals () =
+  let refused src =
+    Sql92.rewrite_query (Parser.parse_query src) = None
+  in
+  check "no preference" true (refused "SELECT * FROM car WHERE a = 1");
+  check "TOP refused" true
+    (refused "SELECT * FROM car PREFERRING LOWEST(price) TOP 3");
+  check "GROUPING refused" true
+    (refused "SELECT * FROM car PREFERRING LOWEST(price) GROUPING make");
+  check "joins refused" true
+    (refused "SELECT * FROM a, b PREFERRING LOWEST(price)");
+  check "score refused" true
+    (refused "SELECT * FROM car PREFERRING SCORE(price, identity)")
+
+let prop_rewritten_query_semantics =
+  (* execute the NOT EXISTS by hand with the formula evaluator and compare
+     against the engine *)
+  QCheck.Test.make ~count:200 ~name:"anti-join formula computes sigma[P](R)"
+    (QCheck.make QCheck.Gen.(pair (expressible 3) Gen.rows))
+    (fun (p, rows) ->
+      let formula = Sql92.lt_formula ~t:"t" ~u:"u" p in
+      let anti_join =
+        List.filter
+          (fun t ->
+            not
+              (List.exists
+                 (fun u -> Sql92.eval_bexpr (lookup t u) formula)
+                 rows))
+          rows
+      in
+      let direct = Pref_bmo.Query.sigma Gen.schema p (Gen.rel rows) in
+      Pref_relation.Relation.equal_as_sets
+        (Gen.rel anti_join)
+        direct)
+
+let suite =
+  Gen.qsuite
+    [
+      prop_formula_matches_core;
+      prop_better_than_orientation;
+      prop_rewritten_query_semantics;
+    ]
+  @ [
+      Gen.quick "inexpressible forms" test_not_expressible;
+      Gen.quick "SQL92 rendering" test_rendering;
+      Gen.quick "full query rewriting" test_full_query_rewriting;
+      Gen.quick "rewriting refusals" test_rewriting_refusals;
+    ]

@@ -1,0 +1,118 @@
+(* Propositions 4, 5 and 6 — the discrimination and non-discrimination
+   theorems — plus Example 7. *)
+
+open Pref_relation
+open Preferences
+
+let check = Alcotest.(check bool)
+let count = 300
+
+let prop_discrimination_shared =
+  QCheck.Test.make ~count ~name:"4a: P1 & P2 == P1 on shared attributes"
+    (QCheck.make
+       QCheck.Gen.(
+         Gen.any_attr >>= fun a ->
+         triple (Gen.base_pref_on a) (Gen.base_pref_on a) Gen.rows))
+    (fun (p1, p2, rows) -> Laws.discrimination_shared Gen.schema rows p1 p2)
+
+let prop_discrimination_disjoint =
+  QCheck.Test.make ~count
+    ~name:"4b: P1 & P2 == P1 + (A1<-> & P2) on disjoint attributes"
+    Gen.arb_disjoint_prefs_rows
+    (fun ((p1, p2), rows) ->
+      Laws.discrimination_disjoint Gen.schema rows p1 p2)
+
+let prop_non_discrimination =
+  QCheck.Test.make ~count
+    ~name:"5: P1 (x) P2 == (P1 & P2) <> (P2 & P1) (non-discrimination)"
+    Gen.arb_pref2_rows
+    (fun (p1, p2, rows) -> Laws.non_discrimination Gen.schema rows p1 p2)
+
+let prop_pareto_inter =
+  QCheck.Test.make ~count ~name:"6: P1 (x) P2 == P1 <> P2 on shared attributes"
+    (QCheck.make
+       QCheck.Gen.(
+         Gen.any_attr >>= fun a ->
+         triple (Gen.base_pref_on a) (Gen.base_pref_on a) Gen.rows))
+    (fun (p1, p2, rows) -> Laws.pareto_is_inter_on_shared Gen.schema rows p1 p2)
+
+(* --- Example 7 ------------------------------------------------------ *)
+
+let schema = Schema.make [ ("price", Value.TInt); ("mileage", Value.TInt) ]
+let mk (p, m) = Tuple.make [ Value.Int p; Value.Int m ]
+
+let car_db =
+  [
+    (40000, 15000) (* val1 *);
+    (35000, 30000) (* val2 *);
+    (20000, 10000) (* val3 *);
+    (15000, 35000) (* val4 *);
+    (15000, 30000) (* val5 *);
+  ]
+
+let rel = Relation.make schema (List.map mk car_db)
+let val_no i = mk (List.nth car_db (i - 1))
+
+let p1 = Pref.lowest "price"
+let p2 = Pref.lowest "mileage"
+
+let test_example7_pareto_graph () =
+  let g = Show.better_than_graph schema (Pref.pareto p1 p2) rel in
+  let level t = Pref_order.Graph.level_of g t in
+  Alcotest.(check int) "val3 level 1" 1 (level (val_no 3));
+  Alcotest.(check int) "val5 level 1" 1 (level (val_no 5));
+  Alcotest.(check int) "val1 level 2" 2 (level (val_no 1));
+  Alcotest.(check int) "val2 level 2" 2 (level (val_no 2));
+  Alcotest.(check int) "val4 level 2" 2 (level (val_no 4))
+
+let chain_order better =
+  (* materialise a total order as a value list, best first *)
+  let rows = Relation.rows rel in
+  List.sort (fun a b -> if better a b then -1 else if better b a then 1 else 0) rows
+
+let test_example7_chains () =
+  (* P1 & P2 yields the chain val5 -> val4 -> val3 -> val2 -> val1 (worst to
+     best in the paper's arrow notation, i.e. val1 is maximal... the paper
+     lists "val5 → val4 → val3 → val2 → val1" with arrows pointing from
+     better to worse: val5 best.  Check both chains are total and have the
+     stated best elements. *)
+  let b12 = Pref.compile_better schema (Pref.prior p1 p2) in
+  let b21 = Pref.compile_better schema (Pref.prior p2 p1) in
+  check "P1&P2 chain" true (Laws.is_chain_on schema (Relation.rows rel) (Pref.prior p1 p2));
+  check "P2&P1 chain" true (Laws.is_chain_on schema (Relation.rows rel) (Pref.prior p2 p1));
+  (match chain_order b12 with
+  | best :: _ -> Alcotest.check Gen.tuple_testable "P1&P2 best is val5" (val_no 5) best
+  | [] -> Alcotest.fail "empty");
+  match chain_order b21 with
+  | best :: _ -> Alcotest.check Gen.tuple_testable "P2&P1 best is val3" (val_no 3) best
+  | [] -> Alcotest.fail "empty"
+
+let test_example7_identity () =
+  check "pareto equals intersection of the two prioritizations" true
+    (Equiv.agree schema (Relation.rows rel)
+       (Pref.pareto p1 p2)
+       (Pref.inter (Pref.prior p1 p2) (Pref.prior p2 p1)));
+  (* the shared better-than relationships are exactly the Pareto ones *)
+  let bp = Pref.compile_better schema (Pref.pareto p1 p2) in
+  let b12 = Pref.compile_better schema (Pref.prior p1 p2) in
+  let b21 = Pref.compile_better schema (Pref.prior p2 p1) in
+  let rows = Relation.rows rel in
+  check "edge sets coincide" true
+    (List.for_all
+       (fun x ->
+         List.for_all (fun y -> bp x y = (b12 x y && b21 x y)) rows)
+       rows)
+
+let suite =
+  Gen.qsuite
+    [
+      prop_discrimination_shared;
+      prop_discrimination_disjoint;
+      prop_non_discrimination;
+      prop_pareto_inter;
+    ]
+  @ [
+      Gen.quick "example 7: pareto graph" test_example7_pareto_graph;
+      Gen.quick "example 7: prioritized chains" test_example7_chains;
+      Gen.quick "example 7: non-discrimination identity" test_example7_identity;
+    ]

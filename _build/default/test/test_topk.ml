@@ -1,0 +1,102 @@
+open Pref_relation
+open Preferences
+open Pref_bmo
+
+let check = Alcotest.(check bool)
+
+let schema = Schema.make [ ("x", Value.TFloat); ("y", Value.TFloat) ]
+
+let rel_of_points pts =
+  Relation.make schema
+    (List.map (fun (a, b) -> Tuple.make [ Value.Float a; Value.Float b ]) pts)
+
+let rank_pref =
+  Pref.rank (Pref.weighted_sum 1. 1.) (Pref.highest "x") (Pref.highest "y")
+
+let score t =
+  Option.get (Value.as_float (Tuple.get t 0))
+  +. Option.get (Value.as_float (Tuple.get t 1))
+
+let test_kbest () =
+  let rel = rel_of_points [ (1., 1.); (3., 0.); (0., 5.); (2., 2.) ] in
+  let top2 = Topk.kbest schema rank_pref ~k:2 rel in
+  Alcotest.(check int) "two results" 2 (Relation.cardinality top2);
+  (match Relation.rows top2 with
+  | [ best; second ] ->
+    Alcotest.(check (float 1e-9)) "best score" 5. (score best);
+    Alcotest.(check (float 1e-9)) "second score" 4. (score second)
+  | _ -> Alcotest.fail "expected two rows");
+  (* k larger than the relation *)
+  Alcotest.(check int) "k > n returns all" 4
+    (Relation.cardinality (Topk.kbest schema rank_pref ~k:10 rel));
+  Alcotest.check_raises "non-scorable preference"
+    (Invalid_argument "Topk: preference is not scorable") (fun () ->
+      ignore (Topk.kbest schema (Pref.pos "x" []) ~k:1 rel))
+
+let arb_points_k =
+  QCheck.make
+    ~print:(fun (pts, k) ->
+      Fmt.str "k=%d %a" k
+        (Fmt.Dump.list (Fmt.Dump.pair Fmt.float Fmt.float))
+        pts)
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 80)
+           (pair (float_bound_inclusive 10.) (float_bound_inclusive 10.)))
+        (int_range 1 10))
+
+let prop_ta_matches_kbest =
+  QCheck.Test.make ~count:300 ~name:"TA returns the same top-k scores as a scan"
+    arb_points_k
+    (fun (pts, k) ->
+      let rel = rel_of_points pts in
+      let res = Topk.ta_rank schema rank_pref ~k rel in
+      let scan = Topk.kbest schema rank_pref ~k rel in
+      let ta_scores = List.map fst res.Topk.results in
+      let scan_scores = List.map score (Relation.rows scan) in
+      (* scores must coincide (ties may be broken differently) *)
+      List.length ta_scores = List.length scan_scores
+      && List.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) ta_scores scan_scores)
+
+let prop_ta_examines_subset =
+  QCheck.Test.make ~count:200 ~name:"TA never examines more objects than exist"
+    arb_points_k
+    (fun (pts, k) ->
+      let rel = rel_of_points pts in
+      let res = Topk.ta_rank schema rank_pref ~k rel in
+      res.Topk.examined <= List.length pts && res.Topk.depth <= List.length pts)
+
+let test_ta_early_termination () =
+  (* One overwhelming object: TA must stop long before scanning everything. *)
+  let pts = (100., 100.) :: List.init 500 (fun i -> (float_of_int (i mod 10), float_of_int (i / 100))) in
+  let rel = rel_of_points pts in
+  let res = Topk.ta_rank schema rank_pref ~k:1 rel in
+  (match res.Topk.results with
+  | [ (s, _) ] -> Alcotest.(check (float 1e-9)) "found the spike" 200. s
+  | _ -> Alcotest.fail "expected one result");
+  check "stopped early" true (res.Topk.depth < 50)
+
+let test_ta_monotone_combine () =
+  (* min is monotone, so TA remains sound for it *)
+  let rel = rel_of_points [ (5., 0.); (3., 3.); (0., 5.); (4., 2.) ] in
+  let res =
+    Topk.threshold_algorithm
+      ~scores:
+        [|
+          (fun t -> Option.get (Value.as_float (Tuple.get t 0)));
+          (fun t -> Option.get (Value.as_float (Tuple.get t 1)));
+        |]
+      ~combine:(fun arr -> Float.min arr.(0) arr.(1))
+      ~k:1 rel
+  in
+  match res.Topk.results with
+  | [ (s, _) ] -> Alcotest.(check (float 1e-9)) "max-min point" 3. s
+  | _ -> Alcotest.fail "expected one result"
+
+let suite =
+  [
+    Gen.quick "kbest full scan" test_kbest;
+    Gen.quick "TA early termination" test_ta_early_termination;
+    Gen.quick "TA with min combine" test_ta_monotone_combine;
+  ]
+  @ Gen.qsuite [ prop_ta_matches_kbest; prop_ta_examines_subset ]

@@ -1,0 +1,147 @@
+(* The §3.4 super-constructor: "a constructor with two explicit graphs, say
+   POS-graph and NEG-graph, assembled by linear sums in analogy to
+   POS/NEG". *)
+
+open Pref_relation
+open Preferences
+
+let check = Alcotest.(check bool)
+let v s = Value.Str s
+
+let lt = Pref.lt_value
+
+(* POS graph: white on top of yellow; plus isolated favourite 'red'.
+   NEG graph: black below brown; plus isolated dislike 'pink'. *)
+let p =
+  Pref.two_graphs ~attr:"color"
+    ~pos_edges:[ (v "yellow", v "white") ]
+    ~pos_singles:[ v "red" ]
+    ~neg_edges:[ (v "black", v "brown") ]
+    ~neg_singles:[ v "pink" ] ()
+
+let test_semantics () =
+  (* within the POS block: only the graph edges rank *)
+  check "yellow < white" true (lt p (v "yellow") (v "white"));
+  check "white not < yellow" false (lt p (v "white") (v "yellow"));
+  check "red unranked with white" false
+    (lt p (v "red") (v "white") || lt p (v "white") (v "red"));
+  (* others sit below every POS value *)
+  check "other < yellow" true (lt p (v "green") (v "yellow"));
+  check "other < red" true (lt p (v "green") (v "red"));
+  check "others unranked among themselves" false
+    (lt p (v "green") (v "blue") || lt p (v "blue") (v "green"));
+  (* NEG block sits below everything *)
+  check "pink < other" true (lt p (v "pink") (v "green"));
+  check "black < white" true (lt p (v "black") (v "white"));
+  check "black < brown (neg edge)" true (lt p (v "black") (v "brown"));
+  check "brown not < black" false (lt p (v "brown") (v "black"));
+  check "pink unranked with brown" false
+    (lt p (v "pink") (v "brown") || lt p (v "brown") (v "pink"));
+  (* nothing flows upward *)
+  check "white not < anything" false
+    (List.exists (fun w -> lt p (v "white") (v w)) [ "yellow"; "red"; "green"; "black" ])
+
+let carrier =
+  List.map v [ "white"; "yellow"; "red"; "green"; "blue"; "brown"; "black"; "pink" ]
+
+let test_spo () =
+  let spo =
+    Pref_order.Spo.make ~equal:Value.equal (fun x y -> Pref.better_value p x y)
+  in
+  check "strict partial order" true
+    (Pref_order.Spo.is_strict_partial_order spo carrier)
+
+let test_levels () =
+  let level c = Option.get (Quality.level p (v c)) in
+  Alcotest.(check int) "white" 1 (level "white");
+  Alcotest.(check int) "red (single)" 1 (level "red");
+  Alcotest.(check int) "yellow" 2 (level "yellow");
+  Alcotest.(check int) "other" 3 (level "green");
+  Alcotest.(check int) "brown" 4 (level "brown");
+  Alcotest.(check int) "pink (single)" 4 (level "pink");
+  Alcotest.(check int) "black" 5 (level "black")
+
+let test_specialises_pos_neg () =
+  (* POS/NEG = two graphs with only singles *)
+  let pos = [ v "x"; v "y" ] and neg = [ v "q" ] in
+  let tg = Pref.two_graphs ~attr:"c" ~pos_singles:pos ~neg_singles:neg () in
+  check "equivalent to POS/NEG" true
+    (Equiv.agree_values tg (Pref.pos_neg "c" ~pos ~neg)
+       (List.map v [ "x"; "y"; "q"; "other1"; "other2" ]))
+
+let test_specialises_explicit () =
+  (* EXPLICIT = two graphs with only a POS graph *)
+  let edges =
+    [ (v "green", v "yellow"); (v "green", v "red"); (v "yellow", v "white") ]
+  in
+  let tg = Pref.two_graphs ~attr:"c" ~pos_edges:edges () in
+  check "equivalent to EXPLICIT" true
+    (Equiv.agree_values tg (Pref.explicit "c" edges)
+       (List.map v [ "white"; "red"; "yellow"; "green"; "brown"; "black" ]))
+
+let test_validation () =
+  check "cyclic pos graph" true
+    (try
+       ignore
+         (Pref.two_graphs ~attr:"c"
+            ~pos_edges:[ (v "a", v "b"); (v "b", v "a") ]
+            ());
+       false
+     with Invalid_argument _ -> true);
+  check "overlapping graphs" true
+    (try
+       ignore
+         (Pref.two_graphs ~attr:"c" ~pos_singles:[ v "a" ]
+            ~neg_singles:[ v "a" ] ());
+       false
+     with Invalid_argument _ -> true);
+  (* singles already in the edge range are dropped, not duplicated *)
+  match
+    Pref.two_graphs ~attr:"c"
+      ~pos_edges:[ (v "a", v "b") ]
+      ~pos_singles:[ v "a"; v "z" ] ()
+  with
+  | Pref.Two_graphs s ->
+    check "dedup singles" true (s.Pref.tg_pos_singles = [ v "z" ])
+  | _ -> Alcotest.fail "expected a two-graphs term"
+
+let test_serialize_roundtrip () =
+  let s = Serialize.to_string p in
+  check "roundtrip" true (Pref.equal p (Serialize.of_string s));
+  (* and through the repository *)
+  let repo = Repository.create () in
+  Repository.add repo ~name:"tg" p;
+  let loaded = Repository.of_string (Repository.to_string repo) in
+  check "repository roundtrip" true
+    (Pref.equal (Repository.term loaded "tg") p)
+
+let test_in_queries () =
+  let schema = Schema.make [ ("color", Value.TStr); ("price", Value.TInt) ] in
+  let rows =
+    List.map
+      (fun (c, pr) -> Tuple.make [ v c; Value.Int pr ])
+      [ ("white", 10); ("yellow", 5); ("green", 3); ("black", 1); ("red", 7) ]
+  in
+  let rel = Relation.make schema rows in
+  let combined = Pref.prior p (Pref.lowest "price") in
+  let result = Pref_bmo.Query.sigma schema combined rel in
+  (* white and red are the POS maxima; prior's price tie-break is idle here *)
+  check "BMO over two-graphs works" true
+    (Relation.equal_as_sets result
+       (Relation.make schema
+          [ Tuple.make [ v "white"; Value.Int 10 ];
+            Tuple.make [ v "red"; Value.Int 7 ] ]));
+  check "SPO law checks hold" true
+    (Laws.is_spo_on schema rows combined)
+
+let suite =
+  [
+    Gen.quick "block semantics" test_semantics;
+    Gen.quick "strict partial order" test_spo;
+    Gen.quick "levels across blocks" test_levels;
+    Gen.quick "specialises to POS/NEG" test_specialises_pos_neg;
+    Gen.quick "specialises to EXPLICIT" test_specialises_explicit;
+    Gen.quick "validation" test_validation;
+    Gen.quick "serialization roundtrip" test_serialize_roundtrip;
+    Gen.quick "BMO queries over two-graphs" test_in_queries;
+  ]

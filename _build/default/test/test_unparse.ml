@@ -1,0 +1,118 @@
+open Pref_relation
+open Preferences
+open Pref_sql
+
+let check = Alcotest.(check bool)
+
+(* registry covering the generator's named functions *)
+let registry =
+  {
+    Translate.scores = Gen.named_scores;
+    combiners =
+      List.map (fun c -> (c.Pref.cname, c.Pref.combine)) Gen.combine_fns;
+  }
+
+(* generator restricted to SQL-expressible terms: no antichain / inter *)
+let rec expressible n =
+  let module G = QCheck.Gen in
+  if n <= 0 then Gen.base_pref
+  else
+    G.frequency
+      [
+        (3, Gen.base_pref);
+        (2, G.map2 Pref.pareto (expressible (n / 2)) (expressible (n / 2)));
+        (2, G.map2 Pref.prior (expressible (n / 2)) (expressible (n / 2)));
+        (1, G.map Pref.dual (expressible (n - 1)));
+      ]
+
+let arb_expressible =
+  QCheck.make (expressible 4) ~print:(Fmt.str "%a" Show.pp)
+
+let prop_roundtrip_semantics =
+  QCheck.Test.make ~count:300
+    ~name:"unparse |> parse |> translate preserves the order"
+    (QCheck.make
+       QCheck.Gen.(pair (expressible 4) Gen.rows)
+       ~print:(fun (p, _) -> Show.to_string p))
+    (fun (p, rows) ->
+      match Unparse.to_preferring p with
+      | None ->
+        (* only empty-set POS/NEG degenerate leaves are inexpressible in
+           this generator *)
+        true
+      | Some text ->
+        let p' = Translate.pref ~registry (Parser.parse_pref text) in
+        Equiv.agree Gen.schema rows p p')
+
+let test_expressibility_boundary () =
+  check "antichain not expressible" true
+    (Unparse.pref (Pref.antichain [ "a" ]) = None);
+  check "inter not expressible" true
+    (Unparse.pref (Pref.inter (Pref.lowest "a") (Pref.highest "a")) = None);
+  check "dunion not expressible" true
+    (Unparse.pref (Pref.dunion (Pref.lowest "a") (Pref.lowest "a")) = None);
+  check "nested inter poisons the whole term" true
+    (Unparse.pref
+       (Pref.pareto (Pref.lowest "a")
+          (Pref.inter (Pref.lowest "b") (Pref.highest "b")))
+    = None)
+
+let test_full_query () =
+  let p =
+    Pref.prior
+      (Pref.pareto (Pref.around "price" 40000.) (Pref.highest "power"))
+      (Pref.pos "color" [ Str "red" ])
+  in
+  match Unparse.to_query ~from:"car" p with
+  | None -> Alcotest.fail "expected a query"
+  | Some sql ->
+    (* the emitted SQL parses and the translated preference is equivalent *)
+    let q = Parser.parse_query sql in
+    Alcotest.(check (list string)) "from" [ "car" ] q.Ast.from;
+    let p' = Translate.pref (Option.get q.Ast.preferring) in
+    let rows =
+      List.map
+        (fun (pr, pw, c) ->
+          Tuple.make [ Value.Int pr; Value.Int pw; Value.Str c ])
+        [ (40000, 100, "red"); (35000, 150, "blue"); (42000, 90, "red") ]
+    in
+    let schema =
+      Schema.make
+        [ ("price", Value.TInt); ("power", Value.TInt); ("color", Value.TStr) ]
+    in
+    check "equivalent" true (Equiv.agree schema rows p p')
+
+let test_float_literals () =
+  (* integral floats print as integers, fractional ones survive *)
+  (match Unparse.pref (Pref.around "x" 2.5) with
+  | Some (Ast.P_around ("x", Value.Float 2.5)) -> ()
+  | _ -> Alcotest.fail "expected fractional literal");
+  match Unparse.pref (Pref.around "x" 40000.) with
+  | Some (Ast.P_around ("x", Value.Int 40000)) -> ()
+  | _ -> Alcotest.fail "expected integer literal"
+
+(* Differential test: the whole SQL pipeline (unparse -> parse -> translate
+   -> execute) returns exactly sigma[P](R) computed by the core engine. *)
+let prop_sql_engine_matches_core =
+  QCheck.Test.make ~count:200 ~name:"SQL engine = core sigma on random terms"
+    (QCheck.make
+       QCheck.Gen.(pair (expressible 4) Gen.nonempty_rows)
+       ~print:(fun (p, _) -> Show.to_string p))
+    (fun (p, rows) ->
+      match Unparse.to_query ~from:"t" p with
+      | None -> true
+      | Some sql ->
+        let rel = Gen.rel rows in
+        let via_sql =
+          (Exec.run ~registry [ ("t", rel) ] sql).Exec.relation
+        in
+        let direct = Pref_bmo.Query.sigma Gen.schema p rel in
+        Pref_relation.Relation.equal_as_sets via_sql direct)
+
+let suite =
+  Gen.qsuite [ prop_roundtrip_semantics; prop_sql_engine_matches_core ]
+  @ [
+      Gen.quick "expressibility boundary" test_expressibility_boundary;
+      Gen.quick "full query emission" test_full_query;
+      Gen.quick "float literal handling" test_float_literals;
+    ]

@@ -1,0 +1,86 @@
+open Pref_relation
+
+let check = Alcotest.(check bool)
+let checkv = Alcotest.check Gen.value_testable
+
+let test_equal () =
+  check "int = int" true (Value.equal (Int 3) (Int 3));
+  check "int = float numerically" true (Value.equal (Int 3) (Float 3.0));
+  check "float = int numerically" true (Value.equal (Float 2.0) (Int 2));
+  check "int <> float" false (Value.equal (Int 3) (Float 3.5));
+  check "str" true (Value.equal (Str "a") (Str "a"));
+  check "str <> int" false (Value.equal (Str "3") (Int 3));
+  check "null = null" true (Value.equal Null Null);
+  check "null <> 0" false (Value.equal Null (Int 0))
+
+let test_compare () =
+  check "3 < 4" true (Value.compare (Int 3) (Int 4) < 0);
+  check "cross int/float" true (Value.compare (Int 3) (Float 3.5) < 0);
+  check "null least" true (Value.compare Null (Int (-100)) < 0);
+  check "strings" true (Value.compare (Str "abc") (Str "abd") < 0)
+
+let test_dates () =
+  let d1 = Value.date ~year:2001 ~month:11 ~day:23 in
+  let d2 = Value.date ~year:2001 ~month:11 ~day:25 in
+  check "date order" true (Value.compare d1 d2 < 0);
+  (match d1, d2 with
+  | Value.Date a, Value.Date b ->
+    Alcotest.(check int) "difference in days" 2
+      (Value.date_to_days b - Value.date_to_days a)
+  | _ -> Alcotest.fail "expected dates");
+  (* leap years *)
+  check "2000-02-29 valid" true
+    (Value.valid_date { Value.year = 2000; month = 2; day = 29 });
+  check "1900-02-29 invalid" false
+    (Value.valid_date { Value.year = 1900; month = 2; day = 29 });
+  Alcotest.check_raises "invalid date raises"
+    (Invalid_argument "Value.date: invalid date") (fun () ->
+      ignore (Value.date ~year:2021 ~month:2 ~day:30))
+
+let test_parsing () =
+  checkv "int" (Int 42) (Value.infer "42");
+  checkv "float" (Float 4.5) (Value.infer "4.5");
+  checkv "negative int" (Int (-7)) (Value.infer "-7");
+  checkv "bool" (Bool true) (Value.infer "true");
+  checkv "null empty" Null (Value.infer "");
+  checkv "null keyword" Null (Value.infer "NULL");
+  checkv "date dashes" (Value.date ~year:2001 ~month:11 ~day:23)
+    (Value.infer "2001-11-23");
+  checkv "date slashes" (Value.date ~year:2001 ~month:11 ~day:23)
+    (Value.infer "2001/11/23");
+  checkv "string fallback" (Str "roadster") (Value.infer "roadster")
+
+let test_of_string_as () =
+  checkv "typed int"
+    (Int 3)
+    (Option.get (Value.of_string_as Value.TInt "3"));
+  check "bad typed int" true (Value.of_string_as Value.TInt "x" = None);
+  checkv "typed bool yes" (Bool true)
+    (Option.get (Value.of_string_as Value.TBool "yes"));
+  checkv "typed float from int literal" (Float 3.0)
+    (Option.get (Value.of_string_as Value.TFloat "3"))
+
+let test_as_float () =
+  Alcotest.(check (option (float 1e-9))) "int" (Some 3.0) (Value.as_float (Int 3));
+  Alcotest.(check (option (float 1e-9))) "bool" (Some 1.0) (Value.as_float (Bool true));
+  Alcotest.(check (option (float 1e-9))) "str" None (Value.as_float (Str "x"));
+  Alcotest.(check (option (float 1e-9))) "null" None (Value.as_float Null)
+
+let test_to_string () =
+  Alcotest.(check string) "int" "3" (Value.to_string (Int 3));
+  Alcotest.(check string) "float int-valued" "3.0" (Value.to_string (Float 3.0));
+  Alcotest.(check string) "date" "2001-11-23"
+    (Value.to_string (Value.date ~year:2001 ~month:11 ~day:23));
+  Alcotest.(check string) "quoted string" "'abc'"
+    (Fmt.str "%a" Value.pp_quoted (Value.Str "abc"))
+
+let suite =
+  [
+    Gen.quick "equality" test_equal;
+    Gen.quick "total compare" test_compare;
+    Gen.quick "dates" test_dates;
+    Gen.quick "inference parsing" test_parsing;
+    Gen.quick "typed parsing" test_of_string_as;
+    Gen.quick "numeric view" test_as_float;
+    Gen.quick "printing" test_to_string;
+  ]

@@ -1,0 +1,134 @@
+open Pref_relation
+open Pref_workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let xs = List.init 20 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 20 (fun _ -> Rng.next_int64 b) in
+  check "same seed, same stream" true (xs = ys);
+  let c = Rng.create 43 in
+  let zs = List.init 20 (fun _ -> Rng.next_int64 c) in
+  check "different seed, different stream" false (xs = zs)
+
+let test_rng_ranges () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f;
+    let n = Rng.int rng 7 in
+    if n < 0 || n >= 7 then Alcotest.failf "int out of range: %d" n;
+    let r = Rng.range rng ~lo:3 ~hi:5 in
+    if r < 3 || r > 5 then Alcotest.failf "range out of range: %d" r
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_distributions () =
+  let rng = Rng.create 5 in
+  let n = 5000 in
+  let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+  let us = List.init n (fun _ -> Dist.uniform rng ~lo:0. ~hi:10.) in
+  check "uniform mean near 5" true (Float.abs (mean us -. 5.) < 0.3);
+  let gs = List.init n (fun _ -> Dist.gaussian rng ~mean:7. ~stddev:2.) in
+  check "gaussian mean near 7" true (Float.abs (mean gs -. 7.) < 0.2);
+  let cs =
+    List.init n (fun _ ->
+        Dist.clamped_gaussian rng ~mean:0. ~stddev:5. ~lo:(-1.) ~hi:1.)
+  in
+  check "clamped stays in bounds" true (List.for_all (fun x -> x >= -1. && x <= 1.) cs)
+
+let test_zipf () =
+  let rng = Rng.create 9 in
+  let sample = Dist.zipf rng ~n:10 ~s:1.2 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 5000 do
+    let k = sample () in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check "rank 0 most frequent" true (counts.(0) > counts.(5));
+  check "monotone-ish head" true (counts.(0) > counts.(1) && counts.(1) > counts.(4))
+
+let test_synthetic_families () =
+  let pearson xs ys =
+    let n = float_of_int (List.length xs) in
+    let mx = List.fold_left ( +. ) 0. xs /. n and my = List.fold_left ( +. ) 0. ys /. n in
+    let cov = List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0. xs ys in
+    let sx = sqrt (List.fold_left (fun acc x -> acc +. ((x -. mx) ** 2.)) 0. xs) in
+    let sy = sqrt (List.fold_left (fun acc y -> acc +. ((y -. my) ** 2.)) 0. ys) in
+    cov /. (sx *. sy)
+  in
+  let corr_of family =
+    let rel = Synthetic.relation ~seed:3 ~n:2000 ~dims:2 family in
+    let col name =
+      List.map (fun v -> Option.get (Value.as_float v)) (Relation.column rel name)
+    in
+    pearson (col "d0") (col "d1")
+  in
+  check "independent |r| small" true (Float.abs (corr_of Synthetic.Independent) < 0.1);
+  check "correlated r large" true (corr_of Synthetic.Correlated > 0.6);
+  check "anti-correlated r negative" true (corr_of Synthetic.Anti_correlated < -0.4);
+  check "values in unit cube" true
+    (let rel = Synthetic.relation ~seed:4 ~n:500 ~dims:3 Synthetic.Anti_correlated in
+     List.for_all
+       (fun t ->
+         List.for_all
+           (fun v ->
+             let f = Option.get (Value.as_float v) in
+             f >= 0. && f <= 1.)
+           (Tuple.to_list t))
+       (Relation.rows rel))
+
+let test_cars () =
+  let rel = Cars.relation ~seed:7 ~n:1000 () in
+  check_int "cardinality" 1000 (Relation.cardinality rel);
+  check "schema matches" true (Schema.equal (Relation.schema rel) Cars.schema);
+  let col name =
+    List.map (fun v -> Option.get (Value.as_float v)) (Relation.column rel name)
+  in
+  let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+  (* correlation sanity: newer cars have lower mileage *)
+  let years = col "year" and mileages = col "mileage" in
+  let split_mean sel =
+    mean
+      (List.filteri (fun i _ -> sel (List.nth years i)) mileages)
+  in
+  let old_mean = split_mean (fun y -> y < 1996.) in
+  let new_mean = split_mean (fun y -> y >= 1999.) in
+  check "older cars have more mileage" true (old_mean > new_mean);
+  (* determinism *)
+  check "same seed reproduces" true
+    (Relation.equal_as_sets rel (Cars.relation ~seed:7 ~n:1000 ()))
+
+let test_hotels_trips () =
+  let h = Hotels.relation ~seed:11 ~n:300 () in
+  check_int "hotels" 300 (Relation.cardinality h);
+  check "positive prices" true
+    (List.for_all
+       (fun v -> Option.get (Value.as_float v) > 0.)
+       (Relation.column h "price"));
+  let t = Trips.relation ~seed:23 ~n:200 () in
+  check_int "trips" 200 (Relation.cardinality t);
+  check "start dates are dates" true
+    (List.for_all
+       (fun v -> match v with Value.Date _ -> true | _ -> false)
+       (Relation.column t "start_date"));
+  (* date_of_offset arithmetic *)
+  (match Trips.date_of_offset 0, Trips.date_of_offset 30 with
+  | Value.Date a, Value.Date b ->
+    check_int "offset 0 is Nov 1" 1 a.day;
+    check_int "offset 30 is Dec 1" 12 b.month
+  | _ -> Alcotest.fail "expected dates")
+
+let suite =
+  [
+    Gen.quick "rng determinism" test_rng_determinism;
+    Gen.quick "rng ranges" test_rng_ranges;
+    Gen.quick "distributions" test_distributions;
+    Gen.quick "zipf" test_zipf;
+    Gen.quick "synthetic correlation families" test_synthetic_families;
+    Gen.quick "used cars" test_cars;
+    Gen.quick "hotels and trips" test_hotels_trips;
+  ]

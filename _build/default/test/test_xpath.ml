@@ -1,0 +1,216 @@
+open Pref_xpath
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- XML parsing ------------------------------------------------------ *)
+
+let cars_xml =
+  {|<?xml version="1.0"?>
+<!-- used car catalog -->
+<CARS dealer="Michael">
+  <CAR color="black" price="9500" mileage="60000" fuel_economy="40" horsepower="110"/>
+  <CAR color="white" price="10500" mileage="30000" fuel_economy="35" horsepower="150"/>
+  <CAR color="red" price="9900" mileage="45000" fuel_economy="40" horsepower="150"/>
+  <CAR color="black" price="20000" mileage="10000" fuel_economy="30" horsepower="220"/>
+  <LOT><CAR color="blue" price="8000" mileage="90000" fuel_economy="42" horsepower="90"/></LOT>
+</CARS>|}
+
+let doc = Xml_parser.parse cars_xml
+
+let test_xml_parse () =
+  (match doc with
+  | Xml.Element e ->
+    Alcotest.(check string) "root tag" "CARS" e.Xml.tag;
+    Alcotest.(check (option string)) "root attr" (Some "Michael")
+      (Xml.attr doc "dealer");
+    check_int "children" 5 (List.length (Xml.child_elements doc))
+  | Xml.Text _ -> Alcotest.fail "expected an element");
+  (* entities and nesting *)
+  let d = Xml_parser.parse "<a x=\"1 &amp; 2\"><b>t&lt;u</b></a>" in
+  Alcotest.(check (option string)) "entity in attribute" (Some "1 & 2")
+    (Xml.attr d "x");
+  (match Xml.child_elements d with
+  | [ b ] -> Alcotest.(check string) "entity in text" "t<u" (Xml.text_content b)
+  | _ -> Alcotest.fail "expected one child");
+  (* escaping roundtrip *)
+  let printed = Xml.to_string d in
+  check "roundtrip" true (Xml.to_string (Xml_parser.parse printed) = printed)
+
+let test_xml_errors () =
+  let fails s =
+    try
+      ignore (Xml_parser.parse s);
+      false
+    with Xml_parser.Error (_, _) -> true
+  in
+  check "mismatched tags" true (fails "<a></b>");
+  check "unterminated" true (fails "<a><b></b>");
+  check "unterminated string" true (fails "<a x=\"1></a>");
+  check "trailing garbage" true (fails "<a/><b/>")
+
+(* --- Paths and hard predicates ---------------------------------------- *)
+
+let tags nodes = List.filter_map Xml.tag_of nodes
+
+let test_paths () =
+  check_int "child step" 4 (List.length (Peval.run doc "/CARS/CAR"));
+  check_int "descendant step" 5 (List.length (Peval.run doc "//CAR"));
+  check_int "wildcard" 5 (List.length (Peval.run doc "/CARS/*"));
+  Alcotest.(check (list string)) "nested lot" [ "CAR" ] (tags (Peval.run doc "/CARS/LOT/CAR"));
+  check_int "case-insensitive tags" 4 (List.length (Peval.run doc "/cars/car"))
+
+let test_hard_predicates () =
+  check_int "price filter" 2
+    (List.length (Peval.run doc "/CARS/CAR[@price < 10000]"));
+  check_int "conjunction" 1
+    (List.length (Peval.run doc "/CARS/CAR[@price < 10000 and @color = \"black\"]"));
+  check_int "disjunction" 3
+    (List.length (Peval.run doc "/CARS/CAR[@color = \"black\" or @color = \"red\"]"));
+  check_int "negation" 2
+    (List.length (Peval.run doc "/CARS/CAR[not(@color = \"black\")]"));
+  check_int "attribute existence" 4
+    (List.length (Peval.run doc "/CARS/CAR[@price]"));
+  check_int "missing attribute" 0
+    (List.length (Peval.run doc "/CARS/CAR[@owner]"))
+
+(* --- Soft predicates: the paper's Q1 and Q2 ---------------------------- *)
+
+let colors nodes = List.filter_map (fun n -> Xml.attr n "color") nodes
+
+let test_paper_q1 () =
+  (* Q1: /CARS/CAR #[(@fuel_economy)highest and (@horsepower)highest]# *)
+  let result =
+    Peval.run doc "/CARS/CAR #[(@fuel_economy)highest and (@horsepower)highest]#"
+  in
+  (* pareto maxima among the four direct CARs: red (40, 150) dominates black
+     (40, 110); white (35,150) dominated by red; survivors: red and the big
+     black (30, 220) ... white is dominated by red (40>35, 150=150). *)
+  Alcotest.(check (list string)) "pareto winners" [ "red"; "black" ]
+    (colors result)
+
+let test_paper_q2 () =
+  (* Q2: prioritized color-then-price, then a second soft step on mileage *)
+  let result =
+    Peval.run doc
+      "/CARS/CAR #[(@color)in(\"black\", \"white\")prior to(@price)around \
+       10000]# #[(@mileage)lowest]#"
+  in
+  (* color in {black, white} maximal: three cars; among those price around
+     10000 best: black@9500 (500 off), white@10500 (500 off) tie — both
+     stay, black@20000 out. Then lowest mileage: white@30000 wins. *)
+  Alcotest.(check (list string)) "final winner" [ "white" ] (colors result)
+
+let test_soft_with_else () =
+  let result =
+    Peval.run doc "/CARS/CAR #[(@color) = \"green\" else (@color) != \"black\"]#"
+  in
+  (* no green cars; non-black preferred *)
+  Alcotest.(check (list string)) "pos/neg" [ "white"; "red" ] (colors result)
+
+let test_soft_empty_input () =
+  check_int "soft on empty node set" 0
+    (List.length (Peval.run doc "/CARS/TRUCK #[(@price)lowest]#"))
+
+let elements_xml =
+  {|<HOTELS>
+  <HOTEL><name>Seaview</name><price>120</price><stars>3</stars></HOTEL>
+  <HOTEL><name>Grand</name><price>200</price><stars>5</stars></HOTEL>
+  <HOTEL><name>Palm</name><price>90</price><stars>3</stars></HOTEL>
+  <HOTEL city="Nice"><name>Azur</name><price>150</price><stars>4</stars></HOTEL>
+</HOTELS>|}
+
+let test_child_element_values () =
+  (* element-style catalogs: values in child elements, not attributes *)
+  let d = Xml_parser.parse elements_xml in
+  check_int "hard predicate on child text" 2
+    (List.length (Peval.run d "/HOTELS/HOTEL[price <= 120]"));
+  check_int "existence of a child element" 4
+    (List.length (Peval.run d "/HOTELS/HOTEL[name]"));
+  check_int "attribute still works" 1
+    (List.length (Peval.run d "/HOTELS/HOTEL[@city = \"Nice\"]"));
+  (* soft selection over child-element values *)
+  let best = Peval.run d "/HOTELS/HOTEL #[(price) lowest and (stars) highest]#" in
+  let names =
+    List.filter_map
+      (fun n -> Option.map String.trim (Some (Xml.text_content (List.hd (Xml.child_elements n)))))
+      best
+  in
+  (* Palm dominates Seaview (cheaper, equal stars); Grand and Azur are
+     undominated trade-offs *)
+  Alcotest.(check (list string)) "pareto over elements" [ "Grand"; "Palm"; "Azur" ]
+    names;
+  (* prior-to over mixed attribute/element access *)
+  check_int "prioritized child-element preference" 1
+    (List.length
+       (Peval.run d "/HOTELS/HOTEL #[(stars) highest prior to (price) lowest]#"))
+
+let test_parse_errors () =
+  let fails s =
+    try
+      ignore (Pparser.parse s);
+      false
+    with Pparser.Error (_, _) -> true
+  in
+  check "no leading slash" true (fails "CARS/CAR");
+  check "unclosed soft" true (fails "/CARS/CAR #[(@a)highest");
+  check "bad spec" true (fails "/CARS/CAR #[(@a)wibble 3]#");
+  check "else attr mismatch" true
+    (fails "/CARS/CAR #[(@a) = 1 else (@b) = 2]#")
+
+let test_non_monotonic_via_xpath () =
+  (* example 9 through the XPath engine: adding a better car changes the
+     answer non-monotonically *)
+  let mk cars =
+    Xml.element "CARS"
+      ~children:
+        (List.map
+           (fun (f, i) ->
+             Xml.element "CAR"
+               ~attrs:
+                 [ ("fe", string_of_int f); ("ir", string_of_int i) ])
+           cars)
+  in
+  let q = "/CARS/CAR #[(@fe)highest and (@ir)highest]#" in
+  check_int "two cars" 1 (List.length (Peval.run (mk [ (100, 3); (50, 3) ]) q));
+  check_int "three cars" 2
+    (List.length (Peval.run (mk [ (100, 3); (50, 3); (50, 10) ]) q));
+  check_int "four cars" 1
+    (List.length (Peval.run (mk [ (100, 3); (50, 3); (50, 10); (100, 10) ]) q))
+
+let test_pprint_roundtrip () =
+  let sources =
+    [
+      "/CARS/CAR #[(@fuel_economy) highest and (@horsepower) highest]#";
+      "/CARS/CAR[@price < 10000 and @color = \"black\"] #[(@mileage) lowest]#";
+      "//CAR[not(@color = \"red\")] #[(@color) in (\"black\", \"white\") prior to (@price) around 10000]#";
+      "/HOTELS/HOTEL #[(@a) = 1 else (@a) != 2]#";
+      "/A/B[@x]";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let path = Pparser.parse src in
+      let printed = Pprint.path_to_string path in
+      let reparsed = Pparser.parse printed in
+      Alcotest.(check string)
+        ("roundtrip: " ^ src)
+        printed
+        (Pprint.path_to_string reparsed))
+    sources
+
+let suite =
+  [
+    Gen.quick "xml parsing" test_xml_parse;
+    Gen.quick "xml parse errors" test_xml_errors;
+    Gen.quick "location paths" test_paths;
+    Gen.quick "hard predicates" test_hard_predicates;
+    Gen.quick "paper query Q1" test_paper_q1;
+    Gen.quick "paper query Q2" test_paper_q2;
+    Gen.quick "soft else clause" test_soft_with_else;
+    Gen.quick "soft on empty node set" test_soft_empty_input;
+    Gen.quick "child-element values" test_child_element_values;
+    Gen.quick "printer roundtrip" test_pprint_roundtrip;
+    Gen.quick "xpath parse errors" test_parse_errors;
+    Gen.quick "non-monotonicity via xpath" test_non_monotonic_via_xpath;
+  ]
