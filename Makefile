@@ -1,0 +1,22 @@
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# The pre-push gate: full build, the whole test suite, and the quick bench
+# sweep (correctness checks + telemetry-overhead guard, ends with BENCH_JSON).
+check:
+	dune build @all
+	dune runtest
+	dune exec bench/main.exe -- --quick
+
+clean:
+	dune clean

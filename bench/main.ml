@@ -64,10 +64,9 @@ let pp_ns ppf ns =
   else if ns >= 1e3 then Fmt.pf ppf "%8.2f us" (ns /. 1e3)
   else Fmt.pf ppf "%8.2f ns" ns
 
-let wall f =
-  let t0 = Sys.time () in
-  let r = f () in
-  (r, (Sys.time () -. t0) *. 1000.)
+(* monotonic wall-clock milliseconds via the telemetry layer (replaces the
+   old CPU-time [Sys.time] deltas) *)
+let wall f = Pref_obs.Span.timed f
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Example 1: EXPLICIT colour preference                          *)
@@ -761,6 +760,62 @@ let b7 () =
   check "bechamel produced ablation estimates" (List.length results = 2)
 
 (* ------------------------------------------------------------------ *)
+(* B8 — telemetry overhead on the BNL hot path                          *)
+
+let b8 () =
+  section "B8  Telemetry: disabled-mode overhead on the BNL hot path";
+  let rel =
+    Pref_workload.Synthetic.relation ~seed:7 ~n:2000 ~dims:3
+      Pref_workload.Synthetic.Independent
+  in
+  let schema = Relation.schema rel in
+  let p = skyline_pref 3 in
+  let dom = Dominance.of_pref schema p in
+  let rows = Relation.rows rel in
+  let open Bechamel in
+  let results =
+    bechamel_run
+      [
+        Test.make ~name:"raw-maxima"
+          (Staged.stage (fun () -> ignore (Bnl.maxima dom rows)));
+        Test.make ~name:"query-obs-off"
+          (Staged.stage (fun () -> ignore (Bnl.query schema p rel)));
+        Test.make ~name:"query-obs-on"
+          (Staged.stage (fun () ->
+               Pref_obs.Control.with_enabled true (fun () ->
+                   ignore (Bnl.query schema p rel))));
+      ]
+  in
+  List.iter (fun (name, ns) -> Fmt.pr "  %-28s %a/run@." name pp_ns ns) results;
+  let find suffix =
+    List.fold_left
+      (fun acc (name, ns) ->
+        let n = String.length suffix in
+        if
+          String.length name >= n
+          && String.sub name (String.length name - n) n = suffix
+        then Some ns
+        else acc)
+      None results
+  in
+  (match find "raw-maxima", find "query-obs-off", find "query-obs-on" with
+  | Some raw, Some off, Some on ->
+    Fmt.pr "  obs-off vs raw: %+.1f%%   obs-on vs obs-off: %+.1f%%@."
+      (100. *. ((off /. raw) -. 1.))
+      (100. *. ((on /. off) -. 1.));
+    (* the disabled path must be the seed hot path plus noise; the raw
+       variant excludes per-call preference compilation, so allow a
+       generous band before calling it a regression *)
+    check "telemetry off: BNL within noise of the uninstrumented pass"
+      (off <= raw *. 1.30)
+  | _ -> check "bechamel produced all three obs estimates" false);
+  (* exercise the enabled path once more so BENCH_JSON carries a populated
+     metrics registry *)
+  Pref_obs.Control.with_enabled true (fun () ->
+      ignore (Bnl.query schema p rel);
+      ignore (Query.sigma ~algorithm:Query.Alg_auto schema p rel))
+
+(* ------------------------------------------------------------------ *)
 (* B6 — the cost-based planner (§7 optimizer roadmap, extension)        *)
 
 let b6 () =
@@ -816,26 +871,49 @@ let b6 () =
 let () =
   Fmt.pr "Preference algebra & BMO reproduction harness%s@."
     (if quick then " (quick mode)" else "");
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  p_laws ();
-  b1 ();
-  b2 ();
-  b3_wall ();
-  b3_bechamel ();
-  b4 ();
-  b5 ();
-  b6 ();
-  b7 ();
+  (* per-section monotonic timings, emitted machine-readably at the end so
+     successive bench runs form a trajectory *)
+  let sections : (string * float) list ref = ref [] in
+  let run name f =
+    let (), ms = Pref_obs.Span.timed f in
+    sections := (name, ms) :: !sections
+  in
+  run "e1" e1;
+  run "e2" e2;
+  run "e3" e3;
+  run "e4" e4;
+  run "e5" e5;
+  run "e6" e6;
+  run "e7" e7;
+  run "e8" e8;
+  run "e9" e9;
+  run "e10" e10;
+  run "e11" e11;
+  run "p_laws" p_laws;
+  run "b1_result_sizes" b1;
+  run "b2_filter_effect" b2;
+  run "b3_wall" b3_wall;
+  run "b3_bechamel" b3_bechamel;
+  run "b4_decompose" b4;
+  run "b5_topk" b5;
+  run "b6_planner" b6;
+  run "b7_ablation" b7;
+  run "b8_obs" b8;
   Fmt.pr "@.=== summary ===@.";
   Fmt.pr "%d checks, %d failures@." !checks !failures;
+  let open Pref_obs in
+  Fmt.pr "BENCH_JSON %s@."
+    (Json.to_string
+       (Json.Obj
+          [
+            ("quick", Json.Bool quick);
+            ("checks", Json.Int !checks);
+            ("failures", Json.Int !failures);
+            ( "sections",
+              Json.Obj
+                (List.rev_map
+                   (fun (name, ms) -> (name, Json.Float ms))
+                   !sections) );
+            ("metrics", Metrics.to_json ());
+          ]));
   exit (if !failures = 0 then 0 else 1)

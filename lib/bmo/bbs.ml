@@ -77,6 +77,17 @@ let maxima ~dims rows =
     (result, stats)
 
 let query schema ~attrs ~maximize rel =
-  let dims = Dnc.dims_of schema attrs ~maximize in
-  let rows, stats = maxima ~dims (Relation.rows rel) in
-  (Relation.make (Relation.schema rel) rows, stats)
+  Pref_obs.Span.with_span "bmo.bbs" (fun () ->
+      let dims = Dnc.dims_of schema attrs ~maximize in
+      let rows = Relation.rows rel in
+      let (best, stats), ms =
+        Pref_obs.Span.timed (fun () -> maxima ~dims rows)
+      in
+      if Pref_obs.Control.is_enabled () then begin
+        Obs.record_query ~algorithm:"bbs" ~n_in:(List.length rows)
+          ~n_out:(List.length best) ~comparisons:(-1) ~ms;
+        Pref_obs.Span.add_attr "pruned_subtrees"
+          (string_of_int stats.pruned_subtrees);
+        Pref_obs.Span.add_attr "nodes_visited" (string_of_int stats.nodes_visited)
+      end;
+      (Relation.make (Relation.schema rel) best, stats))

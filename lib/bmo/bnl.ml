@@ -22,6 +22,49 @@ let maxima (dom : Dominance.t) rows =
   in
   List.rev (List.fold_left insert [] rows)
 
+let maxima_traced (dom : Dominance.t) rows =
+  (* Same pass as [maxima], threading the window size so the telemetry
+     layer can report the peak without O(n) length scans. *)
+  let peak = ref 0 in
+  let insert (window, size) t =
+    let evicted = ref 0 in
+    let rec scan = function
+      | [] -> Some []
+      | w :: rest ->
+        if dom w t then None
+        else (
+          match scan rest with
+          | None -> None
+          | Some kept ->
+            if dom t w then begin
+              incr evicted;
+              Some kept
+            end
+            else Some (w :: kept))
+    in
+    match scan window with
+    | None -> (window, size)
+    | Some kept ->
+      let size = size - !evicted + 1 in
+      if size > !peak then peak := size;
+      (t :: kept, size)
+  in
+  let window, _ = List.fold_left insert ([], 0) rows in
+  (List.rev window, !peak)
+
 let query schema p rel =
-  let dom = Dominance.of_pref schema p in
-  Relation.make (Relation.schema rel) (maxima dom (Relation.rows rel))
+  Pref_obs.Span.with_span "bmo.bnl" (fun () ->
+      let dom = Dominance.of_pref schema p in
+      let rows = Relation.rows rel in
+      if Pref_obs.Control.is_enabled () then begin
+        let dom, comparisons = Dominance.counting dom in
+        let (best, peak), ms =
+          Pref_obs.Span.timed (fun () -> maxima_traced dom rows)
+        in
+        Obs.record_query ~algorithm:"bnl" ~n_in:(List.length rows)
+          ~n_out:(List.length best) ~comparisons:(comparisons ()) ~ms;
+        Pref_obs.Metrics.set_max Obs.window_peak (float_of_int peak);
+        Pref_obs.Span.add_attr "window_peak" (string_of_int peak);
+        Relation.make (Relation.schema rel) best
+      end
+      else Relation.make (Relation.schema rel) (maxima dom rows))

@@ -10,4 +10,13 @@
 open Pref_relation
 
 val maxima : Dominance.t -> Tuple.t list -> Tuple.t list
+
+val maxima_traced : Dominance.t -> Tuple.t list -> Tuple.t list * int
+(** [maxima] plus the peak window size reached during the pass — the
+    memory high-water mark query profiles report. Same result as
+    {!maxima}. *)
+
 val query : Schema.t -> Preferences.Pref.t -> Relation.t -> Relation.t
+(** σ[P](R) via BNL. When telemetry ({!Pref_obs.Control}) is on, reports
+    dominance-test counts, scanned/pruned tuples and the window peak; when
+    off, runs the exact uninstrumented pass. *)

@@ -1,0 +1,31 @@
+open Pref_obs
+
+let dominance_tests = Metrics.counter "bmo.dominance_tests"
+let tuples_scanned = Metrics.counter "bmo.tuples_scanned"
+let tuples_pruned = Metrics.counter "bmo.tuples_pruned"
+let queries = Metrics.counter "bmo.queries"
+let window_peak = Metrics.gauge "bmo.window_peak"
+let levels_computed = Metrics.counter "bmo.levels_computed"
+let ta_examined = Metrics.counter "bmo.ta_examined"
+let result_size = Metrics.histogram "bmo.result_size"
+
+let query_ms =
+  Metrics.histogram "bmo.query_ms"
+    ~bounds:[| 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1_000.; 10_000. |]
+
+let plan_chosen kind =
+  (* gated here because the registry lookup itself is not free *)
+  if Control.is_enabled () then
+    Metrics.incr (Metrics.counter ("bmo.plan_chosen." ^ kind))
+
+let record_query ~algorithm ~n_in ~n_out ~comparisons ~ms =
+  if Control.is_enabled () then begin
+    Metrics.incr queries;
+    Metrics.incr ~by:n_in tuples_scanned;
+    Metrics.incr ~by:(max 0 (n_in - n_out)) tuples_pruned;
+    if comparisons >= 0 then Metrics.incr ~by:comparisons dominance_tests;
+    Metrics.observe result_size (float_of_int n_out);
+    Metrics.observe query_ms ms;
+    Span.add_attr "algorithm" algorithm;
+    Span.add_attr "rows" (Printf.sprintf "%d->%d" n_in n_out)
+  end

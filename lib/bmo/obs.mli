@@ -1,0 +1,32 @@
+(** The BMO engine's shared telemetry instruments.
+
+    One registration point for the metrics every evaluation algorithm
+    reports into, plus the [record_query] helper the per-algorithm [query]
+    wrappers call. Everything is a no-op while {!Pref_obs.Control} is off. *)
+
+val dominance_tests : Pref_obs.Metrics.counter
+(** Dominance ('better-than') tests performed across all queries. *)
+
+val tuples_scanned : Pref_obs.Metrics.counter
+val tuples_pruned : Pref_obs.Metrics.counter
+val queries : Pref_obs.Metrics.counter
+
+val window_peak : Pref_obs.Metrics.gauge
+(** Largest BNL window seen (engine-wide peak). *)
+
+val levels_computed : Pref_obs.Metrics.counter
+(** Levels materialised by iterated-BMO ([sigma_levels]) evaluation. *)
+
+val ta_examined : Pref_obs.Metrics.counter
+(** Objects examined by the threshold algorithm. *)
+
+val result_size : Pref_obs.Metrics.histogram
+val query_ms : Pref_obs.Metrics.histogram
+
+val plan_chosen : string -> unit
+(** Bump the [bmo.plan_chosen.<kind>] counter for the planner's choice. *)
+
+val record_query :
+  algorithm:string -> n_in:int -> n_out:int -> comparisons:int -> ms:float -> unit
+(** Report one finished BMO evaluation into the engine metrics; pass
+    [comparisons:-1] when the algorithm did not count dominance tests. *)

@@ -9,6 +9,14 @@ type plan =
   | Plan_cascade of Pref.t * Pref.t  (** Proposition 11: chain & rest *)
   | Plan_decompose
 
+let plan_kind = function
+  | Plan_naive -> "naive"
+  | Plan_bnl -> "bnl"
+  | Plan_sfs _ -> "sfs"
+  | Plan_dnc _ -> "dnc"
+  | Plan_cascade _ -> "cascade"
+  | Plan_decompose -> "decompose"
+
 let plan_to_string = function
   | Plan_naive -> "naive"
   | Plan_bnl -> "bnl"
@@ -102,6 +110,7 @@ let sampled_correlation schema attrs rows =
 (* Plan choice                                                         *)
 
 let choose schema p rel =
+  Pref_obs.Span.with_span "bmo.plan.choose" @@ fun () ->
   let rows = Relation.rows rel in
   let n = List.length rows in
   if n <= 64 then Plan_naive
@@ -121,6 +130,9 @@ let choose schema p rel =
       | None -> Plan_bnl)
 
 let execute schema p rel plan =
+  Pref_obs.Span.with_span "bmo.plan.execute"
+    ~attrs:[ ("plan", plan_kind plan) ]
+  @@ fun () ->
   match plan with
   | Plan_naive -> Naive.query schema p rel
   | Plan_bnl -> Bnl.query schema p rel
@@ -132,4 +144,5 @@ let execute schema p rel plan =
 
 let run schema p rel =
   let plan = choose schema p rel in
+  Obs.plan_chosen (plan_kind plan);
   (execute schema p rel plan, plan)

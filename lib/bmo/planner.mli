@@ -27,6 +27,10 @@ type plan =
 
 val plan_to_string : plan -> string
 
+val plan_kind : plan -> string
+(** Constructor name only ([naive], [bnl], [sfs], [dnc], [cascade],
+    [decompose]) — the label the [bmo.plan_chosen.*] metrics use. *)
+
 val chain_dims : Preferences.Pref.t -> (string list * bool) option
 (** [Some (attrs, maximize)] when the term is a Pareto accumulation of
     same-direction numeric chains over disjoint attributes. *)

@@ -26,6 +26,64 @@ let sigma ?(algorithm = Alg_bnl) schema p rel =
   | Alg_decompose -> Decompose.eval schema p rel
   | Alg_auto -> fst (Planner.run schema p rel)
 
+let sigma_profiled ?(algorithm = Alg_bnl) schema p rel =
+  Pref_obs.Span.with_span "bmo.sigma_profiled" @@ fun () ->
+  let rows = Relation.rows rel in
+  let input_rows = List.length rows in
+  let remake best = Relation.make (Relation.schema rel) best in
+  let dom_raw, compile_ms =
+    Pref_obs.Span.timed (fun () -> Dominance.of_pref schema p)
+  in
+  let dom, comparisons = Dominance.counting dom_raw in
+  let alg_name, result, extra_phases, attrs, eval_ms, counted =
+    match algorithm with
+    | Alg_naive ->
+      let best, ms = Pref_obs.Span.timed (fun () -> Naive.maxima dom rows) in
+      ("naive", remake best, [], [], ms, true)
+    | Alg_bnl ->
+      let (best, peak), ms =
+        Pref_obs.Span.timed (fun () -> Bnl.maxima_traced dom rows)
+      in
+      Pref_obs.Metrics.set_max Obs.window_peak (float_of_int peak);
+      ( "bnl",
+        remake best,
+        [],
+        [ ("window_peak", string_of_int peak) ],
+        ms,
+        true )
+    | Alg_decompose ->
+      (* decomposition compiles its own sub-preference dominance tests, so
+         the explicit counter does not see them *)
+      let r, ms = Pref_obs.Span.timed (fun () -> Decompose.eval schema p rel) in
+      ("decompose", r, [], [], ms, false)
+    | Alg_auto ->
+      let plan, plan_ms =
+        Pref_obs.Span.timed (fun () -> Planner.choose schema p rel)
+      in
+      Obs.plan_chosen (Planner.plan_kind plan);
+      let r, ms =
+        Pref_obs.Span.timed (fun () -> Planner.execute schema p rel plan)
+      in
+      ( "auto:" ^ Planner.plan_kind plan,
+        r,
+        [ Pref_obs.Profile.phase "plan" plan_ms ],
+        [ ("plan", Planner.plan_to_string plan) ],
+        ms,
+        false )
+  in
+  let output_rows = Relation.cardinality result in
+  let comparisons = if counted then comparisons () else -1 in
+  Obs.record_query ~algorithm:alg_name ~n_in:input_rows ~n_out:output_rows
+    ~comparisons ~ms:eval_ms;
+  let profile =
+    Pref_obs.Profile.make
+      ~phases:
+        ((Pref_obs.Profile.phase "compile" compile_ms :: extra_phases)
+        @ [ Pref_obs.Profile.phase "evaluate" eval_ms ])
+      ~attrs ~comparisons ~algorithm:alg_name ~input_rows ~output_rows ()
+  in
+  (result, profile)
+
 let sigma_groupby ?(algorithm = Alg_bnl) schema p ~by rel =
   match algorithm with
   | Alg_naive | Alg_decompose | Alg_auto -> Groupby.query schema p ~by rel
@@ -43,11 +101,15 @@ let sigma_levels schema p ~levels rel =
      left after removing the better levels — exactly the level function of
      the database better-than graph (Definition 2), evaluated lazily *)
   if levels < 1 then invalid_arg "Query.sigma_levels: levels must be >= 1";
+  Pref_obs.Span.with_span "bmo.sigma_levels"
+    ~attrs:[ ("levels", string_of_int levels) ]
+  @@ fun () ->
   let dom = Dominance.of_pref schema p in
   let rec go k remaining acc =
     if k = 0 || remaining = [] then List.concat (List.rev acc)
     else begin
       let best = Naive.maxima dom remaining in
+      Pref_obs.Metrics.incr Obs.levels_computed;
       let rest = List.filter (fun t -> not (List.memq t best)) remaining in
       go (k - 1) rest (best :: acc)
     end

@@ -24,6 +24,20 @@ val sigma :
   Relation.t
 (** σ[P](R): all best-matching tuples, and only those. Default: BNL. *)
 
+val sigma_profiled :
+  ?algorithm:algorithm ->
+  Schema.t ->
+  Preferences.Pref.t ->
+  Relation.t ->
+  Relation.t * Pref_obs.Profile.t
+(** [sigma] plus a query profile: input/output cardinality, the algorithm
+    actually run (including the planner's choice under [Alg_auto]), exact
+    dominance-test counts for [Alg_naive]/[Alg_bnl] ([-1] otherwise), and
+    compile/plan/evaluate phase timings. The profile is built
+    unconditionally — it does not require {!Pref_obs.Control} to be on;
+    the global flag only decides whether the run also feeds the
+    engine-wide metrics and spans. *)
+
 val sigma_groupby :
   ?algorithm:algorithm ->
   Schema.t ->

@@ -28,8 +28,17 @@ let sum_key schema attrs ~maximize =
       0.0 idx
 
 let query schema ~key p rel =
-  let dom = Dominance.of_pref schema p in
-  Relation.make (Relation.schema rel) (maxima ~key dom (Relation.rows rel))
+  Pref_obs.Span.with_span "bmo.sfs" (fun () ->
+      let dom = Dominance.of_pref schema p in
+      let rows = Relation.rows rel in
+      if Pref_obs.Control.is_enabled () then begin
+        let dom, comparisons = Dominance.counting dom in
+        let best, ms = Pref_obs.Span.timed (fun () -> maxima ~key dom rows) in
+        Obs.record_query ~algorithm:"sfs" ~n_in:(List.length rows)
+          ~n_out:(List.length best) ~comparisons:(comparisons ()) ~ms;
+        Relation.make (Relation.schema rel) best
+      end
+      else Relation.make (Relation.schema rel) (maxima ~key dom rows))
 
 let progressive ~key (dom : Dominance.t) rows =
   (* With a topological presort every window insertion is final, so maxima

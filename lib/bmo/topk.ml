@@ -9,6 +9,9 @@ let score_of schema p =
   | None -> invalid_arg "Topk: preference is not scorable"
 
 let kbest schema p ~k rel =
+  Pref_obs.Span.with_span "bmo.topk.kbest"
+    ~attrs:[ ("k", string_of_int k) ]
+  @@ fun () ->
   let s = score_of schema p in
   let scored = List.map (fun t -> (s t, t)) (Relation.rows rel) in
   let sorted =
@@ -27,6 +30,8 @@ type ta_result = {
 }
 
 let threshold_algorithm ~scores ~combine ~k rel =
+  Pref_obs.Span.with_span "bmo.topk.ta" ~attrs:[ ("k", string_of_int k) ]
+  @@ fun () ->
   let rows = Array.of_list (Relation.rows rel) in
   let n = Array.length rows in
   let m = Array.length scores in
@@ -78,6 +83,11 @@ let threshold_algorithm ~scores ~combine ~k rel =
     | Some _ | None -> ());
     incr depth
   done;
+  if Pref_obs.Control.is_enabled () then begin
+    Pref_obs.Metrics.incr ~by:!examined Obs.ta_examined;
+    Pref_obs.Span.add_attr "examined" (string_of_int !examined);
+    Pref_obs.Span.add_attr "depth" (string_of_int !depth)
+  end;
   {
     results =
       List.rev_map (fun (s, i) -> (s, rows.(i))) !top (* best first *);

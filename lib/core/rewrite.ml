@@ -78,26 +78,42 @@ let step p =
   | Rank _ | Inter _ | Dunion _ | Lsum _ | Two_graphs _ ->
     None
 
-let rec rewrite_root p = match step p with None -> p | Some q -> rewrite_root q
+(* every applied rule bumps the engine-wide counter (visible in [\stats])
+   and the per-invocation count behind [simplify_count] *)
+let steps_metric = Pref_obs.Metrics.counter "core.rewrite_steps"
 
-let rec simplify p =
-  let p' =
-    match p with
-    | Pos _ | Neg _ | Pos_neg _ | Pos_pos _ | Explicit _ | Around _
-    | Between _ | Lowest _ | Highest _ | Score _ | Antichain _
-    | Two_graphs _ ->
-      p
-    | Dual q -> Dual (simplify q)
-    | Pareto (q, r) -> Pareto (simplify q, simplify r)
-    | Prior (q, r) -> Prior (simplify q, simplify r)
-    | Rank (f, q, r) -> Rank (f, simplify q, simplify r)
-    | Inter (q, r) -> Inter (simplify q, simplify r)
-    | Dunion (q, r) -> Dunion (simplify q, simplify r)
-    | Lsum s ->
-      Lsum { s with ls_left = simplify s.ls_left; ls_right = simplify s.ls_right }
+let rec rewrite_root_counting count p =
+  match step p with
+  | None -> p
+  | Some q ->
+    incr count;
+    Pref_obs.Metrics.incr steps_metric;
+    rewrite_root_counting count q
+
+let simplify_count p =
+  let count = ref 0 in
+  let rec go p =
+    let p' =
+      match p with
+      | Pos _ | Neg _ | Pos_neg _ | Pos_pos _ | Explicit _ | Around _
+      | Between _ | Lowest _ | Highest _ | Score _ | Antichain _
+      | Two_graphs _ ->
+        p
+      | Dual q -> Dual (go q)
+      | Pareto (q, r) -> Pareto (go q, go r)
+      | Prior (q, r) -> Prior (go q, go r)
+      | Rank (f, q, r) -> Rank (f, go q, go r)
+      | Inter (q, r) -> Inter (go q, go r)
+      | Dunion (q, r) -> Dunion (go q, go r)
+      | Lsum s -> Lsum { s with ls_left = go s.ls_left; ls_right = go s.ls_right }
+    in
+    let p'' = rewrite_root_counting count p' in
+    if equal p'' p' then p'' else go p''
   in
-  let p'' = rewrite_root p' in
-  if equal p'' p' then p'' else simplify p''
+  let simplified = Pref_obs.Span.with_span "core.rewrite" (fun () -> go p) in
+  (simplified, !count)
+
+let simplify p = fst (simplify_count p)
 
 let rec size = function
   | Pos _ | Neg _ | Pos_neg _ | Pos_pos _ | Explicit _ | Around _ | Between _

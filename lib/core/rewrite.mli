@@ -15,5 +15,10 @@ val simplify : Pref.t -> Pref.t
     the term or moves strictly down a well-founded constructor ordering
     (⊗ → & / ♦, which no rule reverses). *)
 
+val simplify_count : Pref.t -> Pref.t * int
+(** [simplify] plus the number of rule applications it performed — the
+    optimizer's rewrite-step telemetry. Each application also increments the
+    engine-wide [core.rewrite_steps] counter when telemetry is enabled. *)
+
 val size : Pref.t -> int
 (** Number of constructors, for optimizer metrics and tests. *)

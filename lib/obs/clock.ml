@@ -1,0 +1,3 @@
+let now_ns () = Monotonic_clock.now ()
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+let elapsed_ms ~since = ms_of_ns (Int64.sub (now_ns ()) since)

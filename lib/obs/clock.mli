@@ -1,0 +1,13 @@
+(** Monotonic time source for spans and benchmarks.
+
+    Wraps the CLOCK_MONOTONIC stub shipped with bechamel, so timings are
+    immune to wall-clock adjustments and include time spent blocked (unlike
+    the CPU-time [Sys.time] the bench harness used before). *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary origin; only differences are meaningful. *)
+
+val ms_of_ns : int64 -> float
+
+val elapsed_ms : since:int64 -> float
+(** Milliseconds elapsed since a [now_ns] reading. *)

@@ -1,0 +1,18 @@
+(** Global on/off switch for the telemetry layer.
+
+    Every mutating entry point of {!Metrics} and {!Span} reads this flag
+    first and returns immediately when telemetry is off, so instrumented
+    hot paths pay one load-and-branch and allocate nothing. The flag
+    starts [false]: an uninstrumented process behaves exactly like the
+    pre-telemetry engine. *)
+
+val flag : bool ref
+(** The raw flag, exposed so hot paths can gate expensive-to-compute
+    telemetry arguments ([if !Control.flag then ...]) without a call. *)
+
+val is_enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run a thunk with the flag temporarily forced; restores the previous
+    value even on exceptions. Used by tests and the bench harness. *)

@@ -1,0 +1,17 @@
+(** A minimal JSON value builder and printer.
+
+    Just enough for the telemetry exporters and the bench's BENCH_JSON
+    summary line — no parsing, no external dependency. Non-finite floats
+    serialise as [null] to keep the output valid JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering with escaped strings. *)

@@ -1,0 +1,154 @@
+type counter = { c_name : string; mutable count : int }
+
+(* float state lives in float arrays: writes to a mutable float field of a
+   mixed record box the float, and the mutators below must not allocate *)
+type gauge = { g_name : string; cell : float array }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;  (** strictly increasing upper bounds *)
+  counts : int array;  (** length = length bounds + 1; last is overflow *)
+  acc : float array;  (** [| sum |] *)
+  mutable n : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let order : string list ref = ref []
+
+let register name mk =
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None ->
+    let m = mk () in
+    Hashtbl.add registry name m;
+    order := name :: !order;
+    m
+
+let kind_error name = invalid_arg ("Metrics: " ^ name ^ " registered with another kind")
+
+let counter name =
+  match register name (fun () -> Counter { c_name = name; count = 0 }) with
+  | Counter c -> c
+  | Gauge _ | Histogram _ -> kind_error name
+
+let gauge name =
+  match register name (fun () -> Gauge { g_name = name; cell = [| 0.0 |] }) with
+  | Gauge g -> g
+  | Counter _ | Histogram _ -> kind_error name
+
+let default_bounds = [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 1_000.; 10_000.; 100_000. |]
+
+let histogram ?(bounds = default_bounds) name =
+  match
+    register name (fun () ->
+        Histogram
+          {
+            h_name = name;
+            bounds = Array.copy bounds;
+            counts = Array.make (Array.length bounds + 1) 0;
+            acc = [| 0.0 |];
+            n = 0;
+          })
+  with
+  | Histogram h -> h
+  | Counter _ | Gauge _ -> kind_error name
+
+(* ------------------------------------------------------------------ *)
+(* Mutation — every entry gates on the global flag first               *)
+
+let incr ?(by = 1) c = if !Control.flag then c.count <- c.count + by
+let set g v = if !Control.flag then g.cell.(0) <- v
+let set_max g v = if !Control.flag && v > g.cell.(0) then g.cell.(0) <- v
+
+let observe h v =
+  if !Control.flag then begin
+    let len = Array.length h.bounds in
+    let i = ref 0 in
+    while !i < len && v > h.bounds.(!i) do
+      Stdlib.incr i
+    done;
+    h.counts.(!i) <- h.counts.(!i) + 1;
+    h.acc.(0) <- h.acc.(0) +. v;
+    h.n <- h.n + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+
+let count c = c.count
+let value g = g.cell.(0)
+let hist_count h = h.n
+let hist_sum h = h.acc.(0)
+
+let buckets h =
+  let len = Array.length h.bounds in
+  List.init (len + 1) (fun i ->
+      ((if i < len then h.bounds.(i) else Float.infinity), h.counts.(i)))
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> Some c.count
+  | Some (Gauge _ | Histogram _) | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Registry-wide                                                       *)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.cell.(0) <- 0.0
+      | Histogram h ->
+        Array.fill h.counts 0 (Array.length h.counts) 0;
+        h.acc.(0) <- 0.0;
+        h.n <- 0)
+    registry
+
+let in_order () =
+  List.rev_map (fun name -> Hashtbl.find registry name) !order
+
+let dump () =
+  List.map
+    (function
+      | Counter c -> Fmt.str "%-32s counter   %d" c.c_name c.count
+      | Gauge g -> Fmt.str "%-32s gauge     %g" g.g_name g.cell.(0)
+      | Histogram h ->
+        Fmt.str "%-32s histogram n=%d sum=%g %s" h.h_name h.n h.acc.(0)
+          (String.concat " "
+             (List.filter_map
+                (fun (b, c) ->
+                  if c = 0 then None
+                  else if b = Float.infinity then Some (Fmt.str "+inf:%d" c)
+                  else Some (Fmt.str "le%g:%d" b c))
+                (buckets h))))
+    (in_order ())
+
+let to_json () =
+  Json.Obj
+    (List.map
+       (function
+         | Counter c -> (c.c_name, Json.Int c.count)
+         | Gauge g -> (g.g_name, Json.Float g.cell.(0))
+         | Histogram h ->
+           ( h.h_name,
+             Json.Obj
+               [
+                 ("count", Json.Int h.n);
+                 ("sum", Json.Float h.acc.(0));
+                 ( "buckets",
+                   Json.List
+                     (List.map
+                        (fun (b, c) ->
+                          Json.Obj
+                            [
+                              ( "le",
+                                if b = Float.infinity then Json.Str "+inf"
+                                else Json.Float b );
+                              ("n", Json.Int c);
+                            ])
+                        (buckets h)) );
+               ] ))
+       (in_order ()))

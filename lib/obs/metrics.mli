@@ -1,0 +1,60 @@
+(** Named engine metrics: counters, gauges, and fixed-bucket histograms.
+
+    Instruments register a metric once (at module initialisation or first
+    use) and mutate it from hot paths. All mutators are gated on
+    {!Control}: with telemetry off they load one flag, branch, and return —
+    no allocation, no registry lookup. Gauges and histograms keep their
+    float state in unboxed float arrays so even the enabled path does not
+    allocate per observation.
+
+    Registration is idempotent by name; registering the same name as a
+    different metric kind raises [Invalid_argument]. *)
+
+type counter
+type gauge
+type histogram
+
+(** {1 Registration} *)
+
+val counter : string -> counter
+val gauge : string -> gauge
+
+val histogram : ?bounds:float array -> string -> histogram
+(** [bounds] are strictly increasing bucket upper bounds; an implicit
+    [+inf] overflow bucket is appended. Default bounds are a 1-2-5 decade
+    ladder from 1 to 100k, suitable for cardinalities and milliseconds. *)
+
+(** {1 Mutation (no-ops when telemetry is disabled)} *)
+
+val incr : ?by:int -> counter -> unit
+val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** Raise the gauge to the given value if it currently sits lower — for
+    peaks such as the maximum BNL window size. *)
+
+val observe : histogram -> float -> unit
+
+(** {1 Reading} *)
+
+val count : counter -> int
+val value : gauge -> float
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+val buckets : histogram -> (float * int) list
+(** Upper bound / count pairs, overflow bucket last with bound [infinity]. *)
+
+val counter_value : string -> int option
+(** Look up a counter's current value by name (for tests and dumps). *)
+
+(** {1 Registry-wide operations} *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registration survives). *)
+
+val dump : unit -> string list
+(** One human-readable line per metric, in registration order. *)
+
+val to_json : unit -> Json.t
+(** The whole registry as one JSON object keyed by metric name. *)

@@ -1,0 +1,60 @@
+type phase = { phase_name : string; phase_ms : float }
+
+type t = {
+  algorithm : string;
+  input_rows : int;
+  output_rows : int;
+  comparisons : int;
+  phases : phase list;
+  attrs : (string * string) list;
+}
+
+let make ?(phases = []) ?(attrs = []) ?(comparisons = -1) ~algorithm ~input_rows
+    ~output_rows () =
+  { algorithm; input_rows; output_rows; comparisons; phases; attrs }
+
+let phase phase_name phase_ms = { phase_name; phase_ms }
+let add_attr p k v = { p with attrs = p.attrs @ [ (k, v) ] }
+let add_phases p phases = { p with phases = phases @ p.phases }
+let total_ms p = List.fold_left (fun acc ph -> acc +. ph.phase_ms) 0. p.phases
+
+let to_lines p =
+  Fmt.str "algorithm: %s" p.algorithm
+  :: Fmt.str "rows: %d in -> %d out" p.input_rows p.output_rows
+  :: (if p.comparisons >= 0 then
+        [ Fmt.str "dominance tests: %d" p.comparisons ]
+      else [])
+  @ List.map
+      (fun ph -> Fmt.str "phase %-12s %8.3f ms" ph.phase_name ph.phase_ms)
+      p.phases
+  @ (if p.phases <> [] then [ Fmt.str "total %18.3f ms" (total_ms p) ] else [])
+  @ List.map (fun (k, v) -> Fmt.str "%s: %s" k v) p.attrs
+
+let pp ppf p = Fmt.pf ppf "%s" (String.concat "\n" (to_lines p))
+
+let to_json p =
+  Json.Obj
+    ([
+       ("algorithm", Json.Str p.algorithm);
+       ("input_rows", Json.Int p.input_rows);
+       ("output_rows", Json.Int p.output_rows);
+     ]
+    @ (if p.comparisons >= 0 then [ ("comparisons", Json.Int p.comparisons) ]
+       else [])
+    @ [
+        ( "phases",
+          Json.List
+            (List.map
+               (fun ph ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str ph.phase_name);
+                     ("ms", Json.Float ph.phase_ms);
+                   ])
+               p.phases) );
+      ]
+    @
+    match p.attrs with
+    | [] -> []
+    | attrs ->
+      [ ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs)) ])

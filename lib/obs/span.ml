@@ -1,0 +1,120 @@
+type node = {
+  name : string;
+  start_ns : int64;
+  mutable dur_ns : int64;
+  mutable attrs : (string * string) list;
+  mutable children : node list;  (* reversed while open; ordered at exit *)
+}
+
+(* innermost open span first *)
+let stack : node list ref = ref []
+
+let max_roots = 32
+let root_ring : node list ref = ref []
+
+let finish_root node =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  root_ring := take max_roots (node :: !root_ring)
+
+let enter ?(attrs = []) name =
+  let node =
+    { name; start_ns = Clock.now_ns (); dur_ns = 0L; attrs; children = [] }
+  in
+  stack := node :: !stack;
+  node
+
+let exit_span node =
+  node.dur_ns <- Int64.sub (Clock.now_ns ()) node.start_ns;
+  node.children <- List.rev node.children;
+  (match !stack with
+  | top :: rest when top == node -> stack := rest
+  | _ -> stack := List.filter (fun n -> n != node) !stack);
+  match !stack with
+  | parent :: _ -> parent.children <- node :: parent.children
+  | [] -> finish_root node
+
+let with_span ?attrs name f =
+  if not !Control.flag then f ()
+  else begin
+    let node = enter ?attrs name in
+    Fun.protect ~finally:(fun () -> exit_span node) f
+  end
+
+let add_attr key value =
+  if !Control.flag then
+    match !stack with
+    | node :: _ -> node.attrs <- node.attrs @ [ (key, value) ]
+    | [] -> ()
+
+let collect ?attrs name f =
+  if not !Control.flag then (f (), None)
+  else begin
+    let node = enter ?attrs name in
+    let result = Fun.protect ~finally:(fun () -> exit_span node) f in
+    (result, Some node)
+  end
+
+let roots () = !root_ring
+
+let clear () =
+  root_ring := [];
+  stack := []
+
+let duration_ms node = Clock.ms_of_ns node.dur_ns
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+
+let to_text node =
+  let buf = Buffer.create 256 in
+  let rec go indent node =
+    Buffer.add_string buf
+      (Fmt.str "%s%-*s %8.3f ms%s\n" indent
+         (max 1 (24 - String.length indent))
+         node.name (duration_ms node)
+         (match node.attrs with
+         | [] -> ""
+         | attrs ->
+           "  ["
+           ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs)
+           ^ "]"));
+    List.iter (go (indent ^ "  ")) node.children
+  in
+  go "" node;
+  (* drop the trailing newline for composability *)
+  let s = Buffer.contents buf in
+  if s <> "" && s.[String.length s - 1] = '\n' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let rec to_json node =
+  Json.Obj
+    ([
+       ("name", Json.Str node.name);
+       ("ms", Json.Float (duration_ms node));
+     ]
+    @ (match node.attrs with
+      | [] -> []
+      | attrs ->
+        [ ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs)) ])
+    @
+    match node.children with
+    | [] -> []
+    | children -> [ ("children", Json.List (List.map to_json children)) ])
+
+(* ------------------------------------------------------------------ *)
+(* Plain timing                                                        *)
+
+let timed f =
+  let t0 = Clock.now_ns () in
+  let r = f () in
+  (r, Clock.elapsed_ms ~since:t0)
+
+let timed_span ?attrs name f =
+  let t0 = Clock.now_ns () in
+  let r = with_span ?attrs name f in
+  (r, Clock.elapsed_ms ~since:t0)

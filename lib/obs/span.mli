@@ -1,0 +1,54 @@
+(** Hierarchical tracing spans with monotonic-clock timings.
+
+    A span covers the dynamic extent of a thunk; spans opened inside it
+    become its children, giving a per-query trace tree. With telemetry
+    disabled {!with_span} is the identity on its thunk (one flag load, no
+    allocation).
+
+    Completed root spans are kept in a small ring (most recent first) so a
+    shell or test can fetch the trace of the query it just ran. *)
+
+type node = {
+  name : string;
+  start_ns : int64;
+  mutable dur_ns : int64;
+  mutable attrs : (string * string) list;
+  mutable children : node list;  (** in execution order once finished *)
+}
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span (exception-safe). Identity when disabled. *)
+
+val add_attr : string -> string -> unit
+(** Attach a key/value to the innermost open span; no-op outside a span or
+    when disabled. *)
+
+val collect : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a * node option
+(** Like {!with_span} but also hands back the finished node — [None] when
+    telemetry is disabled. *)
+
+val roots : unit -> node list
+(** Recently completed root spans, most recent first (bounded ring). *)
+
+val clear : unit -> unit
+(** Drop retained root spans and any stale open-span state. *)
+
+val duration_ms : node -> float
+
+(** {1 Exporters} *)
+
+val to_text : node -> string
+(** Indented tree with millisecond durations and attributes. *)
+
+val to_json : node -> Json.t
+
+(** {1 Plain timing (always on)} *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** Run a thunk and return its monotonic wall time in milliseconds,
+    regardless of the telemetry flag — the replacement for ad-hoc
+    [Sys.time] deltas in the bench harness. *)
+
+val timed_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a * float
+(** [timed] wrapped in [with_span]: the duration is measured even when
+    telemetry is disabled, and additionally recorded as a span when on. *)

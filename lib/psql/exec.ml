@@ -20,6 +20,8 @@ let find_table env name =
 type result = {
   relation : Relation.t;
   preference : Pref.t option;  (** the translated preference term, for explain *)
+  profile : Pref_obs.Profile.t option;
+      (** per-clause timings and evaluation counts, when requested *)
 }
 
 let full_preference ?registry (q : Ast.query) =
@@ -129,9 +131,21 @@ let project_result resolve (q : Ast.query) rel =
     in
     Relation.project rel cols
 
-let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) env (q : Ast.query)
-    : result =
-  let rel, where = build_from env q in
+let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl)
+    ?(profile = false) env (q : Ast.query) : result =
+  Pref_obs.Span.with_span "psql.query" @@ fun () ->
+  (* Per-clause phase runner: always a tracing span; additionally a timed
+     profile phase when the caller asked for a profile. *)
+  let phases = ref [] in
+  let phase name f =
+    if profile then begin
+      let r, ms = Pref_obs.Span.timed_span ("psql." ^ name) f in
+      phases := Pref_obs.Profile.phase name ms :: !phases;
+      r
+    end
+    else Pref_obs.Span.with_span ("psql." ^ name) f
+  in
+  let rel, where = phase "from" (fun () -> build_from env q) in
   let schema = Relation.schema rel in
   let resolve = resolver q schema in
   (* hard constraints first: the exact-match world *)
@@ -139,42 +153,84 @@ let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) env (q : Ast.query
     match where with
     | None -> rel
     | Some c ->
-      Relation.select
-        (Translate.condition schema (Ast.map_condition_attrs resolve c))
-        rel
+      phase "where" (fun () ->
+          Relation.select
+            (Translate.condition schema (Ast.map_condition_attrs resolve c))
+            rel)
   in
   let preference =
-    Option.map
-      (fun p -> p)
-      (full_preference ?registry
-         {
-           q with
-           Ast.preferring = Option.map (Ast.map_pref_attrs resolve) q.Ast.preferring;
-           cascade = List.map (Ast.map_pref_attrs resolve) q.Ast.cascade;
-         })
+    phase "translate" (fun () ->
+        full_preference ?registry
+          {
+            q with
+            Ast.preferring =
+              Option.map (Ast.map_pref_attrs resolve) q.Ast.preferring;
+            cascade = List.map (Ast.map_pref_attrs resolve) q.Ast.cascade;
+          })
+  in
+  (* algebraic optimizer step: rewrite the term to a fixpoint of the §4
+     laws; every rule preserves ≡ (Definition 13), hence the BMO result
+     (Proposition 7). The original term is kept for EXPLAIN and the BUT
+     ONLY quality functions. *)
+  let evaluated, rewrite_steps =
+    match preference with
+    | None -> (None, 0)
+    | Some p ->
+      let p', steps = phase "rewrite" (fun () -> Rewrite.simplify_count p) in
+      (Some p', steps)
   in
   let grouping = List.map resolve q.Ast.grouping in
   (* soft constraints: BMO match-making *)
+  let bmo_profile = ref None in
   let after_pref =
-    match preference with
-    | None -> filtered
-    | Some p -> (
-      match q.Ast.top, grouping with
-      | Some k, [] when Pref.is_scorable p ->
-        (* the ranked query model of §6.2: k best by score *)
-        Pref_bmo.Topk.kbest schema p ~k filtered
-      | _, [] -> Pref_bmo.Query.sigma ~algorithm schema p filtered
-      | _, by -> Pref_bmo.Query.sigma_groupby ~algorithm schema p ~by filtered)
+    match preference, evaluated with
+    | None, _ | _, None -> filtered
+    | Some p, Some p_eval ->
+      phase "evaluate" (fun () ->
+          match q.Ast.top, grouping with
+          | Some k, [] when Pref.is_scorable p ->
+            (* the ranked query model of §6.2: k best by score *)
+            let r = Pref_bmo.Topk.kbest schema p ~k filtered in
+            if profile then
+              bmo_profile :=
+                Some
+                  (Pref_obs.Profile.make ~algorithm:"topk"
+                     ~input_rows:(Relation.cardinality filtered)
+                     ~output_rows:(Relation.cardinality r) ());
+            r
+          | _, [] ->
+            if profile then begin
+              let r, prof =
+                Pref_bmo.Query.sigma_profiled ~algorithm schema p_eval filtered
+              in
+              bmo_profile := Some prof;
+              r
+            end
+            else Pref_bmo.Query.sigma ~algorithm schema p_eval filtered
+          | _, by ->
+            let r =
+              Pref_bmo.Query.sigma_groupby ~algorithm schema p_eval ~by filtered
+            in
+            if profile then
+              bmo_profile :=
+                Some
+                  (Pref_obs.Profile.make
+                     ~algorithm:
+                       ("groupby:" ^ Pref_bmo.Query.algorithm_to_string algorithm)
+                     ~input_rows:(Relation.cardinality filtered)
+                     ~output_rows:(Relation.cardinality r) ());
+            r)
   in
   (* BUT ONLY quality supervision *)
   let after_quality =
     match q.Ast.but_only, preference with
     | [], _ -> after_pref
     | qs, Some p ->
-      Relation.select
-        (Translate.quality_filter schema p
-           (List.map (Ast.map_quality_attrs resolve) qs))
-        after_pref
+      phase "quality" (fun () ->
+          Relation.select
+            (Translate.quality_filter schema p
+               (List.map (Ast.map_quality_attrs resolve) qs))
+            after_pref)
     | _ :: _, None -> raise (Error "BUT ONLY requires a PREFERRING clause")
   in
   (* presentation order *)
@@ -182,21 +238,22 @@ let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) env (q : Ast.query
     match q.Ast.order_by with
     | [] -> after_quality
     | keys ->
-      let idx =
-        List.map
-          (fun (a, asc) -> (Schema.index_of_exn schema (resolve a), asc))
-          keys
-      in
-      Relation.sort_by
-        (fun t u ->
-          let rec go = function
-            | [] -> 0
-            | (i, asc) :: rest ->
-              let c = Value.compare (Tuple.get t i) (Tuple.get u i) in
-              if c <> 0 then if asc then c else -c else go rest
+      phase "order" (fun () ->
+          let idx =
+            List.map
+              (fun (a, asc) -> (Schema.index_of_exn schema (resolve a), asc))
+              keys
           in
-          go idx)
-        after_quality
+          Relation.sort_by
+            (fun t u ->
+              let rec go = function
+                | [] -> 0
+                | (i, asc) :: rest ->
+                  let c = Value.compare (Tuple.get t i) (Tuple.get u i) in
+                  if c <> 0 then if asc then c else -c else go rest
+              in
+              go idx)
+            after_quality)
   in
   let after_quality = ordered in
   (* TOP k truncation for non-ranked results *)
@@ -213,7 +270,49 @@ let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) env (q : Ast.query
       Relation.make (Relation.schema after_quality) (take k rows)
     | None, _ -> after_quality
   in
-  { relation = project_result resolve q truncated; preference }
+  let relation = project_result resolve q truncated in
+  let prof =
+    if not profile then None
+    else begin
+      (* the executor owns the clause-level phase list; the BMO profile
+         contributes algorithm, counts and attrs (its internal phases are
+         subsumed by the [evaluate] clause) *)
+      let base =
+        match !bmo_profile with
+        | Some bp -> bp
+        | None ->
+          Pref_obs.Profile.make ~algorithm:"scan"
+            ~input_rows:(Relation.cardinality rel)
+            ~output_rows:(Relation.cardinality relation) ()
+      in
+      let base =
+        { base with Pref_obs.Profile.phases = List.rev !phases }
+      in
+      Some
+        (if rewrite_steps > 0 || preference <> None then
+           Pref_obs.Profile.add_attr base "rewrite_steps"
+             (string_of_int rewrite_steps)
+         else base)
+    end
+  in
+  { relation; preference; profile = prof }
 
-let run ?registry ?algorithm env src =
-  run_query ?registry ?algorithm env (Parser.parse_query src)
+let run ?registry ?algorithm ?(profile = false) env src =
+  if profile then begin
+    let q, parse_ms =
+      Pref_obs.Span.timed_span "psql.parse" (fun () -> Parser.parse_query src)
+    in
+    let r = run_query ?registry ?algorithm ~profile env q in
+    {
+      r with
+      profile =
+        Option.map
+          (fun p ->
+            Pref_obs.Profile.add_phases p
+              [ Pref_obs.Profile.phase "parse" parse_ms ])
+          r.profile;
+    }
+  end
+  else
+    run_query ?registry ?algorithm env
+      (Pref_obs.Span.with_span "psql.parse" (fun () -> Parser.parse_query src))

@@ -18,6 +18,10 @@ type result = {
   relation : Relation.t;
   preference : Preferences.Pref.t option;
       (** the translated preference term, for EXPLAIN-style output *)
+  profile : Pref_obs.Profile.t option;
+      (** present when the query ran with [~profile:true]: per-clause phase
+          timings (parse → from → where → translate → rewrite → evaluate →
+          quality/order), the BMO algorithm and its dominance-test count *)
 }
 
 val full_preference :
@@ -27,6 +31,7 @@ val full_preference :
 val run_query :
   ?registry:Translate.registry ->
   ?algorithm:Pref_bmo.Query.algorithm ->
+  ?profile:bool ->
   env ->
   Ast.query ->
   result
@@ -34,8 +39,11 @@ val run_query :
 val run :
   ?registry:Translate.registry ->
   ?algorithm:Pref_bmo.Query.algorithm ->
+  ?profile:bool ->
   env ->
   string ->
   result
 (** Parse and execute. Raises {!Parser.Error}, {!Translate.Error} or
-    {!Error}. *)
+    {!Error}. [~profile:true] additionally fills {!result.profile};
+    independent of that, every clause runs inside a {!Pref_obs.Span} so
+    traces appear whenever telemetry is globally enabled. *)

@@ -6,6 +6,7 @@ type t = {
   mutable env : Exec.env;
   mutable algorithm : Pref_bmo.Query.algorithm;
   mutable explain : bool;
+  mutable profile : bool;
   repository : Repository.t;
   registry : Translate.registry;
 }
@@ -24,6 +25,7 @@ let create ?(registry = Translate.default_registry) () =
     env = [];
     algorithm = Pref_bmo.Query.Alg_bnl;
     explain = false;
+    profile = false;
     repository =
       Repository.create
         ~registry:
@@ -89,15 +91,25 @@ let expand_references shell src =
 
 let run_sql shell src =
   let src = expand_references shell src in
-  let result = Exec.run ~registry:shell.registry ~algorithm:shell.algorithm shell.env src in
-  let text =
+  let result =
+    Exec.run ~registry:shell.registry ~algorithm:shell.algorithm
+      ~profile:shell.profile shell.env src
+  in
+  let explain_text =
     if shell.explain then
       match result.Exec.preference with
       | Some p -> [ Fmt.str "-- preference: %a" Show.pp p ]
       | None -> [ "-- preference: (none - exact match query)" ]
     else []
   in
-  table ~text result.Exec.relation
+  let profile_text =
+    match result.Exec.profile with
+    | Some prof when shell.profile ->
+      "-- profile:"
+      :: List.map (fun l -> "--   " ^ l) (Pref_obs.Profile.to_lines prof)
+    | Some _ | None -> []
+  in
+  table ~text:(explain_text @ profile_text) result.Exec.relation
 
 let split_words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
 
@@ -174,8 +186,21 @@ let mine_command shell path =
       (report_lines
       @ [ Fmt.str "mined preference (stored as $mined): %a" Show.pp p ])
 
+let set_profile shell on =
+  shell.profile <- on;
+  (* [\profile] also flips the engine-wide telemetry switch so spans and
+     metrics accumulate while profiling *)
+  Pref_obs.Control.set_enabled on;
+  plain [ (if on then "profile: on" else "profile: off") ]
+
 let execute shell line =
   let line = String.trim line in
+  (* backslash commands are dot commands: \profile == .profile *)
+  let line =
+    if line <> "" && line.[0] = '\\' then
+      "." ^ String.sub line 1 (String.length line - 1)
+    else line
+  in
   try
     if line = "" then Ok (plain [])
     else if line.[0] = '.' then
@@ -204,6 +229,26 @@ let execute shell line =
       | [ ".explain"; "off" ] ->
         shell.explain <- false;
         Ok (plain [ "explain: off" ])
+      | [ ".profile" ] -> Ok (set_profile shell (not shell.profile))
+      | [ ".profile"; "on" ] -> Ok (set_profile shell true)
+      | [ ".profile"; "off" ] -> Ok (set_profile shell false)
+      | [ ".stats" ] -> (
+        match Pref_obs.Metrics.dump () with
+        | [] -> Ok (plain [ "(no metrics registered)" ])
+        | lines -> Ok (plain lines))
+      | [ ".stats"; "reset" ] ->
+        Pref_obs.Metrics.reset ();
+        Ok (plain [ "metrics reset" ])
+      | [ ".stats"; "json" ] ->
+        Ok (plain [ Pref_obs.Json.to_string (Pref_obs.Metrics.to_json ()) ])
+      | [ ".trace" ] -> (
+        match Pref_obs.Span.roots () with
+        | [] ->
+          Ok
+            (plain
+               [ "(no trace recorded - turn \\profile on and run a query)" ])
+        | root :: _ ->
+          Ok (plain (String.split_on_char '\n' (Pref_obs.Span.to_text root))))
       | ".pref" :: rest -> Ok (pref_command shell rest)
       | ".sql92" :: rest when rest <> [] -> (
         let src = expand_references shell (String.concat " " (List.tl (split_words line))) in
@@ -220,9 +265,12 @@ let execute shell line =
           (plain
              [
                "commands: .tables | .schema <t> | .load <name> <file.csv>";
-               "          .algorithm naive|bnl|decompose | .explain on|off";
+               "          .algorithm naive|bnl|decompose|auto | .explain on|off";
                "          .pref add|list|del|save|load | .mine <log-file>";
                "          .sql92 <query>  (rewrite to plain SQL92, [KiK01])";
+               "          \\profile [on|off]  per-query profiles (phase timings,";
+               "                             algorithm, dominance-test counts)";
+               "          \\stats [reset|json]  engine metrics | \\trace  last span tree";
                "          .help | .quit";
                "anything else runs as Preference SQL; $name expands a stored";
                "preference inside the query text";

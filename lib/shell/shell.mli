@@ -22,5 +22,13 @@ val create : ?registry:Pref_sql.Translate.registry -> unit -> t
 val add_table : t -> string -> Relation.t -> unit
 
 val execute : t -> string -> (response, string) result
-(** Run one input line: a dot-command or a Preference SQL statement. Never
-    raises; failures come back as [Error message]. *)
+(** Run one input line: a dot-command (backslash-commands are aliases:
+    [\profile] ≡ [.profile]) or a Preference SQL statement. Never raises;
+    failures come back as [Error message].
+
+    Observability commands: [\profile [on|off]] toggles per-query profiles
+    (phase timings, chosen algorithm, dominance-test counts appended as
+    [--] comment lines) and flips {!Pref_obs.Control} so engine metrics
+    and spans accumulate; [\stats] dumps the metrics registry
+    ([reset]/[json] variants); [\trace] prints the most recent query's
+    span tree. *)
