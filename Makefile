@@ -1,4 +1,4 @@
-.PHONY: all build test bench check clean
+.PHONY: all build test bench bench-quick bench-smoke check clean
 
 all: build
 
@@ -11,12 +11,20 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# The pre-push gate: full build, the whole test suite, and the quick bench
-# sweep (correctness checks + telemetry-overhead guard, ends with BENCH_JSON).
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+# ~5-second subset: one worked example, the algebraic laws, one
+# algorithmic comparison, and the parallel evaluation section (B9).
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
+
+# The pre-push gate: full build, the whole test suite, and the bench smoke
+# subset (correctness checks incl. parallel evaluation, ends with BENCH_JSON).
 check:
 	dune build @all
 	dune runtest
-	dune exec bench/main.exe -- --quick
+	$(MAKE) bench-smoke
 
 clean:
 	dune clean

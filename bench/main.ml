@@ -11,13 +11,15 @@
    EXPERIMENTS.md for recorded results.
 
    Run with:  dune exec bench/main.exe            (full run)
-              dune exec bench/main.exe -- --quick (smaller sweeps)  *)
+              dune exec bench/main.exe -- --quick (smaller sweeps)
+              dune exec bench/main.exe -- --smoke (~5 s subset)    *)
 
 open Pref_relation
 open Preferences
 open Pref_bmo
 
-let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+let quick = smoke || Array.exists (fun a -> a = "--quick") Sys.argv
 
 let failures = ref 0
 let checks = ref 0
@@ -868,15 +870,80 @@ let b6 () =
   check "planner beats always-BNL on the anti-correlated skyline"
     !planner_wins_anti
 
+(* ------------------------------------------------------------------ *)
+(* B9 — parallel evaluation: domain fan-out vs the sequential kernels   *)
+
+let b9_results : (string * float * float * float * float) list ref = ref []
+
+let b9 () =
+  section "B9  Parallel evaluation: sequential BNL vs parallel DnC / SFS";
+  let domains = 4 in
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr "  domains requested: %d (recommended on this host: %d)@." domains
+    cores;
+  let ns = if quick then [ 5_000 ] else [ 10_000; 50_000; 200_000 ] in
+  let ds = if quick then [ 2; 5 ] else [ 2; 5; 8 ] in
+  Fmt.pr "  %-16s %-11s %-11s %-11s %-9s %s@." "config" "seq bnl" "par dnc"
+    "par sfs" "speedup" "equal";
+  hr ();
+  let all_equal = ref true in
+  let speed_200k_5 = ref None in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun d ->
+          let rel =
+            Pref_workload.Synthetic.relation ~seed:23 ~n ~dims:d
+              Pref_workload.Synthetic.Independent
+          in
+          let schema = Relation.schema rel in
+          let attrs = Pref_workload.Synthetic.dim_names d in
+          let p = skyline_pref d in
+          let r_seq, t_seq = wall (fun () -> Bnl.query schema p rel) in
+          let r_dnc, t_dnc =
+            wall (fun () -> Parallel.query ~domains schema p rel)
+          in
+          let r_sfs, t_sfs =
+            wall (fun () ->
+                Parallel.query_sfs ~domains schema ~attrs ~maximize:true p rel)
+          in
+          let eq =
+            Relation.equal_as_sets r_seq r_dnc
+            && Relation.equal_as_sets r_seq r_sfs
+          in
+          if not eq then all_equal := false;
+          let speedup = t_seq /. Float.max t_dnc 1e-6 in
+          if n = 200_000 && d = 5 then speed_200k_5 := Some speedup;
+          let label = Printf.sprintf "n=%d,d=%d" n d in
+          b9_results := (label, t_seq, t_dnc, t_sfs, speedup) :: !b9_results;
+          Fmt.pr "  %-16s %8.1f ms %8.1f ms %8.1f ms %7.2fx %b@." label t_seq
+            t_dnc t_sfs speedup eq)
+        ds)
+    ns;
+  check "parallel dnc and sfs equal sequential bnl on every config" !all_equal;
+  match !speed_200k_5 with
+  | Some s when cores >= 4 ->
+    check "parallel dnc >= 2x sequential bnl at n=200k,d=5 (>= 4 cores)"
+      (s >= 2.0)
+  | Some s ->
+    Fmt.pr "  (speedup %.2fx at n=200k,d=5; host has < 4 cores, 2x gate not applicable)@." s
+  | None -> ()
+
 let () =
   Fmt.pr "Preference algebra & BMO reproduction harness%s@."
-    (if quick then " (quick mode)" else "");
+    (if smoke then " (smoke mode)" else if quick then " (quick mode)" else "");
   (* per-section monotonic timings, emitted machine-readably at the end so
      successive bench runs form a trajectory *)
   let sections : (string * float) list ref = ref [] in
+  (* --smoke keeps only a fast representative subset: one worked example,
+     the algebraic laws, one algorithmic comparison, and the parallel
+     section — about five seconds end to end *)
+  let smoke_sections = [ "e1"; "p_laws"; "b4_decompose"; "b9_parallel" ] in
   let run name f =
-    let (), ms = Pref_obs.Span.timed f in
-    sections := (name, ms) :: !sections
+    if (not smoke) || List.mem name smoke_sections then begin
+      let (), ms = Pref_obs.Span.timed f in
+      sections := (name, ms) :: !sections
+    end
   in
   run "e1" e1;
   run "e2" e2;
@@ -899,21 +966,51 @@ let () =
   run "b6_planner" b6;
   run "b7_ablation" b7;
   run "b8_obs" b8;
+  run "b9_parallel" b9;
   Fmt.pr "@.=== summary ===@.";
   Fmt.pr "%d checks, %d failures@." !checks !failures;
   let open Pref_obs in
-  Fmt.pr "BENCH_JSON %s@."
-    (Json.to_string
-       (Json.Obj
-          [
-            ("quick", Json.Bool quick);
-            ("checks", Json.Int !checks);
-            ("failures", Json.Int !failures);
-            ( "sections",
-              Json.Obj
-                (List.rev_map
-                   (fun (name, ms) -> (name, Json.Float ms))
-                   !sections) );
-            ("metrics", Metrics.to_json ());
-          ]));
+  let json =
+    Json.Obj
+      [
+        ("quick", Json.Bool quick);
+        ("smoke", Json.Bool smoke);
+        ("checks", Json.Int !checks);
+        ("failures", Json.Int !failures);
+        ( "sections",
+          Json.Obj
+            (List.rev_map (fun (name, ms) -> (name, Json.Float ms)) !sections)
+        );
+        ( "b9_speedups",
+          Json.Obj
+            (List.rev_map
+               (fun (label, seq_ms, dnc_ms, sfs_ms, speedup) ->
+                 ( label,
+                   Json.Obj
+                     [
+                       ("seq_bnl_ms", Json.Float seq_ms);
+                       ("par_dnc_ms", Json.Float dnc_ms);
+                       ("par_sfs_ms", Json.Float sfs_ms);
+                       ("speedup", Json.Float speedup);
+                     ] ))
+               !b9_results) );
+        ("metrics", Metrics.to_json ());
+      ]
+  in
+  Fmt.pr "BENCH_JSON %s@." (Json.to_string json);
+  (* also record the run as a dated file so successive bench runs leave a
+     comparable trail in the working tree; smoke runs are too small to be
+     comparable and would clobber a real run's file, so they skip it *)
+  if not smoke then (try
+     let tm = Unix.gmtime (Unix.time ()) in
+     let name =
+       Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
+         (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+     in
+     let oc = open_out name in
+     output_string oc (Json.to_string json);
+     output_char oc '\n';
+     close_out oc;
+     Fmt.pr "wrote %s@." name
+   with Sys_error msg -> Fmt.pr "could not write bench file: %s@." msg);
   exit (if !failures = 0 then 0 else 1)

@@ -1,56 +1,137 @@
 open Pref_relation
 
+(* Window of mutually undominated tuples seen so far.  A candidate dominated
+   by a window tuple is discarded; window tuples dominated by the candidate
+   are evicted.  With unbounded memory no temporary file is needed, so a
+   single pass suffices (the in-memory special case of block-nested-loops
+   from the skyline paper).
+
+   The window is a mutable array, not a list: the scan is two flat loops
+   (probe for a dominator, then compact out evicted tuples in place), so the
+   pass allocates nothing per candidate and survives windows of any size —
+   the former recursive scan kept one stack frame per window tuple and
+   overflowed on large anti-chains. *)
+
 let maxima (dom : Dominance.t) rows =
-  (* Window of mutually undominated tuples seen so far.  A candidate
-     dominated by a window tuple is discarded; window tuples dominated by
-     the candidate are evicted.  With unbounded memory no temporary file is
-     needed, so a single pass suffices (the in-memory special case of
-     block-nested-loops from the skyline paper). *)
-  let insert window t =
-    let rec scan = function
-      | [] -> Some []
-      | w :: rest ->
-        if dom w t then None
-        else (
-          match scan rest with
-          | None -> None
-          | Some kept -> Some (if dom t w then kept else w :: kept))
-    in
-    match scan window with
-    | None -> window
-    | Some kept -> t :: kept
-  in
-  List.rev (List.fold_left insert [] rows)
+  match rows with
+  | [] -> []
+  | first :: _ ->
+    let arr = Array.of_list rows in
+    let n = Array.length arr in
+    let win = Array.make n first in
+    let size = ref 0 in
+    for k = 0 to n - 1 do
+      let t = Array.unsafe_get arr k in
+      let dominated = ref false in
+      let i = ref 0 in
+      while (not !dominated) && !i < !size do
+        if dom (Array.unsafe_get win !i) t then dominated := true else incr i
+      done;
+      if not !dominated then begin
+        let j = ref 0 in
+        for i = 0 to !size - 1 do
+          let w = Array.unsafe_get win i in
+          if not (dom t w) then begin
+            Array.unsafe_set win !j w;
+            incr j
+          end
+        done;
+        win.(!j) <- t;
+        size := !j + 1
+      end
+    done;
+    Array.to_list (Array.sub win 0 !size)
 
 let maxima_traced (dom : Dominance.t) rows =
-  (* Same pass as [maxima], threading the window size so the telemetry
-     layer can report the peak without O(n) length scans. *)
-  let peak = ref 0 in
-  let insert (window, size) t =
-    let evicted = ref 0 in
-    let rec scan = function
-      | [] -> Some []
-      | w :: rest ->
-        if dom w t then None
-        else (
-          match scan rest with
-          | None -> None
-          | Some kept ->
-            if dom t w then begin
-              incr evicted;
-              Some kept
-            end
-            else Some (w :: kept))
-    in
-    match scan window with
-    | None -> (window, size)
-    | Some kept ->
-      let size = size - !evicted + 1 in
-      if size > !peak then peak := size;
-      (t :: kept, size)
-  in
-  let window, _ = List.fold_left insert ([], 0) rows in
-  (List.rev window, !peak)
+  (* Same pass as [maxima], tracking the peak window size for telemetry
+     without O(n) length scans. *)
+  match rows with
+  | [] -> ([], 0)
+  | first :: _ ->
+    let arr = Array.of_list rows in
+    let n = Array.length arr in
+    let win = Array.make n first in
+    let size = ref 0 in
+    let peak = ref 0 in
+    for k = 0 to n - 1 do
+      let t = Array.unsafe_get arr k in
+      let dominated = ref false in
+      let i = ref 0 in
+      while (not !dominated) && !i < !size do
+        if dom (Array.unsafe_get win !i) t then dominated := true else incr i
+      done;
+      if not !dominated then begin
+        let j = ref 0 in
+        for i = 0 to !size - 1 do
+          let w = Array.unsafe_get win i in
+          if not (dom t w) then begin
+            Array.unsafe_set win !j w;
+            incr j
+          end
+        done;
+        win.(!j) <- t;
+        size := !j + 1;
+        if !size > !peak then peak := !size
+      end
+    done;
+    (Array.to_list (Array.sub win 0 !size), !peak)
+
+(* ------------------------------------------------------------------ *)
+(* Vectorized kernels                                                  *)
+
+(* The same window pass over pre-projected vectors: each tuple is projected
+   once up front, every dominance test then reads flat arrays.  [count], when
+   given, accumulates the number of dominance tests (a plain ref the caller
+   owns — safe for per-domain counting in the parallel layer). *)
+
+let maxima_proj ~(dominates : 'p -> 'p -> bool) ?count
+    (points : ('p * Tuple.t) array) =
+  let n = Array.length points in
+  if n = 0 then [||]
+  else begin
+    let tests = ref 0 in
+    let win = Array.make n points.(0) in
+    let size = ref 0 in
+    for k = 0 to n - 1 do
+      let ((pt, _) as cand) = Array.unsafe_get points k in
+      let dominated = ref false in
+      let i = ref 0 in
+      while (not !dominated) && !i < !size do
+        incr tests;
+        if dominates (fst (Array.unsafe_get win !i)) pt then dominated := true
+        else incr i
+      done;
+      if not !dominated then begin
+        let j = ref 0 in
+        for i = 0 to !size - 1 do
+          let ((wp, _) as w) = Array.unsafe_get win i in
+          incr tests;
+          if not (dominates pt wp) then begin
+            Array.unsafe_set win !j w;
+            incr j
+          end
+        done;
+        win.(!j) <- cand;
+        size := !j + 1
+      end
+    done;
+    (match count with Some c -> c := !c + !tests | None -> ());
+    Array.sub win 0 !size
+  end
+
+let project_floats proj rows = Array.map (fun t -> (proj t, t)) rows
+
+let maxima_vec ?count (vec : Dominance.vec) (rows : Tuple.t array) =
+  match vec.Dominance.floats with
+  | Some proj ->
+    let pts = project_floats proj rows in
+    Array.map snd
+      (maxima_proj ~dominates:Dominance.float_dominates ?count pts)
+  | None ->
+    let pts = Array.map (fun t -> (vec.Dominance.project t, t)) rows in
+    Array.map snd (maxima_proj ~dominates:vec.Dominance.better ?count pts)
+
+(* ------------------------------------------------------------------ *)
 
 let query schema p rel =
   Pref_obs.Span.with_span "bmo.bnl" (fun () ->

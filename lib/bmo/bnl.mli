@@ -5,7 +5,12 @@
     on the fly and never compared again. Correct for every strict partial
     order: transitivity guarantees a tuple dominated by an evicted window
     tuple is also dominated by the evicting one. Result order: first
-    appearance order of the surviving tuples. *)
+    appearance order of the surviving tuples.
+
+    The window lives in a mutable array and the scan is iterative, so the
+    pass allocates nothing per candidate and handles anti-chain windows of
+    any size (the former recursive scan kept a stack frame per window
+    tuple). *)
 
 open Pref_relation
 
@@ -15,6 +20,24 @@ val maxima_traced : Dominance.t -> Tuple.t list -> Tuple.t list * int
 (** [maxima] plus the peak window size reached during the pass — the
     memory high-water mark query profiles report. Same result as
     {!maxima}. *)
+
+val maxima_vec :
+  ?count:int ref -> Dominance.vec -> Tuple.t array -> Tuple.t array
+(** The vectorized kernel: projects each row once, then runs the window
+    pass over flat vectors ([float array] for pure numeric skylines,
+    [Value.t array] otherwise). [count] accumulates the number of dominance
+    tests performed — a caller-owned ref, so per-chunk counting stays
+    race-free in the parallel layer. Same result set and order as
+    {!maxima}. *)
+
+val maxima_proj :
+  dominates:('p -> 'p -> bool) ->
+  ?count:int ref ->
+  ('p * Tuple.t) array ->
+  ('p * Tuple.t) array
+(** The window pass over caller-projected points, keeping the projections
+    in the result — the building block {!Parallel} reuses so chunk windows
+    can be merged without re-projecting. *)
 
 val query : Schema.t -> Preferences.Pref.t -> Relation.t -> Relation.t
 (** σ[P](R) via BNL. When telemetry ({!Pref_obs.Control}) is on, reports

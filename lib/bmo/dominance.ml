@@ -11,3 +11,82 @@ let counting dom =
     dom a b
   in
   (dom', fun () -> !n)
+
+(* ------------------------------------------------------------------ *)
+(* Vectorized dominance                                                *)
+
+type vec = {
+  attrs : string list;
+  width : int;
+  project : Tuple.t -> Value.t array;
+  better : Value.t array -> Value.t array -> bool;
+  floats : (Tuple.t -> float array) option;
+}
+
+(* Float dominance with NULL encoded as nan: on each dimension a number
+   beats nan strictly, two nans tie (NULL = NULL under Value.equal, which
+   is what the compiled Pareto equality test sees), and two numbers compare
+   normally. [v] dominates [w] iff v is >= on every dimension and > on at
+   least one. *)
+let ge_dim a b =
+  if Float.is_nan b then true else (not (Float.is_nan a)) && a >= b
+
+let gt_dim a b =
+  (not (Float.is_nan a)) && (Float.is_nan b || a > b)
+
+let float_dominates (v : float array) (w : float array) =
+  let d = Array.length v in
+  let i = ref 0 in
+  while !i < d && ge_dim (Array.unsafe_get v !i) (Array.unsafe_get w !i) do
+    incr i
+  done;
+  !i >= d
+  &&
+  let j = ref 0 in
+  while
+    !j < d && not (gt_dim (Array.unsafe_get v !j) (Array.unsafe_get w !j))
+  do
+    incr j
+  done;
+  !j < d
+
+let float_projector schema attrs ~maximize =
+  let idx = Array.of_list (List.map (Schema.index_of_exn schema) attrs) in
+  let sign = if maximize then 1.0 else -1.0 in
+  fun t ->
+    Array.map
+      (fun i ->
+        match Value.as_float (Tuple.get t i) with
+        | Some f -> sign *. f
+        | None -> Float.nan)
+      idx
+
+(* The float path is exact only when the chain attributes are numeric in
+   the schema (the relation layer enforces column types, so the values are
+   then numbers or NULL — both encodable). A numeric chain over e.g. a
+   string column keeps the general Value.t-vector path. *)
+let numeric_ty = function
+  | Value.TInt | Value.TFloat | Value.TDate | Value.TBool -> true
+  | Value.TStr -> false
+
+let of_pref_vec schema p =
+  let vc = Preferences.Pref.compile_vec schema p in
+  let floats =
+    match Preferences.Pref.chain_dims p with
+    | Some (attrs, maximize)
+      when List.for_all
+             (fun a ->
+               match Schema.type_of schema a with
+               | Some ty -> numeric_ty ty
+               | None -> false)
+             attrs ->
+      Some (float_projector schema attrs ~maximize)
+    | Some _ | None -> None
+  in
+  {
+    attrs = vc.Preferences.Pref.vc_attrs;
+    width = Array.length vc.Preferences.Pref.vc_index;
+    project = Preferences.Pref.vec_project vc;
+    better = vc.Preferences.Pref.vc_better;
+    floats;
+  }

@@ -2,7 +2,15 @@
 
     [dom a b] holds when tuple [a] is strictly better than tuple [b]
     ([b <_P a]). All BMO algorithms are parameterised over such a test so
-    they work for every preference constructor. *)
+    they work for every preference constructor.
+
+    The {!vec} form is the hot-loop contract of the array-based kernels:
+    each tuple is projected once onto the preference's attributes and every
+    dominance test then reads a short flat vector — no per-test name lookup
+    and no closure-tree walk over unrelated columns. For pure numeric
+    skylines ({!Preferences.Pref.chain_dims}) over numeric columns an
+    additional unboxed [float array] path applies, with NULL encoded as
+    [nan] (a number beats NULL, two NULLs tie). *)
 
 open Pref_relation
 
@@ -13,3 +21,23 @@ val of_pref : Schema.t -> Preferences.Pref.t -> t
 
 val counting : t -> t * (unit -> int)
 (** Instrument a test with a comparison counter, for the cost experiments. *)
+
+(** {1 Vectorized dominance} *)
+
+type vec = {
+  attrs : string list;  (** projected attributes, in slot order *)
+  width : int;
+  project : Tuple.t -> Value.t array;  (** per-tuple projection, done once *)
+  better : Value.t array -> Value.t array -> bool;
+      (** dominance over projection vectors *)
+  floats : (Tuple.t -> float array) option;
+      (** [Some proj] when the preference is a pure numeric skyline over
+          numeric columns: {!float_dominates} on [proj t] is then exactly
+          [better] (larger is better; the projection folds in direction). *)
+}
+
+val of_pref_vec : Schema.t -> Preferences.Pref.t -> vec
+
+val float_dominates : float array -> float array -> bool
+(** Pointwise float dominance: >= everywhere, > somewhere; [nan] encodes
+    NULL (strictly below every number, tied with itself). *)

@@ -13,6 +13,13 @@ let query_ms =
   Metrics.histogram "bmo.query_ms"
     ~bounds:[| 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1_000.; 10_000. |]
 
+let par_queries = Metrics.counter "bmo.par.queries"
+let par_chunk_rows = Metrics.histogram "bmo.par.chunk_rows"
+
+let par_merge_ms =
+  Metrics.histogram "bmo.par.merge_ms"
+    ~bounds:[| 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1_000.; 10_000. |]
+
 let plan_chosen kind =
   (* gated here because the registry lookup itself is not free *)
   if Control.is_enabled () then

@@ -23,6 +23,15 @@ val ta_examined : Pref_obs.Metrics.counter
 val result_size : Pref_obs.Metrics.histogram
 val query_ms : Pref_obs.Metrics.histogram
 
+val par_queries : Pref_obs.Metrics.counter
+(** Queries answered by the parallel evaluation layer. *)
+
+val par_chunk_rows : Pref_obs.Metrics.histogram
+(** Input rows per parallel chunk (one observation per chunk). *)
+
+val par_merge_ms : Pref_obs.Metrics.histogram
+(** Wall time of the merge / cross-filter phase of parallel evaluation. *)
+
 val plan_chosen : string -> unit
 (** Bump the [bmo.plan_chosen.<kind>] counter for the planner's choice. *)
 

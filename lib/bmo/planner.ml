@@ -6,6 +6,8 @@ type plan =
   | Plan_bnl
   | Plan_sfs of { attrs : string list; maximize : bool }
   | Plan_dnc of { attrs : string list; maximize : bool }
+  | Plan_par_dnc of { domains : int }
+  | Plan_par_sfs of { attrs : string list; maximize : bool; domains : int }
   | Plan_cascade of Pref.t * Pref.t  (** Proposition 11: chain & rest *)
   | Plan_decompose
 
@@ -14,6 +16,8 @@ let plan_kind = function
   | Plan_bnl -> "bnl"
   | Plan_sfs _ -> "sfs"
   | Plan_dnc _ -> "dnc"
+  | Plan_par_dnc _ -> "par_dnc"
+  | Plan_par_sfs _ -> "par_sfs"
   | Plan_cascade _ -> "cascade"
   | Plan_decompose -> "decompose"
 
@@ -26,6 +30,11 @@ let plan_to_string = function
   | Plan_dnc { attrs; maximize } ->
     Printf.sprintf "dnc(%s %s)" (String.concat "," attrs)
       (if maximize then "max" else "min")
+  | Plan_par_dnc { domains } -> Printf.sprintf "par_dnc(domains=%d)" domains
+  | Plan_par_sfs { attrs; maximize; domains } ->
+    Printf.sprintf "par_sfs(%s %s domains=%d)" (String.concat "," attrs)
+      (if maximize then "max" else "min")
+      domains
   | Plan_cascade (p1, p2) ->
     Printf.sprintf "cascade(%s; %s)" (Show.to_string p1) (Show.to_string p2)
   | Plan_decompose -> "decompose"
@@ -34,24 +43,11 @@ let plan_to_string = function
 (* Structural analysis                                                 *)
 
 (* Is the term a Pareto accumulation of pure numeric chains, all in the
-   same direction?  Then the [KLP75] divide & conquer and SFS apply. *)
-let rec chain_dims = function
-  | Pref.Highest a -> Some ([ a ], true)
-  | Pref.Lowest a -> Some ([ a ], false)
-  | Pref.Dual p -> (
-    match chain_dims p with
-    | Some (attrs, maximize) -> Some (attrs, not maximize)
-    | None -> None)
-  | Pref.Pareto (p, q) -> (
-    match chain_dims p, chain_dims q with
-    | Some (a1, m1), Some (a2, m2) when m1 = m2 && Attr.disjoint a1 a2 ->
-      Some (a1 @ a2, m1)
-    | _ -> None)
-  | Pref.Pos _ | Pref.Neg _ | Pref.Pos_neg _ | Pref.Pos_pos _
-  | Pref.Explicit _ | Pref.Around _ | Pref.Between _ | Pref.Score _
-  | Pref.Antichain _ | Pref.Prior _ | Pref.Rank _ | Pref.Inter _
-  | Pref.Dunion _ | Pref.Lsum _ | Pref.Two_graphs _ ->
-    None
+   same direction?  Then the [KLP75] divide & conquer and SFS apply.
+   The analysis itself lives in {!Preferences.Pref} (the vectorized
+   dominance compiler needs it too); re-exported here because it is
+   planner vocabulary. *)
+let chain_dims = Pref.chain_dims
 
 (* Is the head of a prioritization a chain on the data?  We accept the
    syntactic chains (LOWEST / HIGHEST / injective-by-construction rank is
@@ -109,10 +105,18 @@ let sampled_correlation schema attrs rows =
 (* ------------------------------------------------------------------ *)
 (* Plan choice                                                         *)
 
-let choose schema p rel =
+(* Minimum rows per domain before fanning out pays for the projection and
+   merge overhead. *)
+let par_chunk_threshold = 8192
+
+let choose ?domains schema p rel =
   Pref_obs.Span.with_span "bmo.plan.choose" @@ fun () ->
+  let d =
+    match domains with Some d -> max 1 d | None -> Parallel.default_domains ()
+  in
   let rows = Relation.rows rel in
   let n = List.length rows in
+  let big = d > 1 && n >= par_chunk_threshold * d in
   if n <= 64 then Plan_naive
   else
     match p with
@@ -125,9 +129,14 @@ let choose schema p rel =
       | Some (attrs, maximize) ->
         let r = sampled_correlation schema attrs rows in
         let anti = r < -0.3 in
-        if anti && List.length attrs >= 2 then Plan_dnc { attrs; maximize }
+        if anti && List.length attrs >= 2 then
+          (* Large-skyline regime: the recursive median split of [KLP75]
+             beats window passes, and chunked windows would make the merge
+             itself quadratic in the (huge) result. Keep it sequential. *)
+          Plan_dnc { attrs; maximize }
+        else if big then Plan_par_sfs { attrs; maximize; domains = d }
         else Plan_bnl
-      | None -> Plan_bnl)
+      | None -> if big then Plan_par_dnc { domains = d } else Plan_bnl)
 
 let execute schema p rel plan =
   Pref_obs.Span.with_span "bmo.plan.execute"
@@ -139,10 +148,13 @@ let execute schema p rel plan =
   | Plan_sfs { attrs; maximize } ->
     Sfs.query schema ~key:(Sfs.sum_key schema attrs ~maximize) p rel
   | Plan_dnc { attrs; maximize } -> Dnc.query schema ~attrs ~maximize rel
+  | Plan_par_dnc { domains } -> Parallel.query ~domains schema p rel
+  | Plan_par_sfs { attrs; maximize; domains } ->
+    Parallel.query_sfs ~domains schema ~attrs ~maximize p rel
   | Plan_cascade (p1, p2) -> Decompose.cascade schema p1 p2 rel
   | Plan_decompose -> Decompose.eval schema p rel
 
-let run schema p rel =
-  let plan = choose schema p rel in
+let run ?domains schema p rel =
+  let plan = choose ?domains schema p rel in
   Obs.plan_chosen (plan_kind plan);
   (execute schema p rel plan, plan)

@@ -9,8 +9,11 @@
       (Proposition 11): the chain prunes the input to a thin slice first;
     - a Pareto accumulation of same-direction numeric chains is a skyline;
       a sampled correlation estimate picks [KLP75] divide & conquer on
-      anti-correlated data (large skylines) and BNL otherwise;
-    - everything else runs BNL.
+      anti-correlated data (large skylines) and BNL otherwise; on inputs
+      big enough to feed every domain (≥ 8192 rows per domain with more
+      than one domain configured) the skyline runs as parallel SFS;
+    - everything else runs BNL, or parallel divide & conquer when the
+      input is big enough.
 
     All plans compute σ[P](R) exactly; the test suite checks each against
     the naive evaluation. *)
@@ -22,14 +25,17 @@ type plan =
   | Plan_bnl
   | Plan_sfs of { attrs : string list; maximize : bool }
   | Plan_dnc of { attrs : string list; maximize : bool }
+  | Plan_par_dnc of { domains : int }
+  | Plan_par_sfs of { attrs : string list; maximize : bool; domains : int }
   | Plan_cascade of Preferences.Pref.t * Preferences.Pref.t
   | Plan_decompose
 
 val plan_to_string : plan -> string
 
 val plan_kind : plan -> string
-(** Constructor name only ([naive], [bnl], [sfs], [dnc], [cascade],
-    [decompose]) — the label the [bmo.plan_chosen.*] metrics use. *)
+(** Constructor name only ([naive], [bnl], [sfs], [dnc], [par_dnc],
+    [par_sfs], [cascade], [decompose]) — the label the [bmo.plan_chosen.*]
+    metrics use. *)
 
 val chain_dims : Preferences.Pref.t -> (string list * bool) option
 (** [Some (attrs, maximize)] when the term is a Pareto accumulation of
@@ -40,10 +46,15 @@ val sampled_correlation :
 (** Pearson correlation of the first two numeric attributes over a sample
     of at most 500 rows; 0 when not estimable. *)
 
-val choose : Schema.t -> Preferences.Pref.t -> Relation.t -> plan
+val choose : ?domains:int -> Schema.t -> Preferences.Pref.t -> Relation.t -> plan
+(** [domains] caps the parallelism considered; defaults to
+    {!Parallel.default_domains}. With [domains:1] no parallel plan is ever
+    chosen. *)
+
 val execute :
   Schema.t -> Preferences.Pref.t -> Relation.t -> plan -> Relation.t
 
 val run :
+  ?domains:int ->
   Schema.t -> Preferences.Pref.t -> Relation.t -> Relation.t * plan
 (** Choose and execute; returns the chosen plan for EXPLAIN output. *)

@@ -1,0 +1,120 @@
+(* Fixed-size Domain work pool.
+
+   [create ~domains:d] spawns [d - 1] worker domains blocked on a shared
+   job queue; the caller itself acts as domain 0 during {!map}, so exactly
+   [d] domains execute jobs and [domains:1] degenerates to a plain
+   sequential loop with no domain spawned at all.
+
+   Jobs are closures; {!map} enqueues one job per element, participates in
+   draining the queue, then blocks until every job of the call has
+   finished.  Results land in a per-call array indexed by input position,
+   so the output order is deterministic regardless of which domain ran
+   which job.  The first exception raised by any job is re-raised in the
+   caller once the batch has drained. *)
+
+type t = {
+  domains : int;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  nonempty : Condition.t;  (* queue became non-empty, or shutdown *)
+  finished : Condition.t;  (* some job of some batch completed *)
+  queue : (unit -> unit) Queue.t;
+  mutable stopped : bool;
+}
+
+let self_key = Domain.DLS.new_key (fun () -> 0)
+let self () = Domain.DLS.get self_key
+
+let worker pool id () =
+  Domain.DLS.set self_key id;
+  let rec loop () =
+    Mutex.lock pool.m;
+    while Queue.is_empty pool.queue && not pool.stopped do
+      Condition.wait pool.nonempty pool.m
+    done;
+    if Queue.is_empty pool.queue then Mutex.unlock pool.m
+    else begin
+      let job = Queue.pop pool.queue in
+      Mutex.unlock pool.m;
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let pool =
+    {
+      domains;
+      workers = [||];
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      finished = Condition.create ();
+      queue = Queue.create ();
+      stopped = false;
+    }
+  in
+  pool.workers <- Array.init (domains - 1) (fun i -> Domain.spawn (worker pool (i + 1)));
+  pool
+
+let size pool = pool.domains
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.stopped <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.m;
+  Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+let map pool f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let error = ref None in
+    let remaining = ref n in
+    let job i () =
+      (try results.(i) <- Some (f items.(i))
+       with e ->
+         Mutex.lock pool.m;
+         (match !error with None -> error := Some e | Some _ -> ());
+         Mutex.unlock pool.m);
+      Mutex.lock pool.m;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast pool.finished;
+      Mutex.unlock pool.m
+    in
+    Mutex.lock pool.m;
+    for i = 0 to n - 1 do
+      Queue.push (job i) pool.queue
+    done;
+    Condition.broadcast pool.nonempty;
+    (* The caller drains jobs alongside the workers (it IS domain 0), then
+       waits for stragglers still running on worker domains. *)
+    let rec drive () =
+      if not (Queue.is_empty pool.queue) then begin
+        let j = Queue.pop pool.queue in
+        Mutex.unlock pool.m;
+        j ();
+        Mutex.lock pool.m;
+        drive ()
+      end
+    in
+    drive ();
+    while !remaining > 0 do
+      Condition.wait pool.finished pool.m
+    done;
+    Mutex.unlock pool.m;
+    (match !error with Some e -> raise e | None -> ());
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let chunks ~domains n =
+  let k = max 1 (min domains n) in
+  let base = n / k and extra = n mod k in
+  Array.init k (fun i ->
+      let off = (i * base) + min i extra in
+      let len = base + if i < extra then 1 else 0 in
+      (off, len))

@@ -1,0 +1,36 @@
+(** Fixed-size Domain work pool for parallel BMO evaluation.
+
+    [create ~domains:d] spawns [d - 1] worker domains; the calling domain
+    participates as worker 0 during {!map}, so [d] domains execute jobs in
+    total and [~domains:1] runs everything inline without spawning. The
+    pool is reusable across batches — spawning domains is the expensive
+    part, so {!Parallel} keeps one pool cached per configured size. *)
+
+type t
+
+val create : domains:int -> t
+(** Raises [Invalid_argument] when [domains < 1]. *)
+
+val size : t -> int
+(** Total executing domains, including the caller. *)
+
+val self : unit -> int
+(** Id of the domain running the current job: [0] for the caller (and for
+    any code outside a pool job), [1 .. size-1] for worker domains. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f items] runs [f] over all items across the pool's domains
+    and returns the results in input order (deterministic merge order, no
+    matter which domain ran which item). Blocks until every item is done.
+    If any [f] raises, the first exception observed is re-raised in the
+    caller after the batch has drained. Not re-entrant: do not call [map]
+    from inside a job of the same pool. *)
+
+val shutdown : t -> unit
+(** Join all worker domains. Queued-but-unstarted batches finish first;
+    the pool must not be used afterwards. *)
+
+val chunks : domains:int -> int -> (int * int) array
+(** [(offset, length)] slices splitting [n] elements into at most
+    [domains] contiguous, balanced, non-empty chunks (fewer when
+    [n < domains]). *)

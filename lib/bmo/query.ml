@@ -4,12 +4,14 @@ type algorithm =
   | Alg_naive
   | Alg_bnl
   | Alg_decompose
+  | Alg_parallel
   | Alg_auto
 
 let algorithm_of_string = function
   | "naive" -> Some Alg_naive
   | "bnl" -> Some Alg_bnl
   | "decompose" -> Some Alg_decompose
+  | "parallel" -> Some Alg_parallel
   | "auto" -> Some Alg_auto
   | _ -> None
 
@@ -17,16 +19,18 @@ let algorithm_to_string = function
   | Alg_naive -> "naive"
   | Alg_bnl -> "bnl"
   | Alg_decompose -> "decompose"
+  | Alg_parallel -> "parallel"
   | Alg_auto -> "auto"
 
-let sigma ?(algorithm = Alg_bnl) schema p rel =
+let sigma ?(algorithm = Alg_bnl) ?domains schema p rel =
   match algorithm with
   | Alg_naive -> Naive.query schema p rel
   | Alg_bnl -> Bnl.query schema p rel
   | Alg_decompose -> Decompose.eval schema p rel
-  | Alg_auto -> fst (Planner.run schema p rel)
+  | Alg_parallel -> Parallel.query ?domains schema p rel
+  | Alg_auto -> fst (Planner.run ?domains schema p rel)
 
-let sigma_profiled ?(algorithm = Alg_bnl) schema p rel =
+let sigma_profiled ?(algorithm = Alg_bnl) ?domains schema p rel =
   Pref_obs.Span.with_span "bmo.sigma_profiled" @@ fun () ->
   let rows = Relation.rows rel in
   let input_rows = List.length rows in
@@ -35,11 +39,11 @@ let sigma_profiled ?(algorithm = Alg_bnl) schema p rel =
     Pref_obs.Span.timed (fun () -> Dominance.of_pref schema p)
   in
   let dom, comparisons = Dominance.counting dom_raw in
-  let alg_name, result, extra_phases, attrs, eval_ms, counted =
+  let alg_name, result, extra_phases, attrs, eval_ms, comparisons_of =
     match algorithm with
     | Alg_naive ->
       let best, ms = Pref_obs.Span.timed (fun () -> Naive.maxima dom rows) in
-      ("naive", remake best, [], [], ms, true)
+      ("naive", remake best, [], [], ms, comparisons)
     | Alg_bnl ->
       let (best, peak), ms =
         Pref_obs.Span.timed (fun () -> Bnl.maxima_traced dom rows)
@@ -50,15 +54,42 @@ let sigma_profiled ?(algorithm = Alg_bnl) schema p rel =
         [],
         [ ("window_peak", string_of_int peak) ],
         ms,
-        true )
+        comparisons )
     | Alg_decompose ->
       (* decomposition compiles its own sub-preference dominance tests, so
          the explicit counter does not see them *)
       let r, ms = Pref_obs.Span.timed (fun () -> Decompose.eval schema p rel) in
-      ("decompose", r, [], [], ms, false)
+      ("decompose", r, [], [], ms, fun () -> -1)
+    | Alg_parallel ->
+      let d =
+        match domains with
+        | Some d -> max 1 d
+        | None -> Parallel.default_domains ()
+      in
+      let vec = Dominance.of_pref_vec schema p in
+      let rows_arr = Array.of_list rows in
+      let (best, stats), ms =
+        Pref_obs.Span.timed (fun () -> Parallel.maxima_dnc ~domains:d vec rows_arr)
+      in
+      Pref_obs.Metrics.incr Obs.par_queries;
+      Array.iter
+        (fun c ->
+          Pref_obs.Metrics.observe Obs.par_chunk_rows
+            (float_of_int c.Parallel.c_rows))
+        stats.Parallel.s_chunks;
+      Pref_obs.Metrics.observe Obs.par_merge_ms stats.Parallel.s_merge_ms;
+      ( "par_dnc",
+        remake (Array.to_list best),
+        [
+          Pref_obs.Profile.phase "local" stats.Parallel.s_local_ms;
+          Pref_obs.Profile.phase "merge" stats.Parallel.s_merge_ms;
+        ],
+        Parallel.stats_attrs stats,
+        ms,
+        fun () -> Parallel.total_tests stats )
     | Alg_auto ->
       let plan, plan_ms =
-        Pref_obs.Span.timed (fun () -> Planner.choose schema p rel)
+        Pref_obs.Span.timed (fun () -> Planner.choose ?domains schema p rel)
       in
       Obs.plan_chosen (Planner.plan_kind plan);
       let r, ms =
@@ -69,10 +100,10 @@ let sigma_profiled ?(algorithm = Alg_bnl) schema p rel =
         [ Pref_obs.Profile.phase "plan" plan_ms ],
         [ ("plan", Planner.plan_to_string plan) ],
         ms,
-        false )
+        fun () -> -1 )
   in
   let output_rows = Relation.cardinality result in
-  let comparisons = if counted then comparisons () else -1 in
+  let comparisons = comparisons_of () in
   Obs.record_query ~algorithm:alg_name ~n_in:input_rows ~n_out:output_rows
     ~comparisons ~ms:eval_ms;
   let profile =
@@ -86,7 +117,10 @@ let sigma_profiled ?(algorithm = Alg_bnl) schema p rel =
 
 let sigma_groupby ?(algorithm = Alg_bnl) schema p ~by rel =
   match algorithm with
-  | Alg_naive | Alg_decompose | Alg_auto -> Groupby.query schema p ~by rel
+  (* groups are typically far below the parallel threshold, so the parallel
+     algorithm routes through the generic per-group evaluation too *)
+  | Alg_naive | Alg_decompose | Alg_parallel | Alg_auto ->
+    Groupby.query schema p ~by rel
   | Alg_bnl ->
     let dom = Dominance.of_pref schema p in
     let rows =

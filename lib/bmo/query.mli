@@ -11,6 +11,7 @@ type algorithm =
   | Alg_naive  (** exhaustive better-than tests, O(n²) *)
   | Alg_bnl  (** block-nested-loops window algorithm *)
   | Alg_decompose  (** divide & conquer via Propositions 8–12 *)
+  | Alg_parallel  (** chunked multi-domain evaluation ({!Parallel}) *)
   | Alg_auto  (** cost-based choice by {!Planner} *)
 
 val algorithm_of_string : string -> algorithm option
@@ -18,22 +19,28 @@ val algorithm_to_string : algorithm -> string
 
 val sigma :
   ?algorithm:algorithm ->
+  ?domains:int ->
   Schema.t ->
   Preferences.Pref.t ->
   Relation.t ->
   Relation.t
-(** σ[P](R): all best-matching tuples, and only those. Default: BNL. *)
+(** σ[P](R): all best-matching tuples, and only those. Default: BNL.
+    [domains] sets the degree of parallelism for [Alg_parallel] and caps
+    what [Alg_auto] may plan (default {!Parallel.default_domains}). *)
 
 val sigma_profiled :
   ?algorithm:algorithm ->
+  ?domains:int ->
   Schema.t ->
   Preferences.Pref.t ->
   Relation.t ->
   Relation.t * Pref_obs.Profile.t
 (** [sigma] plus a query profile: input/output cardinality, the algorithm
     actually run (including the planner's choice under [Alg_auto]), exact
-    dominance-test counts for [Alg_naive]/[Alg_bnl] ([-1] otherwise), and
-    compile/plan/evaluate phase timings. The profile is built
+    dominance-test counts for [Alg_naive]/[Alg_bnl]/[Alg_parallel] ([-1]
+    otherwise), and compile/plan/evaluate phase timings — for
+    [Alg_parallel] additionally the local/merge phase split, chunk sizes
+    and per-chunk test counts. The profile is built
     unconditionally — it does not require {!Pref_obs.Control} to be on;
     the global flag only decides whether the run also feeds the
     engine-wide metrics and spans. *)

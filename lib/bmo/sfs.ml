@@ -1,20 +1,40 @@
 open Pref_relation
 
+(* Presort by a topological key (dominating tuples sort first), then run a
+   single window pass.  Because no later tuple can dominate an earlier one,
+   window tuples are never evicted — each candidate is only checked against
+   the current window.
+
+   Like {!Bnl}, the sort and the window are array-based: [Array.stable_sort]
+   on a materialised array, then an append-only array window probed by a
+   flat loop. *)
+
+let sorted_array ~key rows =
+  let arr = Array.of_list rows in
+  Array.stable_sort (fun a b -> Float.compare (key b) (key a)) arr;
+  arr
+
 let maxima ~key (dom : Dominance.t) rows =
-  (* Presort by a topological key (dominating tuples sort first), then run a
-     single window pass.  Because no later tuple can dominate an earlier
-     one, window tuples are never evicted — each candidate is only checked
-     against the current window. *)
-  let sorted =
-    List.stable_sort (fun a b -> Float.compare (key b) (key a)) rows
-  in
-  let window =
-    List.fold_left
-      (fun window t ->
-        if List.exists (fun w -> dom w t) window then window else t :: window)
-      [] sorted
-  in
-  List.rev window
+  match rows with
+  | [] -> []
+  | first :: _ ->
+    let arr = sorted_array ~key rows in
+    let n = Array.length arr in
+    let win = Array.make n first in
+    let size = ref 0 in
+    for k = 0 to n - 1 do
+      let t = Array.unsafe_get arr k in
+      let dominated = ref false in
+      let i = ref 0 in
+      while (not !dominated) && !i < !size do
+        if dom (Array.unsafe_get win !i) t then dominated := true else incr i
+      done;
+      if not !dominated then begin
+        win.(!size) <- t;
+        incr size
+      end
+    done;
+    Array.to_list (Array.sub win 0 !size)
 
 let sum_key schema attrs ~maximize =
   let idx = List.map (Schema.index_of_exn schema) attrs in
@@ -26,6 +46,55 @@ let sum_key schema attrs ~maximize =
         | Some f -> acc +. (sign *. f)
         | None -> acc +. (sign *. Float.neg_infinity))
       0.0 idx
+
+(* ------------------------------------------------------------------ *)
+(* Vectorized kernel                                                   *)
+
+(* Filter pass over pre-sorted, pre-projected points: append-only window,
+   no evictions.  Shared by the sequential path and the per-chunk workers
+   of {!Parallel}. *)
+let filter_sorted ~(dominates : 'p -> 'p -> bool) ?count
+    (points : ('p * Tuple.t) array) =
+  let n = Array.length points in
+  if n = 0 then [||]
+  else begin
+    let tests = ref 0 in
+    let win = Array.make n points.(0) in
+    let size = ref 0 in
+    for k = 0 to n - 1 do
+      let ((pt, _) as cand) = Array.unsafe_get points k in
+      let dominated = ref false in
+      let i = ref 0 in
+      while (not !dominated) && !i < !size do
+        incr tests;
+        if dominates (fst (Array.unsafe_get win !i)) pt then dominated := true
+        else incr i
+      done;
+      if not !dominated then begin
+        win.(!size) <- cand;
+        incr size
+      end
+    done;
+    (match count with Some c -> c := !c + !tests | None -> ());
+    Array.sub win 0 !size
+  end
+
+let project_sorted ~key (vec : Dominance.vec) rows =
+  let arr = sorted_array ~key rows in
+  match vec.Dominance.floats with
+  | Some proj ->
+    `Floats (Array.map (fun t -> (proj t, t)) arr)
+  | None -> `General (Array.map (fun t -> (vec.Dominance.project t, t)) arr)
+
+let maxima_vec ?count ~key (vec : Dominance.vec) rows =
+  match project_sorted ~key vec rows with
+  | `Floats pts ->
+    Array.map snd
+      (filter_sorted ~dominates:Dominance.float_dominates ?count pts)
+  | `General pts ->
+    Array.map snd (filter_sorted ~dominates:vec.Dominance.better ?count pts)
+
+(* ------------------------------------------------------------------ *)
 
 let query schema ~key p rel =
   Pref_obs.Span.with_span "bmo.sfs" (fun () ->
@@ -45,9 +114,7 @@ let progressive ~key (dom : Dominance.t) rows =
      can be emitted as soon as they are found — the progressive behaviour
      of [TEO01]-style skyline computation.  The window is shared across
      pulls of the sequence. *)
-  let sorted =
-    List.stable_sort (fun a b -> Float.compare (key b) (key a)) rows
-  in
+  let sorted = Array.to_list (sorted_array ~key rows) in
   let window = ref [] in
   let rec emit pending () =
     match pending with

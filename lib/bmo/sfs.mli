@@ -5,7 +5,11 @@
     preference over numeric chains). Under that precondition the window only
     grows, which makes SFS faster than BNL on data with large skylines.
     Supplying a non-topological key yields wrong results — the test suite
-    checks both directions. *)
+    checks both directions.
+
+    The sort runs over a materialised array ([Array.stable_sort]) and the
+    filter pass probes an append-only array window, so neither phase
+    allocates per candidate. *)
 
 open Pref_relation
 
@@ -14,6 +18,26 @@ val maxima : key:(Tuple.t -> float) -> Dominance.t -> Tuple.t list -> Tuple.t li
 val sum_key : Schema.t -> string list -> maximize:bool -> Tuple.t -> float
 (** Topological key for Pareto preferences of HIGHEST (or, with
     [maximize:false], LOWEST) chains over the named numeric attributes. *)
+
+val maxima_vec :
+  ?count:int ref ->
+  key:(Tuple.t -> float) ->
+  Dominance.vec ->
+  Tuple.t list ->
+  Tuple.t array
+(** Vectorized sort-filter: sort, project each row once, filter over flat
+    vectors. [count] accumulates dominance tests. Same result (and order:
+    descending key) as {!maxima}. *)
+
+val filter_sorted :
+  dominates:('p -> 'p -> bool) ->
+  ?count:int ref ->
+  ('p * Tuple.t) array ->
+  ('p * Tuple.t) array
+(** The append-only filter pass over {e presorted}, caller-projected
+    points — the building block the parallel layer splits across domains.
+    Precondition: points are in descending topological-key order, so no
+    later point dominates an earlier one. *)
 
 val query :
   Schema.t -> key:(Tuple.t -> float) -> Preferences.Pref.t -> Relation.t -> Relation.t

@@ -6,10 +6,16 @@ type node = {
   mutable children : node list;  (* reversed while open; ordered at exit *)
 }
 
-(* innermost open span first *)
-let stack : node list ref = ref []
+(* The open-span stack is domain-local: a worker domain opening spans builds
+   its own tree instead of racing the coordinator for one global stack.
+   Completed roots from every domain land in the shared ring, which is the
+   only cross-domain state and is guarded by a mutex (touched once per root
+   span, never per enter/exit). *)
+let stack : node list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let max_roots = 32
+let ring_mutex = Mutex.create ()
 let root_ring : node list ref = ref []
 
 let finish_root node =
@@ -18,18 +24,22 @@ let finish_root node =
     | _ when n = 0 -> []
     | x :: rest -> x :: take (n - 1) rest
   in
-  root_ring := take max_roots (node :: !root_ring)
+  Mutex.lock ring_mutex;
+  root_ring := take max_roots (node :: !root_ring);
+  Mutex.unlock ring_mutex
 
 let enter ?(attrs = []) name =
   let node =
     { name; start_ns = Clock.now_ns (); dur_ns = 0L; attrs; children = [] }
   in
+  let stack = Domain.DLS.get stack in
   stack := node :: !stack;
   node
 
 let exit_span node =
   node.dur_ns <- Int64.sub (Clock.now_ns ()) node.start_ns;
   node.children <- List.rev node.children;
+  let stack = Domain.DLS.get stack in
   (match !stack with
   | top :: rest when top == node -> stack := rest
   | _ -> stack := List.filter (fun n -> n != node) !stack);
@@ -46,9 +56,11 @@ let with_span ?attrs name f =
 
 let add_attr key value =
   if !Control.flag then
-    match !stack with
+    match !(Domain.DLS.get stack) with
     | node :: _ -> node.attrs <- node.attrs @ [ (key, value) ]
     | [] -> ()
+
+let add_attrs kvs = List.iter (fun (k, v) -> add_attr k v) kvs
 
 let collect ?attrs name f =
   if not !Control.flag then (f (), None)
@@ -58,11 +70,17 @@ let collect ?attrs name f =
     (result, Some node)
   end
 
-let roots () = !root_ring
+let roots () =
+  Mutex.lock ring_mutex;
+  let r = !root_ring in
+  Mutex.unlock ring_mutex;
+  r
 
 let clear () =
+  Mutex.lock ring_mutex;
   root_ring := [];
-  stack := []
+  Mutex.unlock ring_mutex;
+  Domain.DLS.get stack := []
 
 let duration_ms node = Clock.ms_of_ns node.dur_ns
 

@@ -6,7 +6,12 @@
     allocation).
 
     Completed root spans are kept in a small ring (most recent first) so a
-    shell or test can fetch the trace of the query it just ran. *)
+    shell or test can fetch the trace of the query it just ran.
+
+    The open-span stack is domain-local ([Domain.DLS]): spans opened inside
+    a worker domain of the parallel evaluation layer form their own tree and
+    never race the coordinator's stack. The shared root ring is
+    mutex-guarded. *)
 
 type node = {
   name : string;
@@ -22,6 +27,9 @@ val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 val add_attr : string -> string -> unit
 (** Attach a key/value to the innermost open span; no-op outside a span or
     when disabled. *)
+
+val add_attrs : (string * string) list -> unit
+(** [add_attr] for a batch of key/value pairs, in order. *)
 
 val collect : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a * node option
 (** Like {!with_span} but also hands back the finished node — [None] when

@@ -131,7 +131,7 @@ let project_result resolve (q : Ast.query) rel =
     in
     Relation.project rel cols
 
-let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl)
+let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) ?domains
     ?(profile = false) env (q : Ast.query) : result =
   Pref_obs.Span.with_span "psql.query" @@ fun () ->
   (* Per-clause phase runner: always a tracing span; additionally a timed
@@ -201,12 +201,13 @@ let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl)
           | _, [] ->
             if profile then begin
               let r, prof =
-                Pref_bmo.Query.sigma_profiled ~algorithm schema p_eval filtered
+                Pref_bmo.Query.sigma_profiled ~algorithm ?domains schema p_eval
+                  filtered
               in
               bmo_profile := Some prof;
               r
             end
-            else Pref_bmo.Query.sigma ~algorithm schema p_eval filtered
+            else Pref_bmo.Query.sigma ~algorithm ?domains schema p_eval filtered
           | _, by ->
             let r =
               Pref_bmo.Query.sigma_groupby ~algorithm schema p_eval ~by filtered
@@ -297,12 +298,12 @@ let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl)
   in
   { relation; preference; profile = prof }
 
-let run ?registry ?algorithm ?(profile = false) env src =
+let run ?registry ?algorithm ?domains ?(profile = false) env src =
   if profile then begin
     let q, parse_ms =
       Pref_obs.Span.timed_span "psql.parse" (fun () -> Parser.parse_query src)
     in
-    let r = run_query ?registry ?algorithm ~profile env q in
+    let r = run_query ?registry ?algorithm ?domains ~profile env q in
     {
       r with
       profile =
@@ -314,5 +315,5 @@ let run ?registry ?algorithm ?(profile = false) env src =
     }
   end
   else
-    run_query ?registry ?algorithm env
+    run_query ?registry ?algorithm ?domains env
       (Pref_obs.Span.with_span "psql.parse" (fun () -> Parser.parse_query src))

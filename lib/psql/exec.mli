@@ -31,6 +31,7 @@ val full_preference :
 val run_query :
   ?registry:Translate.registry ->
   ?algorithm:Pref_bmo.Query.algorithm ->
+  ?domains:int ->
   ?profile:bool ->
   env ->
   Ast.query ->
@@ -39,11 +40,14 @@ val run_query :
 val run :
   ?registry:Translate.registry ->
   ?algorithm:Pref_bmo.Query.algorithm ->
+  ?domains:int ->
   ?profile:bool ->
   env ->
   string ->
   result
 (** Parse and execute. Raises {!Parser.Error}, {!Translate.Error} or
-    {!Error}. [~profile:true] additionally fills {!result.profile};
+    {!Error}. [domains] sets the degree of parallelism for the parallel
+    and auto algorithms (the shell's [\set domains N]).
+    [~profile:true] additionally fills {!result.profile};
     independent of that, every clause runs inside a {!Pref_obs.Span} so
     traces appear whenever telemetry is globally enabled. *)

@@ -38,4 +38,12 @@ let compare (a : t) (b : t) =
 let pp ppf (t : t) =
   Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") Value.pp) (Array.to_list t)
 
-let hash (t : t) = Hashtbl.hash (Array.map Value.to_string t)
+(* Mix the per-field hashes directly — no intermediate string (or any other)
+   allocation per field. The multiplier spreads positional information so
+   permuted tuples hash apart. *)
+let hash (t : t) =
+  let h = ref (Array.length t) in
+  for i = 0 to Array.length t - 1 do
+    h := (!h * 0x01000193) lxor Value.hash (Array.unsafe_get t i)
+  done;
+  !h land max_int

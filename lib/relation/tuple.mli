@@ -25,4 +25,7 @@ val compare : t -> t -> int
 (** Lexicographic total order via {!Value.compare}, for sorting and sets. *)
 
 val pp : t Fmt.t
+
 val hash : t -> int
+(** Allocation-free positional mix of {!Value.hash} over the fields;
+    consistent with {!equal} (equal tuples hash equal). *)

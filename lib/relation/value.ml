@@ -169,4 +169,13 @@ let infer s =
           | "false" -> Bool false
           | _ -> Str s)))
 
-let hash = Hashtbl.hash
+(* Hash consistent with [equal]: ints and floats that compare equal (Int 3,
+   Float 3.0) must hash equal, so both numeric cases hash their float image.
+   A small per-constructor salt keeps e.g. Bool true away from Int 1. *)
+let hash = function
+  | Null -> 0x2545
+  | Bool b -> 0x632be59b lxor Hashtbl.hash b
+  | Int i -> 0x9e3779b9 lxor Hashtbl.hash (float_of_int i)
+  | Float f -> 0x9e3779b9 lxor Hashtbl.hash f
+  | Str s -> 0x85ebca6b lxor Hashtbl.hash s
+  | Date d -> 0xc2b2ae35 lxor Hashtbl.hash (date_to_days d)

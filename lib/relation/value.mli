@@ -63,3 +63,5 @@ val infer : string -> t
     empty or ["NULL"] becomes [Null]. Used by the CSV loader. *)
 
 val hash : t -> int
+(** Consistent with {!equal}: numerically equal [Int]/[Float] values hash
+    equal. *)

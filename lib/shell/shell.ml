@@ -5,6 +5,8 @@ open Pref_sql
 type t = {
   mutable env : Exec.env;
   mutable algorithm : Pref_bmo.Query.algorithm;
+  mutable domains : int option;
+      (* degree of parallelism; None = engine default *)
   mutable explain : bool;
   mutable profile : bool;
   repository : Repository.t;
@@ -24,6 +26,7 @@ let create ?(registry = Translate.default_registry) () =
   {
     env = [];
     algorithm = Pref_bmo.Query.Alg_bnl;
+    domains = None;
     explain = false;
     profile = false;
     repository =
@@ -93,7 +96,7 @@ let run_sql shell src =
   let src = expand_references shell src in
   let result =
     Exec.run ~registry:shell.registry ~algorithm:shell.algorithm
-      ~profile:shell.profile shell.env src
+      ?domains:shell.domains ~profile:shell.profile shell.env src
   in
   let explain_text =
     if shell.explain then
@@ -222,7 +225,29 @@ let execute shell line =
           Ok (plain [ "algorithm: " ^ a ])
         | None ->
           Error
-            (Printf.sprintf "unknown algorithm %s (naive | bnl | decompose | auto)" a))
+            (Printf.sprintf
+               "unknown algorithm %s (naive | bnl | decompose | parallel | auto)"
+               a))
+      | [ ".set"; "domains" ] ->
+        Ok
+          (plain
+             [
+               (match shell.domains with
+               | Some d -> Printf.sprintf "domains: %d" d
+               | None ->
+                 Printf.sprintf "domains: %d (engine default)"
+                   (Pref_bmo.Parallel.default_domains ()));
+             ])
+      | [ ".set"; "domains"; n ] -> (
+        match int_of_string_opt n with
+        | Some d when d >= 1 ->
+          shell.domains <- Some d;
+          (* also raise the engine default so Alg_auto planning inside
+             nested calls sees the same degree *)
+          Pref_bmo.Parallel.set_default_domains d;
+          Ok (plain [ Printf.sprintf "domains: %d" d ])
+        | Some _ | None ->
+          Error (Printf.sprintf "domains must be a positive integer, got %s" n))
       | [ ".explain"; "on" ] ->
         shell.explain <- true;
         Ok (plain [ "explain: on" ])
@@ -265,7 +290,8 @@ let execute shell line =
           (plain
              [
                "commands: .tables | .schema <t> | .load <name> <file.csv>";
-               "          .algorithm naive|bnl|decompose|auto | .explain on|off";
+               "          .algorithm naive|bnl|decompose|parallel|auto | .explain on|off";
+               "          \\set domains [N]  degree of parallelism for parallel/auto";
                "          .pref add|list|del|save|load | .mine <log-file>";
                "          .sql92 <query>  (rewrite to plain SQL92, [KiK01])";
                "          \\profile [on|off]  per-query profiles (phase timings,";
