@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick bench-smoke check clean
+.PHONY: all build test bench bench-quick bench-smoke check fmt clean
 
 all: build
 
@@ -14,17 +14,26 @@ bench:
 bench-quick:
 	dune exec bench/main.exe -- --quick
 
-# ~5-second subset: one worked example, the algebraic laws, one
-# algorithmic comparison, and the parallel evaluation section (B9).
+# Fast subset: one worked example, the algebraic laws, one algorithmic
+# comparison, the parallel evaluation section (B9) and the result-cache
+# gates (B10).
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
 
+# Formatting gate; dune's (formatting) stanza covers the dune files
+# everywhere and .ml/.mli sources when an ocamlformat binary is present.
+fmt:
+	dune build @fmt
+
 # The pre-push gate: full build, the whole test suite, and the bench smoke
-# subset (correctness checks incl. parallel evaluation, ends with BENCH_JSON).
+# subset (correctness checks incl. parallel evaluation and the result
+# cache, ends with BENCH_JSON). The explicit exit keeps a bench gate
+# failure fatal even under `make -i` / overridden sub-make flags.
 check:
 	dune build @all
 	dune runtest
-	$(MAKE) bench-smoke
+	@$(MAKE) bench-smoke || { echo "make check: FAILED (bench-smoke gate)"; exit 1; }
+	@echo "make check: OK"
 
 clean:
 	dune clean

@@ -1,0 +1,405 @@
+open Pref_relation
+module Pref = Preferences.Pref
+module Canon = Preferences.Canon
+
+(* Preference-aware BMO result cache. See the .mli for the reuse identities;
+   the proofs live in DESIGN.md ("Result caching & semantic reuse"). *)
+
+type entry = {
+  e_schema : Schema.t;
+  e_pref : Pref.t;  (** canonical form *)
+  e_pref_key : string;
+  e_fp : string;
+  e_proj : string list;
+  e_result : Relation.t;
+  e_bytes : int;
+  mutable e_tick : int;
+}
+
+type stats = {
+  entries : int;
+  bytes : int;
+  hits : int;
+  misses : int;
+  semantic_reuses : int;
+  patched_entries : int;
+  evictions : int;
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutable enabled : bool;
+  mutable tick : int;
+  mutable max_entries : int;
+  mutable budget_bytes : int;
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable semantic : int;
+  mutable patched : int;
+  mutable evictions : int;
+}
+
+let create ?(max_entries = 128) ?(budget_bytes = 64 * 1024 * 1024) () =
+  {
+    table = Hashtbl.create 64;
+    enabled = true;
+    tick = 0;
+    max_entries;
+    budget_bytes;
+    bytes = 0;
+    hits = 0;
+    misses = 0;
+    semantic = 0;
+    patched = 0;
+    evictions = 0;
+  }
+
+let global =
+  let t = create () in
+  t.enabled <- false;
+  t
+
+let is_enabled () = global.enabled
+let set_enabled b = global.enabled <- b
+
+(* {1 Fingerprints} *)
+
+(* Two independent accumulators over the per-row hash: a single polynomial
+   hash truncated to an int is collision-prone at cache-relevant scales, and
+   a false fingerprint match would serve a wrong result. Memoised on the
+   physical identity of the row list — relations are immutable here, so the
+   same physical list always denotes the same version. *)
+let fp_memo : (Tuple.t list * string) list ref = ref []
+let fp_memo_cap = 8
+
+let fingerprint rel =
+  let rows = Relation.rows rel in
+  match List.find_opt (fun (r, _) -> r == rows) !fp_memo with
+  | Some (_, fp) -> fp
+  | None ->
+    let h1 = ref 0 and h2 = ref 0 and n = ref 0 in
+    List.iter
+      (fun t ->
+        let h = Tuple.hash t in
+        h1 := ((!h1 * 31) + h) land max_int;
+        h2 := ((!h2 * 1000003) + (h lxor 0x9e3779b9)) land max_int;
+        incr n)
+      rows;
+    let fp =
+      Printf.sprintf "%s#%d:%x:%x"
+        (String.concat "," (Schema.names (Relation.schema rel)))
+        !n !h1 !h2
+    in
+    fp_memo :=
+      List.filteri (fun i _ -> i < fp_memo_cap) ((rows, fp) :: !fp_memo);
+    fp
+
+let entry_key ~fp ~proj ~pref_key =
+  String.concat "\x00" (fp :: pref_key :: proj)
+
+(* {1 Capacity} *)
+
+let sync_gauges t =
+  Pref_obs.Metrics.set Obs.cache_entries (float_of_int (Hashtbl.length t.table));
+  Pref_obs.Metrics.set Obs.cache_bytes (float_of_int t.bytes)
+
+let evict_until_fits t =
+  let over () =
+    Hashtbl.length t.table > t.max_entries || t.bytes > t.budget_bytes
+  in
+  while over () && Hashtbl.length t.table > 0 do
+    let victim =
+      Hashtbl.fold
+        (fun key e acc ->
+          match acc with
+          | Some (_, best) when best.e_tick <= e.e_tick -> acc
+          | _ -> Some (key, e))
+        t.table None
+    in
+    match victim with
+    | None -> ()
+    | Some (key, e) ->
+      Hashtbl.remove t.table key;
+      t.bytes <- t.bytes - e.e_bytes;
+      t.evictions <- t.evictions + 1;
+      Pref_obs.Metrics.incr Obs.cache_evictions
+  done;
+  sync_gauges t
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.bytes <- 0;
+  sync_gauges t
+
+let set_budget t ?max_entries ?budget_bytes () =
+  Option.iter (fun n -> t.max_entries <- max 1 n) max_entries;
+  Option.iter (fun b -> t.budget_bytes <- max 0 b) budget_bytes;
+  evict_until_fits t
+
+(* {1 Store / exact lookup} *)
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.e_tick <- t.tick
+
+let store_entry t ~fp ~proj ~pref_key schema cpref result =
+  let key = entry_key ~fp ~proj ~pref_key in
+  (match Hashtbl.find_opt t.table key with
+  | Some old ->
+    Hashtbl.remove t.table key;
+    t.bytes <- t.bytes - old.e_bytes
+  | None -> ());
+  let e =
+    {
+      e_schema = schema;
+      e_pref = cpref;
+      e_pref_key = pref_key;
+      e_fp = fp;
+      e_proj = proj;
+      e_result = result;
+      e_bytes = 0;
+      e_tick = 0;
+    }
+  in
+  (* approximate: stored sets share tuples with their base relation, and
+     [reachable_words] counts the shared structure in full, so this bounds
+     the cache's worst-case ownership from above *)
+  let e = { e with e_bytes = Obj.reachable_words (Obj.repr e) * (Sys.word_size / 8) } in
+  touch t e;
+  Hashtbl.replace t.table key e;
+  t.bytes <- t.bytes + e.e_bytes;
+  evict_until_fits t
+
+let store t ?(projection = []) schema p rel result =
+  if t.enabled then
+    store_entry t ~fp:(fingerprint rel) ~proj:projection
+      ~pref_key:(Canon.key p) schema (Canon.canonical p) result
+
+let find_exact t ~fp ~proj pref_key =
+  Hashtbl.find_opt t.table (entry_key ~fp ~proj ~pref_key)
+
+(* {1 Semantic reuse} *)
+
+type derivation =
+  | D_prior of entry * Pref.t * string list
+      (** cached σ[prefix](R); rest term; groupby attrs of the prefix *)
+  | D_dunion of entry list  (** every +-operand cached: fold ∩ *)
+  | D_pareto of entry * Pref.t * string list
+      (** cached σ[P1](R); the remaining ⊗-term; attrs(P1) *)
+
+let rebuild mk = function
+  | [] -> invalid_arg "Cache.rebuild: empty operand list"
+  | first :: rest -> List.fold_left mk first rest
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let rec drop n = function
+  | _ :: rest when n > 0 -> drop (n - 1) rest
+  | l -> l
+
+(* Longest cached prefix of the &-spine: σ[Q & P'](R) = σ[P' groupby
+   attrs(Q)](σ[Q](R)) (Proposition 10; the A1-group of every Q-maximal
+   tuple lies wholly inside σ[Q](R), so grouping the cached set suffices). *)
+let find_prior t ~fp ~proj spine =
+  let n = List.length spine in
+  let rec go k =
+    if k < 1 then None
+    else
+      let prefix = take k spine in
+      let prefix_term = rebuild (fun a b -> Pref.Prior (a, b)) prefix in
+      match find_exact t ~fp ~proj (Preferences.Serialize.to_string prefix_term) with
+      | Some e ->
+        let rest = rebuild (fun a b -> Pref.Prior (a, b)) (drop k spine) in
+        Some (D_prior (e, rest, Pref.attrs prefix_term))
+      | None -> go (k - 1)
+  in
+  go (n - 1)
+
+let find_dunion t ~fp ~proj ops =
+  let cached =
+    List.map
+      (fun op -> find_exact t ~fp ~proj (Preferences.Serialize.to_string op))
+      ops
+  in
+  if List.for_all Option.is_some cached then
+    Some (D_dunion (List.filter_map Fun.id cached))
+  else None
+
+(* One cached ⊗-operand P1 with attributes disjoint from the rest P2:
+   σ[P1 ⊗ P2](R) = σ[P1 ⊗ P2](σ[P2 groupby attrs(P1)](R)), and the cached
+   σ[P1](R) tuples surviving that restriction are already final
+   (Proposition 12's first term) — they seed the scan. *)
+let find_pareto t ~fp ~proj ops =
+  let rec go before = function
+    | [] -> None
+    | op :: after -> (
+      let others = List.rev_append before after in
+      let a1 = Pref.attrs op in
+      let rest_attrs =
+        List.fold_left
+          (fun acc q -> Preferences.Attr.union acc (Pref.attrs q))
+          [] others
+      in
+      if not (Preferences.Attr.disjoint a1 rest_attrs) then
+        go (op :: before) after
+      else
+        match find_exact t ~fp ~proj (Preferences.Serialize.to_string op) with
+        | Some e ->
+          let rest = rebuild (fun a b -> Pref.Pareto (a, b)) others in
+          Some (D_pareto (e, rest, a1))
+        | None -> go (op :: before) after)
+  in
+  go [] ops
+
+let find_semantic t ~fp ~proj cpref =
+  match cpref with
+  | Pref.Prior _ ->
+    Option.map
+      (fun d -> ("prior-prefix", d))
+      (find_prior t ~fp ~proj (Canon.prior_spine cpref))
+  | Pref.Dunion _ ->
+    Option.map
+      (fun d -> ("dunion-inter", d))
+      (find_dunion t ~fp ~proj (Canon.dunion_operands cpref))
+  | Pref.Pareto _ ->
+    Option.map
+      (fun d -> ("pareto-restrict", d))
+      (find_pareto t ~fp ~proj (Canon.pareto_operands cpref))
+  | _ -> None
+
+let derive schema cpref rel = function
+  | D_prior (e, rest, by) -> Groupby.query schema rest ~by e.e_result
+  | D_dunion entries -> (
+    match entries with
+    | [] -> invalid_arg "Cache.derive: empty dunion"
+    | first :: others ->
+      List.fold_left
+        (fun acc e -> Relation.inter acc e.e_result)
+        first.e_result others)
+  | D_pareto (e, rest, a1) ->
+    let restricted = Groupby.query schema rest ~by:a1 rel in
+    let seed =
+      List.filter
+        (fun r -> Relation.mem restricted r)
+        (Relation.rows e.e_result)
+    in
+    let others =
+      List.filter
+        (fun r -> not (List.exists (Tuple.equal r) seed))
+        (Relation.rows restricted)
+    in
+    let dominates = Dominance.of_pref schema cpref in
+    Relation.make schema (Bnl.maxima dominates (seed @ others))
+
+(* {1 The counting protocol} *)
+
+type reuse = Exact | Semantic of string
+
+let lookup t ?(projection = []) schema p rel =
+  if not t.enabled then None
+  else begin
+    let fp = fingerprint rel in
+    let cpref = Canon.canonical p in
+    let pref_key = Preferences.Serialize.to_string cpref in
+    match find_exact t ~fp ~proj:projection pref_key with
+    | Some e ->
+      touch t e;
+      t.hits <- t.hits + 1;
+      Pref_obs.Metrics.incr Obs.cache_hits;
+      Some (e.e_result, Exact)
+    | None -> (
+      match find_semantic t ~fp ~proj:projection cpref with
+      | Some (desc, d) ->
+        let result = derive schema cpref rel d in
+        (* repeat queries become exact hits *)
+        store_entry t ~fp ~proj:projection ~pref_key schema cpref result;
+        t.semantic <- t.semantic + 1;
+        Pref_obs.Metrics.incr Obs.cache_semantic;
+        Some (result, Semantic desc)
+      | None ->
+        t.misses <- t.misses + 1;
+        Pref_obs.Metrics.incr Obs.cache_misses;
+        None)
+  end
+
+let probe t ?(projection = []) _schema p rel =
+  if not t.enabled then None
+  else begin
+    let fp = fingerprint rel in
+    let cpref = Canon.canonical p in
+    let pref_key = Preferences.Serialize.to_string cpref in
+    match find_exact t ~fp ~proj:projection pref_key with
+    | Some _ -> Some Exact
+    | None ->
+      Option.map
+        (fun (desc, _) -> Semantic desc)
+        (find_semantic t ~fp ~proj:projection cpref)
+  end
+
+(* {1 Incremental maintenance} *)
+
+let entries_for t fp =
+  Hashtbl.fold (fun _ e acc -> if String.equal e.e_fp fp then e :: acc else acc)
+    t.table []
+
+let patch t ~old_rel ~new_rel update =
+  if not t.enabled then 0
+  else begin
+    let old_fp = fingerprint old_rel in
+    let new_fp = fingerprint new_rel in
+    let affected = entries_for t old_fp in
+    List.iter
+      (fun e ->
+        let result_rows = Relation.rows e.e_result in
+        (* every value-duplicate of a maximal tuple is itself maximal, so
+           membership screening splits the base exactly into result/shadow *)
+        let shadow =
+          List.filter
+            (fun r -> not (List.exists (Tuple.equal r) result_rows))
+            (Relation.rows old_rel)
+        in
+        let inc =
+          Incremental.of_parts e.e_schema e.e_pref
+            ~result:(List.rev result_rows) ~shadow
+        in
+        update inc;
+        store_entry t ~fp:new_fp ~proj:e.e_proj ~pref_key:e.e_pref_key
+          e.e_schema e.e_pref (Incremental.result inc);
+        t.patched <- t.patched + 1;
+        Pref_obs.Metrics.incr Obs.cache_patched)
+      affected;
+    List.length affected
+  end
+
+let on_insert t ~old_rel ~new_rel row =
+  patch t ~old_rel ~new_rel (fun inc -> Incremental.insert inc row)
+
+let on_delete t ~old_rel ~new_rel row =
+  patch t ~old_rel ~new_rel (fun inc -> ignore (Incremental.delete inc row))
+
+(* {1 Introspection} *)
+
+let stats t =
+  {
+    entries = Hashtbl.length t.table;
+    bytes = t.bytes;
+    hits = t.hits;
+    misses = t.misses;
+    semantic_reuses = t.semantic;
+    patched_entries = t.patched;
+    evictions = t.evictions;
+  }
+
+let stats_lines t =
+  let s = stats t in
+  let mib b = float_of_int b /. (1024. *. 1024.) in
+  [
+    Printf.sprintf "cache: %s — %d entries, ~%.2f MiB (budget %.0f MiB, max %d entries)"
+      (if t.enabled then "enabled" else "disabled")
+      s.entries (mib s.bytes) (mib t.budget_bytes) t.max_entries;
+    Printf.sprintf "hits %d  misses %d  semantic %d  patched %d  evictions %d"
+      s.hits s.misses s.semantic_reuses s.patched_entries s.evictions;
+  ]

@@ -31,6 +31,11 @@ let create schema pref rows =
   in
   { schema; dominates; result; shadow }
 
+let of_parts schema pref ~result ~shadow =
+  (* trusts the caller's split (e.g. a cached BMO set plus the rest of the
+     relation) instead of recomputing the maxima from scratch *)
+  { schema; dominates = Dominance.of_pref schema pref; result; shadow }
+
 let result t = Relation.make t.schema (List.rev t.result)
 let size t = List.length t.result
 let cardinality t = List.length t.result + List.length t.shadow
@@ -58,16 +63,22 @@ let delete t row =
   in
   if removed_from_result then begin
     t.result <- remove t.result;
-    (* shadow tuples may only have been dominated by the removed tuple;
-       re-screen them against everything that remains *)
-    let all = t.result @ t.shadow in
-    let promoted, still_shadow =
+    (* shadow tuples may only have been dominated by the removed tuple.
+       Screening against the remaining maxima suffices: every dominance
+       chain in an SPO ends in a maximal element, so a tuple dominated by
+       anything is dominated by a survivor of the result or by another
+       promotion candidate — the candidates' own maxima settle the rest. *)
+    let candidates, still_shadow =
       List.partition
-        (fun s -> not (List.exists (fun u -> t.dominates u s) all))
+        (fun s -> not (List.exists (fun u -> t.dominates u s) t.result))
         t.shadow
     in
+    let promoted = Naive.maxima t.dominates candidates in
+    let demoted =
+      List.filter (fun s -> not (List.memq s promoted)) candidates
+    in
     t.result <- promoted @ t.result;
-    t.shadow <- still_shadow;
+    t.shadow <- demoted @ still_shadow;
     true
   end
   else if List.exists (Tuple.equal row) t.shadow then begin

@@ -12,6 +12,18 @@ type t
 
 val create : Schema.t -> Preferences.Pref.t -> Tuple.t list -> t
 
+val of_parts :
+  Schema.t ->
+  Preferences.Pref.t ->
+  result:Tuple.t list ->
+  shadow:Tuple.t list ->
+  t
+(** Build the structure from an already-known split — [result] must be
+    exactly σ[P](result ∪ shadow) — without the O(n²) recomputation of
+    {!create}. This is how the result cache ({!Cache}) rehydrates an entry
+    before patching it: the cached BMO set is the result, the rest of the
+    base relation the shadow. *)
+
 val result : t -> Relation.t
 (** The current σ[P](R), in insertion order. *)
 

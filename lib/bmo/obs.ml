@@ -20,6 +20,14 @@ let par_merge_ms =
   Metrics.histogram "bmo.par.merge_ms"
     ~bounds:[| 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1_000.; 10_000. |]
 
+let cache_hits = Metrics.counter "bmo.cache.hits"
+let cache_misses = Metrics.counter "bmo.cache.misses"
+let cache_semantic = Metrics.counter "bmo.cache.semantic_reuses"
+let cache_patched = Metrics.counter "bmo.cache.patched_entries"
+let cache_evictions = Metrics.counter "bmo.cache.evictions"
+let cache_entries = Metrics.gauge "bmo.cache.entries"
+let cache_bytes = Metrics.gauge "bmo.cache.bytes"
+
 let plan_chosen kind =
   (* gated here because the registry lookup itself is not free *)
   if Control.is_enabled () then

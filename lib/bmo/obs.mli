@@ -32,6 +32,20 @@ val par_chunk_rows : Pref_obs.Metrics.histogram
 val par_merge_ms : Pref_obs.Metrics.histogram
 (** Wall time of the merge / cross-filter phase of parallel evaluation. *)
 
+val cache_hits : Pref_obs.Metrics.counter
+(** Exact result-cache hits (same relation version, same canonical term). *)
+
+val cache_misses : Pref_obs.Metrics.counter
+val cache_semantic : Pref_obs.Metrics.counter
+(** Results derived from a cached entry via an algebraic reuse identity. *)
+
+val cache_patched : Pref_obs.Metrics.counter
+(** Entries patched in place by incremental insert/delete maintenance. *)
+
+val cache_evictions : Pref_obs.Metrics.counter
+val cache_entries : Pref_obs.Metrics.gauge
+val cache_bytes : Pref_obs.Metrics.gauge
+
 val plan_chosen : string -> unit
 (** Bump the [bmo.plan_chosen.<kind>] counter for the planner's choice. *)
 

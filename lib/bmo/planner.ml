@@ -10,6 +10,8 @@ type plan =
   | Plan_par_sfs of { attrs : string list; maximize : bool; domains : int }
   | Plan_cascade of Pref.t * Pref.t  (** Proposition 11: chain & rest *)
   | Plan_decompose
+  | Plan_cache_hit
+  | Plan_cache_semantic of string
 
 let plan_kind = function
   | Plan_naive -> "naive"
@@ -20,6 +22,8 @@ let plan_kind = function
   | Plan_par_sfs _ -> "par_sfs"
   | Plan_cascade _ -> "cascade"
   | Plan_decompose -> "decompose"
+  | Plan_cache_hit -> "cache_hit"
+  | Plan_cache_semantic _ -> "cache_semantic"
 
 let plan_to_string = function
   | Plan_naive -> "naive"
@@ -38,6 +42,8 @@ let plan_to_string = function
   | Plan_cascade (p1, p2) ->
     Printf.sprintf "cascade(%s; %s)" (Show.to_string p1) (Show.to_string p2)
   | Plan_decompose -> "decompose"
+  | Plan_cache_hit -> "cache(exact)"
+  | Plan_cache_semantic desc -> Printf.sprintf "cache(semantic:%s)" desc
 
 (* ------------------------------------------------------------------ *)
 (* Structural analysis                                                 *)
@@ -109,7 +115,7 @@ let sampled_correlation schema attrs rows =
    merge overhead. *)
 let par_chunk_threshold = 8192
 
-let choose ?domains schema p rel =
+let choose ?(cache = true) ?domains schema p rel =
   Pref_obs.Span.with_span "bmo.plan.choose" @@ fun () ->
   let d =
     match domains with Some d -> max 1 d | None -> Parallel.default_domains ()
@@ -117,6 +123,10 @@ let choose ?domains schema p rel =
   let rows = Relation.rows rel in
   let n = List.length rows in
   let big = d > 1 && n >= par_chunk_threshold * d in
+  match if cache then Cache.probe Cache.global schema p rel else None with
+  | Some Cache.Exact -> Plan_cache_hit
+  | Some (Cache.Semantic desc) -> Plan_cache_semantic desc
+  | None ->
   if n <= 64 then Plan_naive
   else
     match p with
@@ -153,8 +163,22 @@ let execute schema p rel plan =
     Parallel.query_sfs ~domains schema ~attrs ~maximize p rel
   | Plan_cascade (p1, p2) -> Decompose.cascade schema p1 p2 rel
   | Plan_decompose -> Decompose.eval schema p rel
+  | Plan_cache_hit | Plan_cache_semantic _ -> (
+    (* [choose] probed the cache; serve through the counting lookup. An
+       eviction between probe and execute degrades to a plain BNL pass. *)
+    match Cache.lookup Cache.global schema p rel with
+    | Some (result, _) -> result
+    | None ->
+      let result = Bnl.query schema p rel in
+      Cache.store Cache.global schema p rel result;
+      result)
 
-let run ?domains schema p rel =
-  let plan = choose ?domains schema p rel in
+let run ?(cache = true) ?domains schema p rel =
+  let plan = choose ~cache ?domains schema p rel in
   Obs.plan_chosen (plan_kind plan);
-  (execute schema p rel plan, plan)
+  let result = execute schema p rel plan in
+  (match plan with
+  | _ when not cache -> ()
+  | Plan_cache_hit | Plan_cache_semantic _ -> ()
+  | _ -> Cache.store Cache.global schema p rel result);
+  (result, plan)

@@ -29,13 +29,18 @@ type plan =
   | Plan_par_sfs of { attrs : string list; maximize : bool; domains : int }
   | Plan_cascade of Preferences.Pref.t * Preferences.Pref.t
   | Plan_decompose
+  | Plan_cache_hit
+      (** Serve the stored BMO set from {!Cache.global} verbatim. *)
+  | Plan_cache_semantic of string
+      (** Derive the result from cached entries via the named reuse
+          identity (see {!Cache.reuse}). *)
 
 val plan_to_string : plan -> string
 
 val plan_kind : plan -> string
 (** Constructor name only ([naive], [bnl], [sfs], [dnc], [par_dnc],
-    [par_sfs], [cascade], [decompose]) — the label the [bmo.plan_chosen.*]
-    metrics use. *)
+    [par_sfs], [cascade], [decompose], [cache_hit], [cache_semantic]) —
+    the label the [bmo.plan_chosen.*] metrics use. *)
 
 val chain_dims : Preferences.Pref.t -> (string list * bool) option
 (** [Some (attrs, maximize)] when the term is a Pareto accumulation of
@@ -46,15 +51,25 @@ val sampled_correlation :
 (** Pearson correlation of the first two numeric attributes over a sample
     of at most 500 rows; 0 when not estimable. *)
 
-val choose : ?domains:int -> Schema.t -> Preferences.Pref.t -> Relation.t -> plan
+val choose :
+  ?cache:bool ->
+  ?domains:int ->
+  Schema.t ->
+  Preferences.Pref.t ->
+  Relation.t ->
+  plan
 (** [domains] caps the parallelism considered; defaults to
     {!Parallel.default_domains}. With [domains:1] no parallel plan is ever
-    chosen. *)
+    chosen. When the result cache is enabled it is probed first: a cache
+    plan beats every evaluation plan. *)
 
 val execute :
   Schema.t -> Preferences.Pref.t -> Relation.t -> plan -> Relation.t
 
 val run :
+  ?cache:bool ->
   ?domains:int ->
   Schema.t -> Preferences.Pref.t -> Relation.t -> Relation.t * plan
-(** Choose and execute; returns the chosen plan for EXPLAIN output. *)
+(** Choose and execute; returns the chosen plan for EXPLAIN output. Cold
+    results are stored into {!Cache.global} when it is enabled and [cache]
+    (default [true]) is not overridden to [false]. *)

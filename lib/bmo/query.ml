@@ -22,19 +22,60 @@ let algorithm_to_string = function
   | Alg_parallel -> "parallel"
   | Alg_auto -> "auto"
 
-let sigma ?(algorithm = Alg_bnl) ?domains schema p rel =
-  match algorithm with
-  | Alg_naive -> Naive.query schema p rel
-  | Alg_bnl -> Bnl.query schema p rel
-  | Alg_decompose -> Decompose.eval schema p rel
-  | Alg_parallel -> Parallel.query ?domains schema p rel
-  | Alg_auto -> fst (Planner.run ?domains schema p rel)
+let sigma ?(algorithm = Alg_bnl) ?(cache = true) ?domains schema p rel =
+  let use_cache = cache && Cache.is_enabled () in
+  let evaluate () =
+    match algorithm with
+    | Alg_naive -> Naive.query schema p rel
+    | Alg_bnl -> Bnl.query schema p rel
+    | Alg_decompose -> Decompose.eval schema p rel
+    | Alg_parallel -> Parallel.query ?domains schema p rel
+    | Alg_auto -> fst (Planner.run ~cache:use_cache ?domains schema p rel)
+  in
+  if not use_cache then evaluate ()
+  else
+    match Cache.lookup Cache.global schema p rel with
+    | Some (result, _) -> result
+    | None ->
+      let result = evaluate () in
+      (* the planner stores its own cold results *)
+      if algorithm <> Alg_auto then Cache.store Cache.global schema p rel result;
+      result
 
-let sigma_profiled ?(algorithm = Alg_bnl) ?domains schema p rel =
+let sigma_profiled ?(algorithm = Alg_bnl) ?(cache = true) ?domains schema p rel
+    =
   Pref_obs.Span.with_span "bmo.sigma_profiled" @@ fun () ->
   let rows = Relation.rows rel in
   let input_rows = List.length rows in
   let remake best = Relation.make (Relation.schema rel) best in
+  let use_cache = cache && Cache.is_enabled () in
+  let cached =
+    if not use_cache then None
+    else
+      let r, ms =
+        Pref_obs.Span.timed (fun () -> Cache.lookup Cache.global schema p rel)
+      in
+      Option.map (fun x -> (x, ms)) r
+  in
+  match cached with
+  | Some ((result, reuse), lookup_ms) ->
+    let alg_name, attrs =
+      match reuse with
+      | Cache.Exact -> ("cache:exact", [ ("cache", "exact") ])
+      | Cache.Semantic desc ->
+        ("cache:semantic:" ^ desc, [ ("cache", "semantic:" ^ desc) ])
+    in
+    let output_rows = Relation.cardinality result in
+    Obs.record_query ~algorithm:alg_name ~n_in:input_rows ~n_out:output_rows
+      ~comparisons:(-1) ~ms:lookup_ms;
+    let profile =
+      Pref_obs.Profile.make
+        ~phases:[ Pref_obs.Profile.phase "cache_lookup" lookup_ms ]
+        ~attrs ~comparisons:(-1) ~algorithm:alg_name ~input_rows ~output_rows
+        ()
+    in
+    (result, profile)
+  | None ->
   let dom_raw, compile_ms =
     Pref_obs.Span.timed (fun () -> Dominance.of_pref schema p)
   in
@@ -89,7 +130,8 @@ let sigma_profiled ?(algorithm = Alg_bnl) ?domains schema p rel =
         fun () -> Parallel.total_tests stats )
     | Alg_auto ->
       let plan, plan_ms =
-        Pref_obs.Span.timed (fun () -> Planner.choose ?domains schema p rel)
+        Pref_obs.Span.timed (fun () ->
+            Planner.choose ~cache:use_cache ?domains schema p rel)
       in
       Obs.plan_chosen (Planner.plan_kind plan);
       let r, ms =
@@ -104,6 +146,7 @@ let sigma_profiled ?(algorithm = Alg_bnl) ?domains schema p rel =
   in
   let output_rows = Relation.cardinality result in
   let comparisons = comparisons_of () in
+  if use_cache then Cache.store Cache.global schema p rel result;
   Obs.record_query ~algorithm:alg_name ~n_in:input_rows ~n_out:output_rows
     ~comparisons ~ms:eval_ms;
   let profile =

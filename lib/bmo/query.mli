@@ -19,6 +19,7 @@ val algorithm_to_string : algorithm -> string
 
 val sigma :
   ?algorithm:algorithm ->
+  ?cache:bool ->
   ?domains:int ->
   Schema.t ->
   Preferences.Pref.t ->
@@ -26,10 +27,15 @@ val sigma :
   Relation.t
 (** σ[P](R): all best-matching tuples, and only those. Default: BNL.
     [domains] sets the degree of parallelism for [Alg_parallel] and caps
-    what [Alg_auto] may plan (default {!Parallel.default_domains}). *)
+    what [Alg_auto] may plan (default {!Parallel.default_domains}).
+    When {!Cache.global} is enabled the query first consults the result
+    cache (exact and semantic tiers) and stores cold results; [cache:false]
+    opts this one call out. With the cache disabled the flag is dead and
+    the evaluation path is byte-for-byte the old one. *)
 
 val sigma_profiled :
   ?algorithm:algorithm ->
+  ?cache:bool ->
   ?domains:int ->
   Schema.t ->
   Preferences.Pref.t ->
@@ -43,7 +49,9 @@ val sigma_profiled :
     and per-chunk test counts. The profile is built
     unconditionally — it does not require {!Pref_obs.Control} to be on;
     the global flag only decides whether the run also feeds the
-    engine-wide metrics and spans. *)
+    engine-wide metrics and spans. A query served by the result cache
+    reports algorithm [cache:exact] or [cache:semantic:<identity>] with a
+    single [cache_lookup] phase. *)
 
 val sigma_groupby :
   ?algorithm:algorithm ->

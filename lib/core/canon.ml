@@ -1,0 +1,102 @@
+open Pref_relation
+
+(* Sorting keys: values sort by the total Value.compare; terms sort by their
+   serialized text. Both orders are arbitrary but fixed, which is all a
+   canonical form needs. *)
+
+let sort_values vs = List.sort_uniq Value.compare vs
+
+let sort_edges es =
+  List.sort_uniq
+    (fun (w1, b1) (w2, b2) ->
+      let c = Value.compare w1 w2 in
+      if c <> 0 then c else Value.compare b1 b2)
+    es
+
+let rec flatten_pareto = function
+  | Pref.Pareto (p, q) -> flatten_pareto p @ flatten_pareto q
+  | p -> [ p ]
+
+let rec flatten_prior = function
+  | Pref.Prior (p, q) -> flatten_prior p @ flatten_prior q
+  | p -> [ p ]
+
+let rec flatten_inter = function
+  | Pref.Inter (p, q) -> flatten_inter p @ flatten_inter q
+  | p -> [ p ]
+
+let rec flatten_dunion = function
+  | Pref.Dunion (p, q) -> flatten_dunion p @ flatten_dunion q
+  | p -> [ p ]
+
+(* Left-nested rebuild via the raw constructors: the operands come from a
+   validated term, so re-running the smart-constructor checks would only
+   cost time. *)
+let rebuild mk = function
+  | [] -> invalid_arg "Canon.rebuild: empty operand list"
+  | first :: rest -> List.fold_left mk first rest
+
+let rec canonical p =
+  match p with
+  | Pref.Pos (a, vs) -> Pref.Pos (a, sort_values vs)
+  | Pref.Neg (a, vs) -> Pref.Neg (a, sort_values vs)
+  | Pref.Pos_neg (a, ps, ns) -> Pref.Pos_neg (a, sort_values ps, sort_values ns)
+  | Pref.Pos_pos (a, p1, p2) -> Pref.Pos_pos (a, sort_values p1, sort_values p2)
+  | Pref.Explicit (a, es) -> Pref.Explicit (a, sort_edges es)
+  | Pref.Around _ | Pref.Between _ | Pref.Lowest _ | Pref.Highest _
+  | Pref.Score _ ->
+    p
+  | Pref.Antichain attrs -> Pref.Antichain (Attr.normalize attrs)
+  | Pref.Dual q -> Pref.Dual (canonical q)
+  | Pref.Pareto _ ->
+    sorted_accum (fun a b -> Pref.Pareto (a, b)) (flatten_pareto p)
+  | Pref.Inter _ -> sorted_accum (fun a b -> Pref.Inter (a, b)) (flatten_inter p)
+  | Pref.Dunion _ ->
+    sorted_accum (fun a b -> Pref.Dunion (a, b)) (flatten_dunion p)
+  | Pref.Prior _ ->
+    (* associative but not commutative: left-nest, keep order *)
+    rebuild (fun a b -> Pref.Prior (a, b)) (List.map canonical (flatten_prior p))
+  | Pref.Rank (f, q, r) -> Pref.Rank (f, canonical q, canonical r)
+  | Pref.Lsum s ->
+    Pref.Lsum
+      {
+        s with
+        Pref.ls_left = canonical s.Pref.ls_left;
+        ls_left_dom = sort_values s.Pref.ls_left_dom;
+        ls_right = canonical s.Pref.ls_right;
+        ls_right_dom = sort_values s.Pref.ls_right_dom;
+      }
+  | Pref.Two_graphs g ->
+    Pref.Two_graphs
+      {
+        g with
+        Pref.tg_pos = sort_edges g.Pref.tg_pos;
+        tg_pos_singles = sort_values g.Pref.tg_pos_singles;
+        tg_neg = sort_edges g.Pref.tg_neg;
+        tg_neg_singles = sort_values g.Pref.tg_neg_singles;
+      }
+
+and sorted_accum mk operands =
+  let keyed =
+    List.map
+      (fun q ->
+        let q = canonical q in
+        (Serialize.to_string q, q))
+      operands
+  in
+  rebuild mk
+    (List.map snd (List.sort (fun (a, _) (b, _) -> String.compare a b) keyed))
+
+let key p = Serialize.to_string (canonical p)
+let equal p q = String.equal (key p) (key q)
+let prior_spine p = List.map canonical (flatten_prior p)
+
+let pareto_operands p =
+  match canonical p with
+  | Pref.Pareto _ as c -> flatten_pareto c
+  | c -> [ c ]
+
+let dunion_operands p =
+  match canonical p with
+  | Pref.Dunion _ as c -> flatten_dunion c
+  | c -> [ c ]

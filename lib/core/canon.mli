@@ -1,0 +1,45 @@
+(** Canonical forms and cache keys for preference terms.
+
+    The result cache ({!Pref_bmo.Cache}) must recognise that two
+    syntactically different terms denote the same preference whenever the
+    paper's algebra says so cheaply — without running the full rewriting
+    engine. This module normalises exactly the laws that are pure
+    reorderings (Proposition 2 and the set-character of the base
+    constructors) and leaves everything else alone:
+
+    - Pareto (⊗), intersection (♦) and disjoint-union (+) accumulations are
+      flattened and their operands sorted (commutative + associative);
+    - prioritisation (&) is flattened to a left-nested spine but keeps its
+      operand order (associative only, Proposition 2);
+    - the value sets of POS/NEG/POS-POS/… and the closed edge lists of
+      EXPLICIT / the two-graph constructor are sorted (they are sets);
+    - RANK and LSUM keep their operand order (the combine function and the
+      domain split are positional).
+
+    The canonical term is semantically {e identical} to the input (the same
+    strict partial order, not merely ≡), so a cache keyed on it may return
+    the stored BMO set verbatim. *)
+
+val canonical : Pref.t -> Pref.t
+(** The normal form described above. Idempotent. *)
+
+val key : Pref.t -> string
+(** [Serialize.to_string (canonical p)] — an injective printable key for
+    the canonical term. Function components (SCORE, rank(F)) are keyed by
+    name, matching {!Pref.equal}. *)
+
+val equal : Pref.t -> Pref.t -> bool
+(** Key equality: [Pref.equal] modulo the reorderings above. *)
+
+val prior_spine : Pref.t -> Pref.t list
+(** The flattened operands of a prioritisation chain, in order:
+    [(P1 & P2) & P3] ↦ [[P1; P2; P3]]; a non-& term is its own singleton
+    spine. Operands are canonicalised. *)
+
+val pareto_operands : Pref.t -> Pref.t list
+(** The flattened operands of a Pareto accumulation in canonical order;
+    a non-⊗ term is its own singleton. Operands are canonicalised. *)
+
+val dunion_operands : Pref.t -> Pref.t list
+(** The flattened operands of a disjoint-union accumulation in canonical
+    order; a non-+ term is its own singleton. Operands are canonicalised. *)

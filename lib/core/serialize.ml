@@ -124,18 +124,26 @@ let tokenize src =
           if j >= n then raise (Error ("unterminated string", i))
           else if src.[j] = '\\' && j + 1 < n then begin
             (* OCaml-style escapes, matching the %S printer *)
+            let is_digit c = c >= '0' && c <= '9' in
+            (* a decimal escape needs all three digits (the %S printer
+               always emits three); anything else is a literal character *)
+            let decimal =
+              is_digit src.[j + 1]
+              && j + 3 < n
+              && is_digit src.[j + 2]
+              && is_digit src.[j + 3]
+            in
             (match src.[j + 1] with
             | 'n' -> Buffer.add_char buf '\n'
             | 't' -> Buffer.add_char buf '\t'
             | 'r' -> Buffer.add_char buf '\r'
             | 'b' -> Buffer.add_char buf '\b'
-            | '0' .. '9' when j + 3 < n ->
-              Buffer.add_char buf
-                (Char.chr (int_of_string (String.sub src (j + 1) 3)))
+            | '0' .. '9' when decimal ->
+              let code = int_of_string (String.sub src (j + 1) 3) in
+              if code > 255 then raise (Error ("invalid character escape", j));
+              Buffer.add_char buf (Char.chr code)
             | c -> Buffer.add_char buf c);
-            let width =
-              match src.[j + 1] with '0' .. '9' -> 4 | _ -> 2
-            in
+            let width = if decimal then 4 else 2 in
             str (j + width)
           end
           else if src.[j] = '"' then j + 1

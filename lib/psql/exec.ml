@@ -131,7 +131,7 @@ let project_result resolve (q : Ast.query) rel =
     in
     Relation.project rel cols
 
-let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) ?domains
+let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) ?cache ?domains
     ?(profile = false) env (q : Ast.query) : result =
   Pref_obs.Span.with_span "psql.query" @@ fun () ->
   (* Per-clause phase runner: always a tracing span; additionally a timed
@@ -201,13 +201,15 @@ let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) ?domains
           | _, [] ->
             if profile then begin
               let r, prof =
-                Pref_bmo.Query.sigma_profiled ~algorithm ?domains schema p_eval
-                  filtered
+                Pref_bmo.Query.sigma_profiled ~algorithm ?cache ?domains
+                  schema p_eval filtered
               in
               bmo_profile := Some prof;
               r
             end
-            else Pref_bmo.Query.sigma ~algorithm ?domains schema p_eval filtered
+            else
+              Pref_bmo.Query.sigma ~algorithm ?cache ?domains schema p_eval
+                filtered
           | _, by ->
             let r =
               Pref_bmo.Query.sigma_groupby ~algorithm schema p_eval ~by filtered
@@ -298,12 +300,12 @@ let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) ?domains
   in
   { relation; preference; profile = prof }
 
-let run ?registry ?algorithm ?domains ?(profile = false) env src =
+let run ?registry ?algorithm ?cache ?domains ?(profile = false) env src =
   if profile then begin
     let q, parse_ms =
       Pref_obs.Span.timed_span "psql.parse" (fun () -> Parser.parse_query src)
     in
-    let r = run_query ?registry ?algorithm ?domains ~profile env q in
+    let r = run_query ?registry ?algorithm ?cache ?domains ~profile env q in
     {
       r with
       profile =
@@ -315,5 +317,5 @@ let run ?registry ?algorithm ?domains ?(profile = false) env src =
     }
   end
   else
-    run_query ?registry ?algorithm ?domains env
+    run_query ?registry ?algorithm ?cache ?domains env
       (Pref_obs.Span.with_span "psql.parse" (fun () -> Parser.parse_query src))

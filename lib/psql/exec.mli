@@ -31,6 +31,7 @@ val full_preference :
 val run_query :
   ?registry:Translate.registry ->
   ?algorithm:Pref_bmo.Query.algorithm ->
+  ?cache:bool ->
   ?domains:int ->
   ?profile:bool ->
   env ->
@@ -40,6 +41,7 @@ val run_query :
 val run :
   ?registry:Translate.registry ->
   ?algorithm:Pref_bmo.Query.algorithm ->
+  ?cache:bool ->
   ?domains:int ->
   ?profile:bool ->
   env ->
@@ -47,7 +49,11 @@ val run :
   result
 (** Parse and execute. Raises {!Parser.Error}, {!Translate.Error} or
     {!Error}. [domains] sets the degree of parallelism for the parallel
-    and auto algorithms (the shell's [\set domains N]).
+    and auto algorithms (the shell's [\set domains N]). [cache] opts the
+    BMO evaluation out of the result cache for this call (the cache only
+    acts at all when {!Pref_bmo.Cache.global} is enabled, e.g. via the
+    shell's [\cache on]); it applies to the pre-projection BMO set, so
+    queries differing only in their SELECT list share cache entries.
     [~profile:true] additionally fills {!result.profile};
     independent of that, every clause runs inside a {!Pref_obs.Span} so
     traces appear whenever telemetry is globally enabled. *)

@@ -189,6 +189,94 @@ let mine_command shell path =
       (report_lines
       @ [ Fmt.str "mined preference (stored as $mined): %a" Show.pp p ])
 
+let cache_command args =
+  let cache = Pref_bmo.Cache.global in
+  match args with
+  | [] | [ "stats" ] -> Ok (plain (Pref_bmo.Cache.stats_lines cache))
+  | [ "on" ] ->
+    Pref_bmo.Cache.set_enabled true;
+    Ok (plain [ "cache: on" ])
+  | [ "off" ] ->
+    Pref_bmo.Cache.set_enabled false;
+    Ok (plain [ "cache: off" ])
+  | [ "clear" ] ->
+    Pref_bmo.Cache.clear cache;
+    Ok (plain [ "cache cleared" ])
+  | [ "budget"; n ] -> (
+    match int_of_string_opt n with
+    | Some mib when mib >= 1 ->
+      Pref_bmo.Cache.set_budget cache ~budget_bytes:(mib * 1024 * 1024) ();
+      Ok (plain [ Printf.sprintf "cache budget: %d MiB" mib ])
+    | Some _ | None ->
+      Error (Printf.sprintf "budget must be a positive MiB count, got %s" n))
+  | _ -> Error "usage: \\cache [on|off|stats|clear|budget <MiB>]"
+
+let parse_row schema spec =
+  let fields = String.split_on_char ',' spec |> List.map String.trim in
+  let want = List.length schema and got = List.length fields in
+  if want <> got then
+    failwith (Printf.sprintf "expected %d value(s), got %d" want got)
+  else
+    Tuple.make
+      (List.map2
+         (fun (name, ty) field ->
+           match Value.of_string_as ty field with
+           | Some v -> v
+           | None ->
+             failwith
+               (Printf.sprintf "%s: cannot read %S as %s" name field
+                  (Value.ty_to_string ty)))
+         schema fields)
+
+(* Single-tuple DML so cached BMO results can be patched incrementally
+   instead of recomputed: the relation is updated in the environment and
+   every cache entry for its old version is carried to the new one. *)
+let dml_command shell op name spec =
+  match Exec.find_table shell.env name with
+  | None -> Error (Printf.sprintf "no such table %s" name)
+  | Some rel -> (
+    let schema = Relation.schema rel in
+    let row = parse_row schema spec in
+    let cache = Pref_bmo.Cache.global in
+    match op with
+    | `Insert ->
+      let new_rel = Relation.add_row rel row in
+      let patched = Pref_bmo.Cache.on_insert cache ~old_rel:rel ~new_rel row in
+      add_table shell name new_rel;
+      Ok
+        (plain
+           [
+             Fmt.str "inserted into %s: %a — %d cached result(s) patched"
+               (String.lowercase_ascii name) Relation.pp new_rel patched;
+           ])
+    | `Delete ->
+      let removed = ref false in
+      let rows =
+        List.filter
+          (fun t ->
+            if (not !removed) && Tuple.equal t row then begin
+              removed := true;
+              false
+            end
+            else true)
+          (Relation.rows rel)
+      in
+      if not !removed then
+        Error (Printf.sprintf "no row in %s matches" name)
+      else begin
+        let new_rel = Relation.make schema rows in
+        let patched =
+          Pref_bmo.Cache.on_delete cache ~old_rel:rel ~new_rel row
+        in
+        add_table shell name new_rel;
+        Ok
+          (plain
+             [
+               Fmt.str "deleted from %s: %a — %d cached result(s) patched"
+                 (String.lowercase_ascii name) Relation.pp new_rel patched;
+             ])
+      end)
+
 let set_profile shell on =
   shell.profile <- on;
   (* [\profile] also flips the engine-wide telemetry switch so spans and
@@ -274,6 +362,11 @@ let execute shell line =
                [ "(no trace recorded - turn \\profile on and run a query)" ])
         | root :: _ ->
           Ok (plain (String.split_on_char '\n' (Pref_obs.Span.to_text root))))
+      | ".cache" :: rest -> cache_command rest
+      | ".insert" :: t :: rest when rest <> [] ->
+        dml_command shell `Insert t (String.concat " " rest)
+      | ".delete" :: t :: rest when rest <> [] ->
+        dml_command shell `Delete t (String.concat " " rest)
       | ".pref" :: rest -> Ok (pref_command shell rest)
       | ".sql92" :: rest when rest <> [] -> (
         let src = expand_references shell (String.concat " " (List.tl (split_words line))) in
@@ -297,6 +390,9 @@ let execute shell line =
                "          \\profile [on|off]  per-query profiles (phase timings,";
                "                             algorithm, dominance-test counts)";
                "          \\stats [reset|json]  engine metrics | \\trace  last span tree";
+               "          \\cache [on|off|stats|clear|budget <MiB>]  BMO result cache";
+               "          .insert <t> v1,v2,..  .delete <t> v1,v2,..  single-row DML";
+               "                                (patches cached results incrementally)";
                "          .help | .quit";
                "anything else runs as Preference SQL; $name expands a stored";
                "preference inside the query text";

@@ -31,4 +31,12 @@ val execute : t -> string -> (response, string) result
     [--] comment lines) and flips {!Pref_obs.Control} so engine metrics
     and spans accumulate; [\stats] dumps the metrics registry
     ([reset]/[json] variants); [\trace] prints the most recent query's
-    span tree. *)
+    span tree.
+
+    Result-cache commands: [\cache on|off] flips the global BMO result
+    cache ({!Pref_bmo.Cache.global}), [\cache stats] prints hit/miss/
+    semantic-reuse/patch counters and byte usage, [\cache clear] drops all
+    entries and [\cache budget N] caps the byte budget at N MiB. The
+    single-row DML commands [.insert <table> v1,v2,...] and
+    [.delete <table> v1,v2,...] update a loaded table and patch its cached
+    BMO results incrementally instead of invalidating them. *)
