@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick bench-smoke check fmt clean
+.PHONY: all build test bench bench-quick bench-smoke check fmt lint clean
 
 all: build
 
@@ -25,13 +25,25 @@ bench-smoke:
 fmt:
 	dune build @fmt
 
-# The pre-push gate: full build, the whole test suite, and the bench smoke
-# subset (correctness checks incl. parallel evaluation and the result
-# cache, ends with BENCH_JSON). The explicit exit keeps a bench gate
-# failure fatal even under `make -i` / overridden sub-make flags.
+# Static-analysis gate: the whole tree rebuilt under the strict profile
+# (every enabled warning is an error), then prefcheck over the example
+# query corpora — exits 1 on any error-severity finding.
+lint:
+	dune build @all --profile strict
+	dune exec -- prefcheck --json -w cars examples/queries/cars.psql
+	dune exec -- prefcheck --json -w hotels examples/queries/hotels.psql
+	dune exec -- prefcheck --json -w trips examples/queries/trips.psql
+	dune exec -- prefcheck --json examples/queries/tour.pxpath
+
+# The pre-push gate: full build, the whole test suite, the static-analysis
+# gate, and the bench smoke subset (correctness checks incl. parallel
+# evaluation and the result cache, ends with BENCH_JSON). The explicit
+# exit keeps a gate failure fatal even under `make -i` / overridden
+# sub-make flags.
 check:
 	dune build @all
 	dune runtest
+	@$(MAKE) lint || { echo "make check: FAILED (lint gate)"; exit 1; }
 	@$(MAKE) bench-smoke || { echo "make check: FAILED (bench-smoke gate)"; exit 1; }
 	@echo "make check: OK"
 

@@ -1,0 +1,179 @@
+(* prefcheck — static analysis for Preference SQL / Preference XPath.
+
+   Usage:
+     prefcheck --table cars=cars.csv queries.psql
+     prefcheck --workload cars --query "SELECT * FROM cars PREFERRING ..."
+     prefcheck --xml catalog.xml tour.pxpath --json
+
+   Sources are .psql files (semicolon-separated statements, `--` comments),
+   .pxpath files (one query per line, `#` comments), or one-shot --query /
+   --xpath strings. Exit status is 1 when any error-severity finding is
+   reported, so the binary doubles as a CI lint gate. *)
+
+module D = Pref_analysis.Diagnostic
+
+let die fmt = Fmt.kstr (fun msg -> Fmt.epr "error: %s@." msg; exit 2) fmt
+
+let read_file path =
+  try In_channel.with_open_text path In_channel.input_all
+  with Sys_error msg -> die "%s" msg
+
+(* Split a .psql corpus into statements: `;` terminates, `--` comments a
+   line out. *)
+let sql_statements src =
+  let no_comments =
+    String.split_on_char '\n' src
+    |> List.filter (fun line ->
+           let t = String.trim line in
+           not (String.length t >= 2 && t.[0] = '-' && t.[1] = '-'))
+    |> String.concat "\n"
+  in
+  String.split_on_char ';' no_comments
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+(* A .pxpath corpus: one query per non-blank, non-# line. *)
+let xpath_statements src =
+  String.split_on_char '\n' src
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "" && s.[0] <> '#')
+
+type source = Sql of string * string | Xpath of string * string
+(* (label, text) *)
+
+let sources_of_file path =
+  let text = read_file path in
+  let stmts, wrap =
+    match Filename.extension path with
+    | ".pxpath" | ".xpath" ->
+      (xpath_statements text, fun l s -> Xpath (l, s))
+    | _ -> (sql_statements text, fun l s -> Sql (l, s))
+  in
+  List.mapi
+    (fun i s -> wrap (Printf.sprintf "%s:%d" path (i + 1)) s)
+    stmts
+
+let load_workload env name =
+  let n = 64 in
+  match String.lowercase_ascii name with
+  | "cars" -> ("cars", Pref_workload.Cars.relation ~seed:1 ~n ()) :: env
+  | "hotels" -> ("hotels", Pref_workload.Hotels.relation ~seed:1 ~n ()) :: env
+  | "trips" -> ("trips", Pref_workload.Trips.relation ~seed:1 ~n ()) :: env
+  | other -> die "unknown workload %S (cars | hotels | trips)" other
+
+let parse_table_spec env spec =
+  match String.index_opt spec '=' with
+  | Some i ->
+    let name = String.lowercase_ascii (String.sub spec 0 i) in
+    let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+    (try (name, Pref_relation.Csv.load path) :: env
+     with Sys_error msg | Failure msg | Invalid_argument msg ->
+       die "--table %s: %s" spec msg)
+  | None -> die "--table expects NAME=FILE.csv, got %S" spec
+
+let main tables workloads files query xpath xml json =
+  let env = List.fold_left parse_table_spec [] tables in
+  let env = List.fold_left load_workload env workloads in
+  let doc =
+    match xml with
+    | None -> None
+    | Some path -> (
+      try Some (Pref_xpath.Xml_parser.load path)
+      with Pref_xpath.Xml_parser.Error (msg, pos) ->
+        die "%s: XML error at offset %d: %s" path pos msg)
+  in
+  let sources =
+    List.concat_map sources_of_file files
+    @ (match query with Some q -> [ Sql ("--query", q) ] | None -> [])
+    @ match xpath with Some q -> [ Xpath ("--xpath", q) ] | None -> []
+  in
+  if sources = [] then die "nothing to check (give FILES, --query or --xpath)";
+  let reports =
+    List.map
+      (fun src ->
+        match src with
+        | Sql (label, text) ->
+          (label, Pref_analysis.Ast_check.check_source ~env text)
+        | Xpath (label, text) ->
+          (label, Pref_analysis.Xpath_check.check_source ?doc text))
+      sources
+  in
+  let any_errors =
+    List.exists (fun (_, ds) -> D.has_errors ds) reports
+  in
+  if json then
+    print_endline
+      (Pref_obs.Json.to_string
+         (Pref_obs.Json.List
+            (List.map
+               (fun (label, ds) -> D.report_json ~source:label ds)
+               reports)))
+  else
+    List.iter
+      (fun (label, ds) ->
+        match D.to_lines ds with
+        | [] -> Fmt.pr "%s: ok@." label
+        | lines ->
+          Fmt.pr "%s:@." label;
+          List.iter (fun l -> Fmt.pr "  %s@." l) lines)
+      reports;
+  if any_errors then exit 1
+
+open Cmdliner
+
+let tables_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "t"; "table" ] ~docv:"NAME=FILE.csv"
+        ~doc:"Load a CSV file as table $(i,NAME) (repeatable).")
+
+let workloads_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:
+          "Provide a built-in synthetic table: cars, hotels or trips \
+           (repeatable).")
+
+let files_arg =
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Query corpora: .psql (semicolon-separated Preference SQL) or \
+           .pxpath (one Preference XPath query per line).")
+
+let query_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"SQL" ~doc:"Check one Preference SQL query.")
+
+let xpath_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "x"; "xpath" ] ~docv:"QUERY"
+        ~doc:"Check one Preference XPath query.")
+
+let xml_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "xml" ] ~docv:"FILE.xml"
+        ~doc:
+          "XML document giving the tag/attribute universe for Preference \
+           XPath checks.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON report per source.")
+
+let cmd =
+  let doc = "static analysis for Preference SQL and Preference XPath" in
+  Cmd.v
+    (Cmd.info "prefcheck" ~version:"1.0.0" ~doc)
+    Term.(
+      const main $ tables_arg $ workloads_arg $ files_arg $ query_arg
+      $ xpath_arg $ xml_arg $ json_arg)
+
+let () = exit (Cmd.eval cmd)

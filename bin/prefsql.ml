@@ -35,7 +35,7 @@ let rec repl shell =
   | None -> print_newline ()
   | Some line -> if not (run_line shell line) then repl shell
 
-let main tables query algorithm explain =
+let main tables query algorithm explain check =
   let shell = Pref_shell.Shell.create () in
   let ok = ref true in
   List.iter
@@ -50,6 +50,7 @@ let main tables query algorithm explain =
   if not !ok then exit 1;
   ignore (run_line shell (".algorithm " ^ algorithm));
   if explain then ignore (run_line shell ".explain on");
+  if check then ignore (run_line shell ".lint on");
   match query with
   | Some q -> ignore (run_line shell q)
   | None ->
@@ -83,10 +84,21 @@ let explain_arg =
     value & flag
     & info [ "e"; "explain" ] ~doc:"Print the translated preference term.")
 
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "c"; "check" ]
+        ~doc:
+          "Run the static analyzer on every query (backslash-lint on): \
+           findings print as comment lines, error-severity findings reject \
+           the query.")
+
 let cmd =
   let doc = "Preference SQL queries (BMO semantics) over CSV tables" in
   Cmd.v
     (Cmd.info "prefsql" ~version:"1.0.0" ~doc)
-    Term.(const main $ tables_arg $ query_arg $ algorithm_arg $ explain_arg)
+    Term.(
+      const main $ tables_arg $ query_arg $ algorithm_arg $ explain_arg
+      $ check_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -4,9 +4,16 @@
 
 open Cmdliner
 
-let main file query quiet =
+let main file query quiet check =
   try
     let doc = Pref_xpath.Xml_parser.load file in
+    if check then begin
+      let ds = Pref_analysis.Xpath_check.check_source ~doc query in
+      List.iter
+        (fun l -> Fmt.epr "%s@." l)
+        (Pref_analysis.Diagnostic.to_lines ds);
+      if Pref_analysis.Diagnostic.has_errors ds then exit 1
+    end;
     let nodes = Pref_xpath.Peval.run doc query in
     if not quiet then Fmt.pr "-- %d node(s)@." (List.length nodes);
     List.iter (fun n -> print_string (Pref_xpath.Xml.to_string n)) nodes
@@ -39,10 +46,18 @@ let query_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet" ] ~doc:"Do not print the node count.")
 
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "c"; "check" ]
+        ~doc:
+          "Run the static analyzer on the query against the document's \
+           tag/attribute universe first; exit 1 on error findings.")
+
 let cmd =
   let doc = "Preference XPath queries (BMO semantics) over XML documents" in
   Cmd.v
     (Cmd.info "prefxpath" ~version:"1.0.0" ~doc)
-    Term.(const main $ file_arg $ query_arg $ quiet_arg)
+    Term.(const main $ file_arg $ query_arg $ quiet_arg $ check_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,414 @@
+open Pref_relation
+open Preferences
+open Pref_sql
+
+(* ------------------------------------------------------------------ *)
+(* "did you mean" suggestions for registry and table names             *)
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let curr = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    curr.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit curr 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggest candidates name =
+  let lname = String.lowercase_ascii name in
+  let best =
+    List.fold_left
+      (fun acc c ->
+        let d = levenshtein lname (String.lowercase_ascii c) in
+        match acc with Some (_, bd) when bd <= d -> acc | _ -> Some (c, d))
+      None candidates
+  in
+  match best with
+  | Some (c, d) when d > 0 && d <= 2 && d < String.length name ->
+    Printf.sprintf " (did you mean %S?)" c
+  | _ -> ""
+
+(* ------------------------------------------------------------------ *)
+(* AST-level checks: everything decidable before translation           *)
+
+(* Mirror of {!Preferences.Pref.is_scorable} on the surface syntax. *)
+let rec ast_scorable = function
+  | Ast.P_score _ | Ast.P_around _ | Ast.P_between _ | Ast.P_lowest _
+  | Ast.P_highest _ ->
+    true
+  | Ast.P_rank (_, p, q) -> ast_scorable p && ast_scorable q
+  | Ast.P_dual p -> ast_scorable p
+  | Ast.P_pos _ | Ast.P_neg _ | Ast.P_pos_pos _ | Ast.P_pos_neg _
+  | Ast.P_explicit _ | Ast.P_pareto _ | Ast.P_prior _ ->
+    false
+
+let value_overlap s1 s2 =
+  List.exists (fun v -> List.exists (Value.equal v) s2) s1
+
+(* A raw edge list is cyclic iff its transitive closure would relate some
+   value to itself — the condition [Pref.explicit] rejects. *)
+let edges_cyclic edges =
+  let values =
+    List.fold_left
+      (fun acc (x, y) ->
+        let add v acc =
+          if List.exists (Value.equal v) acc then acc else v :: acc
+        in
+        add x (add y acc))
+      [] edges
+  in
+  let g =
+    Pref_order.Graph.of_edges ~equal:Value.equal values
+      (List.map (fun (w, b) -> (b, w)) edges)
+  in
+  not (Pref_order.Graph.is_acyclic g)
+
+let ast_findings (registry : Translate.registry) path p =
+  let diags = ref [] in
+  let emit path code message =
+    diags := Diagnostic.make ~path code message :: !diags
+  in
+  let rec walk path p =
+    match p with
+    | Ast.P_pos _ | Ast.P_neg _ | Ast.P_lowest _ | Ast.P_highest _ -> ()
+    | Ast.P_pos_pos (a, v1, v2) ->
+      if value_overlap v1 v2 then
+        emit path "E002"
+          (Printf.sprintf
+             "PREFERRING %s: the two POS sets of an ELSE chain must be \
+              disjoint" a)
+    | Ast.P_pos_neg (a, vs, ns) ->
+      if value_overlap vs ns then
+        emit path "E002"
+          (Printf.sprintf
+             "PREFERRING %s: the POS and NEG sets must be disjoint" a)
+    | Ast.P_explicit (a, edges) ->
+      if edges_cyclic edges then
+        emit path "E001"
+          (Printf.sprintf "EXPLICIT(%s): better-than graph is cyclic" a)
+    | Ast.P_around (a, lit) ->
+      if Value.as_float lit = None then
+        emit path "E105"
+          (Printf.sprintf
+             "AROUND(%s): needs a numeric or date argument, got %s" a
+             (Value.to_string lit))
+    | Ast.P_between (a, low, up) -> (
+      match Value.as_float low, Value.as_float up with
+      | None, _ | _, None ->
+        let bad = if Value.as_float low = None then low else up in
+        emit path "E105"
+          (Printf.sprintf
+             "BETWEEN(%s): needs numeric or date bounds, got %s" a
+             (Value.to_string bad))
+      | Some l, Some u ->
+        if l > u then
+          emit path "E003"
+            (Printf.sprintf
+               "BETWEEN(%s): lower bound %s exceeds upper bound %s" a
+               (Value.to_string low) (Value.to_string up)))
+    | Ast.P_score (a, name) ->
+      if List.assoc_opt name registry.Translate.scores = None then
+        emit path "E103"
+          (Printf.sprintf "SCORE(%s, %S): unknown scoring function%s" a name
+             (suggest (List.map fst registry.Translate.scores) name))
+    | Ast.P_rank (name, p1, p2) ->
+      if List.assoc_opt name registry.Translate.combiners = None then
+        emit path "E104"
+          (Printf.sprintf
+             "RANK(%S) over %s: unknown combining function%s" name
+             (String.concat ", " (Ast.pref_attrs p))
+             (suggest (List.map fst registry.Translate.combiners) name));
+      List.iteri
+        (fun i op ->
+          let opath = path @ [ Printf.sprintf "rank[%d]" i ] in
+          if not (ast_scorable op) then
+            emit opath "E004"
+              (Printf.sprintf
+                 "RANK needs SCORE or a sub-constructor of SCORE (AROUND, \
+                  BETWEEN, LOWEST, HIGHEST) over %s"
+                 (String.concat ", " (Ast.pref_attrs op)));
+          walk opath op)
+        [ p1; p2 ]
+    | Ast.P_pareto (p1, p2) ->
+      walk (path @ [ "pareto[0]" ]) p1;
+      walk (path @ [ "pareto[1]" ]) p2
+    | Ast.P_prior (p1, p2) ->
+      walk (path @ [ "prior[0]" ]) p1;
+      walk (path @ [ "prior[1]" ]) p2
+    | Ast.P_dual p -> walk (path @ [ "dual" ]) p
+  in
+  walk path p;
+  !diags
+
+let translation_findings ?registry ?schema ~path p =
+  match Translate.pref ?registry p with
+  | term -> Term_check.check ?schema ~path term
+  | exception Translate.Error msg -> [ Diagnostic.make ~path "E010" msg ]
+  | exception Invalid_argument msg -> [ Diagnostic.make ~path "E010" msg ]
+  | exception Pref.Ill_formed { code; message; _ } ->
+    [ Diagnostic.make ~path code message ]
+
+let check_pref ?(registry = Translate.default_registry) ?schema ?(path = []) p
+    =
+  let ast = ast_findings registry path p in
+  if Diagnostic.has_errors ast then ast
+  else ast @ translation_findings ~registry ?schema ~path p
+
+(* ------------------------------------------------------------------ *)
+(* Whole-query checks                                                  *)
+
+(* Mirror of the executor's attribute resolver: [Schema.resolve], plus the
+   single-table special case where [t.col] naming the FROM table is
+   accepted and stripped. *)
+let mirror_resolve (q : Ast.query) schema name =
+  match Schema.resolve schema name with
+  | Ok n -> Ok n
+  | Error msg -> (
+    match q.Ast.from, String.index_opt name '.' with
+    | [ t ], Some i when String.sub name 0 i = t -> (
+      let bare = String.sub name (i + 1) (String.length name - i - 1) in
+      match Schema.resolve schema bare with
+      | Ok n -> Ok n
+      | Error _ -> Error msg)
+    | _ -> Error msg)
+
+(* Mirrors of the value-independent [None] domains of {!Preferences.Quality}:
+   a BUT ONLY quality over such a base fails on the first tuple checked. *)
+let rec level_always_none = function
+  | Pref.Around _ | Pref.Between _ | Pref.Lowest _ | Pref.Highest _
+  | Pref.Score _ ->
+    true
+  | Pref.Lsum s ->
+    level_always_none s.Pref.ls_left && level_always_none s.Pref.ls_right
+  | _ -> false
+
+let distance_possible = function
+  | Pref.Around _ | Pref.Between _ -> true
+  | _ -> false
+
+let check_query ?(registry = Translate.default_registry) ~env (q : Ast.query)
+    =
+  let diags = ref [] in
+  let emit path code message =
+    diags := Diagnostic.make ~path code message :: !diags
+  in
+  (* FROM: existence, duplicates, schema *)
+  if q.Ast.from = [] then emit [ "from" ] "E110" "FROM requires at least one table";
+  let unknown =
+    List.filter (fun t -> Exec.find_table env t = None) q.Ast.from
+  in
+  List.iter
+    (fun t ->
+      emit [ "from" ] "E101"
+        (Printf.sprintf "unknown table %S%s" t
+           (suggest (List.map fst env) t)))
+    unknown;
+  let duplicates =
+    let rec dups seen = function
+      | [] -> []
+      | t :: rest ->
+        let l = String.lowercase_ascii t in
+        if List.mem l seen then t :: dups seen rest else dups (l :: seen) rest
+    in
+    dups [] q.Ast.from
+  in
+  List.iter
+    (fun t ->
+      emit [ "from" ] "E112"
+        (Printf.sprintf
+           "table %S listed twice: the join would duplicate its columns" t))
+    duplicates;
+  let schema =
+    if q.Ast.from = [] || unknown <> [] || duplicates <> [] then None
+    else
+      match q.Ast.from with
+      | [ t ] ->
+        Option.map Relation.schema (Exec.find_table env t)
+      | ts ->
+        Some
+          (List.fold_left
+             (fun acc t ->
+               match Exec.find_table env t with
+               | Some r -> Schema.union acc (Schema.prefix t (Relation.schema r))
+               | None -> acc)
+             Schema.empty ts)
+  in
+  (* attribute resolution per clause; falls back to the original name so the
+     later term-level pass still runs *)
+  let resolution_failed = ref false in
+  let resolve path name =
+    match schema with
+    | None -> name
+    | Some s -> (
+      match mirror_resolve q s name with
+      | Ok n -> n
+      | Error msg ->
+        resolution_failed := true;
+        emit path "E102" (msg ^ suggest (Schema.names s) name);
+        name)
+  in
+  (* SELECT *)
+  (match q.Ast.select with
+  | [ Ast.Star ] | [] -> ()
+  | items ->
+    if List.mem Ast.Star items then
+      emit [ "select" ] "E109" "SELECT * cannot be mixed with columns"
+    else
+      List.iteri
+        (fun i item ->
+          match item with
+          | Ast.Star -> ()
+          | Ast.Column c ->
+            ignore (resolve [ Printf.sprintf "select[%d]" i ] c))
+        items);
+  (* WHERE — mirroring the executor's join planning: over several tables,
+     equi-join conjuncts are consumed by the join builder (each side
+     resolved against a partial schema) and never hit the full-schema
+     resolver, so only the remaining conjuncts are checked here. *)
+  let where_conjuncts_to_check =
+    match q.Ast.where, q.Ast.from, schema with
+    | None, _, _ -> []
+    | Some c, ([] | [ _ ]), _ | Some c, _, None -> [ c ]
+    | Some c, first :: rest, Some _ ->
+      let prefixed t =
+        match Exec.find_table env t with
+        | Some r -> Schema.prefix t (Relation.schema r)
+        | None -> Schema.empty
+      in
+      let consumed left_schema right_schema = function
+        | Ast.Cmp_attr (a, Ast.Eq, b) ->
+          let try_pair x y =
+            match
+              Schema.resolve left_schema x, Schema.resolve right_schema y
+            with
+            | Ok _, Ok _ -> true
+            | _ -> false
+          in
+          try_pair a b || try_pair b a
+        | _ -> false
+      in
+      let _, remaining =
+        List.fold_left
+          (fun (left, conjuncts) t ->
+            let right = prefixed t in
+            ( Schema.union left right,
+              List.filter (fun c -> not (consumed left right c)) conjuncts ))
+          (prefixed first, Ast.conjuncts c)
+          rest
+      in
+      remaining
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun a -> ignore (resolve [ "where" ] a))
+        (Ast.condition_attrs c))
+    where_conjuncts_to_check;
+  (* GROUPING / ORDER BY *)
+  List.iteri
+    (fun i a -> ignore (resolve [ Printf.sprintf "grouping[%d]" i ] a))
+    q.Ast.grouping;
+  List.iteri
+    (fun i (a, _) -> ignore (resolve [ Printf.sprintf "order_by[%d]" i ] a))
+    q.Ast.order_by;
+  (* PREFERRING / CASCADE: AST-level per clause, then one term-level pass
+     over the combined prioritisation chain (so a CASCADE level dead under
+     Proposition 4(a) is visible) *)
+  let clauses =
+    (match q.Ast.preferring with
+    | Some p -> [ ([ "preferring" ], p) ]
+    | None -> [])
+    @ List.mapi
+        (fun i c -> ([ Printf.sprintf "cascade[%d]" i ], c))
+        q.Ast.cascade
+  in
+  let clause_ast_diags =
+    List.concat_map (fun (path, p) -> ast_findings registry path p) clauses
+  in
+  diags := clause_ast_diags @ !diags;
+  let full_pref =
+    if clauses = [] || Diagnostic.has_errors clause_ast_diags then None
+    else begin
+      let resolved =
+        List.map
+          (fun (path, p) -> Ast.map_pref_attrs (resolve path) p)
+          clauses
+      in
+      match List.map (Translate.pref ~registry) resolved with
+      | terms ->
+        Some
+          (List.fold_left
+             (fun acc t -> Pref.Prior (acc, t))
+             (List.hd terms) (List.tl terms))
+      | exception Translate.Error msg ->
+        emit [ "preferring" ] "E010" msg;
+        None
+      | exception Invalid_argument msg ->
+        emit [ "preferring" ] "E010" msg;
+        None
+    end
+  in
+  (match full_pref with
+  | None -> ()
+  | Some term ->
+    (* E102 for base attributes was already reported during resolution;
+       withhold the schema when resolution failed, to avoid duplicates *)
+    let schema = if !resolution_failed then None else schema in
+    diags := Term_check.check ?schema ~path:[ "preferring" ] term @ !diags);
+  (* BUT ONLY *)
+  if q.Ast.but_only <> [] && clauses = [] then
+    emit [ "but_only" ] "E106" "BUT ONLY requires a PREFERRING clause";
+  List.iteri
+    (fun i qual ->
+      let path = [ Printf.sprintf "but_only[%d]" i ] in
+      let a =
+        match qual with Ast.Q_level (a, _, _) | Ast.Q_distance (a, _, _) -> a
+      in
+      let a = resolve path a in
+      match full_pref with
+      | None -> ()
+      | Some term -> (
+        match qual, Quality.base_for_attr term a with
+        | Ast.Q_level _, None ->
+          emit path "E107"
+            (Printf.sprintf
+               "LEVEL(%s): no base preference on this attribute in the \
+                PREFERRING clause" a)
+        | Ast.Q_level _, Some base ->
+          if level_always_none base then
+            emit path "E107"
+              (Printf.sprintf
+                 "LEVEL(%s): the base preference on this attribute is \
+                  numerical and has no discrete levels" a)
+        | Ast.Q_distance _, None ->
+          emit path "E108"
+            (Printf.sprintf
+               "DISTANCE(%s): no base preference on this attribute in the \
+                PREFERRING clause" a)
+        | Ast.Q_distance _, Some base ->
+          if not (distance_possible base) then
+            emit path "E108"
+              (Printf.sprintf
+                 "DISTANCE(%s): the base preference on this attribute is \
+                  not AROUND or BETWEEN" a)))
+    q.Ast.but_only;
+  !diags
+
+let check_source ?registry ~env src =
+  match Parser.parse_query src with
+  | q -> check_query ?registry ~env q
+  | exception Parser.Error (msg, pos) ->
+    [
+      Diagnostic.make ~path:[ "source" ] "E111"
+        (Printf.sprintf "syntax error at offset %d: %s" pos msg);
+    ]
+  | exception Lexer.Error (msg, pos) ->
+    [
+      Diagnostic.make ~path:[ "source" ] "E111"
+        (Printf.sprintf "lexical error at offset %d: %s" pos msg);
+    ]

@@ -1,0 +1,42 @@
+(** Static checks over Preference SQL surface syntax ({!Pref_sql.Ast}).
+
+    [check_pref] analyses one preference clause: registry lookups ([E103],
+    [E104] — with a nearest-name suggestion), argument typing ([E105]),
+    side conditions detectable before construction ([E001]–[E004]); when
+    the clause is error-free it is translated and the full term-level
+    analysis of {!Term_check} runs on the result, so schema and law
+    findings surface too.
+
+    [check_query] analyses a whole query against an execution environment:
+    unknown or duplicated FROM tables ([E101], [E112]), attribute
+    resolution for every clause with the executor's resolver semantics
+    ([E102]), SELECT list shape ([E109]), BUT ONLY prerequisites ([E106],
+    [E107], [E108]) and the combined PREFERRING/CASCADE preference.
+
+    [check_source] parses first and reports syntax errors as [E111].
+
+    Every [E…] finding from [check_query] on a parsed query is sound:
+    executing the query raises. ([E107]/[E108] fire on the first tuple that
+    reaches the BUT ONLY filter, so an empty result may mask them.) *)
+
+open Pref_sql
+
+val suggest : string list -> string -> string
+(** [" (did you mean %S?)"] for the nearest candidate within edit distance
+    2, [""] otherwise — shared by the table/registry/tag typo messages. *)
+
+val check_pref :
+  ?registry:Translate.registry ->
+  ?schema:Pref_relation.Schema.t ->
+  ?path:string list ->
+  Ast.pref ->
+  Diagnostic.t list
+(** Never raises. [schema] enables [E102]/[W014] on the translated term. *)
+
+val check_query :
+  ?registry:Translate.registry -> env:Exec.env -> Ast.query -> Diagnostic.t list
+(** Never raises. [env] supplies the tables for schema-aware checks. *)
+
+val check_source :
+  ?registry:Translate.registry -> env:Exec.env -> string -> Diagnostic.t list
+(** [check_query] after parsing; parse failures become a single [E111]. *)

@@ -1,0 +1,122 @@
+open Preferences
+
+type severity = Error | Warning | Hint
+
+type t = {
+  code : string;
+  severity : severity;
+  path : string list;
+  message : string;
+  fixit : Pref.t option;
+}
+
+let codes =
+  [
+    ("E001", "cyclic-explicit-graph");
+    ("E002", "overlapping-value-sets");
+    ("E003", "invalid-between-bounds");
+    ("E004", "rank-non-scorable");
+    ("E005", "inter-attribute-mismatch");
+    ("E006", "lsum-ill-formed");
+    ("E007", "multi-attribute-base");
+    ("E010", "construction-failure");
+    ("E101", "unknown-table");
+    ("E102", "unknown-attribute");
+    ("E103", "unknown-scoring-function");
+    ("E104", "unknown-combining-function");
+    ("E105", "non-numeric-bound");
+    ("E106", "but-only-without-preferring");
+    ("E107", "level-without-base");
+    ("E108", "distance-without-base");
+    ("E109", "select-star-mix");
+    ("E110", "empty-from");
+    ("E111", "syntax-error");
+    ("E112", "duplicate-table");
+    ("W010", "non-discriminating-prior");
+    ("W011", "pareto-on-shared-attributes");
+    ("W012", "trivial-preference");
+    ("W013", "antichain-operand");
+    ("W014", "type-mismatch");
+    ("W101", "unknown-xml-attribute");
+    ("W102", "unknown-xml-tag");
+    ("H020", "redundant-operand");
+    ("H021", "double-dual");
+    ("H022", "rewritable-dual");
+    ("H023", "simplifiable");
+  ]
+
+let meaning code =
+  match List.assoc_opt code codes with Some slug -> slug | None -> code
+
+let severity_of_code code =
+  if code = "" then Hint
+  else
+    match code.[0] with 'E' -> Error | 'W' -> Warning | _ -> Hint
+
+let make ?(path = []) ?fixit code message =
+  { code; severity = severity_of_code code; path; message; fixit }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let is_error d = d.severity = Error
+let has_errors ds = List.exists is_error ds
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Hint -> 2
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      match compare (severity_rank a.severity) (severity_rank b.severity) with
+      | 0 -> (
+        match compare a.path b.path with
+        | 0 -> String.compare a.code b.code
+        | c -> c)
+      | c -> c)
+    ds
+
+let path_to_string = function [] -> "<root>" | p -> String.concat "." p
+
+let to_string d =
+  let fix =
+    match d.fixit with
+    | Some t -> Printf.sprintf " (fix: %s)" (Show.to_string t)
+    | None -> ""
+  in
+  Printf.sprintf "%s[%s %s] at %s: %s%s"
+    (severity_to_string d.severity)
+    d.code (meaning d.code) (path_to_string d.path) d.message fix
+
+let to_lines ds = List.map to_string (sort ds)
+
+module J = Pref_obs.Json
+
+let to_json d =
+  J.Obj
+    ([
+       ("code", J.Str d.code);
+       ("severity", J.Str (severity_to_string d.severity));
+       ("slug", J.Str (meaning d.code));
+       ("path", J.Str (path_to_string d.path));
+       ("message", J.Str d.message);
+     ]
+    @
+    match d.fixit with
+    | Some t -> [ ("fixit", J.Str (Serialize.to_string t)) ]
+    | None -> [])
+
+let report_json ?source ds =
+  let ds = sort ds in
+  let count sev =
+    List.length (List.filter (fun d -> d.severity = sev) ds)
+  in
+  J.Obj
+    ((match source with Some s -> [ ("source", J.Str s) ] | None -> [])
+    @ [
+        ("errors", J.Int (count Error));
+        ("warnings", J.Int (count Warning));
+        ("hints", J.Int (count Hint));
+        ("findings", J.List (List.map to_json ds));
+      ])

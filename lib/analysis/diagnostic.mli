@@ -1,0 +1,83 @@
+(** Structured findings of the preference static analyzer.
+
+    Every finding carries a stable code from the table below, a severity, a
+    path into the checked term or query AST, a human-readable message and —
+    where a law of §4 licenses one — a fix-it replacement term that is
+    preference-equivalent (Definition 13) to the flagged subterm.
+
+    Code space: [Exxx] errors (the construction or execution is guaranteed
+    to fail at runtime), [Wxxx] warnings (well-formed but almost certainly
+    not what was meant — trivial orders, dead operands, type mismatches),
+    [Hxxx] hints (equivalent simpler formulations).
+
+    {v
+    E001 cyclic-explicit-graph         E101 unknown-table
+    E002 overlapping-value-sets        E102 unknown-attribute
+    E003 invalid-between-bounds        E103 unknown-scoring-function
+    E004 rank-non-scorable             E104 unknown-combining-function
+    E005 inter-attribute-mismatch      E105 non-numeric-bound
+    E006 lsum-ill-formed               E106 but-only-without-preferring
+    E007 multi-attribute-base          E107 level-without-base
+    E010 construction-failure          E108 distance-without-base
+                                       E109 select-star-mix
+                                       E110 empty-from
+                                       E111 syntax-error
+                                       E112 duplicate-table
+    W010 non-discriminating-prior      W101 unknown-xml-attribute
+    W011 pareto-on-shared-attributes   W102 unknown-xml-tag
+    W012 trivial-preference
+    W013 antichain-operand
+    W014 type-mismatch
+    H020 redundant-operand
+    H021 double-dual
+    H022 rewritable-dual
+    H023 simplifiable
+    v} *)
+
+type severity = Error | Warning | Hint
+
+type t = {
+  code : string;  (** stable code, e.g. ["E001"] *)
+  severity : severity;  (** derived from the code's first letter *)
+  path : string list;  (** root-to-leaf path into the term / query AST *)
+  message : string;
+  fixit : Preferences.Pref.t option;
+      (** an equivalent replacement for the flagged subterm, when a §4 law
+          licenses one *)
+}
+
+val codes : (string * string) list
+(** The stable code table: code ↦ short slug, e.g.
+    [("E001", "cyclic-explicit-graph")]. *)
+
+val meaning : string -> string
+(** The slug of a code; the code itself for unknown codes. *)
+
+val severity_of_code : string -> severity
+(** [E… ↦ Error], [W… ↦ Warning], everything else [Hint]. *)
+
+val make : ?path:string list -> ?fixit:Preferences.Pref.t -> string -> string -> t
+(** [make code message]; severity is derived from the code. *)
+
+val severity_to_string : severity -> string
+
+val is_error : t -> bool
+val has_errors : t list -> bool
+
+val sort : t list -> t list
+(** Stable order for reports: errors before warnings before hints, then by
+    path, then by code. *)
+
+val to_string : t -> string
+(** One line: [error[E001] at preferring.pareto[0]: message (fix: term)]. *)
+
+val to_lines : t list -> string list
+(** Sorted rendering; [["ok"]]-free — empty list for no findings. *)
+
+val to_json : t -> Pref_obs.Json.t
+(** Object with [code], [severity], [slug], [path], [message] and, when a
+    fix-it exists, [fixit] in {!Preferences.Serialize} syntax. *)
+
+val report_json : ?source:string -> t list -> Pref_obs.Json.t
+(** [{ "source": …, "errors": n, "warnings": n, "hints": n,
+      "findings": […] }] — the [prefcheck --json] payload for one query. *)

@@ -1,0 +1,24 @@
+open Pref_sql
+
+let to_finding (d : Diagnostic.t) =
+  {
+    Exec.check_code = d.Diagnostic.code;
+    check_severity = Diagnostic.severity_to_string d.Diagnostic.severity;
+    check_path =
+      (match d.Diagnostic.path with
+      | [] -> "<root>"
+      | p -> String.concat "." p);
+    check_message = d.Diagnostic.message;
+  }
+
+let of_finding (f : Exec.check_finding) =
+  Diagnostic.make
+    ~path:(if f.Exec.check_path = "<root>" then [] else [ f.Exec.check_path ])
+    f.Exec.check_code f.Exec.check_message
+
+let install () =
+  Exec.set_checker
+    (Some
+       (fun ?registry env q ->
+         List.map to_finding
+           (Diagnostic.sort (Ast_check.check_query ?registry ~env q))))

@@ -1,0 +1,14 @@
+(** Wiring the analyzer into the executor.
+
+    {!Pref_sql.Exec} exposes an injectable checker hook so it can vet
+    queries (its [?check] argument) without depending on this library;
+    [install] plugs {!Ast_check.check_query} into that hook. Idempotent;
+    called by the shell on startup and by the CLI binaries. *)
+
+val to_finding : Diagnostic.t -> Pref_sql.Exec.check_finding
+
+val of_finding : Pref_sql.Exec.check_finding -> Diagnostic.t
+(** Round-trip for rendering a {!Pref_sql.Exec.Rejected} payload with the
+    {!Diagnostic} printers (the fix-it term does not survive the trip). *)
+
+val install : unit -> unit

@@ -1,0 +1,428 @@
+open Preferences
+open Pref_relation
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+let value_overlap s1 s2 =
+  List.exists (fun v -> List.exists (Value.equal v) s2) s1
+
+let edge_values edges =
+  List.fold_left
+    (fun acc (x, y) ->
+      let add v acc =
+        if List.exists (Value.equal v) acc then acc else v :: acc
+      in
+      add x (add y acc))
+    [] edges
+
+(* Edges come in the paper's (worse, better) orientation. *)
+let cyclic edges =
+  let g =
+    Pref_order.Graph.of_edges ~equal:Value.equal (edge_values edges)
+      (List.map (fun (w, b) -> (b, w)) edges)
+  in
+  not (Pref_order.Graph.is_acyclic g)
+
+let rec pareto_ops = function
+  | Pref.Pareto (q, r) -> pareto_ops q @ pareto_ops r
+  | p -> [ p ]
+
+let rec prior_ops = function
+  | Pref.Prior (q, r) -> prior_ops q @ prior_ops r
+  | p -> [ p ]
+
+let rec inter_ops = function
+  | Pref.Inter (q, r) -> inter_ops q @ inter_ops r
+  | p -> [ p ]
+
+let rec dunion_ops = function
+  | Pref.Dunion (q, r) -> dunion_ops q @ dunion_ops r
+  | p -> [ p ]
+
+let rebuild_with combine = function
+  | [] -> None
+  | op :: rest -> Some (List.fold_left combine op rest)
+
+let without i ops = List.filteri (fun j _ -> j <> i) ops
+
+(* Replace operand [i] by [q'] and drop operand [j] — the spine-level image
+   of rewriting the pair (op_i, op_j) to [q'], valid by Proposition 2. *)
+let merge_pair combine ops i j q' =
+  rebuild_with combine
+    (List.mapi (fun k op -> if k = i then q' else op) ops |> without j)
+
+let constructor_name = function
+  | Pref.Pos _ -> "POS"
+  | Pref.Neg _ -> "NEG"
+  | Pref.Pos_neg _ -> "POS/NEG"
+  | Pref.Pos_pos _ -> "POS/POS"
+  | Pref.Explicit _ -> "EXPLICIT"
+  | Pref.Around _ -> "AROUND"
+  | Pref.Between _ -> "BETWEEN"
+  | Pref.Lowest _ -> "LOWEST"
+  | Pref.Highest _ -> "HIGHEST"
+  | Pref.Score _ -> "SCORE"
+  | Pref.Antichain _ -> "ANTICHAIN"
+  | Pref.Dual _ -> "DUAL"
+  | Pref.Pareto _ -> "PARETO"
+  | Pref.Prior _ -> "PRIOR"
+  | Pref.Rank _ -> "RANK"
+  | Pref.Inter _ -> "INTER"
+  | Pref.Dunion _ -> "DUNION"
+  | Pref.Lsum _ -> "LSUM"
+  | Pref.Two_graphs _ -> "TWO-GRAPHS"
+
+(* Literal/column type compatibility: Int and Float compare numerically
+   (Value.equal), every other type only matches itself; NULL fits all. *)
+let lit_compatible ty v =
+  match Value.type_of v with
+  | None -> true
+  | Some vt -> (
+    vt = ty
+    ||
+    match ty, vt with
+    | (Value.TInt | Value.TFloat), (Value.TInt | Value.TFloat) -> true
+    | _ -> false)
+
+(* Types with the '<' / '-' structure the numerical constructors need
+   (Definition 7); dates via day counts, bools as 0/1. *)
+let numeric_ty = function
+  | Value.TInt | Value.TFloat | Value.TDate | Value.TBool -> true
+  | Value.TStr -> false
+
+(* ------------------------------------------------------------------ *)
+(* The checker                                                         *)
+
+let check ?schema ?(path = []) p0 =
+  let diags = ref [] in
+  let emit ?fixit path code message =
+    diags := Diagnostic.make ~path ?fixit code message :: !diags
+  in
+  let sub path s = path @ [ s ] in
+  (* Schema checks for a base constructor on attribute [a]. [schema] is
+     None inside ⊕ operands, whose attribute references are rerouted to the
+     linear sum's combined attribute at evaluation time. *)
+  let base_schema schema path ~constructor ?(numeric = false) ?(values = []) a =
+    match schema with
+    | None -> ()
+    | Some schema -> (
+      match Schema.type_of schema a with
+      | None ->
+        emit path "E102"
+          (Printf.sprintf "%s(%s): unknown attribute %S" constructor a a)
+      | Some ty ->
+        if numeric && not (numeric_ty ty) then
+          emit path "W014"
+            (Printf.sprintf
+               "%s(%s): numerical constructor over a %s column" constructor a
+               (Value.ty_to_string ty));
+        let bad = List.filter (fun v -> not (lit_compatible ty v)) values in
+        if bad <> [] then
+          emit path "W014"
+            (Printf.sprintf
+               "%s(%s): value %s can never match the %s column" constructor a
+               (Value.to_string (List.hd bad))
+               (Value.ty_to_string ty)))
+  in
+  let rec walk schema path p =
+    match p with
+    | Pref.Pos (a, set) ->
+      if set = [] then
+        emit ~fixit:(Pref.antichain [ a ]) path "W012"
+          (Printf.sprintf
+             "POS(%s) with an empty value set denotes the empty order" a);
+      base_schema schema path ~constructor:"POS" ~values:set a
+    | Pref.Neg (a, set) ->
+      if set = [] then
+        emit ~fixit:(Pref.antichain [ a ]) path "W012"
+          (Printf.sprintf
+             "NEG(%s) with an empty value set denotes the empty order" a);
+      base_schema schema path ~constructor:"NEG" ~values:set a
+    | Pref.Pos_neg (a, pset, nset) ->
+      if value_overlap pset nset then
+        emit path "E002"
+          (Printf.sprintf "POS/NEG(%s): POS and NEG sets must be disjoint" a);
+      if pset = [] && nset = [] then
+        emit ~fixit:(Pref.antichain [ a ]) path "W012"
+          (Printf.sprintf "POS/NEG(%s) with empty value sets is trivial" a);
+      base_schema schema path ~constructor:"POS/NEG" ~values:(pset @ nset) a
+    | Pref.Pos_pos (a, p1, p2) ->
+      if value_overlap p1 p2 then
+        emit path "E002"
+          (Printf.sprintf "POS/POS(%s): POS1 and POS2 sets must be disjoint" a);
+      if p1 = [] && p2 = [] then
+        emit ~fixit:(Pref.antichain [ a ]) path "W012"
+          (Printf.sprintf "POS/POS(%s) with empty value sets is trivial" a);
+      base_schema schema path ~constructor:"POS/POS" ~values:(p1 @ p2) a
+    | Pref.Explicit (a, edges) ->
+      if edges = [] then
+        emit ~fixit:(Pref.antichain [ a ]) path "W012"
+          (Printf.sprintf
+             "EXPLICIT(%s) with no edges denotes the empty order" a)
+      else if cyclic edges then
+        emit path "E001"
+          (Printf.sprintf "EXPLICIT(%s): better-than graph is cyclic" a);
+      base_schema schema path ~constructor:"EXPLICIT"
+        ~values:(edge_values edges) a
+    | Pref.Around (a, _) ->
+      base_schema schema path ~constructor:"AROUND" ~numeric:true a
+    | Pref.Between (a, low, up) ->
+      if low > up then
+        emit
+          ~fixit:(Pref.between a ~low:up ~up:low)
+          path "E003"
+          (Printf.sprintf "BETWEEN(%s): lower bound %g exceeds upper bound %g"
+             a low up);
+      base_schema schema path ~constructor:"BETWEEN" ~numeric:true a
+    | Pref.Lowest a ->
+      base_schema schema path ~constructor:"LOWEST" ~numeric:true a
+    | Pref.Highest a ->
+      base_schema schema path ~constructor:"HIGHEST" ~numeric:true a
+    | Pref.Score (a, _) -> base_schema schema path ~constructor:"SCORE" a
+    | Pref.Antichain _ ->
+      (* Inert on its own; positional findings (absorption, trivial root)
+         are emitted by the enclosing accumulation / the root check. *)
+      ()
+    | Pref.Dual q ->
+      (match q with
+      | Pref.Dual inner ->
+        emit ~fixit:inner path "H021" "double dual: (P^d)^d == P (Prop. 3b)"
+      | _ -> (
+        match Rewrite.step p with
+        | Some q' ->
+          emit ~fixit:q' path "H022"
+            (Printf.sprintf "dual has a direct form: %s (Prop. 3)"
+               (Show.to_string q'))
+        | None -> ()));
+      walk schema (sub path "dual") q
+    | Pref.Pareto _ ->
+      let ops = pareto_ops p in
+      check_assoc schema path ~glyph:"pareto"
+        ~combine:(fun a b -> Pref.Pareto (a, b))
+        ops
+        ~classify:(fun qi qj -> Rewrite.step (Pref.Pareto (qi, qj)));
+      List.iteri
+        (fun i q -> walk schema (sub path (Printf.sprintf "pareto[%d]" i)) q)
+        ops
+    | Pref.Prior _ ->
+      let ops = prior_ops p in
+      check_prior schema path ops;
+      List.iteri
+        (fun i q -> walk schema (sub path (Printf.sprintf "prior[%d]" i)) q)
+        ops
+    | Pref.Inter _ ->
+      let ops = inter_ops p in
+      (match ops with
+      | first :: rest ->
+        List.iteri
+          (fun i q ->
+            if not (Attr.equal (Pref.attrs first) (Pref.attrs q)) then
+              emit
+                (sub path (Printf.sprintf "inter[%d]" (i + 1)))
+                "E005"
+                (Printf.sprintf
+                   "intersection operands must share one attribute set: {%s} \
+                    vs {%s}"
+                   (String.concat ", " (Pref.attrs first))
+                   (String.concat ", " (Pref.attrs q))))
+          rest
+      | [] -> ());
+      check_assoc schema path ~glyph:"inter" ~combine:(fun a b -> Pref.Inter (a, b))
+        ops ~classify:(fun qi qj -> Rewrite.step (Pref.Inter (qi, qj)));
+      List.iteri
+        (fun i q -> walk schema (sub path (Printf.sprintf "inter[%d]" i)) q)
+        ops
+    | Pref.Dunion _ ->
+      let ops = dunion_ops p in
+      check_assoc schema path ~glyph:"dunion"
+        ~combine:(fun a b -> Pref.Dunion (a, b))
+        ops
+        ~classify:(fun qi qj -> Rewrite.step (Pref.Dunion (qi, qj)));
+      List.iteri
+        (fun i q -> walk schema (sub path (Printf.sprintf "dunion[%d]" i)) q)
+        ops
+    | Pref.Rank (_, q, r) ->
+      List.iteri
+        (fun i op ->
+          if not (Pref.is_scorable op) then
+            emit
+              (sub path (Printf.sprintf "rank[%d]" i))
+              "E004"
+              (Printf.sprintf
+                 "rank(F) needs SCORE or a sub-constructor of SCORE, got %s"
+                 (constructor_name op)))
+        [ q; r ];
+      List.iteri
+        (fun i op -> walk schema (sub path (Printf.sprintf "rank[%d]" i)) op)
+        [ q; r ]
+    | Pref.Lsum s ->
+      if
+        not
+          (Pref.is_single_attribute s.Pref.ls_left
+          && Pref.is_single_attribute s.Pref.ls_right)
+      then
+        emit path "E006"
+          (Printf.sprintf
+             "LSUM(%s): operands must be single-attribute preferences"
+             s.Pref.ls_attr);
+      if value_overlap s.Pref.ls_left_dom s.Pref.ls_right_dom then
+        emit path "E002"
+          (Printf.sprintf "LSUM(%s): operand domains must be disjoint"
+             s.Pref.ls_attr);
+      base_schema schema path ~constructor:"LSUM"
+        ~values:(s.Pref.ls_left_dom @ s.Pref.ls_right_dom)
+        s.Pref.ls_attr;
+      (* operand attribute references are rerouted to [ls_attr] at
+         evaluation time: no schema checks inside *)
+      walk None (sub path "lsum.left") s.Pref.ls_left;
+      walk None (sub path "lsum.right") s.Pref.ls_right
+    | Pref.Two_graphs s ->
+      if s.Pref.tg_pos <> [] && cyclic s.Pref.tg_pos then
+        emit path "E001"
+          (Printf.sprintf "TWO-GRAPHS(%s): POS graph is cyclic" s.Pref.tg_attr);
+      if s.Pref.tg_neg <> [] && cyclic s.Pref.tg_neg then
+        emit path "E001"
+          (Printf.sprintf "TWO-GRAPHS(%s): NEG graph is cyclic" s.Pref.tg_attr);
+      let pos_range = edge_values s.Pref.tg_pos @ s.Pref.tg_pos_singles in
+      let neg_range = edge_values s.Pref.tg_neg @ s.Pref.tg_neg_singles in
+      if value_overlap pos_range neg_range then
+        emit path "E002"
+          (Printf.sprintf "TWO-GRAPHS(%s): POS and NEG ranges must be disjoint"
+             s.Pref.tg_attr);
+      if pos_range = [] && neg_range = [] then
+        emit
+          ~fixit:(Pref.antichain [ s.Pref.tg_attr ])
+          path "W012"
+          (Printf.sprintf "TWO-GRAPHS(%s) with empty graphs is trivial"
+             s.Pref.tg_attr);
+      base_schema schema path ~constructor:"TWO-GRAPHS"
+        ~values:(pos_range @ neg_range) s.Pref.tg_attr
+  (* Pairwise checks over a flattened commutative accumulation (⊗, ♦, +):
+     duplicates modulo canonical equality, then the pair image under one
+     {!Rewrite} step classifies anti-chain absorption, dual-pair collapse
+     and the Proposition 6 ⊗→♦ collapse. *)
+  and check_assoc schema path ~glyph ~combine ~classify ops =
+    ignore schema;
+    let n = List.length ops in
+    let arr = Array.of_list ops in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let qi = arr.(i) and qj = arr.(j) in
+        if Canon.equal qi qj then
+          emit
+            ?fixit:(rebuild_with combine (without j ops))
+            path "H020"
+            (Printf.sprintf "duplicate %s operands %d and %d (idempotence)"
+               glyph i j)
+        else
+          match classify qi qj with
+          | Some (Pref.Antichain _ as q') ->
+            if
+              (match qi with Pref.Antichain _ -> true | _ -> false)
+              || (match qj with Pref.Antichain _ -> true | _ -> false)
+            then
+              emit
+                ?fixit:(merge_pair combine ops i j q')
+                path "W013"
+                (Printf.sprintf
+                   "anti-chain operand collapses %s operands %d and %d \
+                    (Prop. 3)"
+                   glyph i j)
+            else
+              emit
+                ?fixit:(merge_pair combine ops i j q')
+                path "W012"
+                (Printf.sprintf
+                   "%s operands %d and %d are mutual duals: the pair denotes \
+                    the empty order (Prop. 3)"
+                   glyph i j)
+          | Some (Pref.Prior _ as q') ->
+            emit
+              ?fixit:(merge_pair combine ops i j q')
+              path "W013"
+              (Printf.sprintf
+                 "anti-chain operand: A<-> (x) P == A<-> & P for %s operands \
+                  %d and %d (Prop. 3m)"
+                 glyph i j)
+          | Some (Pref.Inter _ as q') ->
+            emit
+              ?fixit:(merge_pair combine ops i j q')
+              path "W011"
+              (Printf.sprintf
+                 "%s operands %d and %d share one attribute set: P1 (x) P2 \
+                  == P1 <> P2 (Prop. 6)"
+                 glyph i j)
+          | Some q' ->
+            emit
+              ?fixit:(merge_pair combine ops i j q')
+              path "W013"
+              (Printf.sprintf "%s operands %d and %d simplify (Prop. 3)" glyph
+                 i j)
+          | None -> ()
+      done
+    done
+  (* The prioritisation spine: operand [i] is evaluated only on tuples with
+     equal projections onto all earlier attributes, so an operand whose
+     attribute set is covered by the earlier union never discriminates
+     (Proposition 4a, generalised). *)
+  and check_prior _schema path ops =
+    let arr = Array.of_list ops in
+    let n = Array.length arr in
+    let seen = ref [] in
+    for i = 0 to n - 1 do
+      let q = arr.(i) in
+      let qattrs = Pref.attrs q in
+      (if i > 0 && Attr.subset qattrs !seen then
+         match q with
+         | Pref.Antichain _ ->
+           emit
+             ?fixit:(rebuild_with (fun a b -> Pref.Prior (a, b)) (without i ops))
+             path "W013"
+             (Printf.sprintf
+                "anti-chain operand %d is absorbed: P & A<-> == P (Prop. 3j)"
+                i)
+         | _ ->
+           emit
+             ?fixit:(rebuild_with (fun a b -> Pref.Prior (a, b)) (without i ops))
+             path "W010"
+             (Printf.sprintf
+                "operand %d of & never discriminates: its attributes {%s} \
+                 are covered by the earlier operands (Prop. 4a)"
+                i
+                (String.concat ", " qattrs)));
+      (match q with
+      | Pref.Antichain l when i < n - 1 ->
+        let rest = Array.to_list (Array.sub arr (i + 1) (n - i - 1)) in
+        if List.for_all (fun r -> Attr.subset (Pref.attrs r) l) rest then
+          emit
+            ?fixit:
+              (rebuild_with (fun a b -> Pref.Prior (a, b))
+                 (List.filteri (fun j _ -> j <= i) ops))
+            path "W013"
+            (Printf.sprintf
+               "anti-chain operand %d blocks every later operand: A<-> & P \
+                == A<-> (Prop. 3k)"
+               i)
+      | _ -> ());
+      seen := Attr.union !seen qattrs
+    done
+  in
+  let schema_opt = schema in
+  walk schema_opt path p0;
+  (match p0 with
+  | Pref.Antichain l ->
+    emit path "W012"
+      (Printf.sprintf
+         "the whole preference is the anti-chain {%s}: every tuple is a \
+          best match"
+         (String.concat ", " l))
+  | _ -> ());
+  (* A generic simplification hint when nothing more specific fired. *)
+  (if !diags = [] then
+     let simplified = Rewrite.simplify p0 in
+     if not (Pref.equal simplified p0) then
+       emit ~fixit:simplified path "H023"
+         (Printf.sprintf "term simplifies to %s (Section 4 laws)"
+            (Show.to_string simplified)));
+  !diags

@@ -1,0 +1,26 @@
+(** Static checks over core preference terms ({!Preferences.Pref.t}).
+
+    Detects the side-condition violations the smart constructors and
+    {!Preferences.Pref.compile} police at runtime (cyclic EXPLICIT graphs,
+    overlapping value sets, ♦ attribute mismatches, rank over non-scorable
+    operands, …) plus law-based triviality and redundancy findings from the
+    §4 algebra (dead & operands per Proposition 4(a), ⊗ on shared attribute
+    sets per Proposition 6, absorbed anti-chains, duplicate ⊗/♦/+ operands,
+    double duals), with fix-it terms synthesised through
+    {!Preferences.Rewrite} and the accumulation laws of Proposition 2.
+
+    With a [schema], additionally checks that base-preference attributes
+    exist ([E102]) and that constructors fit the column types ([W014]:
+    numerical constructors over string columns, value-set literals of a
+    foreign type).
+
+    The checker never raises — ill-formed raw terms (built directly through
+    the exposed representation, bypassing the smart constructors) come back
+    as diagnostics. *)
+
+val check :
+  ?schema:Pref_relation.Schema.t ->
+  ?path:string list ->
+  Preferences.Pref.t ->
+  Diagnostic.t list
+(** All findings, unsorted; [path] prefixes every finding's location. *)

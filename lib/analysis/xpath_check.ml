@@ -1,0 +1,86 @@
+open Pref_xpath
+
+let doc_tags doc =
+  List.filter_map Xml.tag_of (Xml.descendants_or_self doc)
+
+let doc_attr_names doc =
+  List.concat_map
+    (function
+      | Xml.Element e -> List.map fst e.Xml.attrs
+      | Xml.Text _ -> [])
+    (Xml.descendants_or_self doc)
+
+let check_path ?registry ?doc path =
+  let tags = Option.map doc_tags doc in
+  let attrs = Option.map doc_attr_names doc in
+  (* The evaluator matches tags and attribute names case-insensitively
+     (and "*" matches any element), so the typo check must too. *)
+  let known ~universe name =
+    match universe with
+    | None -> true
+    | Some u ->
+      let n = String.lowercase_ascii name in
+      List.exists (fun c -> String.lowercase_ascii c = n) u
+  in
+  let check_attr dpath a =
+    if not (known ~universe:attrs a) then
+      [
+        Diagnostic.make ~path:dpath "W101"
+          (Printf.sprintf
+             "attribute %S occurs nowhere in the document: it evaluates to \
+              NULL everywhere%s"
+             a
+             (match attrs with
+             | Some u -> Ast_check.suggest u a
+             | None -> ""));
+      ]
+    else []
+  in
+  List.concat
+    (List.mapi
+       (fun i (step : Past.step) ->
+         let spath =
+           [ Printf.sprintf "step[%d](%s)" i step.Past.tag ]
+         in
+         let tag_diags =
+           if step.Past.tag = "*" || known ~universe:tags step.Past.tag then []
+           else
+             [
+               Diagnostic.make ~path:spath "W102"
+                 (Printf.sprintf
+                    "tag <%s> occurs nowhere in the document: this step \
+                     selects nothing%s"
+                    step.Past.tag
+                    (match tags with
+                    | Some u -> Ast_check.suggest u step.Past.tag
+                    | None -> ""));
+             ]
+         in
+         tag_diags
+         @ List.concat
+             (List.mapi
+                (fun j qual ->
+                  match qual with
+                  | Past.Hard h ->
+                    let qpath =
+                      spath @ [ Printf.sprintf "hard[%d]" j ]
+                    in
+                    List.concat_map (check_attr qpath) (Past.hard_attrs h)
+                  | Past.Soft p ->
+                    let qpath =
+                      spath @ [ Printf.sprintf "soft[%d]" j ]
+                    in
+                    Ast_check.check_pref ?registry ~path:qpath p
+                    @ List.concat_map (check_attr qpath)
+                        (Pref_sql.Ast.pref_attrs p))
+                step.Past.quals))
+       path)
+
+let check_source ?registry ?doc src =
+  match Pparser.parse src with
+  | path -> check_path ?registry ?doc path
+  | exception Pparser.Error (msg, pos) ->
+    [
+      Diagnostic.make ~path:[ "source" ] "E111"
+        (Printf.sprintf "syntax error at offset %d: %s" pos msg);
+    ]

@@ -1,0 +1,24 @@
+(** Static checks over Preference XPath location paths ({!Pref_xpath.Past}).
+
+    Soft qualifiers carry the shared preference surface syntax, so they get
+    the full {!Ast_check.check_pref} treatment (registry lookups, argument
+    typing, law findings on the translated term). XML attribute values are
+    dynamically typed and missing attributes evaluate to NULL, so there is
+    no schema pass; instead, when a [doc] is supplied, tags and attribute
+    names that occur nowhere in the document are flagged as [W102] /
+    [W101] — near-certain typos, though not runtime failures.
+
+    [check_source] parses first; syntax errors become a single [E111]. *)
+
+val check_path :
+  ?registry:Pref_sql.Translate.registry ->
+  ?doc:Pref_xpath.Xml.t ->
+  Pref_xpath.Past.path ->
+  Diagnostic.t list
+(** Never raises. *)
+
+val check_source :
+  ?registry:Pref_sql.Translate.registry ->
+  ?doc:Pref_xpath.Xml.t ->
+  string ->
+  Diagnostic.t list

@@ -47,6 +47,19 @@ and two_graphs_spec = {
   tg_neg_singles : Value.t list;
 }
 
+(* Structured ill-formedness: the diagnostic code matches the static
+   analyzer's (Pref_analysis.Diagnostic), so the executor and the analyzer
+   report identical findings for the same defect. *)
+exception Ill_formed of { code : string; message : string; term : t }
+
+let ill_formed ~code ~message term = raise (Ill_formed { code; message; term })
+
+let () =
+  Printexc.register_printer (function
+    | Ill_formed { code; message; _ } ->
+      Some (Printf.sprintf "Pref.Ill_formed[%s]: %s" code message)
+    | _ -> None)
+
 (* ------------------------------------------------------------------ *)
 (* Attribute sets                                                      *)
 
@@ -558,7 +571,9 @@ let compile schema p : Tuple.t -> Tuple.t -> bool =
   let score_fn p =
     match score_via (fun t a -> Tuple.get t (idx a)) p with
     | Some s -> s
-    | None -> invalid_arg "Pref.compile: rank applied to non-scorable operand"
+    | None ->
+      ill_formed ~code:"E004"
+        ~message:"Pref.compile: rank applied to non-scorable operand" p
   in
   let rec go p =
     match p with
@@ -568,7 +583,9 @@ let compile schema p : Tuple.t -> Tuple.t -> bool =
       | [ a ] ->
         let i = idx a and c = compile_value p in
         fun x y -> c (Tuple.get x i) (Tuple.get y i)
-      | _ -> assert false)
+      | _ ->
+        ill_formed ~code:"E007"
+          ~message:"Pref.compile: base preference spans several attributes" p)
     | Antichain _ -> fun _ _ -> false
     | Dual p ->
       let c = go p in

@@ -71,6 +71,15 @@ and two_graphs_spec = {
   tg_neg_singles : Value.t list;
 }
 
+exception Ill_formed of { code : string; message : string; term : t }
+(** A side-condition violation detected at evaluation/compile time, carrying
+    the stable diagnostic code of the static analyzer ([Pref_analysis]) and
+    the offending subterm — the executor and the analyzer report identical
+    findings. Raised today by {!compile} for rank over a non-scorable
+    operand ([E004]) and for a base constructor spanning several attributes
+    ([E007]); the smart constructors keep their documented
+    [Invalid_argument] behaviour. *)
+
 (** {1 Attribute sets} *)
 
 val attrs : t -> Attr.t

@@ -44,6 +44,43 @@ let full_preference ?registry (q : Ast.query) =
          q.Ast.cascade)
 
 (* ------------------------------------------------------------------ *)
+(* Static checking: an injected hook, so the analyzer library can sit   *)
+(* above this one in the build graph yet vet queries before execution.  *)
+
+type check_finding = {
+  check_code : string;
+  check_severity : string;
+  check_path : string;
+  check_message : string;
+}
+
+exception Rejected of check_finding list
+
+let () =
+  Printexc.register_printer (function
+    | Rejected fs ->
+      Some
+        (Printf.sprintf "Psql.Exec.Rejected: %s"
+           (String.concat "; "
+              (List.map
+                 (fun f ->
+                   Printf.sprintf "%s[%s] %s" f.check_severity f.check_code
+                     f.check_message)
+                 fs)))
+    | _ -> None)
+
+let checker :
+    (?registry:Translate.registry -> env -> Ast.query -> check_finding list)
+    option
+    ref =
+  ref None
+
+let set_checker c = checker := c
+
+let static_check ?registry env q =
+  match !checker with None -> [] | Some f -> f ?registry env q
+
+(* ------------------------------------------------------------------ *)
 (* FROM clause: single tables stay unqualified; joins qualify every     *)
 (* column as table.column and pull equi-join conjuncts out of WHERE.    *)
 
@@ -132,8 +169,13 @@ let project_result resolve (q : Ast.query) rel =
     Relation.project rel cols
 
 let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) ?cache ?domains
-    ?(profile = false) env (q : Ast.query) : result =
+    ?(profile = false) ?(check = false) env (q : Ast.query) : result =
   Pref_obs.Span.with_span "psql.query" @@ fun () ->
+  if check then begin
+    let findings = static_check ?registry env q in
+    if List.exists (fun f -> f.check_severity = "error") findings then
+      raise (Rejected findings)
+  end;
   (* Per-clause phase runner: always a tracing span; additionally a timed
      profile phase when the caller asked for a profile. *)
   let phases = ref [] in
@@ -300,12 +342,15 @@ let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) ?cache ?domains
   in
   { relation; preference; profile = prof }
 
-let run ?registry ?algorithm ?cache ?domains ?(profile = false) env src =
+let run ?registry ?algorithm ?cache ?domains ?(profile = false) ?check env src
+    =
   if profile then begin
     let q, parse_ms =
       Pref_obs.Span.timed_span "psql.parse" (fun () -> Parser.parse_query src)
     in
-    let r = run_query ?registry ?algorithm ?cache ?domains ~profile env q in
+    let r =
+      run_query ?registry ?algorithm ?cache ?domains ~profile ?check env q
+    in
     {
       r with
       profile =
@@ -317,5 +362,5 @@ let run ?registry ?algorithm ?cache ?domains ?(profile = false) env src =
     }
   end
   else
-    run_query ?registry ?algorithm ?cache ?domains env
+    run_query ?registry ?algorithm ?cache ?domains ?check env
       (Pref_obs.Span.with_span "psql.parse" (fun () -> Parser.parse_query src))

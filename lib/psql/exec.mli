@@ -28,12 +28,41 @@ val full_preference :
   ?registry:Translate.registry -> Ast.query -> Preferences.Pref.t option
 (** The complete term: PREFERRING p CASCADE c1 CASCADE c2 = (p & c1) & c2. *)
 
+(** {1 Static checking}
+
+    The executor can vet queries through an externally installed static
+    analyzer before running them (dependency injection keeps this library
+    below the analyzer in the build graph — [Pref_analysis.Install.install]
+    plugs in the real checker). *)
+
+type check_finding = {
+  check_code : string;  (** stable diagnostic code, e.g. ["E102"] *)
+  check_severity : string;  (** ["error"], ["warning"] or ["hint"] *)
+  check_path : string;  (** dotted location inside the query *)
+  check_message : string;
+}
+
+exception Rejected of check_finding list
+(** Raised by [run]/[run_query] with [~check:true] when the installed
+    checker reports at least one error-severity finding; carries the full
+    report (warnings and hints included). *)
+
+val set_checker :
+  (?registry:Translate.registry -> env -> Ast.query -> check_finding list)
+  option ->
+  unit
+
+val static_check :
+  ?registry:Translate.registry -> env -> Ast.query -> check_finding list
+(** The installed checker's findings; [[]] when no checker is installed. *)
+
 val run_query :
   ?registry:Translate.registry ->
   ?algorithm:Pref_bmo.Query.algorithm ->
   ?cache:bool ->
   ?domains:int ->
   ?profile:bool ->
+  ?check:bool ->
   env ->
   Ast.query ->
   result
@@ -44,11 +73,14 @@ val run :
   ?cache:bool ->
   ?domains:int ->
   ?profile:bool ->
+  ?check:bool ->
   env ->
   string ->
   result
 (** Parse and execute. Raises {!Parser.Error}, {!Translate.Error} or
-    {!Error}. [domains] sets the degree of parallelism for the parallel
+    {!Error}. [~check:true] runs the installed static checker first and
+    raises {!Rejected} on error-severity findings (a no-op when no checker
+    is installed). [domains] sets the degree of parallelism for the parallel
     and auto algorithms (the shell's [\set domains N]). [cache] opts the
     BMO evaluation out of the result cache for this call (the cache only
     acts at all when {!Pref_bmo.Cache.global} is enabled, e.g. via the

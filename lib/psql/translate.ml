@@ -33,14 +33,17 @@ let default_registry =
       ];
   }
 
-let numeric_target what lit =
+(* Error messages carry the surface clause — which constructor on which
+   attribute — so a failing query names the offending text, not only the
+   registry/argument detail. *)
+let numeric_target ~constructor ~attr lit =
   match Value.as_float lit with
   | Some f -> f
   | None ->
     raise
       (Error
-         (Printf.sprintf "%s needs a numeric or date argument, got %s" what
-            (Value.to_string lit)))
+         (Printf.sprintf "%s(%s): needs a numeric or date argument, got %s"
+            constructor attr (Value.to_string lit)))
 
 let rec pref ?(registry = default_registry) (p : Ast.pref) : Pref.t =
   match p with
@@ -48,25 +51,36 @@ let rec pref ?(registry = default_registry) (p : Ast.pref) : Pref.t =
   | Ast.P_neg (a, vs) -> Pref.neg a vs
   | Ast.P_pos_pos (a, vs1, vs2) -> Pref.pos_pos a ~pos1:vs1 ~pos2:vs2
   | Ast.P_pos_neg (a, vs, ns) -> Pref.pos_neg a ~pos:vs ~neg:ns
-  | Ast.P_around (a, lit) -> Pref.around a (numeric_target "AROUND" lit)
+  | Ast.P_around (a, lit) ->
+    Pref.around a (numeric_target ~constructor:"AROUND" ~attr:a lit)
   | Ast.P_between (a, low, up) ->
     Pref.between a
-      ~low:(numeric_target "BETWEEN" low)
-      ~up:(numeric_target "BETWEEN" up)
+      ~low:(numeric_target ~constructor:"BETWEEN" ~attr:a low)
+      ~up:(numeric_target ~constructor:"BETWEEN" ~attr:a up)
   | Ast.P_lowest a -> Pref.lowest a
   | Ast.P_highest a -> Pref.highest a
   | Ast.P_explicit (a, edges) -> Pref.explicit a edges
   | Ast.P_score (a, name) -> (
     match List.assoc_opt name registry.scores with
     | Some f -> Pref.score a ~name f
-    | None -> raise (Error (Printf.sprintf "unknown scoring function %S" name)))
+    | None ->
+      raise
+        (Error
+           (Printf.sprintf "SCORE(%s, %S): unknown scoring function %S" a name
+              name)))
   | Ast.P_rank (name, p1, p2) -> (
     match List.assoc_opt name registry.combiners with
     | Some f ->
       Pref.rank
         { Pref.cname = name; combine = f }
         (pref ~registry p1) (pref ~registry p2)
-    | None -> raise (Error (Printf.sprintf "unknown combining function %S" name)))
+    | None ->
+      raise
+        (Error
+           (Printf.sprintf
+              "RANK(%S) over %s: unknown combining function %S" name
+              (String.concat ", " (Ast.pref_attrs (Ast.P_rank (name, p1, p2))))
+              name)))
   | Ast.P_pareto (p1, p2) -> Pref.pareto (pref ~registry p1) (pref ~registry p2)
   | Ast.P_prior (p1, p2) -> Pref.prior (pref ~registry p1) (pref ~registry p2)
   | Ast.P_dual p -> Pref.dual (pref ~registry p)

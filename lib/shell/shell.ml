@@ -9,6 +9,9 @@ type t = {
       (* degree of parallelism; None = engine default *)
   mutable explain : bool;
   mutable profile : bool;
+  mutable lint : bool;
+      (* run the static analyzer on every query: findings are shown and
+         error-severity findings reject the query before execution *)
   repository : Repository.t;
   registry : Translate.registry;
 }
@@ -23,12 +26,14 @@ let plain text = { text; table = None; quit = false }
 let table ?(text = []) rel = { text; table = Some rel; quit = false }
 
 let create ?(registry = Translate.default_registry) () =
+  Pref_analysis.Install.install ();
   {
     env = [];
     algorithm = Pref_bmo.Query.Alg_bnl;
     domains = None;
     explain = false;
     profile = false;
+    lint = false;
     repository =
       Repository.create
         ~registry:
@@ -92,11 +97,23 @@ let expand_references shell src =
   in
   go 0
 
+let check_lines shell src =
+  Pref_analysis.Diagnostic.to_lines
+    (Pref_analysis.Ast_check.check_source ~registry:shell.registry
+       ~env:shell.env src)
+
 let run_sql shell src =
   let src = expand_references shell src in
+  let lint_text =
+    (* error-severity findings abort below via [Exec.Rejected]; what gets
+       this far is warnings and hints *)
+    if shell.lint then List.map (fun l -> "-- " ^ l) (check_lines shell src)
+    else []
+  in
   let result =
     Exec.run ~registry:shell.registry ~algorithm:shell.algorithm
-      ?domains:shell.domains ~profile:shell.profile shell.env src
+      ?domains:shell.domains ~profile:shell.profile ~check:shell.lint
+      shell.env src
   in
   let explain_text =
     if shell.explain then
@@ -112,7 +129,7 @@ let run_sql shell src =
       :: List.map (fun l -> "--   " ^ l) (Pref_obs.Profile.to_lines prof)
     | Some _ | None -> []
   in
-  table ~text:(explain_text @ profile_text) result.Exec.relation
+  table ~text:(lint_text @ explain_text @ profile_text) result.Exec.relation
 
 let split_words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
 
@@ -367,6 +384,21 @@ let execute shell line =
         dml_command shell `Insert t (String.concat " " rest)
       | ".delete" :: t :: rest when rest <> [] ->
         dml_command shell `Delete t (String.concat " " rest)
+      | ".check" :: rest when rest <> [] ->
+        let src = expand_references shell (String.concat " " rest) in
+        Ok
+          (plain
+             (match check_lines shell src with
+             | [] -> [ "no findings" ]
+             | lines -> lines))
+      | [ ".lint" ] ->
+        Ok (plain [ (if shell.lint then "lint: on" else "lint: off") ])
+      | [ ".lint"; "on" ] ->
+        shell.lint <- true;
+        Ok (plain [ "lint: on" ])
+      | [ ".lint"; "off" ] ->
+        shell.lint <- false;
+        Ok (plain [ "lint: off" ])
       | ".pref" :: rest -> Ok (pref_command shell rest)
       | ".sql92" :: rest when rest <> [] -> (
         let src = expand_references shell (String.concat " " (List.tl (split_words line))) in
@@ -393,6 +425,8 @@ let execute shell line =
                "          \\cache [on|off|stats|clear|budget <MiB>]  BMO result cache";
                "          .insert <t> v1,v2,..  .delete <t> v1,v2,..  single-row DML";
                "                                (patches cached results incrementally)";
+               "          \\check <query>  static analysis without executing";
+               "          \\lint [on|off]  analyze every query; errors reject it";
                "          .help | .quit";
                "anything else runs as Preference SQL; $name expands a stored";
                "preference inside the query text";
@@ -403,6 +437,18 @@ let execute shell line =
   | Parser.Error (msg, p) -> Error (Printf.sprintf "syntax error at offset %d: %s" p msg)
   | Translate.Error msg -> Error ("translation error: " ^ msg)
   | Exec.Error msg -> Error msg
+  | Exec.Rejected findings ->
+    Error
+      (String.concat "\n"
+         ("rejected by static analysis:"
+         :: List.map
+              (fun f ->
+                "  "
+                ^ Pref_analysis.Diagnostic.to_string
+                    (Pref_analysis.Install.of_finding f))
+              findings))
+  | Pref.Ill_formed { code; message; _ } ->
+    Error (Printf.sprintf "[%s] %s" code message)
   | Repository.Error msg -> Error msg
   | Serialize.Error (msg, _) -> Error msg
   | Failure msg -> Error msg

@@ -39,4 +39,10 @@ val execute : t -> string -> (response, string) result
     entries and [\cache budget N] caps the byte budget at N MiB. The
     single-row DML commands [.insert <table> v1,v2,...] and
     [.delete <table> v1,v2,...] update a loaded table and patch its cached
-    BMO results incrementally instead of invalidating them. *)
+    BMO results incrementally instead of invalidating them.
+
+    Static analysis: [\check <query>] runs {!Pref_analysis.Ast_check} over
+    the query against the loaded tables and prints the findings without
+    executing; [\lint on] does the same for every subsequent query
+    (findings appear as [--] comment lines) and rejects queries with
+    error-severity findings before execution. *)
