@@ -1,4 +1,5 @@
-.PHONY: all build test bench bench-quick bench-smoke check fmt lint clean
+.PHONY: all build test bench bench-quick bench-smoke server-smoke check fmt \
+	lint clean
 
 all: build
 
@@ -15,10 +16,16 @@ bench-quick:
 	dune exec bench/main.exe -- --quick
 
 # Fast subset: one worked example, the algebraic laws, one algorithmic
-# comparison, the parallel evaluation section (B9) and the result-cache
-# gates (B10).
+# comparison, the parallel evaluation section (B9), the result-cache
+# gates (B10) and the server throughput section (B11).
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+
+# Boot prefserve, soak it with concurrent clients, assert complete
+# response accounting, zero unexpected deadline expiries, and a clean
+# SIGTERM drain.
+server-smoke:
+	bash scripts/server_smoke.sh
 
 # Formatting gate; dune's (formatting) stanza covers the dune files
 # everywhere and .ml/.mli sources when an ocamlformat binary is present.

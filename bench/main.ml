@@ -981,8 +981,9 @@ let b10 () =
   (* semantic tier, prioritisation: Q & HIGHEST(year) evaluated over the
      cached sigma[Q](R) by Proposition 10 *)
   let refined = Pref.prior q (Pref.highest "year") in
+  let nocache = { Engine.default with cache = false } in
   let r_ref_cold, t_ref_cold =
-    wall (fun () -> Query.sigma ~cache:false schema refined rel)
+    wall (fun () -> fst (Query.sigma_cfg nocache schema refined rel))
   in
   let r_ref, t_ref = wall (fun () -> Query.sigma schema refined rel) in
   let sem_speedup = row "semantic_prior" t_ref_cold t_ref in
@@ -997,7 +998,7 @@ let b10 () =
   ignore (Query.sigma schema hp rel);
   let comp = Pref.pareto hp (Pref.pos "color" [ v "red"; v "blue" ]) in
   let r_comp_cold, t_comp_cold =
-    wall (fun () -> Query.sigma ~cache:false schema comp rel)
+    wall (fun () -> fst (Query.sigma_cfg nocache schema comp rel))
   in
   let r_comp, t_comp = wall (fun () -> Query.sigma schema comp rel) in
   ignore (row "pareto_compose" t_comp_cold t_comp);
@@ -1015,7 +1016,7 @@ let b10 () =
     t_patch;
   check "insert patches the cached entries" (patched > 0);
   let r_fresh, t_fresh =
-    wall (fun () -> Query.sigma ~cache:false schema q rel')
+    wall (fun () -> fst (Query.sigma_cfg nocache schema q rel'))
   in
   let r_patched, t_patched = wall (fun () -> Query.sigma schema q rel') in
   ignore (row "patched" t_fresh t_patched);
@@ -1065,6 +1066,98 @@ let b10 () =
       (via_sigma <= direct *. 1.30)
   | _ -> check "bechamel produced both cache-off estimates" false
 
+(* ------------------------------------------------------------------ *)
+(* B11 — the serving layer: aggregate throughput over the wire          *)
+
+let b11_results : (string * int * bool * float * int * int * float) list ref =
+  ref []
+
+let b11 () =
+  section "B11 Server: aggregate QPS at 1/4/16 clients, cold vs warm cache";
+  let module Server = Pref_server.Server in
+  let module Client = Pref_server.Client in
+  let module Soak = Pref_server.Soak in
+  let cores = Domain.recommended_domain_count () in
+  let n = if quick then 5_000 else 20_000 in
+  let rel = Pref_workload.Cars.relation ~seed:13 ~n () in
+  let env = [ ("cars", rel) ] in
+  let statements =
+    [
+      "SELECT * FROM cars PREFERRING LOWEST(price) AND LOWEST(mileage)";
+      "SELECT * FROM cars PREFERRING HIGHEST(horsepower) AND LOWEST(price)";
+      "SELECT * FROM cars PREFERRING LOWEST(mileage) PRIOR TO HIGHEST(year)";
+    ]
+  in
+  let queries_per_client = if quick then 8 else 20 in
+  (* one server per configuration so cache state is exactly what the
+     label says: cold sessions run with the cache off (every query is
+     evaluated), warm sessions share the global cache pre-filled with
+     each statement's BMO set *)
+  let run_one ~clients ~warm =
+    let label =
+      Printf.sprintf "%s_%02dc" (if warm then "warm" else "cold") clients
+    in
+    Cache.clear Cache.global;
+    let session_config = { Engine.default with cache = warm; check = false } in
+    let config =
+      { Server.default_config with host = "127.0.0.1"; port = 0; session_config }
+    in
+    let server = Server.start ~config ~env () in
+    Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+    let port = Server.port server in
+    if warm then begin
+      let c = Client.connect ~host:"127.0.0.1" ~port in
+      List.iter (fun s -> ignore (Client.query c s)) statements;
+      Client.close c
+    end;
+    match
+      Soak.run ~host:"127.0.0.1" ~port ~clients ~queries_per_client ~statements
+        ()
+    with
+    | Error fatal ->
+      check (label ^ " soak completes") false;
+      Fmt.pr "  %-9s fatal: %s@." label fatal;
+      None
+    | Ok r ->
+      b11_results :=
+        ( label,
+          clients,
+          warm,
+          r.Soak.qps,
+          r.Soak.sent,
+          r.Soak.errors,
+          r.Soak.elapsed_s )
+        :: !b11_results;
+      Fmt.pr "  %-9s %4d sent %3d retried %2d err %9.1f qps in %6.2f s@." label
+        r.Soak.sent r.Soak.retried r.Soak.errors r.Soak.qps r.Soak.elapsed_s;
+      check (label ^ " accounts for every response")
+        (r.Soak.sent = r.Soak.ok + r.Soak.degraded + r.Soak.errors
+        && r.Soak.sent = clients * queries_per_client);
+      check (label ^ " has zero error responses") (r.Soak.errors = 0);
+      Some r.Soak.qps
+  in
+  Cache.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.set_enabled false;
+      Cache.clear Cache.global)
+  @@ fun () ->
+  let warm_qps =
+    List.map
+      (fun clients -> (clients, run_one ~clients ~warm:true))
+      [ 1; 4; 16 ]
+  in
+  List.iter (fun clients -> ignore (run_one ~clients ~warm:false)) [ 1; 4; 16 ];
+  match (List.assoc 1 warm_qps, List.assoc 16 warm_qps) with
+  | Some q1, Some q16 when cores >= 4 ->
+    check "warm aggregate QPS at 16 clients >= 3x 1 client (>= 4 cores)"
+      (q16 >= 3.0 *. q1)
+  | Some q1, Some q16 ->
+    skip "warm aggregate QPS at 16 clients >= 3x 1 client"
+      (Printf.sprintf "host has %d core(s), gate needs >= 4; measured %.2fx"
+         cores (q16 /. Float.max q1 1e-9))
+  | _ -> ()
+
 let () =
   Fmt.pr "Preference algebra & BMO reproduction harness%s@."
     (if smoke then " (smoke mode)" else if quick then " (quick mode)" else "");
@@ -1076,7 +1169,7 @@ let () =
      the result-cache gates (B10 runs at full n = 200k even here, so the
      subset is about a minute end to end, dominated by B10's cold runs) *)
   let smoke_sections =
-    [ "e1"; "p_laws"; "b4_decompose"; "b9_parallel"; "b10_cache" ]
+    [ "e1"; "p_laws"; "b4_decompose"; "b9_parallel"; "b10_cache"; "b11_server" ]
   in
   let run name f =
     if (not smoke) || List.mem name smoke_sections then begin
@@ -1107,6 +1200,7 @@ let () =
   run "b8_obs" b8;
   run "b9_parallel" b9;
   run "b10_cache" b10;
+  run "b11_server" b11;
   Fmt.pr "@.=== summary ===@.";
   Fmt.pr "%d checks, %d failures, %d skipped@." !checks !failures !skips;
   let open Pref_obs in
@@ -1147,6 +1241,21 @@ let () =
                        ("speedup", Json.Float speedup);
                      ] ))
                !b10_results) );
+        ( "b11_server",
+          Json.Obj
+            (List.rev_map
+               (fun (label, clients, warm, qps, sent, errors, elapsed_s) ->
+                 ( label,
+                   Json.Obj
+                     [
+                       ("clients", Json.Int clients);
+                       ("warm_cache", Json.Bool warm);
+                       ("qps", Json.Float qps);
+                       ("sent", Json.Int sent);
+                       ("errors", Json.Int errors);
+                       ("elapsed_s", Json.Float elapsed_s);
+                     ] ))
+               !b11_results) );
         ("metrics", Metrics.to_json ());
       ]
   in

@@ -1,0 +1,153 @@
+(* prefserve — the Preference SQL query server.
+
+   Usage:
+     prefserve --table cars=cars.csv --port 5877
+
+   Serves the wire protocol in Pref_server.Protocol: QUERY / PREPARE /
+   SET / STATS / PING over length-prefixed frames. Clients include the
+   prefsql shell (\connect host port) and prefsoak. SIGTERM/SIGINT
+   drain gracefully: in-flight queries complete and flush, new ones get
+   retriable errors, then the process exits. *)
+
+let parse_table_spec spec =
+  match String.index_opt spec '=' with
+  | Some i ->
+    let name = String.sub spec 0 i in
+    let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+    (name, path)
+  | None -> (Filename.remove_extension (Filename.basename spec), spec)
+
+let main tables host port executors max_inflight max_connections deadline_ms
+    no_cache no_check =
+  (* queries are checked at the wire (config.check); give the checker its
+     analyzer *)
+  Pref_analysis.Install.install ();
+  let env =
+    List.map
+      (fun spec ->
+        let name, path = parse_table_spec spec in
+        (String.lowercase_ascii name, Pref_relation.Csv.load path))
+      tables
+  in
+  let session_config =
+    {
+      Pref_bmo.Engine.default with
+      cache = not no_cache;
+      check = not no_check;
+      deadline_ms;
+    }
+  in
+  let executors =
+    match executors with
+    | Some e -> max 1 e
+    | None -> Pref_server.Server.default_config.Pref_server.Server.executors
+  in
+  let config =
+    {
+      Pref_server.Server.host;
+      port;
+      session_config;
+      executors;
+      max_inflight =
+        (match max_inflight with Some m -> m | None -> 2 * executors);
+      max_connections;
+    }
+  in
+  let server = Pref_server.Server.start ~config ~env () in
+  let stop_signal _ = Pref_server.Server.request_stop server in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+  Fmt.pr "prefserve: listening on %s:%d (%d executor domain(s), %d in-flight, \
+          %d connection(s) max)@."
+    host
+    (Pref_server.Server.port server)
+    config.Pref_server.Server.executors
+    config.Pref_server.Server.max_inflight max_connections;
+  List.iter
+    (fun (name, rel) ->
+      Fmt.pr "  table %s: %a@." name Pref_relation.Relation.pp rel)
+    env;
+  Pref_server.Server.wait server;
+  Fmt.pr "prefserve: drained, %d queries served@."
+    (match
+       List.assoc_opt "server.queries" (Pref_server.Server.counters server)
+     with
+    | Some n -> n
+    | None -> 0)
+
+open Cmdliner
+
+let tables_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "t"; "table" ] ~docv:"NAME=FILE.csv"
+        ~doc:"Load a CSV file as table $(i,NAME) (repeatable).")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+
+let port_arg =
+  Arg.(
+    value & opt int 5877
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:"Listen port; 0 picks an ephemeral one (printed on startup).")
+
+let executors_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "executors" ] ~docv:"N"
+        ~doc:
+          "Executor domains evaluating queries (default: one per \
+           recommended core, capped at 16).")
+
+let inflight_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "Admission bound on queued + running queries; over it QUERY is \
+           rejected with a retriable busy error (default: 2x executors).")
+
+let connections_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-connections" ] ~docv:"N" ~doc:"Connection limit.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"MS"
+        ~doc:
+          "Default per-query deadline in milliseconds (sessions may change \
+           it with SET deadline). On expiry a query degrades to a partial \
+           result instead of hanging.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Start sessions with the shared BMO result cache disabled.")
+
+let no_check_arg =
+  Arg.(
+    value & flag
+    & info [ "no-check" ]
+        ~doc:
+          "Skip static analysis at the wire (by default error-severity \
+           queries are rejected).")
+
+let cmd =
+  let doc = "Concurrent Preference SQL query server" in
+  Cmd.v
+    (Cmd.info "prefserve" ~version:"1.0.0" ~doc)
+    Term.(
+      const main $ tables_arg $ host_arg $ port_arg $ executors_arg
+      $ inflight_arg $ connections_arg $ deadline_arg $ no_cache_arg
+      $ no_check_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,105 @@
+(* prefsoak — multi-client soak driver for a running prefserve.
+
+   Usage:
+     prefsoak --port 5877 --clients 16 --queries 100 \
+              --statement "SELECT * FROM cars PREFERRING LOWEST(price)"
+
+   Each client gets its own connection and thread, runs its share of
+   queries round-robin over the statements, retries retriable admission
+   rejections, and the aggregate report accounts for every response:
+   sent = ok + degraded + errors must hold or the server dropped or
+   duplicated one. Exits nonzero on accounting failure or any error
+   response. *)
+
+let main host port clients queries statements set_knobs strict =
+  if statements = [] then begin
+    Fmt.epr "prefsoak: at least one --statement is required@.";
+    exit 2
+  end;
+  let setup client =
+    List.iter
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | None -> failwith (Printf.sprintf "bad --set %S (want key=value)" spec)
+        | Some i ->
+          let key = String.sub spec 0 i in
+          let value = String.sub spec (i + 1) (String.length spec - i - 1) in
+          (match Pref_server.Client.set client ~key ~value with
+          | Ok _ -> ()
+          | Error msg -> failwith msg))
+      set_knobs
+  in
+  match
+    Pref_server.Soak.run ~host ~port ~clients ~queries_per_client:queries
+      ~setup ~statements ()
+  with
+  | Error fatal ->
+    Fmt.epr "prefsoak: fatal: %s@." fatal;
+    exit 1
+  | Ok report ->
+    Fmt.pr "%a@." Pref_server.Soak.pp_report report;
+    let accounted =
+      report.Pref_server.Soak.sent
+      = report.Pref_server.Soak.ok + report.Pref_server.Soak.degraded
+        + report.Pref_server.Soak.errors
+      && report.Pref_server.Soak.sent = clients * queries
+    in
+    if not accounted then begin
+      Fmt.epr "prefsoak: response accounting failed — dropped or duplicated \
+               response(s)@.";
+      exit 1
+    end;
+    if strict && report.Pref_server.Soak.errors > 0 then begin
+      Fmt.epr "prefsoak: %d error response(s)@." report.Pref_server.Soak.errors;
+      exit 1
+    end
+
+open Cmdliner
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+
+let port_arg =
+  Arg.(value & opt int 5877 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let clients_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "c"; "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
+
+let queries_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "n"; "queries" ] ~docv:"N" ~doc:"Queries per client.")
+
+let statements_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "s"; "statement" ] ~docv:"SQL"
+        ~doc:"A statement to cycle through (repeatable).")
+
+let set_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "set" ] ~docv:"KEY=VALUE"
+        ~doc:
+          "Engine knob applied on each fresh connection before its query \
+           loop, e.g. --set deadline=5 (repeatable).")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:"Also exit nonzero when any query returned an error response.")
+
+let cmd =
+  let doc = "Multi-client soak driver for prefserve" in
+  Cmd.v
+    (Cmd.info "prefsoak" ~version:"1.0.0" ~doc)
+    Term.(
+      const main $ host_arg $ port_arg $ clients_arg $ queries_arg
+      $ statements_arg $ set_arg $ strict_arg)
+
+let () = exit (Cmd.eval cmd)

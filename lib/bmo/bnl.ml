@@ -42,6 +42,56 @@ let maxima (dom : Dominance.t) rows =
     done;
     Array.to_list (Array.sub win 0 !size)
 
+(* Deadline-aware variant of [maxima]: identical window pass, but the
+   monotonic clock is polled every [deadline_stride] candidates and the
+   scan stops — returning the window built so far — once the budget is
+   spent.  The window at any candidate boundary is the exact BMO set of
+   the scanned prefix, so a degraded result is still sound, merely
+   incomplete. *)
+
+let deadline_stride = 128
+
+let maxima_deadline ~deadline (dom : Dominance.t) rows =
+  if not (Engine.has_deadline deadline) then (maxima dom rows, false)
+  else if Engine.expired deadline then ([], true)
+  else
+    match rows with
+    | [] -> ([], false)
+    | first :: _ ->
+      let arr = Array.of_list rows in
+      let n = Array.length arr in
+      let win = Array.make n first in
+      let size = ref 0 in
+      let k = ref 0 in
+      let timed_out = ref false in
+      while !k < n && not !timed_out do
+        if !k land (deadline_stride - 1) = 0 && Engine.expired deadline then
+          timed_out := true
+        else begin
+          let t = Array.unsafe_get arr !k in
+          let dominated = ref false in
+          let i = ref 0 in
+          while (not !dominated) && !i < !size do
+            if dom (Array.unsafe_get win !i) t then dominated := true
+            else incr i
+          done;
+          if not !dominated then begin
+            let j = ref 0 in
+            for i = 0 to !size - 1 do
+              let w = Array.unsafe_get win i in
+              if not (dom t w) then begin
+                Array.unsafe_set win !j w;
+                incr j
+              end
+            done;
+            win.(!j) <- t;
+            size := !j + 1
+          end;
+          incr k
+        end
+      done;
+      (Array.to_list (Array.sub win 0 !size), !timed_out)
+
 let maxima_traced (dom : Dominance.t) rows =
   (* Same pass as [maxima], tracking the peak window size for telemetry
      without O(n) length scans. *)

@@ -16,6 +16,24 @@ open Pref_relation
 
 val maxima : Dominance.t -> Tuple.t list -> Tuple.t list
 
+val maxima_deadline :
+  deadline:Engine.deadline -> Dominance.t -> Tuple.t list -> Tuple.t list * bool
+(** The window pass with a time budget: the monotonic clock is polled
+    every {!deadline_stride} candidates, and when the deadline expires the
+    pass stops and returns the current window with [true] — the exact BMO
+    set of the scanned prefix (window tuples are mutually undominated and
+    every discarded tuple was dominated by a window tuple, so the prefix
+    semantics is sound; unscanned rows may have dominated them, which is
+    what the [partial] flag reports). With {!Engine.no_deadline} or a
+    budget that never expires the result is exactly {!maxima} and [false].
+    An already-expired deadline returns [([], true)] without scanning —
+    degradation is deterministic, never an exception. *)
+
+val deadline_stride : int
+(** Candidates scanned between clock polls (clock reads are cheap but not
+    free; the stride bounds deadline overshoot to [stride] dominance
+    scans). *)
+
 val maxima_traced : Dominance.t -> Tuple.t list -> Tuple.t list * int
 (** [maxima] plus the peak window size reached during the pass — the
     memory high-water mark query profiles report. Same result as

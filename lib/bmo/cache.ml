@@ -27,6 +27,12 @@ type stats = {
 }
 
 type t = {
+  (* One lock per cache around the public operations: the server's worker
+     domains share [global] across sessions, and Hashtbl plus the mutable
+     counters race without it.  Internal helpers ([store_entry],
+     [find_*], [derive]) assume the lock is held and never re-take it
+     (the mutex is not reentrant). *)
+  m : Mutex.t;
   table : (string, entry) Hashtbl.t;
   mutable enabled : bool;
   mutable tick : int;
@@ -42,6 +48,7 @@ type t = {
 
 let create ?(max_entries = 128) ?(budget_bytes = 64 * 1024 * 1024) () =
   {
+    m = Mutex.create ();
     table = Hashtbl.create 64;
     enabled = true;
     tick = 0;
@@ -73,9 +80,17 @@ let set_enabled b = global.enabled <- b
 let fp_memo : (Tuple.t list * string) list ref = ref []
 let fp_memo_cap = 8
 
+(* The memo list is shared global state touched from every domain that
+   fingerprints a relation; its own small lock keeps the lock order
+   simple (cache lock, then memo lock — never the reverse). *)
+let fp_mutex = Mutex.create ()
+
 let fingerprint rel =
   let rows = Relation.rows rel in
-  match List.find_opt (fun (r, _) -> r == rows) !fp_memo with
+  Mutex.lock fp_mutex;
+  let memoised = List.find_opt (fun (r, _) -> r == rows) !fp_memo in
+  Mutex.unlock fp_mutex;
+  match memoised with
   | Some (_, fp) -> fp
   | None ->
     let h1 = ref 0 and h2 = ref 0 and n = ref 0 in
@@ -91,8 +106,10 @@ let fingerprint rel =
         (String.concat "," (Schema.names (Relation.schema rel)))
         !n !h1 !h2
     in
+    Mutex.lock fp_mutex;
     fp_memo :=
       List.filteri (fun i _ -> i < fp_memo_cap) ((rows, fp) :: !fp_memo);
+    Mutex.unlock fp_mutex;
     fp
 
 let entry_key ~fp ~proj ~pref_key =
@@ -127,12 +144,20 @@ let evict_until_fits t =
   done;
   sync_gauges t
 
+(* Public operations take the cache lock for their whole extent; the
+   [locked] wrapper keeps the release exception-safe. *)
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
 let clear t =
+  locked t @@ fun () ->
   Hashtbl.reset t.table;
   t.bytes <- 0;
   sync_gauges t
 
 let set_budget t ?max_entries ?budget_bytes () =
+  locked t @@ fun () ->
   Option.iter (fun n -> t.max_entries <- max 1 n) max_entries;
   Option.iter (fun b -> t.budget_bytes <- max 0 b) budget_bytes;
   evict_until_fits t
@@ -172,9 +197,13 @@ let store_entry t ~fp ~proj ~pref_key schema cpref result =
   evict_until_fits t
 
 let store t ?(projection = []) schema p rel result =
-  if t.enabled then
-    store_entry t ~fp:(fingerprint rel) ~proj:projection
-      ~pref_key:(Canon.key p) schema (Canon.canonical p) result
+  if t.enabled then begin
+    let fp = fingerprint rel in
+    let pref_key = Canon.key p in
+    let cpref = Canon.canonical p in
+    locked t @@ fun () ->
+    store_entry t ~fp ~proj:projection ~pref_key schema cpref result
+  end
 
 let find_exact t ~fp ~proj pref_key =
   Hashtbl.find_opt t.table (entry_key ~fp ~proj ~pref_key)
@@ -304,6 +333,7 @@ let lookup t ?(projection = []) schema p rel =
     let fp = fingerprint rel in
     let cpref = Canon.canonical p in
     let pref_key = Preferences.Serialize.to_string cpref in
+    locked t @@ fun () ->
     match find_exact t ~fp ~proj:projection pref_key with
     | Some e ->
       touch t e;
@@ -331,6 +361,7 @@ let probe t ?(projection = []) _schema p rel =
     let fp = fingerprint rel in
     let cpref = Canon.canonical p in
     let pref_key = Preferences.Serialize.to_string cpref in
+    locked t @@ fun () ->
     match find_exact t ~fp ~proj:projection pref_key with
     | Some _ -> Some Exact
     | None ->
@@ -350,6 +381,7 @@ let patch t ~old_rel ~new_rel update =
   else begin
     let old_fp = fingerprint old_rel in
     let new_fp = fingerprint new_rel in
+    locked t @@ fun () ->
     let affected = entries_for t old_fp in
     List.iter
       (fun e ->
@@ -383,6 +415,7 @@ let on_delete t ~old_rel ~new_rel row =
 (* {1 Introspection} *)
 
 let stats t =
+  locked t @@ fun () ->
   {
     entries = Hashtbl.length t.table;
     bytes = t.bytes;

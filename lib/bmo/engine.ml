@@ -1,0 +1,151 @@
+type algorithm =
+  | Alg_naive
+  | Alg_bnl
+  | Alg_decompose
+  | Alg_parallel
+  | Alg_auto
+
+let algorithm_of_string = function
+  | "naive" -> Some Alg_naive
+  | "bnl" -> Some Alg_bnl
+  | "decompose" -> Some Alg_decompose
+  | "parallel" -> Some Alg_parallel
+  | "auto" -> Some Alg_auto
+  | _ -> None
+
+let algorithm_to_string = function
+  | Alg_naive -> "naive"
+  | Alg_bnl -> "bnl"
+  | Alg_decompose -> "decompose"
+  | Alg_parallel -> "parallel"
+  | Alg_auto -> "auto"
+
+type config = {
+  algorithm : algorithm;
+  domains : int option;
+  cache : bool;
+  check : bool;
+  profile : bool;
+  deadline_ms : float option;
+  max_rows : int option;
+}
+
+let default =
+  {
+    algorithm = Alg_bnl;
+    domains = None;
+    cache = true;
+    check = false;
+    profile = false;
+    deadline_ms = None;
+    max_rows = None;
+  }
+
+type flags = { partial : bool; truncated : bool }
+
+let complete = { partial = false; truncated = false }
+
+let union_flags a b =
+  { partial = a.partial || b.partial; truncated = a.truncated || b.truncated }
+
+let flags_attrs f =
+  (if f.partial then [ ("partial", "true") ] else [])
+  @ if f.truncated then [ ("truncated", "true") ] else []
+
+(* A deadline is the absolute monotonic-clock expiry in nanoseconds.
+   [Int64.max_int] encodes "none": every comparison against it is false,
+   so the hot-path check stays one load and one compare. *)
+type deadline = int64
+
+let no_deadline = Int64.max_int
+
+let deadline_of cfg =
+  match cfg.deadline_ms with
+  | None -> no_deadline
+  | Some ms ->
+    Int64.add (Pref_obs.Clock.now_ns ())
+      (Int64.of_float (Float.max 0. ms *. 1e6))
+
+let has_deadline d = not (Int64.equal d no_deadline)
+let expired d = has_deadline d && Int64.compare (Pref_obs.Clock.now_ns ()) d >= 0
+
+(* ------------------------------------------------------------------ *)
+(* String-typed knob access, shared by shell \set and the wire SET     *)
+
+let bool_of_knob = function
+  | "on" | "true" | "1" -> Some true
+  | "off" | "false" | "0" -> Some false
+  | _ -> None
+
+let off_knob v =
+  match String.lowercase_ascii v with "off" | "none" -> true | _ -> false
+
+let set cfg ~key ~value =
+  match String.lowercase_ascii key with
+  | "algorithm" -> (
+    match algorithm_of_string value with
+    | Some a -> Ok { cfg with algorithm = a }
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown algorithm %s (naive | bnl | decompose | parallel | auto)"
+           value))
+  | "domains" -> (
+    match int_of_string_opt value with
+    | Some d when d >= 1 -> Ok { cfg with domains = Some d }
+    | Some _ | None ->
+      Error
+        (Printf.sprintf "domains must be a positive integer, got %s" value))
+  | "cache" -> (
+    match bool_of_knob value with
+    | Some b -> Ok { cfg with cache = b }
+    | None -> Error "cache must be on or off")
+  | "check" -> (
+    match bool_of_knob value with
+    | Some b -> Ok { cfg with check = b }
+    | None -> Error "check must be on or off")
+  | "profile" -> (
+    match bool_of_knob value with
+    | Some b -> Ok { cfg with profile = b }
+    | None -> Error "profile must be on or off")
+  | "deadline" ->
+    if off_knob value then Ok { cfg with deadline_ms = None }
+    else (
+      match float_of_string_opt value with
+      | Some ms when ms >= 0. -> Ok { cfg with deadline_ms = Some ms }
+      | Some _ | None ->
+        Error
+          (Printf.sprintf
+             "deadline must be a non-negative millisecond count or off, got %s"
+             value))
+  | "maxrows" ->
+    if off_knob value then Ok { cfg with max_rows = None }
+    else (
+      match int_of_string_opt value with
+      | Some k when k >= 1 -> Ok { cfg with max_rows = Some k }
+      | Some _ | None ->
+        Error
+          (Printf.sprintf "maxrows must be a positive integer or off, got %s"
+             value))
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown setting %s (algorithm | domains | cache | check | profile \
+          | deadline | maxrows)"
+         key)
+
+let describe cfg =
+  [
+    ("algorithm", algorithm_to_string cfg.algorithm);
+    ( "domains",
+      match cfg.domains with Some d -> string_of_int d | None -> "default" );
+    ("cache", if cfg.cache then "on" else "off");
+    ("check", if cfg.check then "on" else "off");
+    ("profile", if cfg.profile then "on" else "off");
+    ( "deadline",
+      match cfg.deadline_ms with
+      | Some ms -> Printf.sprintf "%g" ms
+      | None -> "off" );
+    ( "maxrows",
+      match cfg.max_rows with Some k -> string_of_int k | None -> "off" );
+  ]

@@ -31,14 +31,26 @@ let set_default_domains n =
    domains costs far more than a skyline chunk, so reuse matters. *)
 let pool_cache : (int * Pool.t) option ref = ref None
 
+(* Serialises lookup/create/shutdown of the cached pool: concurrent server
+   domains asking for the same size share one pool; a size change swaps the
+   pool atomically (callers that already hold the old pool finish their
+   in-flight batch before [shutdown] joins it — queued batches drain
+   first). *)
+let pool_mutex = Mutex.create ()
+
 let pool_for domains =
-  match !pool_cache with
-  | Some (d, p) when d = domains -> p
-  | prev ->
-    (match prev with Some (_, p) -> Pool.shutdown p | None -> ());
-    let p = Pool.create ~domains in
-    pool_cache := Some (domains, p);
-    p
+  Mutex.lock pool_mutex;
+  let p =
+    match !pool_cache with
+    | Some (d, p) when d = domains -> p
+    | prev ->
+      (match prev with Some (_, p) -> Pool.shutdown p | None -> ());
+      let p = Pool.create ~domains in
+      pool_cache := Some (domains, p);
+      p
+  in
+  Mutex.unlock pool_mutex;
+  p
 
 (* ------------------------------------------------------------------ *)
 (* Statistics                                                          *)

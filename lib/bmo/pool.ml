@@ -25,6 +25,22 @@ type t = {
 let self_key = Domain.DLS.new_key (fun () -> 0)
 let self () = Domain.DLS.get self_key
 
+exception
+  Job_error of { index : int; domain : int; exn : exn; backtrace : string }
+
+let () =
+  Printexc.register_printer (function
+    | Job_error { index; domain; exn; _ } ->
+      Some
+        (Printf.sprintf "Pool.Job_error: job %d on domain %d: %s" index domain
+           (Printexc.to_string exn))
+    | _ -> None)
+
+(* Cross-domain test hook: simulate a poisoned chunk.  Atomic so worker
+   domains see the test thread's write without a synchronisation point. *)
+let fault_injection : (int -> unit) option Atomic.t = Atomic.make None
+let set_fault_injection f = Atomic.set fault_injection f
+
 let worker pool id () =
   Domain.DLS.set self_key id;
   let rec loop () =
@@ -76,10 +92,29 @@ let map pool f items =
     let error = ref None in
     let remaining = ref n in
     let job i () =
-      (try results.(i) <- Some (f items.(i))
+      (try
+         (match Atomic.get fault_injection with
+         | Some inject -> inject i
+         | None -> ());
+         results.(i) <- Some (f items.(i))
        with e ->
+         (* wrap with provenance: the submitting [map] call gets one typed
+            error for its query; nothing propagates into the worker loop,
+            so a poisoned chunk can never kill a pool (or server) domain *)
+         let wrapped =
+           match e with
+           | Job_error _ -> e
+           | e ->
+             Job_error
+               {
+                 index = i;
+                 domain = self ();
+                 exn = e;
+                 backtrace = Printexc.get_backtrace ();
+               }
+         in
          Mutex.lock pool.m;
-         (match !error with None -> error := Some e | Some _ -> ());
+         (match !error with None -> error := Some wrapped | Some _ -> ());
          Mutex.unlock pool.m);
       Mutex.lock pool.m;
       decr remaining;

@@ -8,6 +8,24 @@
 
 type t
 
+exception
+  Job_error of {
+    index : int;  (** position of the failed item in the input array *)
+    domain : int;  (** pool domain ({!self}) the job ran on *)
+    exn : exn;  (** the original exception *)
+    backtrace : string;
+  }
+(** What {!map} raises when a job fails: the raw worker exception is
+    wrapped with its provenance so a poisoned chunk fails only the query
+    that submitted it — the caller gets one typed, catchable error and
+    the pool (and any server domain driving it) keeps running. *)
+
+val set_fault_injection : (int -> unit) option -> unit
+(** Test hook: when set, the callback runs at the start of every job with
+    the job's item index; raising from it simulates a poisoned chunk. The
+    setting is global and cross-domain (atomic); pass [None] to clear.
+    Production code never sets it. *)
+
 val create : domains:int -> t
 (** Raises [Invalid_argument] when [domains < 1]. *)
 
@@ -22,9 +40,10 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f items] runs [f] over all items across the pool's domains
     and returns the results in input order (deterministic merge order, no
     matter which domain ran which item). Blocks until every item is done.
-    If any [f] raises, the first exception observed is re-raised in the
-    caller after the batch has drained. Not re-entrant: do not call [map]
-    from inside a job of the same pool. *)
+    If any [f] raises, the first failure observed is re-raised in the
+    caller as {!Job_error} after the batch has drained — worker domains
+    never die and the pool stays usable. Not re-entrant: do not call
+    [map] from inside a job of the same pool. *)
 
 val shutdown : t -> unit
 (** Join all worker domains. Queued-but-unstarted batches finish first;

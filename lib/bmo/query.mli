@@ -3,11 +3,19 @@
     Dispatches to one of the interchangeable evaluation algorithms. All
     produce the same tuple set (the test suite checks this); they differ in
     cost and in row order / duplicate handling ([Alg_decompose] removes
-    duplicate rows). *)
+    duplicate rows).
+
+    The [_cfg] entry points take the unified {!Engine.config} record and
+    return the result together with {!Engine.flags}; the [_within]
+    variants additionally accept an already-started deadline so several
+    sub-queries can draw down one budget. The plain [sigma] /
+    [sigma_profiled] / [sigma_groupby] functions are thin compatibility
+    wrappers over these — same signatures and behaviour as before the
+    engine API existed. *)
 
 open Pref_relation
 
-type algorithm =
+type algorithm = Engine.algorithm =
   | Alg_naive  (** exhaustive better-than tests, O(n²) *)
   | Alg_bnl  (** block-nested-loops window algorithm *)
   | Alg_decompose  (** divide & conquer via Propositions 8–12 *)
@@ -16,6 +24,81 @@ type algorithm =
 
 val algorithm_of_string : string -> algorithm option
 val algorithm_to_string : algorithm -> string
+
+(** {1 Engine entry points} *)
+
+val sigma_within :
+  deadline:Engine.deadline ->
+  Engine.config ->
+  Schema.t ->
+  Preferences.Pref.t ->
+  Relation.t ->
+  Relation.t * Engine.flags
+(** σ[P](R) under a configuration and a running deadline. The cache is
+    consulted first (when [cfg.cache] and the global cache is enabled);
+    on a miss, a query with a live deadline evaluates on the
+    interruptible sequential window kernel ({!Bnl.maxima_deadline})
+    regardless of [cfg.algorithm] — the domain fan-out cannot be
+    cancelled — and degrades to the current window with [partial] set
+    when the budget expires. Partial results are never stored in the
+    cache. [cfg.max_rows] caps the returned rows and sets [truncated]. *)
+
+val sigma_cfg :
+  Engine.config ->
+  Schema.t ->
+  Preferences.Pref.t ->
+  Relation.t ->
+  Relation.t * Engine.flags
+(** {!sigma_within} with the deadline started now from
+    [cfg.deadline_ms]. *)
+
+val sigma_profiled_within :
+  deadline:Engine.deadline ->
+  Engine.config ->
+  Schema.t ->
+  Preferences.Pref.t ->
+  Relation.t ->
+  Relation.t * Engine.flags * Pref_obs.Profile.t
+(** {!sigma_within} plus a query profile: input/output cardinality, the
+    algorithm actually run (including the planner's choice under
+    [Alg_auto], [cache:*] for cache hits, [bnl:degraded] for
+    deadline-expired queries), dominance-test counts where the kernel
+    reports them, and per-phase timings. The profile is built
+    unconditionally — {!Pref_obs.Control} only decides whether the run
+    also feeds the engine-wide metrics and spans. *)
+
+val sigma_profiled_cfg :
+  Engine.config ->
+  Schema.t ->
+  Preferences.Pref.t ->
+  Relation.t ->
+  Relation.t * Engine.flags * Pref_obs.Profile.t
+
+val sigma_groupby_within :
+  deadline:Engine.deadline ->
+  Engine.config ->
+  Schema.t ->
+  Preferences.Pref.t ->
+  by:string list ->
+  Relation.t ->
+  Relation.t * Engine.flags
+(** σ[P groupby A](R) (Definition 16) under a configuration: every group
+    runs as a sub-query through {!sigma_within}, so groups share the
+    result cache, the domain setting and one deadline budget; flags are
+    the union over groups and [cfg.max_rows] caps the combined result.
+    With cache off, no deadline and default domains this takes the exact
+    pre-engine evaluation path (one shared dominance compile, no cache
+    probes). *)
+
+val sigma_groupby_cfg :
+  Engine.config ->
+  Schema.t ->
+  Preferences.Pref.t ->
+  by:string list ->
+  Relation.t ->
+  Relation.t * Engine.flags
+
+(** {1 Compatibility wrappers} *)
 
 val sigma :
   ?algorithm:algorithm ->
@@ -41,17 +124,10 @@ val sigma_profiled :
   Preferences.Pref.t ->
   Relation.t ->
   Relation.t * Pref_obs.Profile.t
-(** [sigma] plus a query profile: input/output cardinality, the algorithm
-    actually run (including the planner's choice under [Alg_auto]), exact
-    dominance-test counts for [Alg_naive]/[Alg_bnl]/[Alg_parallel] ([-1]
-    otherwise), and compile/plan/evaluate phase timings — for
-    [Alg_parallel] additionally the local/merge phase split, chunk sizes
-    and per-chunk test counts. The profile is built
-    unconditionally — it does not require {!Pref_obs.Control} to be on;
-    the global flag only decides whether the run also feeds the
-    engine-wide metrics and spans. A query served by the result cache
-    reports algorithm [cache:exact] or [cache:semantic:<identity>] with a
-    single [cache_lookup] phase. *)
+(** [sigma] plus a query profile — {!sigma_profiled_cfg} without a
+    deadline or row cap, flags dropped. A query served by the result
+    cache reports algorithm [cache:exact] or [cache:semantic:<identity>]
+    with a single [cache_lookup] phase. *)
 
 val sigma_groupby :
   ?algorithm:algorithm ->

@@ -1,0 +1,113 @@
+open Pref_relation
+open Pref_sql
+
+type stats = {
+  queries : int;
+  degraded : int;
+  truncated : int;
+  errors : int;
+}
+
+type t = {
+  mutable env : Exec.env;
+  reg : Translate.registry;
+  mutable config : Pref_bmo.Engine.config;
+  mutable statements : (string * Ast.query) list;
+  mutable queries : int;
+  mutable degraded : int;
+  mutable truncated : int;
+  mutable errors : int;
+}
+
+let create ?(registry = Translate.default_registry)
+    ?(config = Pref_bmo.Engine.default) ?(env = []) () =
+  {
+    env;
+    reg = registry;
+    config;
+    statements = [];
+    queries = 0;
+    degraded = 0;
+    truncated = 0;
+    errors = 0;
+  }
+
+let env t = t.env
+let set_env t env = t.env <- env
+
+let add_table t name rel =
+  let name = String.lowercase_ascii name in
+  t.env <- (name, rel) :: List.remove_assoc name t.env
+
+let find_table t name = Exec.find_table t.env name
+let config t = t.config
+let set_config t cfg = t.config <- cfg
+
+let set t ~key ~value =
+  match Pref_bmo.Engine.set t.config ~key ~value with
+  | Ok cfg ->
+    t.config <- cfg;
+    let shown =
+      List.assoc_opt (String.lowercase_ascii key)
+        (Pref_bmo.Engine.describe cfg)
+    in
+    Ok
+      (Printf.sprintf "%s: %s"
+         (String.lowercase_ascii key)
+         (Option.value shown ~default:value))
+  | Error _ as e -> e
+
+let describe t = Pref_bmo.Engine.describe t.config
+let registry t = t.reg
+
+let prepare t ~name src =
+  let q = Parser.parse_query src in
+  t.statements <- (name, q) :: List.remove_assoc name t.statements
+
+let prepared t = List.map fst t.statements
+
+let count_result t (r : Exec.result) =
+  if r.flags.Pref_bmo.Engine.partial then t.degraded <- t.degraded + 1;
+  if r.flags.Pref_bmo.Engine.truncated then t.truncated <- t.truncated + 1;
+  r
+
+let run_within t ~deadline src =
+  t.queries <- t.queries + 1;
+  try
+    let src = String.trim src in
+    if String.length src > 0 && src.[0] = '@' then begin
+      let name = String.sub src 1 (String.length src - 1) in
+      match List.assoc_opt name t.statements with
+      | Some q ->
+        count_result t
+          (Exec.run_query_within ~registry:t.reg ~deadline t.config t.env q)
+      | None ->
+        raise
+          (Exec.Error
+             (Printf.sprintf "no prepared statement %S%s" name
+                (Typo.suggest (List.map fst t.statements) name)))
+    end
+    else
+      count_result t (Exec.run_within ~registry:t.reg ~deadline t.config t.env src)
+  with e ->
+    t.errors <- t.errors + 1;
+    raise e
+
+let run t src =
+  run_within t ~deadline:(Pref_bmo.Engine.deadline_of t.config) src
+
+let stats t =
+  {
+    queries = t.queries;
+    degraded = t.degraded;
+    truncated = t.truncated;
+    errors = t.errors;
+  }
+
+let stats_lines t =
+  [
+    ("session.queries", string_of_int t.queries);
+    ("session.degraded", string_of_int t.degraded);
+    ("session.truncated", string_of_int t.truncated);
+    ("session.errors", string_of_int t.errors);
+  ]

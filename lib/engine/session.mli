@@ -1,0 +1,83 @@
+(** An engine session: one client's view of the preference engine.
+
+    A session bundles what used to be loose state threaded through the
+    shell and the CLIs — the table environment, the function registry,
+    one {!Pref_bmo.Engine.config} record, prepared statements, and
+    per-session counters. The interactive shell holds one; the query
+    server creates one per connection (sharing the process-wide result
+    cache unless the session opts out via [SET cache off]).
+
+    A session is used from one thread at a time (the server runs each
+    connection's queries serially); different sessions may run
+    concurrently on different domains. *)
+
+open Pref_relation
+open Pref_sql
+
+type stats = {
+  queries : int;  (** queries attempted (successful or not) *)
+  degraded : int;  (** results returned [partial] after a deadline *)
+  truncated : int;  (** results capped by [maxrows] *)
+  errors : int;  (** queries that raised *)
+}
+
+type t
+
+val create :
+  ?registry:Translate.registry ->
+  ?config:Pref_bmo.Engine.config ->
+  ?env:Exec.env ->
+  unit ->
+  t
+
+(** {1 Tables} *)
+
+val env : t -> Exec.env
+val set_env : t -> Exec.env -> unit
+
+val add_table : t -> string -> Relation.t -> unit
+(** Register (or replace) a table; names are stored lowercase, matching
+    the shell's behaviour. *)
+
+val find_table : t -> string -> Relation.t option
+
+(** {1 Configuration} *)
+
+val config : t -> Pref_bmo.Engine.config
+val set_config : t -> Pref_bmo.Engine.config -> unit
+
+val set : t -> key:string -> value:string -> (string, string) result
+(** {!Pref_bmo.Engine.set} applied to the session's config; [Ok] carries
+    a ["key: value"] confirmation line. *)
+
+val describe : t -> (string * string) list
+(** Current knob values ({!Pref_bmo.Engine.describe}). *)
+
+val registry : t -> Translate.registry
+
+(** {1 Prepared statements} *)
+
+val prepare : t -> name:string -> string -> unit
+(** Parse and store a query under [name] (replacing any previous one).
+    Raises {!Parser.Error} on a syntax error — nothing is stored. *)
+
+val prepared : t -> string list
+(** Names of stored statements, most recently prepared first. *)
+
+(** {1 Execution} *)
+
+val run_within : t -> deadline:Pref_bmo.Engine.deadline -> string -> Exec.result
+(** Execute Preference SQL under the session's config and an
+    already-running deadline (servers start the budget at admission).
+    [@name] executes the prepared statement [name]. Counts the query in
+    {!stats} — including errors, which re-raise after counting. *)
+
+val run : t -> string -> Exec.result
+(** {!run_within} with the deadline started now from the session's
+    [deadline_ms]. *)
+
+(** {1 Stats} *)
+
+val stats : t -> stats
+val stats_lines : t -> (string * string) list
+(** The counters as [key, value] string pairs (for STATS / [\set]). *)

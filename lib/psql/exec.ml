@@ -17,11 +17,27 @@ let find_table env name =
         else acc)
       None env
 
+exception Unknown_table of { name : string; hint : string option }
+
+let unknown_table_message ~name ~hint =
+  Printf.sprintf "unknown table %S%s" name
+    (match hint with
+    | Some c -> Printf.sprintf " (did you mean %S?)" c
+    | None -> "")
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_table { name; hint } ->
+      Some ("Psql.Exec: " ^ unknown_table_message ~name ~hint)
+    | _ -> None)
+
 type result = {
   relation : Relation.t;
   preference : Pref.t option;  (** the translated preference term, for explain *)
   profile : Pref_obs.Profile.t option;
       (** per-clause timings and evaluation counts, when requested *)
+  flags : Pref_bmo.Engine.flags;
+      (** deadline degradation / row-cap truncation markers *)
 }
 
 let full_preference ?registry (q : Ast.query) =
@@ -87,7 +103,8 @@ let static_check ?registry env q =
 let get_table env name =
   match find_table env name with
   | Some r -> r
-  | None -> raise (Error (Printf.sprintf "unknown table %S" name))
+  | None ->
+    raise (Unknown_table { name; hint = Typo.nearest (List.map fst env) name })
 
 let qualified env name =
   let r = get_table env name in
@@ -168,10 +185,11 @@ let project_result resolve (q : Ast.query) rel =
     in
     Relation.project rel cols
 
-let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) ?cache ?domains
-    ?(profile = false) ?(check = false) env (q : Ast.query) : result =
+let run_query_within ?registry ~deadline (cfg : Pref_bmo.Engine.config) env
+    (q : Ast.query) : result =
+  let profile = cfg.Pref_bmo.Engine.profile in
   Pref_obs.Span.with_span "psql.query" @@ fun () ->
-  if check then begin
+  if cfg.Pref_bmo.Engine.check then begin
     let findings = static_check ?registry env q in
     if List.exists (fun f -> f.check_severity = "error") findings then
       raise (Rejected findings)
@@ -222,8 +240,12 @@ let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) ?cache ?domains
       (Some p', steps)
   in
   let grouping = List.map resolve q.Ast.grouping in
-  (* soft constraints: BMO match-making *)
+  (* soft constraints: BMO match-making.  The BMO layer draws down the
+     query deadline and reports degradation through its flags; the row cap
+     is applied to the final result below, not inside the BMO set. *)
   let bmo_profile = ref None in
+  let bmo_flags = ref Pref_bmo.Engine.complete in
+  let bmo_cfg = { cfg with Pref_bmo.Engine.max_rows = None } in
   let after_pref =
     match preference, evaluated with
     | None, _ | _, None -> filtered
@@ -242,26 +264,36 @@ let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) ?cache ?domains
             r
           | _, [] ->
             if profile then begin
-              let r, prof =
-                Pref_bmo.Query.sigma_profiled ~algorithm ?cache ?domains
-                  schema p_eval filtered
+              let r, f, prof =
+                Pref_bmo.Query.sigma_profiled_within ~deadline bmo_cfg schema
+                  p_eval filtered
               in
+              bmo_flags := f;
               bmo_profile := Some prof;
               r
             end
-            else
-              Pref_bmo.Query.sigma ~algorithm ?cache ?domains schema p_eval
-                filtered
+            else begin
+              let r, f =
+                Pref_bmo.Query.sigma_within ~deadline bmo_cfg schema p_eval
+                  filtered
+              in
+              bmo_flags := f;
+              r
+            end
           | _, by ->
-            let r =
-              Pref_bmo.Query.sigma_groupby ~algorithm schema p_eval ~by filtered
+            let r, f =
+              Pref_bmo.Query.sigma_groupby_within ~deadline bmo_cfg schema
+                p_eval ~by filtered
             in
+            bmo_flags := f;
             if profile then
               bmo_profile :=
                 Some
                   (Pref_obs.Profile.make
                      ~algorithm:
-                       ("groupby:" ^ Pref_bmo.Query.algorithm_to_string algorithm)
+                       ("groupby:"
+                       ^ Pref_bmo.Query.algorithm_to_string
+                           cfg.Pref_bmo.Engine.algorithm)
                      ~input_rows:(Relation.cardinality filtered)
                      ~output_rows:(Relation.cardinality r) ());
             r)
@@ -315,7 +347,23 @@ let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) ?cache ?domains
       Relation.make (Relation.schema after_quality) (take k rows)
     | None, _ -> after_quality
   in
-  let relation = project_result resolve q truncated in
+  let projected = project_result resolve q truncated in
+  (* the engine row cap applies to the final, presentation-ordered result *)
+  let relation, capped =
+    match cfg.Pref_bmo.Engine.max_rows with
+    | None -> (projected, false)
+    | Some k ->
+      let rows = Relation.rows projected in
+      if List.length rows <= k then (projected, false)
+      else
+        ( Relation.make (Relation.schema projected)
+            (List.filteri (fun i _ -> i < k) rows),
+          true )
+  in
+  let flags =
+    Pref_bmo.Engine.union_flags !bmo_flags
+      { Pref_bmo.Engine.partial = false; truncated = capped }
+  in
   let prof =
     if not profile then None
     else begin
@@ -340,17 +388,18 @@ let run_query ?registry ?(algorithm = Pref_bmo.Query.Alg_bnl) ?cache ?domains
          else base)
     end
   in
-  { relation; preference; profile = prof }
+  { relation; preference; profile = prof; flags }
 
-let run ?registry ?algorithm ?cache ?domains ?(profile = false) ?check env src
-    =
-  if profile then begin
+let run_query_cfg ?registry cfg env q =
+  run_query_within ?registry ~deadline:(Pref_bmo.Engine.deadline_of cfg) cfg
+    env q
+
+let run_within ?registry ~deadline cfg env src =
+  if cfg.Pref_bmo.Engine.profile then begin
     let q, parse_ms =
       Pref_obs.Span.timed_span "psql.parse" (fun () -> Parser.parse_query src)
     in
-    let r =
-      run_query ?registry ?algorithm ?cache ?domains ~profile ?check env q
-    in
+    let r = run_query_within ?registry ~deadline cfg env q in
     {
       r with
       profile =
@@ -362,5 +411,27 @@ let run ?registry ?algorithm ?cache ?domains ?(profile = false) ?check env src
     }
   end
   else
-    run_query ?registry ?algorithm ?cache ?domains ?check env
+    run_query_within ?registry ~deadline cfg env
       (Pref_obs.Span.with_span "psql.parse" (fun () -> Parser.parse_query src))
+
+let run_cfg ?registry cfg env src =
+  (* the deadline starts before parsing, so parse / join / BMO all draw
+     down the same budget *)
+  run_within ?registry ~deadline:(Pref_bmo.Engine.deadline_of cfg) cfg env src
+
+(* ------------------------------------------------------------------ *)
+(* Compatibility wrappers: the pre-engine optional-argument surface.    *)
+
+let legacy_cfg ?(algorithm = Pref_bmo.Engine.Alg_bnl) ?(cache = true) ?domains
+    ?(profile = false) ?(check = false) () =
+  { Pref_bmo.Engine.default with algorithm; cache; domains; profile; check }
+
+let run_query ?registry ?algorithm ?cache ?domains ?profile ?check env q =
+  run_query_within ?registry ~deadline:Pref_bmo.Engine.no_deadline
+    (legacy_cfg ?algorithm ?cache ?domains ?profile ?check ())
+    env q
+
+let run ?registry ?algorithm ?cache ?domains ?profile ?check env src =
+  run_within ?registry ~deadline:Pref_bmo.Engine.no_deadline
+    (legacy_cfg ?algorithm ?cache ?domains ?profile ?check ())
+    env src

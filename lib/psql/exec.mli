@@ -14,6 +14,14 @@ type env = (string * Relation.t) list
 
 val find_table : env -> string -> Relation.t option
 
+exception Unknown_table of { name : string; hint : string option }
+(** A FROM clause named a table the environment does not hold. [hint] is
+    the nearest known table name under edit distance, when one is close
+    enough to plausibly be a typo ({!Pref_relation.Typo.nearest}). *)
+
+val unknown_table_message : name:string -> hint:string option -> string
+(** Human-readable rendering of {!Unknown_table}, suggestion included. *)
+
 type result = {
   relation : Relation.t;
   preference : Preferences.Pref.t option;
@@ -22,6 +30,11 @@ type result = {
       (** present when the query ran with [~profile:true]: per-clause phase
           timings (parse → from → where → translate → rewrite → evaluate →
           quality/order), the BMO algorithm and its dominance-test count *)
+  flags : Pref_bmo.Engine.flags;
+      (** [partial] when a deadline expired and the BMO set is a sound
+          prefix; [truncated] when [max_rows] dropped result rows.
+          {!Pref_bmo.Engine.complete} for every query run through the
+          compatibility wrappers. *)
 }
 
 val full_preference :
@@ -55,6 +68,56 @@ val set_checker :
 val static_check :
   ?registry:Translate.registry -> env -> Ast.query -> check_finding list
 (** The installed checker's findings; [[]] when no checker is installed. *)
+
+(** {1 Engine entry points}
+
+    The executor's primary interface: one {!Pref_bmo.Engine.config}
+    record carries every knob (algorithm, domains, cache, check, profile,
+    deadline, row cap). The [_within] variants accept an
+    already-started deadline so a server can begin the budget at
+    admission rather than at parse time. *)
+
+val run_query_within :
+  ?registry:Translate.registry ->
+  deadline:Pref_bmo.Engine.deadline ->
+  Pref_bmo.Engine.config ->
+  env ->
+  Ast.query ->
+  result
+
+val run_query_cfg :
+  ?registry:Translate.registry ->
+  Pref_bmo.Engine.config ->
+  env ->
+  Ast.query ->
+  result
+
+val run_within :
+  ?registry:Translate.registry ->
+  deadline:Pref_bmo.Engine.deadline ->
+  Pref_bmo.Engine.config ->
+  env ->
+  string ->
+  result
+
+val run_cfg :
+  ?registry:Translate.registry ->
+  Pref_bmo.Engine.config ->
+  env ->
+  string ->
+  result
+(** Parse and execute under a configuration. The deadline starts before
+    parsing; on expiry during BMO evaluation the result degrades to a
+    sound prefix with [flags.partial] set (see {!Pref_bmo.Query.sigma_within}).
+    [config.max_rows] caps the final projected, ordered result and sets
+    [flags.truncated]. Raises {!Parser.Error}, {!Translate.Error},
+    {!Error}, {!Unknown_table}, or {!Rejected} (with [config.check]). *)
+
+(** {1 Compatibility wrappers}
+
+    The pre-engine optional-argument surface; each is a one-line wrapper
+    building an {!Pref_bmo.Engine.config}. No deadline, no row cap —
+    [result.flags] is always {!Pref_bmo.Engine.complete}. *)
 
 val run_query :
   ?registry:Translate.registry ->

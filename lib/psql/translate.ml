@@ -66,8 +66,9 @@ let rec pref ?(registry = default_registry) (p : Ast.pref) : Pref.t =
     | None ->
       raise
         (Error
-           (Printf.sprintf "SCORE(%s, %S): unknown scoring function %S" a name
-              name)))
+           (Printf.sprintf "SCORE(%s, %S): unknown scoring function %S%s" a
+              name name
+              (Typo.suggest (List.map fst registry.scores) name))))
   | Ast.P_rank (name, p1, p2) -> (
     match List.assoc_opt name registry.combiners with
     | Some f ->
@@ -77,10 +78,11 @@ let rec pref ?(registry = default_registry) (p : Ast.pref) : Pref.t =
     | None ->
       raise
         (Error
-           (Printf.sprintf
-              "RANK(%S) over %s: unknown combining function %S" name
+           (Printf.sprintf "RANK(%S) over %s: unknown combining function %S%s"
+              name
               (String.concat ", " (Ast.pref_attrs (Ast.P_rank (name, p1, p2))))
-              name)))
+              name
+              (Typo.suggest (List.map fst registry.combiners) name))))
   | Ast.P_pareto (p1, p2) -> Pref.pareto (pref ~registry p1) (pref ~registry p2)
   | Ast.P_prior (p1, p2) -> Pref.prior (pref ~registry p1) (pref ~registry p2)
   | Ast.P_dual p -> Pref.dual (pref ~registry p)

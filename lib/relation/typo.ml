@@ -1,0 +1,32 @@
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let curr = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    curr.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      curr.(j) <-
+        min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit curr 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let nearest candidates name =
+  let lname = String.lowercase_ascii name in
+  let best =
+    List.fold_left
+      (fun acc c ->
+        let d = levenshtein lname (String.lowercase_ascii c) in
+        match acc with Some (_, bd) when bd <= d -> acc | _ -> Some (c, d))
+      None candidates
+  in
+  match best with
+  | Some (c, d) when d > 0 && d <= 2 && d < String.length name -> Some c
+  | _ -> None
+
+let suggest candidates name =
+  match nearest candidates name with
+  | Some c -> Printf.sprintf " (did you mean %S?)" c
+  | None -> ""

@@ -1,0 +1,18 @@
+(** "Did you mean?" suggestions for misspelled names.
+
+    The edit-distance machinery behind the static analyzer's typo
+    diagnostics, factored down here so run-time lookups (unknown tables,
+    unknown registry functions) can reuse it without depending on the
+    analyzer library. *)
+
+val levenshtein : string -> string -> int
+(** Classic edit distance (insert / delete / substitute, all cost 1). *)
+
+val nearest : string list -> string -> string option
+(** The candidate closest to the name under case-insensitive edit
+    distance, when it is close enough to plausibly be a typo (distance in
+    [1, 2] and strictly below the name's length). [None] otherwise. *)
+
+val suggest : string list -> string -> string
+(** [" (did you mean %S?)"] for {!nearest}'s pick, or [""] — ready to
+    append to an error message. *)

@@ -1,0 +1,80 @@
+type t = { fd : Unix.file_descr; mutable open_ : bool }
+
+exception Closed
+
+let () =
+  Printexc.register_printer (function
+    | Closed -> Some "Pref_server.Client.Closed"
+    | _ -> None)
+
+let connect ~host ~port =
+  (* a server vanishing mid-request must surface as EPIPE, not kill the
+     process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  { fd; open_ = true }
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with _ -> ());
+    try Unix.close t.fd with _ -> ()
+  end
+
+let request t req =
+  Protocol.write_frame t.fd (Protocol.encode_request req);
+  match Protocol.read_frame t.fd with
+  | None -> raise Closed
+  | Some payload -> (
+    match Protocol.parse_response payload with
+    | Ok resp -> resp
+    | Error msg -> failwith ("unparsable response: " ^ msg))
+
+let ping t = match request t Protocol.Ping with
+  | Protocol.Pong -> true
+  | _ -> false
+
+let render_err kind message = Printf.sprintf "[%s] %s" kind message
+
+let query t sql =
+  match request t (Protocol.Query sql) with
+  | Protocol.Rows { relation; flags } -> Ok (relation, flags)
+  | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
+  | _ -> Error "[proto] unexpected response to QUERY"
+
+let query_retry ?(attempts = 50) ?(backoff_s = 0.002) t sql =
+  let rec go n =
+    match request t (Protocol.Query sql) with
+    | Protocol.Rows { relation; flags } -> Ok (relation, flags)
+    | Protocol.Err { retriable = true; kind; message } ->
+      if n <= 1 then Error (render_err kind message)
+      else begin
+        Thread.delay backoff_s;
+        go (n - 1)
+      end
+    | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
+    | _ -> Error "[proto] unexpected response to QUERY"
+  in
+  go (max 1 attempts)
+
+let set t ~key ~value =
+  match request t (Protocol.Set (key, value)) with
+  | Protocol.Done line -> Ok line
+  | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
+  | _ -> Error "[proto] unexpected response to SET"
+
+let prepare t ~name sql =
+  match request t (Protocol.Prepare (name, sql)) with
+  | Protocol.Done line -> Ok line
+  | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
+  | _ -> Error "[proto] unexpected response to PREPARE"
+
+let stats t =
+  match request t Protocol.Stats with
+  | Protocol.Stats_resp kvs -> Ok kvs
+  | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
+  | _ -> Error "[proto] unexpected response to STATS"

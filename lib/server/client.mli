@@ -1,0 +1,45 @@
+(** Blocking client for the Preference SQL wire protocol — used by the
+    shell's [\connect], the soak driver, and the tests.
+
+    One request is in flight at a time; every call blocks until the
+    response frame arrives. Not thread-safe: give each thread its own
+    client. *)
+
+open Pref_relation
+
+type t
+
+exception Closed
+(** The server closed the connection (EOF where a response was due). *)
+
+val connect : host:string -> port:int -> t
+(** Raises [Unix.Unix_error] when the connection is refused. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val request : t -> Protocol.request -> Protocol.response
+(** Send one request and read its response. Raises {!Closed} on EOF,
+    {!Protocol.Framing_error} on a corrupt stream, or [Failure] when the
+    response payload does not parse. *)
+
+(** {1 Convenience wrappers} *)
+
+val ping : t -> bool
+(** [true] iff the server answers PONG. *)
+
+val query : t -> string -> (Relation.t * Pref_bmo.Engine.flags, string) result
+(** [Error] carries the server's rendered error message (including its
+    kind). Retriable rejections are surfaced as errors too — see
+    {!query_retry}. *)
+
+val query_retry :
+  ?attempts:int -> ?backoff_s:float -> t -> string ->
+  (Relation.t * Pref_bmo.Engine.flags, string) result
+(** Like {!query}, but a retriable [ERR] (admission-control [busy] /
+    [draining]) is retried up to [attempts] times (default 50) with a
+    fixed [backoff_s] sleep (default 2 ms) between tries. *)
+
+val set : t -> key:string -> value:string -> (string, string) result
+val prepare : t -> name:string -> string -> (string, string) result
+val stats : t -> ((string * string) list, string) result

@@ -1,0 +1,307 @@
+open Pref_relation
+
+exception Framing_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Framing_error msg -> Some ("Pref_server.Protocol.Framing_error: " ^ msg)
+    | _ -> None)
+
+let max_frame = 16 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+
+let is_wait_error = function
+  | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR -> true
+  | _ -> false
+
+let rec read_retry on_wait fd buf off len =
+  match Unix.read fd buf off len with
+  | n -> n
+  | exception Unix.Unix_error (e, _, _) when is_wait_error e ->
+    on_wait ();
+    read_retry on_wait fd buf off len
+
+(* The length header is tiny, so byte-at-a-time reads cost nothing
+   compared to the payload transfer. *)
+let read_header on_wait fd =
+  let buf = Bytes.create 1 in
+  let rec go acc n =
+    if n > 10 then raise (Framing_error "length header too long")
+    else
+      match read_retry on_wait fd buf 0 1 with
+      | 0 ->
+        if acc = [] then None
+        else raise (Framing_error "eof inside length header")
+      | _ ->
+        let c = Bytes.get buf 0 in
+        if c = '\n' then
+          if acc = [] then raise (Framing_error "empty length header")
+          else Some (String.init n (fun i -> List.nth (List.rev acc) i))
+        else if c >= '0' && c <= '9' then go (c :: acc) (n + 1)
+        else raise (Framing_error "non-digit in length header")
+  in
+  go [] 0
+
+let read_exact on_wait fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off < len then
+      match read_retry on_wait fd buf off (len - off) with
+      | 0 -> raise (Framing_error "eof inside frame payload")
+      | n -> go (off + n)
+  in
+  go 0;
+  Bytes.unsafe_to_string buf
+
+let read_frame ?(on_wait = fun () -> ()) fd =
+  match read_header on_wait fd with
+  | None -> None
+  | Some header -> (
+    match int_of_string_opt header with
+    | Some len when len >= 0 && len <= max_frame ->
+      Some (read_exact on_wait fd len)
+    | Some _ ->
+      raise (Framing_error (Printf.sprintf "frame length %s too large" header))
+    | None -> raise (Framing_error "unreadable frame length"))
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n > max_frame then invalid_arg "Protocol.write_frame: payload too large";
+  let msg = Bytes.of_string (Printf.sprintf "%d\n%s" n payload) in
+  let total = Bytes.length msg in
+  let rec go off =
+    if off < total then go (off + Unix.write fd msg off (total - off))
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Payload helpers                                                     *)
+
+let split_verb payload =
+  match String.index_opt payload '\n' with
+  | Some i ->
+    ( String.sub payload 0 i,
+      String.sub payload (i + 1) (String.length payload - i - 1) )
+  | None -> (payload, "")
+
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+(* RFC-4180 quoting, matching the CSV loader's [split_line]. *)
+let quote_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+(* Split a CSV body into records on newlines that sit outside quotes, so
+   quoted fields may carry embedded newlines across the wire. *)
+let split_records body =
+  let n = String.length body in
+  let records = ref [] in
+  let start = ref 0 in
+  let in_quotes = ref false in
+  for i = 0 to n - 1 do
+    match body.[i] with
+    | '"' -> in_quotes := not !in_quotes
+    | '\n' when not !in_quotes ->
+      records := String.sub body !start (i - !start) :: !records;
+      start := i + 1
+    | _ -> ()
+  done;
+  if !start < n then records := String.sub body !start (n - !start) :: !records;
+  List.rev !records
+
+let ty_of_string = function
+  | "bool" -> Some Value.TBool
+  | "int" -> Some Value.TInt
+  | "float" -> Some Value.TFloat
+  | "string" -> Some Value.TStr
+  | "date" -> Some Value.TDate
+  | _ -> None
+
+(* Floats travel as the shortest decimal that parses back exactly; the
+   engine's display rendering ([Value.to_string]) is lossy past 6
+   significant digits. *)
+let float_wire f =
+  let s = Printf.sprintf "%.15g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let value_wire = function
+  | Value.Null -> "NULL"
+  | Value.Float f when not (Float.is_integer f) -> float_wire f
+  | v -> Value.to_string v
+
+let value_of_wire ty s =
+  if s = "" || s = "NULL" then Some Value.Null else Value.of_string_as ty s
+
+let schema_wire schema =
+  String.concat ","
+    (List.map
+       (fun (name, ty) -> quote_field (name ^ ":" ^ Value.ty_to_string ty))
+       schema)
+
+let schema_of_wire line =
+  if line = "" then Ok []
+  else
+    let fields = Csv.split_line line in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | f :: rest -> (
+        match String.rindex_opt f ':' with
+        | None -> Error (Printf.sprintf "schema field %S has no type" f)
+        | Some i -> (
+          let name = String.sub f 0 i in
+          let ty = String.sub f (i + 1) (String.length f - i - 1) in
+          match ty_of_string ty with
+          | Some ty -> go ((name, ty) :: acc) rest
+          | None -> Error (Printf.sprintf "unknown column type %S" ty)))
+    in
+    go [] fields
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+type request =
+  | Query of string
+  | Prepare of string * string
+  | Set of string * string
+  | Stats
+  | Ping
+
+let encode_request = function
+  | Query sql -> "QUERY\n" ^ sql
+  | Prepare (name, sql) -> Printf.sprintf "PREPARE %s\n%s" name sql
+  | Set (key, value) -> Printf.sprintf "SET %s %s" key value
+  | Stats -> "STATS"
+  | Ping -> "PING"
+
+let parse_request payload =
+  let verb_line, rest = split_verb payload in
+  match words verb_line with
+  | [ "QUERY" ] ->
+    if String.trim rest = "" then Error "QUERY needs a statement" else Ok (Query rest)
+  | [ "PREPARE"; name ] ->
+    if String.trim rest = "" then Error "PREPARE needs a statement"
+    else Ok (Prepare (name, rest))
+  | "SET" :: key :: (_ :: _ as value) -> Ok (Set (key, String.concat " " value))
+  | [ "STATS" ] -> Ok Stats
+  | [ "PING" ] -> Ok Ping
+  | verb :: _ -> Error (Printf.sprintf "unknown verb %S" verb)
+  | [] -> Error "empty request"
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+type response =
+  | Rows of { relation : Relation.t; flags : Pref_bmo.Engine.flags }
+  | Done of string
+  | Pong
+  | Stats_resp of (string * string) list
+  | Err of { kind : string; retriable : bool; message : string }
+
+let encode_response = function
+  | Rows { relation; flags } ->
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "ROWS %d%s%s\n"
+         (Relation.cardinality relation)
+         (if flags.Pref_bmo.Engine.partial then " partial" else "")
+         (if flags.Pref_bmo.Engine.truncated then " truncated" else ""));
+    Buffer.add_string buf (schema_wire (Relation.schema relation));
+    List.iter
+      (fun row ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf
+          (String.concat ","
+             (List.map (fun v -> quote_field (value_wire v)) (Tuple.to_list row))))
+      (Relation.rows relation);
+    Buffer.contents buf
+  | Done "" -> "OK"
+  | Done text -> "OK " ^ text
+  | Pong -> "PONG"
+  | Stats_resp kvs ->
+    String.concat "\n"
+      ("STATS" :: List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+  | Err { kind; retriable; message } ->
+    Printf.sprintf "ERR %s %s\n%s" kind
+      (if retriable then "retriable" else "fatal")
+      message
+
+let parse_rows verb_words body =
+  match verb_words with
+  | count :: flag_words -> (
+    match int_of_string_opt count with
+    | None -> Error (Printf.sprintf "unreadable row count %S" count)
+    | Some count -> (
+      let flags =
+        {
+          Pref_bmo.Engine.partial = List.mem "partial" flag_words;
+          truncated = List.mem "truncated" flag_words;
+        }
+      in
+      match split_records body with
+      | [] -> Error "ROWS response without a schema line"
+      | schema_line :: records -> (
+        match schema_of_wire schema_line with
+        | Error _ as e -> e
+        | Ok schema ->
+          if List.length records <> count then
+            Error
+              (Printf.sprintf "expected %d row(s), got %d" count
+                 (List.length records))
+          else
+            let rec rows acc = function
+              | [] -> Ok (List.rev acc)
+              | record :: rest -> (
+                let fields = Csv.split_line record in
+                if List.length fields <> List.length schema then
+                  Error
+                    (Printf.sprintf "row %S does not match the schema" record)
+                else
+                  match
+                    List.fold_right2
+                      (fun (_, ty) field acc ->
+                        match acc, value_of_wire ty field with
+                        | Some vs, Some v -> Some (v :: vs)
+                        | _ -> None)
+                      schema fields (Some [])
+                  with
+                  | Some vs -> rows (Tuple.make vs :: acc) rest
+                  | None ->
+                    Error
+                      (Printf.sprintf "row %S does not decode as %s" record
+                         (schema_wire schema)))
+            in
+            (match rows [] records with
+            | Ok tuples ->
+              Ok (Rows { relation = Relation.make schema tuples; flags })
+            | Error _ as e -> e))))
+  | [] -> Error "ROWS response without a row count"
+
+let parse_response payload =
+  let verb_line, rest = split_verb payload in
+  match words verb_line with
+  | "ROWS" :: vw -> parse_rows vw rest
+  | "OK" :: text -> Ok (Done (String.concat " " text))
+  | [ "PONG" ] -> Ok Pong
+  | [ "STATS" ] ->
+    let kvs =
+      List.filter_map
+        (fun line ->
+          if line = "" then None
+          else
+            match String.index_opt line '=' with
+            | Some i ->
+              Some
+                ( String.sub line 0 i,
+                  String.sub line (i + 1) (String.length line - i - 1) )
+            | None -> Some (line, ""))
+        (String.split_on_char '\n' rest)
+    in
+    Ok (Stats_resp kvs)
+  | [ "ERR"; kind; how ] ->
+    Ok (Err { kind; retriable = how = "retriable"; message = rest })
+  | verb :: _ -> Error (Printf.sprintf "unknown response verb %S" verb)
+  | [] -> Error "empty response"

@@ -1,0 +1,99 @@
+(** The Preference SQL wire protocol: length-prefixed frames carrying a
+    line-oriented payload.
+
+    A frame is the payload's byte length in ASCII decimal, a newline,
+    then exactly that many payload bytes:
+
+    {v 23\nQUERY\nSELECT * FROM car v}
+
+    The payload's first line is the verb. Requests:
+
+    - [QUERY\n<sql>] — execute Preference SQL (or [@name] for a prepared
+      statement)
+    - [PREPARE <name>\n<sql>] — parse and store a statement
+    - [SET <key> <value>] — update one engine knob ({!Pref_bmo.Engine.set})
+    - [STATS] — server, session and engine counters
+    - [PING] — liveness probe
+
+    Responses:
+
+    - [ROWS <n> [partial] [truncated]\n<schema>\n<csv rows>] — a result
+      relation; the schema line is comma-separated [name:type] fields and
+      rows are RFC-4180 CSV in schema column order. [partial] marks a
+      deadline-degraded (sound but incomplete) BMO set, [truncated] a
+      row-capped one.
+    - [OK <text>] — acknowledgement
+    - [PONG]
+    - [STATS\n<key>=<value> lines]
+    - [ERR <kind> <retriable|fatal>\n<message>] — [retriable] means the
+      same request may succeed later (admission-control rejections:
+      [busy], [draining]); [fatal] errors will fail again unchanged.
+
+    Framing errors (no length line, a non-numeric or oversized length)
+    raise {!Framing_error}: the stream cannot be resynchronised, so the
+    peer must close the connection. A syntactically valid frame with an
+    unparsable payload is recoverable — it yields [Error] from the parse
+    functions and an [ERR proto] response, and the connection lives on. *)
+
+open Pref_relation
+
+exception Framing_error of string
+
+val max_frame : int
+(** Upper bound on a frame's payload size (16 MiB); bigger lengths raise
+    {!Framing_error} on read and [Invalid_argument] on write. *)
+
+(** {1 Frames} *)
+
+val read_frame : ?on_wait:(unit -> unit) -> Unix.file_descr -> string option
+(** Read one frame; [None] on a clean EOF at a frame boundary. EOF
+    mid-frame, a malformed header, or an oversized length raise
+    {!Framing_error}. When the descriptor has a receive timeout,
+    [on_wait] runs on every timeout tick (raise from it to abort — the
+    server's drain check); by default timeouts just retry. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one frame, handling short writes. *)
+
+(** {1 Requests} *)
+
+type request =
+  | Query of string
+  | Prepare of string * string
+  | Set of string * string
+  | Stats
+  | Ping
+
+val encode_request : request -> string
+val parse_request : string -> (request, string) result
+
+(** {1 Responses} *)
+
+type response =
+  | Rows of { relation : Relation.t; flags : Pref_bmo.Engine.flags }
+  | Done of string
+  | Pong
+  | Stats_resp of (string * string) list
+  | Err of { kind : string; retriable : bool; message : string }
+
+val encode_response : response -> string
+val parse_response : string -> (response, string) result
+(** Round-trip inverse of {!encode_response} up to value rendering:
+    floats travel as shortest-exact decimals, so relations survive the
+    wire unchanged. *)
+
+(** {1 Value rendering}
+
+    Exposed for the shell's remote-result display and the protocol
+    tests. *)
+
+val float_wire : float -> string
+(** Shortest decimal rendering that parses back to exactly the same
+    float ([Value.to_string] is lossy past 6 significant digits). *)
+
+val value_wire : Pref_relation.Value.t -> string
+(** [Null] renders as [NULL]; empty strings are indistinguishable from
+    [Null] on the wire. *)
+
+val value_of_wire :
+  Pref_relation.Value.ty -> string -> Pref_relation.Value.t option

@@ -1,0 +1,470 @@
+open Pref_sql
+
+type config = {
+  host : string;
+  port : int;
+  max_connections : int;
+  max_inflight : int;
+  executors : int;
+  session_config : Pref_bmo.Engine.config;
+}
+
+let default_executors = max 1 (min 16 (Domain.recommended_domain_count ()))
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 5877;
+    max_connections = 64;
+    max_inflight = 2 * default_executors;
+    executors = default_executors;
+    (* the wire rejects error-severity queries when an analyzer is
+       installed (Pref_analysis.Install.install, done by bin/prefserve) *)
+    session_config = { Pref_bmo.Engine.default with check = true };
+  }
+
+(* server.* metrics — mirrors of the always-on atomic counters below, fed
+   when telemetry is globally enabled *)
+let m_queries = Pref_obs.Metrics.counter "server.queries"
+let m_busy = Pref_obs.Metrics.counter "server.busy_rejected"
+let m_drain_rej = Pref_obs.Metrics.counter "server.draining_rejected"
+let m_degraded = Pref_obs.Metrics.counter "server.degraded"
+let m_deadline = Pref_obs.Metrics.counter "server.deadline_exceeded"
+let m_truncated = Pref_obs.Metrics.counter "server.truncated"
+let m_errors = Pref_obs.Metrics.counter "server.errors"
+let g_inflight = Pref_obs.Metrics.gauge "server.inflight"
+let g_queue = Pref_obs.Metrics.gauge "server.queue_depth"
+let g_conns = Pref_obs.Metrics.gauge "server.connections"
+
+type t = {
+  cfg : config;
+  registry : Translate.registry;
+  env : Exec.env;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  (* executor state, all under [m] *)
+  m : Mutex.t;
+  nonempty : Condition.t;  (* a job was queued, or executors must stop *)
+  idle : Condition.t;  (* queued + running reached 0 *)
+  stopped_c : Condition.t;  (* full drain finished *)
+  queue : (unit -> unit) Queue.t;
+  mutable queued : int;
+  mutable running : int;
+  mutable draining : bool;
+  mutable exec_stop : bool;
+  mutable drain_started : bool;
+  mutable stopped : bool;
+  stop_requested : bool Atomic.t;
+  mutable workers : unit Domain.t array;
+  mutable accept_thread : Thread.t option;
+  (* live connections *)
+  conns_m : Mutex.t;
+  mutable conns : (int * Unix.file_descr) list;  (* keyed by thread id *)
+  mutable conn_threads : (int * Thread.t) list;
+  (* always-on counters (STATS must work with telemetry off) *)
+  c_accepted : int Atomic.t;
+  c_conn_rejected : int Atomic.t;
+  c_queries : int Atomic.t;
+  c_busy : int Atomic.t;
+  c_drain_rej : int Atomic.t;
+  c_degraded : int Atomic.t;
+  c_deadline : int Atomic.t;
+  c_truncated : int Atomic.t;
+  c_errors : int Atomic.t;
+  c_next_id : int Atomic.t;
+}
+
+let port t = t.bound_port
+let draining t = Mutex.protect t.m (fun () -> t.draining)
+
+let sync_gauges t =
+  (* called with [t.m] held *)
+  Pref_obs.Metrics.set g_queue (float_of_int t.queued);
+  Pref_obs.Metrics.set g_inflight (float_of_int (t.queued + t.running))
+
+(* ------------------------------------------------------------------ *)
+(* Executor domains                                                    *)
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.queue && not t.exec_stop do
+      Condition.wait t.nonempty t.m
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.m
+    else begin
+      let job = Queue.pop t.queue in
+      t.queued <- t.queued - 1;
+      t.running <- t.running + 1;
+      sync_gauges t;
+      Mutex.unlock t.m;
+      (try job () with _ -> ());
+      Mutex.lock t.m;
+      t.running <- t.running - 1;
+      sync_gauges t;
+      if t.running = 0 && t.queued = 0 then Condition.broadcast t.idle;
+      Mutex.unlock t.m;
+      loop ()
+    end
+  in
+  loop ()
+
+let submit t job =
+  Mutex.lock t.m;
+  let verdict =
+    if t.draining then Error `Draining
+    else if t.queued + t.running >= t.cfg.max_inflight then Error `Busy
+    else begin
+      Queue.push job t.queue;
+      t.queued <- t.queued + 1;
+      sync_gauges t;
+      Condition.signal t.nonempty;
+      Ok ()
+    end
+  in
+  Mutex.unlock t.m;
+  verdict
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+
+let error_response e =
+  let err ?(retriable = false) kind message =
+    Protocol.Err { kind; retriable; message }
+  in
+  match e with
+  | Parser.Error (msg, pos) ->
+    err "parse" (Printf.sprintf "syntax error at offset %d: %s" pos msg)
+  | Translate.Error msg -> err "translate" msg
+  | Exec.Unknown_table { name; hint } ->
+    err "exec" (Exec.unknown_table_message ~name ~hint)
+  | Exec.Error msg -> err "exec" msg
+  | Exec.Rejected findings ->
+    err "check"
+      (String.concat "\n"
+         ("rejected by static analysis:"
+         :: List.map
+              (fun f ->
+                Printf.sprintf "  %s[%s] %s: %s" f.Exec.check_severity
+                  f.Exec.check_code f.Exec.check_path f.Exec.check_message)
+              findings))
+  | Preferences.Pref.Ill_formed { code; message; _ } ->
+    err "pref" (Printf.sprintf "[%s] %s" code message)
+  | Pref_bmo.Pool.Job_error { exn; _ } ->
+    err "exec" (Printexc.to_string exn)
+  | e -> err "internal" (Printexc.to_string e)
+
+let counters t =
+  Mutex.lock t.m;
+  let queued = t.queued and running = t.running and draining = t.draining in
+  Mutex.unlock t.m;
+  let active = Mutex.protect t.conns_m (fun () -> List.length t.conns) in
+  [
+    ("server.accepted", Atomic.get t.c_accepted);
+    ("server.active_connections", active);
+    ("server.connections_rejected", Atomic.get t.c_conn_rejected);
+    ("server.queries", Atomic.get t.c_queries);
+    ("server.queue_depth", queued);
+    ("server.running", running);
+    ("server.inflight", queued + running);
+    ("server.busy_rejected", Atomic.get t.c_busy);
+    ("server.draining_rejected", Atomic.get t.c_drain_rej);
+    ("server.degraded", Atomic.get t.c_degraded);
+    ("server.deadline_exceeded", Atomic.get t.c_deadline);
+    ("server.truncated", Atomic.get t.c_truncated);
+    ("server.errors", Atomic.get t.c_errors);
+    ("server.draining", if draining then 1 else 0);
+  ]
+
+(* A QUERY job: evaluate *and* encode on the executor domain — encoding
+   large results is part of the serving cost, and connection threads all
+   share one runtime lock, so everything heavy must leave them. *)
+let run_query t session fd sql =
+  let deadline = Pref_bmo.Engine.deadline_of (Pref_engine.Session.config session) in
+  let done_m = Mutex.create () in
+  let done_c = Condition.create () in
+  let finished = ref false in
+  let job () =
+    let payload =
+      match Pref_engine.Session.run_within session ~deadline sql with
+      | result ->
+        Atomic.incr t.c_queries;
+        Pref_obs.Metrics.incr m_queries;
+        let flags = result.Exec.flags in
+        if flags.Pref_bmo.Engine.partial then begin
+          Atomic.incr t.c_degraded;
+          Pref_obs.Metrics.incr m_degraded
+        end;
+        if Pref_bmo.Engine.expired deadline then begin
+          Atomic.incr t.c_deadline;
+          Pref_obs.Metrics.incr m_deadline
+        end;
+        if flags.Pref_bmo.Engine.truncated then begin
+          Atomic.incr t.c_truncated;
+          Pref_obs.Metrics.incr m_truncated
+        end;
+        Protocol.encode_response
+          (Protocol.Rows { relation = result.Exec.relation; flags })
+      | exception e ->
+        Atomic.incr t.c_queries;
+        Atomic.incr t.c_errors;
+        Pref_obs.Metrics.incr m_queries;
+        Pref_obs.Metrics.incr m_errors;
+        Protocol.encode_response (error_response e)
+    in
+    (* the peer may have vanished; the connection thread will see EOF *)
+    (try Protocol.write_frame fd payload with _ -> ());
+    Mutex.lock done_m;
+    finished := true;
+    Condition.signal done_c;
+    Mutex.unlock done_m
+  in
+  match submit t job with
+  | Ok () ->
+    (* requests on one connection are strictly serial: wait for the
+       response to be written before reading the next frame *)
+    Mutex.lock done_m;
+    while not !finished do
+      Condition.wait done_c done_m
+    done;
+    Mutex.unlock done_m
+  | Error `Busy ->
+    Atomic.incr t.c_busy;
+    Pref_obs.Metrics.incr m_busy;
+    Protocol.write_frame fd
+      (Protocol.encode_response
+         (Protocol.Err
+            {
+              kind = "busy";
+              retriable = true;
+              message = "server at max in-flight queries; retry";
+            }))
+  | Error `Draining ->
+    Atomic.incr t.c_drain_rej;
+    Pref_obs.Metrics.incr m_drain_rej;
+    Protocol.write_frame fd
+      (Protocol.encode_response
+         (Protocol.Err
+            {
+              kind = "draining";
+              retriable = true;
+              message = "server is draining; retry elsewhere";
+            }))
+
+exception Drain
+
+let handle_connection t fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.25;
+  let session =
+    Pref_engine.Session.create ~registry:t.registry
+      ~config:t.cfg.session_config ~env:t.env ()
+  in
+  let send resp = Protocol.write_frame fd (Protocol.encode_response resp) in
+  let on_wait () = if draining t then raise Drain in
+  let rec loop () =
+    match Protocol.read_frame ~on_wait fd with
+    | None -> ()
+    | Some payload ->
+      (match Protocol.parse_request payload with
+      | Error msg -> send (Protocol.Err { kind = "proto"; retriable = false; message = msg })
+      | Ok (Protocol.Query sql) -> run_query t session fd sql
+      | Ok (Protocol.Prepare (name, sql)) -> (
+        match Pref_engine.Session.prepare session ~name sql with
+        | () -> send (Protocol.Done ("prepared " ^ name))
+        | exception e -> send (error_response e))
+      | Ok (Protocol.Set (key, value)) -> (
+        match Pref_engine.Session.set session ~key ~value with
+        | Ok line -> send (Protocol.Done line)
+        | Error msg ->
+          send (Protocol.Err { kind = "set"; retriable = false; message = msg }))
+      | Ok Protocol.Stats ->
+        send
+          (Protocol.Stats_resp
+             (List.map (fun (k, v) -> (k, string_of_int v)) (counters t)
+             @ Pref_engine.Session.stats_lines session))
+      | Ok Protocol.Ping -> send Protocol.Pong);
+      loop ()
+  in
+  try loop () with
+  | Drain | Protocol.Framing_error _ | Unix.Unix_error _ | Sys_error _ -> ()
+
+let spawn_connection t fd =
+  (* register the connection before spawning, so the thread's cleanup can
+     never race its own registration *)
+  let id = Atomic.fetch_and_add t.c_next_id 1 in
+  Mutex.protect t.conns_m (fun () ->
+      t.conns <- (id, fd) :: t.conns;
+      Pref_obs.Metrics.set g_conns (float_of_int (List.length t.conns)));
+  let thread =
+    Thread.create
+      (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.protect t.conns_m (fun () ->
+                t.conns <- List.remove_assoc id t.conns;
+                Pref_obs.Metrics.set g_conns
+                  (float_of_int (List.length t.conns)));
+            (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+            try Unix.close fd with _ -> ())
+          (fun () -> handle_connection t fd))
+      ()
+  in
+  Mutex.protect t.conns_m (fun () ->
+      t.conn_threads <- (id, thread) :: t.conn_threads)
+
+let accept_loop t () =
+  Unix.setsockopt_float t.listen_fd Unix.SO_RCVTIMEO 0.25;
+  let rec loop () =
+    if draining t || Atomic.get t.stop_requested then ()
+    else
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        loop ()
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ ->
+        Atomic.incr t.c_accepted;
+        let active = Mutex.protect t.conns_m (fun () -> List.length t.conns) in
+        if active >= t.cfg.max_connections then begin
+          Atomic.incr t.c_conn_rejected;
+          (try
+             Protocol.write_frame fd
+               (Protocol.encode_response
+                  (Protocol.Err
+                     {
+                       kind = "busy";
+                       retriable = true;
+                       message = "server at max connections; retry";
+                     }))
+           with _ -> ());
+          (try Unix.close fd with _ -> ())
+        end
+        else spawn_connection t fd;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let start ?(config = default_config) ?(registry = Translate.default_registry)
+    ~env () =
+  (* a peer vanishing mid-response must surface as EPIPE, not kill the
+     process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let t =
+    {
+      cfg = config;
+      registry;
+      env;
+      listen_fd;
+      bound_port;
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      stopped_c = Condition.create ();
+      queue = Queue.create ();
+      queued = 0;
+      running = 0;
+      draining = false;
+      exec_stop = false;
+      drain_started = false;
+      stopped = false;
+      stop_requested = Atomic.make false;
+      workers = [||];
+      accept_thread = None;
+      conns_m = Mutex.create ();
+      conns = [];
+      conn_threads = [];
+      c_accepted = Atomic.make 0;
+      c_conn_rejected = Atomic.make 0;
+      c_queries = Atomic.make 0;
+      c_busy = Atomic.make 0;
+      c_drain_rej = Atomic.make 0;
+      c_degraded = Atomic.make 0;
+      c_deadline = Atomic.make 0;
+      c_truncated = Atomic.make 0;
+      c_errors = Atomic.make 0;
+      c_next_id = Atomic.make 0;
+    }
+  in
+  t.workers <- Array.init (max 1 config.executors) (fun _ -> Domain.spawn (worker t));
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t
+
+let request_stop t = Atomic.set t.stop_requested true
+
+let stop t =
+  let first =
+    Mutex.protect t.m (fun () ->
+        if t.drain_started then false
+        else begin
+          t.drain_started <- true;
+          t.draining <- true;
+          true
+        end)
+  in
+  if not first then
+    (* someone else is (or finished) draining: wait it out *)
+    Mutex.protect t.m (fun () ->
+        while not t.stopped do
+          Condition.wait t.stopped_c t.m
+        done)
+  else begin
+    (* 1. stop accepting; the accept loop polls [draining] on its timeout *)
+    Option.iter Thread.join t.accept_thread;
+    t.accept_thread <- None;
+    (try Unix.close t.listen_fd with _ -> ());
+    (* 2. let every admitted query finish and flush its response; new
+       queries are already answered with retriable draining errors *)
+    Mutex.lock t.m;
+    while t.queued + t.running > 0 do
+      Condition.wait t.idle t.m
+    done;
+    Mutex.unlock t.m;
+    (* 3. connection threads notice [draining] on their read timeout and
+       exit, closing their own sockets; nudge blocked reads via shutdown *)
+    let conns = Mutex.protect t.conns_m (fun () -> t.conns) in
+    List.iter
+      (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+      conns;
+    let threads = Mutex.protect t.conns_m (fun () -> t.conn_threads) in
+    List.iter (fun (_, th) -> Thread.join th) threads;
+    Mutex.protect t.conns_m (fun () -> t.conn_threads <- []);
+    (* 4. release the executor domains *)
+    Mutex.lock t.m;
+    t.exec_stop <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||];
+    Mutex.protect t.m (fun () ->
+        t.stopped <- true;
+        Condition.broadcast t.stopped_c)
+  end
+
+let wait t =
+  let rec poll () =
+    let stopped = Mutex.protect t.m (fun () -> t.stopped) in
+    if stopped then ()
+    else if Atomic.get t.stop_requested then stop t
+    else begin
+      Thread.delay 0.1;
+      poll ()
+    end
+  in
+  poll ()

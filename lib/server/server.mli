@@ -1,0 +1,81 @@
+(** The concurrent Preference SQL query server.
+
+    Architecture: one accept thread and one lightweight thread per
+    connection handle the wire protocol; query evaluation (parse →
+    translate → BMO → encode) runs on a fixed pool of executor
+    {e domains}, so concurrent clients scale across cores while
+    connection threads only block on I/O. Each connection owns a
+    {!Pref_engine.Session.t}; all sessions share the table environment
+    and the process-wide result cache (a session opts out with
+    [SET cache off]).
+
+    {2 Admission control}
+
+    At most [max_inflight] queries are admitted (queued or running) at
+    any time; a QUERY over that bound is rejected immediately with a
+    retriable [ERR busy] frame instead of queueing unboundedly. At most
+    [max_connections] connections are served; excess accepts get an
+    [ERR busy] and a close.
+
+    {2 Deadlines}
+
+    A session's [deadline] knob starts counting at admission, so queue
+    wait draws down the same budget as evaluation. On expiry the engine
+    degrades — the response is a well-formed [ROWS ... partial] frame
+    with the BMO set of the scanned prefix — and never hangs; the
+    [server.deadline_exceeded] counter records each degradation.
+
+    {2 Graceful drain}
+
+    {!stop} stops accepting, answers new queries with a retriable
+    [ERR draining], lets every in-flight query complete and flush its
+    response, then closes the connections and joins all threads and
+    executor domains. Idempotent and thread-safe (callable from a signal
+    handler's context via {!request_stop}). *)
+
+type config = {
+  host : string;  (** bind address, default 127.0.0.1 *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  max_connections : int;
+  max_inflight : int;  (** admission bound: queued + running queries *)
+  executors : int;  (** executor domains evaluating queries *)
+  session_config : Pref_bmo.Engine.config;
+      (** initial per-session engine config *)
+}
+
+val default_config : config
+(** 127.0.0.1:5877, 64 connections, [2 * executors] in-flight queries,
+    one executor per recommended domain (capped at 16). *)
+
+type t
+
+val start :
+  ?config:config ->
+  ?registry:Pref_sql.Translate.registry ->
+  env:Pref_sql.Exec.env ->
+  unit ->
+  t
+(** Bind, listen, and spawn the accept thread and executor domains.
+    Raises [Unix.Unix_error] when the address cannot be bound. *)
+
+val port : t -> int
+(** The bound port — the actual one when [config.port] was 0. *)
+
+val stop : t -> unit
+(** Graceful drain (see above); returns once everything is joined. *)
+
+val request_stop : t -> unit
+(** Async-signal-safe stop request: flags the server to drain and
+    returns immediately. {!wait} then performs and completes the drain. *)
+
+val wait : t -> unit
+(** Block until the server has fully stopped (via {!stop} or
+    {!request_stop}). *)
+
+val counters : t -> (string * int) list
+(** Server-level counters, as [server.*] key/value pairs: accepted and
+    active connections, queued and in-flight queries, totals for
+    completed queries, busy/draining rejections, degradations
+    ([server.deadline_exceeded]), truncations and errors. Always live,
+    independent of {!Pref_obs.Control} (the same values also feed
+    [server.*] metrics when telemetry is on). *)

@@ -1,0 +1,136 @@
+type report = {
+  clients : int;
+  sent : int;
+  ok : int;
+  degraded : int;
+  errors : int;
+  retried : int;
+  elapsed_s : float;
+  qps : float;
+  first_error : string option;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d client(s): %d sent, %d ok, %d degraded, %d error(s), %d retried in \
+     %.3fs (%.0f qps)%s"
+    r.clients r.sent r.ok r.degraded r.errors r.retried r.elapsed_s r.qps
+    (match r.first_error with
+    | Some e -> "; first error: " ^ e
+    | None -> "")
+
+type tally = {
+  mutable t_sent : int;
+  mutable t_ok : int;
+  mutable t_degraded : int;
+  mutable t_errors : int;
+  mutable t_retried : int;
+  mutable t_first_error : string option;
+  mutable t_fatal : string option;
+}
+
+let client_loop ~host ~port ~queries ~setup ~statements tally =
+  match Client.connect ~host ~port with
+  | exception e -> tally.t_fatal <- Some (Printexc.to_string e)
+  | client ->
+    Fun.protect
+      ~finally:(fun () -> Client.close client)
+      (fun () ->
+        try
+          setup client;
+          let n_stmts = Array.length statements in
+          for i = 0 to queries - 1 do
+            if tally.t_fatal = None then begin
+              let sql = statements.(i mod n_stmts) in
+              (* count a retry by comparing attempts: query_retry hides
+                 them, so probe once unretried first *)
+              match Client.query client sql with
+              | Ok (_, flags) ->
+                tally.t_sent <- tally.t_sent + 1;
+                if flags.Pref_bmo.Engine.partial then
+                  tally.t_degraded <- tally.t_degraded + 1
+                else tally.t_ok <- tally.t_ok + 1
+              | Error msg
+                when String.length msg >= 6
+                     && (String.sub msg 0 6 = "[busy]"
+                        || String.sub msg 0 6 = "[drain") -> (
+                tally.t_retried <- tally.t_retried + 1;
+                (* retriable means "will succeed later": a soak client
+                   persists, so only genuine failures surface as errors *)
+                match Client.query_retry ~attempts:10_000 ~backoff_s:0.001 client sql with
+                | Ok (_, flags) ->
+                  tally.t_sent <- tally.t_sent + 1;
+                  if flags.Pref_bmo.Engine.partial then
+                    tally.t_degraded <- tally.t_degraded + 1
+                  else tally.t_ok <- tally.t_ok + 1
+                | Error msg ->
+                  tally.t_sent <- tally.t_sent + 1;
+                  tally.t_errors <- tally.t_errors + 1;
+                  if tally.t_first_error = None then
+                    tally.t_first_error <- Some msg)
+              | Error msg ->
+                tally.t_sent <- tally.t_sent + 1;
+                tally.t_errors <- tally.t_errors + 1;
+                if tally.t_first_error = None then
+                  tally.t_first_error <- Some msg
+            end
+          done
+        with e -> tally.t_fatal <- Some (Printexc.to_string e))
+
+let run ~host ~port ~clients ~queries_per_client ?(setup = fun _ -> ())
+    ~statements () =
+  if clients < 1 then invalid_arg "Soak.run: clients must be >= 1";
+  if statements = [] then invalid_arg "Soak.run: no statements";
+  let statements = Array.of_list statements in
+  let tallies =
+    Array.init clients (fun _ ->
+        {
+          t_sent = 0;
+          t_ok = 0;
+          t_degraded = 0;
+          t_errors = 0;
+          t_retried = 0;
+          t_first_error = None;
+          t_fatal = None;
+        })
+  in
+  let t0 = Pref_obs.Clock.now_ns () in
+  let threads =
+    Array.map
+      (fun tally ->
+        Thread.create
+          (fun () ->
+            client_loop ~host ~port ~queries:queries_per_client ~setup
+              ~statements tally)
+          ())
+      tallies
+  in
+  Array.iter Thread.join threads;
+  let elapsed_s =
+    Int64.to_float (Int64.sub (Pref_obs.Clock.now_ns ()) t0) /. 1e9
+  in
+  match
+    Array.fold_left
+      (fun acc tally -> match acc with Some _ -> acc | None -> tally.t_fatal)
+      None tallies
+  with
+  | Some fatal -> Error fatal
+  | None ->
+    let sum f = Array.fold_left (fun a tally -> a + f tally) 0 tallies in
+    let sent = sum (fun x -> x.t_sent) in
+    Ok
+      {
+        clients;
+        sent;
+        ok = sum (fun x -> x.t_ok);
+        degraded = sum (fun x -> x.t_degraded);
+        errors = sum (fun x -> x.t_errors);
+        retried = sum (fun x -> x.t_retried);
+        elapsed_s;
+        qps = (if elapsed_s > 0. then float_of_int sent /. elapsed_s else 0.);
+        first_error =
+          Array.fold_left
+            (fun acc tally ->
+              match acc with Some _ -> acc | None -> tally.t_first_error)
+            None tallies;
+      }

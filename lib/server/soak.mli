@@ -1,0 +1,39 @@
+(** Multi-client soak driver: hammer a server with concurrent clients
+    and account for every single response.
+
+    Each client runs on its own thread with its own connection, executes
+    its share of queries round-robin over the statement list, retries
+    retriable admission rejections, and tallies outcomes. The aggregate
+    report makes loss visible: [sent = ok + degraded_included + errors]
+    must hold or the server dropped or duplicated a response — the soak
+    test and the CI smoke job assert exactly that. *)
+
+type report = {
+  clients : int;
+  sent : int;  (** queries that received any response *)
+  ok : int;  (** complete ROWS responses *)
+  degraded : int;  (** ROWS responses flagged [partial] *)
+  errors : int;  (** ERR responses after retries were exhausted *)
+  retried : int;  (** retriable rejections that were retried *)
+  elapsed_s : float;
+  qps : float;  (** sent / elapsed *)
+  first_error : string option;
+      (** the first error message any client saw, for diagnostics *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run :
+  host:string ->
+  port:int ->
+  clients:int ->
+  queries_per_client:int ->
+  ?setup:(Client.t -> unit) ->
+  statements:string list ->
+  unit ->
+  (report, string) result
+(** [Error] when a connection cannot be established or a client hits a
+    protocol-level failure (corrupt frame, unexpected response) — the
+    soak treats those as fatal, unlike query-level [ERR] responses which
+    are counted. [setup] runs once per fresh connection (e.g. [SET]
+    knobs) before its query loop. *)

@@ -1,20 +1,22 @@
 open Pref_relation
 open Preferences
 open Pref_sql
+module Session = Pref_engine.Session
+module Client = Pref_server.Client
 
+(* All engine knobs (algorithm, domains, cache, check, profile, deadline,
+   maxrows) live in the session's [Pref_bmo.Engine.config]; the shell
+   only keeps what is presentation-level: explain mode, the preference
+   repository, and an optional remote connection. *)
 type t = {
-  mutable env : Exec.env;
-  mutable algorithm : Pref_bmo.Query.algorithm;
-  mutable domains : int option;
-      (* degree of parallelism; None = engine default *)
+  session : Session.t;
+  mutable remote : remote option;
   mutable explain : bool;
-  mutable profile : bool;
-  mutable lint : bool;
-      (* run the static analyzer on every query: findings are shown and
-         error-severity findings reject the query before execution *)
   repository : Repository.t;
   registry : Translate.registry;
 }
+
+and remote = { client : Client.t; rhost : string; rport : int }
 
 type response = {
   text : string list;  (** informational lines, in order *)
@@ -28,12 +30,9 @@ let table ?(text = []) rel = { text; table = Some rel; quit = false }
 let create ?(registry = Translate.default_registry) () =
   Pref_analysis.Install.install ();
   {
-    env = [];
-    algorithm = Pref_bmo.Query.Alg_bnl;
-    domains = None;
+    session = Session.create ~registry ();
+    remote = None;
     explain = false;
-    profile = false;
-    lint = false;
     repository =
       Repository.create
         ~registry:
@@ -45,9 +44,9 @@ let create ?(registry = Translate.default_registry) () =
     registry;
   }
 
-let add_table shell name rel =
-  let name = String.lowercase_ascii name in
-  shell.env <- (name, rel) :: List.remove_assoc name shell.env
+let env shell = Session.env shell.session
+let config shell = Session.config shell.session
+let add_table shell name rel = Session.add_table shell.session name rel
 
 let load_table shell name path =
   let rel = Csv.load path in
@@ -100,36 +99,53 @@ let expand_references shell src =
 let check_lines shell src =
   Pref_analysis.Diagnostic.to_lines
     (Pref_analysis.Ast_check.check_source ~registry:shell.registry
-       ~env:shell.env src)
+       ~env:(env shell) src)
+
+let flags_text (flags : Pref_bmo.Engine.flags) =
+  (if flags.Pref_bmo.Engine.partial then
+     [ "-- partial: deadline exceeded; this is the BMO set of the scanned \
+        prefix" ]
+   else [])
+  @
+  if flags.Pref_bmo.Engine.truncated then [ "-- truncated: maxrows cap" ]
+  else []
 
 let run_sql shell src =
   let src = expand_references shell src in
-  let lint_text =
-    (* error-severity findings abort below via [Exec.Rejected]; what gets
-       this far is warnings and hints *)
-    if shell.lint then List.map (fun l -> "-- " ^ l) (check_lines shell src)
-    else []
-  in
-  let result =
-    Exec.run ~registry:shell.registry ~algorithm:shell.algorithm
-      ?domains:shell.domains ~profile:shell.profile ~check:shell.lint
-      shell.env src
-  in
-  let explain_text =
-    if shell.explain then
-      match result.Exec.preference with
-      | Some p -> [ Fmt.str "-- preference: %a" Show.pp p ]
-      | None -> [ "-- preference: (none - exact match query)" ]
-    else []
-  in
-  let profile_text =
-    match result.Exec.profile with
-    | Some prof when shell.profile ->
-      "-- profile:"
-      :: List.map (fun l -> "--   " ^ l) (Pref_obs.Profile.to_lines prof)
-    | Some _ | None -> []
-  in
-  table ~text:(lint_text @ explain_text @ profile_text) result.Exec.relation
+  match shell.remote with
+  | Some r -> (
+    (* prepared-statement references and knobs live server-side *)
+    match Client.query r.client src with
+    | Ok (rel, flags) -> table ~text:(flags_text flags) rel
+    | Error msg -> failwith msg)
+  | None ->
+    let cfg = config shell in
+    let lint_text =
+      (* error-severity findings abort below via [Exec.Rejected]; what gets
+         this far is warnings and hints *)
+      if cfg.Pref_bmo.Engine.check then
+        List.map (fun l -> "-- " ^ l) (check_lines shell src)
+      else []
+    in
+    let result = Session.run shell.session src in
+    let explain_text =
+      if shell.explain then
+        match result.Exec.preference with
+        | Some p -> [ Fmt.str "-- preference: %a" Show.pp p ]
+        | None -> [ "-- preference: (none - exact match query)" ]
+      else []
+    in
+    let profile_text =
+      match result.Exec.profile with
+      | Some prof when cfg.Pref_bmo.Engine.profile ->
+        "-- profile:"
+        :: List.map (fun l -> "--   " ^ l) (Pref_obs.Profile.to_lines prof)
+      | Some _ | None -> []
+    in
+    table
+      ~text:
+        (lint_text @ flags_text result.Exec.flags @ explain_text @ profile_text)
+      result.Exec.relation
 
 let split_words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
 
@@ -245,12 +261,16 @@ let parse_row schema spec =
                   (Value.ty_to_string ty)))
          schema fields)
 
+let no_table shell name =
+  Exec.unknown_table_message ~name
+    ~hint:(Typo.nearest (List.map fst (env shell)) name)
+
 (* Single-tuple DML so cached BMO results can be patched incrementally
    instead of recomputed: the relation is updated in the environment and
    every cache entry for its old version is carried to the new one. *)
 let dml_command shell op name spec =
-  match Exec.find_table shell.env name with
-  | None -> Error (Printf.sprintf "no such table %s" name)
+  match Exec.find_table (env shell) name with
+  | None -> Error (no_table shell name)
   | Some rel -> (
     let schema = Relation.schema rel in
     let row = parse_row schema spec in
@@ -294,12 +314,81 @@ let dml_command shell op name spec =
              ])
       end)
 
+(* One engine knob, routed to wherever the session lives: the local
+   [Session.set] or the server's [SET] verb. This is the single path for
+   .algorithm / .set / .lint / .profile — no per-knob plumbing. *)
+let set_knob shell key value =
+  match shell.remote with
+  | Some r -> (
+    match Client.set r.client ~key ~value with
+    | Ok line -> Ok (plain [ line ])
+    | Error msg -> Error msg)
+  | None -> (
+    match Session.set shell.session ~key ~value with
+    | Ok line -> Ok (plain [ line ])
+    | Error msg -> Error msg)
+
 let set_profile shell on =
-  shell.profile <- on;
   (* [\profile] also flips the engine-wide telemetry switch so spans and
      metrics accumulate while profiling *)
-  Pref_obs.Control.set_enabled on;
-  plain [ (if on then "profile: on" else "profile: off") ]
+  if shell.remote = None then Pref_obs.Control.set_enabled on;
+  set_knob shell "profile" (if on then "on" else "off")
+
+let disconnect shell =
+  match shell.remote with
+  | None -> Error "not connected"
+  | Some r ->
+    Client.close r.client;
+    shell.remote <- None;
+    Ok (plain [ Printf.sprintf "disconnected from %s:%d" r.rhost r.rport ])
+
+let connect shell host port =
+  (match shell.remote with Some _ -> ignore (disconnect shell) | None -> ());
+  let client = Client.connect ~host ~port in
+  if not (Client.ping client) then begin
+    Client.close client;
+    Error (Printf.sprintf "%s:%d did not answer PING" host port)
+  end
+  else begin
+    shell.remote <- Some { client; rhost = host; rport = port };
+    Ok
+      (plain
+         [
+           Printf.sprintf
+             "connected to %s:%d — queries, .set, .prepare and .stats now \
+              run server-side"
+             host port;
+         ])
+  end
+
+let stats_command shell rest =
+  match (shell.remote, rest) with
+  | Some r, [] -> (
+    match Client.stats r.client with
+    | Ok kvs -> Ok (plain (List.map (fun (k, v) -> k ^ "=" ^ v) kvs))
+    | Error msg -> Error msg)
+  | Some _, _ -> Error "remote .stats takes no arguments"
+  | None, [] -> (
+    match Pref_obs.Metrics.dump () with
+    | [] -> Ok (plain [ "(no metrics registered)" ])
+    | lines -> Ok (plain lines))
+  | None, [ "reset" ] ->
+    Pref_obs.Metrics.reset ();
+    Ok (plain [ "metrics reset" ])
+  | None, [ "json" ] ->
+    Ok (plain [ Pref_obs.Json.to_string (Pref_obs.Metrics.to_json ()) ])
+  | None, _ -> Error "usage: \\stats [reset|json]"
+
+let prepare_command shell name rest =
+  let src = expand_references shell (String.concat " " rest) in
+  match shell.remote with
+  | Some r -> (
+    match Client.prepare r.client ~name src with
+    | Ok line -> Ok (plain [ line ])
+    | Error msg -> Error msg)
+  | None ->
+    Session.prepare shell.session ~name src;
+    Ok (plain [ "prepared " ^ name ])
 
 let execute shell line =
   let line = String.trim line in
@@ -317,60 +406,63 @@ let execute shell line =
       | [ ".tables" ] ->
         Ok
           (plain
-             (List.map (fun (n, r) -> Fmt.str "  %s: %a" n Relation.pp r) shell.env))
+             (List.map
+                (fun (n, r) -> Fmt.str "  %s: %a" n Relation.pp r)
+                (env shell)))
       | [ ".schema"; t ] -> (
-        match Exec.find_table shell.env t with
+        match Exec.find_table (env shell) t with
         | Some r -> Ok (plain [ Fmt.str "%a" Schema.pp (Relation.schema r) ])
-        | None -> Error (Printf.sprintf "no such table %s" t))
+        | None -> Error (no_table shell t))
       | [ ".load"; name; path ] -> Ok (plain [ load_table shell name path ])
-      | [ ".algorithm"; a ] -> (
-        match Pref_bmo.Query.algorithm_of_string a with
-        | Some alg ->
-          shell.algorithm <- alg;
-          Ok (plain [ "algorithm: " ^ a ])
-        | None ->
-          Error
-            (Printf.sprintf
-               "unknown algorithm %s (naive | bnl | decompose | parallel | auto)"
-               a))
-      | [ ".set"; "domains" ] ->
+      | [ ".connect"; host; port ] -> (
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 -> connect shell host p
+        | Some _ | None -> Error (Printf.sprintf "bad port %s" port))
+      | [ ".disconnect" ] -> disconnect shell
+      | [ ".algorithm"; a ] -> set_knob shell "algorithm" a
+      | [ ".set" ] ->
+        if shell.remote <> None then
+          Error "usage when connected: .set <key> <value>"
+        else
+          Ok
+            (plain
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "  %-10s %s" k v)
+                  (Session.describe shell.session)))
+      | [ ".set"; "domains" ] when shell.remote = None ->
         Ok
           (plain
              [
-               (match shell.domains with
+               (match (config shell).Pref_bmo.Engine.domains with
                | Some d -> Printf.sprintf "domains: %d" d
                | None ->
                  Printf.sprintf "domains: %d (engine default)"
                    (Pref_bmo.Parallel.default_domains ()));
              ])
-      | [ ".set"; "domains"; n ] -> (
-        match int_of_string_opt n with
-        | Some d when d >= 1 ->
-          shell.domains <- Some d;
+      | [ ".set"; "domains"; n ] when shell.remote = None -> (
+        match set_knob shell "domains" n with
+        | Ok _ as ok ->
           (* also raise the engine default so Alg_auto planning inside
              nested calls sees the same degree *)
-          Pref_bmo.Parallel.set_default_domains d;
-          Ok (plain [ Printf.sprintf "domains: %d" d ])
-        | Some _ | None ->
-          Error (Printf.sprintf "domains must be a positive integer, got %s" n))
+          (match int_of_string_opt n with
+          | Some d -> Pref_bmo.Parallel.set_default_domains d
+          | None -> ());
+          ok
+        | Error _ as e -> e)
+      | [ ".set"; key; value ] -> set_knob shell key value
       | [ ".explain"; "on" ] ->
         shell.explain <- true;
         Ok (plain [ "explain: on" ])
       | [ ".explain"; "off" ] ->
         shell.explain <- false;
         Ok (plain [ "explain: off" ])
-      | [ ".profile" ] -> Ok (set_profile shell (not shell.profile))
-      | [ ".profile"; "on" ] -> Ok (set_profile shell true)
-      | [ ".profile"; "off" ] -> Ok (set_profile shell false)
-      | [ ".stats" ] -> (
-        match Pref_obs.Metrics.dump () with
-        | [] -> Ok (plain [ "(no metrics registered)" ])
-        | lines -> Ok (plain lines))
-      | [ ".stats"; "reset" ] ->
-        Pref_obs.Metrics.reset ();
-        Ok (plain [ "metrics reset" ])
-      | [ ".stats"; "json" ] ->
-        Ok (plain [ Pref_obs.Json.to_string (Pref_obs.Metrics.to_json ()) ])
+      | [ ".profile" ] ->
+        if shell.remote <> None then
+          Error "usage when connected: .profile on|off"
+        else set_profile shell (not (config shell).Pref_bmo.Engine.profile)
+      | [ ".profile"; "on" ] -> set_profile shell true
+      | [ ".profile"; "off" ] -> set_profile shell false
+      | ".stats" :: rest -> stats_command shell rest
       | [ ".trace" ] -> (
         match Pref_obs.Span.roots () with
         | [] ->
@@ -384,6 +476,8 @@ let execute shell line =
         dml_command shell `Insert t (String.concat " " rest)
       | ".delete" :: t :: rest when rest <> [] ->
         dml_command shell `Delete t (String.concat " " rest)
+      | ".prepare" :: name :: rest when rest <> [] ->
+        prepare_command shell name rest
       | ".check" :: rest when rest <> [] ->
         let src = expand_references shell (String.concat " " rest) in
         Ok
@@ -392,13 +486,13 @@ let execute shell line =
              | [] -> [ "no findings" ]
              | lines -> lines))
       | [ ".lint" ] ->
-        Ok (plain [ (if shell.lint then "lint: on" else "lint: off") ])
-      | [ ".lint"; "on" ] ->
-        shell.lint <- true;
-        Ok (plain [ "lint: on" ])
-      | [ ".lint"; "off" ] ->
-        shell.lint <- false;
-        Ok (plain [ "lint: off" ])
+        Ok
+          (plain
+             [
+               (if (config shell).Pref_bmo.Engine.check then "lint: on"
+                else "lint: off");
+             ])
+      | [ ".lint"; ("on" | "off") as v ] -> set_knob shell "check" v
       | ".pref" :: rest -> Ok (pref_command shell rest)
       | ".sql92" :: rest when rest <> [] -> (
         let src = expand_references shell (String.concat " " (List.tl (split_words line))) in
@@ -415,8 +509,13 @@ let execute shell line =
           (plain
              [
                "commands: .tables | .schema <t> | .load <name> <file.csv>";
+               "          .set               show engine knobs";
+               "          .set <key> <val>   algorithm | domains | cache | check";
+               "                             | profile | deadline (ms) | maxrows";
                "          .algorithm naive|bnl|decompose|parallel|auto | .explain on|off";
-               "          \\set domains [N]  degree of parallelism for parallel/auto";
+               "          .prepare <name> <query>; run it later as @name";
+               "          \\connect <host> <port>  talk to a prefserve server";
+               "          \\disconnect             back to the in-process engine";
                "          .pref add|list|del|save|load | .mine <log-file>";
                "          .sql92 <query>  (rewrite to plain SQL92, [KiK01])";
                "          \\profile [on|off]  per-query profiles (phase timings,";
@@ -436,6 +535,8 @@ let execute shell line =
   with
   | Parser.Error (msg, p) -> Error (Printf.sprintf "syntax error at offset %d: %s" p msg)
   | Translate.Error msg -> Error ("translation error: " ^ msg)
+  | Exec.Unknown_table { name; hint } ->
+    Error (Exec.unknown_table_message ~name ~hint)
   | Exec.Error msg -> Error msg
   | Exec.Rejected findings ->
     Error
@@ -451,6 +552,17 @@ let execute shell line =
     Error (Printf.sprintf "[%s] %s" code message)
   | Repository.Error msg -> Error msg
   | Serialize.Error (msg, _) -> Error msg
+  | Client.Closed ->
+    shell.remote <- None;
+    Error "server closed the connection; back to the in-process engine"
+  | Pref_server.Protocol.Framing_error msg ->
+    (match shell.remote with
+    | Some r ->
+      Client.close r.client;
+      shell.remote <- None
+    | None -> ());
+    Error ("protocol error: " ^ msg ^ "; disconnected")
+  | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
   | Failure msg -> Error msg
   | Invalid_argument msg -> Error msg
   | Sys_error msg -> Error msg

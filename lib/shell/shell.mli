@@ -45,4 +45,16 @@ val execute : t -> string -> (response, string) result
     the query against the loaded tables and prints the findings without
     executing; [\lint on] does the same for every subsequent query
     (findings appear as [--] comment lines) and rejects queries with
-    error-severity findings before execution. *)
+    error-severity findings before execution.
+
+    Engine knobs: the shell owns a {!Pref_engine.Session}, so every knob
+    is a [\set key value] over {!Pref_bmo.Engine.set} — [\set] alone
+    lists them, [\set deadline 250] bounds each query (expired queries
+    return a [-- partial] prefix BMO set), [\set maxrows N] caps results
+    ([-- truncated]), [\algorithm a] ≡ [\set algorithm a].
+    [\prepare name <sql>] stores a statement the session runs as [@name].
+
+    Client mode: [\connect host port] attaches the shell to a running
+    [prefserve]; statements, [\set], [\prepare]/[@name] and [\stats] are
+    then served over the wire by a per-connection remote session with the
+    same rendering, and [\disconnect] returns to the local engine. *)

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Server smoke gate: boot prefserve on an ephemeral port, soak it with
+# concurrent clients, assert that no response was dropped or duplicated
+# (prefsoak --strict enforces sent = ok + degraded + errors and zero
+# error responses), that no query unexpectedly hit a deadline, and that
+# SIGTERM drains cleanly. Run from the repo root; used by `make
+# server-smoke` and the CI server-smoke job.
+set -eu
+
+CLIENTS=${CLIENTS:-4}
+QUERIES=${QUERIES:-25}
+
+workdir=$(mktemp -d)
+server_pid=
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+dune build bin/gendata.exe bin/prefserve.exe bin/prefsoak.exe bin/prefsql.exe
+
+echo "== generate workload =="
+dune exec -- prefgendata cars -n 400 -o "$workdir/cars.csv"
+
+echo "== start prefserve (ephemeral port) =="
+dune exec -- prefserve --table cars="$workdir/cars.csv" --port 0 \
+  >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+port=
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+    "$workdir/server.log" | head -n1)
+  [ -n "$port" ] && break
+  kill -0 "$server_pid" 2>/dev/null || {
+    echo "server died during startup:"; cat "$workdir/server.log"; exit 1
+  }
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "no listening banner:"; cat "$workdir/server.log"; exit 1; }
+echo "prefserve pid $server_pid on port $port"
+
+echo "== soak: $CLIENTS clients x $QUERIES queries =="
+dune exec -- prefsoak --port "$port" -c "$CLIENTS" -n "$QUERIES" --strict \
+  -s "SELECT * FROM cars PREFERRING LOWEST(price) AND LOWEST(mileage)" \
+  -s "SELECT make, price FROM cars PREFERRING HIGHEST(horsepower) PRIOR TO LOWEST(price)" \
+  -s "SELECT * FROM cars PREFERRING LOWEST(mileage) TOP 5"
+
+echo "== server counters =="
+printf '\\connect 127.0.0.1 %s\n\\stats\n.quit\n' "$port" \
+  | dune exec -- prefsql | tee "$workdir/stats.txt"
+
+# no deadline was configured, so any expiry means a query degraded when
+# it had no budget to exceed
+expired=$(grep -o 'server\.deadline_exceeded=[0-9]*' "$workdir/stats.txt" \
+  | head -n1 | cut -d= -f2)
+expired=${expired:-0}
+if [ "$expired" -ne 0 ]; then
+  echo "FAIL: server.deadline_exceeded = $expired (expected 0)"
+  exit 1
+fi
+
+echo "== graceful drain =="
+kill -TERM "$server_pid"
+drained=1
+for _ in $(seq 1 100); do
+  kill -0 "$server_pid" 2>/dev/null || { drained=0; break; }
+  sleep 0.1
+done
+server_pid=
+if [ "$drained" -ne 0 ]; then
+  echo "FAIL: server still running 10s after SIGTERM"
+  exit 1
+fi
+grep -q "drained" "$workdir/server.log" || {
+  echo "FAIL: no drain banner in server log:"; cat "$workdir/server.log"; exit 1
+}
+tail -n1 "$workdir/server.log"
+echo "server-smoke: OK"

@@ -26,7 +26,9 @@ let test_pool () =
           (fun i -> if i = 5 then failwith "boom" else i)
           (Array.init 10 Fun.id));
      Alcotest.fail "expected the job exception to propagate"
-   with Failure m -> Alcotest.(check string) "exception message" "boom" m);
+   with Pool.Job_error { index; exn = Failure m; _ } ->
+     Alcotest.(check int) "failing item index" 5 index;
+     Alcotest.(check string) "exception message" "boom" m);
   (* the pool survives a failed batch *)
   Alcotest.(check int) "reusable after exception" 8
     (Array.length (Pool.map pool string_of_int (Array.init 8 Fun.id)));

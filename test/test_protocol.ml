@@ -1,0 +1,224 @@
+(* Wire protocol: frame round-trips over a real socketpair, payload
+   encode/parse inverses (including awkward values), and fuzzed garbage
+   frames that must fail loudly rather than desynchronise. *)
+
+open Pref_relation
+open Pref_server
+
+let check = Alcotest.(check bool)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () -> f a b)
+
+(* ------------------------------------------------------------------ *)
+
+let test_frames () =
+  with_socketpair (fun a b ->
+      let payloads =
+        [ ""; "x"; "PING"; String.make 70_000 'q'; "line\nwith\nnewlines\n" ]
+      in
+      List.iter (fun p -> Protocol.write_frame a p) payloads;
+      List.iter
+        (fun expected ->
+          match Protocol.read_frame b with
+          | Some got -> check "frame round-trips" true (got = expected)
+          | None -> Alcotest.fail "unexpected EOF")
+        payloads;
+      (* clean EOF at a frame boundary is None, not an error *)
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      check "clean eof" true (Protocol.read_frame b = None))
+
+let expect_framing_error write =
+  with_socketpair (fun a b ->
+      write a;
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      match Protocol.read_frame b with
+      | exception Protocol.Framing_error _ -> ()
+      | Some p -> Alcotest.failf "accepted corrupt frame %S" p
+      | None -> Alcotest.fail "corrupt frame read as clean EOF")
+
+let write_all fd s =
+  ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s))
+
+let test_fuzz_frames () =
+  (* non-digit header *)
+  expect_framing_error (fun fd -> write_all fd "QUERY\nSELECT");
+  (* negative / junk length *)
+  expect_framing_error (fun fd -> write_all fd "-4\nxxxx");
+  (* oversized length *)
+  expect_framing_error (fun fd -> write_all fd "99999999999\n");
+  expect_framing_error (fun fd ->
+      write_all fd (string_of_int (Protocol.max_frame + 1) ^ "\n"));
+  (* truncated payload: header promises more bytes than arrive *)
+  expect_framing_error (fun fd -> write_all fd "10\nabc");
+  (* EOF inside the header *)
+  expect_framing_error (fun fd -> write_all fd "12");
+  (* empty header line *)
+  expect_framing_error (fun fd -> write_all fd "\n");
+  (* writer side refuses oversized payloads outright *)
+  with_socketpair (fun a _ ->
+      check "oversized write rejected" true
+        (try
+           Protocol.write_frame a (String.make (Protocol.max_frame + 1) 'x');
+           false
+         with Invalid_argument _ -> true))
+
+let test_request_roundtrip () =
+  let cases =
+    [
+      Protocol.Query "SELECT * FROM car PREFERRING LOWEST price";
+      Protocol.Query "@best";
+      Protocol.Prepare ("best", "SELECT * FROM car\nPREFERRING LOWEST price");
+      Protocol.Set ("deadline", "12.5");
+      Protocol.Set ("algorithm", "bnl");
+      Protocol.Stats;
+      Protocol.Ping;
+    ]
+  in
+  List.iter
+    (fun req ->
+      match Protocol.parse_request (Protocol.encode_request req) with
+      | Ok got -> check "request round-trips" true (got = req)
+      | Error e -> Alcotest.fail e)
+    cases;
+  List.iter
+    (fun payload ->
+      check
+        (Printf.sprintf "rejects %S" payload)
+        true
+        (Result.is_error (Protocol.parse_request payload)))
+    [ ""; "FROBNICATE"; "QUERY\n"; "QUERY\n   "; "PREPARE x\n"; "SET key" ]
+
+let awkward_relation =
+  let schema =
+    [
+      ("flag", Value.TBool);
+      ("n", Value.TInt);
+      ("x", Value.TFloat);
+      ("s", Value.TStr);
+      ("d", Value.TDate);
+    ]
+  in
+  let date = Value.date ~year:2002 ~month:8 ~day:20 in
+  Relation.make schema
+    [
+      Tuple.make
+        [
+          Value.Bool true;
+          Value.Int (-42);
+          Value.Float 0.1;
+          Value.Str "plain";
+          date;
+        ];
+      Tuple.make
+        [
+          Value.Bool false;
+          Value.Int 0;
+          Value.Float 1e-17;
+          Value.Str "comma, \"quote\"\nnewline";
+          Value.Null;
+        ];
+      Tuple.make
+        [ Value.Null; Value.Null; Value.Float 3.0; Value.Str "z"; date ];
+      Tuple.make
+        [
+          Value.Bool true;
+          Value.Int max_int;
+          Value.Float Float.pi;
+          Value.Str "NULL-ish but quoted? no: plain text";
+          date;
+        ];
+    ]
+
+let test_response_roundtrip () =
+  let rows flags =
+    Protocol.Rows { relation = awkward_relation; flags }
+  in
+  let cases =
+    [
+      rows Pref_bmo.Engine.complete;
+      rows { Pref_bmo.Engine.partial = true; truncated = false };
+      rows { Pref_bmo.Engine.partial = true; truncated = true };
+      Protocol.Rows
+        {
+          relation = Relation.make [ ("a", Value.TInt) ] [];
+          flags = Pref_bmo.Engine.complete;
+        };
+      Protocol.Done "";
+      Protocol.Done "cache: off";
+      Protocol.Pong;
+      Protocol.Stats_resp
+        [ ("server.queries", "12"); ("session.errors", "0") ];
+      Protocol.Err { kind = "busy"; retriable = true; message = "try later" };
+      Protocol.Err
+        { kind = "parse"; retriable = false; message = "line 1:\n  boom" };
+    ]
+  in
+  List.iter
+    (fun resp ->
+      match Protocol.parse_response (Protocol.encode_response resp) with
+      | Error e -> Alcotest.fail e
+      | Ok got -> (
+        match (resp, got) with
+        | ( Protocol.Rows { relation = r1; flags = f1 },
+            Protocol.Rows { relation = r2; flags = f2 } ) ->
+          check "schema survives" true
+            (Relation.schema r1 = Relation.schema r2);
+          check "rows survive exactly" true
+            (Relation.rows r1 = Relation.rows r2);
+          check "flags survive" true (f1 = f2)
+        | _ -> check "response round-trips" true (got = resp)))
+    cases;
+  List.iter
+    (fun payload ->
+      check
+        (Printf.sprintf "rejects %S" payload)
+        true
+        (Result.is_error (Protocol.parse_response payload)))
+    [
+      "";
+      "WAT";
+      "ROWS";
+      "ROWS x\na:int";
+      "ROWS 1\na:int";
+      (* count mismatch *)
+      "ROWS 1\na:int\n1,2";
+      (* arity mismatch *)
+      "ROWS 1\na:frob\n1";
+      (* unknown type *)
+      "ROWS 1\na\n1";
+      (* schema field without a type *)
+    ]
+
+let test_wire_values () =
+  (* the engine's display rendering is lossy for floats; the wire must
+     not be *)
+  List.iter
+    (fun f ->
+      let s = Protocol.float_wire f in
+      check
+        (Printf.sprintf "float %h survives as %s" f s)
+        true
+        (float_of_string s = f))
+    [ 0.1; 1. /. 3.; Float.pi; 1e-300; 6.02214076e23; -0.0; 4.9e-324 ];
+  check "null wire" true (Protocol.value_wire Value.Null = "NULL");
+  check "null decodes" true
+    (Protocol.value_of_wire Value.TStr "NULL" = Some Value.Null);
+  check "empty decodes as null" true
+    (Protocol.value_of_wire Value.TInt "" = Some Value.Null);
+  check "garbage int is refused" true
+    (Protocol.value_of_wire Value.TInt "abc" = None)
+
+let suite =
+  [
+    Alcotest.test_case "protocol: frame round-trips" `Quick test_frames;
+    Alcotest.test_case "protocol: corrupt frames" `Quick test_fuzz_frames;
+    Alcotest.test_case "protocol: requests" `Quick test_request_roundtrip;
+    Alcotest.test_case "protocol: responses" `Quick test_response_roundtrip;
+    Alcotest.test_case "protocol: value rendering" `Quick test_wire_values;
+  ]

@@ -303,7 +303,12 @@ let test_exec_errors () =
     (try
        ignore (Exec.run env "SELECT * FROM nope");
        false
-     with Exec.Error _ -> true);
+     with Exec.Unknown_table { name = "nope"; hint = None } -> true);
+  check "unknown table suggests a near miss" true
+    (try
+       ignore (Exec.run env "SELECT * FROM cars");
+       false
+     with Exec.Unknown_table { name = "cars"; hint = Some "car" } -> true);
   check "unknown column in where" true
     (try
        ignore (Exec.run env "SELECT * FROM car WHERE nope = 1");
