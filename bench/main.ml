@@ -942,6 +942,7 @@ let b9 () =
 (* B10 — the preference-aware result cache                              *)
 
 let b10_results : (string * float * float * float) list ref = ref []
+let b10_probes : (string * Cache.tier_probe) list ref = ref []
 
 let b10 () =
   section "B10 Result cache: exact hits, semantic reuse, incremental patching";
@@ -964,6 +965,19 @@ let b10 () =
       speedup;
     speedup
   in
+  (* non-destructive per-tier probe timings (the rows of EXPLAIN's
+     cache-probe table), taken at the points where each tier is the one
+     that answers; they land in BENCH_JSON under b10_probe_ms *)
+  let record_probes label p r =
+    let _, probes = Cache.probe_traced Cache.global schema p r in
+    List.iter
+      (fun pr ->
+        b10_probes := (label, pr) :: !b10_probes;
+        Fmt.pr "  probe %-16s %-16s %s %8.3f ms@." label pr.Cache.tier
+          (if pr.Cache.hit then "hit " else "miss")
+          pr.Cache.ms)
+      probes
+  in
   Fun.protect
     ~finally:(fun () ->
       Cache.set_enabled false;
@@ -971,6 +985,7 @@ let b10 () =
   @@ fun () ->
   (* exact tier: same term, same relation version *)
   let r_cold, t_cold = wall (fun () -> Query.sigma schema q rel) in
+  record_probes "exact" q rel;
   let r_hit, t_hit = wall (fun () -> Query.sigma schema q rel) in
   let exact_speedup = row "exact" t_cold t_hit in
   check "exact hit returns the stored BMO set"
@@ -985,6 +1000,7 @@ let b10 () =
   let r_ref_cold, t_ref_cold =
     wall (fun () -> fst (Query.sigma_cfg nocache schema refined rel))
   in
+  record_probes "semantic_prior" refined rel;
   let r_ref, t_ref = wall (fun () -> Query.sigma schema refined rel) in
   let sem_speedup = row "semantic_prior" t_ref_cold t_ref in
   check "semantic prior reuse equals direct evaluation"
@@ -1000,6 +1016,7 @@ let b10 () =
   let r_comp_cold, t_comp_cold =
     wall (fun () -> fst (Query.sigma_cfg nocache schema comp rel))
   in
+  record_probes "pareto_compose" comp rel;
   let r_comp, t_comp = wall (fun () -> Query.sigma schema comp rel) in
   ignore (row "pareto_compose" t_comp_cold t_comp);
   check "semantic pareto reuse equals direct evaluation"
@@ -1165,11 +1182,16 @@ let () =
      successive bench runs form a trajectory *)
   let sections : (string * float) list ref = ref [] in
   (* --smoke keeps a fast representative subset: one worked example, the
-     algebraic laws, one algorithmic comparison, the parallel section and
-     the result-cache gates (B10 runs at full n = 200k even here, so the
-     subset is about a minute end to end, dominated by B10's cold runs) *)
+     algebraic laws, one algorithmic comparison, the telemetry-off
+     overhead gate (B8 — guards the export/slowlog hooks on the hot
+     path), the parallel section and the result-cache gates (B10 runs at
+     full n = 200k even here, so the subset is about a minute end to
+     end, dominated by B10's cold runs) *)
   let smoke_sections =
-    [ "e1"; "p_laws"; "b4_decompose"; "b9_parallel"; "b10_cache"; "b11_server" ]
+    [
+      "e1"; "p_laws"; "b4_decompose"; "b8_obs"; "b9_parallel"; "b10_cache";
+      "b11_server";
+    ]
   in
   let run name f =
     if (not smoke) || List.mem name smoke_sections then begin
@@ -1204,9 +1226,41 @@ let () =
   Fmt.pr "@.=== summary ===@.";
   Fmt.pr "%d checks, %d failures, %d skipped@." !checks !failures !skips;
   let open Pref_obs in
+  (* run metadata: enough to tell two BENCH_JSON lines apart when they
+     land in the same trajectory file — which commit, toolchain, and
+     machine shape produced each *)
+  let read_first_line path =
+    try
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> In_channel.input_line ic)
+    with Sys_error _ -> None
+  in
+  let git_commit =
+    (* resolve HEAD by hand: no git subprocess, works in any checkout *)
+    match read_first_line ".git/HEAD" with
+    | Some line when String.length line > 5 && String.sub line 0 5 = "ref: " ->
+      let r = String.trim (String.sub line 5 (String.length line - 5)) in
+      Option.map String.trim (read_first_line (Filename.concat ".git" r))
+    | Some hash -> Some (String.trim hash)
+    | None -> None
+  in
+  let hostname = try Unix.gethostname () with _ -> "unknown" in
+  let meta =
+    Json.Obj
+      [
+        ( "git_commit",
+          match git_commit with Some h -> Json.Str h | None -> Json.Null );
+        ("ocaml_version", Json.Str Sys.ocaml_version);
+        ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
+        ("hostname", Json.Str hostname);
+      ]
+  in
   let json =
     Json.Obj
       [
+        ("meta", meta);
         ("quick", Json.Bool quick);
         ("smoke", Json.Bool smoke);
         ("checks", Json.Int !checks);
@@ -1241,6 +1295,18 @@ let () =
                        ("speedup", Json.Float speedup);
                      ] ))
                !b10_results) );
+        ( "b10_probe_ms",
+          Json.List
+            (List.rev_map
+               (fun (label, pr) ->
+                 Json.Obj
+                   [
+                     ("query", Json.Str label);
+                     ("tier", Json.Str pr.Cache.tier);
+                     ("hit", Json.Bool pr.Cache.hit);
+                     ("ms", Json.Float pr.Cache.ms);
+                   ])
+               !b10_probes) );
         ( "b11_server",
           Json.Obj
             (List.rev_map

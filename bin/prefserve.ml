@@ -4,10 +4,16 @@
      prefserve --table cars=cars.csv --port 5877
 
    Serves the wire protocol in Pref_server.Protocol: QUERY / PREPARE /
-   SET / STATS / PING over length-prefixed frames. Clients include the
-   prefsql shell (\connect host port) and prefsoak. SIGTERM/SIGINT
-   drain gracefully: in-flight queries complete and flush, new ones get
-   retriable errors, then the process exits. *)
+   EXPLAIN / SET / STATS / METRICS / PING over length-prefixed frames.
+   Clients include the prefsql shell (\connect host port) and prefsoak.
+   SIGTERM/SIGINT drain gracefully: in-flight queries complete and
+   flush, new ones get retriable errors, then the process exits.
+
+   Observability: --metrics-port starts an HTTP listener answering GET
+   /metrics in Prometheus text exposition format (and /metrics.json);
+   --slowlog MS logs statements at or above MS milliseconds to an
+   in-memory ring readable via STATS, and --slowlog-file also appends
+   them as JSON lines. Either flag switches engine telemetry on. *)
 
 let parse_table_spec spec =
   match String.index_opt spec '=' with
@@ -18,7 +24,7 @@ let parse_table_spec spec =
   | None -> (Filename.remove_extension (Filename.basename spec), spec)
 
 let main tables host port executors max_inflight max_connections deadline_ms
-    no_cache no_check =
+    no_cache no_check metrics_port slowlog_ms slowlog_file =
   (* queries are checked at the wire (config.check); give the checker its
      analyzer *)
   Pref_analysis.Install.install ();
@@ -29,12 +35,18 @@ let main tables host port executors max_inflight max_connections deadline_ms
         (String.lowercase_ascii name, Pref_relation.Csv.load path))
       tables
   in
+  (* metrics export and span-carrying slowlog entries both need the
+     engine-wide telemetry switch on *)
+  if metrics_port <> None || slowlog_ms <> None then
+    Pref_obs.Control.set_enabled true;
+  Option.iter (fun path -> Pref_engine.Slowlog.set_file (Some path)) slowlog_file;
   let session_config =
     {
       Pref_bmo.Engine.default with
       cache = not no_cache;
       check = not no_check;
       deadline_ms;
+      slowlog_ms;
     }
   in
   let executors =
@@ -54,6 +66,11 @@ let main tables host port executors max_inflight max_connections deadline_ms
     }
   in
   let server = Pref_server.Server.start ~config ~env () in
+  let metrics =
+    Option.map
+      (fun p -> Pref_server.Metrics_http.start ~host ~port:p ())
+      metrics_port
+  in
   let stop_signal _ = Pref_server.Server.request_stop server in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
@@ -63,11 +80,26 @@ let main tables host port executors max_inflight max_connections deadline_ms
     (Pref_server.Server.port server)
     config.Pref_server.Server.executors
     config.Pref_server.Server.max_inflight max_connections;
+  Option.iter
+    (fun m ->
+      Fmt.pr "  metrics on http://%s:%d/metrics@." host
+        (Pref_server.Metrics_http.port m))
+    metrics;
+  (match slowlog_ms with
+  | Some ms ->
+    Fmt.pr "  slow-query log at >= %g ms%a@." ms
+      (fun ppf -> function
+        | Some path -> Fmt.pf ppf " -> %s" path
+        | None -> ())
+      slowlog_file
+  | None -> ());
   List.iter
     (fun (name, rel) ->
       Fmt.pr "  table %s: %a@." name Pref_relation.Relation.pp rel)
     env;
   Pref_server.Server.wait server;
+  Option.iter Pref_server.Metrics_http.stop metrics;
+  Pref_engine.Slowlog.set_file None;
   Fmt.pr "prefserve: drained, %d queries served@."
     (match
        List.assoc_opt "server.queries" (Pref_server.Server.counters server)
@@ -141,6 +173,36 @@ let no_check_arg =
           "Skip static analysis at the wire (by default error-severity \
            queries are rejected).")
 
+let metrics_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve the metrics registry over HTTP on this port: GET /metrics \
+           answers Prometheus text exposition format, /metrics.json a JSON \
+           snapshot. 0 picks an ephemeral port (printed on startup). Also \
+           switches engine telemetry on.")
+
+let slowlog_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slowlog" ] ~docv:"MS"
+        ~doc:
+          "Record statements taking at least $(docv) milliseconds in the \
+           slow-query log (query text, session id, plan summary, sampled \
+           span tree). Also switches engine telemetry on.")
+
+let slowlog_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slowlog-file" ] ~docv:"PATH"
+        ~doc:
+          "Append slow-query log entries to $(docv) as JSON lines (one \
+           object per slow statement); only meaningful with $(b,--slowlog).")
+
 let cmd =
   let doc = "Concurrent Preference SQL query server" in
   Cmd.v
@@ -148,6 +210,6 @@ let cmd =
     Term.(
       const main $ tables_arg $ host_arg $ port_arg $ executors_arg
       $ inflight_arg $ connections_arg $ deadline_arg $ no_cache_arg
-      $ no_check_arg)
+      $ no_check_arg $ metrics_port_arg $ slowlog_arg $ slowlog_file_arg)
 
 let () = exit (Cmd.eval cmd)

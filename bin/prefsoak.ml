@@ -38,6 +38,26 @@ let main host port clients queries statements set_knobs strict =
     exit 1
   | Ok report ->
     Fmt.pr "%a@." Pref_server.Soak.pp_report report;
+    (* surface the server's histogram summaries (STATS hist.* lines) so a
+       soak run doubles as a latency-distribution report *)
+    (match Pref_server.Client.connect ~host ~port with
+    | exception _ -> ()
+    | client ->
+      Fun.protect
+        ~finally:(fun () -> Pref_server.Client.close client)
+        (fun () ->
+          match Pref_server.Client.stats client with
+          | Ok kvs ->
+            let hist =
+              List.filter
+                (fun (k, _) -> String.length k > 5 && String.sub k 0 5 = "hist.")
+                kvs
+            in
+            if hist <> [] then begin
+              Fmt.pr "histograms:@.";
+              List.iter (fun (k, v) -> Fmt.pr "  %s=%s@." k v) hist
+            end
+          | Error _ -> ()));
     let accounted =
       report.Pref_server.Soak.sent
       = report.Pref_server.Soak.ok + report.Pref_server.Soak.degraded
@@ -51,6 +71,21 @@ let main host port clients queries statements set_knobs strict =
     end;
     if strict && report.Pref_server.Soak.errors > 0 then begin
       Fmt.epr "prefsoak: %d error response(s)@." report.Pref_server.Soak.errors;
+      exit 1
+    end;
+    (* every first-attempt success carried a trace; a trace-aware server
+       echoes each one back. With zero errors the first-attempt successes
+       are exactly sent - retried. *)
+    if
+      strict
+      && report.Pref_server.Soak.traced
+         <> report.Pref_server.Soak.sent - report.Pref_server.Soak.retried
+    then begin
+      Fmt.epr
+        "prefsoak: trace accounting failed — %d traced of %d first-attempt \
+         successes@."
+        report.Pref_server.Soak.traced
+        (report.Pref_server.Soak.sent - report.Pref_server.Soak.retried);
       exit 1
     end
 

@@ -326,6 +326,24 @@ let derive schema cpref rel = function
 (* {1 The counting protocol} *)
 
 type reuse = Exact | Semantic of string
+type tier_probe = { tier : string; hit : bool; ms : float }
+
+(* The semantic tier a canonical term would be matched against — one per
+   composition head, mirroring the dispatch in [find_semantic]. *)
+let semantic_tier = function
+  | Pref.Prior _ -> Some "prior-prefix"
+  | Pref.Dunion _ -> Some "dunion-inter"
+  | Pref.Pareto _ -> Some "pareto-restrict"
+  | _ -> None
+
+(* Time one tier's finder and feed the bmo.cache.probe_ms.<tier>
+   histogram; the probe record also rides along in EXPLAIN output. *)
+let timed_tier tier hit_of f =
+  let since = Pref_obs.Clock.now_ns () in
+  let r = f () in
+  let ms = Pref_obs.Clock.elapsed_ms ~since in
+  Obs.observe_probe tier ms;
+  (r, { tier; hit = hit_of r; ms })
 
 let lookup t ?(projection = []) schema p rel =
   if not t.enabled then None
@@ -334,14 +352,26 @@ let lookup t ?(projection = []) schema p rel =
     let cpref = Canon.canonical p in
     let pref_key = Preferences.Serialize.to_string cpref in
     locked t @@ fun () ->
-    match find_exact t ~fp ~proj:projection pref_key with
+    let exact, _ =
+      timed_tier "exact" Option.is_some (fun () ->
+          find_exact t ~fp ~proj:projection pref_key)
+    in
+    match exact with
     | Some e ->
       touch t e;
       t.hits <- t.hits + 1;
       Pref_obs.Metrics.incr Obs.cache_hits;
       Some (e.e_result, Exact)
     | None -> (
-      match find_semantic t ~fp ~proj:projection cpref with
+      let semantic =
+        match semantic_tier cpref with
+        | None -> None
+        | Some tier ->
+          fst
+            (timed_tier tier Option.is_some (fun () ->
+                 find_semantic t ~fp ~proj:projection cpref))
+      in
+      match semantic with
       | Some (desc, d) ->
         let result = derive schema cpref rel d in
         (* repeat queries become exact hits *)
@@ -355,20 +385,32 @@ let lookup t ?(projection = []) schema p rel =
         None)
   end
 
-let probe t ?(projection = []) _schema p rel =
-  if not t.enabled then None
+let probe_traced t ?(projection = []) _schema p rel =
+  if not t.enabled then (None, [])
   else begin
     let fp = fingerprint rel in
     let cpref = Canon.canonical p in
     let pref_key = Preferences.Serialize.to_string cpref in
     locked t @@ fun () ->
-    match find_exact t ~fp ~proj:projection pref_key with
-    | Some _ -> Some Exact
-    | None ->
-      Option.map
-        (fun (desc, _) -> Semantic desc)
-        (find_semantic t ~fp ~proj:projection cpref)
+    let exact, p_exact =
+      timed_tier "exact" Option.is_some (fun () ->
+          find_exact t ~fp ~proj:projection pref_key)
+    in
+    match exact with
+    | Some _ -> (Some Exact, [ p_exact ])
+    | None -> (
+      match semantic_tier cpref with
+      | None -> (None, [ p_exact ])
+      | Some tier ->
+        let found, p_sem =
+          timed_tier tier Option.is_some (fun () ->
+              find_semantic t ~fp ~proj:projection cpref)
+        in
+        ( Option.map (fun (desc, _) -> Semantic desc) found,
+          [ p_exact; p_sem ] ))
   end
+
+let probe t ?projection schema p rel = fst (probe_traced t ?projection schema p rel)
 
 (* {1 Incremental maintenance} *)
 

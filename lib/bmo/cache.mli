@@ -96,6 +96,25 @@ val probe :
 (** Non-counting peek for the planner: would {!lookup} succeed, and in
     which tier? Does not derive, store, or touch LRU order. *)
 
+type tier_probe = {
+  tier : string;  (** [exact], [prior-prefix], [dunion-inter], [pareto-restrict] *)
+  hit : bool;
+  ms : float;
+}
+
+val probe_traced :
+  t ->
+  ?projection:string list ->
+  Schema.t ->
+  Preferences.Pref.t ->
+  Relation.t ->
+  reuse option * tier_probe list
+(** {!probe} plus the per-tier timings it measured, in probe order (the
+    exact tier always first; the one applicable semantic tier after it
+    when the exact tier missed) — the rows of EXPLAIN's cache-probe
+    table. Both [probe] and [lookup] feed the same timings into the
+    [bmo.cache.probe_ms.<tier>] histograms. *)
+
 val store :
   t ->
   ?projection:string list ->

@@ -28,6 +28,7 @@ type config = {
   profile : bool;
   deadline_ms : float option;
   max_rows : int option;
+  slowlog_ms : float option;
 }
 
 let default =
@@ -39,6 +40,7 @@ let default =
     profile = false;
     deadline_ms = None;
     max_rows = None;
+    slowlog_ms = None;
   }
 
 type flags = { partial : bool; truncated : bool }
@@ -127,11 +129,22 @@ let set cfg ~key ~value =
         Error
           (Printf.sprintf "maxrows must be a positive integer or off, got %s"
              value))
+  | "slowlog" ->
+    if off_knob value then Ok { cfg with slowlog_ms = None }
+    else (
+      match float_of_string_opt value with
+      | Some ms when ms >= 0. -> Ok { cfg with slowlog_ms = Some ms }
+      | Some _ | None ->
+        Error
+          (Printf.sprintf
+             "slowlog must be a non-negative millisecond threshold or off, \
+              got %s"
+             value))
   | _ ->
     Error
       (Printf.sprintf
          "unknown setting %s (algorithm | domains | cache | check | profile \
-          | deadline | maxrows)"
+          | deadline | maxrows | slowlog)"
          key)
 
 let describe cfg =
@@ -148,4 +161,8 @@ let describe cfg =
       | None -> "off" );
     ( "maxrows",
       match cfg.max_rows with Some k -> string_of_int k | None -> "off" );
+    ( "slowlog",
+      match cfg.slowlog_ms with
+      | Some ms -> Printf.sprintf "%g" ms
+      | None -> "off" );
   ]

@@ -42,6 +42,10 @@ type config = {
           degrades to the current BNL window with [partial] set *)
   max_rows : int option;
       (** result-row cap; overflow is dropped and [truncated] set *)
+  slowlog_ms : float option;
+      (** slow-query log threshold in milliseconds; queries at or above
+          it are recorded by the session layer ([Pref_engine.Slowlog]).
+          [None] disables the log. *)
 }
 
 val default : config
@@ -84,7 +88,8 @@ val expired : deadline -> bool
 val set : config -> key:string -> value:string -> (config, string) result
 (** Keys: [algorithm] (naive|bnl|decompose|parallel|auto), [domains]
     (positive int), [cache]/[check]/[profile] (on|off), [deadline]
-    (milliseconds, or [off]), [maxrows] (positive int, or [off]).
+    (milliseconds, or [off]), [maxrows] (positive int, or [off]),
+    [slowlog] (millisecond threshold, or [off]).
     [Error] carries a usage message naming the valid values. *)
 
 val describe : config -> (string * string) list

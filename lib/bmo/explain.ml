@@ -61,6 +61,262 @@ let pp ppf e =
 
 let to_string e = Fmt.str "%a" pp e
 
+(* ------------------------------------------------------------------ *)
+(* Plan-level explanation: EXPLAIN [ANALYZE]                           *)
+
+module Plan = struct
+  type op = {
+    op_name : string;
+    op_rows_in : int option;
+    op_rows_out : int option;
+    op_est_out : float option;
+    op_ms : float option;
+    op_attrs : (string * string) list;
+    op_children : op list;
+  }
+
+  let op ?rows_in ?rows_out ?est_out ?ms ?(attrs = []) ?(children = []) name =
+    {
+      op_name = name;
+      op_rows_in = rows_in;
+      op_rows_out = rows_out;
+      op_est_out = est_out;
+      op_ms = ms;
+      op_attrs = attrs;
+      op_children = children;
+    }
+
+  type t = {
+    query : string;
+    analyze : bool;
+    plan : Planner.plan;
+    forced : string option;
+    trace : Planner.trace;
+    ops : op list;
+    total_ms : float option;
+  }
+
+  (* Mirror of the σ[P] dispatch in {!Query.sigma_within}: cache first
+     (a probe hit wins over everything), then the deadline's degradation
+     ladder, then the algorithm knob, then the planner. The trace always
+     records the planner's own choice so a forced plan can show what was
+     bypassed. *)
+  let decide (cfg : Engine.config) ~deadline schema p rel =
+    let use_cache = cfg.Engine.cache && Cache.is_enabled () in
+    let probe =
+      if use_cache then Cache.probe_traced Cache.global schema p rel
+      else (None, [])
+    in
+    let auto_plan, trace =
+      Planner.choose_traced ~probe ?domains:cfg.Engine.domains schema p rel
+    in
+    let bypass reason plan =
+      let trace =
+        {
+          trace with
+          Planner.t_rejected =
+            ("auto:" ^ Planner.plan_kind auto_plan, reason)
+            :: trace.Planner.t_rejected;
+        }
+      in
+      (plan, trace, Some reason)
+    in
+    match fst probe with
+    | Some _ -> (auto_plan, trace, None)
+    | None ->
+      if Engine.has_deadline deadline then
+        bypass
+          "deadline set: budgeted queries run on the interruptible \
+           sequential window kernel (degradation ladder)"
+          Planner.Plan_bnl
+      else (
+        match cfg.Engine.algorithm with
+        | Engine.Alg_auto -> (auto_plan, trace, None)
+        | alg ->
+          let plan =
+            match alg with
+            | Engine.Alg_naive -> Planner.Plan_naive
+            | Engine.Alg_bnl -> Planner.Plan_bnl
+            | Engine.Alg_decompose -> Planner.Plan_decompose
+            | Engine.Alg_parallel ->
+              Planner.Plan_par_dnc
+                {
+                  domains =
+                    (match cfg.Engine.domains with
+                    | Some d -> max 1 d
+                    | None -> Parallel.default_domains ());
+                }
+            | Engine.Alg_auto -> assert false
+          in
+          bypass
+            ("algorithm knob forces " ^ Engine.algorithm_to_string alg)
+            plan)
+
+  let make ~query ~analyze ~plan ~forced ~trace ~ops ~total_ms () =
+    { query; analyze; plan; forced; trace; ops; total_ms }
+
+  (* {2 Text rendering} *)
+
+  let fnum f =
+    if Float.is_integer f && Float.abs f < 1e9 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.2f" f
+
+  let op_line ~analyze depth o =
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf o.op_name;
+    let cell fmt = Printf.ksprintf (fun s -> Buffer.add_string buf ("  " ^ s)) fmt in
+    (match o.op_est_out with Some e -> cell "est=%s" (fnum e) | None -> ());
+    (match (o.op_rows_in, o.op_rows_out) with
+    | Some i, Some out -> cell "rows=%d->%d" i out
+    | None, Some out -> cell "rows=%d" out
+    | Some i, None -> cell "rows_in=%d" i
+    | None, None -> ());
+    (if analyze then
+       match o.op_ms with Some ms -> cell "%.3fms" ms | None -> ());
+    List.iter (fun (k, v) -> cell "%s=%s" k v) o.op_attrs;
+    Buffer.contents buf
+
+  let rec op_lines ~analyze depth o =
+    op_line ~analyze depth o
+    :: List.concat_map (op_lines ~analyze (depth + 1)) o.op_children
+
+  let to_text e =
+    let tr = e.trace in
+    let header =
+      Printf.sprintf "EXPLAIN%s %s" (if e.analyze then " ANALYZE" else "") e.query
+    in
+    let plan_line =
+      Printf.sprintf "plan: %s%s"
+        (Planner.plan_to_string e.plan)
+        (match e.forced with None -> "" | Some r -> "  [forced: " ^ r ^ "]")
+    in
+    let inputs =
+      [
+        "decision inputs:";
+        Printf.sprintf "  n=%d dims=%d domains=%d par_threshold=%d big=%b"
+          tr.Planner.t_n tr.Planner.t_dims tr.Planner.t_domains
+          tr.Planner.t_par_threshold tr.Planner.t_big;
+      ]
+      @ (match tr.Planner.t_chain with
+        | Some (attrs, maximize) ->
+          [
+            Printf.sprintf "  chain: %s (%s)"
+              (String.concat "," attrs)
+              (if maximize then "max" else "min");
+          ]
+        | None -> [ "  chain: none" ])
+      @ (match tr.Planner.t_correlation with
+        | Some r -> [ Printf.sprintf "  correlation: r=%.2f" r ]
+        | None -> [])
+      @
+      match tr.Planner.t_estimate with
+      | Some est ->
+        [
+          Printf.sprintf "  estimated BMO size: %s (independence model)"
+            (fnum est);
+        ]
+      | None -> []
+    in
+    let probes =
+      match tr.Planner.t_probes with
+      | [] -> []
+      | ps ->
+        "cache probes:"
+        :: List.map
+             (fun { Cache.tier; hit; ms } ->
+               Printf.sprintf "  %-16s %s  %.3f ms" tier
+                 (if hit then "hit " else "miss")
+                 ms)
+             ps
+    in
+    let rejected =
+      match tr.Planner.t_rejected with
+      | [] -> []
+      | rs ->
+        "rejected alternatives:"
+        :: List.map (fun (alt, why) -> Printf.sprintf "  %-10s %s" alt why) rs
+    in
+    let ops =
+      match e.ops with
+      | [] -> []
+      | ops ->
+        "operators:"
+        :: List.concat_map (op_lines ~analyze:e.analyze 1) ops
+    in
+    let total =
+      match e.total_ms with
+      | Some ms when e.analyze -> [ Printf.sprintf "total: %.3f ms" ms ]
+      | _ -> []
+    in
+    (header :: plan_line :: inputs) @ probes @ rejected @ ops @ total
+
+  (* {2 JSON rendering} *)
+
+  let json_opt f = function None -> Pref_obs.Json.Null | Some v -> f v
+
+  let rec op_to_json o =
+    Pref_obs.Json.Obj
+      [
+        ("name", Pref_obs.Json.Str o.op_name);
+        ("rows_in", json_opt (fun i -> Pref_obs.Json.Int i) o.op_rows_in);
+        ("rows_out", json_opt (fun i -> Pref_obs.Json.Int i) o.op_rows_out);
+        ("est_out", json_opt (fun f -> Pref_obs.Json.Float f) o.op_est_out);
+        ("ms", json_opt (fun f -> Pref_obs.Json.Float f) o.op_ms);
+        ( "attrs",
+          Pref_obs.Json.Obj
+            (List.map (fun (k, v) -> (k, Pref_obs.Json.Str v)) o.op_attrs) );
+        ("children", Pref_obs.Json.List (List.map op_to_json o.op_children));
+      ]
+
+  let to_json e =
+    let tr = e.trace in
+    let open Pref_obs.Json in
+    Obj
+      [
+        ("query", Str e.query);
+        ("analyze", Bool e.analyze);
+        ("plan", Str (Planner.plan_to_string e.plan));
+        ("plan_kind", Str (Planner.plan_kind e.plan));
+        ("forced", json_opt (fun s -> Str s) e.forced);
+        ( "inputs",
+          Obj
+            [
+              ("n", Int tr.Planner.t_n);
+              ("dims", Int tr.Planner.t_dims);
+              ("domains", Int tr.Planner.t_domains);
+              ("par_threshold", Int tr.Planner.t_par_threshold);
+              ("big", Bool tr.Planner.t_big);
+              ( "chain",
+                match tr.Planner.t_chain with
+                | None -> Null
+                | Some (attrs, maximize) ->
+                  Obj
+                    [
+                      ("attrs", List (List.map (fun a -> Str a) attrs));
+                      ("maximize", Bool maximize);
+                    ] );
+              ("correlation", json_opt (fun f -> Float f) tr.Planner.t_correlation);
+              ("estimate", json_opt (fun f -> Float f) tr.Planner.t_estimate);
+            ] );
+        ( "probes",
+          List
+            (List.map
+               (fun { Cache.tier; hit; ms } ->
+                 Obj
+                   [ ("tier", Str tier); ("hit", Bool hit); ("ms", Float ms) ])
+               tr.Planner.t_probes) );
+        ( "rejected",
+          List
+            (List.map
+               (fun (alt, why) ->
+                 Obj [ ("plan", Str alt); ("reason", Str why) ])
+               tr.Planner.t_rejected) );
+        ("ops", List (List.map op_to_json e.ops));
+        ("total_ms", json_opt (fun f -> Float f) e.total_ms);
+      ]
+end
+
 (* The negotiation reservoir (§4.1): unranked pairs within a tuple set are
    the compromises left open by the preference. *)
 let unranked_pairs schema p rows =

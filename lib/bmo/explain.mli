@@ -35,3 +35,75 @@ val unranked_pairs :
 
 val pp : t Fmt.t
 val to_string : t -> string
+
+(** {1 Plan-level explanation — EXPLAIN [ANALYZE]}
+
+    Where {!explain} above answers "why is this {e tuple} (not) in the
+    result", {!Plan} answers "why was this {e plan} chosen": the plan
+    taken, the alternatives rejected with the threshold comparisons that
+    rejected them, the cache tiers probed with per-tier timings, the
+    estimated result cardinality — and, under ANALYZE, the actual
+    per-operator cardinalities and timings. *)
+
+module Plan : sig
+  type op = {
+    op_name : string;  (** e.g. [psql.from], [sigma], [psql.top] *)
+    op_rows_in : int option;
+    op_rows_out : int option;  (** actual output rows; [None] without ANALYZE *)
+    op_est_out : float option;  (** estimated output rows, where modelled *)
+    op_ms : float option;  (** wall time; [None] without ANALYZE *)
+    op_attrs : (string * string) list;
+    op_children : op list;
+  }
+
+  val op :
+    ?rows_in:int ->
+    ?rows_out:int ->
+    ?est_out:float ->
+    ?ms:float ->
+    ?attrs:(string * string) list ->
+    ?children:op list ->
+    string ->
+    op
+
+  type t = {
+    query : string;
+    analyze : bool;
+    plan : Planner.plan;
+    forced : string option;
+        (** why the planner was bypassed (deadline ladder, algorithm
+            knob), when it was *)
+    trace : Planner.trace;  (** the decision's inputs and rejected paths *)
+    ops : op list;
+    total_ms : float option;
+  }
+
+  val decide :
+    Engine.config ->
+    deadline:Engine.deadline ->
+    Pref_relation.Schema.t ->
+    Preferences.Pref.t ->
+    Pref_relation.Relation.t ->
+    Planner.plan * Planner.trace * string option
+  (** The σ[P] plan decision exactly as [Query.sigma_within] would make
+      it under this configuration: cache probe first, then the deadline
+      degradation ladder, then the algorithm knob, then the planner.
+      Returns the plan, the planner's trace (with the bypassed auto
+      choice prepended to [t_rejected] when a forcing rule applied), and
+      the forcing reason. Probes the cache non-destructively — no
+      counting, no stores. *)
+
+  val make :
+    query:string ->
+    analyze:bool ->
+    plan:Planner.plan ->
+    forced:string option ->
+    trace:Planner.trace ->
+    ops:op list ->
+    total_ms:float option ->
+    unit ->
+    t
+
+  val to_text : t -> string list
+  val to_json : t -> Pref_obs.Json.t
+end

@@ -28,6 +28,17 @@ let cache_evictions = Metrics.counter "bmo.cache.evictions"
 let cache_entries = Metrics.gauge "bmo.cache.entries"
 let cache_bytes = Metrics.gauge "bmo.cache.bytes"
 
+(* Cache probe cost sits well under a millisecond, so the default decade
+   ladder would park everything in the first bucket. *)
+let probe_ms_bounds = [| 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.; 5.; 10.; 100. |]
+
+let cache_probe_ms tier =
+  Metrics.histogram ~bounds:probe_ms_bounds ("bmo.cache.probe_ms." ^ tier)
+
+let observe_probe tier ms =
+  (* gated here because the registry lookup itself is not free *)
+  if Control.is_enabled () then Metrics.observe (cache_probe_ms tier) ms
+
 let plan_chosen kind =
   (* gated here because the registry lookup itself is not free *)
   if Control.is_enabled () then

@@ -46,6 +46,15 @@ val cache_evictions : Pref_obs.Metrics.counter
 val cache_entries : Pref_obs.Metrics.gauge
 val cache_bytes : Pref_obs.Metrics.gauge
 
+val cache_probe_ms : string -> Pref_obs.Metrics.histogram
+(** Per-tier cache probe latency, [bmo.cache.probe_ms.<tier>] with tiers
+    [exact], [prior-prefix], [dunion-inter], [pareto-restrict]. Bounds
+    are sub-millisecond: probes are hash lookups, not evaluations. *)
+
+val observe_probe : string -> float -> unit
+(** Record one probe of the named tier (milliseconds) into its
+    histogram; no-op while telemetry is off. *)
+
 val plan_chosen : string -> unit
 (** Bump the [bmo.plan_chosen.<kind>] counter for the planner's choice. *)
 

@@ -148,6 +148,155 @@ let choose ?(cache = true) ?domains schema p rel =
         else Plan_bnl
       | None -> if big then Plan_par_dnc { domains = d } else Plan_bnl)
 
+(* ------------------------------------------------------------------ *)
+(* Traced choice — same decision procedure, with its inputs and the
+   rejected alternatives recorded for EXPLAIN. [choose] above stays the
+   hot path; a test pins the two to the same answer. *)
+
+type trace = {
+  t_n : int;
+  t_dims : int;
+  t_domains : int;
+  t_par_threshold : int;
+  t_big : bool;
+  t_chain : (string list * bool) option;
+  t_correlation : float option;
+  t_probes : Cache.tier_probe list;
+  t_rejected : (string * string) list;
+  t_estimate : float option;
+}
+
+let choose_traced ?(cache = true) ?probe ?domains schema p rel =
+  let d =
+    match domains with Some d -> max 1 d | None -> Parallel.default_domains ()
+  in
+  let rows = Relation.rows rel in
+  let n = List.length rows in
+  let big = d > 1 && n >= par_chunk_threshold * d in
+  let reuse, probes =
+    match probe with
+    | Some r -> r
+    | None ->
+      if cache then Cache.probe_traced Cache.global schema p rel else (None, [])
+  in
+  let chain = chain_dims p in
+  let dims =
+    match chain with
+    | Some (attrs, _) -> List.length attrs
+    | None -> max 1 (List.length (Pref.attrs p))
+  in
+  let estimate =
+    if n = 0 then None else Some (Estimate.expected_skyline_size ~n ~dims)
+  in
+  let pick ?correlation rejected plan =
+    ( plan,
+      {
+        t_n = n;
+        t_dims = dims;
+        t_domains = d;
+        t_par_threshold = par_chunk_threshold;
+        t_big = big;
+        t_chain = chain;
+        t_correlation = correlation;
+        t_probes = probes;
+        t_rejected = rejected;
+        t_estimate = estimate;
+      } )
+  in
+  let big_str = Printf.sprintf "%d (= %d domains x %d)" (par_chunk_threshold * d) d par_chunk_threshold in
+  match reuse with
+  | Some Cache.Exact ->
+    pick [ ("bnl", "an exact cache hit beats any evaluation") ] Plan_cache_hit
+  | Some (Cache.Semantic desc) ->
+    pick
+      [ ("bnl", "deriving from cached entries (" ^ desc ^ ") beats re-evaluation") ]
+      (Plan_cache_semantic desc)
+  | None ->
+    let missed =
+      if probes = [] then []
+      else [ ("cache", "probe missed every applicable tier") ]
+    in
+    if n <= 64 then
+      pick
+        (missed
+        @ [ ("bnl", "n <= 64: window bookkeeping costs more than the n^2 scan") ])
+        Plan_naive
+    else (
+      match p with
+      | Pref.Prior (p1, p2) when syntactic_chain p1 ->
+        pick
+          (missed
+          @ [
+              ( "bnl",
+                "prioritisation head is a syntactic chain: the cascade prunes \
+                 the input to a thin slice first (Prop. 11)" );
+            ])
+          (Plan_cascade (p1, p2))
+      | _ -> (
+        match chain with
+        | Some (attrs, maximize) ->
+          let r = sampled_correlation schema attrs rows in
+          let anti = r < -0.3 in
+          let not_dnc =
+            if not anti then
+              Printf.sprintf "r=%.2f >= -0.3: skyline expected small" r
+            else "chain has a single dimension: no median split to recurse on"
+          in
+          if anti && List.length attrs >= 2 then
+            pick ~correlation:r
+              (missed
+              @ [
+                  ( "bnl",
+                    Printf.sprintf
+                      "r=%.2f < -0.3 predicts a large skyline: window passes \
+                       go quadratic in the result" r );
+                  ( "par_sfs",
+                    "chunked windows would make the merge quadratic in the \
+                     (huge) result" );
+                ])
+              (Plan_dnc { attrs; maximize })
+          else if big then
+            pick ~correlation:r
+              (missed
+              @ [
+                  ("dnc", not_dnc);
+                  ( "bnl",
+                    Printf.sprintf "n=%d >= %s rows feed every domain" n big_str
+                  );
+                ])
+              (Plan_par_sfs { attrs; maximize; domains = d })
+          else
+            pick ~correlation:r
+              (missed
+              @ [
+                  ("dnc", not_dnc);
+                  ( "par_sfs",
+                    Printf.sprintf
+                      "n=%d < %s: fan-out would not pay for projection and \
+                       merge" n big_str );
+                ])
+              Plan_bnl
+        | None ->
+          if big then
+            pick
+              (missed
+              @ [
+                  ( "bnl",
+                    Printf.sprintf "n=%d >= %s rows feed every domain" n big_str
+                  );
+                ])
+              (Plan_par_dnc { domains = d })
+          else
+            pick
+              (missed
+              @ [
+                  ( "par_dnc",
+                    Printf.sprintf
+                      "n=%d < %s: fan-out would not pay for projection and \
+                       merge" n big_str );
+                ])
+              Plan_bnl))
+
 let execute schema p rel plan =
   Pref_obs.Span.with_span "bmo.plan.execute"
     ~attrs:[ ("plan", plan_kind plan) ]

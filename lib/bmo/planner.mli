@@ -63,6 +63,39 @@ val choose :
     chosen. When the result cache is enabled it is probed first: a cache
     plan beats every evaluation plan. *)
 
+(** {1 Traced choice (EXPLAIN)} *)
+
+type trace = {
+  t_n : int;  (** input cardinality *)
+  t_dims : int;  (** chain dimensions, or attribute count of the term *)
+  t_domains : int;  (** parallelism considered *)
+  t_par_threshold : int;  (** rows per domain before fan-out pays *)
+  t_big : bool;  (** [t_n >= t_par_threshold * t_domains] with [t_domains > 1] *)
+  t_chain : (string list * bool) option;  (** {!chain_dims} of the term *)
+  t_correlation : float option;
+      (** sampled Pearson correlation, when the chain branch computed it *)
+  t_probes : Cache.tier_probe list;  (** per-tier cache probe timings *)
+  t_rejected : (string * string) list;
+      (** alternatives not taken, with the threshold comparison that
+          rejected each *)
+  t_estimate : float option;
+      (** {!Estimate.expected_skyline_size} under attribute independence *)
+}
+
+val choose_traced :
+  ?cache:bool ->
+  ?probe:Cache.reuse option * Cache.tier_probe list ->
+  ?domains:int ->
+  Schema.t ->
+  Preferences.Pref.t ->
+  Relation.t ->
+  plan * trace
+(** The same decision procedure as {!choose} (a test pins them to the
+    same answer) with every input it consulted recorded. [probe]
+    substitutes an already-measured cache probe so callers that probed
+    themselves (EXPLAIN) do not probe twice; without it the cache is
+    probed as in {!choose}. *)
+
 val execute :
   Schema.t -> Preferences.Pref.t -> Relation.t -> plan -> Relation.t
 

@@ -9,6 +9,7 @@ type stats = {
 }
 
 type t = {
+  s_id : int;
   mutable env : Exec.env;
   reg : Translate.registry;
   mutable config : Pref_bmo.Engine.config;
@@ -19,9 +20,14 @@ type t = {
   mutable errors : int;
 }
 
+(* Session ids only need to be distinct within the process — slow-query
+   log entries and trace attributes use them to tell sessions apart. *)
+let next_id = Atomic.make 1
+
 let create ?(registry = Translate.default_registry)
     ?(config = Pref_bmo.Engine.default) ?(env = []) () =
   {
+    s_id = Atomic.fetch_and_add next_id 1;
     env;
     reg = registry;
     config;
@@ -31,6 +37,8 @@ let create ?(registry = Translate.default_registry)
     truncated = 0;
     errors = 0;
   }
+
+let id t = t.s_id
 
 let env t = t.env
 let set_env t env = t.env <- env
@@ -71,30 +79,72 @@ let count_result t (r : Exec.result) =
   if r.flags.Pref_bmo.Engine.truncated then t.truncated <- t.truncated + 1;
   r
 
+(* [@name] resolves a prepared statement; anything else is source text. *)
+let resolve_statement t src =
+  let src = String.trim src in
+  if String.length src > 0 && src.[0] = '@' then begin
+    let name = String.sub src 1 (String.length src - 1) in
+    match List.assoc_opt name t.statements with
+    | Some q -> (src, Some q)
+    | None ->
+      raise
+        (Exec.Error
+           (Printf.sprintf "no prepared statement %S%s" name
+              (Typo.suggest (List.map fst t.statements) name)))
+  end
+  else (src, None)
+
+let execute t ~deadline src =
+  match resolve_statement t src with
+  | _, Some q ->
+    count_result t
+      (Exec.run_query_within ~registry:t.reg ~deadline t.config t.env q)
+  | src, None ->
+    count_result t (Exec.run_within ~registry:t.reg ~deadline t.config t.env src)
+
+let plan_summary (r : Exec.result) =
+  match r.Exec.profile with
+  | Some p -> Some p.Pref_obs.Profile.algorithm
+  | None -> None
+
 let run_within t ~deadline src =
   t.queries <- t.queries + 1;
   try
-    let src = String.trim src in
-    if String.length src > 0 && src.[0] = '@' then begin
-      let name = String.sub src 1 (String.length src - 1) in
-      match List.assoc_opt name t.statements with
-      | Some q ->
-        count_result t
-          (Exec.run_query_within ~registry:t.reg ~deadline t.config t.env q)
-      | None ->
-        raise
-          (Exec.Error
-             (Printf.sprintf "no prepared statement %S%s" name
-                (Typo.suggest (List.map fst t.statements) name)))
-    end
-    else
-      count_result t (Exec.run_within ~registry:t.reg ~deadline t.config t.env src)
+    match t.config.Pref_bmo.Engine.slowlog_ms with
+    | None -> execute t ~deadline src
+    | Some threshold_ms ->
+      (* Time the whole statement and collect its span tree (present only
+         while telemetry is on); at or above the threshold the query goes
+         to the slow-query log.  The profile knob decides whether a plan
+         summary is available — slowlog itself does not force profiling. *)
+      let since = Pref_obs.Clock.now_ns () in
+      let r, span =
+        Pref_obs.Span.collect "session.query"
+          ~attrs:[ ("session", string_of_int t.s_id) ]
+          (fun () -> execute t ~deadline src)
+      in
+      let ms = Pref_obs.Clock.elapsed_ms ~since in
+      if ms >= threshold_ms then
+        Slowlog.record ~ms ~threshold_ms ~query:(String.trim src)
+          ~session:t.s_id ~plan:(plan_summary r) ?span ();
+      r
   with e ->
     t.errors <- t.errors + 1;
     raise e
 
 let run t src =
   run_within t ~deadline:(Pref_bmo.Engine.deadline_of t.config) src
+
+let explain_within t ~analyze ~deadline src =
+  match resolve_statement t src with
+  | text, Some q ->
+    Exec.explain_query_within ~registry:t.reg ~analyze ~deadline t.config t.env
+      ~query_text:text q
+  | src, None ->
+    Exec.explain_within ~registry:t.reg ~analyze ~deadline t.config t.env src
+
+let explain t ~analyze src =
+  explain_within t ~analyze ~deadline:(Pref_bmo.Engine.deadline_of t.config) src
 
 let stats t =
   {

@@ -30,6 +30,10 @@ val create :
   unit ->
   t
 
+val id : t -> int
+(** Process-unique session id — the [session] field of slow-query log
+    entries and span attributes. *)
+
 (** {1 Tables} *)
 
 val env : t -> Exec.env
@@ -74,7 +78,24 @@ val run_within : t -> deadline:Pref_bmo.Engine.deadline -> string -> Exec.result
 
 val run : t -> string -> Exec.result
 (** {!run_within} with the deadline started now from the session's
-    [deadline_ms]. *)
+    [deadline_ms].
+
+    With the session's [slowlog] knob set, statements at or above the
+    threshold are recorded into {!Slowlog} (query text, session id, plan
+    summary when profiling is on, and — telemetry permitting — the span
+    tree). *)
+
+val explain_within :
+  t ->
+  analyze:bool ->
+  deadline:Pref_bmo.Engine.deadline ->
+  string ->
+  Pref_bmo.Explain.Plan.t
+
+val explain : t -> analyze:bool -> string -> Pref_bmo.Explain.Plan.t
+(** EXPLAIN the statement (source text or [@name]) under the session's
+    config without answering it: {!Pref_sql.Exec.explain_within}. Not
+    counted in {!stats} — explanation is introspection, not load. *)
 
 (** {1 Stats} *)
 

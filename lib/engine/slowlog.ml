@@ -1,0 +1,82 @@
+(* The slow-query log: queries at or above the session's [slowlog]
+   threshold are recorded as one JSON object each — wall time, query
+   text, session id, plan summary, and (sampled) the full span tree of
+   the execution. A bounded in-memory ring serves the shell and tests;
+   an optional append-file sink serves operators (prefserve
+   --slowlog-file), one JSON line per entry. *)
+
+type entry = { seq : int; json : Pref_obs.Json.t }
+
+let cap = 64
+let m = Mutex.create ()
+let ring : entry list ref = ref [] (* newest first, length <= cap *)
+let seq = ref 0
+let total = ref 0
+let sample = ref 1 (* every nth slow query carries its span tree *)
+let sink : out_channel option ref = ref None
+let sink_path : string option ref = ref None
+
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let set_sample n = locked (fun () -> sample := max 1 n)
+
+let close_sink () =
+  (match !sink with Some oc -> close_out_noerr oc | None -> ());
+  sink := None;
+  sink_path := None
+
+let set_file = function
+  | None -> locked close_sink
+  | Some path ->
+    locked @@ fun () ->
+    close_sink ();
+    sink := Some (open_out_gen [ Open_append; Open_creat ] 0o644 path);
+    sink_path := Some path
+
+let file () = locked (fun () -> !sink_path)
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let record ~ms ~threshold_ms ~query ~session ~plan ?span () =
+  locked @@ fun () ->
+  incr total;
+  incr seq;
+  let with_span = (!seq - 1) mod !sample = 0 in
+  let json =
+    Pref_obs.Json.Obj
+      ([
+         ("seq", Pref_obs.Json.Int !seq);
+         ("ms", Pref_obs.Json.Float ms);
+         ("threshold_ms", Pref_obs.Json.Float threshold_ms);
+         ("session", Pref_obs.Json.Int session);
+         ("query", Pref_obs.Json.Str query);
+         ( "plan",
+           match plan with
+           | Some p -> Pref_obs.Json.Str p
+           | None -> Pref_obs.Json.Null );
+       ]
+      @
+      match span with
+      | Some node when with_span ->
+        [ ("span", Pref_obs.Span.to_json node) ]
+      | _ -> [])
+  in
+  ring := take cap ({ seq = !seq; json } :: !ring);
+  match !sink with
+  | Some oc ->
+    output_string oc (Pref_obs.Json.to_string json ^ "\n");
+    flush oc
+  | None -> ()
+
+let recent () = locked (fun () -> List.map (fun e -> e.json) !ring)
+let count () = locked (fun () -> !total)
+
+let clear () =
+  locked @@ fun () ->
+  ring := [];
+  total := 0;
+  seq := 0

@@ -1,0 +1,162 @@
+(* Rendering the Metrics registry for external scrapers.
+
+   The Prometheus text exposition format (version 0.0.4) wants one TYPE/
+   HELP header per metric family followed by its samples. Our registry
+   names metrics with dots ("bmo.cache.hits"), which are invalid in
+   Prometheus metric names, so names are sanitised to underscores; a few
+   registries of dynamically named metrics ("bmo.plan_chosen.<kind>",
+   "bmo.cache.probe_ms.<tier>") are folded into one family each with the
+   variant as a label, which is where label escaping earns its keep. *)
+
+let sanitize_name s =
+  String.init (String.length s) (fun i ->
+      match s.[i] with
+      | ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':') as c -> c
+      | _ -> '_')
+
+(* Label values escape backslash, double quote and newline — exactly the
+   three escapes the exposition format defines for quoted label values. *)
+let escape_label v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* Dotted-name prefixes whose tail is a dynamic variant, exported as one
+   family with the variant in a label. *)
+let label_families =
+  [ ("bmo.plan_chosen.", "plan"); ("bmo.cache.probe_ms.", "tier") ]
+
+let split_family name =
+  let rec go = function
+    | [] -> (name, None)
+    | (prefix, label) :: rest ->
+      let pl = String.length prefix in
+      if String.length name > pl && String.sub name 0 pl = prefix then
+        ( String.sub prefix 0 (pl - 1),
+          Some (label, String.sub name pl (String.length name - pl)) )
+      else go rest
+  in
+  go label_families
+
+let number f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let label_str = function
+  | [] -> ""
+  | kvs ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> k ^ "=\"" ^ escape_label v ^ "\"") kvs)
+    ^ "}"
+
+type sample =
+  | S_counter of (string * string) list * int
+  | S_gauge of (string * string) list * float
+  | S_hist of (string * string) list * int * float * (float * int) list
+
+let kind_of = function
+  | S_counter _ -> "counter"
+  | S_gauge _ -> "gauge"
+  | S_hist _ -> "histogram"
+
+(* Group the snapshot into families, preserving first-seen order so the
+   TYPE header precedes every sample of its family. *)
+let families () =
+  let order = ref [] in
+  let table : (string, string * sample list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let add raw_name sample =
+    let family, label = split_family raw_name in
+    let labels = match label with None -> [] | Some (k, v) -> [ (k, v) ] in
+    let sample =
+      match sample with
+      | `C n -> S_counter (labels, n)
+      | `G v -> S_gauge (labels, v)
+      | `H (n, sum, bs) -> S_hist (labels, n, sum, bs)
+    in
+    match Hashtbl.find_opt table family with
+    | Some (_, samples) -> samples := sample :: !samples
+    | None ->
+      Hashtbl.add table family (raw_name, ref [ sample ]);
+      order := family :: !order
+  in
+  List.iter
+    (function
+      | Metrics.Snap_counter { name; count } -> add name (`C count)
+      | Metrics.Snap_gauge { name; value } -> add name (`G value)
+      | Metrics.Snap_histogram { name; count; sum; buckets } ->
+        add name (`H (count, sum, buckets)))
+    (Metrics.snapshot ());
+  List.rev_map
+    (fun family ->
+      let help_name, samples = Hashtbl.find table family in
+      (family, help_name, List.rev !samples))
+    !order
+
+let prometheus () =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun (family, help_name, samples) ->
+      let base = sanitize_name family in
+      let kind = kind_of (List.hd samples) in
+      (* counters follow the _total naming convention *)
+      let base = if kind = "counter" then base ^ "_total" else base in
+      line "# HELP %s Engine registry metric %s" base help_name;
+      line "# TYPE %s %s" base kind;
+      List.iter
+        (function
+          | S_counter (labels, n) -> line "%s%s %d" base (label_str labels) n
+          | S_gauge (labels, v) -> line "%s%s %s" base (label_str labels) (number v)
+          | S_hist (labels, n, sum, buckets) ->
+            let cum = ref 0 in
+            List.iter
+              (fun (ub, c) ->
+                cum := !cum + c;
+                line "%s_bucket%s %d" base
+                  (label_str (labels @ [ ("le", number ub) ]))
+                  !cum)
+              buckets;
+            line "%s_sum%s %s" base (label_str labels) (number sum);
+            line "%s_count%s %d" base (label_str labels) n)
+        samples)
+    (families ());
+  Buffer.contents buf
+
+let to_json () = Metrics.to_json ()
+
+let summaries_json () =
+  Json.Obj
+    (List.map
+       (fun (name, s) ->
+         ( name,
+           Json.Obj
+             [
+               ("count", Json.Int s.Metrics.s_count);
+               ("sum", Json.Float s.Metrics.s_sum);
+               ("p50", Json.Float s.Metrics.s_p50);
+               ("p90", Json.Float s.Metrics.s_p90);
+               ("p99", Json.Float s.Metrics.s_p99);
+             ] ))
+       (Metrics.summaries ()))
+
+(* Tiny content-type router shared by the HTTP /metrics listener and the
+   tests, so the endpoint logic is exercisable without sockets. *)
+let content path =
+  match path with
+  | "/metrics" ->
+    Some ("text/plain; version=0.0.4; charset=utf-8", prometheus ())
+  | "/metrics.json" -> Some ("application/json", Json.to_string (to_json ()))
+  | _ -> None

@@ -1,0 +1,39 @@
+(** Metrics export pipeline: the {!Metrics} registry rendered for
+    external consumers.
+
+    {!prometheus} produces the Prometheus text exposition format (version
+    0.0.4): one [# HELP]/[# TYPE] header per metric family followed by its
+    samples, counters under the [_total] naming convention, histograms as
+    cumulative [_bucket{le="..."}] series plus [_sum]/[_count]. Registry
+    names are dotted ([bmo.cache.hits]); they are sanitised to
+    underscores, and the dynamically named families
+    [bmo.plan_chosen.<kind>] and [bmo.cache.probe_ms.<tier>] are folded
+    into one family each with the variant carried in a [plan]/[tier]
+    label (label values escaped per the format: backslash, quote,
+    newline). *)
+
+val prometheus : unit -> string
+(** The whole registry in text exposition format, terminated by a
+    newline. *)
+
+val to_json : unit -> Json.t
+(** JSON snapshot of the registry ({!Metrics.to_json}). *)
+
+val summaries_json : unit -> Json.t
+(** Histogram summaries (count/sum/p50/p90/p99) as one JSON object. *)
+
+val content : string -> (string * string) option
+(** Route an HTTP path to [(content_type, body)]: [/metrics] serves
+    {!prometheus}, [/metrics.json] the JSON snapshot, anything else
+    [None] — the logic behind [prefserve --metrics-port], factored out so
+    tests can exercise it without sockets. *)
+
+(** {1 Rendering helpers (exposed for the format validator tests)} *)
+
+val sanitize_name : string -> string
+(** Map a registry name to a valid Prometheus metric name:
+    every character outside [[a-zA-Z0-9_:]] becomes [_]. *)
+
+val escape_label : string -> string
+(** Escape a label value: backslash, double quote and newline become
+    their two-character escape sequences. *)

@@ -110,6 +110,81 @@ let reset () =
 let in_order () =
   List.rev_map (fun name -> Hashtbl.find registry name) !order
 
+(* ------------------------------------------------------------------ *)
+(* Snapshots and derived summaries                                     *)
+
+type snapshot =
+  | Snap_counter of { name : string; count : int }
+  | Snap_gauge of { name : string; value : float }
+  | Snap_histogram of {
+      name : string;
+      count : int;
+      sum : float;
+      buckets : (float * int) list;
+    }
+
+let snapshot () =
+  List.map
+    (function
+      | Counter c -> Snap_counter { name = c.c_name; count = c.count }
+      | Gauge g -> Snap_gauge { name = g.g_name; value = g.cell.(0) }
+      | Histogram h ->
+        Snap_histogram
+          { name = h.h_name; count = h.n; sum = h.acc.(0); buckets = buckets h })
+    (in_order ())
+
+(* Quantile estimation over fixed buckets, the same linear-interpolation
+   model Prometheus' histogram_quantile uses: observations are assumed
+   uniform within their bucket, the first bucket starts at 0 (all our
+   histograms observe non-negative values), and a quantile landing in the
+   +inf overflow bucket clamps to that bucket's lower edge — the largest
+   bound the data is known to exceed. *)
+let quantile ~buckets ~count q =
+  if count <= 0 || q < 0. || q > 1. then None
+  else begin
+    let rank = q *. float_of_int count in
+    let rec go lower cum = function
+      | [] -> None
+      | (ub, c) :: rest ->
+        let cum' = cum +. float_of_int c in
+        if c > 0 && cum' >= rank then
+          if ub = Float.infinity then Some lower
+          else Some (lower +. ((rank -. cum) /. float_of_int c *. (ub -. lower)))
+        else go (if ub = Float.infinity then lower else ub) cum' rest
+    in
+    go 0. 0. buckets
+  end
+
+type summary = {
+  s_count : int;
+  s_sum : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+}
+
+let summary_of h =
+  if h.n = 0 then None
+  else begin
+    let bs = buckets h in
+    let qt q = Option.value (quantile ~buckets:bs ~count:h.n q) ~default:0. in
+    Some
+      {
+        s_count = h.n;
+        s_sum = h.acc.(0);
+        s_p50 = qt 0.5;
+        s_p90 = qt 0.9;
+        s_p99 = qt 0.99;
+      }
+  end
+
+let summaries () =
+  List.filter_map
+    (function
+      | Counter _ | Gauge _ -> None
+      | Histogram h -> Option.map (fun s -> (h.h_name, s)) (summary_of h))
+    (in_order ())
+
 let dump () =
   List.map
     (function

@@ -48,6 +48,47 @@ val buckets : histogram -> (float * int) list
 val counter_value : string -> int option
 (** Look up a counter's current value by name (for tests and dumps). *)
 
+(** {1 Snapshots and derived summaries} *)
+
+type snapshot =
+  | Snap_counter of { name : string; count : int }
+  | Snap_gauge of { name : string; value : float }
+  | Snap_histogram of {
+      name : string;
+      count : int;
+      sum : float;
+      buckets : (float * int) list;
+          (** per-bucket (non-cumulative) counts, overflow last with bound
+              [infinity] — same shape as {!buckets} *)
+    }
+
+val snapshot : unit -> snapshot list
+(** A point-in-time copy of every registered metric, in registration
+    order — what the exporters ({!Export}) render. *)
+
+val quantile : buckets:(float * int) list -> count:int -> float -> float option
+(** [quantile ~buckets ~count q] estimates the [q]-quantile (q in [0,1])
+    from per-bucket counts by linear interpolation within the bucket the
+    rank falls into (observations assumed uniform inside a bucket, first
+    bucket starting at 0). A quantile in the +inf overflow bucket clamps
+    to the highest finite bound. [None] when the histogram is empty or
+    [q] is out of range. *)
+
+type summary = {
+  s_count : int;
+  s_sum : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+}
+
+val summary_of : histogram -> summary option
+(** Count, sum and interpolated p50/p90/p99; [None] when empty. *)
+
+val summaries : unit -> (string * summary) list
+(** {!summary_of} for every non-empty histogram, in registration order —
+    the payload of the wire protocol's extended STATS. *)
+
 (** {1 Registry-wide operations} *)
 
 val reset : unit -> unit

@@ -390,6 +390,261 @@ let run_query_within ?registry ~deadline (cfg : Pref_bmo.Engine.config) env
   in
   { relation; preference; profile = prof; flags }
 
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN [ANALYZE]: the same pipeline, narrating instead of answering.
+   FROM / WHERE / translate / rewrite always execute — the plan decision
+   needs the real filtered relation (cardinality, sampling, cache
+   fingerprints).  The σ[P] step and everything after it run only under
+   ANALYZE; a plain EXPLAIN reports their structure and estimates. *)
+
+module Plan = Pref_bmo.Explain.Plan
+
+let explain_query_within ?registry ?(parse_ms = None) ~analyze ~deadline
+    (cfg : Pref_bmo.Engine.config) env ~query_text (q : Ast.query) : Plan.t =
+  Pref_obs.Span.with_span "psql.explain" @@ fun () ->
+  if cfg.Pref_bmo.Engine.check then begin
+    let findings = static_check ?registry env q in
+    if List.exists (fun f -> f.check_severity = "error") findings then
+      raise (Rejected findings)
+  end;
+  let ops = ref [] in
+  let push o = ops := o :: !ops in
+  (match parse_ms with
+  | Some ms -> push (Plan.op "parse" ~ms)
+  | None -> ());
+  let timed name f = Pref_obs.Span.timed_span ("psql." ^ name) f in
+  let (rel, where), from_ms = timed "from" (fun () -> build_from env q) in
+  let n0 = Relation.cardinality rel in
+  push
+    (Plan.op "from" ~rows_out:n0 ~ms:from_ms
+       ~attrs:[ ("tables", String.concat "," q.Ast.from) ]);
+  let schema = Relation.schema rel in
+  let resolve = resolver q schema in
+  let filtered =
+    match where with
+    | None -> rel
+    | Some c ->
+      let r, ms =
+        timed "where" (fun () ->
+            Relation.select
+              (Translate.condition schema (Ast.map_condition_attrs resolve c))
+              rel)
+      in
+      push
+        (Plan.op "where" ~rows_in:n0 ~rows_out:(Relation.cardinality r) ~ms);
+      r
+  in
+  let n1 = Relation.cardinality filtered in
+  let preference, translate_ms =
+    timed "translate" (fun () ->
+        full_preference ?registry
+          {
+            q with
+            Ast.preferring =
+              Option.map (Ast.map_pref_attrs resolve) q.Ast.preferring;
+            cascade = List.map (Ast.map_pref_attrs resolve) q.Ast.cascade;
+          })
+  in
+  let p =
+    match preference with
+    | Some p -> p
+    | None ->
+      raise (Error "EXPLAIN requires a PREFERRING or CASCADE clause")
+  in
+  push (Plan.op "translate" ~ms:translate_ms);
+  let (p_eval, rewrite_steps), rewrite_ms =
+    timed "rewrite" (fun () -> Rewrite.simplify_count p)
+  in
+  push
+    (Plan.op "rewrite" ~ms:rewrite_ms
+       ~attrs:[ ("steps", string_of_int rewrite_steps) ]);
+  let grouping = List.map resolve q.Ast.grouping in
+  let bmo_cfg = { cfg with Pref_bmo.Engine.max_rows = None } in
+  let plan, trace, forced =
+    Plan.decide bmo_cfg ~deadline schema p_eval filtered
+  in
+  let est = trace.Pref_bmo.Planner.t_estimate in
+  (* evaluation: real under ANALYZE, structural otherwise *)
+  let after_pref =
+    match q.Ast.top, grouping with
+    | Some k, [] when Pref.is_scorable p ->
+      if analyze then begin
+        let r, ms =
+          timed "topk" (fun () -> Pref_bmo.Topk.kbest schema p ~k filtered)
+        in
+        push
+          (Plan.op "topk" ~rows_in:n1 ~rows_out:(Relation.cardinality r) ~ms
+             ~attrs:[ ("k", string_of_int k) ]);
+        Some r
+      end
+      else begin
+        push (Plan.op "topk" ~rows_in:n1 ~attrs:[ ("k", string_of_int k) ]);
+        None
+      end
+    | _, [] ->
+      if analyze then begin
+        let (r, flags, prof), ms =
+          timed "evaluate" (fun () ->
+              Pref_bmo.Query.sigma_profiled_within ~deadline bmo_cfg schema
+                p_eval filtered)
+        in
+        let children =
+          List.map
+            (fun ph ->
+              Plan.op ph.Pref_obs.Profile.phase_name
+                ~ms:ph.Pref_obs.Profile.phase_ms)
+            prof.Pref_obs.Profile.phases
+        in
+        push
+          (Plan.op "sigma" ~rows_in:n1 ~rows_out:(Relation.cardinality r)
+             ?est_out:est ~ms ~children
+             ~attrs:
+               ((("algorithm", prof.Pref_obs.Profile.algorithm)
+                ::
+                (if prof.Pref_obs.Profile.comparisons >= 0 then
+                   [
+                     ( "comparisons",
+                       string_of_int prof.Pref_obs.Profile.comparisons );
+                   ]
+                 else []))
+               @ prof.Pref_obs.Profile.attrs
+               @ Pref_bmo.Engine.flags_attrs flags));
+        Some r
+      end
+      else begin
+        push (Plan.op "sigma" ~rows_in:n1 ?est_out:est);
+        None
+      end
+    | _, by ->
+      if analyze then begin
+        let (r, flags), ms =
+          timed "evaluate" (fun () ->
+              Pref_bmo.Query.sigma_groupby_within ~deadline bmo_cfg schema
+                p_eval ~by filtered)
+        in
+        push
+          (Plan.op "sigma_groupby" ~rows_in:n1
+             ~rows_out:(Relation.cardinality r) ~ms
+             ~attrs:
+               (("by", String.concat "," by)
+               :: Pref_bmo.Engine.flags_attrs flags));
+        Some r
+      end
+      else begin
+        push
+          (Plan.op "sigma_groupby" ~rows_in:n1
+             ~attrs:[ ("by", String.concat "," by) ]);
+        None
+      end
+  in
+  (* the presentation tail: BUT ONLY / ORDER BY / TOP / projection *)
+  let structural name attrs = push (Plan.op name ~attrs) in
+  let tail r =
+    let r =
+      match q.Ast.but_only with
+      | [] -> r
+      | qs -> (
+        match r with
+        | None ->
+          structural "quality" [];
+          None
+        | Some rel_in ->
+          let rows_in = Relation.cardinality rel_in in
+          let out, ms =
+            timed "quality" (fun () ->
+                Relation.select
+                  (Translate.quality_filter schema p
+                     (List.map (Ast.map_quality_attrs resolve) qs))
+                  rel_in)
+          in
+          push
+            (Plan.op "quality" ~rows_in ~rows_out:(Relation.cardinality out)
+               ~ms);
+          Some out)
+    in
+    let r =
+      match q.Ast.order_by with
+      | [] -> r
+      | keys -> (
+        let attrs = [ ("by", String.concat "," (List.map fst keys)) ] in
+        match r with
+        | None ->
+          structural "order" attrs;
+          None
+        | Some rel_in ->
+          let idx =
+            List.map
+              (fun (a, asc) -> (Schema.index_of_exn schema (resolve a), asc))
+              keys
+          in
+          let out, ms =
+            timed "order" (fun () ->
+                Relation.sort_by
+                  (fun t u ->
+                    let rec go = function
+                      | [] -> 0
+                      | (i, asc) :: rest ->
+                        let c = Value.compare (Tuple.get t i) (Tuple.get u i) in
+                        if c <> 0 then if asc then c else -c else go rest
+                    in
+                    go idx)
+                  rel_in)
+          in
+          push
+            (Plan.op "order" ~rows_out:(Relation.cardinality out) ~ms ~attrs);
+          Some out)
+    in
+    let r =
+      match q.Ast.top with
+      | Some k when not (Pref.is_scorable p && grouping = []) -> (
+        let attrs = [ ("k", string_of_int k) ] in
+        match r with
+        | None ->
+          structural "top" attrs;
+          None
+        | Some rel_in ->
+          let rows = Relation.rows rel_in in
+          let out =
+            Relation.make (Relation.schema rel_in)
+              (List.filteri (fun i _ -> i < k) rows)
+          in
+          push
+            (Plan.op "top" ~rows_in:(List.length rows)
+               ~rows_out:(Relation.cardinality out) ~attrs);
+          Some out)
+      | _ -> r
+    in
+    match q.Ast.select with
+    | [ Ast.Star ] -> r
+    | _ -> (
+      match r with
+      | None ->
+        structural "project" [];
+        None
+      | Some rel_in ->
+        let out, ms = timed "project" (fun () -> project_result resolve q rel_in) in
+        push (Plan.op "project" ~rows_out:(Relation.cardinality out) ~ms);
+        Some out)
+  in
+  ignore (tail after_pref : Relation.t option);
+  let ops = List.rev !ops in
+  let total_ms =
+    if analyze then
+      Some
+        (List.fold_left
+           (fun acc o -> acc +. Option.value o.Plan.op_ms ~default:0.)
+           0. ops)
+    else None
+  in
+  Plan.make ~query:query_text ~analyze ~plan ~forced ~trace ~ops ~total_ms ()
+
+let explain_within ?registry ~analyze ~deadline cfg env src =
+  let q, parse_ms =
+    Pref_obs.Span.timed_span "psql.parse" (fun () -> Parser.parse_query src)
+  in
+  explain_query_within ?registry ~parse_ms:(Some parse_ms) ~analyze ~deadline
+    cfg env ~query_text:(String.trim src) q
+
 let run_query_cfg ?registry cfg env q =
   run_query_within ?registry ~deadline:(Pref_bmo.Engine.deadline_of cfg) cfg
     env q

@@ -113,6 +113,39 @@ val run_cfg :
     [flags.truncated]. Raises {!Parser.Error}, {!Translate.Error},
     {!Error}, {!Unknown_table}, or {!Rejected} (with [config.check]). *)
 
+(** {1 EXPLAIN [ANALYZE]} *)
+
+val explain_query_within :
+  ?registry:Translate.registry ->
+  ?parse_ms:float option ->
+  analyze:bool ->
+  deadline:Pref_bmo.Engine.deadline ->
+  Pref_bmo.Engine.config ->
+  env ->
+  query_text:string ->
+  Ast.query ->
+  Pref_bmo.Explain.Plan.t
+
+val explain_within :
+  ?registry:Translate.registry ->
+  analyze:bool ->
+  deadline:Pref_bmo.Engine.deadline ->
+  Pref_bmo.Engine.config ->
+  env ->
+  string ->
+  Pref_bmo.Explain.Plan.t
+(** Explain the query instead of answering it: parse, execute the
+    FROM/WHERE/translate/rewrite prefix (the plan decision needs the
+    real filtered relation), take the σ[P] plan decision exactly as
+    execution would ({!Pref_bmo.Explain.Plan.decide} — cache probe with
+    per-tier timings, deadline ladder, algorithm knob, planner), and
+    report the plan, the rejected alternatives and the estimated BMO
+    cardinality. With [analyze:true] the σ step and the presentation
+    tail (BUT ONLY / ORDER BY / TOP / projection) also run, filling
+    per-operator actual cardinalities and timings. Raises {!Error} when
+    the query has no PREFERRING/CASCADE clause, plus everything
+    {!run_within} raises. *)
+
 (** {1 Compatibility wrappers}
 
     The pre-engine optional-argument surface; each is a one-line wrapper

@@ -47,7 +47,7 @@ let reserved =
     "GROUPING"; "TOP"; "AND"; "OR"; "NOT"; "IN"; "BETWEEN"; "LIKE"; "IS";
     "NULL"; "AROUND"; "LOWEST"; "HIGHEST"; "EXPLICIT"; "SCORE"; "RANK";
     "PRIOR"; "TO"; "ELSE"; "DUAL"; "LEVEL"; "DISTANCE"; "ORDER"; "BY";
-    "ASC"; "DESC";
+    "ASC"; "DESC"; "EXPLAIN"; "ANALYZE";
   ]
 
 let ident st =
@@ -450,6 +450,37 @@ let parse_pref src =
     | _ -> fail st "unexpected trailing input");
     p
   with Lexer.Error (msg, p) -> raise (Error (msg, p))
+
+(* String-level EXPLAIN [ANALYZE] prefix detection, deliberately ahead of
+   the tokenizer: the caller keeps the inner query text verbatim for the
+   normal [parse_query] path (and for re-sending over the wire). *)
+let explain_prefix src =
+  let n = String.length src in
+  let rec skip_ws i =
+    if
+      i < n
+      && (match src.[i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    then skip_ws (i + 1)
+    else i
+  in
+  let word i =
+    let j = ref i in
+    while
+      !j < n
+      && match src.[!j] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+    do
+      incr j
+    done;
+    (String.uppercase_ascii (String.sub src i (!j - i)), !j)
+  in
+  let i = skip_ws 0 in
+  match word i with
+  | "EXPLAIN", j ->
+    let k = skip_ws j in
+    (match word k with
+    | "ANALYZE", l -> Some (true, String.sub src (skip_ws l) (n - skip_ws l))
+    | _ -> Some (false, String.sub src k (n - k)))
+  | _ -> None
 
 let parse_condition src =
   try

@@ -27,3 +27,10 @@ exception Error of string * int
 val parse_query : string -> Ast.query
 val parse_pref : string -> Ast.pref
 val parse_condition : string -> Ast.condition
+
+val explain_prefix : string -> (bool * string) option
+(** [Some (analyze, rest)] when the source starts with [EXPLAIN]
+    (case-insensitive), where [analyze] records an [ANALYZE] modifier
+    and [rest] is the query text after the prefix, verbatim. [EXPLAIN]
+    and [ANALYZE] are reserved words, so the prefix can never be the
+    start of a plain query. *)

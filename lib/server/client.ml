@@ -38,19 +38,40 @@ let ping t = match request t Protocol.Ping with
   | Protocol.Pong -> true
   | _ -> false
 
+(* Trace ids only need to be unique enough to stitch a client call to
+   the server's span dumps; a pid/time hash plus a process-wide sequence
+   is plenty, and keeps us off any RNG state the application may seed. *)
+let trace_seq = Atomic.make 1
+
+let fresh_trace () =
+  let seq = Atomic.fetch_and_add trace_seq 1 in
+  let seed = Hashtbl.hash (Unix.getpid (), Unix.gettimeofday (), seq) in
+  {
+    Protocol.trace_id = Printf.sprintf "c%08x.%x" (seed land 0xffffffff) seq;
+    span_id = Printf.sprintf "s%x" seq;
+  }
+
 let render_err kind message = Printf.sprintf "[%s] %s" kind message
 
-let query t sql =
-  match request t (Protocol.Query sql) with
-  | Protocol.Rows { relation; flags } -> Ok (relation, flags)
+let query ?trace t sql =
+  match request t (Protocol.Query { sql; trace }) with
+  | Protocol.Rows { relation; flags; _ } -> Ok (relation, flags)
   | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
   | _ -> Error "[proto] unexpected response to QUERY"
 
-let query_retry ?(attempts = 50) ?(backoff_s = 0.002) t sql =
+let query_traced t sql =
+  let trace = fresh_trace () in
+  match request t (Protocol.Query { sql; trace = Some trace }) with
+  | Protocol.Rows { relation; flags; trace = echoed } ->
+    Ok (relation, flags, echoed)
+  | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
+  | _ -> Error "[proto] unexpected response to QUERY"
+
+let query_retry ?(attempts = 50) ?(backoff_s = 0.002) ?trace t sql =
   let rec go n =
-    match request t (Protocol.Query sql) with
-    | Protocol.Rows { relation; flags } -> Ok (relation, flags)
-    | Protocol.Err { retriable = true; kind; message } ->
+    match request t (Protocol.Query { sql; trace }) with
+    | Protocol.Rows { relation; flags; _ } -> Ok (relation, flags)
+    | Protocol.Err { retriable = true; kind; message; _ } ->
       if n <= 1 then Error (render_err kind message)
       else begin
         Thread.delay backoff_s;
@@ -61,6 +82,18 @@ let query_retry ?(attempts = 50) ?(backoff_s = 0.002) t sql =
   in
   go (max 1 attempts)
 
+let explain ?(analyze = false) ?(json = false) ?trace t sql =
+  match request t (Protocol.Explain { sql; analyze; json; trace }) with
+  | Protocol.Explain_resp body -> Ok body
+  | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
+  | _ -> Error "[proto] unexpected response to EXPLAIN"
+
+let metrics ?(json = false) t =
+  match request t (Protocol.Metrics { json }) with
+  | Protocol.Metrics_resp body -> Ok body
+  | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
+  | _ -> Error "[proto] unexpected response to METRICS"
+
 let set t ~key ~value =
   match request t (Protocol.Set (key, value)) with
   | Protocol.Done line -> Ok line
@@ -68,7 +101,7 @@ let set t ~key ~value =
   | _ -> Error "[proto] unexpected response to SET"
 
 let prepare t ~name sql =
-  match request t (Protocol.Prepare (name, sql)) with
+  match request t (Protocol.Prepare { name; sql; trace = None }) with
   | Protocol.Done line -> Ok line
   | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
   | _ -> Error "[proto] unexpected response to PREPARE"

@@ -28,17 +28,49 @@ val request : t -> Protocol.request -> Protocol.response
 val ping : t -> bool
 (** [true] iff the server answers PONG. *)
 
-val query : t -> string -> (Relation.t * Pref_bmo.Engine.flags, string) result
+val fresh_trace : unit -> Protocol.trace
+(** A new client-side trace context: process-unique ids built from a
+    pid/time hash and a sequence number. *)
+
+val query :
+  ?trace:Protocol.trace ->
+  t ->
+  string ->
+  (Relation.t * Pref_bmo.Engine.flags, string) result
 (** [Error] carries the server's rendered error message (including its
     kind). Retriable rejections are surfaced as errors too — see
-    {!query_retry}. *)
+    {!query_retry}. [trace] rides the request's verb line and is stamped
+    onto the server-side span tree. *)
+
+val query_traced :
+  t ->
+  string ->
+  (Relation.t * Pref_bmo.Engine.flags * Protocol.trace option, string) result
+(** {!query} with a {!fresh_trace} attached; the third component is the
+    trace the server echoed on the ROWS frame ([None] against a
+    pre-trace server — old peers ignore the trace words). *)
 
 val query_retry :
-  ?attempts:int -> ?backoff_s:float -> t -> string ->
+  ?attempts:int -> ?backoff_s:float -> ?trace:Protocol.trace -> t -> string ->
   (Relation.t * Pref_bmo.Engine.flags, string) result
 (** Like {!query}, but a retriable [ERR] (admission-control [busy] /
     [draining]) is retried up to [attempts] times (default 50) with a
     fixed [backoff_s] sleep (default 2 ms) between tries. *)
+
+val explain :
+  ?analyze:bool ->
+  ?json:bool ->
+  ?trace:Protocol.trace ->
+  t ->
+  string ->
+  (string, string) result
+(** The server-side plan report for [sql] — text lines joined with
+    newlines, or one JSON document with [~json:true]. [~analyze:true]
+    executes the statement to fill in actual row counts and timings. *)
+
+val metrics : ?json:bool -> t -> (string, string) result
+(** The server's metrics registry: Prometheus text exposition format, or
+    a JSON snapshot with [~json:true]. *)
 
 val set : t -> key:string -> value:string -> (string, string) result
 val prepare : t -> name:string -> string -> (string, string) result

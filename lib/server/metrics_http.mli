@@ -1,0 +1,21 @@
+(** Minimal HTTP listener serving the metrics registry for scrapers.
+
+    [GET /metrics] answers {!Pref_obs.Export.prometheus} with content
+    type [text/plain; version=0.0.4; charset=utf-8]; [GET /metrics.json]
+    the JSON snapshot; other paths 404, other methods 405. HTTP/1.0, one
+    request per connection, served directly on the accept thread —
+    scrapes arrive seconds apart and render in microseconds, so there is
+    nothing to parallelise. Started by [prefserve --metrics-port]. *)
+
+type t
+
+val start : ?host:string -> port:int -> unit -> t
+(** Bind and start the accept thread. [port = 0] picks an ephemeral
+    port — read it back with {!port} (the tests do). Raises
+    [Unix.Unix_error] when the bind fails. *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Stop accepting and join the thread; idempotent. The accept loop
+    polls its stop flag every 0.25 s, so this returns quickly. *)

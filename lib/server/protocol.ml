@@ -161,32 +161,99 @@ let schema_of_wire line =
     go [] fields
 
 (* ------------------------------------------------------------------ *)
+(* Trace context                                                       *)
+
+(* Trace context travels as [trace=<id> span=<id>] words on the verb
+   line — both sides parse verb lines word-wise and ignore words they do
+   not know, so traced frames remain readable by pre-trace peers. *)
+type trace = { trace_id : string; span_id : string }
+
+let valid_trace_id s =
+  s <> ""
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+         | _ -> false)
+       s
+
+let trace_words = function
+  | None -> ""
+  | Some { trace_id; span_id } ->
+    if not (valid_trace_id trace_id && valid_trace_id span_id) then
+      invalid_arg "Protocol: trace ids must be non-empty [A-Za-z0-9._-]"
+    else Printf.sprintf " trace=%s span=%s" trace_id span_id
+
+let word_value key w =
+  let prefix = key ^ "=" in
+  let pl = String.length prefix in
+  if String.length w > pl && String.sub w 0 pl = prefix then
+    Some (String.sub w pl (String.length w - pl))
+  else None
+
+let trace_of_words ws =
+  match
+    ( List.find_map (word_value "trace") ws,
+      List.find_map (word_value "span") ws )
+  with
+  | Some trace_id, Some span_id when valid_trace_id trace_id && valid_trace_id span_id
+    ->
+    Some { trace_id; span_id }
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 
 type request =
-  | Query of string
-  | Prepare of string * string
+  | Query of { sql : string; trace : trace option }
+  | Prepare of { name : string; sql : string; trace : trace option }
+  | Explain of {
+      sql : string;
+      analyze : bool;
+      json : bool;
+      trace : trace option;
+    }
   | Set of string * string
   | Stats
+  | Metrics of { json : bool }
   | Ping
 
 let encode_request = function
-  | Query sql -> "QUERY\n" ^ sql
-  | Prepare (name, sql) -> Printf.sprintf "PREPARE %s\n%s" name sql
+  | Query { sql; trace } -> Printf.sprintf "QUERY%s\n%s" (trace_words trace) sql
+  | Prepare { name; sql; trace } ->
+    Printf.sprintf "PREPARE %s%s\n%s" name (trace_words trace) sql
+  | Explain { sql; analyze; json; trace } ->
+    Printf.sprintf "EXPLAIN%s%s%s\n%s"
+      (if analyze then " ANALYZE" else "")
+      (if json then " JSON" else "")
+      (trace_words trace) sql
   | Set (key, value) -> Printf.sprintf "SET %s %s" key value
   | Stats -> "STATS"
+  | Metrics { json } -> if json then "METRICS JSON" else "METRICS"
   | Ping -> "PING"
 
 let parse_request payload =
   let verb_line, rest = split_verb payload in
   match words verb_line with
-  | [ "QUERY" ] ->
-    if String.trim rest = "" then Error "QUERY needs a statement" else Ok (Query rest)
-  | [ "PREPARE"; name ] ->
+  | "QUERY" :: opts ->
+    if String.trim rest = "" then Error "QUERY needs a statement"
+    else Ok (Query { sql = rest; trace = trace_of_words opts })
+  | "PREPARE" :: name :: opts ->
     if String.trim rest = "" then Error "PREPARE needs a statement"
-    else Ok (Prepare (name, rest))
+    else Ok (Prepare { name; sql = rest; trace = trace_of_words opts })
+  | "EXPLAIN" :: opts ->
+    if String.trim rest = "" then Error "EXPLAIN needs a statement"
+    else
+      Ok
+        (Explain
+           {
+             sql = rest;
+             analyze = List.mem "ANALYZE" opts;
+             json = List.mem "JSON" opts;
+             trace = trace_of_words opts;
+           })
   | "SET" :: key :: (_ :: _ as value) -> Ok (Set (key, String.concat " " value))
   | [ "STATS" ] -> Ok Stats
+  | "METRICS" :: opts -> Ok (Metrics { json = List.mem "JSON" opts })
   | [ "PING" ] -> Ok Ping
   | verb :: _ -> Error (Printf.sprintf "unknown verb %S" verb)
   | [] -> Error "empty request"
@@ -195,20 +262,32 @@ let parse_request payload =
 (* Responses                                                           *)
 
 type response =
-  | Rows of { relation : Relation.t; flags : Pref_bmo.Engine.flags }
+  | Rows of {
+      relation : Relation.t;
+      flags : Pref_bmo.Engine.flags;
+      trace : trace option;
+    }
   | Done of string
   | Pong
   | Stats_resp of (string * string) list
-  | Err of { kind : string; retriable : bool; message : string }
+  | Explain_resp of string
+  | Metrics_resp of string
+  | Err of {
+      kind : string;
+      retriable : bool;
+      message : string;
+      trace : trace option;
+    }
 
 let encode_response = function
-  | Rows { relation; flags } ->
+  | Rows { relation; flags; trace } ->
     let buf = Buffer.create 1024 in
     Buffer.add_string buf
-      (Printf.sprintf "ROWS %d%s%s\n"
+      (Printf.sprintf "ROWS %d%s%s%s\n"
          (Relation.cardinality relation)
          (if flags.Pref_bmo.Engine.partial then " partial" else "")
-         (if flags.Pref_bmo.Engine.truncated then " truncated" else ""));
+         (if flags.Pref_bmo.Engine.truncated then " truncated" else "")
+         (trace_words trace));
     Buffer.add_string buf (schema_wire (Relation.schema relation));
     List.iter
       (fun row ->
@@ -224,10 +303,12 @@ let encode_response = function
   | Stats_resp kvs ->
     String.concat "\n"
       ("STATS" :: List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
-  | Err { kind; retriable; message } ->
-    Printf.sprintf "ERR %s %s\n%s" kind
+  | Explain_resp body -> "EXPLAIN\n" ^ body
+  | Metrics_resp body -> "METRICS\n" ^ body
+  | Err { kind; retriable; message; trace } ->
+    Printf.sprintf "ERR %s %s%s\n%s" kind
       (if retriable then "retriable" else "fatal")
-      message
+      (trace_words trace) message
 
 let parse_rows verb_words body =
   match verb_words with
@@ -241,6 +322,7 @@ let parse_rows verb_words body =
           truncated = List.mem "truncated" flag_words;
         }
       in
+      let trace = trace_of_words flag_words in
       match split_records body with
       | [] -> Error "ROWS response without a schema line"
       | schema_line :: records -> (
@@ -276,7 +358,7 @@ let parse_rows verb_words body =
             in
             (match rows [] records with
             | Ok tuples ->
-              Ok (Rows { relation = Relation.make schema tuples; flags })
+              Ok (Rows { relation = Relation.make schema tuples; flags; trace })
             | Error _ as e -> e))))
   | [] -> Error "ROWS response without a row count"
 
@@ -286,6 +368,8 @@ let parse_response payload =
   | "ROWS" :: vw -> parse_rows vw rest
   | "OK" :: text -> Ok (Done (String.concat " " text))
   | [ "PONG" ] -> Ok Pong
+  | "EXPLAIN" :: _ -> Ok (Explain_resp rest)
+  | "METRICS" :: _ -> Ok (Metrics_resp rest)
   | [ "STATS" ] ->
     let kvs =
       List.filter_map
@@ -301,7 +385,14 @@ let parse_response payload =
         (String.split_on_char '\n' rest)
     in
     Ok (Stats_resp kvs)
-  | [ "ERR"; kind; how ] ->
-    Ok (Err { kind; retriable = how = "retriable"; message = rest })
+  | "ERR" :: kind :: how :: extra ->
+    Ok
+      (Err
+         {
+           kind;
+           retriable = how = "retriable";
+           message = rest;
+           trace = trace_of_words extra;
+         })
   | verb :: _ -> Error (Printf.sprintf "unknown response verb %S" verb)
   | [] -> Error "empty response"

@@ -8,26 +8,40 @@
 
     The payload's first line is the verb. Requests:
 
-    - [QUERY\n<sql>] — execute Preference SQL (or [@name] for a prepared
-      statement)
-    - [PREPARE <name>\n<sql>] — parse and store a statement
+    - [QUERY [trace=<id> span=<id>]\n<sql>] — execute Preference SQL (or
+      [@name] for a prepared statement)
+    - [PREPARE <name> [trace words]\n<sql>] — parse and store a statement
+    - [EXPLAIN [ANALYZE] [JSON] [trace words]\n<sql>] — explain the
+      statement's plan instead of answering it
     - [SET <key> <value>] — update one engine knob ({!Pref_bmo.Engine.set})
-    - [STATS] — server, session and engine counters
+    - [STATS] — server, session and engine counters, with histogram
+      summaries as [hist.<name>.<count|sum|p50|p90|p99>] keys
+    - [METRICS [JSON]] — the whole metrics registry in Prometheus text
+      exposition format (or as a JSON snapshot)
     - [PING] — liveness probe
 
     Responses:
 
-    - [ROWS <n> [partial] [truncated]\n<schema>\n<csv rows>] — a result
-      relation; the schema line is comma-separated [name:type] fields and
-      rows are RFC-4180 CSV in schema column order. [partial] marks a
-      deadline-degraded (sound but incomplete) BMO set, [truncated] a
-      row-capped one.
+    - [ROWS <n> [partial] [truncated] [trace words]\n<schema>\n<csv rows>]
+      — a result relation; the schema line is comma-separated [name:type]
+      fields and rows are RFC-4180 CSV in schema column order. [partial]
+      marks a deadline-degraded (sound but incomplete) BMO set,
+      [truncated] a row-capped one.
     - [OK <text>] — acknowledgement
     - [PONG]
     - [STATS\n<key>=<value> lines]
-    - [ERR <kind> <retriable|fatal>\n<message>] — [retriable] means the
-      same request may succeed later (admission-control rejections:
-      [busy], [draining]); [fatal] errors will fail again unchanged.
+    - [EXPLAIN\n<plan text or JSON>]
+    - [METRICS\n<exposition text or JSON>]
+    - [ERR <kind> <retriable|fatal> [trace words]\n<message>] — [retriable]
+      means the same request may succeed later (admission-control
+      rejections: [busy], [draining]); [fatal] errors will fail again
+      unchanged.
+
+    Trace context ({!trace}) rides as [trace=<id> span=<id>] words on the
+    verb line of QUERY / PREPARE / EXPLAIN requests, and is echoed the
+    same way on the matching ROWS / ERR response. Verb lines are parsed
+    word-wise on both sides with unknown words ignored, so traced frames
+    interoperate with pre-trace peers in either direction.
 
     Framing errors (no length line, a non-numeric or oversized length)
     raise {!Framing_error}: the stream cannot be resynchronised, so the
@@ -55,13 +69,32 @@ val read_frame : ?on_wait:(unit -> unit) -> Unix.file_descr -> string option
 val write_frame : Unix.file_descr -> string -> unit
 (** Write one frame, handling short writes. *)
 
+(** {1 Trace context} *)
+
+type trace = { trace_id : string; span_id : string }
+(** Client-generated end-to-end trace context. Ids are non-empty
+    [A-Za-z0-9._-] strings (they travel as verb-line words, so no
+    whitespace); encoding a trace with other characters raises
+    [Invalid_argument], and malformed incoming trace words parse as no
+    trace rather than an error. *)
+
+val trace_of_words : string list -> trace option
+(** Extract [trace=]/[span=] words (exposed for tests). *)
+
 (** {1 Requests} *)
 
 type request =
-  | Query of string
-  | Prepare of string * string
+  | Query of { sql : string; trace : trace option }
+  | Prepare of { name : string; sql : string; trace : trace option }
+  | Explain of {
+      sql : string;
+      analyze : bool;
+      json : bool;
+      trace : trace option;
+    }
   | Set of string * string
   | Stats
+  | Metrics of { json : bool }
   | Ping
 
 val encode_request : request -> string
@@ -70,11 +103,22 @@ val parse_request : string -> (request, string) result
 (** {1 Responses} *)
 
 type response =
-  | Rows of { relation : Relation.t; flags : Pref_bmo.Engine.flags }
+  | Rows of {
+      relation : Relation.t;
+      flags : Pref_bmo.Engine.flags;
+      trace : trace option;  (** request trace, echoed *)
+    }
   | Done of string
   | Pong
   | Stats_resp of (string * string) list
-  | Err of { kind : string; retriable : bool; message : string }
+  | Explain_resp of string  (** plan rendering: text lines, or JSON *)
+  | Metrics_resp of string  (** Prometheus exposition text, or JSON *)
+  | Err of {
+      kind : string;
+      retriable : bool;
+      message : string;
+      trace : trace option;  (** request trace, echoed *)
+    }
 
 val encode_response : response -> string
 val parse_response : string -> (response, string) result

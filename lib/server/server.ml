@@ -128,9 +128,9 @@ let submit t job =
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)
 
-let error_response e =
+let error_response ?trace e =
   let err ?(retriable = false) kind message =
-    Protocol.Err { kind; retriable; message }
+    Protocol.Err { kind; retriable; message; trace }
   in
   match e with
   | Parser.Error (msg, pos) ->
@@ -173,45 +173,36 @@ let counters t =
     ("server.deadline_exceeded", Atomic.get t.c_deadline);
     ("server.truncated", Atomic.get t.c_truncated);
     ("server.errors", Atomic.get t.c_errors);
+    ("server.slow_queries", Pref_engine.Slowlog.count ());
     ("server.draining", if draining then 1 else 0);
   ]
 
-(* A QUERY job: evaluate *and* encode on the executor domain — encoding
-   large results is part of the serving cost, and connection threads all
-   share one runtime lock, so everything heavy must leave them. *)
-let run_query t session fd sql =
-  let deadline = Pref_bmo.Engine.deadline_of (Pref_engine.Session.config session) in
+(* Histogram summaries for the extended STATS response: count, sum and
+   interpolated p50/p90/p99 per non-empty histogram. Only meaningful
+   while telemetry is on (otherwise the registry stays at zero). *)
+let histogram_lines () =
+  List.concat_map
+    (fun (name, s) ->
+      [
+        (name ^ ".count", string_of_int s.Pref_obs.Metrics.s_count);
+        (name ^ ".sum", Printf.sprintf "%.6g" s.Pref_obs.Metrics.s_sum);
+        (name ^ ".p50", Printf.sprintf "%.6g" s.Pref_obs.Metrics.s_p50);
+        (name ^ ".p90", Printf.sprintf "%.6g" s.Pref_obs.Metrics.s_p90);
+        (name ^ ".p99", Printf.sprintf "%.6g" s.Pref_obs.Metrics.s_p99);
+      ])
+    (Pref_obs.Metrics.summaries ())
+  |> List.map (fun (k, v) -> ("hist." ^ k, v))
+
+(* Evaluate *and* encode on an executor domain — encoding large results
+   is part of the serving cost, and connection threads all share one
+   runtime lock, so everything heavy must leave them. [compute] returns
+   the encoded response payload. *)
+let submit_and_wait t fd ?trace compute =
   let done_m = Mutex.create () in
   let done_c = Condition.create () in
   let finished = ref false in
   let job () =
-    let payload =
-      match Pref_engine.Session.run_within session ~deadline sql with
-      | result ->
-        Atomic.incr t.c_queries;
-        Pref_obs.Metrics.incr m_queries;
-        let flags = result.Exec.flags in
-        if flags.Pref_bmo.Engine.partial then begin
-          Atomic.incr t.c_degraded;
-          Pref_obs.Metrics.incr m_degraded
-        end;
-        if Pref_bmo.Engine.expired deadline then begin
-          Atomic.incr t.c_deadline;
-          Pref_obs.Metrics.incr m_deadline
-        end;
-        if flags.Pref_bmo.Engine.truncated then begin
-          Atomic.incr t.c_truncated;
-          Pref_obs.Metrics.incr m_truncated
-        end;
-        Protocol.encode_response
-          (Protocol.Rows { relation = result.Exec.relation; flags })
-      | exception e ->
-        Atomic.incr t.c_queries;
-        Atomic.incr t.c_errors;
-        Pref_obs.Metrics.incr m_queries;
-        Pref_obs.Metrics.incr m_errors;
-        Protocol.encode_response (error_response e)
-    in
+    let payload = compute () in
     (* the peer may have vanished; the connection thread will see EOF *)
     (try Protocol.write_frame fd payload with _ -> ());
     Mutex.lock done_m;
@@ -238,6 +229,7 @@ let run_query t session fd sql =
               kind = "busy";
               retriable = true;
               message = "server at max in-flight queries; retry";
+              trace;
             }))
   | Error `Draining ->
     Atomic.incr t.c_drain_rej;
@@ -249,7 +241,75 @@ let run_query t session fd sql =
               kind = "draining";
               retriable = true;
               message = "server is draining; retry elsewhere";
+              trace;
             }))
+
+(* Span attributes stamping the server-side trace with the wire trace
+   context, so a client can stitch its trace to the span dumps in the
+   slow-query log. *)
+let trace_attrs session trace =
+  (match trace with
+  | Some tr ->
+    [
+      ("trace", tr.Protocol.trace_id);
+      ("parent_span", tr.Protocol.span_id);
+    ]
+  | None -> [])
+  @ [ ("session", string_of_int (Pref_engine.Session.id session)) ]
+
+let explain_payload session ~analyze ~json ~deadline ?trace sql =
+  match Pref_engine.Session.explain_within session ~analyze ~deadline sql with
+  | plan ->
+    let body =
+      if json then
+        Pref_obs.Json.to_string (Pref_bmo.Explain.Plan.to_json plan)
+      else String.concat "\n" (Pref_bmo.Explain.Plan.to_text plan)
+    in
+    Protocol.encode_response (Protocol.Explain_resp body)
+  | exception e -> Protocol.encode_response (error_response ?trace e)
+
+let run_query t session fd ?trace sql =
+  let deadline = Pref_bmo.Engine.deadline_of (Pref_engine.Session.config session) in
+  submit_and_wait t fd ?trace @@ fun () ->
+  Pref_obs.Span.with_span "server.query" ~attrs:(trace_attrs session trace)
+  @@ fun () ->
+  (* a QUERY whose statement starts with EXPLAIN answers with the plan
+     (text rendering) instead of rows *)
+  match Pref_sql.Parser.explain_prefix sql with
+  | Some (analyze, rest) ->
+    explain_payload session ~analyze ~json:false ~deadline ?trace rest
+  | None -> (
+    match Pref_engine.Session.run_within session ~deadline sql with
+    | result ->
+      Atomic.incr t.c_queries;
+      Pref_obs.Metrics.incr m_queries;
+      let flags = result.Exec.flags in
+      if flags.Pref_bmo.Engine.partial then begin
+        Atomic.incr t.c_degraded;
+        Pref_obs.Metrics.incr m_degraded
+      end;
+      if Pref_bmo.Engine.expired deadline then begin
+        Atomic.incr t.c_deadline;
+        Pref_obs.Metrics.incr m_deadline
+      end;
+      if flags.Pref_bmo.Engine.truncated then begin
+        Atomic.incr t.c_truncated;
+        Pref_obs.Metrics.incr m_truncated
+      end;
+      Protocol.encode_response
+        (Protocol.Rows { relation = result.Exec.relation; flags; trace })
+    | exception e ->
+      Atomic.incr t.c_queries;
+      Atomic.incr t.c_errors;
+      Pref_obs.Metrics.incr m_queries;
+      Pref_obs.Metrics.incr m_errors;
+      Protocol.encode_response (error_response ?trace e))
+
+let run_explain t session fd ~analyze ~json ?trace sql =
+  let deadline = Pref_bmo.Engine.deadline_of (Pref_engine.Session.config session) in
+  submit_and_wait t fd ?trace @@ fun () ->
+  Pref_obs.Span.with_span "server.explain" ~attrs:(trace_attrs session trace)
+  @@ fun () -> explain_payload session ~analyze ~json ~deadline ?trace sql
 
 exception Drain
 
@@ -266,22 +326,38 @@ let handle_connection t fd =
     | None -> ()
     | Some payload ->
       (match Protocol.parse_request payload with
-      | Error msg -> send (Protocol.Err { kind = "proto"; retriable = false; message = msg })
-      | Ok (Protocol.Query sql) -> run_query t session fd sql
-      | Ok (Protocol.Prepare (name, sql)) -> (
+      | Error msg ->
+        send
+          (Protocol.Err
+             { kind = "proto"; retriable = false; message = msg; trace = None })
+      | Ok (Protocol.Query { sql; trace }) -> run_query t session fd ?trace sql
+      | Ok (Protocol.Prepare { name; sql; trace }) -> (
         match Pref_engine.Session.prepare session ~name sql with
         | () -> send (Protocol.Done ("prepared " ^ name))
-        | exception e -> send (error_response e))
+        | exception e -> send (error_response ?trace e))
+      | Ok (Protocol.Explain { sql; analyze; json; trace }) ->
+        run_explain t session fd ~analyze ~json ?trace sql
       | Ok (Protocol.Set (key, value)) -> (
         match Pref_engine.Session.set session ~key ~value with
         | Ok line -> send (Protocol.Done line)
         | Error msg ->
-          send (Protocol.Err { kind = "set"; retriable = false; message = msg }))
+          send
+            (Protocol.Err
+               { kind = "set"; retriable = false; message = msg; trace = None }))
       | Ok Protocol.Stats ->
         send
           (Protocol.Stats_resp
              (List.map (fun (k, v) -> (k, string_of_int v)) (counters t)
-             @ Pref_engine.Session.stats_lines session))
+             @ Pref_engine.Session.stats_lines session
+             @ histogram_lines ()))
+      | Ok (Protocol.Metrics { json }) ->
+        (* rendering the registry is cheap — answer on the connection
+           thread rather than queueing behind queries *)
+        let body =
+          if json then Pref_obs.Json.to_string (Pref_obs.Export.to_json ())
+          else Pref_obs.Export.prometheus ()
+        in
+        send (Protocol.Metrics_resp body)
       | Ok Protocol.Ping -> send Protocol.Pong);
       loop ()
   in
@@ -335,6 +411,7 @@ let accept_loop t () =
                        kind = "busy";
                        retriable = true;
                        message = "server at max connections; retry";
+                       trace = None;
                      }))
            with _ -> ());
           (try Unix.close fd with _ -> ())

@@ -5,6 +5,7 @@ type report = {
   degraded : int;
   errors : int;
   retried : int;
+  traced : int;
   elapsed_s : float;
   qps : float;
   first_error : string option;
@@ -12,9 +13,10 @@ type report = {
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "%d client(s): %d sent, %d ok, %d degraded, %d error(s), %d retried in \
-     %.3fs (%.0f qps)%s"
-    r.clients r.sent r.ok r.degraded r.errors r.retried r.elapsed_s r.qps
+    "%d client(s): %d sent, %d ok, %d degraded, %d error(s), %d retried, %d \
+     traced in %.3fs (%.0f qps)%s"
+    r.clients r.sent r.ok r.degraded r.errors r.retried r.traced r.elapsed_s
+    r.qps
     (match r.first_error with
     | Some e -> "; first error: " ^ e
     | None -> "")
@@ -25,6 +27,7 @@ type tally = {
   mutable t_degraded : int;
   mutable t_errors : int;
   mutable t_retried : int;
+  mutable t_traced : int;
   mutable t_first_error : string option;
   mutable t_fatal : string option;
 }
@@ -43,10 +46,13 @@ let client_loop ~host ~port ~queries ~setup ~statements tally =
             if tally.t_fatal = None then begin
               let sql = statements.(i mod n_stmts) in
               (* count a retry by comparing attempts: query_retry hides
-                 them, so probe once unretried first *)
-              match Client.query client sql with
-              | Ok (_, flags) ->
+                 them, so probe once unretried first. Every query carries
+                 a fresh trace; a matching echo proves the server
+                 round-tripped the context. *)
+              match Client.query_traced client sql with
+              | Ok (_, flags, echoed) ->
                 tally.t_sent <- tally.t_sent + 1;
+                if echoed <> None then tally.t_traced <- tally.t_traced + 1;
                 if flags.Pref_bmo.Engine.partial then
                   tally.t_degraded <- tally.t_degraded + 1
                 else tally.t_ok <- tally.t_ok + 1
@@ -90,6 +96,7 @@ let run ~host ~port ~clients ~queries_per_client ?(setup = fun _ -> ())
           t_degraded = 0;
           t_errors = 0;
           t_retried = 0;
+          t_traced = 0;
           t_first_error = None;
           t_fatal = None;
         })
@@ -126,6 +133,7 @@ let run ~host ~port ~clients ~queries_per_client ?(setup = fun _ -> ())
         degraded = sum (fun x -> x.t_degraded);
         errors = sum (fun x -> x.t_errors);
         retried = sum (fun x -> x.t_retried);
+        traced = sum (fun x -> x.t_traced);
         elapsed_s;
         qps = (if elapsed_s > 0. then float_of_int sent /. elapsed_s else 0.);
         first_error =

@@ -15,6 +15,10 @@ type report = {
   degraded : int;  (** ROWS responses flagged [partial] *)
   errors : int;  (** ERR responses after retries were exhausted *)
   retried : int;  (** retriable rejections that were retried *)
+  traced : int;
+      (** first-attempt ROWS responses whose trace context came back —
+          equals the first-attempt successes against a trace-aware
+          server, 0 against a pre-trace one *)
   elapsed_s : float;
   qps : float;  (** sent / elapsed *)
   first_error : string option;

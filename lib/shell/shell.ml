@@ -379,6 +379,33 @@ let stats_command shell rest =
     Ok (plain [ Pref_obs.Json.to_string (Pref_obs.Metrics.to_json ()) ])
   | None, _ -> Error "usage: \\stats [reset|json]"
 
+(* \explain [analyze] [json] <query or @name> — the structured plan
+   report. Local sessions render via Explain.Plan directly; connected
+   shells use the EXPLAIN wire verb so the report describes the server's
+   planner state (its cache, its knobs), not ours. *)
+let explain_command shell args =
+  let rec opts analyze json = function
+    | w :: rest when String.lowercase_ascii w = "analyze" && not analyze ->
+      opts true json rest
+    | w :: rest when String.lowercase_ascii w = "json" && not json ->
+      opts analyze true rest
+    | args -> (analyze, json, args)
+  in
+  let analyze, json, args = opts false false args in
+  if args = [] then Error "usage: \\explain [analyze] [json] <query or @name>"
+  else
+    let src = expand_references shell (String.concat " " args) in
+    match shell.remote with
+    | Some r -> (
+      match Client.explain ~analyze ~json r.client src with
+      | Ok body -> Ok (plain (String.split_on_char '\n' body))
+      | Error msg -> Error msg)
+    | None ->
+      let plan = Session.explain shell.session ~analyze src in
+      if json then
+        Ok (plain [ Pref_obs.Json.to_string (Pref_bmo.Explain.Plan.to_json plan) ])
+      else Ok (plain (Pref_bmo.Explain.Plan.to_text plan))
+
 let prepare_command shell name rest =
   let src = expand_references shell (String.concat " " rest) in
   match shell.remote with
@@ -456,6 +483,7 @@ let execute shell line =
       | [ ".explain"; "off" ] ->
         shell.explain <- false;
         Ok (plain [ "explain: off" ])
+      | ".explain" :: rest when rest <> [] -> explain_command shell rest
       | [ ".profile" ] ->
         if shell.remote <> None then
           Error "usage when connected: .profile on|off"
@@ -513,6 +541,9 @@ let execute shell line =
                "          .set <key> <val>   algorithm | domains | cache | check";
                "                             | profile | deadline (ms) | maxrows";
                "          .algorithm naive|bnl|decompose|parallel|auto | .explain on|off";
+               "          \\explain [analyze] [json] <query>  plan report: choice,";
+               "                             rejected alternatives, cache probes;";
+               "                             analyze also runs it (rows, timings)";
                "          .prepare <name> <query>; run it later as @name";
                "          \\connect <host> <port>  talk to a prefserve server";
                "          \\disconnect             back to the in-process engine";

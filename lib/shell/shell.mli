@@ -26,7 +26,13 @@ val execute : t -> string -> (response, string) result
     [\profile] ≡ [.profile]) or a Preference SQL statement. Never raises;
     failures come back as [Error message].
 
-    Observability commands: [\profile [on|off]] toggles per-query profiles
+    Observability commands: [\explain [analyze] [json] <query>] prints
+    the structured plan report ({!Pref_bmo.Explain.Plan}) — the plan
+    chosen, the alternatives rejected and why, cache-tier probes, and
+    with [analyze] the executed per-operator row counts and timings;
+    against a connected server it uses the EXPLAIN wire verb so the
+    report reflects the server's planner state.
+    [\profile [on|off]] toggles per-query profiles
     (phase timings, chosen algorithm, dominance-test counts appended as
     [--] comment lines) and flips {!Pref_obs.Control} so engine metrics
     and spans accumulate; [\stats] dumps the metrics registry

@@ -3,8 +3,13 @@
 # concurrent clients, assert that no response was dropped or duplicated
 # (prefsoak --strict enforces sent = ok + degraded + errors and zero
 # error responses), that no query unexpectedly hit a deadline, and that
-# SIGTERM drains cleanly. Run from the repo root; used by `make
-# server-smoke` and the CI server-smoke job.
+# SIGTERM drains cleanly. The server runs with the observability stack
+# on (--metrics-port, --slowlog): /metrics is scraped while the soak is
+# in flight and validated against the Prometheus text exposition format,
+# server.* counters must be nonzero after the soak, and the slow-query
+# log file must contain JSON entries. Run from the repo root; used by
+# `make server-smoke` and the CI server-smoke job. Set
+# SMOKE_ARTIFACT_DIR to keep the metrics scrape and slow-query log.
 set -eu
 
 CLIENTS=${CLIENTS:-4}
@@ -23,8 +28,9 @@ dune build bin/gendata.exe bin/prefserve.exe bin/prefsoak.exe bin/prefsql.exe
 echo "== generate workload =="
 dune exec -- prefgendata cars -n 400 -o "$workdir/cars.csv"
 
-echo "== start prefserve (ephemeral port) =="
+echo "== start prefserve (ephemeral port, observability on) =="
 dune exec -- prefserve --table cars="$workdir/cars.csv" --port 0 \
+  --metrics-port 0 --slowlog 0 --slowlog-file "$workdir/slow.jsonl" \
   >"$workdir/server.log" 2>&1 &
 server_pid=$!
 
@@ -39,13 +45,76 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 [ -n "$port" ] || { echo "no listening banner:"; cat "$workdir/server.log"; exit 1; }
-echo "prefserve pid $server_pid on port $port"
 
-echo "== soak: $CLIENTS clients x $QUERIES queries =="
+mport=$(sed -n 's|.*metrics on http://[0-9.]*:\([0-9]*\)/metrics.*|\1|p' \
+  "$workdir/server.log" | head -n1)
+[ -n "$mport" ] || { echo "no metrics banner:"; cat "$workdir/server.log"; exit 1; }
+echo "prefserve pid $server_pid on port $port, metrics on $mport"
+
+echo "== soak: $CLIENTS clients x $QUERIES queries (scraping /metrics) =="
 dune exec -- prefsoak --port "$port" -c "$CLIENTS" -n "$QUERIES" --strict \
   -s "SELECT * FROM cars PREFERRING LOWEST(price) AND LOWEST(mileage)" \
   -s "SELECT make, price FROM cars PREFERRING HIGHEST(horsepower) PRIOR TO LOWEST(price)" \
-  -s "SELECT * FROM cars PREFERRING LOWEST(mileage) TOP 5"
+  -s "SELECT * FROM cars PREFERRING LOWEST(mileage) TOP 5" &
+soak_pid=$!
+
+# scrape while the soak is in flight: the exporter must answer under
+# concurrent query load, not only at rest
+scrapes=0
+while kill -0 "$soak_pid" 2>/dev/null; do
+  if curl -fsS "http://127.0.0.1:$mport/metrics" \
+    >"$workdir/metrics-live.txt" 2>/dev/null; then
+    scrapes=$((scrapes + 1))
+  fi
+  sleep 0.1
+done
+wait "$soak_pid"
+echo "scraped /metrics $scrapes times during the soak"
+
+echo "== validate /metrics =="
+curl -fsS "http://127.0.0.1:$mport/metrics" >"$workdir/metrics.txt"
+curl -fsS "http://127.0.0.1:$mport/metrics.json" >"$workdir/metrics.json"
+
+# exposition format sanity: TYPE lines present, every non-comment line
+# is "name{labels} value" with a legal metric name and a numeric value
+grep -q '^# TYPE ' "$workdir/metrics.txt" || {
+  echo "FAIL: no # TYPE lines in /metrics"; exit 1
+}
+bad=$(grep -v '^#' "$workdir/metrics.txt" | grep -v '^$' \
+  | grep -cEv '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.e+-]+(e[0-9+-]+)?$' \
+  || true)
+if [ "$bad" -ne 0 ]; then
+  echo "FAIL: $bad malformed sample lines in /metrics:"
+  grep -v '^#' "$workdir/metrics.txt" \
+    | grep -Ev '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.e+-]+(e[0-9+-]+)?$' | head
+  exit 1
+fi
+
+# the soak must be visible in the server counters
+served=$(sed -n 's/^server_queries_total \([0-9]*\).*/\1/p' \
+  "$workdir/metrics.txt" | head -n1)
+served=${served:-0}
+expected=$((CLIENTS * QUERIES))
+if [ "$served" -lt "$expected" ]; then
+  echo "FAIL: server_queries_total = $served < $expected soak queries"
+  exit 1
+fi
+echo "server_queries_total = $served (>= $expected)"
+
+echo "== validate slow-query log =="
+# --slowlog 0 records every statement: the file must hold JSON objects
+[ -s "$workdir/slow.jsonl" ] || { echo "FAIL: slow-query log is empty"; exit 1; }
+if grep -qv '^{' "$workdir/slow.jsonl"; then
+  echo "FAIL: non-JSON line in slow-query log:"; grep -v '^{' "$workdir/slow.jsonl" | head
+  exit 1
+fi
+echo "slow-query log: $(wc -l <"$workdir/slow.jsonl") entries"
+
+if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$SMOKE_ARTIFACT_DIR"
+  cp "$workdir/metrics.txt" "$workdir/metrics.json" "$workdir/slow.jsonl" \
+    "$SMOKE_ARTIFACT_DIR/"
+fi
 
 echo "== server counters =="
 printf '\\connect 127.0.0.1 %s\n\\stats\n.quit\n' "$port" \

@@ -91,6 +91,177 @@ let test_progressive_sfs () =
   check "progressive = batch" true
     (List.sort Tuple.compare all = List.sort Tuple.compare batch)
 
+(* ------------------------------------------------------------------ *)
+(* Plan-level EXPLAIN [ANALYZE]                                        *)
+
+module Exec = Pref_sql.Exec
+module Plan = Explain.Plan
+
+(* n rows with price = i and mileage correlated or anti-correlated with
+   it — enough rows to clear the n <= 64 naive cutoff, small enough to
+   stay under the parallel threshold *)
+let items ~anti n =
+  let schema =
+    Schema.make
+      [ ("price", Value.TInt); ("mileage", Value.TInt); ("age", Value.TInt) ]
+  in
+  Relation.make schema
+    (List.init n (fun i ->
+         Tuple.make
+           [
+             Value.Int i;
+             Value.Int (if anti then n - i else i + (i mod 7));
+             Value.Int (i mod 11);
+           ]))
+
+let explain_sql ?(analyze = false) ?(cfg = Pref_bmo.Engine.default) ~rel sql =
+  Exec.explain_within ~analyze
+    ~deadline:(Pref_bmo.Engine.deadline_of cfg)
+    cfg
+    [ ("items", rel) ]
+    sql
+
+let auto_cfg = { Pref_bmo.Engine.default with algorithm = Pref_bmo.Engine.Alg_auto }
+let chain_sql = "SELECT * FROM items PREFERRING LOWEST(price) AND LOWEST(mileage)"
+
+let rec find_op name ops =
+  List.find_map
+    (fun o ->
+      if o.Plan.op_name = name then Some o else find_op name o.Plan.op_children)
+    ops
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_plan_bnl () =
+  let rel = items ~anti:false 200 in
+  let plan = explain_sql ~cfg:auto_cfg ~rel chain_sql in
+  check "bnl chosen" true (plan.Plan.plan = Pref_bmo.Planner.Plan_bnl);
+  check "not forced" true (plan.Plan.forced = None);
+  let tr = plan.Plan.trace in
+  check_int "n is the filtered cardinality" 200 tr.Pref_bmo.Planner.t_n;
+  check_int "dims from the chain" 2 tr.Pref_bmo.Planner.t_dims;
+  check "estimate present" true (tr.Pref_bmo.Planner.t_estimate <> None);
+  check "alternatives were rejected" true (tr.Pref_bmo.Planner.t_rejected <> []);
+  (* plain EXPLAIN: the sigma op exists but has no actuals *)
+  (match find_op "sigma" plan.Plan.ops with
+  | Some o ->
+    check "est_out on sigma" true (o.Plan.op_est_out <> None);
+    check "no actual rows without analyze" true (o.Plan.op_rows_out = None);
+    check "no timing without analyze" true (o.Plan.op_ms = None)
+  | None -> Alcotest.fail "no sigma operator");
+  check "no total without analyze" true (plan.Plan.total_ms = None);
+  (* both renderers mention the plan *)
+  let text = String.concat "\n" (Plan.to_text plan) in
+  check "text names the plan" true (contains text "plan: bnl");
+  check "text lists rejections" true (contains text "rejected");
+  let json = Pref_obs.Json.to_string (Plan.to_json plan) in
+  check "json carries plan_kind" true (contains json "\"plan_kind\":\"bnl\"")
+
+let test_plan_analyze () =
+  let rel = items ~anti:false 200 in
+  let plan = explain_sql ~analyze:true ~cfg:auto_cfg ~rel chain_sql in
+  check "analyze flag" true plan.Plan.analyze;
+  (match find_op "sigma" plan.Plan.ops with
+  | Some o ->
+    (* price = i dominates everything: the BMO set is the single i = 0 row *)
+    check "actual rows under analyze" true (o.Plan.op_rows_out = Some 1);
+    check "rows_in is the input" true (o.Plan.op_rows_in = Some 200);
+    check "estimated vs actual both present" true (o.Plan.op_est_out <> None);
+    check "timed" true (o.Plan.op_ms <> None)
+  | None -> Alcotest.fail "no sigma operator");
+  check "total under analyze" true (plan.Plan.total_ms <> None)
+
+let test_plan_dnc_anti () =
+  (* perfectly anti-correlated dims: the planner must predict a large
+     skyline and reject window algorithms *)
+  let rel = items ~anti:true 200 in
+  let plan = explain_sql ~cfg:auto_cfg ~rel chain_sql in
+  (match plan.Plan.plan with
+  | Pref_bmo.Planner.Plan_dnc _ -> ()
+  | p -> Alcotest.failf "expected dnc, got %s" (Pref_bmo.Planner.plan_to_string p));
+  match plan.Plan.trace.Pref_bmo.Planner.t_correlation with
+  | Some r -> check "negative correlation measured" true (r < -0.3)
+  | None -> Alcotest.fail "no correlation in the trace"
+
+let test_plan_forced_parallel () =
+  let rel = items ~anti:false 200 in
+  let cfg =
+    { Pref_bmo.Engine.default with
+      algorithm = Pref_bmo.Engine.Alg_parallel;
+      domains = Some 2;
+    }
+  in
+  let plan =
+    explain_sql ~cfg ~rel "SELECT * FROM items PREFERRING LOWEST(price)"
+  in
+  (match plan.Plan.plan with
+  | Pref_bmo.Planner.Plan_par_dnc _ -> ()
+  | p ->
+    Alcotest.failf "expected par_dnc, got %s" (Pref_bmo.Planner.plan_to_string p));
+  (match plan.Plan.forced with
+  | Some reason -> check "knob named as the forcing rule" true (contains reason "knob")
+  | None -> Alcotest.fail "forced reason missing");
+  (* the bypassed auto choice is first in the rejected list *)
+  match plan.Plan.trace.Pref_bmo.Planner.t_rejected with
+  | (alt, _) :: _ -> check "auto alternative recorded" true (contains alt "auto:")
+  | [] -> Alcotest.fail "no rejected alternatives"
+
+let with_cache f =
+  Pref_bmo.Cache.set_enabled true;
+  Pref_bmo.Cache.clear Pref_bmo.Cache.global;
+  Fun.protect
+    ~finally:(fun () ->
+      Pref_bmo.Cache.set_enabled false;
+      Pref_bmo.Cache.clear Pref_bmo.Cache.global)
+    f
+
+let test_plan_cache_tiers () =
+  with_cache @@ fun () ->
+  let rel = items ~anti:false 200 in
+  (* populate: run the chain query for real *)
+  ignore (Exec.run_cfg auto_cfg [ ("items", rel) ] chain_sql);
+  (* exact tier *)
+  let plan = explain_sql ~cfg:auto_cfg ~rel chain_sql in
+  check "cache hit plan" true (plan.Plan.plan = Pref_bmo.Planner.Plan_cache_hit);
+  (match plan.Plan.trace.Pref_bmo.Planner.t_probes with
+  | { Pref_bmo.Cache.tier = "exact"; hit = true; ms } :: _ ->
+    check "probe timing recorded" true (ms >= 0.)
+  | _ -> Alcotest.fail "expected a hitting exact probe first");
+  let text = String.concat "\n" (Plan.to_text plan) in
+  check "probe table rendered" true (contains text "exact");
+  (* semantic tier: refine the cached term by a *fresh* attribute — a
+     refinement over attrs the chain already covers is rewritten away
+     (Rewrite: attrs(r) ⊆ attrs(q) makes the prior redundant) and would
+     collapse back to an exact hit *)
+  let refined = chain_sql ^ " PRIOR TO HIGHEST(age)" in
+  let plan = explain_sql ~cfg:auto_cfg ~rel refined in
+  (match plan.Plan.plan with
+  | Pref_bmo.Planner.Plan_cache_semantic _ -> ()
+  | p ->
+    Alcotest.failf "expected cache_semantic, got %s"
+      (Pref_bmo.Planner.plan_to_string p));
+  let probes = plan.Plan.trace.Pref_bmo.Planner.t_probes in
+  check "exact missed first" true
+    (match probes with
+    | { Pref_bmo.Cache.tier = "exact"; hit = false; _ } :: _ -> true
+    | _ -> false);
+  check "prior-prefix tier hit" true
+    (List.exists
+       (fun pr -> pr.Pref_bmo.Cache.tier = "prior-prefix" && pr.Pref_bmo.Cache.hit)
+       probes);
+  (* explaining must not count or store: the probe is non-destructive *)
+  let s = Pref_bmo.Cache.stats Pref_bmo.Cache.global in
+  check "explain did not count cache hits" true (s.Pref_bmo.Cache.hits = 0)
+
+let test_plan_requires_preference () =
+  let rel = items ~anti:false 10 in
+  match explain_sql ~rel "SELECT * FROM items" with
+  | exception Exec.Error msg -> check "names the clause" true (contains msg "PREFERRING")
+  | _ -> Alcotest.fail "EXPLAIN without a preference must be refused"
+
 let suite =
   [
     Gen.quick "explain a best match" test_explain_winner;
@@ -98,4 +269,10 @@ let suite =
     Gen.quick "explain consistent with sigma" test_sigma_consistency;
     Gen.quick "negotiation reservoir pairs" test_unranked_pairs;
     Gen.quick "progressive skyline" test_progressive_sfs;
+    Gen.quick "plan: bnl with decision inputs" test_plan_bnl;
+    Gen.quick "plan: analyze fills actuals" test_plan_analyze;
+    Gen.quick "plan: anti-correlation picks dnc" test_plan_dnc_anti;
+    Gen.quick "plan: algorithm knob forces" test_plan_forced_parallel;
+    Gen.quick "plan: cache tiers in probes" test_plan_cache_tiers;
+    Gen.quick "plan: preference required" test_plan_requires_preference;
   ]

@@ -1,0 +1,209 @@
+(* Metrics export: the Prometheus text exposition rendering is validated
+   structurally (a scraper is an unforgiving parser), the JSON snapshot
+   and HTTP routing are spot-checked, and histogram quantile estimation
+   is pinned on hand-computable inputs. *)
+
+open Pref_obs
+
+let check = Alcotest.(check bool)
+
+(* Populate the registry with one of everything, including the
+   dynamically named families that fold into labels and a name that
+   needs escaping in its label value. *)
+let populate () =
+  Control.set_enabled true;
+  Metrics.reset ();
+  Metrics.incr ~by:3 (Metrics.counter "test.export.hits");
+  Metrics.set (Metrics.gauge "test.export.depth") 2.5;
+  let h = Metrics.histogram ~bounds:[| 1.; 10.; 100. |] "test.export.ms" in
+  List.iter (Metrics.observe h) [ 0.5; 5.; 5.; 50.; 5000. ];
+  Metrics.incr (Metrics.counter "bmo.plan_chosen.par-dnc");
+  Metrics.observe
+    (Metrics.histogram ~bounds:[| 1. |] "bmo.cache.probe_ms.prior-prefix")
+    0.25
+
+(* ------------------------------------------------------------------ *)
+(* Exposition format validator                                         *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let sample_name line =
+  (* name up to '{' or ' ' *)
+  let n = String.length line in
+  let rec go i = if i < n && line.[i] <> '{' && line.[i] <> ' ' then go (i + 1) else i in
+  String.sub line 0 (go 0)
+
+let base_name name =
+  (* strip the series suffixes so samples map back to their family *)
+  let strip s suffix =
+    let n = String.length s and m = String.length suffix in
+    if n >= m && String.sub s (n - m) m = suffix then Some (String.sub s 0 (n - m))
+    else None
+  in
+  match (strip name "_bucket", strip name "_sum", strip name "_count") with
+  | Some b, _, _ -> b
+  | _, Some b, _ -> b
+  | _, _, Some b -> b
+  | None, None, None -> name
+
+let test_exposition_valid () =
+  populate ();
+  let text = Export.prometheus () in
+  check "ends with newline" true
+    (String.length text > 0 && text.[String.length text - 1] = '\n');
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  (* every family announces TYPE (and HELP) before its samples; every
+     sample belongs to an announced family *)
+  let typed = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      if String.length line > 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind ] ->
+          check ("known kind for " ^ name) true
+            (List.mem kind [ "counter"; "gauge"; "histogram" ]);
+          check ("TYPE announced once for " ^ name) false (Hashtbl.mem typed name);
+          Hashtbl.replace typed name kind
+        | _ -> Alcotest.failf "malformed TYPE line %S" line
+      end
+      else if String.length line > 0 && line.[0] <> '#' then begin
+        let name = sample_name line in
+        check ("valid metric name " ^ name) true
+          (name <> "" && String.for_all is_name_char name);
+        check ("sample after TYPE for " ^ name) true
+          (Hashtbl.mem typed (base_name name))
+      end)
+    lines;
+  (* counters follow the _total convention *)
+  Hashtbl.iter
+    (fun name kind ->
+      if kind = "counter" then
+        check (name ^ " uses _total") true
+          (String.length name > 6
+          && String.sub name (String.length name - 6) 6 = "_total"))
+    typed;
+  (* the dynamic families fold into labels instead of distinct names *)
+  let contains sub =
+    let n = String.length text and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+    go 0
+  in
+  check "plan variant becomes a label" true
+    (contains "bmo_plan_chosen_total{plan=\"par-dnc\"}");
+  check "probe tier becomes a label" true
+    (contains "bmo_cache_probe_ms_bucket{tier=\"prior-prefix\",");
+  check "no dashed metric name leaks" false (contains "par-dnc_total")
+
+let test_exposition_histogram () =
+  populate ();
+  let text = Export.prometheus () in
+  let lines = String.split_on_char '\n' text in
+  let prefix = "test_export_ms_bucket{le=\"" in
+  let buckets =
+    List.filter_map
+      (fun line ->
+        let n = String.length prefix in
+        if String.length line > n && String.sub line 0 n = prefix then begin
+          match String.index_opt line '}' with
+          | Some close ->
+            let le = String.sub line n (close - 1 - n) in
+            let v =
+              String.trim
+                (String.sub line (close + 1) (String.length line - close - 1))
+            in
+            Some (le, int_of_string v)
+          | None -> None
+        end
+        else None)
+      lines
+  in
+  check "all bounds plus +Inf" true
+    (List.map fst buckets = [ "1"; "10"; "100"; "+Inf" ]);
+  (* cumulative and monotone: 0.5 | 5,5 | 50 | 5000 *)
+  check "cumulative counts" true
+    (List.map snd buckets = [ 1; 3; 4; 5 ]);
+  let find suffix =
+    List.find_map
+      (fun line ->
+        let n = String.length suffix in
+        if String.length line > n && String.sub line 0 n = suffix then
+          Some
+            (String.trim (String.sub line n (String.length line - n)))
+        else None)
+      lines
+  in
+  check "+Inf equals _count" true
+    (find "test_export_ms_count" = Some "5");
+  match find "test_export_ms_sum" with
+  | Some s -> check "sum is the observation total" true (float_of_string s = 5060.5)
+  | None -> Alcotest.fail "no _sum sample"
+
+let test_label_escaping () =
+  check "backslash" true (Export.escape_label {|a\b|} = {|a\\b|});
+  check "quote" true (Export.escape_label {|a"b|} = {|a\"b|});
+  check "newline" true (Export.escape_label "a\nb" = {|a\nb|});
+  check "sanitize" true (Export.sanitize_name "bmo.cache.probe_ms" = "bmo_cache_probe_ms");
+  check "sanitize dash" true (Export.sanitize_name "par-dnc" = "par_dnc")
+
+(* ------------------------------------------------------------------ *)
+(* JSON snapshot and HTTP routing                                      *)
+
+let test_json_and_routing () =
+  populate ();
+  let s = Json.to_string (Export.to_json ()) in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check "json carries the counter" true (contains "\"test.export.hits\"");
+  (match Export.content "/metrics" with
+  | Some (ct, body) ->
+    check "prometheus content type" true
+      (ct = "text/plain; version=0.0.4; charset=utf-8");
+    check "prometheus body" true (body = Export.prometheus ())
+  | None -> Alcotest.fail "/metrics did not route");
+  (match Export.content "/metrics.json" with
+  | Some (ct, _) -> check "json content type" true (ct = "application/json")
+  | None -> Alcotest.fail "/metrics.json did not route");
+  check "unknown path 404s" true (Export.content "/other" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Quantile estimation                                                 *)
+
+let test_quantiles () =
+  (* 10 observations uniform in the 0..10 bucket, 10 in 10..20 *)
+  let buckets = [ (10., 10); (20., 10); (infinity, 0) ] in
+  let q p = Metrics.quantile ~buckets ~count:20 p in
+  check "p50 at the bucket edge" true (q 0.5 = Some 10.);
+  check "p25 interpolates" true (q 0.25 = Some 5.);
+  check "p75 interpolates" true (q 0.75 = Some 15.);
+  check "p100 is the top finite edge" true (q 1.0 = Some 20.);
+  (* mass in the +Inf bucket clamps to the highest finite edge *)
+  check "inf clamps" true
+    (Metrics.quantile ~buckets:[ (10., 1); (infinity, 1) ] ~count:2 0.99
+    = Some 10.);
+  check "empty is None" true
+    (Metrics.quantile ~buckets:[ (10., 0); (infinity, 0) ] ~count:0 0.5 = None);
+  (* summaries surface through the registry *)
+  populate ();
+  match List.assoc_opt "test.export.ms" (Metrics.summaries ()) with
+  | Some s ->
+    check "summary count" true (s.Metrics.s_count = 5);
+    check "summary sum" true (s.Metrics.s_sum = 5060.5)
+  | None -> Alcotest.fail "no summary for test.export.ms"
+
+let suite =
+  [
+    Alcotest.test_case "export: exposition structure" `Quick test_exposition_valid;
+    Alcotest.test_case "export: histogram series" `Quick test_exposition_histogram;
+    Alcotest.test_case "export: escaping" `Quick test_label_escaping;
+    Alcotest.test_case "export: json + routing" `Quick test_json_and_routing;
+    Alcotest.test_case "export: quantiles" `Quick test_quantiles;
+  ]

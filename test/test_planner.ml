@@ -119,11 +119,53 @@ let prop_planner_correct =
         (Relation.distinct result)
         (Relation.distinct (Naive.query Gen.schema p rel)))
 
+(* choose_traced duplicates choose's decision procedure so the hot path
+   stays allocation-light; this pin keeps the two from drifting apart *)
+let test_choose_traced_consistent () =
+  let prefs =
+    [
+      skyline3;
+      Pref.pareto (Pref.lowest "d0") (Pref.highest "d1");
+      Pref.lowest "d0";
+      Pref.prior (Pref.lowest "d0") (Pref.around "d1" 0.5);
+    ]
+  in
+  List.iter
+    (fun dist ->
+      List.iter
+        (fun n ->
+          let rel =
+            Pref_workload.Synthetic.relation ~seed:9 ~n ~dims:3 dist
+          in
+          let schema = Relation.schema rel in
+          List.iter
+            (fun p ->
+              List.iter
+                (fun domains ->
+                  let plain = Planner.choose ?domains schema p rel in
+                  let traced, tr =
+                    Planner.choose_traced ?domains schema p rel
+                  in
+                  check
+                    (Printf.sprintf "same plan at n=%d" n)
+                    true (plain = traced);
+                  check "trace sees the same n" true
+                    (tr.Planner.t_n = List.length (Relation.rows rel)))
+                [ None; Some 1; Some 4 ])
+            prefs)
+        [ 0; 30; 500 ])
+    [
+      Pref_workload.Synthetic.Independent;
+      Pref_workload.Synthetic.Anti_correlated;
+      Pref_workload.Synthetic.Correlated;
+    ]
+
 let suite =
   [
     Gen.quick "chain dimension analysis" test_chain_dims;
     Gen.quick "correlation estimation" test_correlation_estimate;
     Gen.quick "plan choice heuristics" test_plan_choice;
+    Gen.quick "choose_traced pins choose" test_choose_traced_consistent;
     Gen.quick "all plans compute the same result" test_all_plans_correct;
     Gen.quick "cascade plan correctness" test_cascade_plan_correct;
   ]

@@ -68,15 +68,36 @@ let test_fuzz_frames () =
            false
          with Invalid_argument _ -> true))
 
+let trace = { Protocol.trace_id = "c12af.3"; span_id = "s3" }
+
 let test_request_roundtrip () =
+  let query ?trace sql = Protocol.Query { sql; trace } in
   let cases =
     [
-      Protocol.Query "SELECT * FROM car PREFERRING LOWEST price";
-      Protocol.Query "@best";
-      Protocol.Prepare ("best", "SELECT * FROM car\nPREFERRING LOWEST price");
+      query "SELECT * FROM car PREFERRING LOWEST price";
+      query "@best";
+      query ~trace "SELECT * FROM car PREFERRING LOWEST price";
+      Protocol.Prepare
+        {
+          name = "best";
+          sql = "SELECT * FROM car\nPREFERRING LOWEST price";
+          trace = None;
+        };
+      Protocol.Prepare { name = "best"; sql = "@x"; trace = Some trace };
+      Protocol.Explain
+        { sql = "SELECT * FROM car"; analyze = false; json = false; trace = None };
+      Protocol.Explain
+        {
+          sql = "SELECT * FROM car";
+          analyze = true;
+          json = true;
+          trace = Some trace;
+        };
       Protocol.Set ("deadline", "12.5");
       Protocol.Set ("algorithm", "bnl");
       Protocol.Stats;
+      Protocol.Metrics { json = false };
+      Protocol.Metrics { json = true };
       Protocol.Ping;
     ]
   in
@@ -93,6 +114,33 @@ let test_request_roundtrip () =
         true
         (Result.is_error (Protocol.parse_request payload)))
     [ ""; "FROBNICATE"; "QUERY\n"; "QUERY\n   "; "PREPARE x\n"; "SET key" ]
+
+let test_trace_words () =
+  (* unknown verb-line words are ignored — a traced frame parses on a
+     pre-trace peer, and garbage trace words degrade to "no trace" *)
+  check "both words" true
+    (Protocol.trace_of_words [ "trace=t1"; "span=s1" ]
+    = Some { Protocol.trace_id = "t1"; span_id = "s1" });
+  check "order-free" true
+    (Protocol.trace_of_words [ "span=s1"; "x"; "trace=t1" ]
+    = Some { Protocol.trace_id = "t1"; span_id = "s1" });
+  check "missing span" true (Protocol.trace_of_words [ "trace=t1" ] = None);
+  check "empty id" true
+    (Protocol.trace_of_words [ "trace="; "span=s1" ] = None);
+  check "bad charset" true
+    (Protocol.trace_of_words [ "trace=a b"; "span=s1" ] = None);
+  (* encoding refuses ids that could not survive the verb line *)
+  check "encode refuses whitespace ids" true
+    (try
+       ignore
+         (Protocol.encode_request
+            (Protocol.Query
+               {
+                 sql = "x";
+                 trace = Some { Protocol.trace_id = "a b"; span_id = "s" };
+               }));
+       false
+     with Invalid_argument _ -> true)
 
 let awkward_relation =
   let schema =
@@ -136,27 +184,43 @@ let awkward_relation =
     ]
 
 let test_response_roundtrip () =
-  let rows flags =
-    Protocol.Rows { relation = awkward_relation; flags }
+  let rows ?trace flags =
+    Protocol.Rows { relation = awkward_relation; flags; trace }
   in
   let cases =
     [
       rows Pref_bmo.Engine.complete;
       rows { Pref_bmo.Engine.partial = true; truncated = false };
       rows { Pref_bmo.Engine.partial = true; truncated = true };
+      rows ~trace Pref_bmo.Engine.complete;
+      rows ~trace { Pref_bmo.Engine.partial = true; truncated = true };
       Protocol.Rows
         {
           relation = Relation.make [ ("a", Value.TInt) ] [];
           flags = Pref_bmo.Engine.complete;
+          trace = None;
         };
       Protocol.Done "";
       Protocol.Done "cache: off";
       Protocol.Pong;
       Protocol.Stats_resp
         [ ("server.queries", "12"); ("session.errors", "0") ];
-      Protocol.Err { kind = "busy"; retriable = true; message = "try later" };
+      Protocol.Explain_resp "EXPLAIN SELECT ...\nplan: bnl";
+      Protocol.Metrics_resp "# TYPE server_queries_total counter\n";
       Protocol.Err
-        { kind = "parse"; retriable = false; message = "line 1:\n  boom" };
+        {
+          kind = "busy";
+          retriable = true;
+          message = "try later";
+          trace = None;
+        };
+      Protocol.Err
+        {
+          kind = "parse";
+          retriable = false;
+          message = "line 1:\n  boom";
+          trace = Some trace;
+        };
     ]
   in
   List.iter
@@ -165,13 +229,14 @@ let test_response_roundtrip () =
       | Error e -> Alcotest.fail e
       | Ok got -> (
         match (resp, got) with
-        | ( Protocol.Rows { relation = r1; flags = f1 },
-            Protocol.Rows { relation = r2; flags = f2 } ) ->
+        | ( Protocol.Rows { relation = r1; flags = f1; trace = t1 },
+            Protocol.Rows { relation = r2; flags = f2; trace = t2 } ) ->
           check "schema survives" true
             (Relation.schema r1 = Relation.schema r2);
           check "rows survive exactly" true
             (Relation.rows r1 = Relation.rows r2);
-          check "flags survive" true (f1 = f2)
+          check "flags survive" true (f1 = f2);
+          check "trace echoes" true (t1 = t2)
         | _ -> check "response round-trips" true (got = resp)))
     cases;
   List.iter
@@ -219,6 +284,7 @@ let suite =
     Alcotest.test_case "protocol: frame round-trips" `Quick test_frames;
     Alcotest.test_case "protocol: corrupt frames" `Quick test_fuzz_frames;
     Alcotest.test_case "protocol: requests" `Quick test_request_roundtrip;
+    Alcotest.test_case "protocol: trace words" `Quick test_trace_words;
     Alcotest.test_case "protocol: responses" `Quick test_response_roundtrip;
     Alcotest.test_case "protocol: value rendering" `Quick test_wire_values;
   ]

@@ -310,6 +310,238 @@ let test_drain_rejects_retriably () =
     ());
   check "drained" true (counter server "server.draining" = 1)
 
+(* ------------------------------------------------------------------ *)
+(* Observability: trace propagation, EXPLAIN, METRICS, slowlog          *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_trace_echo () =
+  with_server (fun server ->
+      with_client server (fun c ->
+          (* the echoed trace is byte-identical to the one sent *)
+          (match Client.query_traced c sky_query with
+          | Ok (_, _, Some _) -> ()
+          | Ok (_, _, None) -> Alcotest.fail "no trace echoed on ROWS"
+          | Error e -> Alcotest.fail e);
+          let tr = Client.fresh_trace () in
+          (match Client.request c (Protocol.Query { sql = sky_query; trace = Some tr }) with
+          | Protocol.Rows { trace = Some echoed; _ } ->
+            check "echo is the request trace" true (echoed = tr)
+          | _ -> Alcotest.fail "expected traced ROWS");
+          (* errors echo it too, so a failed call still stitches *)
+          (match Client.request c (Protocol.Query { sql = "SELEC nope"; trace = Some tr }) with
+          | Protocol.Err { trace = Some echoed; _ } ->
+            check "error echoes the trace" true (echoed = tr)
+          | _ -> Alcotest.fail "expected traced ERR");
+          (* untraced requests stay untraced *)
+          match Client.request c (Protocol.Query { sql = sky_query; trace = None }) with
+          | Protocol.Rows { trace = None; _ } -> ()
+          | _ -> Alcotest.fail "expected an untraced ROWS"))
+
+(* Timings differ between two runs of the same decision; everything else
+   in the report must not. Mask "<float> ms" token pairs and single
+   "<float>ms" cells. *)
+let normalize_plan_text body =
+  let mask w =
+    let n = String.length w in
+    if n > 2 && String.sub w (n - 2) 2 = "ms"
+       && float_of_string_opt (String.sub w 0 (n - 2)) <> None
+    then "_ms"
+    else
+      (* "local_ms=0.017"-style operator attributes *)
+      match String.index_opt w '=' with
+      | Some eq
+        when eq >= 3
+             && String.sub w (eq - 3) 3 = "_ms"
+             && float_of_string_opt
+                  (String.sub w (eq + 1) (n - eq - 1))
+                <> None ->
+        String.sub w 0 (eq + 1) ^ "_"
+      | _ -> w
+  in
+  String.split_on_char '\n' body
+  |> List.map (fun line ->
+         let words = String.split_on_char ' ' line in
+         let rec go = function
+           | w :: "ms" :: rest when float_of_string_opt w <> None ->
+             "_" :: "ms" :: go rest
+           | w :: rest -> mask w :: go rest
+           | [] -> []
+         in
+         String.concat " " (go words))
+
+let test_explain_wire_parity () =
+  (* the in-process server and the local comparison session share
+     [Cache.global]; start from a known state and leave none behind *)
+  Pref_bmo.Cache.set_enabled false;
+  Pref_bmo.Cache.clear Pref_bmo.Cache.global;
+  Fun.protect
+    ~finally:(fun () ->
+      Pref_bmo.Cache.set_enabled false;
+      Pref_bmo.Cache.clear Pref_bmo.Cache.global)
+  @@ fun () ->
+  with_server (fun server ->
+      with_client server (fun c ->
+          (* a local session configured exactly like the server's *)
+          let session =
+            Pref_engine.Session.create
+              ~config:Server.default_config.Server.session_config ~env ()
+          in
+          let parity ?(analyze = false) label sql =
+            let local =
+              String.concat "\n"
+                (Pref_bmo.Explain.Plan.to_text
+                   (Pref_engine.Session.explain session ~analyze sql))
+            in
+            match Client.explain ~analyze c sql with
+            | Error e -> Alcotest.fail e
+            | Ok wire ->
+              if normalize_plan_text local <> normalize_plan_text wire then
+                Alcotest.failf "%s: local/wire EXPLAIN differ:\n%s\n----\n%s"
+                  label local wire
+          in
+          let set key value =
+            (match Client.set c ~key ~value with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail e);
+            match Pref_engine.Session.set session ~key ~value with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail e
+          in
+          (* default knob forces bnl; ANALYZE runs the real sigma, which
+             is why this phase keeps the cache off (it would store) *)
+          parity "bnl" sky_query;
+          parity ~analyze:true "bnl analyze" sky_query;
+          set "algorithm" "parallel";
+          set "domains" "2";
+          parity "par-dnc" "SELECT * FROM sky PREFERRING LOWEST(d0)";
+          parity ~analyze:true "par-dnc analyze"
+            "SELECT * FROM sky PREFERRING LOWEST(d0)";
+          set "algorithm" "auto";
+          parity "auto" sky_query;
+          (* populate the shared cache through the wire, then both sides
+             must explain the same reuse *)
+          Pref_bmo.Cache.set_enabled true;
+          Pref_bmo.Cache.clear Pref_bmo.Cache.global;
+          (match Client.query c sky_query with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e);
+          parity "cache-exact" sky_query;
+          let base2 = "SELECT * FROM sky PREFERRING LOWEST(d0) AND LOWEST(d1)" in
+          (match Client.query c base2 with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e);
+          (* a refinement over a fresh attribute: served from the cached
+             prefix, so both reports must show the semantic tier *)
+          parity "cache-semantic" (base2 ^ " PRIOR TO HIGHEST(d2)");
+          (* the wire report names the tiers *)
+          match Client.explain c (base2 ^ " PRIOR TO HIGHEST(d2)") with
+          | Ok body ->
+            check "probe table on the wire" true (contains body "cache probes:");
+            check "semantic reuse on the wire" true
+              (contains body "cache(semantic")
+          | Error e -> Alcotest.fail e))
+
+let test_metrics_op () =
+  Pref_obs.Control.set_enabled true;
+  Fun.protect ~finally:(fun () -> Pref_obs.Control.set_enabled false)
+  @@ fun () ->
+  with_server (fun server ->
+      with_client server (fun c ->
+          (match Client.query c sky_query with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e);
+          (match Client.metrics c with
+          | Ok body ->
+            check "exposition format" true (contains body "# TYPE ");
+            check "server counters exported" true
+              (contains body "server_queries_total")
+          | Error e -> Alcotest.fail e);
+          match Client.metrics ~json:true c with
+          | Ok body -> check "json snapshot" true (contains body "\"server.queries\"")
+          | Error e -> Alcotest.fail e))
+
+let test_slowlog () =
+  Pref_engine.Slowlog.clear ();
+  let path = Filename.temp_file "slowlog" ".jsonl" in
+  Pref_engine.Slowlog.set_file (Some path);
+  Fun.protect
+    ~finally:(fun () ->
+      Pref_engine.Slowlog.set_file None;
+      (try Sys.remove path with Sys_error _ -> ()))
+  @@ fun () ->
+  with_server (fun server ->
+      with_client server (fun c ->
+          (* threshold 0: every statement is slow *)
+          (match Client.set c ~key:"slowlog" ~value:"0" with
+          | Ok line -> check "knob confirms" true (contains line "slowlog")
+          | Error e -> Alcotest.fail e);
+          (match Client.query c sky_query with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e);
+          check "recorded" true (Pref_engine.Slowlog.count () >= 1);
+          (match Pref_engine.Slowlog.recent () with
+          | entry :: _ ->
+            let s = Pref_obs.Json.to_string entry in
+            check "entry carries the query text" true (contains s "PREFERRING");
+            check "entry carries a session id" true (contains s "\"session\"")
+          | [] -> Alcotest.fail "ring is empty");
+          (* the count surfaces in STATS *)
+          (match Client.stats c with
+          | Ok kvs ->
+            check "server.slow_queries in STATS" true
+              (match List.assoc_opt "server.slow_queries" kvs with
+              | Some v -> int_of_string v >= 1
+              | None -> false)
+          | Error e -> Alcotest.fail e);
+          (* and the file sink got one JSON line per entry *)
+          let ic = open_in path in
+          let lines = In_channel.input_lines ic in
+          close_in ic;
+          check "file sink has entries" true (List.length lines >= 1);
+          check "file lines are JSON objects" true
+            (List.for_all
+               (fun l -> String.length l > 0 && l.[0] = '{')
+               lines)))
+
+let test_metrics_http () =
+  Pref_obs.Control.set_enabled true;
+  Fun.protect ~finally:(fun () -> Pref_obs.Control.set_enabled false)
+  @@ fun () ->
+  let m = Metrics_http.start ~host ~port:0 () in
+  Fun.protect ~finally:(fun () -> Metrics_http.stop m)
+  @@ fun () ->
+  let fetch path =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with _ -> ())
+      (fun () ->
+        Unix.connect fd
+          (Unix.ADDR_INET (Unix.inet_addr_of_string host, Metrics_http.port m));
+        let req = "GET " ^ path ^ " HTTP/1.0\r\n\r\n" in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        let buf = Buffer.create 1024 in
+        let chunk = Bytes.create 1024 in
+        let rec drain () =
+          match Unix.read fd chunk 0 1024 with
+          | 0 -> Buffer.contents buf
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+        in
+        drain ())
+  in
+  Pref_obs.Metrics.incr (Pref_obs.Metrics.counter "test.http.ping");
+  let resp = fetch "/metrics" in
+  check "200" true (contains resp "HTTP/1.0 200 OK");
+  check "prometheus content type" true
+    (contains resp "text/plain; version=0.0.4");
+  check "body has the counter" true (contains resp "test_http_ping_total");
+  check "404s unknown paths" true (contains (fetch "/nope") "404")
+
 let suite =
   [
     Alcotest.test_case "server: wire round-trip and knobs" `Quick test_roundtrip;
@@ -321,4 +553,10 @@ let suite =
     Alcotest.test_case "server: graceful drain" `Quick test_graceful_drain;
     Alcotest.test_case "server: drain rejects retriably" `Quick
       test_drain_rejects_retriably;
+    Alcotest.test_case "server: trace echo" `Quick test_trace_echo;
+    Alcotest.test_case "server: EXPLAIN wire parity" `Quick
+      test_explain_wire_parity;
+    Alcotest.test_case "server: METRICS wire op" `Quick test_metrics_op;
+    Alcotest.test_case "server: slow-query log" `Quick test_slowlog;
+    Alcotest.test_case "server: metrics HTTP listener" `Quick test_metrics_http;
   ]
