@@ -1,5 +1,5 @@
-.PHONY: all build test bench bench-quick bench-smoke server-smoke check fmt \
-	lint clean
+.PHONY: all build test bench bench-quick bench-smoke bench-gates \
+	server-smoke check fmt lint clean
 
 all: build
 
@@ -20,6 +20,17 @@ bench-quick:
 # gates (B10) and the server throughput section (B11).
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+
+# Cost-model no-regression gates: run the smoke bench, pull its
+# BENCH_JSON line, and fail if any b9_speedups / b10_cache cell is below
+# 1.0x (parallel-chosen B9 cells are skipped on hosts with < 4 cores,
+# where measured fan-out cannot win).
+bench-gates:
+	@dune exec bench/main.exe -- --smoke > _bench_smoke.log 2>&1; \
+	status=$$?; cat _bench_smoke.log; \
+	[ $$status -eq 0 ] || { echo "bench-gates: bench failed"; exit 1; }; \
+	grep -o 'BENCH_JSON .*' _bench_smoke.log | cut -d' ' -f2- > _bench_smoke.json; \
+	python3 scripts/bench_gates.py _bench_smoke.json
 
 # Boot prefserve, soak it with concurrent clients, assert complete
 # response accounting, zero unexpected deadline expiries, and a clean
@@ -51,8 +62,9 @@ check:
 	dune build @all
 	dune runtest
 	@$(MAKE) lint || { echo "make check: FAILED (lint gate)"; exit 1; }
-	@$(MAKE) bench-smoke || { echo "make check: FAILED (bench-smoke gate)"; exit 1; }
+	@$(MAKE) bench-gates || { echo "make check: FAILED (bench gates)"; exit 1; }
 	@echo "make check: OK"
 
 clean:
 	dune clean
+	rm -f _bench_smoke.log _bench_smoke.json

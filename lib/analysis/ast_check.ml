@@ -185,11 +185,13 @@ let check_query ?(registry = Translate.default_registry) ~env (q : Ast.query)
            (suggest (List.map fst env) t)))
     unknown;
   let duplicates =
+    (* exact written names only, mirroring the executor: joins qualify
+       columns with the written table name, so [FROM r, R] self-joins
+       under distinct qualifiers while [FROM r, r] genuinely collides *)
     let rec dups seen = function
       | [] -> []
       | t :: rest ->
-        let l = String.lowercase_ascii t in
-        if List.mem l seen then t :: dups seen rest else dups (l :: seen) rest
+        if List.mem t seen then t :: dups seen rest else dups (t :: seen) rest
     in
     dups [] q.Ast.from
   in

@@ -24,6 +24,7 @@ type stats = {
   semantic_reuses : int;
   patched_entries : int;
   evictions : int;
+  cost_skipped : int;
 }
 
 type t = {
@@ -44,6 +45,7 @@ type t = {
   mutable semantic : int;
   mutable patched : int;
   mutable evictions : int;
+  mutable cost_skipped : int;
 }
 
 let create ?(max_entries = 128) ?(budget_bytes = 64 * 1024 * 1024) () =
@@ -60,6 +62,7 @@ let create ?(max_entries = 128) ?(budget_bytes = 64 * 1024 * 1024) () =
     semantic = 0;
     patched = 0;
     evictions = 0;
+    cost_skipped = 0;
   }
 
 let global =
@@ -323,6 +326,19 @@ let derive schema cpref rel = function
     let dominates = Dominance.of_pref schema cpref in
     Relation.make schema (Bnl.maxima dominates (seed @ others))
 
+(* Predicted reconstruction overhead a derivation would pay on top of a
+   cold evaluation, in ms — [None] means "serve it".  prior-prefix and
+   dunion-inter derive from the cached result sets and are strictly
+   cheaper than any cold run, so they are never refused (a test pins
+   this).  pareto-restrict re-groups the full base relation: at bench
+   scale that reconstruction measured ~60x a cold run (B10), so it only
+   serves while the predicted overhead stays inside the model's slack. *)
+let derivation_overhead_ms ~n = function
+  | D_prior _ | D_dunion _ -> None
+  | D_pareto _ ->
+    let overhead = Cost.derive_pareto_overhead_ms ~n in
+    if overhead > Cost.semantic_gate_slack_ms then Some overhead else None
+
 (* {1 The counting protocol} *)
 
 type reuse = Exact | Semantic of string
@@ -345,12 +361,13 @@ let timed_tier tier hit_of f =
   Obs.observe_probe tier ms;
   (r, { tier; hit = hit_of r; ms })
 
-let lookup t ?(projection = []) schema p rel =
+let lookup t ?(projection = []) ?(gate = true) schema p rel =
   if not t.enabled then None
   else begin
     let fp = fingerprint rel in
     let cpref = Canon.canonical p in
     let pref_key = Preferences.Serialize.to_string cpref in
+    let n = List.length (Relation.rows rel) in
     locked t @@ fun () ->
     let exact, _ =
       timed_tier "exact" Option.is_some (fun () ->
@@ -371,6 +388,15 @@ let lookup t ?(projection = []) schema p rel =
             (timed_tier tier Option.is_some (fun () ->
                  find_semantic t ~fp ~proj:projection cpref))
       in
+      let semantic =
+        match semantic with
+        | Some (_, d) when gate && derivation_overhead_ms ~n d <> None ->
+          (* predicted to lose to a cold run: miss instead of serving *)
+          t.cost_skipped <- t.cost_skipped + 1;
+          Pref_obs.Metrics.incr Obs.cache_cost_skipped;
+          None
+        | s -> s
+      in
       match semantic with
       | Some (desc, d) ->
         let result = derive schema cpref rel d in
@@ -385,12 +411,13 @@ let lookup t ?(projection = []) schema p rel =
         None)
   end
 
-let probe_traced t ?(projection = []) _schema p rel =
+let probe_traced t ?(projection = []) ?(gate = true) _schema p rel =
   if not t.enabled then (None, [])
   else begin
     let fp = fingerprint rel in
     let cpref = Canon.canonical p in
     let pref_key = Preferences.Serialize.to_string cpref in
+    let n = List.length (Relation.rows rel) in
     locked t @@ fun () ->
     let exact, p_exact =
       timed_tier "exact" Option.is_some (fun () ->
@@ -406,11 +433,28 @@ let probe_traced t ?(projection = []) _schema p rel =
           timed_tier tier Option.is_some (fun () ->
               find_semantic t ~fp ~proj:projection cpref)
         in
-        ( Option.map (fun (desc, _) -> Semantic desc) found,
-          [ p_exact; p_sem ] ))
+        match found with
+        | Some (_, d) when gate && derivation_overhead_ms ~n d <> None ->
+          (* a probe never counts, so the skip is only marked in the
+             probe record EXPLAIN renders *)
+          let overhead = Option.get (derivation_overhead_ms ~n d) in
+          ( None,
+            [
+              p_exact;
+              {
+                tier =
+                  Printf.sprintf "%s[cost-skip +%.1fms]" tier overhead;
+                hit = false;
+                ms = p_sem.ms;
+              };
+            ] )
+        | _ ->
+          ( Option.map (fun (desc, _) -> Semantic desc) found,
+            [ p_exact; p_sem ] ))
   end
 
-let probe t ?projection schema p rel = fst (probe_traced t ?projection schema p rel)
+let probe t ?projection ?gate schema p rel =
+  fst (probe_traced t ?projection ?gate schema p rel)
 
 (* {1 Incremental maintenance} *)
 
@@ -466,6 +510,7 @@ let stats t =
     semantic_reuses = t.semantic;
     patched_entries = t.patched;
     evictions = t.evictions;
+    cost_skipped = t.cost_skipped;
   }
 
 let stats_lines t =
@@ -475,6 +520,8 @@ let stats_lines t =
     Printf.sprintf "cache: %s — %d entries, ~%.2f MiB (budget %.0f MiB, max %d entries)"
       (if t.enabled then "enabled" else "disabled")
       s.entries (mib s.bytes) (mib t.budget_bytes) t.max_entries;
-    Printf.sprintf "hits %d  misses %d  semantic %d  patched %d  evictions %d"
-      s.hits s.misses s.semantic_reuses s.patched_entries s.evictions;
+    Printf.sprintf
+      "hits %d  misses %d  semantic %d  cost-skipped %d  patched %d  evictions %d"
+      s.hits s.misses s.semantic_reuses s.cost_skipped s.patched_entries
+      s.evictions;
   ]

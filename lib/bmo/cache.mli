@@ -78,23 +78,34 @@ type reuse =
 val lookup :
   t ->
   ?projection:string list ->
+  ?gate:bool ->
   Schema.t ->
   Preferences.Pref.t ->
   Relation.t ->
   (Relation.t * reuse) option
 (** Three-tier lookup as described above. Counts exactly one of
     hit / semantic-reuse / miss per call. [None] on a disabled cache
-    counts nothing. *)
+    counts nothing.
+
+    [gate] (default true) prices semantic reconstructions with {!Cost}
+    before serving them: a derivation predicted to cost more than a cold
+    evaluation (pareto-restrict re-groups the full base relation) is
+    refused, counted as a miss plus one [cost_skipped]. prior-prefix and
+    dunion-inter derive from the cached sets only and are never refused.
+    [~gate:false] restores the pre-cost-model behaviour
+    ([\set costmodel off]). *)
 
 val probe :
   t ->
   ?projection:string list ->
+  ?gate:bool ->
   Schema.t ->
   Preferences.Pref.t ->
   Relation.t ->
   reuse option
 (** Non-counting peek for the planner: would {!lookup} succeed, and in
-    which tier? Does not derive, store, or touch LRU order. *)
+    which tier? Does not derive, store, or touch LRU order. [gate] as in
+    {!lookup}, so the planner's view matches what a lookup would serve. *)
 
 type tier_probe = {
   tier : string;  (** [exact], [prior-prefix], [dunion-inter], [pareto-restrict] *)
@@ -105,6 +116,7 @@ type tier_probe = {
 val probe_traced :
   t ->
   ?projection:string list ->
+  ?gate:bool ->
   Schema.t ->
   Preferences.Pref.t ->
   Relation.t ->
@@ -112,8 +124,10 @@ val probe_traced :
 (** {!probe} plus the per-tier timings it measured, in probe order (the
     exact tier always first; the one applicable semantic tier after it
     when the exact tier missed) — the rows of EXPLAIN's cache-probe
-    table. Both [probe] and [lookup] feed the same timings into the
-    [bmo.cache.probe_ms.<tier>] histograms. *)
+    table. A semantic match refused by the cost gate reports no reuse and
+    marks its probe row with a [[cost-skip +N.Nms]] suffix carrying the
+    predicted reconstruction overhead. Both [probe] and [lookup] feed the
+    same timings into the [bmo.cache.probe_ms.<tier>] histograms. *)
 
 val store :
   t ->
@@ -149,6 +163,9 @@ type stats = {
   semantic_reuses : int;
   patched_entries : int;
   evictions : int;
+  cost_skipped : int;
+      (** semantic matches refused because reconstruction was predicted
+          to lose to a cold run *)
 }
 
 val stats : t -> stats

@@ -29,6 +29,7 @@ type config = {
   deadline_ms : float option;
   max_rows : int option;
   slowlog_ms : float option;
+  costmodel : bool;
 }
 
 let default =
@@ -41,6 +42,7 @@ let default =
     deadline_ms = None;
     max_rows = None;
     slowlog_ms = None;
+    costmodel = true;
   }
 
 type flags = { partial : bool; truncated : bool }
@@ -129,6 +131,10 @@ let set cfg ~key ~value =
         Error
           (Printf.sprintf "maxrows must be a positive integer or off, got %s"
              value))
+  | "costmodel" -> (
+    match bool_of_knob value with
+    | Some b -> Ok { cfg with costmodel = b }
+    | None -> Error "costmodel must be on or off")
   | "slowlog" ->
     if off_knob value then Ok { cfg with slowlog_ms = None }
     else (
@@ -144,7 +150,7 @@ let set cfg ~key ~value =
     Error
       (Printf.sprintf
          "unknown setting %s (algorithm | domains | cache | check | profile \
-          | deadline | maxrows | slowlog)"
+          | deadline | maxrows | slowlog | costmodel)"
          key)
 
 let describe cfg =
@@ -165,4 +171,5 @@ let describe cfg =
       match cfg.slowlog_ms with
       | Some ms -> Printf.sprintf "%g" ms
       | None -> "off" );
+    ("costmodel", if cfg.costmodel then "on" else "off");
   ]

@@ -46,6 +46,11 @@ type config = {
       (** slow-query log threshold in milliseconds; queries at or above
           it are recorded by the session layer ([Pref_engine.Slowlog]).
           [None] disables the log. *)
+  costmodel : bool;
+      (** price plan alternatives and semantic cache reuse with the
+          calibrated {!Cost} model (default); [false] falls back to the
+          fixed-threshold heuristics and ungated cache tiers, so a cost
+          model regression is bisectable with one knob *)
 }
 
 val default : config
@@ -89,7 +94,7 @@ val set : config -> key:string -> value:string -> (config, string) result
 (** Keys: [algorithm] (naive|bnl|decompose|parallel|auto), [domains]
     (positive int), [cache]/[check]/[profile] (on|off), [deadline]
     (milliseconds, or [off]), [maxrows] (positive int, or [off]),
-    [slowlog] (millisecond threshold, or [off]).
+    [slowlog] (millisecond threshold, or [off]), [costmodel] (on|off).
     [Error] carries a usage message naming the valid values. *)
 
 val describe : config -> (string * string) list

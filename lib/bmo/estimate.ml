@@ -32,6 +32,26 @@ let expected_skyline_size ~n ~dims =
     e.(n)
   end
 
+(* The exact DP costs O(n * dims); at planning time the input can be
+   hundreds of thousands of rows and the estimate only needs to be right
+   to within the cost model's own error.  Below the cutoff we return the
+   exact expectation, above it the (ln n + gamma)^(d-1)/(d-1)! asymptotic
+   with the Euler-Mascheroni correction, clamped to [1, n]. *)
+let approx_cutoff = 4096
+
+let expected_skyline_size_fast ~n ~dims =
+  if n <= approx_cutoff then expected_skyline_size ~n ~dims
+  else if dims = 1 then 1.
+  else begin
+    let gamma = 0.5772156649015329 in
+    let rec fact k = if k <= 1 then 1. else float_of_int k *. fact (k - 1) in
+    let est =
+      Float.pow (log (float_of_int n) +. gamma) (float_of_int (dims - 1))
+      /. fact (dims - 1)
+    in
+    Float.min (float_of_int n) (Float.max 1. est)
+  end
+
 let log_closed_form ~n ~dims =
   (* the Theta(ln^(d-1) n / (d-1)!) asymptotic, for sanity checks *)
   if n <= 1 then 1.

@@ -13,5 +13,11 @@ val harmonic : int -> float
 val expected_skyline_size : n:int -> dims:int -> float
 (** Exact expectation by dynamic programming; O(n·d). Raises on dims < 1. *)
 
+val expected_skyline_size_fast : n:int -> dims:int -> float
+(** {!expected_skyline_size} with a planning-time budget: exact DP up to
+    n = 4096, the (ln n + γ)^(d−1)/(d−1)! asymptotic (clamped to [1, n])
+    above it. Within a few percent of exact everywhere the cost model
+    needs it, and O(1) at bench scale. Raises on dims < 1. *)
+
 val log_closed_form : n:int -> dims:int -> float
 (** The asymptotic lnᵈ⁻¹(n)/(d−1)! for sanity comparisons. *)

@@ -104,11 +104,13 @@ module Plan = struct
   let decide (cfg : Engine.config) ~deadline schema p rel =
     let use_cache = cfg.Engine.cache && Cache.is_enabled () in
     let probe =
-      if use_cache then Cache.probe_traced Cache.global schema p rel
+      if use_cache then
+        Cache.probe_traced ~gate:cfg.Engine.costmodel Cache.global schema p rel
       else (None, [])
     in
     let auto_plan, trace =
-      Planner.choose_traced ~probe ?domains:cfg.Engine.domains schema p rel
+      Planner.choose_traced ~costmodel:cfg.Engine.costmodel ~probe
+        ?domains:cfg.Engine.domains schema p rel
     in
     let bypass reason plan =
       let trace =
@@ -218,6 +220,18 @@ module Plan = struct
         ]
       | None -> []
     in
+    let costs =
+      match tr.Planner.t_costs with
+      | [] -> []
+      | cs ->
+        let chosen = Planner.plan_kind e.plan in
+        "predicted costs (ms):"
+        :: List.map
+             (fun (alt, ms) ->
+               Printf.sprintf "  %-10s %8.3f%s" alt ms
+                 (if String.equal alt chosen then "  <- chosen" else ""))
+             cs
+    in
     let probes =
       match tr.Planner.t_probes with
       | [] -> []
@@ -249,7 +263,7 @@ module Plan = struct
       | Some ms when e.analyze -> [ Printf.sprintf "total: %.3f ms" ms ]
       | _ -> []
     in
-    (header :: plan_line :: inputs) @ probes @ rejected @ ops @ total
+    (header :: plan_line :: inputs) @ costs @ probes @ rejected @ ops @ total
 
   (* {2 JSON rendering} *)
 
@@ -306,6 +320,12 @@ module Plan = struct
                  Obj
                    [ ("tier", Str tier); ("hit", Bool hit); ("ms", Float ms) ])
                tr.Planner.t_probes) );
+        ( "costs",
+          List
+            (List.map
+               (fun (alt, ms) ->
+                 Obj [ ("plan", Str alt); ("predicted_ms", Float ms) ])
+               tr.Planner.t_costs) );
         ( "rejected",
           List
             (List.map

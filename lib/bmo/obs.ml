@@ -25,6 +25,7 @@ let cache_misses = Metrics.counter "bmo.cache.misses"
 let cache_semantic = Metrics.counter "bmo.cache.semantic_reuses"
 let cache_patched = Metrics.counter "bmo.cache.patched_entries"
 let cache_evictions = Metrics.counter "bmo.cache.evictions"
+let cache_cost_skipped = Metrics.counter "bmo.cache.cost_skipped"
 let cache_entries = Metrics.gauge "bmo.cache.entries"
 let cache_bytes = Metrics.gauge "bmo.cache.bytes"
 

@@ -43,6 +43,11 @@ val cache_patched : Pref_obs.Metrics.counter
 (** Entries patched in place by incremental insert/delete maintenance. *)
 
 val cache_evictions : Pref_obs.Metrics.counter
+
+val cache_cost_skipped : Pref_obs.Metrics.counter
+(** Semantic-tier lookups that matched but were refused because the cost
+    model predicted the reconstruction would lose to a cold run. *)
+
 val cache_entries : Pref_obs.Metrics.gauge
 val cache_bytes : Pref_obs.Metrics.gauge
 

@@ -10,6 +10,9 @@ type plan =
   | Plan_par_sfs of { attrs : string list; maximize : bool; domains : int }
   | Plan_cascade of Pref.t * Pref.t  (** Proposition 11: chain & rest *)
   | Plan_decompose
+  | Plan_identity
+      (** the winnow is provably redundant: sigma[P](R) = R holds under the
+          relation's constraints, so the plan is "return the input" *)
   | Plan_cache_hit
   | Plan_cache_semantic of string
 
@@ -22,6 +25,7 @@ let plan_kind = function
   | Plan_par_sfs _ -> "par_sfs"
   | Plan_cascade _ -> "cascade"
   | Plan_decompose -> "decompose"
+  | Plan_identity -> "identity"
   | Plan_cache_hit -> "cache_hit"
   | Plan_cache_semantic _ -> "cache_semantic"
 
@@ -42,6 +46,7 @@ let plan_to_string = function
   | Plan_cascade (p1, p2) ->
     Printf.sprintf "cascade(%s; %s)" (Show.to_string p1) (Show.to_string p2)
   | Plan_decompose -> "decompose"
+  | Plan_identity -> "identity (sigma[P](R) = R)"
   | Plan_cache_hit -> "cache(exact)"
   | Plan_cache_semantic desc -> Printf.sprintf "cache(semantic:%s)" desc
 
@@ -115,43 +120,264 @@ let sampled_correlation schema attrs rows =
    merge overhead. *)
 let par_chunk_threshold = 8192
 
-let choose ?(cache = true) ?domains schema p rel =
+(* ------------------------------------------------------------------ *)
+(* Decision procedure                                                  *)
+
+(* One decision record feeds both [choose] (which keeps only the plan)
+   and [choose_traced] (which renders everything for EXPLAIN), so the two
+   can never drift apart. *)
+type decision = {
+  d_plan : plan;
+  d_correlation : float option;
+  d_costs : (string * float) list;  (* predicted ms, cheapest first *)
+  d_rejected : (string * string) list;
+}
+
+let pref_dims chain p =
+  match chain with
+  | Some (attrs, _) -> List.length attrs
+  | None -> max 1 (List.length (Pref.attrs p))
+
+(* Cost-based choice: price every alternative that can evaluate this
+   preference shape and take the cheapest. Parallel plans carry their
+   spawn + merge overhead, so they lose at small n no matter how many
+   domains are available. *)
+let decide_by_cost ~missed ~chain ~d ~n schema p rows =
+  let correlation =
+    match chain with
+    | Some (attrs, _) -> Some (sampled_correlation schema attrs rows)
+    | None -> None
+  in
+  let dims = pref_dims chain p in
+  let w =
+    {
+      Cost.n;
+      dims;
+      domains = d;
+      correlation = Option.value correlation ~default:0.;
+    }
+  in
+  let candidates =
+    [ ("bnl", Plan_bnl) ]
+    @ (match chain with
+      | Some (attrs, maximize) ->
+        (if List.length attrs >= 2 then
+           [ ("dnc", Plan_dnc { attrs; maximize }) ]
+         else [])
+        @ [ ("sfs", Plan_sfs { attrs; maximize }) ]
+        @
+        if d > 1 then
+          [ ("par_sfs", Plan_par_sfs { attrs; maximize; domains = d }) ]
+        else []
+      | None -> [])
+    @ (if d > 1 then [ ("par_dnc", Plan_par_dnc { domains = d }) ] else [])
+    @ [ ("naive", Plan_naive); ("decompose", Plan_decompose) ]
+  in
+  let priced =
+    List.map (fun (k, plan) -> (k, plan, Cost.predict_ms ~kind:k w)) candidates
+  in
+  let best =
+    List.fold_left
+      (fun ((_, _, bc) as acc) ((_, _, c) as cand) ->
+        if c < bc then cand else acc)
+      (List.hd priced) (List.tl priced)
+  in
+  let bk, bplan, bc = best in
+  let by_cost =
+    List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) priced
+  in
+  {
+    d_plan = bplan;
+    d_correlation = correlation;
+    d_costs = List.map (fun (k, _, c) -> (k, c)) by_cost;
+    d_rejected =
+      missed
+      @ List.filter_map
+          (fun (k, _, c) ->
+            if String.equal k bk then None
+            else
+              Some
+                (k, Printf.sprintf "predicted %.3f ms vs %.3f ms for %s" c bc bk))
+          by_cost;
+  }
+
+(* The pre-cost-model heuristics, kept behind [\set costmodel off] so a
+   cost-model regression in production is bisectable to this switch. *)
+let decide_by_rule ~missed ~chain ~big ~big_str ~d schema rows =
+  match chain with
+  | Some (attrs, maximize) ->
+    let r = sampled_correlation schema attrs rows in
+    let anti = r < -0.3 in
+    let not_dnc =
+      if not anti then Printf.sprintf "r=%.2f >= -0.3: skyline expected small" r
+      else "chain has a single dimension: no median split to recurse on"
+    in
+    if anti && List.length attrs >= 2 then
+      (* Large-skyline regime: the recursive median split of [KLP75]
+         beats window passes, and chunked windows would make the merge
+         itself quadratic in the (huge) result. Keep it sequential. *)
+      {
+        d_plan = Plan_dnc { attrs; maximize };
+        d_correlation = Some r;
+        d_costs = [];
+        d_rejected =
+          missed
+          @ [
+              ( "bnl",
+                Printf.sprintf
+                  "r=%.2f < -0.3 predicts a large skyline: window passes go \
+                   quadratic in the result" r );
+              ( "par_sfs",
+                "chunked windows would make the merge quadratic in the (huge) \
+                 result" );
+            ];
+      }
+    else if big then
+      {
+        d_plan = Plan_par_sfs { attrs; maximize; domains = d };
+        d_correlation = Some r;
+        d_costs = [];
+        d_rejected =
+          missed
+          @ [
+              ("dnc", not_dnc);
+              ( "bnl",
+                Printf.sprintf "n=%d >= %s rows feed every domain"
+                  (List.length rows) big_str );
+            ];
+      }
+    else
+      {
+        d_plan = Plan_bnl;
+        d_correlation = Some r;
+        d_costs = [];
+        d_rejected =
+          missed
+          @ [
+              ("dnc", not_dnc);
+              ( "par_sfs",
+                Printf.sprintf
+                  "n=%d < %s: fan-out would not pay for projection and merge"
+                  (List.length rows) big_str );
+            ];
+      }
+  | None ->
+    if big then
+      {
+        d_plan = Plan_par_dnc { domains = d };
+        d_correlation = None;
+        d_costs = [];
+        d_rejected =
+          missed
+          @ [
+              ( "bnl",
+                Printf.sprintf "n=%d >= %s rows feed every domain"
+                  (List.length rows) big_str );
+            ];
+      }
+    else
+      {
+        d_plan = Plan_bnl;
+        d_correlation = None;
+        d_costs = [];
+        d_rejected =
+          missed
+          @ [
+              ( "par_dnc",
+                Printf.sprintf
+                  "n=%d < %s: fan-out would not pay for projection and merge"
+                  (List.length rows) big_str );
+            ];
+      }
+
+let decide ~costmodel ~reuse ~probes ~d ~n schema p rel =
+  let rows = Relation.rows rel in
+  let big = d > 1 && n >= par_chunk_threshold * d in
+  let big_str =
+    Printf.sprintf "%d (= %d domains x %d)" (par_chunk_threshold * d) d
+      par_chunk_threshold
+  in
+  match reuse with
+  | Some Cache.Exact ->
+    {
+      d_plan = Plan_cache_hit;
+      d_correlation = None;
+      d_costs = [];
+      d_rejected = [ ("bnl", "an exact cache hit beats any evaluation") ];
+    }
+  | Some (Cache.Semantic desc) ->
+    {
+      d_plan = Plan_cache_semantic desc;
+      d_correlation = None;
+      d_costs = [];
+      d_rejected =
+        [
+          ( "bnl",
+            "deriving from cached entries (" ^ desc
+            ^ ") is predicted cheaper than re-evaluation" );
+        ];
+    }
+  | None -> (
+    let missed =
+      if probes = [] then []
+      else [ ("cache", "probe missed every applicable tier") ]
+    in
+    if n <= 64 then
+      {
+        d_plan = Plan_naive;
+        d_correlation = None;
+        d_costs = [];
+        d_rejected =
+          missed
+          @ [ ("bnl", "n <= 64: window bookkeeping costs more than the n^2 scan") ];
+      }
+    else
+      match p with
+      | Pref.Prior (p1, p2) when syntactic_chain p1 ->
+        (* Proposition 11: evaluate the chain first, then the rest on the
+           (typically tiny) intermediate result. Structural, not costed:
+           the cascade's first pass subsumes any alternative's scan. *)
+        {
+          d_plan = Plan_cascade (p1, p2);
+          d_correlation = None;
+          d_costs =
+            (if costmodel then
+               let w =
+                 { Cost.n; dims = pref_dims None p; domains = d; correlation = 0. }
+               in
+               [
+                 ("cascade", Cost.predict_ms ~kind:"cascade" w);
+                 ("bnl", Cost.predict_ms ~kind:"bnl" w);
+               ]
+             else []);
+          d_rejected =
+            missed
+            @ [
+                ( "bnl",
+                  "prioritisation head is a syntactic chain: the cascade \
+                   prunes the input to a thin slice first (Prop. 11)" );
+              ];
+        }
+      | _ ->
+        let chain = chain_dims p in
+        if costmodel then decide_by_cost ~missed ~chain ~d ~n schema p rows
+        else decide_by_rule ~missed ~chain ~big ~big_str ~d schema rows)
+
+let choose ?(cache = true) ?(costmodel = true) ?domains schema p rel =
   Pref_obs.Span.with_span "bmo.plan.choose" @@ fun () ->
   let d =
     match domains with Some d -> max 1 d | None -> Parallel.default_domains ()
   in
-  let rows = Relation.rows rel in
-  let n = List.length rows in
-  let big = d > 1 && n >= par_chunk_threshold * d in
-  match if cache then Cache.probe Cache.global schema p rel else None with
-  | Some Cache.Exact -> Plan_cache_hit
-  | Some (Cache.Semantic desc) -> Plan_cache_semantic desc
-  | None ->
-  if n <= 64 then Plan_naive
-  else
-    match p with
-    | Pref.Prior (p1, p2) when syntactic_chain p1 ->
-      (* Proposition 11: evaluate the chain first, then the rest on the
-         (typically tiny) intermediate result *)
-      Plan_cascade (p1, p2)
-    | _ -> (
-      match chain_dims p with
-      | Some (attrs, maximize) ->
-        let r = sampled_correlation schema attrs rows in
-        let anti = r < -0.3 in
-        if anti && List.length attrs >= 2 then
-          (* Large-skyline regime: the recursive median split of [KLP75]
-             beats window passes, and chunked windows would make the merge
-             itself quadratic in the (huge) result. Keep it sequential. *)
-          Plan_dnc { attrs; maximize }
-        else if big then Plan_par_sfs { attrs; maximize; domains = d }
-        else Plan_bnl
-      | None -> if big then Plan_par_dnc { domains = d } else Plan_bnl)
+  let n = List.length (Relation.rows rel) in
+  let reuse =
+    if cache then Cache.probe ~gate:costmodel Cache.global schema p rel
+    else None
+  in
+  (decide ~costmodel ~reuse ~probes:[] ~d ~n schema p rel).d_plan
 
 (* ------------------------------------------------------------------ *)
-(* Traced choice — same decision procedure, with its inputs and the
-   rejected alternatives recorded for EXPLAIN. [choose] above stays the
-   hot path; a test pins the two to the same answer. *)
+(* Traced choice — the same [decide], with its inputs and the rejected
+   alternatives (and their predicted costs) recorded for EXPLAIN. *)
 
 type trace = {
   t_n : int;
@@ -164,138 +390,43 @@ type trace = {
   t_probes : Cache.tier_probe list;
   t_rejected : (string * string) list;
   t_estimate : float option;
+  t_costs : (string * float) list;
 }
 
-let choose_traced ?(cache = true) ?probe ?domains schema p rel =
+let choose_traced ?(cache = true) ?(costmodel = true) ?probe ?domains schema p
+    rel =
   let d =
     match domains with Some d -> max 1 d | None -> Parallel.default_domains ()
   in
-  let rows = Relation.rows rel in
-  let n = List.length rows in
+  let n = List.length (Relation.rows rel) in
   let big = d > 1 && n >= par_chunk_threshold * d in
   let reuse, probes =
     match probe with
     | Some r -> r
     | None ->
-      if cache then Cache.probe_traced Cache.global schema p rel else (None, [])
+      if cache then Cache.probe_traced ~gate:costmodel Cache.global schema p rel
+      else (None, [])
   in
   let chain = chain_dims p in
-  let dims =
-    match chain with
-    | Some (attrs, _) -> List.length attrs
-    | None -> max 1 (List.length (Pref.attrs p))
-  in
+  let dims = pref_dims chain p in
   let estimate =
-    if n = 0 then None else Some (Estimate.expected_skyline_size ~n ~dims)
+    if n = 0 then None else Some (Estimate.expected_skyline_size_fast ~n ~dims)
   in
-  let pick ?correlation rejected plan =
-    ( plan,
-      {
-        t_n = n;
-        t_dims = dims;
-        t_domains = d;
-        t_par_threshold = par_chunk_threshold;
-        t_big = big;
-        t_chain = chain;
-        t_correlation = correlation;
-        t_probes = probes;
-        t_rejected = rejected;
-        t_estimate = estimate;
-      } )
-  in
-  let big_str = Printf.sprintf "%d (= %d domains x %d)" (par_chunk_threshold * d) d par_chunk_threshold in
-  match reuse with
-  | Some Cache.Exact ->
-    pick [ ("bnl", "an exact cache hit beats any evaluation") ] Plan_cache_hit
-  | Some (Cache.Semantic desc) ->
-    pick
-      [ ("bnl", "deriving from cached entries (" ^ desc ^ ") beats re-evaluation") ]
-      (Plan_cache_semantic desc)
-  | None ->
-    let missed =
-      if probes = [] then []
-      else [ ("cache", "probe missed every applicable tier") ]
-    in
-    if n <= 64 then
-      pick
-        (missed
-        @ [ ("bnl", "n <= 64: window bookkeeping costs more than the n^2 scan") ])
-        Plan_naive
-    else (
-      match p with
-      | Pref.Prior (p1, p2) when syntactic_chain p1 ->
-        pick
-          (missed
-          @ [
-              ( "bnl",
-                "prioritisation head is a syntactic chain: the cascade prunes \
-                 the input to a thin slice first (Prop. 11)" );
-            ])
-          (Plan_cascade (p1, p2))
-      | _ -> (
-        match chain with
-        | Some (attrs, maximize) ->
-          let r = sampled_correlation schema attrs rows in
-          let anti = r < -0.3 in
-          let not_dnc =
-            if not anti then
-              Printf.sprintf "r=%.2f >= -0.3: skyline expected small" r
-            else "chain has a single dimension: no median split to recurse on"
-          in
-          if anti && List.length attrs >= 2 then
-            pick ~correlation:r
-              (missed
-              @ [
-                  ( "bnl",
-                    Printf.sprintf
-                      "r=%.2f < -0.3 predicts a large skyline: window passes \
-                       go quadratic in the result" r );
-                  ( "par_sfs",
-                    "chunked windows would make the merge quadratic in the \
-                     (huge) result" );
-                ])
-              (Plan_dnc { attrs; maximize })
-          else if big then
-            pick ~correlation:r
-              (missed
-              @ [
-                  ("dnc", not_dnc);
-                  ( "bnl",
-                    Printf.sprintf "n=%d >= %s rows feed every domain" n big_str
-                  );
-                ])
-              (Plan_par_sfs { attrs; maximize; domains = d })
-          else
-            pick ~correlation:r
-              (missed
-              @ [
-                  ("dnc", not_dnc);
-                  ( "par_sfs",
-                    Printf.sprintf
-                      "n=%d < %s: fan-out would not pay for projection and \
-                       merge" n big_str );
-                ])
-              Plan_bnl
-        | None ->
-          if big then
-            pick
-              (missed
-              @ [
-                  ( "bnl",
-                    Printf.sprintf "n=%d >= %s rows feed every domain" n big_str
-                  );
-                ])
-              (Plan_par_dnc { domains = d })
-          else
-            pick
-              (missed
-              @ [
-                  ( "par_dnc",
-                    Printf.sprintf
-                      "n=%d < %s: fan-out would not pay for projection and \
-                       merge" n big_str );
-                ])
-              Plan_bnl))
+  let dec = decide ~costmodel ~reuse ~probes ~d ~n schema p rel in
+  ( dec.d_plan,
+    {
+      t_n = n;
+      t_dims = dims;
+      t_domains = d;
+      t_par_threshold = par_chunk_threshold;
+      t_big = big;
+      t_chain = chain;
+      t_correlation = dec.d_correlation;
+      t_probes = probes;
+      t_rejected = dec.d_rejected;
+      t_estimate = estimate;
+      t_costs = dec.d_costs;
+    } )
 
 let execute schema p rel plan =
   Pref_obs.Span.with_span "bmo.plan.execute"
@@ -312,6 +443,7 @@ let execute schema p rel plan =
     Parallel.query_sfs ~domains schema ~attrs ~maximize p rel
   | Plan_cascade (p1, p2) -> Decompose.cascade schema p1 p2 rel
   | Plan_decompose -> Decompose.eval schema p rel
+  | Plan_identity -> rel
   | Plan_cache_hit | Plan_cache_semantic _ -> (
     (* [choose] probed the cache; serve through the counting lookup. An
        eviction between probe and execute degrades to a plain BNL pass. *)
@@ -322,10 +454,28 @@ let execute schema p rel plan =
       Cache.store Cache.global schema p rel result;
       result)
 
-let run ?(cache = true) ?domains schema p rel =
-  let plan = choose ~cache ?domains schema p rel in
+let run ?(cache = true) ?(costmodel = true) ?domains schema p rel =
+  let plan = choose ~cache ~costmodel ?domains schema p rel in
   Obs.plan_chosen (plan_kind plan);
+  let t0 = Pref_obs.Clock.now_ns () in
   let result = execute schema p rel plan in
+  (if Cost.learning () then begin
+     (* fold the measured runtime back into the model (per-kind EMA) and
+        record the Prop. 13 filter effect the query exhibited *)
+     let ms = Pref_obs.Clock.elapsed_ms ~since:t0 in
+     let n = List.length (Relation.rows rel) in
+     let dims = pref_dims (chain_dims p) p in
+     let w = { Cost.n; dims; domains = 1; correlation = 0. } in
+     (match plan with
+     | Plan_naive | Plan_bnl | Plan_sfs _ | Plan_dnc _ | Plan_decompose
+     | Plan_cascade _ ->
+       Cost.observe ~kind:(plan_kind plan) w ~ms
+     | Plan_par_dnc { domains } | Plan_par_sfs { domains; _ } ->
+       Cost.observe ~kind:(plan_kind plan) { w with Cost.domains } ~ms
+     | Plan_identity | Plan_cache_hit | Plan_cache_semantic _ -> ());
+     Cost.observe_filter ~dims ~n_in:n
+       ~n_out:(List.length (Relation.rows result))
+   end);
   (match plan with
   | _ when not cache -> ()
   | Plan_cache_hit | Plan_cache_semantic _ -> ()

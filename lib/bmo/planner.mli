@@ -1,19 +1,24 @@
-(** A cost-based plan chooser for BMO queries — the optimizer skeleton the
-    paper's roadmap asks for ("cost-based optimization to choose between
-    direct implementations of the Pareto operator and divide & conquer
+(** A cost-based plan chooser for BMO queries — the optimizer the paper's
+    roadmap asks for ("cost-based optimization to choose between direct
+    implementations of the Pareto operator and divide & conquer
     algorithms", §7).
 
-    Heuristics implemented:
-    - tiny inputs run naively (no setup cost);
-    - a prioritization headed by a syntactic chain becomes a query cascade
-      (Proposition 11): the chain prunes the input to a thin slice first;
-    - a Pareto accumulation of same-direction numeric chains is a skyline;
-      a sampled correlation estimate picks [KLP75] divide & conquer on
-      anti-correlated data (large skylines) and BNL otherwise; on inputs
-      big enough to feed every domain (≥ 8192 rows per domain with more
-      than one domain configured) the skyline runs as parallel SFS;
-    - everything else runs BNL, or parallel divide & conquer when the
-      input is big enough.
+    By default every alternative that can evaluate the term — sequential
+    BNL/SFS, [KLP75] divide & conquer, chunked parallel evaluation,
+    decomposition — is priced by the calibrated {!Cost} model (output
+    cardinality from {!Estimate}, bent by a sampled correlation) and the
+    cheapest wins. Two structural rules short-circuit the comparison:
+    tiny inputs (n ≤ 64) run naively, and a prioritization headed by a
+    syntactic chain becomes a query cascade (Proposition 11) because its
+    first pass subsumes any alternative's scan. When the result cache is
+    enabled it is probed first; semantic reuse only short-circuits when
+    the cache's own cost gate predicts the reconstruction beats a cold
+    run.
+
+    [~costmodel:false] falls back to the pre-cost-model threshold
+    heuristics (anti-correlation picks divide & conquer, ≥ 8192 rows per
+    domain picks a parallel plan, everything else BNL) — the
+    [\set costmodel off] escape hatch.
 
     All plans compute σ[P](R) exactly; the test suite checks each against
     the naive evaluation. *)
@@ -29,6 +34,11 @@ type plan =
   | Plan_par_sfs of { attrs : string list; maximize : bool; domains : int }
   | Plan_cascade of Preferences.Pref.t * Preferences.Pref.t
   | Plan_decompose
+  | Plan_identity
+      (** σ[P](R) = R is provable (e.g. from {!Preferences.Constraints}):
+          return the input unchanged. Never produced by {!choose} — the
+      planner sees no integrity constraints — but chosen by the SQL
+          executor when the winnow is redundant. *)
   | Plan_cache_hit
       (** Serve the stored BMO set from {!Cache.global} verbatim. *)
   | Plan_cache_semantic of string
@@ -39,8 +49,8 @@ val plan_to_string : plan -> string
 
 val plan_kind : plan -> string
 (** Constructor name only ([naive], [bnl], [sfs], [dnc], [par_dnc],
-    [par_sfs], [cascade], [decompose], [cache_hit], [cache_semantic]) —
-    the label the [bmo.plan_chosen.*] metrics use. *)
+    [par_sfs], [cascade], [decompose], [identity], [cache_hit],
+    [cache_semantic]) — the label the [bmo.plan_chosen.*] metrics use. *)
 
 val chain_dims : Preferences.Pref.t -> (string list * bool) option
 (** [Some (attrs, maximize)] when the term is a Pareto accumulation of
@@ -53,6 +63,7 @@ val sampled_correlation :
 
 val choose :
   ?cache:bool ->
+  ?costmodel:bool ->
   ?domains:int ->
   Schema.t ->
   Preferences.Pref.t ->
@@ -60,8 +71,11 @@ val choose :
   plan
 (** [domains] caps the parallelism considered; defaults to
     {!Parallel.default_domains}. With [domains:1] no parallel plan is ever
-    chosen. When the result cache is enabled it is probed first: a cache
-    plan beats every evaluation plan. *)
+    chosen. When the result cache is enabled it is probed first: an exact
+    hit beats every evaluation plan, and a semantic match wins only when
+    its reconstruction is predicted to. [costmodel] (default [true])
+    selects between cost-based choice and the legacy threshold
+    heuristics. *)
 
 (** {1 Traced choice (EXPLAIN)} *)
 
@@ -73,36 +87,44 @@ type trace = {
   t_big : bool;  (** [t_n >= t_par_threshold * t_domains] with [t_domains > 1] *)
   t_chain : (string list * bool) option;  (** {!chain_dims} of the term *)
   t_correlation : float option;
-      (** sampled Pearson correlation, when the chain branch computed it *)
+      (** sampled Pearson correlation, when the decision computed it *)
   t_probes : Cache.tier_probe list;  (** per-tier cache probe timings *)
   t_rejected : (string * string) list;
-      (** alternatives not taken, with the threshold comparison that
-          rejected each *)
+      (** alternatives not taken, each with the predicted-cost (or
+          threshold) comparison that rejected it *)
   t_estimate : float option;
-      (** {!Estimate.expected_skyline_size} under attribute independence *)
+      (** {!Estimate.expected_skyline_size_fast} under independence *)
+  t_costs : (string * float) list;
+      (** predicted milliseconds for every alternative the cost model
+          priced, cheapest first; empty under [~costmodel:false] and on
+          the cache / tiny-input short-circuits *)
 }
 
 val choose_traced :
   ?cache:bool ->
+  ?costmodel:bool ->
   ?probe:Cache.reuse option * Cache.tier_probe list ->
   ?domains:int ->
   Schema.t ->
   Preferences.Pref.t ->
   Relation.t ->
   plan * trace
-(** The same decision procedure as {!choose} (a test pins them to the
-    same answer) with every input it consulted recorded. [probe]
-    substitutes an already-measured cache probe so callers that probed
-    themselves (EXPLAIN) do not probe twice; without it the cache is
-    probed as in {!choose}. *)
+(** The same decision procedure as {!choose} (they share it; a test pins
+    them to the same answer) with every input it consulted recorded.
+    [probe] substitutes an already-measured cache probe so callers that
+    probed themselves (EXPLAIN) do not probe twice; without it the cache
+    is probed as in {!choose}. *)
 
 val execute :
   Schema.t -> Preferences.Pref.t -> Relation.t -> plan -> Relation.t
 
 val run :
   ?cache:bool ->
+  ?costmodel:bool ->
   ?domains:int ->
   Schema.t -> Preferences.Pref.t -> Relation.t -> Relation.t * plan
 (** Choose and execute; returns the chosen plan for EXPLAIN output. Cold
     results are stored into {!Cache.global} when it is enabled and [cache]
-    (default [true]) is not overridden to [false]. *)
+    (default [true]) is not overridden to [false]. While
+    {!Cost.set_learning} is on, the measured runtime and the observed
+    Prop. 13 filter effect are folded back into the cost model. *)

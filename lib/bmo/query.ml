@@ -30,12 +30,16 @@ let evaluate (cfg : Engine.config) ~use_cache schema p rel =
   | Alg_decompose -> Decompose.eval schema p rel
   | Alg_parallel -> Parallel.query ?domains:cfg.domains schema p rel
   | Alg_auto ->
-    fst (Planner.run ~cache:use_cache ?domains:cfg.domains schema p rel)
+    fst
+      (Planner.run ~cache:use_cache ~costmodel:cfg.costmodel
+         ?domains:cfg.domains schema p rel)
 
 let sigma_within ~deadline (cfg : Engine.config) schema p rel =
   let use_cache = cfg.cache && Cache.is_enabled () in
   let cached =
-    if use_cache then Cache.lookup Cache.global schema p rel else None
+    if use_cache then
+      Cache.lookup ~gate:cfg.costmodel Cache.global schema p rel
+    else None
   in
   let result, flags =
     match cached with
@@ -101,7 +105,8 @@ let sigma_profiled_within ~deadline (cfg : Engine.config) schema p rel =
     if not use_cache then None
     else
       let r, ms =
-        Pref_obs.Span.timed (fun () -> Cache.lookup Cache.global schema p rel)
+        Pref_obs.Span.timed (fun () ->
+            Cache.lookup ~gate:cfg.costmodel Cache.global schema p rel)
       in
       Option.map (fun x -> (x, ms)) r
   in
@@ -201,7 +206,8 @@ let sigma_profiled_within ~deadline (cfg : Engine.config) schema p rel =
       | Alg_auto ->
         let plan, plan_ms =
           Pref_obs.Span.timed (fun () ->
-              Planner.choose ~cache:use_cache ?domains:cfg.domains schema p rel)
+              Planner.choose ~cache:use_cache ~costmodel:cfg.costmodel
+                ?domains:cfg.domains schema p rel)
         in
         Obs.plan_chosen (Planner.plan_kind plan);
         let r, ms =

@@ -1,0 +1,156 @@
+open Pref_relation
+
+let value_mem v set = List.exists (Value.equal v) set
+
+(* All scans early-exit and read attribute values through one accessor so
+   a malformed attribute (not in the schema) aborts the proof instead of
+   the query: we only ever claim redundancy when the scan finished. *)
+
+type facts = {
+  schema : Schema.t;
+  rep : Tuple.t;  (** representative row (input is non-empty) *)
+  rows : Tuple.t list;
+  constant : (string, bool) Hashtbl.t;  (** memoised constancy per attr *)
+}
+
+let getv facts row a = Tuple.get_by_name facts.schema row a
+
+let constant facts a =
+  match Hashtbl.find_opt facts.constant a with
+  | Some b -> b
+  | None ->
+    let b =
+      try
+        let v0 = getv facts facts.rep a in
+        List.for_all (fun row -> Value.equal (getv facts row a) v0) facts.rows
+      with _ -> false
+    in
+    Hashtbl.add facts.constant a b;
+    b
+
+let forall_in facts a set =
+  try List.for_all (fun row -> value_mem (getv facts row a) set) facts.rows
+  with _ -> false
+
+let exists_in facts a set =
+  try List.exists (fun row -> value_mem (getv facts row a) set) facts.rows
+  with _ -> true (* unknown: assume a witness exists *)
+
+let forall_in2 facts a s1 s2 =
+  try
+    List.for_all
+      (fun row ->
+        let v = getv facts row a in
+        value_mem v s1 || value_mem v s2)
+      facts.rows
+  with _ -> false
+
+let all_in_range facts a ~low ~up =
+  try
+    List.for_all
+      (fun row ->
+        match Value.as_float (getv facts row a) with
+        | Some f -> low <= f && f <= up
+        | None -> false)
+      facts.rows
+  with _ -> false
+
+(* The generic rule: when every attribute the term reads is constant over
+   R, any two rows are interchangeable for P, so x <_P y iff rep <_P rep
+   — decidable by one evaluation.  (The reflexive check matters: an
+   ill-formed term such as an LSUM with overlapping domains can relate a
+   value to itself, and then the winnow is NOT redundant.) *)
+let constant_attrs facts p =
+  let attrs = Pref.attrs p in
+  attrs <> []
+  && List.for_all (constant facts) attrs
+  && (try not (Pref.lt facts.schema p facts.rep facts.rep) with _ -> false)
+
+let describe_attrs p =
+  match Pref.attrs p with
+  | [ a ] -> Printf.sprintf "attribute %s is constant" a
+  | attrs -> Printf.sprintf "attributes %s are constant" (String.concat ", " attrs)
+
+let rec prove facts p =
+  if constant_attrs facts p then Some (describe_attrs p)
+  else
+    match p with
+    | Pref.Antichain _ -> Some "antichain preference relates no two tuples"
+    | Pref.Dual q -> prove facts q
+    | Pref.Pos (a, set) | Pref.Neg (a, set) ->
+      (* x <_P y needs one value inside the set and one outside. *)
+      if not (exists_in facts a set) then
+        Some (Printf.sprintf "no %s value lies in the named set" a)
+      else if forall_in facts a set then
+        Some (Printf.sprintf "every %s value lies in the named set" a)
+      else None
+    | Pref.Pos_neg (a, pset, nset) ->
+      (* lt = (x in NEG, y not) or (x in neither, y in POS). *)
+      let neg_uniform =
+        (not (exists_in facts a nset)) || forall_in facts a nset
+      in
+      let pos_impossible =
+        (not (exists_in facts a pset)) || forall_in2 facts a pset nset
+      in
+      if neg_uniform && pos_impossible then
+        Some
+          (Printf.sprintf "%s values are uniform w.r.t. the POS/NEG sets" a)
+      else None
+    | Pref.Pos_pos (a, p1, p2) ->
+      (* lt = (x in P2, y in P1) or (x outside both, y inside either). *)
+      let first_impossible =
+        (not (exists_in facts a p2)) || not (exists_in facts a p1)
+      in
+      let second_impossible =
+        forall_in2 facts a p1 p2
+        || not
+             (try
+                List.exists
+                  (fun row ->
+                    let v = getv facts row a in
+                    value_mem v p1 || value_mem v p2)
+                  facts.rows
+              with _ -> true)
+      in
+      if first_impossible && second_impossible then
+        Some
+          (Printf.sprintf "%s values are uniform w.r.t. the POS1/POS2 sets" a)
+      else None
+    | Pref.Explicit (a, closed) ->
+      let range =
+        List.concat_map (fun (worse, better) -> [ worse; better ]) closed
+      in
+      if not (exists_in facts a range) then
+        Some (Printf.sprintf "no %s value occurs in the explicit graph" a)
+      else None
+    | Pref.Between (a, low, up) ->
+      if all_in_range facts a ~low ~up then
+        Some (Printf.sprintf "all %s values lie within [%g, %g]" a low up)
+      else None
+    | Pref.Pareto (p1, p2) | Pref.Prior (p1, p2) | Pref.Dunion (p1, p2) -> (
+      (* Strictness of the compound needs strictness of an operand. *)
+      match prove facts p1 with
+      | None -> None
+      | Some r1 -> (
+        match prove facts p2 with
+        | None -> None
+        | Some r2 ->
+          Some (if String.equal r1 r2 then r1 else r1 ^ "; " ^ r2)))
+    | Pref.Inter (p1, p2) -> (
+      (* x <_P y needs BOTH operands strict: one degenerate operand
+         suffices. *)
+      match prove facts p1 with
+      | Some r -> Some r
+      | None -> prove facts p2)
+    | Pref.Around _ | Pref.Lowest _ | Pref.Highest _ | Pref.Score _
+    | Pref.Rank _ | Pref.Lsum _ | Pref.Two_graphs _ ->
+      (* Only degenerate via the constancy rule above. *)
+      None
+
+let redundant schema p rel =
+  match Relation.rows rel with
+  | [] | [ _ ] -> Some "at most one input row"
+  | rep :: _ as rows ->
+    prove { schema; rep; rows; constant = Hashtbl.create 8 } p
+
+let never_strict schema p rel = Option.is_some (redundant schema p rel)

@@ -1,0 +1,36 @@
+(** Proving winnow redundancy from the input relation.
+
+    Chomicki's semantic optimisation of preference queries eliminates a
+    winnow σ[P](R) when integrity constraints make the preference
+    degenerate on R: if no tuple of R is {e strictly} preferred to
+    another, every tuple is maximal and σ[P](R) = R. This module decides
+    that property against the materialised input — the strongest
+    integrity constraint available to an in-memory executor — with lazy,
+    early-exit scans:
+
+    - {b constancy}: every attribute P reads is constant over R (and P
+      does not relate a value to itself), so all rows are
+      P-interchangeable;
+    - {b band uniformity}: for POS/NEG-family terms, the column is
+      uniform with respect to the named value sets (all inside, or none
+      inside); for BETWEEN, every value already lies inside the band
+      (distance 0 for all rows);
+    - {b structure}: an antichain relates nothing; A ⊗ B, A & B and
+      A + B are degenerate when both operands are; A ♦ B when either
+      operand is; [dual] preserves degeneracy.
+
+    The analysis is sound, not complete: [None] means "not provable",
+    never "the winnow does something". The SQL executor consults it (when
+    the cost model is on) to replace provably redundant winnows with the
+    identity plan. *)
+
+open Pref_relation
+
+val redundant : Schema.t -> Pref.t -> Relation.t -> string option
+(** [redundant schema p rel] is [Some reason] when σ[P](rel) = rel is
+    provable — no tuple of [rel] is strictly preferred to another under
+    [p]. Inputs with at most one row are always redundant. The reason
+    string is human-readable, for EXPLAIN output. *)
+
+val never_strict : Schema.t -> Pref.t -> Relation.t -> bool
+(** [Option.is_some] of {!redundant}. *)

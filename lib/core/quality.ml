@@ -34,7 +34,8 @@ let rec level p v =
       Array.fold_left max 1 (Pref_order.Graph.levels g)
     in
     Some
-      (if in_range v then Pref_order.Graph.level_of g v else max_level + 1)
+      (if in_range v then Pref_order.Graph.level_of ~equal:Value.equal g v
+       else max_level + 1)
   | Pref.Two_graphs s ->
     (* POS block levels, then others, then NEG block levels below *)
     let block edges singles =
@@ -50,7 +51,7 @@ let rec level p v =
       let level_of v =
         if List.exists (Value.equal v) singles then Some 1
         else if List.exists (Value.equal v) nodes then
-          Some (Pref_order.Graph.level_of g v)
+          Some (Pref_order.Graph.level_of ~equal:Value.equal g v)
         else None
       in
       (depth, level_of)

@@ -135,11 +135,11 @@ let levels g =
   done;
   level
 
-let level_of g v =
+let level_of ?(equal = ( = )) g v =
   let lv = levels g in
   let rec go i =
     if i >= size g then invalid_arg "Graph.level_of: value not in graph"
-    else if g.nodes.(i) = v then lv.(i)
+    else if equal g.nodes.(i) v then lv.(i)
     else go (i + 1)
   in
   go 0

@@ -49,7 +49,10 @@ val levels : 'a t -> int array
 (** Level of every node, indexed like [nodes]; raises [Invalid_argument] on a
     cyclic graph. *)
 
-val level_of : 'a t -> 'a -> int
+val level_of : ?equal:('a -> 'a -> bool) -> 'a t -> 'a -> int
+(** Level of the node matching [v] under [equal] (defaults to structural
+    equality); raises [Invalid_argument] when no node matches. Pass the same
+    [equal] the graph was built with so membership and lookup agree. *)
 
 val by_level : 'a t -> (int * 'a list) list
 (** Nodes grouped by level, level 1 first — the layout of the paper's

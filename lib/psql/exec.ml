@@ -185,6 +185,36 @@ let project_result resolve (q : Ast.query) rel =
     in
     Relation.project rel cols
 
+(* ------------------------------------------------------------------ *)
+(* Semantic rewrites the executor consults when the cost model is on.   *)
+
+(* σ[P](σ_W(R)) = σ_W(σ[P](R)) when every WHERE conjunct keeps the
+   better side of one of P's chains (LOWEST a with a <= c or a < c,
+   HIGHEST a with a >= c or a > c): such a selection is closed under
+   domination — any tuple preferred to a surviving tuple also survives —
+   so the winnow commutes with it (Chomicki's semantic optimization of
+   preference queries). The executor uses it to serve a filtered query
+   from the cached winnow of the unfiltered relation. *)
+let selection_commutes resolve p conjuncts =
+  match Pref_bmo.Planner.chain_dims p with
+  | None -> false
+  | Some (attrs, maximize) -> (
+    conjuncts <> []
+    &&
+    try
+      List.for_all
+        (fun c ->
+          match c with
+          | Ast.Cmp (a, op, _) ->
+            List.mem (resolve a) attrs
+            && (match op with
+               | Ast.Le | Ast.Lt -> not maximize
+               | Ast.Ge | Ast.Gt -> maximize
+               | Ast.Eq | Ast.Neq -> false)
+          | _ -> false)
+        conjuncts
+    with _ -> false)
+
 let run_query_within ?registry ~deadline (cfg : Pref_bmo.Engine.config) env
     (q : Ast.query) : result =
   let profile = cfg.Pref_bmo.Engine.profile in
@@ -209,14 +239,16 @@ let run_query_within ?registry ~deadline (cfg : Pref_bmo.Engine.config) env
   let schema = Relation.schema rel in
   let resolve = resolver q schema in
   (* hard constraints first: the exact-match world *)
+  let where_pred =
+    Option.map
+      (fun c ->
+        Translate.condition schema (Ast.map_condition_attrs resolve c))
+      where
+  in
   let filtered =
-    match where with
+    match where_pred with
     | None -> rel
-    | Some c ->
-      phase "where" (fun () ->
-          Relation.select
-            (Translate.condition schema (Ast.map_condition_attrs resolve c))
-            rel)
+    | Some pred -> phase "where" (fun () -> Relation.select pred rel)
   in
   let preference =
     phase "translate" (fun () ->
@@ -263,23 +295,133 @@ let run_query_within ?registry ~deadline (cfg : Pref_bmo.Engine.config) env
                      ~output_rows:(Relation.cardinality r) ());
             r
           | _, [] ->
-            if profile then begin
-              let r, f, prof =
-                Pref_bmo.Query.sigma_profiled_within ~deadline bmo_cfg schema
-                  p_eval filtered
-              in
-              bmo_flags := f;
-              bmo_profile := Some prof;
+            let semantic_ok =
+              cfg.Pref_bmo.Engine.costmodel
+              && cfg.Pref_bmo.Engine.algorithm = Pref_bmo.Engine.Alg_auto
+            in
+            let record algorithm attrs r =
+              if profile then
+                bmo_profile :=
+                  Some
+                    (List.fold_left
+                       (fun prof (k, v) -> Pref_obs.Profile.add_attr prof k v)
+                       (Pref_obs.Profile.make ~algorithm
+                          ~input_rows:(Relation.cardinality filtered)
+                          ~output_rows:(Relation.cardinality r) ())
+                       attrs);
               r
-            end
-            else begin
-              let r, f =
-                Pref_bmo.Query.sigma_within ~deadline bmo_cfg schema p_eval
-                  filtered
-              in
-              bmo_flags := f;
-              r
-            end
+            in
+            (* Selection / winnow commute: serve σ_W(σ[P](R)) from the
+               cached unfiltered winnow when W is domination-closed. *)
+            let commute_serve () =
+              match where, where_pred with
+              | Some c, Some pred
+                when semantic_ok && cfg.Pref_bmo.Engine.cache
+                     && Pref_bmo.Cache.is_enabled ()
+                     && selection_commutes resolve p_eval (Ast.conjuncts c)
+                -> (
+                (* probe (non-counting) before lookup so a cold base
+                   winnow does not count an extra miss *)
+                match
+                  Pref_bmo.Cache.probe Pref_bmo.Cache.global schema p_eval rel
+                with
+                | None -> None
+                | Some _ -> (
+                  match
+                    Pref_bmo.Cache.lookup Pref_bmo.Cache.global schema p_eval
+                      rel
+                  with
+                  | Some (res, reuse) ->
+                    let tier =
+                      match reuse with
+                      | Pref_bmo.Cache.Exact -> "exact"
+                      | Pref_bmo.Cache.Semantic s -> "semantic:" ^ s
+                    in
+                    Some
+                      (record "cache-commute"
+                         [ ("reuse", tier) ]
+                         (Relation.select pred res))
+                  | None -> None))
+              | _ -> None
+            in
+            (* Redundant winnow: P provably relates no two input rows, so
+               σ[P](filtered) = filtered. *)
+            let identity_serve () =
+              if not semantic_ok then None
+              else
+                match Constraints.redundant schema p_eval filtered with
+                | Some reason ->
+                  Some (record "identity" [ ("reason", reason) ] filtered)
+                | None -> None
+            in
+            (* Join fan-out pushdown: winnow the (much smaller) distinct
+               projection onto attrs(P) and keep the rows whose
+               projection survived — σ[P] only reads attrs(P). *)
+            let pushdown_serve () =
+              if not (semantic_ok && List.length q.Ast.from > 1) then None
+              else
+                let pa = Pref.attrs p_eval in
+                if
+                  pa = []
+                  || List.length pa >= Schema.arity schema
+                  || not (List.for_all (Schema.mem schema) pa)
+                then None
+                else begin
+                  let proj = Relation.project_distinct filtered pa in
+                  let dn = Relation.cardinality proj in
+                  let n = Relation.cardinality filtered in
+                  if 2 * dn > n then None
+                  else begin
+                    let winnowed, f =
+                      Pref_bmo.Query.sigma_within ~deadline bmo_cfg
+                        (Relation.schema proj) p_eval proj
+                    in
+                    bmo_flags := f;
+                    let keep = Hashtbl.create (max 16 (2 * dn)) in
+                    List.iter
+                      (fun t -> Hashtbl.replace keep t ())
+                      (Relation.rows winnowed);
+                    let r =
+                      Relation.select
+                        (fun t ->
+                          Hashtbl.mem keep (Tuple.project schema t pa))
+                        filtered
+                    in
+                    Some
+                      (record "pushdown"
+                         [ ("distinct", string_of_int dn) ]
+                         r)
+                  end
+                end
+            in
+            let fallback () =
+              if profile then begin
+                let r, f, prof =
+                  Pref_bmo.Query.sigma_profiled_within ~deadline bmo_cfg
+                    schema p_eval filtered
+                in
+                bmo_flags := f;
+                bmo_profile := Some prof;
+                r
+              end
+              else begin
+                let r, f =
+                  Pref_bmo.Query.sigma_within ~deadline bmo_cfg schema p_eval
+                    filtered
+                in
+                bmo_flags := f;
+                r
+              end
+            in
+            (match commute_serve () with
+            | Some r -> r
+            | None -> (
+              match identity_serve () with
+              | Some r -> r
+              | None -> (
+                match pushdown_serve () with
+                | Some r -> r
+                | None -> fallback ())))
           | _, by ->
             let r, f =
               Pref_bmo.Query.sigma_groupby_within ~deadline bmo_cfg schema
@@ -463,6 +605,30 @@ let explain_query_within ?registry ?(parse_ms = None) ~analyze ~deadline
   let plan, trace, forced =
     Plan.decide bmo_cfg ~deadline schema p_eval filtered
   in
+  (* Winnow elimination mirrors the executor: when P provably relates no
+     two rows of the input, the identity plan replaces whatever the
+     planner picked (which moves to the rejected list). *)
+  let plan, trace =
+    if
+      cfg.Pref_bmo.Engine.costmodel && forced = None && grouping = []
+      && not (q.Ast.top <> None && Pref.is_scorable p)
+    then
+      match Constraints.redundant schema p_eval filtered with
+      | Some reason ->
+        ( Pref_bmo.Planner.Plan_identity,
+          {
+            trace with
+            Pref_bmo.Planner.t_rejected =
+              ( Pref_bmo.Planner.plan_kind plan,
+                "winnow provably redundant: " ^ reason )
+              :: trace.Pref_bmo.Planner.t_rejected;
+          } )
+      | None -> (plan, trace)
+    else (plan, trace)
+  in
+  let identity =
+    match plan with Pref_bmo.Planner.Plan_identity -> true | _ -> false
+  in
   let est = trace.Pref_bmo.Planner.t_estimate in
   (* evaluation: real under ANALYZE, structural otherwise *)
   let after_pref =
@@ -482,7 +648,13 @@ let explain_query_within ?registry ?(parse_ms = None) ~analyze ~deadline
         None
       end
     | _, [] ->
-      if analyze then begin
+      if analyze && identity then begin
+        push
+          (Plan.op "sigma" ~rows_in:n1 ~rows_out:n1 ?est_out:est
+             ~attrs:[ ("algorithm", "identity") ]);
+        Some filtered
+      end
+      else if analyze then begin
         let (r, flags, prof), ms =
           timed "evaluate" (fun () ->
               Pref_bmo.Query.sigma_profiled_within ~deadline bmo_cfg schema

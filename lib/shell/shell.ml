@@ -540,6 +540,7 @@ let execute shell line =
                "          .set               show engine knobs";
                "          .set <key> <val>   algorithm | domains | cache | check";
                "                             | profile | deadline (ms) | maxrows";
+               "                             | costmodel on|off (cost-based planning)";
                "          .algorithm naive|bnl|decompose|parallel|auto | .explain on|off";
                "          \\explain [analyze] [json] <query>  plan report: choice,";
                "                             rejected alternatives, cache probes;";

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""No-regression gates over a BENCH_JSON line.
+
+Fails (exit 1) if any b9_speedups or b10_cache cell reports a speedup
+below 1.0x. B9 speedups are measured against the cost-based planner's
+chosen plan (1.0x by identity when it keeps the sequential baseline), so
+a cell can only lose if the model picked a plan slower than sequential
+BNL. Parallel-chosen B9 cells are skipped when the host reports fewer
+than 4 cores (meta.recommended_domains): measured fan-out cannot win
+there, matching the bench's own in-process [SKIP] rule.
+"""
+import json
+import sys
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench-smoke.json"
+    with open(path) as f:
+        lines = [l for l in f.read().splitlines() if l.strip()]
+    if not lines:
+        print(f"bench-gates: {path} is empty")
+        return 1
+    # the file may accumulate several BENCH_JSON lines; gate the last run
+    data = json.loads(lines[-1])
+    cores = data.get("meta", {}).get("recommended_domains", 1)
+    failures, skipped = [], []
+    for label, cell in data.get("b9_speedups", {}).items():
+        plan = cell.get("plan", "")
+        s = cell.get("speedup", 0.0)
+        if plan.startswith("par_") and cores < 4:
+            skipped.append(
+                f"b9 {label}: {s:.2f}x ({plan}; host has {cores} core(s))"
+            )
+        elif s < 1.0:
+            failures.append(
+                f"b9 {label}: {s:.2f}x < 1.0x (chosen plan {plan or 'unknown'})"
+            )
+    for label, cell in data.get("b10_cache", {}).items():
+        s = cell.get("speedup", 0.0)
+        if s < 1.0:
+            failures.append(f"b10 {label}: {s:.2f}x < 1.0x")
+    for msg in skipped:
+        print(f"bench-gates: SKIP {msg}")
+    for msg in failures:
+        print(f"bench-gates: FAIL {msg}")
+    if failures:
+        return 1
+    print("bench-gates: OK (every gated b9/b10 cell >= 1.0x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

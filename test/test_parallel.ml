@@ -179,8 +179,9 @@ let test_planner_parallel_choice () =
   let rel = Synthetic.relation ~seed:5 ~n ~dims:3 Synthetic.Independent in
   let schema = Relation.schema rel in
   let skyline = Pref.pareto_all (List.map Pref.highest (Synthetic.dim_names 3)) in
-  (* chain skyline, big input, 2 domains -> parallel SFS *)
-  (match Planner.choose ~domains:2 schema skyline rel with
+  (* Legacy threshold heuristics (the [\set costmodel off] path): chain
+     skyline, big input, 2 domains -> parallel SFS *)
+  (match Planner.choose ~costmodel:false ~domains:2 schema skyline rel with
   | Planner.Plan_par_sfs { domains = 2; maximize = true; attrs } ->
     Alcotest.(check (list string)) "sfs dims" [ "d0"; "d1"; "d2" ] attrs
   | other ->
@@ -189,10 +190,19 @@ let test_planner_parallel_choice () =
   let non_chain =
     Pref.pareto (Pref.highest "d0") (Pref.around "d1" 0.5)
   in
-  (match Planner.choose ~domains:2 schema non_chain rel with
+  (match Planner.choose ~costmodel:false ~domains:2 schema non_chain rel with
   | Planner.Plan_par_dnc { domains = 2 } -> ()
   | other ->
     Alcotest.failf "expected par_dnc, got %s" (Planner.plan_to_string other));
+  (* cost model: small flat inputs must never pay the parallel fixed cost
+     (the B9 n=5000, d=2 regression) *)
+  let small = Synthetic.relation ~seed:5 ~n:5000 ~dims:2 Synthetic.Independent in
+  let small_schema = Relation.schema small in
+  let sky2 = Pref.pareto_all (List.map Pref.highest (Synthetic.dim_names 2)) in
+  (match Planner.choose ~domains:4 small_schema sky2 small with
+  | Planner.Plan_par_dnc _ | Planner.Plan_par_sfs _ ->
+    Alcotest.fail "cost model must keep n=5000 d=2 sequential"
+  | _ -> ());
   (* one domain -> never a parallel plan *)
   (match Planner.choose ~domains:1 schema non_chain rel with
   | Planner.Plan_par_dnc _ | Planner.Plan_par_sfs _ ->
