@@ -1,5 +1,5 @@
 .PHONY: all build test bench bench-quick bench-smoke bench-gates \
-	server-smoke check fmt lint clean
+	server-smoke shard-smoke check fmt lint clean
 
 all: build
 
@@ -37,6 +37,13 @@ bench-gates:
 # SIGTERM drain.
 server-smoke:
 	bash scripts/server_smoke.sh
+
+# Boot 3 prefserve shards + prefroute, assert router == single-node
+# parity, zero-loss accounting through the router (including with one
+# backend SIGTERMed mid-soak), degraded served=2/3 responses afterwards,
+# and a clean router drain.
+shard-smoke:
+	bash scripts/shard_smoke.sh
 
 # Formatting gate; dune's (formatting) stanza covers the dune files
 # everywhere and .ml/.mli sources when an ocamlformat binary is present.

@@ -1170,7 +1170,7 @@ let b11 () =
     Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
     let port = Server.port server in
     if warm then begin
-      let c = Client.connect ~host:"127.0.0.1" ~port in
+      let c = Client.connect ~host:"127.0.0.1" ~port () in
       List.iter (fun s -> ignore (Client.query c s)) statements;
       Client.close c
     end;
@@ -1222,6 +1222,116 @@ let b11 () =
          cores (q16 /. Float.max q1 1e-9))
   | _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* B12 — scatter-gather: aggregate QPS scaling from 1 to 4 shards       *)
+
+let b12_results : (string * int * float * int * int * int * float) list ref =
+  ref []
+
+let b12 () =
+  section "B12 Router: aggregate QPS over 1 vs 4 shards (8 clients)";
+  let module Server = Pref_server.Server in
+  let module Router = Pref_router.Router in
+  let module Shard_map = Pref_router.Shard_map in
+  let module Soak = Pref_server.Soak in
+  let cores = Domain.recommended_domain_count () in
+  let n = if quick then 5_000 else 20_000 in
+  let rel = Pref_workload.Cars.relation ~seed:13 ~n () in
+  let scheme = Shard_map.Hash "mileage" in
+  (* the B11 workload, unchanged: the router must be a drop-in front *)
+  let statements =
+    [
+      "SELECT * FROM cars PREFERRING LOWEST(price) AND LOWEST(mileage)";
+      "SELECT * FROM cars PREFERRING HIGHEST(horsepower) AND LOWEST(price)";
+      "SELECT * FROM cars PREFERRING LOWEST(mileage) PRIOR TO HIGHEST(year)";
+    ]
+  in
+  let clients = 8 in
+  let queries_per_client = if quick then 8 else 20 in
+  (* each backend gets one executor domain so the comparison isolates
+     the sharding: 4 shards = 4x the cores AND 1/4 the rows per BNL
+     pass, which is where the scatter-gather win comes from *)
+  let run_one shards =
+    let label = Printf.sprintf "shards_%02d" shards in
+    let parts = Shard_map.partition scheme ~shards rel in
+    let servers =
+      Array.to_list parts
+      |> List.map (fun part ->
+             Server.start
+               ~config:
+                 {
+                   Server.default_config with
+                   host = "127.0.0.1";
+                   port = 0;
+                   executors = 1;
+                   max_inflight = 2 * clients;
+                   session_config =
+                     { Engine.default with cache = false; check = false };
+                 }
+               ~env:[ ("cars", part) ]
+               ())
+    in
+    let backends =
+      List.map
+        (fun s -> { Router.bhost = "127.0.0.1"; bport = Server.port s })
+        servers
+    in
+    let config =
+      {
+        Router.default_config with
+        host = "127.0.0.1";
+        port = 0;
+        backends;
+        shard_map = Shard_map.add Shard_map.empty ~table:"cars" scheme;
+        max_connections = 2 * clients;
+      }
+    in
+    let router = Router.start ~config () in
+    Fun.protect
+      ~finally:(fun () ->
+        Router.stop router;
+        List.iter Server.stop servers)
+    @@ fun () ->
+    match
+      Soak.run ~host:"127.0.0.1" ~port:(Router.port router) ~clients
+        ~queries_per_client ~statements ()
+    with
+    | Error fatal ->
+      check (label ^ " soak completes") false;
+      Fmt.pr "  %-9s fatal: %s@." label fatal;
+      None
+    | Ok r ->
+      b12_results :=
+        ( label,
+          shards,
+          r.Soak.qps,
+          r.Soak.sent,
+          r.Soak.short,
+          r.Soak.errors,
+          r.Soak.elapsed_s )
+        :: !b12_results;
+      Fmt.pr "  %-9s %4d sent %2d err %2d short %9.1f qps in %6.2f s@." label
+        r.Soak.sent r.Soak.errors r.Soak.short r.Soak.qps r.Soak.elapsed_s;
+      check (label ^ " accounts for every response")
+        (r.Soak.sent = r.Soak.ok + r.Soak.degraded + r.Soak.errors
+        && r.Soak.sent = clients * queries_per_client);
+      check (label ^ " has zero error responses") (r.Soak.errors = 0);
+      check (label ^ " served every query from all shards") (r.Soak.short = 0);
+      Some r.Soak.qps
+  in
+  let q1 = run_one 1 in
+  let q4 = run_one 4 in
+  match (q1, q4) with
+  | Some q1, Some q4 when cores >= 4 ->
+    Fmt.pr "  1 -> 4 shard scaling: %.2fx@." (q4 /. Float.max q1 1e-9);
+    check "aggregate QPS at 4 shards >= 2x 1 shard (>= 4 cores)"
+      (q4 >= 2.0 *. q1)
+  | Some q1, Some q4 ->
+    skip "aggregate QPS at 4 shards >= 2x 1 shard"
+      (Printf.sprintf "host has %d core(s), gate needs >= 4; measured %.2fx"
+         cores (q4 /. Float.max q1 1e-9))
+  | _ -> ()
+
 let () =
   Fmt.pr "Preference algebra & BMO reproduction harness%s@."
     (if smoke then " (smoke mode)" else if quick then " (quick mode)" else "");
@@ -1243,7 +1353,7 @@ let () =
   let smoke_sections =
     [
       "e1"; "p_laws"; "b4_decompose"; "b8_obs"; "b9_parallel"; "b10_cache";
-      "b11_server";
+      "b11_server"; "b12_router";
     ]
   in
   let run name f =
@@ -1276,6 +1386,7 @@ let () =
   run "b9_parallel" b9;
   run "b10_cache" b10;
   run "b11_server" b11;
+  run "b12_router" b12;
   Fmt.pr "@.=== summary ===@.";
   Fmt.pr "%d checks, %d failures, %d skipped@." !checks !failures !skips;
   let open Pref_obs in
@@ -1385,6 +1496,21 @@ let () =
                        ("elapsed_s", Json.Float elapsed_s);
                      ] ))
                !b11_results) );
+        ( "b12_router",
+          Json.Obj
+            (List.rev_map
+               (fun (label, shards, qps, sent, short, errors, elapsed_s) ->
+                 ( label,
+                   Json.Obj
+                     [
+                       ("shards", Json.Int shards);
+                       ("qps", Json.Float qps);
+                       ("sent", Json.Int sent);
+                       ("short", Json.Int short);
+                       ("errors", Json.Int errors);
+                       ("elapsed_s", Json.Float elapsed_s);
+                     ] ))
+               !b12_results) );
         ("metrics", Metrics.to_json ());
       ]
   in

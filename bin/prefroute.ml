@@ -1,0 +1,153 @@
+(* prefroute — scatter-gather router in front of N prefserve backends.
+
+   Usage:
+     prefroute --backend 127.0.0.1:5877 --backend 127.0.0.1:5878 \
+               --shard cars=hash:price --port 5876
+
+   Speaks the same wire protocol as prefserve, so the prefsql shell
+   (\connect) and prefsoak work unchanged. Queries over a table
+   registered with --shard fan out to every backend, the per-shard BMO
+   sets are gathered, and a final winnow pass makes the union exact
+   (Kießling Props. 8/10/12). Down backends degrade the response to
+   [partial] + [served=k/n] instead of failing it. SIGTERM/SIGINT drain
+   gracefully. *)
+
+let parse_backend spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error (Printf.sprintf "backend %S: want HOST:PORT" spec)
+  | Some i -> (
+    let host = String.sub spec 0 i in
+    let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && host <> "" ->
+      Ok { Pref_router.Router.bhost = host; bport = p }
+    | _ -> Error (Printf.sprintf "backend %S: want HOST:PORT" spec))
+
+let main backends shards host port max_connections shard_timeout deadline_ms =
+  let die msg =
+    Fmt.epr "prefroute: %s@." msg;
+    exit 2
+  in
+  let backends =
+    List.map
+      (fun spec ->
+        match parse_backend spec with Ok b -> b | Error msg -> die msg)
+      backends
+  in
+  if backends = [] then die "at least one --backend HOST:PORT is required";
+  let shard_map =
+    List.fold_left
+      (fun acc spec ->
+        match Pref_router.Shard_map.of_spec spec with
+        | Ok (table, scheme) -> Pref_router.Shard_map.add acc ~table scheme
+        | Error msg -> die msg)
+      Pref_router.Shard_map.empty shards
+  in
+  let config =
+    {
+      Pref_router.Router.default_config with
+      host;
+      port;
+      backends;
+      shard_map;
+      max_connections;
+      shard_timeout_s = shard_timeout;
+      session_config =
+        {
+          Pref_router.Router.default_config.session_config with
+          deadline_ms;
+        };
+    }
+  in
+  let router = Pref_router.Router.start ~config () in
+  let stop_signal _ = Pref_router.Router.request_stop router in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+  Fmt.pr "prefroute: listening on %s:%d (%d backend(s), %d connection(s) max)@."
+    host
+    (Pref_router.Router.port router)
+    (List.length backends) max_connections;
+  List.iteri
+    (fun i b ->
+      Fmt.pr "  shard %d: %s:%d@." i b.Pref_router.Router.bhost
+        b.Pref_router.Router.bport)
+    backends;
+  List.iter
+    (fun (table, scheme) ->
+      Fmt.pr "  table %s: %s@." table
+        (Pref_router.Shard_map.scheme_to_string scheme))
+    (Pref_router.Shard_map.tables shard_map);
+  Pref_router.Router.wait router;
+  Fmt.pr "prefroute: drained, %d queries routed@."
+    (match
+       List.assoc_opt "router.queries" (Pref_router.Router.counters router)
+     with
+    | Some n -> n
+    | None -> 0)
+
+open Cmdliner
+
+let backends_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "b"; "backend" ] ~docv:"HOST:PORT"
+        ~doc:
+          "A prefserve backend (repeatable; shard $(i,i) is the $(i,i)-th \
+           $(b,--backend)). Dialed lazily — backends may start after the \
+           router.")
+
+let shards_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "s"; "shard" ] ~docv:"SPEC"
+        ~doc:
+          "Register a sharded table: $(i,NAME=hash:ATTR), \
+           $(i,NAME=range:ATTR:B1,B2,...) (ascending bounds; shard $(i,i) \
+           holds rows with key <= $(i,Bi), the last shard the rest), or \
+           $(i,NAME) / $(i,NAME=replicated) for a table present in full on \
+           every backend (repeatable). Queries over unregistered tables are \
+           proxied round-robin.")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+
+let port_arg =
+  Arg.(
+    value & opt int 5876
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:"Listen port; 0 picks an ephemeral one (printed on startup).")
+
+let connections_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-connections" ] ~docv:"N" ~doc:"Connection limit.")
+
+let shard_timeout_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "shard-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-shard response budget per request (also bounds busy-retry); \
+           a shard silent past it is skipped and the response degrades to \
+           $(b,partial) with $(b,served=k/n).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"MS"
+        ~doc:
+          "Final-pass merge deadline in milliseconds (sessions may change \
+           it with SET deadline).")
+
+let cmd =
+  let doc = "Scatter-gather router for Preference SQL servers" in
+  Cmd.v
+    (Cmd.info "prefroute" ~version:"1.0.0" ~doc)
+    Term.(
+      const main $ backends_arg $ shards_arg $ host_arg $ port_arg
+      $ connections_arg $ shard_timeout_arg $ deadline_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -11,7 +11,24 @@
    duplicated one. Exits nonzero on accounting failure or any error
    response. *)
 
-let main host port clients queries statements set_knobs strict =
+let report_json ~host ~port ~clients ~queries (r : Pref_server.Soak.report) =
+  Pref_obs.Json.Obj
+    [
+      ("target", Pref_obs.Json.Str (Printf.sprintf "%s:%d" host port));
+      ("clients", Pref_obs.Json.Int clients);
+      ("queries_per_client", Pref_obs.Json.Int queries);
+      ("sent", Pref_obs.Json.Int r.Pref_server.Soak.sent);
+      ("ok", Pref_obs.Json.Int r.Pref_server.Soak.ok);
+      ("degraded", Pref_obs.Json.Int r.Pref_server.Soak.degraded);
+      ("errors", Pref_obs.Json.Int r.Pref_server.Soak.errors);
+      ("retried", Pref_obs.Json.Int r.Pref_server.Soak.retried);
+      ("traced", Pref_obs.Json.Int r.Pref_server.Soak.traced);
+      ("short", Pref_obs.Json.Int r.Pref_server.Soak.short);
+      ("elapsed_s", Pref_obs.Json.Float r.Pref_server.Soak.elapsed_s);
+      ("qps", Pref_obs.Json.Float r.Pref_server.Soak.qps);
+    ]
+
+let main host port clients queries statements set_knobs strict json_file =
   if statements = [] then begin
     Fmt.epr "prefsoak: at least one --statement is required@.";
     exit 2
@@ -38,9 +55,18 @@ let main host port clients queries statements set_knobs strict =
     exit 1
   | Ok report ->
     Fmt.pr "%a@." Pref_server.Soak.pp_report report;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc
+          (Pref_obs.Json.to_string
+             (report_json ~host ~port ~clients ~queries report));
+        output_char oc '\n';
+        close_out oc)
+      json_file;
     (* surface the server's histogram summaries (STATS hist.* lines) so a
        soak run doubles as a latency-distribution report *)
-    (match Pref_server.Client.connect ~host ~port with
+    (match Pref_server.Client.connect ~host ~port () with
     | exception _ -> ()
     | client ->
       Fun.protect
@@ -129,12 +155,22 @@ let strict_arg =
     & info [ "strict" ]
         ~doc:"Also exit nonzero when any query returned an error response.")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Also write the report as one JSON object to $(docv) (CI \
+           artifact; written before the accounting checks, so it survives \
+           a failing run).")
+
 let cmd =
   let doc = "Multi-client soak driver for prefserve" in
   Cmd.v
     (Cmd.info "prefsoak" ~version:"1.0.0" ~doc)
     Term.(
       const main $ host_arg $ port_arg $ clients_arg $ queries_arg
-      $ statements_arg $ set_arg $ strict_arg)
+      $ statements_arg $ set_arg $ strict_arg $ json_arg)
 
 let () = exit (Cmd.eval cmd)

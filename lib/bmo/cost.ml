@@ -38,6 +38,7 @@ type constants = {
   c_par_fixed_us : float;  (** fixed overhead of any parallel plan *)
   c_par_domain_us : float;  (** per-domain spawn + merge overhead *)
   c_par_pessimism : float;  (** multiplier on the parallel scan term *)
+  c_shard_rtt_us : float;  (** per-shard scatter dispatch + gather overhead *)
 }
 
 let defaults =
@@ -52,6 +53,9 @@ let defaults =
     c_par_fixed_us = 4000.;
     c_par_domain_us = 1500.;
     c_par_pessimism = 1.3;
+    (* loopback frame round trip incl. CSV encode/decode of a small
+       result; WAN deployments should calibrate this via the file *)
+    c_shard_rtt_us = 400.;
   }
 
 let state = ref defaults
@@ -189,6 +193,44 @@ let derive_pareto_overhead_ms ~n =
 let semantic_gate_slack_ms = 0.5
 
 (* ------------------------------------------------------------------ *)
+(* Scatter-gather pricing                                              *)
+
+(* Partition-wise evaluation (Props. 8/10/12): per-shard sigma[P] runs in
+   parallel, so the scatter phase costs the slowest shard; the gather
+   phase pays one dispatch round trip per shard plus a final BNL pass
+   over the union of the per-shard BMO sets. *)
+
+let shard_overhead_ms ~shards =
+  us_to_ms ((current ()).c_shard_rtt_us *. float_of_int (max 0 shards))
+
+let merge_ms ~rows ~dims =
+  if rows <= 0 then 0.
+  else
+    predict_ms ~kind:"bnl"
+      { n = rows; dims = max 1 dims; domains = 1; correlation = 0. }
+
+type scatter_gather = {
+  sg_shards : int;
+  sg_slowest_ms : float;  (** max over the per-shard predictions *)
+  sg_dispatch_ms : float;  (** fan-out/fan-in round trips *)
+  sg_merge_ms : float;  (** final BNL pass; 0 when the merge is skipped *)
+  sg_total_ms : float;
+}
+
+let scatter_gather_ms ~per_shard_ms ~merge_rows ~dims ~merge =
+  let shards = List.length per_shard_ms in
+  let slowest = List.fold_left Float.max 0. per_shard_ms in
+  let dispatch = shard_overhead_ms ~shards in
+  let merge_cost = if merge then merge_ms ~rows:merge_rows ~dims else 0. in
+  {
+    sg_shards = shards;
+    sg_slowest_ms = slowest;
+    sg_dispatch_ms = dispatch;
+    sg_merge_ms = merge_cost;
+    sg_total_ms = slowest +. dispatch +. merge_cost;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Online refinement                                                   *)
 
 let ema_alpha = 0.2
@@ -286,6 +328,7 @@ let to_assoc () =
       ("c_par_fixed_us", c.c_par_fixed_us);
       ("c_par_domain_us", c.c_par_domain_us);
       ("c_par_pessimism", c.c_par_pessimism);
+      ("c_shard_rtt_us", c.c_shard_rtt_us);
     ]
   in
   let learned =
@@ -313,6 +356,7 @@ let apply_kv c (k, v) =
   | "c_par_fixed_us" -> { c with c_par_fixed_us = v }
   | "c_par_domain_us" -> { c with c_par_domain_us = v }
   | "c_par_pessimism" -> { c with c_par_pessimism = v }
+  | "c_shard_rtt_us" -> { c with c_shard_rtt_us = v }
   | _ ->
     if String.length k > 7 && String.sub k 0 7 = "factor." then
       Hashtbl.replace factors

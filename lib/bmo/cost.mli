@@ -24,6 +24,9 @@ type constants = {
   c_par_fixed_us : float;  (** fixed overhead of any parallel plan *)
   c_par_domain_us : float;  (** per-domain spawn + merge overhead *)
   c_par_pessimism : float;  (** multiplier on the parallel scan term *)
+  c_shard_rtt_us : float;
+      (** per-shard scatter dispatch + gather overhead (one wire round
+          trip incl. frame encode/decode), used by {!scatter_gather_ms} *)
 }
 
 val defaults : constants
@@ -90,6 +93,35 @@ val derive_pareto_overhead_ms : n:int -> float
 val semantic_gate_slack_ms : float
 (** Reconstructions predicted to cost at most this much more than a cold
     run are still served — below the model's resolution at tiny n. *)
+
+(** {1 Scatter-gather pricing}
+
+    Partition-wise evaluation (Props. 8/10/12) over N shards: the
+    scatter phase costs the slowest shard (they run in parallel), the
+    gather phase one dispatch round trip per shard plus — unless the
+    partitioning proves per-shard results disjoint — a final BNL pass
+    over the union of the per-shard BMO sets. The router's EXPLAIN uses
+    these to price its plan. *)
+
+val shard_overhead_ms : shards:int -> float
+(** Fan-out/fan-in dispatch cost: [shards × c_shard_rtt_us]. *)
+
+val merge_ms : rows:int -> dims:int -> float
+(** One final BNL pass over [rows] gathered tuples. *)
+
+type scatter_gather = {
+  sg_shards : int;
+  sg_slowest_ms : float;  (** max over the per-shard predictions *)
+  sg_dispatch_ms : float;  (** fan-out/fan-in round trips *)
+  sg_merge_ms : float;  (** final BNL pass; 0 when the merge is skipped *)
+  sg_total_ms : float;
+}
+
+val scatter_gather_ms :
+  per_shard_ms:float list -> merge_rows:int -> dims:int -> merge:bool ->
+  scatter_gather
+(** Price one scatter-gather plan from the per-shard predictions (one
+    entry per shard) and the expected size of the gathered union. *)
 
 (** {1 Online refinement} *)
 

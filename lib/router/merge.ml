@@ -1,0 +1,133 @@
+open Pref_relation
+open Pref_sql
+
+type decision = {
+  table : string;
+  scheme : Shard_map.scheme;
+  shard_sql : string;
+  merge_needed : bool;
+  reason : string;
+  final : Ast.query;
+  dims : int;
+}
+
+type mode =
+  | Proxy
+  | Scatter of decision
+
+let pref_dims q =
+  let attrs =
+    List.fold_left
+      (fun acc p -> Preferences.Attr.union acc (Ast.pref_attrs p))
+      (match q.Ast.preferring with
+      | Some p -> Ast.pref_attrs p
+      | None -> [])
+      q.Ast.cascade
+  in
+  List.length attrs
+
+let plan ?registry ~shard_map q =
+  let sharded =
+    List.filter_map
+      (fun t ->
+        match Shard_map.find shard_map t with
+        | Some ((Shard_map.Hash _ | Shard_map.Range _) as s) ->
+          Some (String.lowercase_ascii t, s)
+        | Some Shard_map.Replicated | None -> None)
+      q.Ast.from
+  in
+  match sharded with
+  | [] -> Ok Proxy
+  | _ :: _ :: _ ->
+    Error "queries joining two sharded tables are not supported"
+  | [ (table, scheme) ] ->
+    if List.length q.Ast.from > 1 then
+      Error
+        (Printf.sprintf
+           "joining sharded table %S is not supported; register the other \
+            table as replicated and shard neither, or shard neither"
+           table)
+    else
+      let has_pref = q.Ast.preferring <> None || q.Ast.cascade <> [] in
+      let scorable =
+        match (try Exec.full_preference ?registry q with _ -> None) with
+        | Some p -> Preferences.Pref.is_scorable p
+        | None -> false
+      in
+      let keep_top =
+        q.Ast.top <> None && q.Ast.but_only = []
+        && ((not has_pref) || (scorable && q.Ast.grouping = []))
+      in
+      let shard_q =
+        {
+          q with
+          Ast.select = [ Ast.Star ];
+          but_only = [];
+          order_by = (if keep_top && not has_pref then q.Ast.order_by else []);
+          top = (if keep_top then q.Ast.top else None);
+        }
+      in
+      let covers_key =
+        match Shard_map.key_attr scheme with
+        | Some k -> List.mem k q.Ast.grouping
+        | None -> false
+      in
+      let merge_needed, reason, final =
+        if not has_pref then
+          ( false,
+            "no preference: the union of shard scans is already exact",
+            q )
+        else if covers_key && q.Ast.but_only = [] then
+          ( false,
+            Printf.sprintf
+              "GROUPING covers shard key %s: groups are shard-local, the \
+               union of per-shard grouped winnows is exact (Prop. 12)"
+              (Option.value ~default:"?" (Shard_map.key_attr scheme)),
+            { q with Ast.preferring = None; cascade = []; grouping = [] } )
+        else
+          ( true,
+            "final winnow over the gathered union: maxima(∪ Ri) = maxima(∪ \
+             maxima(Ri)) (Props. 8/10; winnow commutes with union)",
+            q )
+      in
+      Ok
+        (Scatter
+           {
+             table;
+             scheme;
+             shard_sql = Pretty.query_to_string shard_q;
+             merge_needed;
+             reason;
+             final;
+             dims = max 1 (pref_dims q);
+           })
+
+let gather = function
+  | [] -> Error "gather of zero shard results"
+  | (first, fflags) :: rest ->
+    let schema = Relation.schema first in
+    let rec go rows flags = function
+      | [] -> Ok (Relation.make schema (List.concat (List.rev rows)), flags)
+      | (rel, f) :: rest ->
+        if Relation.schema rel <> schema then
+          Error "shard results disagree on the schema"
+        else
+          go
+            (Relation.rows rel :: rows)
+            (Pref_bmo.Engine.union_flags flags f)
+            rest
+    in
+    go [ Relation.rows first ] fflags rest
+
+let finish ?registry ~config ~deadline decision gathered =
+  let config =
+    {
+      config with
+      Pref_bmo.Engine.check = false;
+      cache = false;
+      profile = false;
+    }
+  in
+  Exec.run_query_within ?registry ~deadline config
+    [ (decision.table, gathered) ]
+    decision.final

@@ -1,0 +1,81 @@
+(** Partition-wise query planning for the router: what to send to each
+    shard, and how to make the gathered union exact.
+
+    Soundness rests on the decomposition theorems (Kießling Props.
+    8/10/12) and on winnow commuting with union (Chomicki): for any
+    partition [R = R1 ∪ ... ∪ Rn],
+
+    {v σ[P](R) = σ[P](σ[P](R1) ∪ ... ∪ σ[P](Rn)) v}
+
+    so per-shard σ[P] followed by one final winnow over the gathered
+    union loses nothing and admits nothing. The shard statement is the
+    original query with:
+
+    - [SELECT *] — the final pass still needs the preference, WHERE and
+      GROUPING attributes, whatever the user projects;
+    - [BUT ONLY] stripped — quality supervision runs {e after} winnow,
+      and a shard-locally quality-filtered dominator must still
+      eliminate the tuples it dominates on other shards, so the filter
+      may only run in the final pass;
+    - [TOP k] kept only when it provably commutes: no preference at all,
+      or a scorable preference without GROUPING/BUT ONLY (the ranked
+      model of §6.2 scores globally, so the global top-[k] is contained
+      in the union of per-shard top-[k]s). Otherwise TOP would truncate
+      shard BMO sets whose tails the final winnow still needs;
+    - [ORDER BY] stripped except in the no-preference TOP case, where it
+      decides {e which} [k] rows each shard keeps.
+
+    The final pass re-runs the original query over the union (WHERE is
+    idempotent; winnow, grouped winnow and the presentation tail see
+    exactly the single-node input). When the preference projection
+    proves per-shard results disjoint — no preference at all, or
+    GROUPING covers the shard key so every group is shard-local — the
+    final winnow is skipped: the final statement drops
+    PREFERRING/CASCADE/GROUPING and only applies the presentation
+    tail. *)
+
+open Pref_relation
+open Pref_sql
+
+type decision = {
+  table : string;  (** the sharded FROM table, lowercased *)
+  scheme : Shard_map.scheme;
+  shard_sql : string;  (** statement sent to every shard *)
+  merge_needed : bool;  (** a final winnow pass runs over the union *)
+  reason : string;  (** one-line merge justification, for EXPLAIN *)
+  final : Ast.query;  (** statement run over the gathered union *)
+  dims : int;  (** preference attribute count, for {!Pref_bmo.Cost.merge_ms} *)
+}
+
+type mode =
+  | Proxy
+      (** no sharded table in FROM (replicated or unregistered): any one
+          backend answers the original statement verbatim *)
+  | Scatter of decision
+
+val plan :
+  ?registry:Translate.registry ->
+  shard_map:Shard_map.t ->
+  Ast.query ->
+  (mode, string) result
+(** [Error] when the query joins a sharded table with anything else —
+    distributed joins are out of scope; replicate the small table
+    instead. *)
+
+val gather :
+  (Relation.t * Pref_bmo.Engine.flags) list ->
+  (Relation.t * Pref_bmo.Engine.flags, string) result
+(** Union the per-shard results (schemas must agree) and OR their
+    degradation flags. *)
+
+val finish :
+  ?registry:Translate.registry ->
+  config:Pref_bmo.Engine.config ->
+  deadline:Pref_bmo.Engine.deadline ->
+  decision ->
+  Relation.t ->
+  Exec.result
+(** Run [decision.final] over the gathered union bound to
+    [decision.table]. Checking, caching and profiling are forced off —
+    the shards already vetted the statement, and the union relation is
+    transient. *)

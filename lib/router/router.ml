@@ -1,0 +1,942 @@
+open Pref_sql
+module Client = Pref_server.Client
+module Protocol = Pref_server.Protocol
+
+type backend = { bhost : string; bport : int }
+
+type config = {
+  host : string;
+  port : int;
+  backends : backend list;
+  shard_map : Shard_map.t;
+  max_connections : int;
+  shard_timeout_s : float;
+  down_backoff_s : float;
+  session_config : Pref_bmo.Engine.config;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 5876;
+    backends = [];
+    shard_map = Shard_map.empty;
+    max_connections = 64;
+    shard_timeout_s = 10.;
+    down_backoff_s = 0.05;
+    (* the backends run the static checker; re-checking the final pass
+       would need the analyzer installed in the router process too *)
+    session_config = { Pref_bmo.Engine.default with check = false };
+  }
+
+(* router.* metrics — mirrors of the always-on atomic counters, fed when
+   telemetry is globally enabled *)
+let m_queries = Pref_obs.Metrics.counter "router.queries"
+let m_scatter = Pref_obs.Metrics.counter "router.scatter"
+let m_proxied = Pref_obs.Metrics.counter "router.proxied"
+let m_merged = Pref_obs.Metrics.counter "router.merged"
+let m_merge_skipped = Pref_obs.Metrics.counter "router.merge_skipped"
+let m_partial = Pref_obs.Metrics.counter "router.partial"
+let m_shard_down = Pref_obs.Metrics.counter "router.shard_down"
+let m_errors = Pref_obs.Metrics.counter "router.errors"
+let g_conns = Pref_obs.Metrics.gauge "router.connections"
+let g_up = Pref_obs.Metrics.gauge "router.shards_up"
+
+type health = { mutable failures : int; mutable down_until : float }
+
+type t = {
+  cfg : config;
+  registry : Translate.registry;
+  backends : backend array;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  health : health array;
+  health_m : Mutex.t;
+  m : Mutex.t;
+  mutable draining : bool;
+  mutable drain_started : bool;
+  mutable stopped : bool;
+  stopped_c : Condition.t;
+  stop_requested : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+  conns_m : Mutex.t;
+  mutable conns : (int * Unix.file_descr) list;
+  mutable conn_threads : (int * Thread.t) list;
+  rr : int Atomic.t;  (* round-robin cursor for proxied requests *)
+  (* always-on counters (STATS must work with telemetry off) *)
+  c_accepted : int Atomic.t;
+  c_conn_rejected : int Atomic.t;
+  c_queries : int Atomic.t;
+  c_scatter : int Atomic.t;
+  c_proxied : int Atomic.t;
+  c_merged : int Atomic.t;
+  c_merge_skipped : int Atomic.t;
+  c_partial : int Atomic.t;
+  c_shard_down : int Atomic.t;
+  c_errors : int Atomic.t;
+  c_next_id : int Atomic.t;
+}
+
+let port t = t.bound_port
+let draining t = Mutex.protect t.m (fun () -> t.draining)
+let nshards t = Array.length t.backends
+
+(* ------------------------------------------------------------------ *)
+(* Backend health                                                      *)
+
+let now_s () = Unix.gettimeofday ()
+
+let shard_up t i =
+  Mutex.protect t.health_m (fun () -> t.health.(i).down_until <= now_s ())
+
+let shards_up t =
+  Mutex.protect t.health_m (fun () ->
+      Array.fold_left
+        (fun n h -> if h.down_until <= now_s () then n + 1 else n)
+        0 t.health)
+
+let mark_down t i =
+  Mutex.protect t.health_m (fun () ->
+      let h = t.health.(i) in
+      h.failures <- h.failures + 1;
+      let backoff =
+        Float.min 5.0
+          (t.cfg.down_backoff_s *. (2. ** float_of_int (h.failures - 1)))
+      in
+      h.down_until <- now_s () +. backoff);
+  Pref_obs.Metrics.set g_up (float_of_int (shards_up t))
+
+let mark_up t i =
+  Mutex.protect t.health_m (fun () ->
+      let h = t.health.(i) in
+      h.failures <- 0;
+      h.down_until <- 0.);
+  Pref_obs.Metrics.set g_up (float_of_int (shards_up t))
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection state                                                *)
+
+type conn = {
+  router : t;
+  fd : Unix.file_descr;
+  mutable config : Pref_bmo.Engine.config;  (* final-pass knobs *)
+  mutable prepared : (string * Ast.query) list;
+  mutable set_log : (string * string) list;  (* newest first; replayed *)
+  clients : Client.t option array;  (* one lazy channel per backend *)
+}
+
+let drop_client conn i =
+  match conn.clients.(i) with
+  | None -> ()
+  | Some c ->
+    conn.clients.(i) <- None;
+    (try Client.close c with _ -> ())
+
+let get_client conn i =
+  match conn.clients.(i) with
+  | Some c -> Ok c
+  | None -> (
+    let t = conn.router in
+    let b = t.backends.(i) in
+    match
+      Client.connect ~timeout_s:t.cfg.shard_timeout_s ~host:b.bhost
+        ~port:b.bport ()
+    with
+    | exception e ->
+      mark_down t i;
+      Error (Printexc.to_string e)
+    | c ->
+      (* replay the session's SETs so a rebuilt channel behaves like the
+         one it replaces *)
+      List.iter
+        (fun (k, v) -> try ignore (Client.set c ~key:k ~value:v) with _ -> ())
+        (List.rev conn.set_log);
+      conn.clients.(i) <- Some c;
+      Ok c)
+
+(* ------------------------------------------------------------------ *)
+(* Shard calls                                                         *)
+
+type 'a outcome =
+  | O_ok of 'a
+  | O_fatal of string  (* deterministic server error: every shard agrees *)
+  | O_down of string  (* this shard cannot answer right now *)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let is_busy msg = has_prefix "[busy]" msg
+let is_drain msg = has_prefix "[drain" msg
+
+(* One request against shard [i] with the degradation ladder: busy is
+   retried within the shard budget, draining a few times (the backend is
+   leaving — don't burn the whole budget on it), and lost connections
+   mark the shard down for backoff. *)
+let with_shard conn i f =
+  let t = conn.router in
+  if conn.clients.(i) = None && not (shard_up t i) then
+    O_down "in health backoff"
+  else
+    match get_client conn i with
+    | Error msg -> O_down msg
+    | Ok client ->
+      let deadline = now_s () +. t.cfg.shard_timeout_s in
+      let drains = ref 0 in
+      let rec go client =
+        match f client with
+        | Ok v ->
+          mark_up t i;
+          O_ok v
+        | Error msg when is_busy msg ->
+          if now_s () < deadline then begin
+            Thread.delay 0.002;
+            go client
+          end
+          else O_down msg
+        | Error msg when is_drain msg ->
+          incr drains;
+          if !drains <= 3 && now_s () < deadline then begin
+            Thread.delay 0.01;
+            go client
+          end
+          else begin
+            drop_client conn i;
+            mark_down t i;
+            O_down msg
+          end
+        | Error msg -> O_fatal msg
+        | exception e ->
+          drop_client conn i;
+          mark_down t i;
+          O_down (Printexc.to_string e)
+      in
+      go client
+
+(* Fan one request out to every backend; each shard gets its own thread
+   (the work is waiting on sockets, not computing). Slot [i] is only
+   touched by thread [i]. *)
+let scatter conn f =
+  let results = Array.map (fun _ -> O_down "unreached") conn.clients in
+  let threads =
+    Array.mapi
+      (fun i _ ->
+        Thread.create (fun () -> results.(i) <- with_shard conn i (f i)) ())
+      conn.clients
+  in
+  Array.iter Thread.join threads;
+  results
+
+let partition_outcomes results =
+  let oks = ref [] and fatal = ref None and downs = ref [] in
+  Array.iteri
+    (fun i -> function
+      | O_ok v -> oks := (i, v) :: !oks
+      | O_fatal msg -> if !fatal = None then fatal := Some msg
+      | O_down msg -> downs := (i, msg) :: !downs)
+    results;
+  (List.rev !oks, !fatal, List.rev !downs)
+
+(* Try shards round-robin until one answers; deterministic errors stop
+   the failover — a parse error is a parse error on every replica. *)
+let proxy conn f =
+  let t = conn.router in
+  let n = nshards t in
+  let start = Atomic.fetch_and_add t.rr 1 mod n in
+  let rec go k last =
+    if k >= n then
+      Error
+        (Protocol.Err
+           {
+             kind = "unavailable";
+             retriable = true;
+             message =
+               Printf.sprintf "all %d backend(s) unavailable (%s)" n last;
+             trace = None;
+           })
+    else
+      match with_shard conn ((start + k) mod n) f with
+      | O_ok v -> Ok v
+      | O_fatal msg ->
+        Error
+          (Protocol.Err
+             { kind = "shard"; retriable = false; message = msg; trace = None })
+      | O_down msg -> go (k + 1) msg
+  in
+  go 0 "no backends"
+
+(* Each shard request gets a derived span so backend slow-query logs can
+   be stitched back to the client's trace through the router hop. *)
+let child_trace trace i =
+  Option.map
+    (fun tr ->
+      {
+        tr with
+        Protocol.span_id = tr.Protocol.span_id ^ "." ^ string_of_int i;
+      })
+    trace
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                              *)
+
+let error_response ?trace e =
+  let err ?(retriable = false) kind message =
+    Protocol.Err { kind; retriable; message; trace }
+  in
+  match e with
+  | Parser.Error (msg, pos) ->
+    err "parse" (Printf.sprintf "syntax error at offset %d: %s" pos msg)
+  | Translate.Error msg -> err "translate" msg
+  | Exec.Unknown_table { name; hint } ->
+    err "exec" (Exec.unknown_table_message ~name ~hint)
+  | Exec.Error msg -> err "exec" msg
+  | Preferences.Pref.Ill_formed { code; message; _ } ->
+    err "pref" (Printf.sprintf "[%s] %s" code message)
+  | e -> err "internal" (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* QUERY                                                               *)
+
+(* [@name] resolves against the router's prepared store; everything else
+   parses here so the merge planner sees an AST. *)
+let resolve_query conn sql =
+  let s = String.trim sql in
+  if String.length s > 1 && s.[0] = '@' then
+    let name = String.trim (String.sub s 1 (String.length s - 1)) in
+    match List.assoc_opt name conn.prepared with
+    | Some q -> Ok q
+    | None ->
+      Error
+        (Printf.sprintf "no prepared statement %S on this connection" name)
+  else
+    match Parser.parse_query sql with
+    | q -> Ok q
+    | exception Parser.Error (msg, pos) ->
+      Error (Printf.sprintf "syntax error at offset %d: %s" pos msg)
+
+let scatter_query conn ?trace (d : Merge.decision) =
+  let t = conn.router in
+  Atomic.incr t.c_scatter;
+  Pref_obs.Metrics.incr m_scatter;
+  let results =
+    scatter conn (fun i client ->
+        Client.query_reply ?trace:(child_trace trace i) client d.Merge.shard_sql)
+  in
+  let oks, fatal, downs = partition_outcomes results in
+  List.iter
+    (fun _ ->
+      Atomic.incr t.c_shard_down;
+      Pref_obs.Metrics.incr m_shard_down)
+    downs;
+  match fatal with
+  | Some msg ->
+    Atomic.incr t.c_errors;
+    Pref_obs.Metrics.incr m_errors;
+    Protocol.Err { kind = "shard"; retriable = false; message = msg; trace }
+  | None when oks = [] ->
+    Atomic.incr t.c_errors;
+    Pref_obs.Metrics.incr m_errors;
+    Protocol.Err
+      {
+        kind = "unavailable";
+        retriable = true;
+        message =
+          Printf.sprintf "all %d shard(s) unavailable (%s)" (nshards t)
+            (match downs with (_, m) :: _ -> m | [] -> "no backends");
+        trace;
+      }
+  | None -> (
+    let replies = List.map snd oks in
+    match
+      Merge.gather
+        (List.map (fun r -> (r.Client.rel, r.Client.flags)) replies)
+    with
+    | Error msg ->
+      Atomic.incr t.c_errors;
+      Pref_obs.Metrics.incr m_errors;
+      Protocol.Err { kind = "internal"; retriable = false; message = msg; trace }
+    | Ok (union, shard_flags) -> (
+      let deadline = Pref_bmo.Engine.deadline_of conn.config in
+      match
+        Merge.finish ~registry:t.registry ~config:conn.config ~deadline d union
+      with
+      | result ->
+        if d.Merge.merge_needed then begin
+          Atomic.incr t.c_merged;
+          Pref_obs.Metrics.incr m_merged
+        end
+        else begin
+          Atomic.incr t.c_merge_skipped;
+          Pref_obs.Metrics.incr m_merge_skipped
+        end;
+        let flags =
+          Pref_bmo.Engine.union_flags shard_flags result.Exec.flags
+        in
+        let flags =
+          { flags with Pref_bmo.Engine.partial =
+              flags.Pref_bmo.Engine.partial || downs <> [] }
+        in
+        if flags.Pref_bmo.Engine.partial then begin
+          Atomic.incr t.c_partial;
+          Pref_obs.Metrics.incr m_partial
+        end;
+        Protocol.Rows
+          {
+            relation = result.Exec.relation;
+            flags;
+            served = Some (List.length oks, nshards t);
+            trace;
+          }
+      | exception e ->
+        Atomic.incr t.c_errors;
+        Pref_obs.Metrics.incr m_errors;
+        error_response ?trace e))
+
+let proxy_query conn ?trace q =
+  let t = conn.router in
+  Atomic.incr t.c_proxied;
+  Pref_obs.Metrics.incr m_proxied;
+  let sql = Pretty.query_to_string q in
+  match
+    proxy conn (fun client -> Client.query_reply ?trace client sql)
+  with
+  | Ok reply ->
+    if reply.Client.flags.Pref_bmo.Engine.partial then begin
+      Atomic.incr t.c_partial;
+      Pref_obs.Metrics.incr m_partial
+    end;
+    Protocol.Rows
+      {
+        relation = reply.Client.rel;
+        flags = reply.Client.flags;
+        served = None;
+        trace;
+      }
+  | Error (Protocol.Err e) ->
+    Atomic.incr t.c_errors;
+    Pref_obs.Metrics.incr m_errors;
+    Protocol.Err { e with trace }
+  | Error resp -> resp
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN                                                             *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  n = 0 || go 0
+
+(* The shard plans arrive as EXPLAIN text; the chosen alternative's cost
+   line reads "  <alt>  <ms>  <- chosen" and the cardinality line
+   "  estimated BMO size: <n> (independence model)" — both emitted with
+   plain %.*f numbers precisely so they stay machine-readable. *)
+let chosen_ms text =
+  String.split_on_char '\n' text
+  |> List.find_map (fun line ->
+         if contains line "<- chosen" then
+           match
+             String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+           with
+           | _alt :: ms :: _ -> float_of_string_opt ms
+           | _ -> None
+         else None)
+  |> Option.value ~default:0.
+
+let est_rows text =
+  let marker = "estimated BMO size: " in
+  String.split_on_char '\n' text
+  |> List.find_map (fun line ->
+         let line = String.trim line in
+         if has_prefix marker line then
+           let rest =
+             String.sub line (String.length marker)
+               (String.length line - String.length marker)
+           in
+           let num =
+             match String.index_opt rest ' ' with
+             | Some i -> String.sub rest 0 i
+             | None -> rest
+           in
+           Option.map int_of_float (float_of_string_opt num)
+         else None)
+  |> Option.value ~default:0
+
+let indent body =
+  String.split_on_char '\n' body
+  |> List.map (fun l -> if l = "" then l else "  " ^ l)
+  |> String.concat "\n"
+
+let scatter_explain conn ~analyze ~json ?trace (d : Merge.decision) =
+  let t = conn.router in
+  let results =
+    scatter conn (fun i client ->
+        Client.explain ~analyze ~json:false
+          ?trace:(child_trace trace i)
+          client d.Merge.shard_sql)
+  in
+  let oks, fatal, downs = partition_outcomes results in
+  match fatal with
+  | Some msg ->
+    Protocol.Err { kind = "shard"; retriable = false; message = msg; trace }
+  | None when oks = [] ->
+    Protocol.Err
+      {
+        kind = "unavailable";
+        retriable = true;
+        message =
+          Printf.sprintf "all %d shard(s) unavailable (%s)" (nshards t)
+            (match downs with (_, m) :: _ -> m | [] -> "no backends");
+        trace;
+      }
+  | None ->
+    let per_shard_ms = List.map (fun (_, text) -> chosen_ms text) oks in
+    let merge_rows =
+      List.fold_left (fun acc (_, text) -> acc + est_rows text) 0 oks
+    in
+    let sg =
+      Pref_bmo.Cost.scatter_gather_ms ~per_shard_ms ~merge_rows
+        ~dims:d.Merge.dims ~merge:d.Merge.merge_needed
+    in
+    let body =
+      if json then
+        Pref_obs.Json.to_string
+          (Pref_obs.Json.Obj
+             [
+               ( "scatter_gather",
+                 Pref_obs.Json.Obj
+                   [
+                     ("table", Pref_obs.Json.Str d.Merge.table);
+                     ( "scheme",
+                       Pref_obs.Json.Str
+                         (Shard_map.scheme_to_string d.Merge.scheme) );
+                     ("shards", Pref_obs.Json.Int (nshards t));
+                     ("answered", Pref_obs.Json.Int (List.length oks));
+                     ("shard_statement", Pref_obs.Json.Str d.Merge.shard_sql);
+                     ("merge", Pref_obs.Json.Bool d.Merge.merge_needed);
+                     ("reason", Pref_obs.Json.Str d.Merge.reason);
+                     ( "predicted_ms",
+                       Pref_obs.Json.Obj
+                         [
+                           ( "slowest_shard",
+                             Pref_obs.Json.Float sg.Pref_bmo.Cost.sg_slowest_ms
+                           );
+                           ( "dispatch",
+                             Pref_obs.Json.Float sg.Pref_bmo.Cost.sg_dispatch_ms
+                           );
+                           ("merge", Pref_obs.Json.Float sg.Pref_bmo.Cost.sg_merge_ms);
+                           ("total", Pref_obs.Json.Float sg.Pref_bmo.Cost.sg_total_ms);
+                         ] );
+                     ("estimated_gathered_rows", Pref_obs.Json.Int merge_rows);
+                     ( "shard_plans",
+                       Pref_obs.Json.List
+                         (List.map
+                            (fun (i, text) ->
+                              Pref_obs.Json.Obj
+                                [
+                                  ("shard", Pref_obs.Json.Int i);
+                                  ("plan", Pref_obs.Json.Str text);
+                                ])
+                            oks) );
+                   ] );
+             ])
+      else begin
+        let buf = Buffer.create 1024 in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "scatter-gather over %d shard(s): %s (%s), %d/%d answered\n"
+             (nshards t) d.Merge.table
+             (Shard_map.scheme_to_string d.Merge.scheme)
+             (List.length oks) (nshards t));
+        Buffer.add_string buf
+          (Printf.sprintf "  shard statement: %s\n" d.Merge.shard_sql);
+        Buffer.add_string buf
+          (Printf.sprintf "  merge: %s%s\n"
+             (if d.Merge.merge_needed then "" else "skipped — ")
+             d.Merge.reason);
+        Buffer.add_string buf "predicted costs (ms):\n";
+        Buffer.add_string buf
+          (Printf.sprintf "  %-14s %8.3f\n" "slowest-shard" sg.Pref_bmo.Cost.sg_slowest_ms);
+        Buffer.add_string buf
+          (Printf.sprintf "  %-14s %8.3f\n" "dispatch" sg.Pref_bmo.Cost.sg_dispatch_ms);
+        Buffer.add_string buf
+          (Printf.sprintf "  %-14s %8.3f\n" "merge" sg.Pref_bmo.Cost.sg_merge_ms);
+        Buffer.add_string buf
+          (Printf.sprintf "  %-14s %8.3f  <- chosen\n" "total" sg.Pref_bmo.Cost.sg_total_ms);
+        Buffer.add_string buf
+          (Printf.sprintf "estimated gathered rows: %d\n" merge_rows);
+        List.iter
+          (fun (i, text) ->
+            Buffer.add_string buf (Printf.sprintf "shard %d plan:\n" i);
+            Buffer.add_string buf (indent text);
+            Buffer.add_char buf '\n')
+          oks;
+        List.iter
+          (fun (i, msg) ->
+            Buffer.add_string buf (Printf.sprintf "shard %d: down (%s)\n" i msg))
+          downs;
+        Buffer.contents buf
+      end
+    in
+    Protocol.Explain_resp body
+
+let answer_explain conn ~analyze ~json ?trace sql =
+  let t = conn.router in
+  match resolve_query conn sql with
+  | Error msg ->
+    Protocol.Err { kind = "parse"; retriable = false; message = msg; trace }
+  | Ok q -> (
+    match Merge.plan ~registry:t.registry ~shard_map:t.cfg.shard_map q with
+    | Error msg ->
+      Protocol.Err { kind = "exec"; retriable = false; message = msg; trace }
+    | Ok Merge.Proxy -> (
+      let sql = Pretty.query_to_string q in
+      match
+        proxy conn (fun client -> Client.explain ~analyze ~json ?trace client sql)
+      with
+      | Ok body -> Protocol.Explain_resp body
+      | Error resp -> resp)
+    | Ok (Merge.Scatter d) -> scatter_explain conn ~analyze ~json ?trace d)
+
+let answer_query conn ?trace sql =
+  let t = conn.router in
+  Atomic.incr t.c_queries;
+  Pref_obs.Metrics.incr m_queries;
+  (* a QUERY whose statement starts with EXPLAIN answers with the plan,
+     matching the single-node server *)
+  match Parser.explain_prefix sql with
+  | Some (analyze, rest) ->
+    answer_explain conn ~analyze ~json:false ?trace rest
+  | None -> (
+    match resolve_query conn sql with
+    | Error msg ->
+      Atomic.incr t.c_errors;
+      Pref_obs.Metrics.incr m_errors;
+      Protocol.Err { kind = "parse"; retriable = false; message = msg; trace }
+    | Ok q -> (
+      match Merge.plan ~registry:t.registry ~shard_map:t.cfg.shard_map q with
+      | Error msg ->
+        Atomic.incr t.c_errors;
+        Pref_obs.Metrics.incr m_errors;
+        Protocol.Err { kind = "exec"; retriable = false; message = msg; trace }
+      | Ok Merge.Proxy -> proxy_query conn ?trace q
+      | Ok (Merge.Scatter d) -> scatter_query conn ?trace d))
+
+(* ------------------------------------------------------------------ *)
+(* SET / STATS                                                         *)
+
+(* maxrows is withheld from the shards: capping shard BMO sets would
+   silently starve the final winnow of rows it still needs, while one
+   cap at the final pass keeps the single-node semantics. *)
+let forwarded_key key = String.lowercase_ascii key <> "maxrows"
+
+let answer_set conn ~key ~value =
+  match Pref_bmo.Engine.set conn.config ~key ~value with
+  | Error msg ->
+    Protocol.Err
+      { kind = "set"; retriable = false; message = msg; trace = None }
+  | Ok cfg ->
+    conn.config <- cfg;
+    if forwarded_key key then begin
+      conn.set_log <- (key, value) :: conn.set_log;
+      (* best effort: down shards get the full replay on reconnect *)
+      Array.iteri
+        (fun i -> function
+          | None -> ()
+          | Some client -> (
+            try ignore (Client.set client ~key ~value)
+            with _ -> drop_client conn i))
+        conn.clients
+    end;
+    let shown =
+      List.assoc_opt (String.lowercase_ascii key)
+        (Pref_bmo.Engine.describe cfg)
+    in
+    Protocol.Done
+      (Printf.sprintf "%s: %s"
+         (String.lowercase_ascii key)
+         (Option.value shown ~default:value))
+
+let counters t =
+  let active = Mutex.protect t.conns_m (fun () -> List.length t.conns) in
+  let per_shard =
+    Mutex.protect t.health_m (fun () ->
+        List.concat
+          (List.mapi
+             (fun i h ->
+               [
+                 ( Printf.sprintf "shard.%d.up" i,
+                   if h.down_until <= now_s () then 1 else 0 );
+                 (Printf.sprintf "shard.%d.failures" i, h.failures);
+               ])
+             (Array.to_list t.health)))
+  in
+  [
+    ("router.accepted", Atomic.get t.c_accepted);
+    ("router.active_connections", active);
+    ("router.connections_rejected", Atomic.get t.c_conn_rejected);
+    ("router.queries", Atomic.get t.c_queries);
+    ("router.scatter", Atomic.get t.c_scatter);
+    ("router.proxied", Atomic.get t.c_proxied);
+    ("router.merged", Atomic.get t.c_merged);
+    ("router.merge_skipped", Atomic.get t.c_merge_skipped);
+    ("router.partial", Atomic.get t.c_partial);
+    ("router.shard_down", Atomic.get t.c_shard_down);
+    ("router.errors", Atomic.get t.c_errors);
+    ("router.backends", nshards t);
+    ("router.shards_up", shards_up t);
+    ("router.draining", if draining t then 1 else 0);
+  ]
+  @ per_shard
+
+(* STATS: the router's own counters, then every backend's integer
+   counters summed under a [shards.] prefix (float-valued histogram
+   summaries don't sum meaningfully and are skipped). *)
+let answer_stats conn =
+  let t = conn.router in
+  let results = scatter conn (fun _i client -> Client.stats client) in
+  let sums : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iter
+    (function
+      | O_ok kvs ->
+        List.iter
+          (fun (k, v) ->
+            match int_of_string_opt v with
+            | None -> ()
+            | Some n ->
+              if not (Hashtbl.mem sums k) then order := k :: !order;
+              Hashtbl.replace sums k
+                (n + Option.value ~default:0 (Hashtbl.find_opt sums k)))
+          kvs
+      | O_fatal _ | O_down _ -> ())
+    results;
+  let shard_sums =
+    List.rev_map
+      (fun k -> ("shards." ^ k, string_of_int (Hashtbl.find sums k)))
+      !order
+  in
+  Protocol.Stats_resp
+    (List.map (fun (k, v) -> (k, string_of_int v)) (counters t) @ shard_sums)
+
+(* ------------------------------------------------------------------ *)
+(* Connection loop                                                     *)
+
+exception Drain
+
+let handle_connection t fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.25;
+  let conn =
+    {
+      router = t;
+      fd;
+      config = t.cfg.session_config;
+      prepared = [];
+      set_log = [];
+      clients = Array.map (fun _ -> None) t.backends;
+    }
+  in
+  let send resp = Protocol.write_frame fd (Protocol.encode_response resp) in
+  let on_wait () = if draining t then raise Drain in
+  let rec loop () =
+    match Protocol.read_frame ~on_wait fd with
+    | None -> ()
+    | Some payload ->
+      (match Protocol.parse_request payload with
+      | Error msg ->
+        send
+          (Protocol.Err
+             { kind = "proto"; retriable = false; message = msg; trace = None })
+      | Ok (Protocol.Query { sql; trace }) -> send (answer_query conn ?trace sql)
+      | Ok (Protocol.Prepare { name; sql; trace }) -> (
+        match Parser.parse_query sql with
+        | q ->
+          conn.prepared <- (name, q) :: List.remove_assoc name conn.prepared;
+          send (Protocol.Done ("prepared " ^ name))
+        | exception e -> send (error_response ?trace e))
+      | Ok (Protocol.Explain { sql; analyze; json; trace }) ->
+        send (answer_explain conn ~analyze ~json ?trace sql)
+      | Ok (Protocol.Set (key, value)) -> send (answer_set conn ~key ~value)
+      | Ok Protocol.Stats -> send (answer_stats conn)
+      | Ok (Protocol.Metrics { json }) ->
+        let body =
+          if json then Pref_obs.Json.to_string (Pref_obs.Export.to_json ())
+          else Pref_obs.Export.prometheus ()
+        in
+        send (Protocol.Metrics_resp body)
+      | Ok Protocol.Ping -> send Protocol.Pong);
+      loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iteri (fun i _ -> drop_client conn i) conn.clients)
+    (fun () ->
+      try loop () with
+      | Drain | Protocol.Framing_error _ | Unix.Unix_error _ | Sys_error _ ->
+        ())
+
+let spawn_connection t fd =
+  let id = Atomic.fetch_and_add t.c_next_id 1 in
+  Mutex.protect t.conns_m (fun () ->
+      t.conns <- (id, fd) :: t.conns;
+      Pref_obs.Metrics.set g_conns (float_of_int (List.length t.conns)));
+  let thread =
+    Thread.create
+      (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.protect t.conns_m (fun () ->
+                t.conns <- List.remove_assoc id t.conns;
+                Pref_obs.Metrics.set g_conns
+                  (float_of_int (List.length t.conns)));
+            (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+            try Unix.close fd with _ -> ())
+          (fun () -> handle_connection t fd))
+      ()
+  in
+  Mutex.protect t.conns_m (fun () ->
+      t.conn_threads <- (id, thread) :: t.conn_threads)
+
+let accept_loop t () =
+  Unix.setsockopt_float t.listen_fd Unix.SO_RCVTIMEO 0.25;
+  let rec loop () =
+    if draining t || Atomic.get t.stop_requested then ()
+    else
+      match Unix.accept t.listen_fd with
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        loop ()
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ ->
+        Atomic.incr t.c_accepted;
+        let active = Mutex.protect t.conns_m (fun () -> List.length t.conns) in
+        if active >= t.cfg.max_connections then begin
+          Atomic.incr t.c_conn_rejected;
+          (try
+             Protocol.write_frame fd
+               (Protocol.encode_response
+                  (Protocol.Err
+                     {
+                       kind = "busy";
+                       retriable = true;
+                       message = "router at max connections; retry";
+                       trace = None;
+                     }))
+           with _ -> ());
+          try Unix.close fd with _ -> ()
+        end
+        else spawn_connection t fd;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let start ?(config = default_config) ?(registry = Translate.default_registry)
+    () =
+  if config.backends = [] then
+    invalid_arg "Router.start: at least one backend required";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let backends = Array.of_list config.backends in
+  let t =
+    {
+      cfg = config;
+      registry;
+      backends;
+      listen_fd;
+      bound_port;
+      health =
+        Array.map (fun _ -> { failures = 0; down_until = 0. }) backends;
+      health_m = Mutex.create ();
+      m = Mutex.create ();
+      draining = false;
+      drain_started = false;
+      stopped = false;
+      stopped_c = Condition.create ();
+      stop_requested = Atomic.make false;
+      accept_thread = None;
+      conns_m = Mutex.create ();
+      conns = [];
+      conn_threads = [];
+      rr = Atomic.make 0;
+      c_accepted = Atomic.make 0;
+      c_conn_rejected = Atomic.make 0;
+      c_queries = Atomic.make 0;
+      c_scatter = Atomic.make 0;
+      c_proxied = Atomic.make 0;
+      c_merged = Atomic.make 0;
+      c_merge_skipped = Atomic.make 0;
+      c_partial = Atomic.make 0;
+      c_shard_down = Atomic.make 0;
+      c_errors = Atomic.make 0;
+      c_next_id = Atomic.make 0;
+    }
+  in
+  Pref_obs.Metrics.set g_up (float_of_int (nshards t));
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t
+
+let request_stop t = Atomic.set t.stop_requested true
+
+let stop t =
+  let first =
+    Mutex.protect t.m (fun () ->
+        if t.drain_started then false
+        else begin
+          t.drain_started <- true;
+          t.draining <- true;
+          true
+        end)
+  in
+  if not first then
+    Mutex.protect t.m (fun () ->
+        while not t.stopped do
+          Condition.wait t.stopped_c t.m
+        done)
+  else begin
+    (* 1. stop accepting; the accept loop polls [draining] on its timeout *)
+    Option.iter Thread.join t.accept_thread;
+    t.accept_thread <- None;
+    (try Unix.close t.listen_fd with _ -> ());
+    (* 2. connection threads notice [draining] on their read timeout and
+       exit after flushing the in-flight response; nudge blocked reads *)
+    let conns = Mutex.protect t.conns_m (fun () -> t.conns) in
+    List.iter
+      (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+      conns;
+    let threads = Mutex.protect t.conns_m (fun () -> t.conn_threads) in
+    List.iter (fun (_, th) -> Thread.join th) threads;
+    Mutex.protect t.conns_m (fun () -> t.conn_threads <- []);
+    Mutex.protect t.m (fun () ->
+        t.stopped <- true;
+        Condition.broadcast t.stopped_c)
+  end
+
+let wait t =
+  let rec poll () =
+    let stopped = Mutex.protect t.m (fun () -> t.stopped) in
+    if stopped then ()
+    else if Atomic.get t.stop_requested then stop t
+    else begin
+      Thread.delay 0.1;
+      poll ()
+    end
+  in
+  poll ()

@@ -1,0 +1,105 @@
+open Pref_relation
+
+type scheme =
+  | Hash of string
+  | Range of string * Value.t list
+  | Replicated
+
+type t = (string * scheme) list
+
+let empty = []
+let add t ~table scheme = (String.lowercase_ascii table, scheme) :: t
+let find t name = List.assoc_opt (String.lowercase_ascii name) t
+let tables t = List.rev t
+
+let key_attr = function
+  | Hash a | Range (a, _) -> Some a
+  | Replicated -> None
+
+let scheme_to_string = function
+  | Hash a -> "hash:" ^ a
+  | Range (a, bounds) ->
+    Printf.sprintf "range:%s:%s" a
+      (String.concat "," (List.map Value.to_string bounds))
+  | Replicated -> "replicated"
+
+(* CLI literals carry no schema, so infer the narrowest numeric type;
+   range comparison happens via [Value.compare], which orders ints and
+   floats numerically against each other. *)
+let parse_bound s =
+  match int_of_string_opt s with
+  | Some i -> Value.Int i
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Value.Float f
+    | None -> Value.Str s)
+
+let of_spec spec =
+  let lower = String.lowercase_ascii in
+  match String.index_opt spec '=' with
+  | None ->
+    if String.trim spec = "" then Error "empty shard spec"
+    else Ok (lower (String.trim spec), Replicated)
+  | Some i -> (
+    let name = lower (String.trim (String.sub spec 0 i)) in
+    let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+    if name = "" then Error (Printf.sprintf "shard spec %S has no table" spec)
+    else
+      match String.split_on_char ':' rest with
+      | [ "hash"; attr ] when String.trim attr <> "" ->
+        Ok (name, Hash (lower (String.trim attr)))
+      | [ "range"; attr; bounds ] when String.trim attr <> "" -> (
+        let bounds =
+          String.split_on_char ',' bounds
+          |> List.map String.trim
+          |> List.filter (fun b -> b <> "")
+          |> List.map parse_bound
+        in
+        match bounds with
+        | [] -> Error (Printf.sprintf "shard spec %S has no range bounds" spec)
+        | _ ->
+          let sorted = List.sort Value.compare bounds in
+          if sorted <> bounds then
+            Error (Printf.sprintf "range bounds in %S must be ascending" spec)
+          else Ok (name, Range (lower (String.trim attr), bounds)))
+      | [ "replicated" ] -> Ok (name, Replicated)
+      | _ ->
+        Error
+          (Printf.sprintf
+             "unreadable shard spec %S (want NAME, NAME=hash:ATTR or \
+              NAME=range:ATTR:B1,B2,...)"
+             spec))
+
+let bucket_of scheme ~shards schema tuple =
+  match scheme with
+  | Replicated -> invalid_arg "Shard_map.bucket_of: replicated"
+  | Hash attr ->
+    let v =
+      try Tuple.get_by_name schema tuple attr
+      with _ -> failwith (Printf.sprintf "shard key %S not in schema" attr)
+    in
+    Value.hash v land max_int mod shards
+  | Range (attr, bounds) ->
+    let v =
+      try Tuple.get_by_name schema tuple attr
+      with _ -> failwith (Printf.sprintf "shard key %S not in schema" attr)
+    in
+    let rec go i = function
+      | [] -> i
+      | b :: rest -> if Value.compare v b <= 0 then i else go (i + 1) rest
+    in
+    min (go 0 bounds) (shards - 1)
+
+let partition scheme ~shards rel =
+  if shards < 1 then invalid_arg "Shard_map.partition: shards must be >= 1";
+  let schema = Relation.schema rel in
+  match scheme with
+  | Replicated -> Array.make shards rel
+  | _ ->
+    let parts = Array.make shards [] in
+    List.iter
+      (fun row ->
+        let i = bucket_of scheme ~shards schema row in
+        parts.(i) <- row :: parts.(i))
+      (Relation.rows rel);
+    Array.map (fun rows -> Relation.make schema (List.rev rows)) parts

@@ -1,0 +1,48 @@
+(** Table placement for the scatter-gather router: which backend shard
+    holds which rows of each registered relation.
+
+    Hash and range schemes partition a relation on one attribute, so
+    rows with equal shard-key values always colocate — the property the
+    merge planner exploits when GROUPING covers the shard key (every
+    group is shard-local, Prop. 12). Replicated tables live in full on
+    every backend and need no gathering at all. *)
+
+open Pref_relation
+
+type scheme =
+  | Hash of string  (** partition by [Value.hash] of the named attribute *)
+  | Range of string * Value.t list
+      (** partition by sorted upper bounds: bucket [i] holds rows with
+          [attr <= bounds.(i)], the last bucket the rest; buckets past
+          [shards - 1] clamp into the final shard *)
+  | Replicated  (** full copy on every backend *)
+
+type t
+(** Registered tables; names are lowercased, lookup case-insensitive. *)
+
+val empty : t
+val add : t -> table:string -> scheme -> t
+val find : t -> string -> scheme option
+val tables : t -> (string * scheme) list
+
+val key_attr : scheme -> string option
+(** The partitioning attribute; [None] for {!Replicated}. *)
+
+val scheme_to_string : scheme -> string
+(** Round-trips through {!of_spec}'s scheme syntax. *)
+
+val of_spec : string -> (string * scheme, string) result
+(** Parse one [--shard] CLI spec:
+
+    - ["cars=hash:price"] — hash-partition [cars] on [price]
+    - ["cars=range:price:10000,20000"] — range-partition with two bounds
+      (three buckets); bounds parse as int, then float, then string
+    - ["cars"] — replicated
+
+    Names and attributes are lowercased. *)
+
+val partition : scheme -> shards:int -> Relation.t -> Relation.t array
+(** Split a relation into [shards] pieces under the scheme ({!Replicated}
+    copies it whole into every piece) — used by [prefsplit], the router
+    tests and bench B12 to fabricate shard datasets. Raises [Failure]
+    when the shard-key attribute is missing from the schema. *)

@@ -1,22 +1,38 @@
-type t = { fd : Unix.file_descr; mutable open_ : bool }
+open Pref_relation
+
+type t = {
+  fd : Unix.file_descr;
+  mutable open_ : bool;
+  timeout_s : float option;
+}
 
 exception Closed
+exception Timeout
+exception Response_lost of exn
 
 let () =
   Printexc.register_printer (function
     | Closed -> Some "Pref_server.Client.Closed"
+    | Timeout -> Some "Pref_server.Client.Timeout"
+    | Response_lost e ->
+      Some ("Pref_server.Client.Response_lost(" ^ Printexc.to_string e ^ ")")
     | _ -> None)
 
-let connect ~host ~port =
+let connect ?timeout_s ~host ~port () =
   (* a server vanishing mid-request must surface as EPIPE, not kill the
      process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     (* a receive timeout makes reads tick every 250 ms so [request] can
+        check its deadline without committing to one blocking read *)
+     if timeout_s <> None then
+       Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.25
    with e ->
      (try Unix.close fd with _ -> ());
      raise e);
-  { fd; open_ = true }
+  { fd; open_ = true; timeout_s }
 
 let close t =
   if t.open_ then begin
@@ -25,14 +41,30 @@ let close t =
     try Unix.close t.fd with _ -> ()
   end
 
+(* Failures before the request frame is fully written are safe to retry
+   — the server never saw the request. Once the frame is on the wire the
+   server may already be executing it, so every later failure (EOF,
+   deadline, framing corruption) is wrapped in [Response_lost]: retrying
+   it blindly could execute the statement twice. *)
 let request t req =
   Protocol.write_frame t.fd (Protocol.encode_request req);
-  match Protocol.read_frame t.fd with
-  | None -> raise Closed
-  | Some payload -> (
-    match Protocol.parse_response payload with
-    | Ok resp -> resp
-    | Error msg -> failwith ("unparsable response: " ^ msg))
+  let on_wait =
+    match t.timeout_s with
+    | None -> fun () -> ()
+    | Some limit ->
+      let deadline = Unix.gettimeofday () +. limit in
+      fun () -> if Unix.gettimeofday () > deadline then raise Timeout
+  in
+  match
+    match Protocol.read_frame ~on_wait t.fd with
+    | None -> raise Closed
+    | Some payload -> (
+      match Protocol.parse_response payload with
+      | Ok resp -> resp
+      | Error msg -> failwith ("unparsable response: " ^ msg))
+  with
+  | resp -> resp
+  | exception e -> raise (Response_lost e)
 
 let ping t = match request t Protocol.Ping with
   | Protocol.Pong -> true
@@ -53,34 +85,47 @@ let fresh_trace () =
 
 let render_err kind message = Printf.sprintf "[%s] %s" kind message
 
-let query ?trace t sql =
-  match request t (Protocol.Query { sql; trace }) with
-  | Protocol.Rows { relation; flags; _ } -> Ok (relation, flags)
+type reply = {
+  rel : Relation.t;
+  flags : Pref_bmo.Engine.flags;
+  served : (int * int) option;
+  echoed : Protocol.trace option;
+}
+
+let reply_of_response = function
+  | Protocol.Rows { relation; flags; served; trace } ->
+    Ok { rel = relation; flags; served; echoed = trace }
   | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
   | _ -> Error "[proto] unexpected response to QUERY"
+
+let query_reply ?trace t sql =
+  reply_of_response (request t (Protocol.Query { sql; trace }))
+
+let query_reply_retry ?(attempts = 50) ?(backoff_s = 0.002) ?trace t sql =
+  let rec go n =
+    match request t (Protocol.Query { sql; trace }) with
+    | Protocol.Err { retriable = true; _ } when n > 1 ->
+      Thread.delay backoff_s;
+      go (n - 1)
+    | resp -> reply_of_response resp
+  in
+  go (max 1 attempts)
+
+let query ?trace t sql =
+  match query_reply ?trace t sql with
+  | Ok { rel; flags; _ } -> Ok (rel, flags)
+  | Error msg -> Error msg
 
 let query_traced t sql =
   let trace = fresh_trace () in
-  match request t (Protocol.Query { sql; trace = Some trace }) with
-  | Protocol.Rows { relation; flags; trace = echoed } ->
-    Ok (relation, flags, echoed)
-  | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
-  | _ -> Error "[proto] unexpected response to QUERY"
+  match query_reply ~trace t sql with
+  | Ok { rel; flags; echoed; _ } -> Ok (rel, flags, echoed)
+  | Error msg -> Error msg
 
-let query_retry ?(attempts = 50) ?(backoff_s = 0.002) ?trace t sql =
-  let rec go n =
-    match request t (Protocol.Query { sql; trace }) with
-    | Protocol.Rows { relation; flags; _ } -> Ok (relation, flags)
-    | Protocol.Err { retriable = true; kind; message; _ } ->
-      if n <= 1 then Error (render_err kind message)
-      else begin
-        Thread.delay backoff_s;
-        go (n - 1)
-      end
-    | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
-    | _ -> Error "[proto] unexpected response to QUERY"
-  in
-  go (max 1 attempts)
+let query_retry ?attempts ?backoff_s ?trace t sql =
+  match query_reply_retry ?attempts ?backoff_s ?trace t sql with
+  | Ok { rel; flags; _ } -> Ok (rel, flags)
+  | Error msg -> Error msg
 
 let explain ?(analyze = false) ?(json = false) ?trace t sql =
   match request t (Protocol.Explain { sql; analyze; json; trace }) with

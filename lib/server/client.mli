@@ -12,16 +12,31 @@ type t
 exception Closed
 (** The server closed the connection (EOF where a response was due). *)
 
-val connect : host:string -> port:int -> t
-(** Raises [Unix.Unix_error] when the connection is refused. *)
+exception Timeout
+(** No response within the client's [timeout_s] (see {!connect}). *)
+
+exception Response_lost of exn
+(** A failure {e after} the request frame was fully written — {!Closed},
+    {!Timeout}, {!Protocol.Framing_error}, [Failure] on an unparsable
+    payload, or a socket error mid-read. The server may already have
+    executed the request, so the caller must not silently resend it;
+    failures before the frame is on the wire raise unwrapped and are
+    safe to retry. *)
+
+val connect : ?timeout_s:float -> host:string -> port:int -> unit -> t
+(** Raises [Unix.Unix_error] when the connection is refused. With
+    [timeout_s], each request raises {!Response_lost} {!Timeout} when no
+    response arrives within that many seconds (checked every 250 ms). *)
 
 val close : t -> unit
 (** Idempotent. *)
 
 val request : t -> Protocol.request -> Protocol.response
-(** Send one request and read its response. Raises {!Closed} on EOF,
-    {!Protocol.Framing_error} on a corrupt stream, or [Failure] when the
-    response payload does not parse. *)
+(** Send one request and read its response. Failures after the frame is
+    written arrive wrapped in {!Response_lost} (carrying {!Closed} on
+    EOF, {!Protocol.Framing_error} on a corrupt stream, or [Failure]
+    when the response payload does not parse); after any of these the
+    connection is unusable and should be closed. *)
 
 (** {1 Convenience wrappers} *)
 
@@ -55,7 +70,27 @@ val query_retry :
   (Relation.t * Pref_bmo.Engine.flags, string) result
 (** Like {!query}, but a retriable [ERR] (admission-control [busy] /
     [draining]) is retried up to [attempts] times (default 50) with a
-    fixed [backoff_s] sleep (default 2 ms) between tries. *)
+    fixed [backoff_s] sleep (default 2 ms) between tries. Only explicit
+    retriable rejections are retried — the server answered without
+    executing, so a resend cannot double-execute; connection failures
+    propagate as exceptions. *)
+
+type reply = {
+  rel : Relation.t;
+  flags : Pref_bmo.Engine.flags;
+  served : (int * int) option;  (** router responses: shards answered / total *)
+  echoed : Protocol.trace option;  (** request trace, echoed by the server *)
+}
+(** Everything a ROWS frame carries, for callers (the soak driver, the
+    router tests) that need more than the relation + flags pair. *)
+
+val query_reply :
+  ?trace:Protocol.trace -> t -> string -> (reply, string) result
+
+val query_reply_retry :
+  ?attempts:int -> ?backoff_s:float -> ?trace:Protocol.trace -> t -> string ->
+  (reply, string) result
+(** {!query_reply} with {!query_retry}'s retriable-rejection loop. *)
 
 val explain :
   ?analyze:bool ->

@@ -265,6 +265,7 @@ type response =
   | Rows of {
       relation : Relation.t;
       flags : Pref_bmo.Engine.flags;
+      served : (int * int) option;
       trace : trace option;
     }
   | Done of string
@@ -279,15 +280,30 @@ type response =
       trace : trace option;
     }
 
+let served_word = function
+  | None -> ""
+  | Some (k, n) -> Printf.sprintf " served=%d/%d" k n
+
+let served_of_words ws =
+  match List.find_map (word_value "served") ws with
+  | None -> None
+  | Some s -> (
+    match String.split_on_char '/' s with
+    | [ k; n ] -> (
+      match (int_of_string_opt k, int_of_string_opt n) with
+      | Some k, Some n when k >= 0 && n > 0 && k <= n -> Some (k, n)
+      | _ -> None)
+    | _ -> None)
+
 let encode_response = function
-  | Rows { relation; flags; trace } ->
+  | Rows { relation; flags; served; trace } ->
     let buf = Buffer.create 1024 in
     Buffer.add_string buf
-      (Printf.sprintf "ROWS %d%s%s%s\n"
+      (Printf.sprintf "ROWS %d%s%s%s%s\n"
          (Relation.cardinality relation)
          (if flags.Pref_bmo.Engine.partial then " partial" else "")
          (if flags.Pref_bmo.Engine.truncated then " truncated" else "")
-         (trace_words trace));
+         (served_word served) (trace_words trace));
     Buffer.add_string buf (schema_wire (Relation.schema relation));
     List.iter
       (fun row ->
@@ -323,6 +339,7 @@ let parse_rows verb_words body =
         }
       in
       let trace = trace_of_words flag_words in
+      let served = served_of_words flag_words in
       match split_records body with
       | [] -> Error "ROWS response without a schema line"
       | schema_line :: records -> (
@@ -358,7 +375,14 @@ let parse_rows verb_words body =
             in
             (match rows [] records with
             | Ok tuples ->
-              Ok (Rows { relation = Relation.make schema tuples; flags; trace })
+              Ok
+                (Rows
+                   {
+                     relation = Relation.make schema tuples;
+                     flags;
+                     served;
+                     trace;
+                   })
             | Error _ as e -> e))))
   | [] -> Error "ROWS response without a row count"
 

@@ -22,11 +22,12 @@
 
     Responses:
 
-    - [ROWS <n> [partial] [truncated] [trace words]\n<schema>\n<csv rows>]
+    - [ROWS <n> [partial] [truncated] [served=k/n] [trace words]\n<schema>\n<csv rows>]
       — a result relation; the schema line is comma-separated [name:type]
       fields and rows are RFC-4180 CSV in schema column order. [partial]
       marks a deadline-degraded (sound but incomplete) BMO set,
-      [truncated] a row-capped one.
+      [truncated] a row-capped one, and [served=k/n] (router responses
+      only) says [k] of [n] shards contributed.
     - [OK <text>] — acknowledgement
     - [PONG]
     - [STATS\n<key>=<value> lines]
@@ -106,6 +107,9 @@ type response =
   | Rows of {
       relation : Relation.t;
       flags : Pref_bmo.Engine.flags;
+      served : (int * int) option;
+          (** [(k, n)] when a router answered from [k] of [n] shards; rides
+              as a [served=k/n] verb-line word. [None] from a single node. *)
       trace : trace option;  (** request trace, echoed *)
     }
   | Done of string

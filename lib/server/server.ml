@@ -297,7 +297,8 @@ let run_query t session fd ?trace sql =
         Pref_obs.Metrics.incr m_truncated
       end;
       Protocol.encode_response
-        (Protocol.Rows { relation = result.Exec.relation; flags; trace })
+        (Protocol.Rows
+           { relation = result.Exec.relation; flags; served = None; trace })
     | exception e ->
       Atomic.incr t.c_queries;
       Atomic.incr t.c_errors;

@@ -6,6 +6,7 @@ type report = {
   errors : int;
   retried : int;
   traced : int;
+  short : int;
   elapsed_s : float;
   qps : float;
   first_error : string option;
@@ -14,9 +15,9 @@ type report = {
 let pp_report ppf r =
   Format.fprintf ppf
     "%d client(s): %d sent, %d ok, %d degraded, %d error(s), %d retried, %d \
-     traced in %.3fs (%.0f qps)%s"
-    r.clients r.sent r.ok r.degraded r.errors r.retried r.traced r.elapsed_s
-    r.qps
+     traced, %d short in %.3fs (%.0f qps)%s"
+    r.clients r.sent r.ok r.degraded r.errors r.retried r.traced r.short
+    r.elapsed_s r.qps
     (match r.first_error with
     | Some e -> "; first error: " ^ e
     | None -> "")
@@ -28,12 +29,13 @@ type tally = {
   mutable t_errors : int;
   mutable t_retried : int;
   mutable t_traced : int;
+  mutable t_short : int;
   mutable t_first_error : string option;
   mutable t_fatal : string option;
 }
 
 let client_loop ~host ~port ~queries ~setup ~statements tally =
-  match Client.connect ~host ~port with
+  match Client.connect ~host ~port () with
   | exception e -> tally.t_fatal <- Some (Printexc.to_string e)
   | client ->
     Fun.protect
@@ -49,13 +51,20 @@ let client_loop ~host ~port ~queries ~setup ~statements tally =
                  them, so probe once unretried first. Every query carries
                  a fresh trace; a matching echo proves the server
                  round-tripped the context. *)
-              match Client.query_traced client sql with
-              | Ok (_, flags, echoed) ->
+              let count_rows (reply : Client.reply) =
                 tally.t_sent <- tally.t_sent + 1;
-                if echoed <> None then tally.t_traced <- tally.t_traced + 1;
-                if flags.Pref_bmo.Engine.partial then
+                (match reply.Client.served with
+                | Some (k, n) when k < n -> tally.t_short <- tally.t_short + 1
+                | _ -> ());
+                if reply.Client.flags.Pref_bmo.Engine.partial then
                   tally.t_degraded <- tally.t_degraded + 1
                 else tally.t_ok <- tally.t_ok + 1
+              in
+              match Client.query_reply ~trace:(Client.fresh_trace ()) client sql with
+              | Ok reply ->
+                if reply.Client.echoed <> None then
+                  tally.t_traced <- tally.t_traced + 1;
+                count_rows reply
               | Error msg
                 when String.length msg >= 6
                      && (String.sub msg 0 6 = "[busy]"
@@ -63,12 +72,11 @@ let client_loop ~host ~port ~queries ~setup ~statements tally =
                 tally.t_retried <- tally.t_retried + 1;
                 (* retriable means "will succeed later": a soak client
                    persists, so only genuine failures surface as errors *)
-                match Client.query_retry ~attempts:10_000 ~backoff_s:0.001 client sql with
-                | Ok (_, flags) ->
-                  tally.t_sent <- tally.t_sent + 1;
-                  if flags.Pref_bmo.Engine.partial then
-                    tally.t_degraded <- tally.t_degraded + 1
-                  else tally.t_ok <- tally.t_ok + 1
+                match
+                  Client.query_reply_retry ~attempts:10_000 ~backoff_s:0.001
+                    client sql
+                with
+                | Ok reply -> count_rows reply
                 | Error msg ->
                   tally.t_sent <- tally.t_sent + 1;
                   tally.t_errors <- tally.t_errors + 1;
@@ -97,6 +105,7 @@ let run ~host ~port ~clients ~queries_per_client ?(setup = fun _ -> ())
           t_errors = 0;
           t_retried = 0;
           t_traced = 0;
+          t_short = 0;
           t_first_error = None;
           t_fatal = None;
         })
@@ -134,6 +143,7 @@ let run ~host ~port ~clients ~queries_per_client ?(setup = fun _ -> ())
         errors = sum (fun x -> x.t_errors);
         retried = sum (fun x -> x.t_retried);
         traced = sum (fun x -> x.t_traced);
+        short = sum (fun x -> x.t_short);
         elapsed_s;
         qps = (if elapsed_s > 0. then float_of_int sent /. elapsed_s else 0.);
         first_error =

@@ -19,6 +19,10 @@ type report = {
       (** first-attempt ROWS responses whose trace context came back —
           equals the first-attempt successes against a trace-aware
           server, 0 against a pre-trace one *)
+  short : int;
+      (** ROWS responses served from fewer shards than registered
+          ([served=k/n] with [k < n]) — a router degrading gracefully
+          around a down backend; always 0 against a single server *)
   elapsed_s : float;
   qps : float;  (** sent / elapsed *)
   first_error : string option;

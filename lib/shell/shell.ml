@@ -344,7 +344,7 @@ let disconnect shell =
 
 let connect shell host port =
   (match shell.remote with Some _ -> ignore (disconnect shell) | None -> ());
-  let client = Client.connect ~host ~port in
+  let client = Client.connect ~host ~port () in
   if not (Client.ping client) then begin
     Client.close client;
     Error (Printf.sprintf "%s:%d did not answer PING" host port)
@@ -584,9 +584,18 @@ let execute shell line =
     Error (Printf.sprintf "[%s] %s" code message)
   | Repository.Error msg -> Error msg
   | Serialize.Error (msg, _) -> Error msg
-  | Client.Closed ->
+  | Client.Closed | Client.Response_lost Client.Closed ->
     shell.remote <- None;
     Error "server closed the connection; back to the in-process engine"
+  | Client.Response_lost e ->
+    (match shell.remote with
+    | Some r ->
+      Client.close r.client;
+      shell.remote <- None
+    | None -> ());
+    Error
+      ("response lost (" ^ Printexc.to_string e
+     ^ "); disconnected — the server may still have executed the statement")
   | Pref_server.Protocol.Framing_error msg ->
     (match shell.remote with
     | Some r ->

@@ -184,8 +184,8 @@ let awkward_relation =
     ]
 
 let test_response_roundtrip () =
-  let rows ?trace flags =
-    Protocol.Rows { relation = awkward_relation; flags; trace }
+  let rows ?trace ?served flags =
+    Protocol.Rows { relation = awkward_relation; flags; served; trace }
   in
   let cases =
     [
@@ -194,10 +194,13 @@ let test_response_roundtrip () =
       rows { Pref_bmo.Engine.partial = true; truncated = true };
       rows ~trace Pref_bmo.Engine.complete;
       rows ~trace { Pref_bmo.Engine.partial = true; truncated = true };
+      rows ~served:(2, 3) { Pref_bmo.Engine.partial = true; truncated = false };
+      rows ~trace ~served:(4, 4) Pref_bmo.Engine.complete;
       Protocol.Rows
         {
           relation = Relation.make [ ("a", Value.TInt) ] [];
           flags = Pref_bmo.Engine.complete;
+          served = None;
           trace = None;
         };
       Protocol.Done "";
@@ -229,13 +232,16 @@ let test_response_roundtrip () =
       | Error e -> Alcotest.fail e
       | Ok got -> (
         match (resp, got) with
-        | ( Protocol.Rows { relation = r1; flags = f1; trace = t1 },
-            Protocol.Rows { relation = r2; flags = f2; trace = t2 } ) ->
+        | ( Protocol.Rows
+              { relation = r1; flags = f1; served = sv1; trace = t1 },
+            Protocol.Rows
+              { relation = r2; flags = f2; served = sv2; trace = t2 } ) ->
           check "schema survives" true
             (Relation.schema r1 = Relation.schema r2);
           check "rows survive exactly" true
             (Relation.rows r1 = Relation.rows r2);
           check "flags survive" true (f1 = f2);
+          check "served survives" true (sv1 = sv2);
           check "trace echoes" true (t1 = t2)
         | _ -> check "response round-trips" true (got = resp)))
     cases;

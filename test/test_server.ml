@@ -29,7 +29,7 @@ let with_server ?config f =
   Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
 
 let with_client server f =
-  let c = Client.connect ~host ~port:(Server.port server) in
+  let c = Client.connect ~host ~port:(Server.port server) () in
   Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
 
 let counter server name =
@@ -237,7 +237,7 @@ let test_soak () =
 
 let test_graceful_drain () =
   let server = Server.start ~config:{ Server.default_config with host; port = 0 } ~env () in
-  let c = Client.connect ~host ~port:(Server.port server) in
+  let c = Client.connect ~host ~port:(Server.port server) () in
   check "live before drain" true (Client.ping c);
   (* stop with an idle connection open: must complete, not hang *)
   Server.stop server;
@@ -248,14 +248,15 @@ let test_graceful_drain () =
     (try
        ignore (Client.ping c);
        false
-     with Client.Closed | Unix.Unix_error _ -> true);
+     with
+     | Client.Closed | Client.Response_lost _ | Unix.Unix_error _ -> true);
   Client.close c;
   (* stop is idempotent *)
   Server.stop server;
   (* and the port no longer accepts *)
   check "listener is gone" true
     (try
-       let c2 = Client.connect ~host ~port:(Server.port server) in
+       let c2 = Client.connect ~host ~port:(Server.port server) () in
        (* a lingering TIME_WAIT accept would still fail on first use *)
        let alive = try Client.ping c2 with _ -> false in
        Client.close c2;
@@ -280,7 +281,7 @@ let test_drain_rejects_retriably () =
   let probe =
     Thread.create
       (fun () ->
-        match Client.connect ~host ~port:(Server.port server) with
+        match Client.connect ~host ~port:(Server.port server) () with
         | exception _ -> ()
         | c ->
         Fun.protect
@@ -294,7 +295,9 @@ let test_drain_rejects_retriably () =
               | Error msg ->
                 drain_msg := Some msg
             in
-            try loop () with Client.Closed | Unix.Unix_error _ | Protocol.Framing_error _ -> ()))
+            try loop () with
+            | Client.Closed | Client.Response_lost _ | Unix.Unix_error _
+            | Protocol.Framing_error _ -> ()))
       ()
   in
   Thread.delay 0.05;
