@@ -1,5 +1,5 @@
 .PHONY: all build test bench bench-quick bench-smoke bench-gates \
-	server-smoke shard-smoke check fmt lint clean
+	server-smoke shard-smoke check fmt lint verify bad-corpus clean
 
 all: build
 
@@ -59,6 +59,20 @@ lint:
 	dune exec -- prefcheck --json -w hotels examples/queries/hotels.psql
 	dune exec -- prefcheck --json -w trips examples/queries/trips.psql
 	dune exec -- prefcheck --json examples/queries/tour.pxpath
+	@$(MAKE) bad-corpus
+
+# Negative corpus: every file in examples/queries/bad declares the codes
+# it must trigger (`-- expect: CODE ...`); the harness runs prefcheck
+# --json per file and fails on any missing or unexpectedly-clean code.
+bad-corpus:
+	python3 scripts/bad_corpus.py examples/queries/bad
+
+# The bounded soundness verifier: small-scope model checking of every
+# rewrite rule, constraints proof rule, cache decomposition tier and the
+# router merge against the literal Definition 15 semantics. Exits 1 and
+# prints a minimal counterexample (term + relation) on any failure.
+verify:
+	dune exec -- prefcheck --verify
 
 # The pre-push gate: full build, the whole test suite, the static-analysis
 # gate, and the bench smoke subset (correctness checks incl. parallel
@@ -69,6 +83,7 @@ check:
 	dune build @all
 	dune runtest
 	@$(MAKE) lint || { echo "make check: FAILED (lint gate)"; exit 1; }
+	@$(MAKE) verify || { echo "make check: FAILED (verify gate)"; exit 1; }
 	@$(MAKE) bench-gates || { echo "make check: FAILED (bench gates)"; exit 1; }
 	@echo "make check: OK"
 

@@ -38,20 +38,8 @@ let xpath_statements src =
   |> List.map String.trim
   |> List.filter (fun s -> s <> "" && s.[0] <> '#')
 
-type source = Sql of string * string | Xpath of string * string
-(* (label, text) *)
-
-let sources_of_file path =
-  let text = read_file path in
-  let stmts, wrap =
-    match Filename.extension path with
-    | ".pxpath" | ".xpath" ->
-      (xpath_statements text, fun l s -> Xpath (l, s))
-    | _ -> (sql_statements text, fun l s -> Sql (l, s))
-  in
-  List.mapi
-    (fun i s -> wrap (Printf.sprintf "%s:%d" path (i + 1)) s)
-    stmts
+let label_statements path stmts =
+  List.mapi (fun i s -> (Printf.sprintf "%s:%d" path (i + 1), s)) stmts
 
 let load_workload env name =
   let n = 64 in
@@ -71,7 +59,47 @@ let parse_table_spec env spec =
        die "--table %s: %s" spec msg)
   | None -> die "--table expects NAME=FILE.csv, got %S" spec
 
-let main tables workloads files query xpath xml json =
+(* Workload-aware analysis of one .psql file: per-statement flow checks
+   (cross-statement findings included), plus the shard classification of
+   every parseable statement when a shard map is given. *)
+let check_sql_file ~env ~shard_map labeled =
+  let flow = Pref_analysis.Flow_check.check_statements ~env labeled in
+  match shard_map with
+  | None -> flow
+  | Some map ->
+    List.map2
+      (fun (_, text) (label, ds) ->
+        match Pref_sql.Parser.parse_query text with
+        | q -> (label, ds @ Pref_analysis.Shard_check.classify ~shard_map:map q)
+        | exception _ -> (label, ds))
+      labeled flow
+
+let severity_totals reports =
+  List.fold_left
+    (fun (e, w, h) (_, ds) ->
+      List.fold_left
+        (fun (e, w, h) (d : D.t) ->
+          match d.D.severity with
+          | D.Error -> (e + 1, w, h)
+          | D.Warning -> (e, w + 1, h)
+          | D.Hint -> (e, w, h + 1))
+        (e, w, h) ds)
+    (0, 0, 0) reports
+
+let code_counts reports =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (_, ds) ->
+      List.iter
+        (fun (d : D.t) ->
+          Hashtbl.replace tbl d.D.code
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d.D.code)))
+        ds)
+    reports;
+  Hashtbl.fold (fun code n acc -> (code, n) :: acc) tbl []
+  |> List.sort compare
+
+let main tables workloads files query xpath xml shards strict verify json =
   let env = List.fold_left parse_table_spec [] tables in
   let env = List.fold_left load_workload env workloads in
   let doc =
@@ -82,42 +110,121 @@ let main tables workloads files query xpath xml json =
       with Pref_xpath.Xml_parser.Error (msg, pos) ->
         die "%s: XML error at offset %d: %s" path pos msg)
   in
-  let sources =
-    List.concat_map sources_of_file files
-    @ (match query with Some q -> [ Sql ("--query", q) ] | None -> [])
-    @ match xpath with Some q -> [ Xpath ("--xpath", q) ] | None -> []
+  (* --verify: the bounded soundness verifier *)
+  let verify_report =
+    if verify then Some (Pref_analysis.Verify.run ()) else None
   in
-  if sources = [] then die "nothing to check (give FILES, --query or --xpath)";
-  let reports =
-    List.map
-      (fun src ->
-        match src with
-        | Sql (label, text) ->
-          (label, Pref_analysis.Ast_check.check_source ~env text)
-        | Xpath (label, text) ->
-          (label, Pref_analysis.Xpath_check.check_source ?doc text))
-      sources
+  (* --shard: spec validation, then a shard map for classification *)
+  let shard_map, shard_report =
+    match shards with
+    | [] -> (None, [])
+    | specs ->
+      let map, ds = Pref_analysis.Shard_check.check_specs ~env specs in
+      (Some map, if ds = [] then [] else [ ("--shard", ds) ])
   in
-  let any_errors =
-    List.exists (fun (_, ds) -> D.has_errors ds) reports
+  let file_reports =
+    List.concat_map
+      (fun path ->
+        let text = read_file path in
+        match Filename.extension path with
+        | ".pxpath" | ".xpath" ->
+          List.map
+            (fun (label, stmt) ->
+              (label, Pref_analysis.Xpath_check.check_source ?doc stmt))
+            (label_statements path (xpath_statements text))
+        | _ ->
+          check_sql_file ~env ~shard_map
+            (label_statements path (sql_statements text)))
+      files
   in
-  if json then
-    print_endline
-      (Pref_obs.Json.to_string
-         (Pref_obs.Json.List
-            (List.map
-               (fun (label, ds) -> D.report_json ~source:label ds)
-               reports)))
-  else
-    List.iter
-      (fun (label, ds) ->
-        match D.to_lines ds with
-        | [] -> Fmt.pr "%s: ok@." label
-        | lines ->
-          Fmt.pr "%s:@." label;
-          List.iter (fun l -> Fmt.pr "  %s@." l) lines)
-      reports;
-  if any_errors then exit 1
+  let oneshot_reports =
+    (match query with
+    | Some q -> check_sql_file ~env ~shard_map [ ("--query", q) ]
+    | None -> [])
+    @
+    match xpath with
+    | Some q -> [ ("--xpath", Pref_analysis.Xpath_check.check_source ?doc q) ]
+    | None -> []
+  in
+  let reports = shard_report @ file_reports @ oneshot_reports in
+  if reports = [] && not verify then
+    die "nothing to check (give FILES, --query, --xpath or --verify)";
+  let errors, warnings, hints = severity_totals reports in
+  let verify_ok =
+    match verify_report with
+    | Some r -> Pref_analysis.Verify.ok r
+    | None -> true
+  in
+  (if json then
+     let module J = Pref_obs.Json in
+     let summary =
+       J.Obj
+         [
+           ("errors", J.Int errors);
+           ("warnings", J.Int warnings);
+           ("hints", J.Int hints);
+           ( "codes",
+             J.Obj (List.map (fun (c, n) -> (c, J.Int n)) (code_counts reports))
+           );
+         ]
+     in
+     let fields =
+       [
+         ( "sources",
+           J.List
+             (List.map
+                (fun (label, ds) -> D.report_json ~source:label ds)
+                reports) );
+         ("summary", summary);
+       ]
+       @
+       match verify_report with
+       | None -> []
+       | Some r ->
+         [
+           ( "verify",
+             J.Obj
+               [
+                 ("ok", J.Bool (Pref_analysis.Verify.ok r));
+                 ( "lines",
+                   J.List
+                     (List.map
+                        (fun l -> J.Str l)
+                        (Pref_analysis.Verify.report_lines r)) );
+               ] );
+         ]
+     in
+     print_endline (J.to_string (J.Obj fields))
+   else begin
+     (match verify_report with
+     | Some r ->
+       List.iter print_endline (Pref_analysis.Verify.report_lines r)
+     | None -> ());
+     List.iter
+       (fun (label, ds) ->
+         match D.to_lines ds with
+         | [] -> Fmt.pr "%s: ok@." label
+         | lines ->
+           Fmt.pr "%s:@." label;
+           List.iter (fun l -> Fmt.pr "  %s@." l) lines)
+       reports;
+     if reports <> [] then
+       Fmt.pr "summary: %d error%s, %d warning%s, %d hint%s%s@." errors
+         (if errors = 1 then "" else "s")
+         warnings
+         (if warnings = 1 then "" else "s")
+         hints
+         (if hints = 1 then "" else "s")
+         (match code_counts reports with
+         | [] -> ""
+         | counts ->
+           " ("
+           ^ String.concat ", "
+               (List.map (fun (c, n) -> Printf.sprintf "%s x%d" c n) counts)
+           ^ ")")
+   end);
+  if errors > 0 || not verify_ok then exit 1;
+  if strict && warnings > 0 then exit 1
 
 open Cmdliner
 
@@ -165,8 +272,39 @@ let xml_arg =
           "XML document giving the tag/attribute universe for Preference \
            XPath checks.")
 
+let shard_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "shard" ] ~docv:"SPEC"
+        ~doc:
+          "Shard map entry (repeatable), as accepted by prefroute: \
+           $(i,NAME), $(i,NAME=hash:ATTR) or \
+           $(i,NAME=range:ATTR:B1,B2,...). Specs are validated \
+           (E201-E203) and every statement is classified against the \
+           router's planner (E220, H220-H222, W223).")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:"Exit 1 on warning-severity findings too, not just errors.")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Run the bounded soundness verifier (rewrite rules, constraints \
+           prover, cache decomposition tiers, router merge) and exit 1 on \
+           any counterexample.")
+
 let json_arg =
-  Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON report per source.")
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit one aggregated JSON report: per-source findings plus a \
+           per-code summary.")
 
 let cmd =
   let doc = "static analysis for Preference SQL and Preference XPath" in
@@ -174,6 +312,6 @@ let cmd =
     (Cmd.info "prefcheck" ~version:"1.0.0" ~doc)
     Term.(
       const main $ tables_arg $ workloads_arg $ files_arg $ query_arg
-      $ xpath_arg $ xml_arg $ json_arg)
+      $ xpath_arg $ xml_arg $ shard_arg $ strict_arg $ verify_arg $ json_arg)
 
 let () = exit (Cmd.eval cmd)

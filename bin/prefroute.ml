@@ -35,14 +35,19 @@ let main backends shards host port max_connections shard_timeout deadline_ms =
       backends
   in
   if backends = [] then die "at least one --backend HOST:PORT is required";
-  let shard_map =
-    List.fold_left
-      (fun acc spec ->
-        match Pref_router.Shard_map.of_spec spec with
-        | Ok (table, scheme) -> Pref_router.Shard_map.add acc ~table scheme
-        | Error msg -> die msg)
-      Pref_router.Shard_map.empty shards
-  in
+  (* Validate the shard specs through the static analyzer: malformed
+     specs (E202) and duplicate tables (E203) are configuration bugs, so
+     refuse to start rather than route around them. *)
+  let shard_map, spec_diags = Pref_analysis.Shard_check.check_specs shards in
+  if spec_diags <> [] then begin
+    List.iter
+      (fun d -> Fmt.epr "prefroute: %s@." (Pref_analysis.Diagnostic.to_string d))
+      spec_diags;
+    exit 2
+  end;
+  (* Plug the analyzer into the executor so the router statically checks
+     every statement once before scattering it to N backends. *)
+  Pref_analysis.Install.install ();
   let config =
     {
       Pref_router.Router.default_config with

@@ -175,8 +175,12 @@ let check_query ?(registry = Translate.default_registry) ~env (q : Ast.query)
   in
   (* FROM: existence, duplicates, schema *)
   if q.Ast.from = [] then emit [ "from" ] "E110" "FROM requires at least one table";
+  (* An empty environment means "no catalog available" (the router's
+     pre-scatter check, prefcheck without tables): table existence and
+     schema resolution are unknowable, so only the env-free checks run. *)
   let unknown =
-    List.filter (fun t -> Exec.find_table env t = None) q.Ast.from
+    if env = [] then []
+    else List.filter (fun t -> Exec.find_table env t = None) q.Ast.from
   in
   List.iter
     (fun t ->
@@ -202,7 +206,8 @@ let check_query ?(registry = Translate.default_registry) ~env (q : Ast.query)
            "table %S listed twice: the join would duplicate its columns" t))
     duplicates;
   let schema =
-    if q.Ast.from = [] || unknown <> [] || duplicates <> [] then None
+    if env = [] || q.Ast.from = [] || unknown <> [] || duplicates <> []
+    then None
     else
       match q.Ast.from with
       | [ t ] ->

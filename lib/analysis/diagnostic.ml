@@ -43,6 +43,30 @@ let codes =
     ("H021", "double-dual");
     ("H022", "rewritable-dual");
     ("H023", "simplifiable");
+    (* Semantic analysis v2: satisfiability / contradiction lints (2xx
+       term level), data- and workload-aware query lints (2xx query
+       level) and the shard-aware classification of statements against a
+       shard map. *)
+    ("E201", "shard-key-unknown-attribute");
+    ("E202", "invalid-shard-spec");
+    ("E203", "duplicate-shard-table");
+    ("E210", "unknown-set-knob");
+    ("E220", "rejected-by-router");
+    ("W201", "explicit-graph-collapses");
+    ("W202", "unsatisfiable-between");
+    ("W203", "conflicting-numeric-zones");
+    ("W210", "unsatisfiable-where");
+    ("W211", "winnow-always-total");
+    ("W212", "empty-table");
+    ("W220", "shadowed-preference-suffix");
+    ("W221", "repeated-statement");
+    ("W222", "dead-set-knob");
+    ("W223", "scatter-partial-risk");
+    ("H201", "duplicate-set-values");
+    ("H210", "refinement-cache-reuse");
+    ("H220", "scatter-exact");
+    ("H221", "scatter-final-winnow");
+    ("H222", "proxied-statement");
   ]
 
 let meaning code =

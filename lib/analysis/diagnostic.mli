@@ -32,6 +32,23 @@
     H021 double-dual
     H022 rewritable-dual
     H023 simplifiable
+    v}
+
+    The 2xx families are the semantic-analysis layer: term satisfiability
+    ({!Sat_check}), data/workload-aware query lints ({!Flow_check}) and the
+    shard-aware statement classification ({!Shard_check}).
+
+    {v
+    E201 shard-key-unknown-attribute   W210 unsatisfiable-where
+    E202 invalid-shard-spec            W211 winnow-always-total
+    E203 duplicate-shard-table         W212 empty-table
+    E210 unknown-set-knob              W220 shadowed-preference-suffix
+    E220 rejected-by-router            W221 repeated-statement
+    W201 explicit-graph-collapses      W222 dead-set-knob
+    W202 unsatisfiable-between         W223 scatter-partial-risk
+    W203 conflicting-numeric-zones     H210 refinement-cache-reuse
+    H201 duplicate-set-values          H220 scatter-exact
+    H221 scatter-final-winnow          H222 proxied-statement
     v} *)
 
 type severity = Error | Warning | Hint

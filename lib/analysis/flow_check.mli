@@ -1,0 +1,55 @@
+(** Data- and workload-aware query analysis.
+
+    {!Ast_check} is purely structural; this layer additionally consults
+    the execution environment (the loaded tables) and, in workload mode,
+    reasons across the statements of a whole [.psql] file.
+
+    Query-level data lints (all warnings — the statements execute fine):
+
+    - [W210] [unsatisfiable-where]: the top-level WHERE conjuncts are
+      contradictory (disjoint ranges, conflicting equalities, empty IN
+      intersections), so the result is empty on every input;
+    - [W211] [winnow-always-total]: the {!Preferences.Constraints} prover
+      shows σ[P] never discards a row of the loaded table — and the proof
+      is universally quantified over rows, hence stays valid under any
+      WHERE filter and any GROUPING split;
+    - [W212] [empty-table]: a FROM table is loaded and empty;
+    - [W220] [shadowed-preference-suffix]: a prioritisation prefix whose
+      attributes already identify every row of the loaded data, so the
+      remaining & operands never discriminate (the data-dependent
+      completion of Proposition 4(a)).
+
+    Workload mode ({!check_statements}) additionally understands
+    [SET knob value] statements and reports
+
+    - [E210] [unknown-set-knob]: {!Pref_bmo.Engine.set} rejects the knob
+      or its value — the statement errors at runtime;
+    - [W222] [dead-set-knob]: a SET overwritten before any query runs, or
+      a SET to the value already in effect;
+    - [W221] [repeated-statement]: a statement whose base query and
+      canonical preference are identical to an earlier one;
+    - [H210] [refinement-cache-reuse]: a statement that extends an
+      earlier statement's prioritisation spine over the same base query —
+      the prior-prefix cache tier (Proposition 10) can derive its BMO
+      from the earlier result. *)
+
+open Pref_sql
+
+val check_query :
+  ?registry:Translate.registry -> env:Exec.env -> Ast.query -> Diagnostic.t list
+(** {!Ast_check.check_query} plus the data lints. The data lints only run
+    on structurally error-free queries. Never raises. *)
+
+val check_source :
+  ?registry:Translate.registry -> env:Exec.env -> string -> Diagnostic.t list
+(** [check_query] after parsing; parse failures become one [E111]. *)
+
+val check_statements :
+  ?registry:Translate.registry ->
+  env:Exec.env ->
+  (string * string) list ->
+  (string * Diagnostic.t list) list
+(** Workload mode over the labelled statements of one file, in order.
+    Result is aligned 1:1 with the input: per-statement findings
+    ({!check_query} / SET validation) plus the cross-statement findings
+    attached to the statement they concern. *)

@@ -1,0 +1,190 @@
+open Preferences
+open Pref_relation
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+let rec pareto_ops = function
+  | Pref.Pareto (q, r) -> pareto_ops q @ pareto_ops r
+  | p -> [ p ]
+
+let rec prior_ops = function
+  | Pref.Prior (q, r) -> prior_ops q @ prior_ops r
+  | p -> [ p ]
+
+let rec inter_ops = function
+  | Pref.Inter (q, r) -> inter_ops q @ inter_ops r
+  | p -> [ p ]
+
+let dedup values =
+  List.fold_left
+    (fun acc v -> if List.exists (Value.equal v) acc then acc else v :: acc)
+    [] values
+  |> List.rev
+
+(* Same compatibility notion as Term_check: Int and Float compare
+   numerically, every other type only matches itself, NULL fits all. *)
+let lit_compatible ty v =
+  match Value.type_of v with
+  | None -> true
+  | Some vt -> (
+    vt = ty
+    ||
+    match (ty, vt) with
+    | (Value.TInt | Value.TFloat), (Value.TInt | Value.TFloat) -> true
+    | _ -> false)
+
+let subset_mod_equal s1 s2 =
+  List.for_all (fun v -> List.exists (Value.equal v) s2) s1
+
+(* The optimum zone of a numerical band constructor: the attribute values
+   at distance 0 (Definition 7). *)
+let zone = function
+  | Pref.Between (a, low, up) when low <= up -> Some (a, low, up)
+  | Pref.Around (a, z) -> Some (a, z, z)
+  | _ -> None
+
+let pp_set values =
+  String.concat ", " (List.map Value.to_string values)
+
+(* ------------------------------------------------------------------ *)
+(* The checker                                                         *)
+
+let check ?schema ?(path = []) p0 =
+  let diags = ref [] in
+  let emit ?fixit path code message =
+    diags := Diagnostic.make ~path ?fixit code message :: !diags
+  in
+  let sub path s = path @ [ s ] in
+  (* H201: duplicate values in a POS/NEG-family set. [rebuild] receives
+     the deduplicated sets and may raise on raw ill-formed terms. *)
+  let check_sets path ~constructor a ~rebuild sets =
+    let deduped = List.map dedup sets in
+    if List.exists2 (fun s d -> List.length d < List.length s) sets deduped
+    then
+      let fixit = try Some (rebuild deduped) with _ -> None in
+      emit ?fixit path "H201"
+        (Printf.sprintf
+           "%s(%s): duplicate values in the value set; sets are \
+            duplicate-free under Definition 6"
+           constructor a)
+  in
+  let rec walk schema path p =
+    match p with
+    | Pref.Pos (a, set) ->
+      check_sets path ~constructor:"POS" a
+        ~rebuild:(function [ s ] -> Pref.pos a s | _ -> assert false)
+        [ set ]
+    | Pref.Neg (a, set) ->
+      check_sets path ~constructor:"NEG" a
+        ~rebuild:(function [ s ] -> Pref.neg a s | _ -> assert false)
+        [ set ]
+    | Pref.Pos_neg (a, pset, nset) ->
+      check_sets path ~constructor:"POS/NEG" a
+        ~rebuild:(function
+          | [ p; n ] -> Pref.pos_neg a ~pos:p ~neg:n
+          | _ -> assert false)
+        [ pset; nset ]
+    | Pref.Pos_pos (a, p1, p2) ->
+      check_sets path ~constructor:"POS/POS" a
+        ~rebuild:(function
+          | [ p1; p2 ] -> Pref.pos_pos a ~pos1:p1 ~pos2:p2
+          | _ -> assert false)
+        [ p1; p2 ]
+    | Pref.Explicit (a, edges) -> (
+      match schema with
+      | Some schema when edges <> [] -> (
+        match Schema.type_of schema a with
+        | Some ty ->
+          let dead (w, b) =
+            not (lit_compatible ty w) || not (lit_compatible ty b)
+          in
+          if List.for_all dead edges then
+            emit
+              ~fixit:(Pref.antichain [ a ])
+              path "W201"
+              (Printf.sprintf
+                 "EXPLICIT(%s): no edge can relate two values of the %s \
+                  column; the order collapses to the anti-chain %s<->"
+                 a (Value.ty_to_string ty) a)
+        | None -> ())
+      | _ -> ())
+    | Pref.Between (a, low, up) -> (
+      if low <= up then
+        match schema with
+        | Some schema -> (
+          match Schema.type_of schema a with
+          | Some (Value.TInt | Value.TDate)
+            when Float.ceil low > Float.floor up ->
+            emit path "W202"
+              (Printf.sprintf
+                 "BETWEEN(%s, [%g, %g]): the band contains no value of the \
+                  integer-valued column; distance 0 is unachievable"
+                 a low up)
+          | _ -> ())
+        | None -> ())
+    | Pref.Around _ | Pref.Lowest _ | Pref.Highest _ | Pref.Score _
+    | Pref.Antichain _ ->
+      ()
+    | Pref.Dual q -> walk schema (sub path "dual") q
+    | Pref.Pareto _ ->
+      let ops = pareto_ops p in
+      check_conflicts path ~glyph:"pareto" ops;
+      List.iteri
+        (fun i q -> walk schema (sub path (Printf.sprintf "pareto[%d]" i)) q)
+        ops
+    | Pref.Inter _ ->
+      let ops = inter_ops p in
+      check_conflicts path ~glyph:"inter" ops;
+      List.iteri
+        (fun i q -> walk schema (sub path (Printf.sprintf "inter[%d]" i)) q)
+        ops
+    | Pref.Prior _ ->
+      let ops = prior_ops p in
+      List.iteri
+        (fun i q -> walk schema (sub path (Printf.sprintf "prior[%d]" i)) q)
+        ops
+    | Pref.Dunion (q, r) ->
+      walk schema (sub path "dunion[0]") q;
+      walk schema (sub path "dunion[1]") r
+    | Pref.Rank (_, q, r) ->
+      walk schema (sub path "rank[0]") q;
+      walk schema (sub path "rank[1]") r
+    | Pref.Lsum s ->
+      (* operand attribute references are rerouted to [ls_attr]: no
+         schema-dependent checks inside *)
+      walk None (sub path "lsum.left") s.Pref.ls_left;
+      walk None (sub path "lsum.right") s.Pref.ls_right
+    | Pref.Two_graphs _ -> ()
+  (* W203 over a flattened commutative accumulation: two operands that
+     can never both be satisfied on the shared attribute. *)
+  and check_conflicts path ~glyph ops =
+    let arr = Array.of_list ops in
+    let n = Array.length arr in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        (match (zone arr.(i), zone arr.(j)) with
+        | Some (a1, l1, u1), Some (a2, l2, u2)
+          when a1 = a2 && (u1 < l2 || u2 < l1) ->
+          emit path "W203"
+            (Printf.sprintf
+               "%s operands %d and %d want disjoint zones on %s ([%g, %g] \
+                vs [%g, %g]): no value satisfies both; every best match \
+                compromises one dimension entirely"
+               glyph i j a1 l1 u1 l2 u2)
+        | _ -> ());
+        match (arr.(i), arr.(j)) with
+        | Pref.Pos (a1, pset), Pref.Neg (a2, nset)
+        | Pref.Neg (a2, nset), Pref.Pos (a1, pset)
+          when a1 = a2 && pset <> [] && subset_mod_equal pset nset ->
+          emit path "W203"
+            (Printf.sprintf
+               "%s operands %d and %d contradict on %s: every POS value \
+                {%s} is in the sibling NEG set"
+               glyph i j a1 (pp_set pset))
+        | _ -> ()
+      done
+    done
+  in
+  walk schema path p0;
+  !diags

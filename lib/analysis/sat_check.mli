@@ -1,0 +1,34 @@
+(** Satisfiability and contradiction analysis over preference terms.
+
+    Where {!Term_check} polices well-formedness and the §4 laws, this
+    layer asks whether a well-formed term can ever {e discriminate}: does
+    any pair of column values exist that the order relates? It reports
+
+    - [W201] [explicit-graph-collapses]: with a schema, an EXPLICIT graph
+      none of whose edges can relate two values of the column's type —
+      the order collapses to the anti-chain, so the fix-it [A↔] is
+      preference-equivalent on every instance of the schema;
+    - [W202] [unsatisfiable-between]: a BETWEEN band over an integer (or
+      date) column that contains no representable value, so distance 0 is
+      unachievable and the band degenerates to a pure distance order;
+    - [W203] [conflicting-numeric-zones]: sibling ⊗/♦ operands whose
+      optimum zones on the same attribute are disjoint (BETWEEN/AROUND
+      bands that cannot both be satisfied), or a POS set that a sibling
+      NEG penalises wholesale — the accumulated preference is
+      contradictory: no tuple can be optimal in both dimensions;
+    - [H201] [duplicate-set-values]: value sets containing duplicates
+      modulo {!Pref_relation.Value.equal}; the fix-it drops them (set
+      semantics, Definition 6).
+
+    All findings are warnings or hints: the flagged terms execute fine,
+    they just cannot mean what was written. The checker never raises,
+    even on raw ill-formed terms. *)
+
+val check :
+  ?schema:Pref_relation.Schema.t ->
+  ?path:string list ->
+  Preferences.Pref.t ->
+  Diagnostic.t list
+(** Unsorted findings; [path] prefixes every location. Called by
+    {!Term_check.check}, so every surface (SQL, XPath, shell, executor
+    rejection hook) inherits these lints. *)

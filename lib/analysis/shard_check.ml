@@ -1,0 +1,75 @@
+open Pref_relation
+open Pref_sql
+open Pref_router
+
+let check_specs ?(env = []) specs =
+  let diags = ref [] in
+  let emit i code message =
+    diags :=
+      Diagnostic.make ~path:[ Printf.sprintf "shard[%d]" i ] code message
+      :: !diags
+  in
+  let map = ref Shard_map.empty in
+  List.iteri
+    (fun i spec ->
+      match Shard_map.of_spec spec with
+      | Error msg -> emit i "E202" msg
+      | Ok (table, scheme) ->
+        if Shard_map.find !map table <> None then
+          emit i "E203"
+            (Printf.sprintf
+               "table %S is already mapped (%s): the router uses the first \
+                entry; drop or merge the duplicate spec"
+               table
+               (Shard_map.scheme_to_string
+                  (Option.get (Shard_map.find !map table))))
+        else begin
+          let bad_bound =
+            match scheme with
+            | Shard_map.Range (_, bounds) ->
+              List.find_opt (fun b -> Value.as_float b = None) bounds
+            | _ -> None
+          in
+          (match bad_bound with
+          | Some b ->
+            emit i "E202"
+              (Printf.sprintf
+                 "range bounds for table %S must be numeric, got %s" table
+                 (Value.to_string b))
+          | None -> ());
+          (match (Shard_map.key_attr scheme, Exec.find_table env table) with
+          | Some attr, Some rel ->
+            let schema = Relation.schema rel in
+            if not (Schema.mem schema attr) then
+              emit i "E201"
+                (Printf.sprintf
+                   "shard key %S is not a column of table %S%s" attr table
+                   (Ast_check.suggest (Schema.names schema) attr))
+          | _ -> ());
+          if bad_bound = None then map := Shard_map.add !map ~table scheme
+        end)
+    specs;
+  (!map, List.rev !diags)
+
+let classify ?registry ~shard_map (q : Ast.query) =
+  let mk ?(path = [ "shard" ]) code message =
+    [ Diagnostic.make ~path code message ]
+  in
+  match Merge.plan ?registry ~shard_map q with
+  | Error msg -> mk "E220" (Printf.sprintf "rejected by the shard router: %s" msg)
+  | Ok Merge.Proxy ->
+    mk "H222" "no sharded table: proxied to a single backend, exact"
+  | Ok (Merge.Scatter d) ->
+    let has_pref = q.Ast.preferring <> None || q.Ast.cascade <> [] in
+    if d.Merge.merge_needed then
+      mk "H221"
+        (Printf.sprintf "scatter + final winnow over the union: exact (%s)"
+           d.Merge.reason)
+    else if has_pref then
+      mk "W223"
+        (Printf.sprintf
+           "scatter with the merge skipped (%s): exact only while the shard \
+            map matches the data placement; a lost or misplaced shard \
+            silently drops whole groups, with no final winnow to notice"
+           d.Merge.reason)
+    else mk "H220" (Printf.sprintf "scatter exact: %s" d.Merge.reason)

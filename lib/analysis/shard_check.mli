@@ -1,0 +1,42 @@
+(** Shard-aware static analysis.
+
+    Validates [--shard] specs with named diagnostics and statically
+    classifies statements against a shard map {e with the router's own
+    planner} ({!Pref_router.Merge.plan}), so the classification agrees
+    with the router's plan-time accept/reject by construction:
+
+    - [E202] [invalid-shard-spec]: {!Pref_router.Shard_map.of_spec}
+      rejects the spec, or a range spec carries non-numeric bounds;
+    - [E203] [duplicate-shard-table]: a table mapped twice (the router
+      would silently use the first entry);
+    - [E201] [shard-key-unknown-attribute]: with an environment, the
+      shard key attribute is not a column of the loaded table;
+    - [E220] [rejected-by-router]: the planner refuses the statement
+      (distributed joins);
+    - [H222] [proxied-statement]: no sharded table — one backend answers
+      exactly;
+    - [H221] [scatter-final-winnow]: scatter with a final winnow over the
+      gathered union — exact by Props. 8/10/12;
+    - [H220] [scatter-exact]: scatter without preference — the union of
+      shard scans is already the answer;
+    - [W223] [scatter-partial-risk]: the merge is skipped because
+      GROUPING covers the shard key — exact only while the shard map
+      matches the data placement, and a lost shard silently drops whole
+      groups with no final winnow to notice. *)
+
+open Pref_sql
+open Pref_router
+
+val check_specs :
+  ?env:Exec.env -> string list -> Shard_map.t * Diagnostic.t list
+(** Parse and validate the spec strings in order. The returned map holds
+    the valid entries (first mapping wins, like the router); diagnostics
+    carry a [shard[i]] path per offending spec. *)
+
+val classify :
+  ?registry:Translate.registry ->
+  shard_map:Shard_map.t ->
+  Ast.query ->
+  Diagnostic.t list
+(** Exactly one classification finding per statement (E220 / H220 / H221
+    / H222 / W223). *)

@@ -418,6 +418,8 @@ let check ?schema ?(path = []) p0 =
           best match"
          (String.concat ", " l))
   | _ -> ());
+  (* The satisfiability layer rides on every term check. *)
+  diags := Sat_check.check ?schema ~path p0 @ !diags;
   (* A generic simplification hint when nothing more specific fired. *)
   (if !diags = [] then
      let simplified = Rewrite.simplify p0 in

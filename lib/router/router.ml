@@ -598,6 +598,26 @@ let answer_explain conn ~analyze ~json ?trace sql =
       | Error resp -> resp)
     | Ok (Merge.Scatter d) -> scatter_explain conn ~analyze ~json ?trace d)
 
+(* Static checks run once in the router, against an empty catalog (the
+   rows live on the backends), before a statement is scattered N ways.
+   A no-op unless a checker has been installed (prefroute installs
+   [Pref_analysis]); warnings and hints are left to the backends. *)
+let pre_scatter_errors t q =
+  match
+    List.filter
+      (fun f -> f.Exec.check_severity = "error")
+      (Exec.static_check ~registry:t.registry [] q)
+  with
+  | [] -> None
+  | errors ->
+    Some
+      (String.concat "; "
+         (List.map
+            (fun f ->
+              Printf.sprintf "[%s] at %s: %s" f.Exec.check_code
+                f.Exec.check_path f.Exec.check_message)
+            errors))
+
 let answer_query conn ?trace sql =
   let t = conn.router in
   Atomic.incr t.c_queries;
@@ -620,7 +640,14 @@ let answer_query conn ?trace sql =
         Pref_obs.Metrics.incr m_errors;
         Protocol.Err { kind = "exec"; retriable = false; message = msg; trace }
       | Ok Merge.Proxy -> proxy_query conn ?trace q
-      | Ok (Merge.Scatter d) -> scatter_query conn ?trace d))
+      | Ok (Merge.Scatter d) -> (
+        match pre_scatter_errors t q with
+        | Some msg ->
+          Atomic.incr t.c_errors;
+          Pref_obs.Metrics.incr m_errors;
+          Protocol.Err
+            { kind = "check"; retriable = false; message = msg; trace }
+        | None -> scatter_query conn ?trace d)))
 
 (* ------------------------------------------------------------------ *)
 (* SET / STATS                                                         *)

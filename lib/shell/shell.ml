@@ -98,7 +98,7 @@ let expand_references shell src =
 
 let check_lines shell src =
   Pref_analysis.Diagnostic.to_lines
-    (Pref_analysis.Ast_check.check_source ~registry:shell.registry
+    (Pref_analysis.Flow_check.check_source ~registry:shell.registry
        ~env:(env shell) src)
 
 let flags_text (flags : Pref_bmo.Engine.flags) =

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Negative-corpus gate for prefcheck.
+
+Every .psql file under the corpus directory declares, in leading comment
+directives, the diagnostic codes it must trigger and the prefcheck flags
+it needs:
+
+    -- expect: W202 W203
+    -- prefcheck: -w cars --shard cars=hash:price
+
+The harness runs `dune exec -- prefcheck --json <flags> <file>` per file
+and fails if any declared code is missing from the report's per-code
+summary. Extra findings are allowed (a file planted for one lint may
+legitimately trip neighbours); a file that declares nothing is an error —
+the corpus exists to pin codes down.
+
+Usage: python3 scripts/bad_corpus.py examples/queries/bad
+"""
+
+import json
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+
+def directives(path):
+    expect, flags = [], []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line.startswith("--"):
+            if line:
+                break  # directives live in the leading comment block
+            continue
+        body = line[2:].strip()
+        if body.startswith("expect:"):
+            expect += body[len("expect:"):].split()
+        elif body.startswith("prefcheck:"):
+            flags += shlex.split(body[len("prefcheck:"):])
+    return expect, flags
+
+
+def run_prefcheck(flags, path):
+    cmd = ["dune", "exec", "--", "prefcheck", "--json", *flags, str(path)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    # exit 1 just means error-severity findings — expected here; exit 2
+    # (usage / I/O) or anything else is a harness bug
+    if proc.returncode not in (0, 1):
+        raise RuntimeError(
+            f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}"
+        )
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        raise RuntimeError(f"unparseable prefcheck output for {path}: {e}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    corpus = Path(sys.argv[1])
+    files = sorted(corpus.glob("*.psql"))
+    if not files:
+        sys.exit(f"bad-corpus: no .psql files under {corpus}")
+    failures = 0
+    for path in files:
+        expect, flags = directives(path)
+        if not expect:
+            print(f"FAIL {path.name}: no `-- expect:` directive")
+            failures += 1
+            continue
+        try:
+            report = run_prefcheck(flags, path)
+        except RuntimeError as e:
+            print(f"FAIL {path.name}: {e}")
+            failures += 1
+            continue
+        codes = set(report.get("summary", {}).get("codes", {}))
+        missing = [c for c in expect if c not in codes]
+        if missing:
+            print(
+                f"FAIL {path.name}: missing {' '.join(missing)} "
+                f"(got: {' '.join(sorted(codes)) or 'nothing'})"
+            )
+            failures += 1
+        else:
+            print(f"ok   {path.name}: {' '.join(expect)}")
+    if failures:
+        sys.exit(f"bad-corpus: {failures}/{len(files)} file(s) failed")
+    print(f"bad-corpus: {len(files)} file(s) ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -282,6 +282,260 @@ let json_per_code () =
     Diagnostic.codes
 
 (* ------------------------------------------------------------------ *)
+(* The v2 layers: satisfiability lints, data/workload flow checks and
+   shard-aware classification.                                         *)
+
+(* rel_r has two rows with a = 0, 2 (pairwise distinct) and b = 1, 3. *)
+let sat_cases () =
+  check_has "duplicate set values" "H201"
+    (Term_check.check (Pref.Pos ("c", [ sx; sx; sy ])));
+  check_has "explicit edges type-incompatible with the column" "W201"
+    (Term_check.check ~schema:Gen.schema
+       (Pref.Explicit ("c", [ (Value.Int 1, Value.Int 2) ])));
+  check_has "no integer between fractional bounds" "W202"
+    (Term_check.check ~schema:Gen.schema (Pref.Between ("a", 10.2, 10.8)));
+  check_has "pareto operands want disjoint zones" "W203"
+    (Term_check.check
+       (Pref.Pareto
+          (Pref.Between ("a", 0., 1.), Pref.Between ("a", 5., 6.))));
+  check_has "pos subset of sibling neg" "W203"
+    (Term_check.check
+       (Pref.Pareto (Pref.Pos ("c", [ sx ]), Pref.Neg ("c", [ sx; sy ]))));
+  check_has_not "satisfiable zones stay quiet" "W203"
+    (Term_check.check
+       (Pref.Pareto
+          (Pref.Between ("a", 0., 5.), Pref.Between ("a", 3., 6.))))
+
+(* [dup] repeats a = 0, so a LOWEST(a) prefix does not discriminate. *)
+let rel_dup =
+  Gen.rel
+    [
+      Tuple.make [ Value.Int 0; Value.Int 1; Value.Str "x"; Value.Float 0.5 ];
+      Tuple.make [ Value.Int 0; Value.Int 3; Value.Str "y"; Value.Float 1.0 ];
+    ]
+
+let flow_env =
+  ("empty", Relation.make Gen.schema []) :: ("dup", rel_dup) :: env
+
+let flow_cases () =
+  let run query = Flow_check.check_query ~env:flow_env query in
+  check_has "conflicting WHERE bounds" "W210"
+    (run
+       (q
+          ~where:
+            (A.And
+               (A.Cmp ("a", A.Gt, Value.Int 5), A.Cmp ("a", A.Lt, Value.Int 3)))
+          ()));
+  check_has "between covering every row is a total winnow" "W211"
+    (run (q ~preferring:(A.P_between ("a", Value.Int 0, Value.Int 100)) ()));
+  check_has "empty table" "W212"
+    (run (q ~from:[ "empty" ] ~preferring:(A.P_lowest "a") ()));
+  check_has "distinct prefix shadows the suffix" "W220"
+    (run
+       (q ~preferring:(A.P_prior (A.P_lowest "a", A.P_lowest "b")) ()));
+  check_has_not "non-discriminating prefix keeps its suffix" "W220"
+    (run
+       (q ~from:[ "dup" ]
+          ~preferring:(A.P_prior (A.P_lowest "a", A.P_lowest "b"))
+          ()));
+  check_has_not "clean query stays clean" "W211"
+    (run (q ~preferring:(A.P_lowest "a") ()))
+
+let workload ss =
+  List.concat_map snd
+    (Flow_check.check_statements ~env
+       (List.mapi (fun i s -> (Printf.sprintf "w:%d" (i + 1), s)) ss))
+
+let workload_cases () =
+  check_has "unknown SET knob" "E210" (workload [ "SET warp = 9" ]);
+  check_has "SET overwritten before any query" "W222"
+    (workload
+       [ "SET algorithm = bnl"; "SET algorithm = naive"; "SELECT * FROM r" ]);
+  check_has "repeated statement" "W221"
+    (workload
+       [
+         "SELECT * FROM r PREFERRING LOWEST(a)";
+         "SELECT * FROM r PREFERRING LOWEST(a)";
+       ]);
+  check_has "refinement reuses the earlier prefix" "H210"
+    (workload
+       [
+         "SELECT * FROM r PREFERRING LOWEST(a)";
+         "SELECT * FROM r PREFERRING LOWEST(a) PRIOR TO LOWEST(b)";
+       ]);
+  Alcotest.(check int)
+    "reports align 1:1 with statements" 3
+    (List.length
+       (Flow_check.check_statements ~env
+          [ ("1", "SET cache = on"); ("2", "SELECT * FROM r"); ("3", "zzz") ]))
+
+let shard_cases () =
+  let specs ss = snd (Shard_check.check_specs ~env ss) in
+  check_has "shard key not in the table" "E201" (specs [ "r=hash:zz" ]);
+  check_has "non-numeric range bounds" "E202" (specs [ "r=range:a:x,y" ]);
+  check_has "duplicate shard table" "E203" (specs [ "r=hash:a"; "r=hash:b" ]);
+  let classify ss query =
+    Shard_check.classify ~shard_map:(fst (Shard_check.check_specs ~env ss))
+      query
+  in
+  check_has "join of two sharded tables" "E220"
+    (classify [ "r=hash:a"; "s=hash:e" ] (q ~from:[ "r"; "s" ] ()));
+  check_has "unsharded table proxies" "H222" (classify [ "r=hash:a" ] (q ~from:[ "s" ] ()));
+  check_has "scatter without preference is exact" "H220"
+    (classify [ "r=hash:a" ] (q ()));
+  check_has "scatter with preference needs the final winnow" "H221"
+    (classify [ "r=hash:a" ] (q ~preferring:(A.P_lowest "b") ()));
+  check_has "merge-skipped scatter with preference is placement-fragile"
+    "W223"
+    (classify [ "r=hash:a" ]
+       (q ~preferring:(A.P_lowest "b") ~grouping:[ "a" ] ()))
+
+(* Completeness: every code in the registry must have a live trigger —
+   adding a code to the table without a way to raise it is a bug. The
+   only exceptions are the defensive codes (structurally unreachable
+   through the public constructors / checkers). *)
+let completeness () =
+  let xdoc =
+    Pref_xpath.Xml_parser.parse {|<CARS><CAR price="10" color="red"/></CARS>|}
+  in
+  let term p () = Term_check.check p in
+  let term_s p () = Term_check.check ~schema:Gen.schema p in
+  let pref p () = Ast_check.check_pref p in
+  let query qq () = Ast_check.check_query ~env qq in
+  let source s () = Ast_check.check_source ~env s in
+  let xpath s () = Xpath_check.check_source ~doc:xdoc s in
+  let flow qq () = Flow_check.check_query ~env:flow_env qq in
+  let specs ss () = snd (Shard_check.check_specs ~env ss) in
+  let classify ss qq () =
+    Shard_check.classify ~shard_map:(fst (Shard_check.check_specs ~env ss)) qq
+  in
+  let triggers =
+    [
+      ("E001", term (Pref.Explicit ("c", [ (sx, sy); (sy, sx) ])));
+      ("E002", term (Pref.Pos_neg ("c", [ sx ], [ sx ])));
+      ("E003", term (Pref.Between ("a", 3.0, 1.0)));
+      ( "E004",
+        pref (A.P_rank ("sum", A.P_pos ("c", [ sx ]), A.P_lowest "a")) );
+      ("E005", term (Pref.Inter (Pref.lowest "a", Pref.lowest "b")));
+      ( "E006",
+        term
+          (Pref.Lsum
+             {
+               ls_attr = "m";
+               ls_left = Pref.Pareto (Pref.lowest "a", Pref.lowest "b");
+               ls_left_dom = [ Value.Int 0 ];
+               ls_right = Pref.lowest "d";
+               ls_right_dom = [ Value.Int 9 ];
+             }) );
+      ("E101", query (q ~from:[ "nope" ] ()));
+      ("E102", query (q ~preferring:(A.P_lowest "zz") ()));
+      ("E103", pref (A.P_score ("a", "nosuch")));
+      ("E104", pref (A.P_rank ("nosuch", A.P_lowest "a", A.P_lowest "b")));
+      ("E105", pref (A.P_around ("a", Value.Str "oops")));
+      ("E106", query (q ~but_only:[ A.Q_level ("a", A.Le, 2) ] ()));
+      ( "E107",
+        query
+          (q
+             ~preferring:(A.P_around ("a", Value.Int 2))
+             ~but_only:[ A.Q_level ("a", A.Le, 1) ]
+             ()) );
+      ( "E108",
+        query
+          (q ~preferring:(A.P_lowest "a")
+             ~but_only:[ A.Q_distance ("a", A.Le, 1.0) ]
+             ()) );
+      ("E109", query (q ~select:[ A.Star; A.Column "a" ] ()));
+      ("E110", query (q ~from:[] ()));
+      ("E111", source "SELECT WHERE nonsense");
+      ("E112", query (q ~from:[ "r"; "r" ] ()));
+      ("E201", specs [ "r=hash:zz" ]);
+      ("E202", specs [ "r=range:a:x,y" ]);
+      ("E203", specs [ "r=hash:a"; "r=hash:b" ]);
+      ( "E210",
+        fun () -> workload [ "SET warp = 9" ] );
+      ("E220", classify [ "r=hash:a"; "s=hash:e" ] (q ~from:[ "r"; "s" ] ()));
+      ("W010", term (Pref.prior (Pref.lowest "a") (Pref.highest "a")));
+      ( "W011",
+        term (Pref.pareto (Pref.pos "c" [ sx ]) (Pref.neg "c" [ sy ])) );
+      ("W012", term (Pref.antichain [ "a" ]));
+      ( "W013",
+        term (Pref.pareto (Pref.antichain [ "a" ]) (Pref.lowest "b")) );
+      ("W014", term_s (Pref.lowest "c"));
+      ("W101", xpath {|/CARS/CAR #[(@nosuch) lowest]#|});
+      ("W102", xpath {|/CARS/NOPE #[(@price) lowest]#|});
+      ( "W201",
+        term_s (Pref.Explicit ("c", [ (Value.Int 1, Value.Int 2) ])) );
+      ("W202", term_s (Pref.Between ("a", 10.2, 10.8)));
+      ( "W203",
+        term
+          (Pref.Pareto (Pref.Between ("a", 0., 1.), Pref.Between ("a", 5., 6.)))
+      );
+      ( "W210",
+        flow
+          (q
+             ~where:
+               (A.And
+                  ( A.Cmp ("a", A.Gt, Value.Int 5),
+                    A.Cmp ("a", A.Lt, Value.Int 3) ))
+             ()) );
+      ( "W211",
+        flow (q ~preferring:(A.P_between ("a", Value.Int 0, Value.Int 100)) ())
+      );
+      ("W212", flow (q ~from:[ "empty" ] ~preferring:(A.P_lowest "a") ()));
+      ( "W220",
+        flow (q ~preferring:(A.P_prior (A.P_lowest "a", A.P_lowest "b")) ()) );
+      ( "W221",
+        fun () ->
+          workload
+            [
+              "SELECT * FROM r PREFERRING LOWEST(a)";
+              "SELECT * FROM r PREFERRING LOWEST(a)";
+            ] );
+      ( "W222",
+        fun () ->
+          workload
+            [
+              "SET algorithm = bnl"; "SET algorithm = naive"; "SELECT * FROM r";
+            ] );
+      ( "W223",
+        classify [ "r=hash:a" ]
+          (q ~preferring:(A.P_lowest "b") ~grouping:[ "a" ] ()) );
+      ("H020", term (Pref.pareto (Pref.lowest "a") (Pref.lowest "a")));
+      ("H021", term (Pref.dual (Pref.dual (Pref.lowest "a"))));
+      ("H022", term (Pref.dual (Pref.lowest "a")));
+      ("H201", term (Pref.Pos ("c", [ sx; sx ])));
+      ( "H210",
+        fun () ->
+          workload
+            [
+              "SELECT * FROM r PREFERRING LOWEST(a)";
+              "SELECT * FROM r PREFERRING LOWEST(a) PRIOR TO LOWEST(b)";
+            ] );
+      ("H220", classify [ "r=hash:a" ] (q ()));
+      ("H221", classify [ "r=hash:a" ] (q ~preferring:(A.P_lowest "b") ()));
+      ("H222", classify [ "r=hash:a" ] (q ~from:[ "s" ] ()));
+    ]
+  in
+  (* defensive codes: emitted only from internal invariants the public
+     surface cannot violate (E007/E010), or a fallback shadowed by more
+     specific lints at every known instance (H023) *)
+  let defensive = [ "E007"; "E010"; "H023" ] in
+  List.iter
+    (fun (code, _slug) ->
+      if not (List.mem code defensive) then
+        match List.assoc_opt code triggers with
+        | None -> Alcotest.failf "no trigger registered for %s" code
+        | Some t -> check_has ("trigger for " ^ code) code (t ()))
+    Diagnostic.codes;
+  List.iter
+    (fun (code, _) ->
+      Alcotest.(check bool)
+        (code ^ " is a registered code")
+        true
+        (List.mem_assoc code Diagnostic.codes))
+    triggers
+
+(* ------------------------------------------------------------------ *)
 (* Fuzz soundness: random (frequently ill-formed) queries against the
    two-table environment. Error findings and execution failures must
    agree in both directions; E107/E108 fire on the first tuple reaching
@@ -460,6 +714,27 @@ let term_check_total =
       ignore (Term_check.check (Pref.Dual p));
       true)
 
+(* The shard classification must agree with the router's own planner:
+   exactly one finding per statement, and its code mirrors the plan-time
+   accept/reject/merge decision. *)
+let shard_classify_agrees =
+  let shard_map = fst (Shard_check.check_specs [ "r=hash:a" ]) in
+  QCheck.Test.make ~count:300
+    ~name:"shard classification agrees with the router's plan" arb_query_env
+    (fun (query, _, _) ->
+      match
+        (Pref_router.Merge.plan ~shard_map query,
+         codes (Shard_check.classify ~shard_map query))
+      with
+      | Error _, [ "E220" ] -> true
+      | Ok Pref_router.Merge.Proxy, [ "H222" ] -> true
+      | Ok (Pref_router.Merge.Scatter d), [ code ] ->
+        if d.Pref_router.Merge.merge_needed then code = "H221"
+        else if query.A.preferring <> None || query.A.cascade <> [] then
+          code = "W223"
+        else code = "H220"
+      | _ -> false)
+
 let suite =
   [
     Gen.quick "term side conditions" term_cases;
@@ -474,5 +749,10 @@ let suite =
     Gen.quick "checked execution rejects errors" exec_rejects;
     Gen.quick "json report snapshot" json_snapshot;
     Gen.quick "every code renders to json" json_per_code;
+    Gen.quick "satisfiability findings" sat_cases;
+    Gen.quick "data-flow findings" flow_cases;
+    Gen.quick "workload findings" workload_cases;
+    Gen.quick "shard findings" shard_cases;
+    Gen.quick "every registered code has a trigger" completeness;
   ]
-  @ Gen.qsuite [ fuzz_soundness; term_check_total ]
+  @ Gen.qsuite [ fuzz_soundness; term_check_total; shard_classify_agrees ]
