@@ -1332,6 +1332,57 @@ let b12 () =
          cores (q4 /. Float.max q1 1e-9))
   | _ -> ()
 
+(* B13 — REFINE: serving a revision from the cached seed vs cold        *)
+
+let b13_results : (string * string * float * float * float) list ref = ref []
+
+let b13 () =
+  section "B13 REFINE: revising the preference vs re-running from scratch";
+  let module Session = Pref_engine.Session in
+  let n = if quick then 10_000 else 40_000 in
+  let rel = Pref_workload.Cars.relation ~seed:17 ~n () in
+  (* cache off so the cold side really re-evaluates: the comparison is
+     seed reuse vs a full pass, not the result cache *)
+  let config = { Engine.default with cache = false; check = false } in
+  let base =
+    "SELECT * FROM cars PREFERRING LOWEST(price) AND LOWEST(mileage)"
+  in
+  let measure label term =
+    let full = "SELECT * FROM cars PREFERRING " ^ term in
+    let cold_ms = ref Float.max_float in
+    for _ = 1 to 3 do
+      let s = Session.create ~config ~env:[ ("cars", rel) ] () in
+      let (), ms = wall (fun () -> ignore (Session.run s full)) in
+      if ms < !cold_ms then cold_ms := ms
+    done;
+    let plan = ref "" and refine_ms = ref Float.max_float in
+    for _ = 1 to 3 do
+      let s = Session.create ~config ~env:[ ("cars", rel) ] () in
+      ignore (Session.run s base);
+      let o, ms = wall (fun () -> Session.refine s term) in
+      plan := o.Pref_engine.Revise.o_plan;
+      if ms < !refine_ms then refine_ms := ms
+    done;
+    let speedup = !cold_ms /. Float.max !refine_ms 1e-9 in
+    Fmt.pr "  %-14s cold %8.2f ms  refine %8.2f ms  %7.1fx  (%s)@." label
+      !cold_ms !refine_ms speedup !plan;
+    b13_results := (label, !plan, !cold_ms, !refine_ms, speedup) :: !b13_results;
+    (speedup, !plan)
+  in
+  let seed_speedup, seed_plan =
+    measure "prior_suffix"
+      "(LOWEST(price) AND LOWEST(mileage)) PRIOR TO HIGHEST(horsepower)"
+  in
+  let _, hot_plan =
+    measure "pareto_extend"
+      "(LOWEST(price) AND LOWEST(mileage)) AND HIGHEST(horsepower)"
+  in
+  check "prior-suffix revision is served from the seed"
+    (seed_plan = "refine:seed");
+  check "pareto extension takes the hot-window route" (hot_plan = "refine:hot");
+  check "REFINE from the cached seed >= 2x cold (B13 gate)"
+    (seed_speedup >= 2.0)
+
 let () =
   Fmt.pr "Preference algebra & BMO reproduction harness%s@."
     (if smoke then " (smoke mode)" else if quick then " (quick mode)" else "");
@@ -1353,7 +1404,7 @@ let () =
   let smoke_sections =
     [
       "e1"; "p_laws"; "b4_decompose"; "b8_obs"; "b9_parallel"; "b10_cache";
-      "b11_server"; "b12_router";
+      "b11_server"; "b12_router"; "b13_refine";
     ]
   in
   let run name f =
@@ -1387,6 +1438,7 @@ let () =
   run "b10_cache" b10;
   run "b11_server" b11;
   run "b12_router" b12;
+  run "b13_refine" b13;
   Fmt.pr "@.=== summary ===@.";
   Fmt.pr "%d checks, %d failures, %d skipped@." !checks !failures !skips;
   let open Pref_obs in
@@ -1511,6 +1563,19 @@ let () =
                        ("elapsed_s", Json.Float elapsed_s);
                      ] ))
                !b12_results) );
+        ( "b13_refine",
+          Json.Obj
+            (List.rev_map
+               (fun (label, plan, cold_ms, refine_ms, speedup) ->
+                 ( label,
+                   Json.Obj
+                     [
+                       ("plan", Json.Str plan);
+                       ("cold_ms", Json.Float cold_ms);
+                       ("refine_ms", Json.Float refine_ms);
+                       ("speedup", Json.Float speedup);
+                     ] ))
+               !b13_results) );
         ("metrics", Metrics.to_json ());
       ]
   in

@@ -28,7 +28,43 @@ let report_json ~host ~port ~clients ~queries (r : Pref_server.Soak.report) =
       ("qps", Pref_obs.Json.Float r.Pref_server.Soak.qps);
     ]
 
-let main host port clients queries statements set_knobs strict json_file =
+(* --subscribe: a single-connection continuous-query probe. Register the
+   statement, then block until the requested number of DELTA frames has
+   arrived — the smoke gate drives DML from another connection and uses
+   the exit status to assert the stream delivered. *)
+let subscribe_main host port sql deltas timeout_s =
+  let module Client = Pref_server.Client in
+  let c = Client.connect ~host ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match Client.subscribe c sql with
+  | Error msg ->
+    Fmt.epr "prefsoak: subscribe failed: %s@." msg;
+    exit 1
+  | Ok (snapshot, _) ->
+    Fmt.pr "subscribed: %d row(s) in the initial BMO set@."
+      (Pref_relation.Relation.cardinality snapshot);
+    for seen = 1 to deltas do
+      match Client.next_delta ~timeout_s c with
+      | Some d ->
+        Fmt.pr "delta: +%d -%d%s@."
+          (Pref_relation.Relation.cardinality d.Client.d_added)
+          (Pref_relation.Relation.cardinality d.Client.d_removed)
+          (if d.Client.d_resync then " (resync)" else "")
+      | None ->
+        Fmt.epr "prefsoak: stream closed after %d delta(s)@." (seen - 1);
+        exit 1
+      | exception Client.Timeout ->
+        Fmt.epr "prefsoak: no delta within %.0f s (%d received)@." timeout_s
+          (seen - 1);
+        exit 1
+    done;
+    Fmt.pr "received %d delta(s)@." deltas
+
+let main host port clients queries statements set_knobs strict json_file
+    subscribe_sql deltas delta_timeout =
+  match subscribe_sql with
+  | Some sql -> subscribe_main host port sql deltas delta_timeout
+  | None ->
   if statements = [] then begin
     Fmt.epr "prefsoak: at least one --statement is required@.";
     exit 2
@@ -165,12 +201,35 @@ let json_arg =
            artifact; written before the accounting checks, so it survives \
            a failing run).")
 
+let subscribe_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "subscribe" ] ~docv:"SQL"
+        ~doc:
+          "Instead of soaking, SUBSCRIBE to this continuous query and wait \
+           for $(b,--deltas) DELTA frames; exits nonzero if the stream \
+           closes or times out first.")
+
+let deltas_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "deltas" ] ~docv:"N"
+        ~doc:"DELTA frames to wait for with --subscribe.")
+
+let delta_timeout_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "delta-timeout" ] ~docv:"SECONDS"
+        ~doc:"Per-frame wait with --subscribe.")
+
 let cmd =
   let doc = "Multi-client soak driver for prefserve" in
   Cmd.v
     (Cmd.info "prefsoak" ~version:"1.0.0" ~doc)
     Term.(
       const main $ host_arg $ port_arg $ clients_arg $ queries_arg
-      $ statements_arg $ set_arg $ strict_arg $ json_arg)
+      $ statements_arg $ set_arg $ strict_arg $ json_arg $ subscribe_arg
+      $ deltas_arg $ delta_timeout_arg)
 
 let () = exit (Cmd.eval cmd)

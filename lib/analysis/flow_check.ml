@@ -292,12 +292,17 @@ let spine_keys ?registry (q : Ast.query) =
   | None -> None
   | Some p -> Some (List.map Canon.key (Canon.prior_spine p))
 
-let rec is_strict_prefix xs ys =
-  match (xs, ys) with
-  | [], [] -> false
-  | [], _ :: _ -> true
-  | x :: xs', y :: ys' -> String.equal x y && is_strict_prefix xs' ys'
-  | _ :: _, [] -> false
+(* The reuse tier REFINE would pick for this revision, as measured by
+   the revision classifier itself — the same code path a session runs. *)
+let revise_tier ~old_p ~new_p =
+  match Pref_engine.Revise.classify ~old_p ~new_p with
+  | Pref_engine.Revise.Prior_suffix ->
+    Some ("refine:seed", "re-winnows the cached BMO seed alone, Prop. 10")
+  | Pref_engine.Revise.Pareto_extend ->
+    Some ("refine:hot", "seed-first scan keeps the BNL window hot")
+  | Pref_engine.Revise.Same | Pref_engine.Revise.Contraction
+  | Pref_engine.Revise.Disjoint ->
+    None
 
 let check_statements ?registry ~env labeled =
   let entries =
@@ -364,28 +369,32 @@ let check_statements ?registry ~env labeled =
     | `Query q ->
       let base = base_signature q in
       let spine = spine_keys ?registry q in
+      let pref = try Exec.full_preference ?registry q with _ -> None in
       let plain =
         q.Ast.but_only = [] && q.Ast.grouping = [] && q.Ast.top = None
       in
       let repeat =
         List.find_opt
-          (fun (_, base', spine', _) -> base' = base && spine' = spine)
+          (fun (_, base', spine', _, _) -> base' = base && spine' = spine)
           !seen
       and refines =
-        match spine with
+        match pref with
         | None -> None
-        | Some keys ->
-          List.find_opt
-            (fun (_, base', spine', plain') ->
-              plain && plain' && base' = base
-              &&
-              match spine' with
-              | Some keys' -> is_strict_prefix keys' keys
-              | None -> false)
+        | Some new_p ->
+          List.find_map
+            (fun (label', base', _, pref', plain') ->
+              if not (plain && plain' && base' = base) then None
+              else
+                match pref' with
+                | None -> None
+                | Some old_p ->
+                  Option.map
+                    (fun tier -> (label', tier))
+                    (revise_tier ~old_p ~new_p))
             !seen
       in
       (match repeat with
-      | Some (label', _, _, _) ->
+      | Some (label', _, _, _, _) ->
         arr.(i).found <-
           Diagnostic.make ~path:[ "source" ] "W221"
             (Printf.sprintf
@@ -395,15 +404,15 @@ let check_statements ?registry ~env labeled =
           :: arr.(i).found
       | None -> (
         match refines with
-        | Some (label', _, _, _) ->
+        | Some (label', (tier, how)) ->
           arr.(i).found <-
             Diagnostic.make ~path:[ "preferring" ] "H210"
               (Printf.sprintf
-                 "refines the preference of %s: the prior-prefix cache \
-                  tier can derive this BMO from that result (Prop. 10)"
-                 label')
+                 "refines the preference of %s: REFINE serves this \
+                  revision at tier %s (%s)"
+                 label' tier how)
             :: arr.(i).found
         | None -> ()));
-      seen := (arr.(i).label, base, spine, plain) :: !seen
+      seen := (arr.(i).label, base, spine, pref, plain) :: !seen
   done;
   Array.to_list (Array.map (fun e -> (e.label, e.found)) arr)

@@ -1,0 +1,8 @@
+(* The single home of the pre-Engine.config optional-argument surface.
+   Every deprecated wrapper (Query.sigma, Exec.run, ...) builds its
+   config here, so the mapping from old defaults to the unified record
+   exists exactly once. *)
+
+let legacy_cfg ?(algorithm = Engine.Alg_bnl) ?(cache = true) ?domains
+    ?(profile = false) ?(check = false) () =
+  { Engine.default with algorithm; cache; domains; profile; check }

@@ -1,0 +1,22 @@
+(** Compatibility layer for the pre-{!Engine.config} API.
+
+    The optional-argument entry points ([Query.sigma], [Exec.run],
+    [Exec.run_query], ...) predate the unified configuration record and
+    survive as one-line shims so existing call sites keep compiling. New
+    code should pass an {!Engine.config} to the [_cfg]/[_within]
+    functions instead; this module exists only so every shim derives its
+    config from the same place. *)
+
+val legacy_cfg :
+  ?algorithm:Engine.algorithm ->
+  ?cache:bool ->
+  ?domains:int ->
+  ?profile:bool ->
+  ?check:bool ->
+  unit ->
+  Engine.config
+(** The {!Engine.config} equivalent of the historical optional-argument
+    defaults: BNL, cache on, engine-default domains, no profile, no
+    checking, and no deadline / row cap / slow-query log. Deprecated in
+    spirit — call sites should construct [{ Engine.default with ... }]
+    directly. *)

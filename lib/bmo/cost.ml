@@ -161,6 +161,14 @@ let base_ms kind w =
   | "decompose" ->
     (* rule-driven recursion tracks BNL with interpretation overhead *)
     1.25 *. (scan_ms c w +. ns_to_ms (c.c_row_ns *. n))
+  | "refine" ->
+    (* re-winnow of a cached BMO seed under the refined preference:
+       a BNL pass where w.n is the seed size, not the base relation *)
+    scan_ms c w +. ns_to_ms (c.c_row_ns *. n)
+  | "delta" ->
+    (* one subscription patch: a linear screen of the maintained
+       result + shadow rows (w.n) against the updated tuple *)
+    ns_to_ms (((c.c_cmp_ns *. float_of_int w.dims) +. c.c_row_ns) *. n)
   | _ -> invalid_arg ("Cost.predict_ms: unknown plan kind " ^ kind)
 
 let predict_ms ~kind w = factor kind *. base_ms kind w

@@ -73,8 +73,11 @@ val effective_output : n:int -> dims:int -> correlation:float -> float
 
 val predict_ms : kind:string -> workload -> float
 (** Predicted wall time of one plan kind ([naive], [bnl], [sfs], [dnc],
-    [par_dnc], [par_sfs], [cascade], [decompose]), including any learned
-    correction factor. Raises [Invalid_argument] on unknown kinds. *)
+    [par_dnc], [par_sfs], [cascade], [decompose], [refine] — a re-winnow
+    of a cached BMO seed, [n] = seed size — or [delta] — one continuous-
+    query patch, [n] = maintained result + shadow rows), including any
+    learned correction factor. Raises [Invalid_argument] on unknown
+    kinds. *)
 
 (** {1 Cache-side pricing} *)
 

@@ -56,6 +56,17 @@ let flags_attrs f =
   (if f.partial then [ ("partial", "true") ] else [])
   @ if f.truncated then [ ("truncated", "true") ] else []
 
+module Result = struct
+  type nonrec t = {
+    rows : Pref_relation.Relation.t;
+    flags : flags;
+    profile : Pref_obs.Profile.t option;
+    plan : string option;
+  }
+
+  let make ?profile ?plan rows flags = { rows; flags; profile; plan }
+end
+
 (* A deadline is the absolute monotonic-clock expiry in nanoseconds.
    [Int64.max_int] encodes "none": every comparison against it is false,
    so the hot-path check stays one load and one compare. *)

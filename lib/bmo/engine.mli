@@ -70,6 +70,32 @@ val union_flags : flags -> flags -> flags
 val flags_attrs : flags -> (string * string) list
 (** Span/profile attributes; empty for {!complete}. *)
 
+(** {1 Structured results}
+
+    One record for everything a query evaluation hands back, so the
+    session, wire and revision layers share a single result surface
+    instead of parallel out-channels. *)
+
+module Result : sig
+  type nonrec t = {
+    rows : Pref_relation.Relation.t;  (** the BMO set *)
+    flags : flags;
+    profile : Pref_obs.Profile.t option;
+        (** present when the run was profiled ([config.profile]) *)
+    plan : string option;
+        (** the executed plan/algorithm in one word-ish string, e.g.
+            ["bnl"], ["auto:dnc(4)"], ["cache:semantic:prior-prefix"] or
+            ["refine:seed"] — the same identifier EXPLAIN reports *)
+  }
+
+  val make :
+    ?profile:Pref_obs.Profile.t ->
+    ?plan:string ->
+    Pref_relation.Relation.t ->
+    flags ->
+    t
+end
+
 (** {1 Deadlines} *)
 
 type deadline

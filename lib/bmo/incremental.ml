@@ -40,17 +40,26 @@ let result t = Relation.make t.schema (List.rev t.result)
 let size t = List.length t.result
 let cardinality t = List.length t.result + List.length t.shadow
 
-let insert t row =
-  if List.exists (fun r -> t.dominates r row) t.result then
+type delta = { added : Tuple.t list; removed : Tuple.t list }
+
+let no_delta = { added = []; removed = [] }
+
+let insert_delta t row =
+  if List.exists (fun r -> t.dominates r row) t.result then begin
     (* dominated on arrival *)
-    t.shadow <- row :: t.shadow
+    t.shadow <- row :: t.shadow;
+    no_delta
+  end
   else begin
     let evicted, kept = List.partition (fun r -> t.dominates row r) t.result in
     t.result <- row :: kept;
-    t.shadow <- evicted @ t.shadow
+    t.shadow <- evicted @ t.shadow;
+    { added = [ row ]; removed = evicted }
   end
 
-let delete t row =
+let insert t row = ignore (insert_delta t row)
+
+let delete_delta t row =
   let removed_from_result = List.exists (Tuple.equal row) t.result in
   let remove l =
     (* remove one occurrence *)
@@ -79,10 +88,12 @@ let delete t row =
     in
     t.result <- promoted @ t.result;
     t.shadow <- demoted @ still_shadow;
-    true
+    Some { added = promoted; removed = [ row ] }
   end
   else if List.exists (Tuple.equal row) t.shadow then begin
     t.shadow <- remove t.shadow;
-    true
+    Some no_delta
   end
-  else false
+  else None
+
+let delete t row = Option.is_some (delete_delta t row)

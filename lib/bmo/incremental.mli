@@ -37,3 +37,27 @@ val insert : t -> Tuple.t -> unit
 
 val delete : t -> Tuple.t -> bool
 (** Remove one occurrence; [false] when the tuple is not present. *)
+
+(** {1 Delta-reporting updates}
+
+    The same updates, also reporting how σ[P](R) itself changed — the
+    primitive behind continuous queries (SUBSCRIBE): the reported delta
+    is exactly the frame a subscriber must apply to its replica of the
+    BMO set. *)
+
+type delta = {
+  added : Tuple.t list;  (** rows that entered σ[P](R) *)
+  removed : Tuple.t list;  (** rows that left σ[P](R) *)
+}
+
+val no_delta : delta
+
+val insert_delta : t -> Tuple.t -> delta
+(** {!insert}, reporting the result-set change: empty when the new row
+    arrived dominated, otherwise the row itself plus the result tuples it
+    evicted. *)
+
+val delete_delta : t -> Tuple.t -> delta option
+(** {!delete}, reporting the result-set change: [None] when the tuple was
+    not present, [Some no_delta] for a shadow deletion, and the removed
+    row plus any promoted shadow tuples for a result deletion. *)

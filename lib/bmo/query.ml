@@ -76,11 +76,8 @@ let sigma_within ~deadline (cfg : Engine.config) schema p rel =
 let sigma_cfg cfg schema p rel =
   sigma_within ~deadline:(Engine.deadline_of cfg) cfg schema p rel
 
-let sigma ?(algorithm = Alg_bnl) ?(cache = true) ?domains schema p rel =
-  fst
-    (sigma_within ~deadline:Engine.no_deadline
-       { Engine.default with algorithm; cache; domains }
-       schema p rel)
+let sigma ?algorithm ?cache ?domains schema p rel =
+  fst (sigma_cfg (Compat.legacy_cfg ?algorithm ?cache ?domains ()) schema p rel)
 
 let sigma_profiled_within ~deadline (cfg : Engine.config) schema p rel =
   Pref_obs.Span.with_span "bmo.sigma_profiled" @@ fun () ->
@@ -234,12 +231,26 @@ let sigma_profiled_within ~deadline (cfg : Engine.config) schema p rel =
 let sigma_profiled_cfg cfg schema p rel =
   sigma_profiled_within ~deadline:(Engine.deadline_of cfg) cfg schema p rel
 
-let sigma_profiled ?(algorithm = Alg_bnl) ?(cache = true) ?domains schema p rel
-    =
+let run_within ~deadline (cfg : Engine.config) schema p rel =
+  if cfg.Engine.profile then
+    let rows, flags, profile =
+      sigma_profiled_within ~deadline cfg schema p rel
+    in
+    Engine.Result.make ~profile ~plan:profile.Pref_obs.Profile.algorithm rows
+      flags
+  else
+    let rows, flags = sigma_within ~deadline cfg schema p rel in
+    Engine.Result.make
+      ~plan:(Engine.algorithm_to_string cfg.algorithm)
+      rows flags
+
+let run_cfg cfg schema p rel =
+  run_within ~deadline:(Engine.deadline_of cfg) cfg schema p rel
+
+let sigma_profiled ?algorithm ?cache ?domains schema p rel =
   let result, _flags, profile =
-    sigma_profiled_within ~deadline:Engine.no_deadline
-      { Engine.default with algorithm; cache; domains }
-      schema p rel
+    sigma_profiled_cfg (Compat.legacy_cfg ?algorithm ?cache ?domains ()) schema
+      p rel
   in
   (result, profile)
 
@@ -293,11 +304,10 @@ let sigma_groupby_within ~deadline (cfg : Engine.config) schema p ~by rel =
 let sigma_groupby_cfg cfg schema p ~by rel =
   sigma_groupby_within ~deadline:(Engine.deadline_of cfg) cfg schema p ~by rel
 
-let sigma_groupby ?(algorithm = Alg_bnl) schema p ~by rel =
+let sigma_groupby ?algorithm schema p ~by rel =
   fst
-    (sigma_groupby_within ~deadline:Engine.no_deadline
-       { Engine.default with algorithm; cache = false }
-       schema p ~by rel)
+    (sigma_groupby_cfg (Compat.legacy_cfg ?algorithm ~cache:false ()) schema p
+       ~by rel)
 
 let sigma_levels schema p ~levels rel =
   (* iterated BMO: level 1 is sigma[P](R); level i+1 is sigma[P] of what is

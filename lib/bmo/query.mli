@@ -6,12 +6,14 @@
     duplicate rows).
 
     The [_cfg] entry points take the unified {!Engine.config} record and
-    return the result together with {!Engine.flags}; the [_within]
-    variants additionally accept an already-started deadline so several
-    sub-queries can draw down one budget. The plain [sigma] /
-    [sigma_profiled] / [sigma_groupby] functions are thin compatibility
-    wrappers over these — same signatures and behaviour as before the
-    engine API existed. *)
+    are the primary API: they return the result together with
+    {!Engine.flags} (and {!run_cfg} the full {!Engine.result}); the
+    [_within] variants additionally accept an already-started deadline so
+    several sub-queries can draw down one budget. The plain [sigma] /
+    [sigma_profiled] / [sigma_groupby] functions are deprecated one-line
+    shims over these via {!Compat.legacy_cfg} — same signatures and
+    behaviour as before the engine API existed, kept so old call sites
+    compile. *)
 
 open Pref_relation
 
@@ -74,6 +76,27 @@ val sigma_profiled_cfg :
   Relation.t ->
   Relation.t * Engine.flags * Pref_obs.Profile.t
 
+val run_within :
+  deadline:Engine.deadline ->
+  Engine.config ->
+  Schema.t ->
+  Preferences.Pref.t ->
+  Relation.t ->
+  Engine.Result.t
+(** The structured-result front door: {!sigma_within} (or
+    {!sigma_profiled_within} when [cfg.profile]) packaged as an
+    {!Engine.Result.t} — rows, flags, the profile when one was built,
+    and the executed plan identifier. *)
+
+val run_cfg :
+  Engine.config ->
+  Schema.t ->
+  Preferences.Pref.t ->
+  Relation.t ->
+  Engine.Result.t
+(** {!run_within} with the deadline started now from
+    [cfg.deadline_ms]. *)
+
 val sigma_groupby_within :
   deadline:Engine.deadline ->
   Engine.config ->
@@ -98,7 +121,10 @@ val sigma_groupby_cfg :
   Relation.t ->
   Relation.t * Engine.flags
 
-(** {1 Compatibility wrappers} *)
+(** {1 Compatibility wrappers}
+
+    Deprecated: thin shims over the [_cfg] API via {!Compat.legacy_cfg}.
+    Prefer passing an {!Engine.config}. *)
 
 val sigma :
   ?algorithm:algorithm ->

@@ -37,11 +37,16 @@ val id : t -> int
 (** {1 Tables} *)
 
 val env : t -> Exec.env
+
 val set_env : t -> Exec.env -> unit
+(** Replace the whole table environment. Invalidates the revision seed
+    (the last statement's result was computed against the old tables);
+    the server uses this to propagate another connection's DML. *)
 
 val add_table : t -> string -> Relation.t -> unit
 (** Register (or replace) a table; names are stored lowercase, matching
-    the shell's behaviour. *)
+    the shell's behaviour. Replacing the revision-seed table invalidates
+    the seed — only {!insert}/{!delete} patch it in place. *)
 
 val find_table : t -> string -> Relation.t option
 
@@ -95,7 +100,51 @@ val explain_within :
 val explain : t -> analyze:bool -> string -> Pref_bmo.Explain.Plan.t
 (** EXPLAIN the statement (source text or [@name]) under the session's
     config without answering it: {!Pref_sql.Exec.explain_within}. Not
-    counted in {!stats} — explanation is introspection, not load. *)
+    counted in {!stats} — explanation is introspection, not load.
+    [SUBSCRIBE <query>] explains the continuous form of the inner query:
+    its plan under a [delta] operator priced by {!Pref_bmo.Cost}. *)
+
+(** {1 Preference revision}
+
+    The session remembers its last statement whenever the result is
+    literally σ\[P\](table) — [SELECT *] over one table, no WHERE / TOP /
+    BUT ONLY / GROUP BY, complete flags — and [refine] revises that
+    statement's preference in place: the new term is classified against
+    the old one ({!Revise.classify}) and evaluated from the cached BMO
+    seed when the class allows ({!Revise.execute}). Single-row DML
+    through {!insert}/{!delete} keeps the seed in sync. *)
+
+val refine_within :
+  t -> deadline:Pref_bmo.Engine.deadline -> string -> Revise.outcome
+(** Revise the last statement's preference to the given term (bare
+    Preference SQL preference syntax, e.g. ["LOWEST(price) AND
+    HIGHEST(power)"]). Counts as a query in {!stats}; the revised
+    statement becomes the new last statement. Raises {!Pref_sql.Exec.Error}
+    when there is no seedable previous statement, and whatever parsing
+    or execution raises. *)
+
+val refine : t -> string -> Revise.outcome
+(** {!refine_within} with the deadline started now. *)
+
+val refine_explain : t -> string -> Pref_bmo.Explain.Plan.t
+(** The plan {!refine} would execute — the revised query's plan under a
+    [refine] operator recording the revision class and chosen route. *)
+
+(** {1 Single-row DML}
+
+    Shared by the shell's [.insert]/[.delete] and the server's DML wire
+    verb: update the table in the session environment, patch the global
+    result cache ({!Pref_bmo.Cache.on_insert}/[on_delete]) and keep the
+    revision seed consistent. *)
+
+val insert : t -> string -> Pref_relation.Tuple.t -> int
+(** Append one row; returns the number of cached results patched.
+    Raises {!Pref_sql.Exec.Unknown_table} on an unknown table. *)
+
+val delete : t -> string -> Pref_relation.Tuple.t -> int option
+(** Remove one occurrence of the row; [None] when no row matches,
+    [Some patched] otherwise. Raises {!Pref_sql.Exec.Unknown_table} on an
+    unknown table. *)
 
 (** {1 Stats} *)
 

@@ -847,18 +847,15 @@ let run_cfg ?registry cfg env src =
   run_within ?registry ~deadline:(Pref_bmo.Engine.deadline_of cfg) cfg env src
 
 (* ------------------------------------------------------------------ *)
-(* Compatibility wrappers: the pre-engine optional-argument surface.    *)
-
-let legacy_cfg ?(algorithm = Pref_bmo.Engine.Alg_bnl) ?(cache = true) ?domains
-    ?(profile = false) ?(check = false) () =
-  { Pref_bmo.Engine.default with algorithm; cache; domains; profile; check }
+(* Compatibility wrappers: the pre-engine optional-argument surface,
+   each a one-liner through the shared Compat.legacy_cfg builder. *)
 
 let run_query ?registry ?algorithm ?cache ?domains ?profile ?check env q =
-  run_query_within ?registry ~deadline:Pref_bmo.Engine.no_deadline
-    (legacy_cfg ?algorithm ?cache ?domains ?profile ?check ())
+  run_query_cfg ?registry
+    (Pref_bmo.Compat.legacy_cfg ?algorithm ?cache ?domains ?profile ?check ())
     env q
 
 let run ?registry ?algorithm ?cache ?domains ?profile ?check env src =
-  run_within ?registry ~deadline:Pref_bmo.Engine.no_deadline
-    (legacy_cfg ?algorithm ?cache ?domains ?profile ?check ())
+  run_cfg ?registry
+    (Pref_bmo.Compat.legacy_cfg ?algorithm ?cache ?domains ?profile ?check ())
     env src

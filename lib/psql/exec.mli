@@ -148,9 +148,11 @@ val explain_within :
 
 (** {1 Compatibility wrappers}
 
-    The pre-engine optional-argument surface; each is a one-line wrapper
-    building an {!Pref_bmo.Engine.config}. No deadline, no row cap —
-    [result.flags] is always {!Pref_bmo.Engine.complete}. *)
+    Deprecated: the pre-engine optional-argument surface; each is a
+    one-line wrapper building its config via
+    {!Pref_bmo.Compat.legacy_cfg}. No deadline, no row cap —
+    [result.flags] is always {!Pref_bmo.Engine.complete}. Prefer the
+    [_cfg]/[_within] entry points above. *)
 
 val run_query :
   ?registry:Translate.registry ->

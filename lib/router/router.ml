@@ -1,6 +1,8 @@
 open Pref_sql
 module Client = Pref_server.Client
 module Protocol = Pref_server.Protocol
+module Relation = Pref_relation.Relation
+module Tuple = Pref_relation.Tuple
 
 type backend = { bhost : string; bport : int }
 
@@ -39,8 +41,10 @@ let m_merge_skipped = Pref_obs.Metrics.counter "router.merge_skipped"
 let m_partial = Pref_obs.Metrics.counter "router.partial"
 let m_shard_down = Pref_obs.Metrics.counter "router.shard_down"
 let m_errors = Pref_obs.Metrics.counter "router.errors"
+let m_deltas = Pref_obs.Metrics.counter "router.deltas"
 let g_conns = Pref_obs.Metrics.gauge "router.connections"
 let g_up = Pref_obs.Metrics.gauge "router.shards_up"
+let g_subs = Pref_obs.Metrics.gauge "router.subscriptions"
 
 type health = { mutable failures : int; mutable down_until : float }
 
@@ -63,6 +67,9 @@ type t = {
   mutable conns : (int * Unix.file_descr) list;
   mutable conn_threads : (int * Thread.t) list;
   rr : int Atomic.t;  (* round-robin cursor for proxied requests *)
+  (* table schemas learned from shard replies, for DML row placement *)
+  schemas_m : Mutex.t;
+  schemas : (string, Pref_relation.Schema.t) Hashtbl.t;
   (* always-on counters (STATS must work with telemetry off) *)
   c_accepted : int Atomic.t;
   c_conn_rejected : int Atomic.t;
@@ -74,6 +81,8 @@ type t = {
   c_partial : int Atomic.t;
   c_shard_down : int Atomic.t;
   c_errors : int Atomic.t;
+  c_subscriptions : int Atomic.t;  (* currently active routed subscriptions *)
+  c_deltas : int Atomic.t;
   c_next_id : int Atomic.t;
 }
 
@@ -122,6 +131,7 @@ type conn = {
   mutable config : Pref_bmo.Engine.config;  (* final-pass knobs *)
   mutable prepared : (string * Ast.query) list;
   mutable set_log : (string * string) list;  (* newest first; replayed *)
+  mutable last_q : Ast.query option;  (* last answered statement, for REFINE *)
   clients : Client.t option array;  (* one lazy channel per backend *)
 }
 
@@ -618,6 +628,31 @@ let pre_scatter_errors t q =
                 f.Exec.check_path f.Exec.check_message)
             errors))
 
+(* Answer one already-parsed statement through the merge planner, and
+   remember it as the connection's last statement when rows came back —
+   the AST REFINE revises. *)
+let answer_parsed conn ?trace q =
+  let t = conn.router in
+  let resp =
+    match Merge.plan ~registry:t.registry ~shard_map:t.cfg.shard_map q with
+    | Error msg ->
+      Atomic.incr t.c_errors;
+      Pref_obs.Metrics.incr m_errors;
+      Protocol.Err { kind = "exec"; retriable = false; message = msg; trace }
+    | Ok Merge.Proxy -> proxy_query conn ?trace q
+    | Ok (Merge.Scatter d) -> (
+      match pre_scatter_errors t q with
+      | Some msg ->
+        Atomic.incr t.c_errors;
+        Pref_obs.Metrics.incr m_errors;
+        Protocol.Err { kind = "check"; retriable = false; message = msg; trace }
+      | None -> scatter_query conn ?trace d)
+  in
+  (match resp with
+  | Protocol.Rows _ -> conn.last_q <- Some q
+  | _ -> ());
+  resp
+
 let answer_query conn ?trace sql =
   let t = conn.router in
   Atomic.incr t.c_queries;
@@ -633,21 +668,427 @@ let answer_query conn ?trace sql =
       Atomic.incr t.c_errors;
       Pref_obs.Metrics.incr m_errors;
       Protocol.Err { kind = "parse"; retriable = false; message = msg; trace }
-    | Ok q -> (
-      match Merge.plan ~registry:t.registry ~shard_map:t.cfg.shard_map q with
-      | Error msg ->
+    | Ok q -> answer_parsed conn ?trace q)
+
+(* ------------------------------------------------------------------ *)
+(* REFINE: revise the connection's last statement and re-route it. The
+   router keeps no BMO seed of its own — each backend session does, and
+   the re-issued statement reaches them over the same channels, so the
+   shard-local evaluations still profit from their caches. *)
+
+let answer_refine conn ?trace term =
+  let t = conn.router in
+  Atomic.incr t.c_queries;
+  Pref_obs.Metrics.incr m_queries;
+  match conn.last_q with
+  | None ->
+    Atomic.incr t.c_errors;
+    Pref_obs.Metrics.incr m_errors;
+    Protocol.Err
+      {
+        kind = "exec";
+        retriable = false;
+        message =
+          "no preceding preference query to refine (run SELECT ... PREFERRING \
+           ... first)";
+        trace;
+      }
+  | Some q -> (
+    match Parser.parse_pref term with
+    | exception e ->
+      Atomic.incr t.c_errors;
+      Pref_obs.Metrics.incr m_errors;
+      error_response ?trace e
+    | p -> answer_parsed conn ?trace { q with Ast.preferring = Some p; Ast.cascade = [] })
+
+(* ------------------------------------------------------------------ *)
+(* DML: inserts go to the owning shard (shard-map placement on the
+   decoded row; replicated and unregistered tables go everywhere),
+   deletes broadcast — the row lives on exactly one shard, the others
+   answer "no matching row" and are ignored. *)
+
+let is_no_match msg = has_prefix "[exec] no matching row" msg
+
+(* The shard-key placement needs the table's schema, which lives on the
+   backends; learn it once from any shard's answer and cache it. *)
+let table_schema conn table =
+  let t = conn.router in
+  let table = String.lowercase_ascii table in
+  match Mutex.protect t.schemas_m (fun () -> Hashtbl.find_opt t.schemas table) with
+  | Some schema -> Ok schema
+  | None -> (
+    match
+      proxy conn (fun client ->
+          Client.query client (Printf.sprintf "SELECT * FROM %s TOP 1" table))
+    with
+    | Ok (rel, _) ->
+      let schema = Relation.schema rel in
+      Mutex.protect t.schemas_m (fun () -> Hashtbl.replace t.schemas table schema);
+      Ok schema
+    | Error resp -> Error resp)
+
+let placement t scheme schema row =
+  let pieces =
+    Shard_map.partition scheme ~shards:(nshards t) (Relation.make schema [ row ])
+  in
+  let idx = ref 0 in
+  Array.iteri (fun i piece -> if Relation.cardinality piece > 0 then idx := i) pieces;
+  !idx
+
+let shard_err ?trace msg =
+  Protocol.Err { kind = "shard"; retriable = false; message = msg; trace }
+
+let unavailable_err ?trace t msg =
+  Protocol.Err
+    {
+      kind = "unavailable";
+      retriable = true;
+      message = Printf.sprintf "all %d shard(s) unavailable (%s)" (nshards t) msg;
+      trace;
+    }
+
+let answer_dml conn ?trace op table row =
+  let t = conn.router in
+  Atomic.incr t.c_queries;
+  Pref_obs.Metrics.incr m_queries;
+  let table_lc = String.lowercase_ascii table in
+  let scheme = Shard_map.find t.cfg.shard_map table_lc in
+  match (op, scheme) with
+  | Protocol.Dml_insert, (None | Some Shard_map.Replicated) -> (
+    (* every backend holds a full copy: keep them all in step *)
+    let results =
+      scatter conn (fun i client ->
+          Client.insert ?trace:(child_trace trace i) client ~table row)
+    in
+    let oks, fatal, downs = partition_outcomes results in
+    match fatal with
+    | Some msg ->
+      Atomic.incr t.c_errors;
+      Pref_obs.Metrics.incr m_errors;
+      shard_err ?trace msg
+    | None when oks = [] ->
+      unavailable_err ?trace t
+        (match downs with (_, m) :: _ -> m | [] -> "no backends")
+    | None ->
+      Protocol.Done
+        (Printf.sprintf "inserted into %s on %d/%d backend(s)" table_lc
+           (List.length oks) (nshards t)))
+  | Protocol.Dml_insert, Some scheme -> (
+    match table_schema conn table_lc with
+    | Error resp -> resp
+    | Ok schema -> (
+      match Protocol.decode_rows schema [ row ] with
+      | Error msg | (exception Failure msg) ->
         Atomic.incr t.c_errors;
         Pref_obs.Metrics.incr m_errors;
-        Protocol.Err { kind = "exec"; retriable = false; message = msg; trace }
-      | Ok Merge.Proxy -> proxy_query conn ?trace q
-      | Ok (Merge.Scatter d) -> (
-        match pre_scatter_errors t q with
-        | Some msg ->
+        Protocol.Err { kind = "proto"; retriable = false; message = msg; trace }
+      | Ok [] -> assert false
+      | Ok (tuple :: _) -> (
+        let i = placement t scheme schema tuple in
+        match
+          with_shard conn i (fun client ->
+              Client.insert ?trace:(child_trace trace i) client ~table row)
+        with
+        | O_ok line -> Protocol.Done line
+        | O_fatal msg ->
           Atomic.incr t.c_errors;
           Pref_obs.Metrics.incr m_errors;
+          shard_err ?trace msg
+        | O_down msg ->
+          (* the owning shard is fixed by placement: no failover *)
           Protocol.Err
-            { kind = "check"; retriable = false; message = msg; trace }
-        | None -> scatter_query conn ?trace d)))
+            {
+              kind = "unavailable";
+              retriable = true;
+              message = Printf.sprintf "shard %d unavailable (%s)" i msg;
+              trace;
+            })))
+  | Protocol.Dml_delete, _ ->
+    let results =
+      scatter conn (fun i client ->
+          Client.delete ?trace:(child_trace trace i) client ~table row)
+    in
+    let oks = ref 0 and real_fatal = ref None and downs = ref 0 in
+    Array.iter
+      (function
+        | O_ok _ -> incr oks
+        | O_fatal msg when is_no_match msg -> ()
+        | O_fatal msg -> if !real_fatal = None then real_fatal := Some msg
+        | O_down _ -> incr downs)
+      results;
+    (match !real_fatal with
+    | Some msg ->
+      Atomic.incr t.c_errors;
+      Pref_obs.Metrics.incr m_errors;
+      shard_err ?trace msg
+    | None ->
+      if !oks > 0 then
+        Protocol.Done
+          (Printf.sprintf "deleted from %s (%d shard(s))" table_lc !oks)
+      else if !downs > 0 then
+        unavailable_err ?trace t "row not found on any reachable shard"
+      else
+        Protocol.Err
+          {
+            kind = "exec";
+            retriable = false;
+            message = Printf.sprintf "no matching row in %s" table_lc;
+            trace;
+          })
+
+(* ------------------------------------------------------------------ *)
+(* SUBSCRIBE: routed continuous queries. Each shard subscription keeps
+   that shard's BMO set current (absorbing shard resyncs); after every
+   shard delta the router re-winnows the union — exact by the
+   winnow/union law σ[P](R) = σ[P](σ[P](R1) ∪ ... ∪ σ[P](Rn)) — and
+   streams the multiset diff of consecutive answers downstream, so the
+   client only ever sees plain deltas. *)
+
+let remove_row x l =
+  let rec go acc = function
+    | [] -> None
+    | y :: tl ->
+      if Tuple.equal x y then Some (List.rev_append acc tl)
+      else go (y :: acc) tl
+  in
+  go [] l
+
+let multiset_diff ~before ~after =
+  let removed, added_rev =
+    List.fold_left
+      (fun (rem, add) x ->
+        match remove_row x rem with
+        | Some rem -> (rem, add)
+        | None -> (rem, x :: add))
+      (before, []) after
+  in
+  (List.rev added_rev, removed)
+
+(* All-or-nothing setup over the given shards — a missing shard would
+   make the continuous answer silently partial forever. Each shard gets
+   a dedicated channel: after SUBSCRIBE a connection is a one-way
+   stream, so the pooled request channels must stay out of it. *)
+let open_shard_subs t ?trace ~indices stmt =
+  let opened = ref [] in
+  let close_all () =
+    List.iter (fun (_, c, _) -> try Client.close c with _ -> ()) !opened
+  in
+  let rec go = function
+    | [] -> Ok (List.rev !opened)
+    | i :: rest -> (
+      let b = t.backends.(i) in
+      match
+        Client.connect ~timeout_s:t.cfg.shard_timeout_s ~host:b.bhost
+          ~port:b.bport ()
+      with
+      | exception e ->
+        mark_down t i;
+        close_all ();
+        Error (unavailable_err ?trace t (Printexc.to_string e))
+      | c -> (
+        match Client.subscribe ?trace:(child_trace trace i) c stmt with
+        | Ok snap ->
+          mark_up t i;
+          opened := (i, c, snap) :: !opened;
+          go rest
+        | Error msg ->
+          (try Client.close c with _ -> ());
+          close_all ();
+          Error (shard_err ?trace msg)
+        | exception e ->
+          (try Client.close c with _ -> ());
+          mark_down t i;
+          close_all ();
+          Error (unavailable_err ?trace t (Printexc.to_string e))))
+  in
+  go indices
+
+(* Replicated / unregistered table: one backend holds the full answer,
+   so subscribe to a single healthy shard (failing over on connection
+   trouble; a server-side rejection is deterministic on every replica). *)
+let proxy_sub t ?trace stmt =
+  let n = nshards t in
+  let start = Atomic.fetch_and_add t.rr 1 mod n in
+  let rec go k last =
+    if k >= n then Error (unavailable_err ?trace t last)
+    else
+      let i = (start + k) mod n in
+      let b = t.backends.(i) in
+      match
+        Client.connect ~timeout_s:t.cfg.shard_timeout_s ~host:b.bhost
+          ~port:b.bport ()
+      with
+      | exception e ->
+        mark_down t i;
+        go (k + 1) (Printexc.to_string e)
+      | c -> (
+        match Client.subscribe ?trace:(child_trace trace i) c stmt with
+        | Ok snap ->
+          mark_up t i;
+          Ok [ (i, c, snap) ]
+        | Error msg ->
+          (try Client.close c with _ -> ());
+          Error (shard_err ?trace msg)
+        | exception e ->
+          (try Client.close c with _ -> ());
+          mark_down t i;
+          go (k + 1) (Printexc.to_string e))
+  in
+  go 0 "no backends"
+
+(* Writes frames to the downstream client directly; returns the
+   continue-bool for the connection loop ([false] once the stream has
+   run, [true] after a setup error — the connection is still usable). *)
+let answer_subscribe conn ?trace sql =
+  let t = conn.router in
+  Atomic.incr t.c_queries;
+  Pref_obs.Metrics.incr m_queries;
+  let send resp =
+    Protocol.write_frame conn.fd (Protocol.encode_response resp)
+  in
+  let fail resp =
+    Atomic.incr t.c_errors;
+    Pref_obs.Metrics.incr m_errors;
+    send resp;
+    true
+  in
+  match Parser.parse_query sql with
+  | exception e -> fail (error_response ?trace e)
+  | q -> (
+    match Exec.full_preference ~registry:t.registry q with
+    | None ->
+      fail
+        (Protocol.Err
+           {
+             kind = "exec";
+             retriable = false;
+             message = "SUBSCRIBE requires a PREFERRING clause";
+             trace;
+           })
+    | Some pref -> (
+      let stmt = Pretty.query_to_string q in
+      let setup =
+        match Merge.plan ~registry:t.registry ~shard_map:t.cfg.shard_map q with
+        | Error msg ->
+          Error
+            (Protocol.Err
+               { kind = "exec"; retriable = false; message = msg; trace })
+        | Ok Merge.Proxy -> proxy_sub t ?trace stmt
+        | Ok (Merge.Scatter _) -> (
+          match pre_scatter_errors t q with
+          | Some msg ->
+            Error
+              (Protocol.Err
+                 { kind = "check"; retriable = false; message = msg; trace })
+          | None ->
+            open_shard_subs t ?trace ~indices:(List.init (nshards t) Fun.id)
+              stmt)
+      in
+      match setup with
+      | Error resp -> fail resp
+      | Ok [] -> fail (unavailable_err ?trace t "no backends")
+      | Ok ((_, _, (rel0, flags0)) :: _ as subs) ->
+        let subs = Array.of_list subs in
+        let schema = Relation.schema rel0 in
+        let rows = Array.map (fun (_, _, (rel, _)) -> Relation.rows rel) subs in
+        let flags =
+          Array.fold_left
+            (fun f (_, _, (_, fl)) -> Pref_bmo.Engine.union_flags f fl)
+            flags0 subs
+        in
+        let cfg = { conn.config with Pref_bmo.Engine.cache = false } in
+        let winnow rs =
+          Relation.rows
+            (fst (Pref_bmo.Query.sigma_cfg cfg schema pref
+                    (Relation.make schema rs)))
+        in
+        let union () = List.concat (Array.to_list rows) in
+        let current = ref (winnow (union ())) in
+        send
+          (Protocol.Rows
+             {
+               relation = Relation.make schema !current;
+               flags;
+               served = Some (Array.length subs, nshards t);
+               trace;
+             });
+        Atomic.incr t.c_subscriptions;
+        Pref_obs.Metrics.set g_subs
+          (float_of_int (Atomic.get t.c_subscriptions));
+        let ev_m = Mutex.create () in
+        let evs = Queue.create () in
+        let push e = Mutex.protect ev_m (fun () -> Queue.add e evs) in
+        (* one blocking reader per shard stream; a timed read could lose
+           framing sync mid-frame, a blocked one cannot *)
+        let readers =
+          Array.mapi
+            (fun slot (_, c, _) ->
+              Thread.create
+                (fun () ->
+                  let rec go () =
+                    match Client.next_delta c with
+                    | Some d ->
+                      push (`Delta (slot, d));
+                      go ()
+                    | None -> push `Closed
+                    | exception _ -> push `Closed
+                  in
+                  go ())
+                ())
+            subs
+        in
+        let apply slot (d : Client.delta) =
+          if d.Client.d_resync then rows.(slot) <- Relation.rows d.Client.d_added
+          else begin
+            let kept =
+              List.fold_left
+                (fun acc x ->
+                  match remove_row x acc with Some acc -> acc | None -> acc)
+                rows.(slot)
+                (Relation.rows d.Client.d_removed)
+            in
+            rows.(slot) <- kept @ Relation.rows d.Client.d_added
+          end
+        in
+        let rec pump () =
+          if draining t then ()
+          else
+            match
+              Mutex.protect ev_m (fun () ->
+                  if Queue.is_empty evs then None else Some (Queue.pop evs))
+            with
+            | None ->
+              Thread.delay 0.02;
+              pump ()
+            | Some `Closed -> ()  (* a shard stream ended: end ours *)
+            | Some (`Delta (slot, d)) ->
+              apply slot d;
+              let next = winnow (union ()) in
+              let added, removed = multiset_diff ~before:!current ~after:next in
+              current := next;
+              if added <> [] || removed <> [] then begin
+                Atomic.incr t.c_deltas;
+                Pref_obs.Metrics.incr m_deltas;
+                send
+                  (Protocol.Delta
+                     {
+                       added = Relation.make schema added;
+                       removed = Relation.make schema removed;
+                       resync = false;
+                       trace;
+                     })
+              end;
+              pump ()
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Array.iter (fun (_, c, _) -> try Client.close c with _ -> ()) subs;
+            Array.iter (fun th -> try Thread.join th with _ -> ()) readers;
+            Atomic.decr t.c_subscriptions;
+            Pref_obs.Metrics.set g_subs
+              (float_of_int (Atomic.get t.c_subscriptions)))
+          (fun () -> pump ());
+        false))
 
 (* ------------------------------------------------------------------ *)
 (* SET / STATS                                                         *)
@@ -710,6 +1151,8 @@ let counters t =
     ("router.partial", Atomic.get t.c_partial);
     ("router.shard_down", Atomic.get t.c_shard_down);
     ("router.errors", Atomic.get t.c_errors);
+    ("router.subscriptions", Atomic.get t.c_subscriptions);
+    ("router.deltas", Atomic.get t.c_deltas);
     ("router.backends", nshards t);
     ("router.shards_up", shards_up t);
     ("router.draining", if draining t then 1 else 0);
@@ -760,6 +1203,7 @@ let handle_connection t fd =
       config = t.cfg.session_config;
       prepared = [];
       set_log = [];
+      last_q = None;
       clients = Array.map (fun _ -> None) t.backends;
     }
   in
@@ -769,30 +1213,52 @@ let handle_connection t fd =
     match Protocol.read_frame ~on_wait fd with
     | None -> ()
     | Some payload ->
-      (match Protocol.parse_request payload with
-      | Error msg ->
-        send
-          (Protocol.Err
-             { kind = "proto"; retriable = false; message = msg; trace = None })
-      | Ok (Protocol.Query { sql; trace }) -> send (answer_query conn ?trace sql)
-      | Ok (Protocol.Prepare { name; sql; trace }) -> (
-        match Parser.parse_query sql with
-        | q ->
-          conn.prepared <- (name, q) :: List.remove_assoc name conn.prepared;
-          send (Protocol.Done ("prepared " ^ name))
-        | exception e -> send (error_response ?trace e))
-      | Ok (Protocol.Explain { sql; analyze; json; trace }) ->
-        send (answer_explain conn ~analyze ~json ?trace sql)
-      | Ok (Protocol.Set (key, value)) -> send (answer_set conn ~key ~value)
-      | Ok Protocol.Stats -> send (answer_stats conn)
-      | Ok (Protocol.Metrics { json }) ->
-        let body =
-          if json then Pref_obs.Json.to_string (Pref_obs.Export.to_json ())
-          else Pref_obs.Export.prometheus ()
-        in
-        send (Protocol.Metrics_resp body)
-      | Ok Protocol.Ping -> send Protocol.Pong);
-      loop ()
+      let continue =
+        match Protocol.parse_request payload with
+        | Error msg ->
+          send
+            (Protocol.Err
+               { kind = "proto"; retriable = false; message = msg; trace = None });
+          true
+        | Ok (Protocol.Query { sql; trace }) ->
+          send (answer_query conn ?trace sql);
+          true
+        | Ok (Protocol.Prepare { name; sql; trace }) ->
+          (match Parser.parse_query sql with
+          | q ->
+            conn.prepared <- (name, q) :: List.remove_assoc name conn.prepared;
+            send (Protocol.Done ("prepared " ^ name))
+          | exception e -> send (error_response ?trace e));
+          true
+        | Ok (Protocol.Explain { sql; analyze; json; trace }) ->
+          send (answer_explain conn ~analyze ~json ?trace sql);
+          true
+        | Ok (Protocol.Refine { term; trace }) ->
+          send (answer_refine conn ?trace term);
+          true
+        | Ok (Protocol.Dml { op; table; row; trace }) ->
+          send (answer_dml conn ?trace op table row);
+          true
+        | Ok (Protocol.Subscribe { sql; trace }) ->
+          answer_subscribe conn ?trace sql
+        | Ok (Protocol.Set (key, value)) ->
+          send (answer_set conn ~key ~value);
+          true
+        | Ok Protocol.Stats ->
+          send (answer_stats conn);
+          true
+        | Ok (Protocol.Metrics { json }) ->
+          let body =
+            if json then Pref_obs.Json.to_string (Pref_obs.Export.to_json ())
+            else Pref_obs.Export.prometheus ()
+          in
+          send (Protocol.Metrics_resp body);
+          true
+        | Ok Protocol.Ping ->
+          send Protocol.Pong;
+          true
+      in
+      if continue then loop ()
   in
   Fun.protect
     ~finally:(fun () ->
@@ -903,6 +1369,8 @@ let start ?(config = default_config) ?(registry = Translate.default_registry)
       conns = [];
       conn_threads = [];
       rr = Atomic.make 0;
+      schemas_m = Mutex.create ();
+      schemas = Hashtbl.create 8;
       c_accepted = Atomic.make 0;
       c_conn_rejected = Atomic.make 0;
       c_queries = Atomic.make 0;
@@ -913,6 +1381,8 @@ let start ?(config = default_config) ?(registry = Translate.default_registry)
       c_partial = Atomic.make 0;
       c_shard_down = Atomic.make 0;
       c_errors = Atomic.make 0;
+      c_subscriptions = Atomic.make 0;
+      c_deltas = Atomic.make 0;
       c_next_id = Atomic.make 0;
     }
   in

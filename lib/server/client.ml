@@ -156,3 +156,61 @@ let stats t =
   | Protocol.Stats_resp kvs -> Ok kvs
   | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
   | _ -> Error "[proto] unexpected response to STATS"
+
+let refine ?trace t term =
+  match request t (Protocol.Refine { term; trace }) with
+  | Protocol.Rows { relation; flags; _ } -> Ok (relation, flags)
+  | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
+  | _ -> Error "[proto] unexpected response to REFINE"
+
+let insert ?trace t ~table row =
+  match request t (Protocol.Dml { op = Protocol.Dml_insert; table; row; trace })
+  with
+  | Protocol.Done line -> Ok line
+  | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
+  | _ -> Error "[proto] unexpected response to DML"
+
+let delete ?trace t ~table row =
+  match request t (Protocol.Dml { op = Protocol.Dml_delete; table; row; trace })
+  with
+  | Protocol.Done line -> Ok line
+  | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
+  | _ -> Error "[proto] unexpected response to DML"
+
+(* ------------------------------------------------------------------ *)
+(* Subscriptions: after SUBSCRIBE is accepted the connection carries a
+   one-way DELTA stream — [next_delta] blocks for the next frame, and no
+   other request may use the connection again. *)
+
+type delta = {
+  d_added : Relation.t;
+  d_removed : Relation.t;
+  d_resync : bool;
+}
+
+let subscribe ?trace t sql =
+  match request t (Protocol.Subscribe { sql; trace }) with
+  | Protocol.Rows { relation; flags; _ } -> Ok (relation, flags)
+  | Protocol.Err { kind; message; _ } -> Error (render_err kind message)
+  | _ -> Error "[proto] unexpected response to SUBSCRIBE"
+
+let next_delta ?timeout_s t =
+  (* reads only tick (and can time out) when the socket has a receive
+     timeout; arm one if the connection was opened without *)
+  if timeout_s <> None && t.timeout_s = None then
+    Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO 0.25;
+  let on_wait =
+    match timeout_s with
+    | None -> fun () -> ()
+    | Some limit ->
+      let deadline = Unix.gettimeofday () +. limit in
+      fun () -> if Unix.gettimeofday () > deadline then raise Timeout
+  in
+  match Protocol.read_frame ~on_wait t.fd with
+  | None -> None
+  | Some payload -> (
+    match Protocol.parse_response payload with
+    | Ok (Protocol.Delta { added; removed; resync; _ }) ->
+      Some { d_added = added; d_removed = removed; d_resync = resync }
+    | Ok _ -> failwith "unexpected non-DELTA frame on a subscription"
+    | Error msg -> failwith ("unparsable delta frame: " ^ msg))

@@ -110,3 +110,49 @@ val metrics : ?json:bool -> t -> (string, string) result
 val set : t -> key:string -> value:string -> (string, string) result
 val prepare : t -> name:string -> string -> (string, string) result
 val stats : t -> ((string * string) list, string) result
+
+(** {1 Changing preferences} *)
+
+val refine :
+  ?trace:Protocol.trace ->
+  t ->
+  string ->
+  (Relation.t * Pref_bmo.Engine.flags, string) result
+(** REFINE: revise the connection's last preference statement to the
+    given bare preference term and return the revised BMO set (served
+    from the cached seed when the revision class allows). *)
+
+val insert :
+  ?trace:Protocol.trace -> t -> table:string -> string -> (string, string) result
+
+val delete :
+  ?trace:Protocol.trace -> t -> table:string -> string -> (string, string) result
+(** Single-row DML; the row is one RFC-4180 CSV record in the table's
+    column order, values rendered as by {!Protocol.value_wire}. [Ok]
+    carries the server's acknowledgement line; deleting an absent row is
+    an [Error]. *)
+
+(** {1 Subscriptions} *)
+
+type delta = {
+  d_added : Relation.t;  (** rows that entered the BMO set *)
+  d_removed : Relation.t;  (** rows that left it *)
+  d_resync : bool;
+      (** [true]: the subscriber fell behind and [d_added] is a full
+          snapshot — discard all previously applied state first *)
+}
+
+val subscribe :
+  ?trace:Protocol.trace ->
+  t ->
+  string ->
+  (Relation.t * Pref_bmo.Engine.flags, string) result
+(** Register a continuous query ([SELECT * FROM <table> PREFERRING ...])
+    and return its current BMO set. On [Ok] the connection becomes a
+    one-way delta stream: only {!next_delta} (and {!close}) may be used
+    afterwards. On [Error] the connection is still usable. *)
+
+val next_delta : ?timeout_s:float -> t -> delta option
+(** Block for the next DELTA frame; [None] when the server closed the
+    stream. Raises {!Timeout} after [timeout_s] seconds without a frame,
+    and [Failure] on a non-delta or unparsable frame. *)

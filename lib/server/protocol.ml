@@ -203,6 +203,8 @@ let trace_of_words ws =
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 
+type dml_op = Dml_insert | Dml_delete
+
 type request =
   | Query of { sql : string; trace : trace option }
   | Prepare of { name : string; sql : string; trace : trace option }
@@ -216,6 +218,9 @@ type request =
   | Stats
   | Metrics of { json : bool }
   | Ping
+  | Refine of { term : string; trace : trace option }
+  | Subscribe of { sql : string; trace : trace option }
+  | Dml of { op : dml_op; table : string; row : string; trace : trace option }
 
 let encode_request = function
   | Query { sql; trace } -> Printf.sprintf "QUERY%s\n%s" (trace_words trace) sql
@@ -230,32 +235,98 @@ let encode_request = function
   | Stats -> "STATS"
   | Metrics { json } -> if json then "METRICS JSON" else "METRICS"
   | Ping -> "PING"
+  | Refine { term; trace } ->
+    Printf.sprintf "REFINE%s\n%s" (trace_words trace) term
+  | Subscribe { sql; trace } ->
+    Printf.sprintf "SUBSCRIBE%s\n%s" (trace_words trace) sql
+  | Dml { op; table; row; trace } ->
+    Printf.sprintf "DML %s %s%s\n%s"
+      (match op with Dml_insert -> "INSERT" | Dml_delete -> "DELETE")
+      table (trace_words trace) row
+
+(* Table-driven request parsing: each verb registers a parser taking the
+   remaining verb-line words and the body. Adding a wire verb means one
+   constructor, one [register_verb] call and one handler arm — the
+   unknown-verb error enumerates whatever is registered. *)
+
+type verb_parser = string list -> string -> (request, string) result
+
+let request_parsers : (string, verb_parser) Hashtbl.t = Hashtbl.create 16
+
+let register_verb name parser = Hashtbl.replace request_parsers name parser
+
+let verbs () =
+  Hashtbl.fold (fun v _ acc -> v :: acc) request_parsers []
+  |> List.sort compare
+
+let need_body verb rest k =
+  if String.trim rest = "" then
+    Error (Printf.sprintf "%s needs a statement" verb)
+  else k rest
+
+let () =
+  register_verb "QUERY" (fun opts rest ->
+      need_body "QUERY" rest (fun sql ->
+          Ok (Query { sql; trace = trace_of_words opts })));
+  register_verb "PREPARE" (fun opts rest ->
+      match opts with
+      | name :: opts ->
+        need_body "PREPARE" rest (fun sql ->
+            Ok (Prepare { name; sql; trace = trace_of_words opts }))
+      | [] -> Error "PREPARE needs a statement name");
+  register_verb "EXPLAIN" (fun opts rest ->
+      need_body "EXPLAIN" rest (fun sql ->
+          Ok
+            (Explain
+               {
+                 sql;
+                 analyze = List.mem "ANALYZE" opts;
+                 json = List.mem "JSON" opts;
+                 trace = trace_of_words opts;
+               })));
+  register_verb "SET" (fun opts _rest ->
+      match opts with
+      | key :: (_ :: _ as value) -> Ok (Set (key, String.concat " " value))
+      | _ -> Error "SET needs a key and a value");
+  register_verb "STATS" (fun _ _ -> Ok Stats);
+  register_verb "METRICS" (fun opts _ ->
+      Ok (Metrics { json = List.mem "JSON" opts }));
+  register_verb "PING" (fun _ _ -> Ok Ping);
+  register_verb "REFINE" (fun opts rest ->
+      need_body "REFINE" rest (fun term ->
+          Ok (Refine { term; trace = trace_of_words opts })));
+  register_verb "SUBSCRIBE" (fun opts rest ->
+      need_body "SUBSCRIBE" rest (fun sql ->
+          Ok (Subscribe { sql; trace = trace_of_words opts })));
+  register_verb "DML" (fun opts rest ->
+      match opts with
+      | op_word :: table :: opts -> (
+        let op =
+          match String.uppercase_ascii op_word with
+          | "INSERT" -> Some Dml_insert
+          | "DELETE" -> Some Dml_delete
+          | _ -> None
+        in
+        match op with
+        | None ->
+          Error
+            (Printf.sprintf "DML operation must be INSERT or DELETE, got %S"
+               op_word)
+        | Some op ->
+          need_body "DML" rest (fun row ->
+              Ok (Dml { op; table; row; trace = trace_of_words opts })))
+      | _ -> Error "DML needs an operation and a table")
 
 let parse_request payload =
   let verb_line, rest = split_verb payload in
   match words verb_line with
-  | "QUERY" :: opts ->
-    if String.trim rest = "" then Error "QUERY needs a statement"
-    else Ok (Query { sql = rest; trace = trace_of_words opts })
-  | "PREPARE" :: name :: opts ->
-    if String.trim rest = "" then Error "PREPARE needs a statement"
-    else Ok (Prepare { name; sql = rest; trace = trace_of_words opts })
-  | "EXPLAIN" :: opts ->
-    if String.trim rest = "" then Error "EXPLAIN needs a statement"
-    else
-      Ok
-        (Explain
-           {
-             sql = rest;
-             analyze = List.mem "ANALYZE" opts;
-             json = List.mem "JSON" opts;
-             trace = trace_of_words opts;
-           })
-  | "SET" :: key :: (_ :: _ as value) -> Ok (Set (key, String.concat " " value))
-  | [ "STATS" ] -> Ok Stats
-  | "METRICS" :: opts -> Ok (Metrics { json = List.mem "JSON" opts })
-  | [ "PING" ] -> Ok Ping
-  | verb :: _ -> Error (Printf.sprintf "unknown verb %S" verb)
+  | verb :: opts -> (
+    match Hashtbl.find_opt request_parsers verb with
+    | Some parser -> parser opts rest
+    | None ->
+      Error
+        (Printf.sprintf "unknown verb %S (expected one of: %s)" verb
+           (String.concat ", " (verbs ()))))
   | [] -> Error "empty request"
 
 (* ------------------------------------------------------------------ *)
@@ -266,6 +337,12 @@ type response =
       relation : Relation.t;
       flags : Pref_bmo.Engine.flags;
       served : (int * int) option;
+      trace : trace option;
+    }
+  | Delta of {
+      added : Relation.t;
+      removed : Relation.t;  (** same schema as [added] *)
+      resync : bool;
       trace : trace option;
     }
   | Done of string
@@ -295,6 +372,15 @@ let served_of_words ws =
       | _ -> None)
     | _ -> None)
 
+let add_csv_rows buf rows =
+  List.iter
+    (fun row ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (String.concat ","
+           (List.map (fun v -> quote_field (value_wire v)) (Tuple.to_list row))))
+    rows
+
 let encode_response = function
   | Rows { relation; flags; served; trace } ->
     let buf = Buffer.create 1024 in
@@ -305,13 +391,19 @@ let encode_response = function
          (if flags.Pref_bmo.Engine.truncated then " truncated" else "")
          (served_word served) (trace_words trace));
     Buffer.add_string buf (schema_wire (Relation.schema relation));
-    List.iter
-      (fun row ->
-        Buffer.add_char buf '\n';
-        Buffer.add_string buf
-          (String.concat ","
-             (List.map (fun v -> quote_field (value_wire v)) (Tuple.to_list row))))
-      (Relation.rows relation);
+    add_csv_rows buf (Relation.rows relation);
+    Buffer.contents buf
+  | Delta { added; removed; resync; trace } ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "DELTA %d %d%s%s\n"
+         (Relation.cardinality added)
+         (Relation.cardinality removed)
+         (if resync then " resync" else "")
+         (trace_words trace));
+    Buffer.add_string buf (schema_wire (Relation.schema added));
+    add_csv_rows buf (Relation.rows added);
+    add_csv_rows buf (Relation.rows removed);
     Buffer.contents buf
   | Done "" -> "OK"
   | Done text -> "OK " ^ text
@@ -325,6 +417,30 @@ let encode_response = function
     Printf.sprintf "ERR %s %s%s\n%s" kind
       (if retriable then "retriable" else "fatal")
       (trace_words trace) message
+
+let decode_rows schema records =
+  let rec rows acc = function
+    | [] -> Ok (List.rev acc)
+    | record :: rest -> (
+      let fields = Csv.split_line record in
+      if List.length fields <> List.length schema then
+        Error (Printf.sprintf "row %S does not match the schema" record)
+      else
+        match
+          List.fold_right2
+            (fun (_, ty) field acc ->
+              match acc, value_of_wire ty field with
+              | Some vs, Some v -> Some (v :: vs)
+              | _ -> None)
+            schema fields (Some [])
+        with
+        | Some vs -> rows (Tuple.make vs :: acc) rest
+        | None ->
+          Error
+            (Printf.sprintf "row %S does not decode as %s" record
+               (schema_wire schema)))
+  in
+  rows [] records
 
 let parse_rows verb_words body =
   match verb_words with
@@ -350,30 +466,8 @@ let parse_rows verb_words body =
             Error
               (Printf.sprintf "expected %d row(s), got %d" count
                  (List.length records))
-          else
-            let rec rows acc = function
-              | [] -> Ok (List.rev acc)
-              | record :: rest -> (
-                let fields = Csv.split_line record in
-                if List.length fields <> List.length schema then
-                  Error
-                    (Printf.sprintf "row %S does not match the schema" record)
-                else
-                  match
-                    List.fold_right2
-                      (fun (_, ty) field acc ->
-                        match acc, value_of_wire ty field with
-                        | Some vs, Some v -> Some (v :: vs)
-                        | _ -> None)
-                      schema fields (Some [])
-                  with
-                  | Some vs -> rows (Tuple.make vs :: acc) rest
-                  | None ->
-                    Error
-                      (Printf.sprintf "row %S does not decode as %s" record
-                         (schema_wire schema)))
-            in
-            (match rows [] records with
+          else (
+            match decode_rows schema records with
             | Ok tuples ->
               Ok
                 (Rows
@@ -386,10 +480,43 @@ let parse_rows verb_words body =
             | Error _ as e -> e))))
   | [] -> Error "ROWS response without a row count"
 
+let parse_delta verb_words body =
+  match verb_words with
+  | n_added :: n_removed :: flag_words -> (
+    match (int_of_string_opt n_added, int_of_string_opt n_removed) with
+    | Some n_added, Some n_removed when n_added >= 0 && n_removed >= 0 -> (
+      match split_records body with
+      | [] -> Error "DELTA response without a schema line"
+      | schema_line :: records -> (
+        match schema_of_wire schema_line with
+        | Error _ as e -> e
+        | Ok schema ->
+          if List.length records <> n_added + n_removed then
+            Error
+              (Printf.sprintf "expected %d delta row(s), got %d"
+                 (n_added + n_removed) (List.length records))
+          else (
+            match decode_rows schema records with
+            | Ok tuples ->
+              let added = List.filteri (fun i _ -> i < n_added) tuples in
+              let removed = List.filteri (fun i _ -> i >= n_added) tuples in
+              Ok
+                (Delta
+                   {
+                     added = Relation.make schema added;
+                     removed = Relation.make schema removed;
+                     resync = List.mem "resync" flag_words;
+                     trace = trace_of_words flag_words;
+                   })
+            | Error _ as e -> e)))
+    | _ -> Error "unreadable DELTA counts")
+  | _ -> Error "DELTA response needs added and removed counts"
+
 let parse_response payload =
   let verb_line, rest = split_verb payload in
   match words verb_line with
   | "ROWS" :: vw -> parse_rows vw rest
+  | "DELTA" :: vw -> parse_delta vw rest
   | "OK" :: text -> Ok (Done (String.concat " " text))
   | [ "PONG" ] -> Ok Pong
   | "EXPLAIN" :: _ -> Ok (Explain_resp rest)

@@ -19,6 +19,19 @@
     - [METRICS [JSON]] — the whole metrics registry in Prometheus text
       exposition format (or as a JSON snapshot)
     - [PING] — liveness probe
+    - [REFINE [trace words]\n<term>] — revise the session's last
+      preference statement to the bare preference [term]
+      ({!Pref_engine.Session.refine})
+    - [SUBSCRIBE [trace words]\n<sql>] — answer the statement once
+      (a ROWS snapshot), then keep the connection open streaming DELTA
+      frames as DML changes the result
+    - [DML INSERT|DELETE <table> [trace words]\n<csv row>] — single-row
+      table mutation; the row is RFC-4180 CSV in the table's column order
+
+    A verb unknown to the receiver yields an [ERR proto] whose message
+    lists the registered verbs. The verb table is extensible
+    ({!register_verb}); the router registers no extra verbs but answers
+    the same ten.
 
     Responses:
 
@@ -28,6 +41,12 @@
       marks a deadline-degraded (sound but incomplete) BMO set,
       [truncated] a row-capped one, and [served=k/n] (router responses
       only) says [k] of [n] shards contributed.
+    - [DELTA <n_added> <n_removed> [resync] [trace words]\n<schema>\n<csv rows>]
+      — a subscription update: the first [n_added] rows entered the BMO
+      set, the next [n_removed] left it. [resync] marks a full snapshot
+      replacing all previously streamed state (sent after subscriber
+      backpressure overflow — discard your view and start from this
+      frame's added rows).
     - [OK <text>] — acknowledgement
     - [PONG]
     - [STATS\n<key>=<value> lines]
@@ -84,6 +103,8 @@ val trace_of_words : string list -> trace option
 
 (** {1 Requests} *)
 
+type dml_op = Dml_insert | Dml_delete
+
 type request =
   | Query of { sql : string; trace : trace option }
   | Prepare of { name : string; sql : string; trace : trace option }
@@ -97,9 +118,32 @@ type request =
   | Stats
   | Metrics of { json : bool }
   | Ping
+  | Refine of { term : string; trace : trace option }
+  | Subscribe of { sql : string; trace : trace option }
+  | Dml of { op : dml_op; table : string; row : string; trace : trace option }
+      (** [row] is one RFC-4180 CSV record in the table's column order;
+          the server decodes it against the table's schema. *)
 
 val encode_request : request -> string
+
 val parse_request : string -> (request, string) result
+(** Dispatches on the verb through the registered parser table; an
+    unregistered verb's error message lists {!verbs}. *)
+
+(** {1 Verb registry}
+
+    [parse_request] is table-driven: each verb maps to a parser taking
+    the remaining verb-line words and the body (the payload after the
+    verb line, [""] when absent). The built-in verbs are pre-registered;
+    embedders may add their own before serving. *)
+
+val register_verb :
+  string -> (string list -> string -> (request, string) result) -> unit
+(** [register_verb name parse] adds (or replaces) the parser for
+    verb [name] (matched case-sensitively, by convention uppercase). *)
+
+val verbs : unit -> string list
+(** The registered verb names, sorted. *)
 
 (** {1 Responses} *)
 
@@ -111,6 +155,14 @@ type response =
           (** [(k, n)] when a router answered from [k] of [n] shards; rides
               as a [served=k/n] verb-line word. [None] from a single node. *)
       trace : trace option;  (** request trace, echoed *)
+    }
+  | Delta of {
+      added : Relation.t;
+      removed : Relation.t;
+      resync : bool;
+          (** full snapshot after backpressure overflow: [added] is the
+              whole current BMO set; discard previously streamed state *)
+      trace : trace option;  (** subscription trace, echoed on every frame *)
     }
   | Done of string
   | Pong
@@ -145,3 +197,7 @@ val value_wire : Pref_relation.Value.t -> string
 
 val value_of_wire :
   Pref_relation.Value.ty -> string -> Pref_relation.Value.t option
+
+val decode_rows : Schema.t -> string list -> (Tuple.t list, string) result
+(** Decode CSV records against a schema — the row codec shared by ROWS /
+    DELTA parsing and the server's DML handler. *)

@@ -32,14 +32,39 @@ let m_degraded = Pref_obs.Metrics.counter "server.degraded"
 let m_deadline = Pref_obs.Metrics.counter "server.deadline_exceeded"
 let m_truncated = Pref_obs.Metrics.counter "server.truncated"
 let m_errors = Pref_obs.Metrics.counter "server.errors"
+let m_deltas = Pref_obs.Metrics.counter "server.deltas"
+let m_resyncs = Pref_obs.Metrics.counter "server.subscription_resyncs"
 let g_inflight = Pref_obs.Metrics.gauge "server.inflight"
 let g_queue = Pref_obs.Metrics.gauge "server.queue_depth"
 let g_conns = Pref_obs.Metrics.gauge "server.connections"
+let g_subs = Pref_obs.Metrics.gauge "server.subscriptions"
+
+(* One continuous query (SUBSCRIBE): the maintained BMO state plus a
+   bounded queue of encoded-but-unsent DELTA frames. DML executors push
+   under [sub_m]; the subscriber's own connection thread drains and
+   writes. When the queue overflows the slow consumer loses the backlog:
+   the queue is cleared, [sub_overflow] set, and the drain loop answers
+   with one full-snapshot resync frame instead. *)
+type subscriber = {
+  sub_fd : Unix.file_descr;
+  sub_table : string;
+  sub_trace : Protocol.trace option;
+  sub_m : Mutex.t;
+  sub_c : Condition.t;
+  sub_queue : Protocol.response Queue.t;
+  mutable sub_overflow : bool;
+  mutable sub_closed : bool;
+  sub_inc : Pref_bmo.Incremental.t;
+}
+
+let max_sub_queue = 64
 
 type t = {
   cfg : config;
   registry : Translate.registry;
-  env : Exec.env;
+  mutable env : Exec.env;  (* authoritative tables, under [env_m] *)
+  env_m : Mutex.t;
+  env_v : int Atomic.t;  (* bumped by every DML write-back *)
   listen_fd : Unix.file_descr;
   bound_port : int;
   (* executor state, all under [m] *)
@@ -61,6 +86,9 @@ type t = {
   conns_m : Mutex.t;
   mutable conns : (int * Unix.file_descr) list;  (* keyed by thread id *)
   mutable conn_threads : (int * Thread.t) list;
+  (* live subscriptions *)
+  subs_m : Mutex.t;
+  mutable subs : subscriber list;
   (* always-on counters (STATS must work with telemetry off) *)
   c_accepted : int Atomic.t;
   c_conn_rejected : int Atomic.t;
@@ -71,6 +99,8 @@ type t = {
   c_deadline : int Atomic.t;
   c_truncated : int Atomic.t;
   c_errors : int Atomic.t;
+  c_deltas : int Atomic.t;
+  c_resyncs : int Atomic.t;
   c_next_id : int Atomic.t;
 }
 
@@ -173,6 +203,9 @@ let counters t =
     ("server.deadline_exceeded", Atomic.get t.c_deadline);
     ("server.truncated", Atomic.get t.c_truncated);
     ("server.errors", Atomic.get t.c_errors);
+    ("server.subscriptions", Mutex.protect t.subs_m (fun () -> List.length t.subs));
+    ("server.deltas", Atomic.get t.c_deltas);
+    ("server.subscription_resyncs", Atomic.get t.c_resyncs);
     ("server.slow_queries", Pref_engine.Slowlog.count ());
     ("server.draining", if draining then 1 else 0);
   ]
@@ -244,6 +277,333 @@ let submit_and_wait t fd ?trace compute =
               trace;
             }))
 
+(* Run [f] on an executor domain and hand its outcome back to the
+   connection thread — like {!submit_and_wait}, but for handlers that
+   need the computed value (DML, SUBSCRIBE setup) rather than a payload
+   to write. *)
+let on_executor t f =
+  let done_m = Mutex.create () in
+  let done_c = Condition.create () in
+  let outcome = ref None in
+  let job () =
+    let r = try Ok (f ()) with e -> Error e in
+    Mutex.lock done_m;
+    outcome := Some r;
+    Condition.signal done_c;
+    Mutex.unlock done_m
+  in
+  match submit t job with
+  | Ok () ->
+    Mutex.lock done_m;
+    while !outcome = None do
+      Condition.wait done_c done_m
+    done;
+    Mutex.unlock done_m;
+    (match !outcome with
+    | Some (Ok v) -> `Ok v
+    | Some (Error e) -> `Exn e
+    | None -> assert false)
+  | Error `Busy ->
+    Atomic.incr t.c_busy;
+    Pref_obs.Metrics.incr m_busy;
+    `Rejected
+      (Protocol.Err
+         {
+           kind = "busy";
+           retriable = true;
+           message = "server at max in-flight queries; retry";
+           trace = None;
+         })
+  | Error `Draining ->
+    Atomic.incr t.c_drain_rej;
+    Pref_obs.Metrics.incr m_drain_rej;
+    `Rejected
+      (Protocol.Err
+         {
+           kind = "draining";
+           retriable = true;
+           message = "server is draining; retry elsewhere";
+           trace = None;
+         })
+
+(* ------------------------------------------------------------------ *)
+(* Shared tables: sessions are per-connection, the environment is not.
+   [t.env] is authoritative; DML rewrites it under [env_m] and bumps
+   [env_v], and every connection re-snapshots its session environment
+   when it notices the version moved ([refresh_env] — which also drops
+   the session's revision seed, computed against the old tables). *)
+
+let refresh_env t session last_v =
+  let v = Atomic.get t.env_v in
+  if v <> !last_v then begin
+    last_v := v;
+    Pref_engine.Session.set_env session
+      (Mutex.protect t.env_m (fun () -> t.env))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Subscriptions                                                       *)
+
+let sync_subs_gauge t =
+  (* called with [t.subs_m] held *)
+  Pref_obs.Metrics.set g_subs (float_of_int (List.length t.subs))
+
+let unregister_subscriber t sub =
+  Mutex.protect t.subs_m (fun () ->
+      t.subs <- List.filter (fun s -> s != sub) t.subs;
+      sync_subs_gauge t);
+  Mutex.protect sub.sub_m (fun () ->
+      sub.sub_closed <- true;
+      Condition.broadcast sub.sub_c)
+
+(* Patch one subscriber's maintained BMO state with a DML event and queue
+   the resulting DELTA frame. Called with [t.env_m] held, so deltas reach
+   every subscriber in DML order. Overflowing the bounded queue drops the
+   backlog and schedules a resync instead. *)
+let notify_subscriber t sub op row =
+  Mutex.lock sub.sub_m;
+  if not sub.sub_closed then begin
+    let delta =
+      match op with
+      | Protocol.Dml_insert ->
+        Some (Pref_bmo.Incremental.insert_delta sub.sub_inc row)
+      | Protocol.Dml_delete -> Pref_bmo.Incremental.delete_delta sub.sub_inc row
+    in
+    match delta with
+    | Some { Pref_bmo.Incremental.added; removed }
+      when added <> [] || removed <> [] ->
+      let schema =
+        Pref_relation.Relation.schema (Pref_bmo.Incremental.result sub.sub_inc)
+      in
+      if Queue.length sub.sub_queue >= max_sub_queue then begin
+        Queue.clear sub.sub_queue;
+        sub.sub_overflow <- true;
+        Atomic.incr t.c_resyncs;
+        Pref_obs.Metrics.incr m_resyncs
+      end
+      else
+        Queue.push
+          (Protocol.Delta
+             {
+               added = Pref_relation.Relation.make schema added;
+               removed = Pref_relation.Relation.make schema removed;
+               resync = false;
+               trace = sub.sub_trace;
+             })
+          sub.sub_queue;
+      Condition.signal sub.sub_c
+    | _ -> ()
+  end;
+  Mutex.unlock sub.sub_m
+
+(* The subscriber's connection thread: drain queued DELTA frames to the
+   socket until the peer vanishes or the server closes the subscription.
+   An overflow turns into one full-snapshot frame ([resync]) — the
+   client discards its replica and starts over from it. *)
+let stream_subscriber t sub =
+  let next () =
+    Mutex.lock sub.sub_m;
+    let rec wait () =
+      if sub.sub_closed then None
+      else if sub.sub_overflow then begin
+        sub.sub_overflow <- false;
+        Queue.clear sub.sub_queue;
+        let snap = Pref_bmo.Incremental.result sub.sub_inc in
+        Some
+          (Protocol.Delta
+             {
+               added = snap;
+               removed =
+                 Pref_relation.Relation.empty (Pref_relation.Relation.schema snap);
+               resync = true;
+               trace = sub.sub_trace;
+             })
+      end
+      else
+        match Queue.take_opt sub.sub_queue with
+        | Some frame -> Some frame
+        | None ->
+          Condition.wait sub.sub_c sub.sub_m;
+          wait ()
+    in
+    let r = wait () in
+    Mutex.unlock sub.sub_m;
+    r
+  in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some frame ->
+      Protocol.write_frame sub.sub_fd (Protocol.encode_response frame);
+      Atomic.incr t.c_deltas;
+      Pref_obs.Metrics.incr m_deltas;
+      loop ()
+  in
+  loop ()
+
+let subscribe_shape_message =
+  "SUBSCRIBE needs SELECT * FROM <table> PREFERRING ... (one table, no \
+   WHERE / TOP / BUT ONLY / GROUP BY)"
+
+let subscribable (q : Ast.query) =
+  (match q.Ast.select with [ Ast.Star ] -> true | _ -> false)
+  && q.Ast.where = None && q.Ast.top = None && q.Ast.but_only = []
+  && q.Ast.grouping = []
+  && match q.Ast.from with [ _ ] -> true | _ -> false
+
+let run_subscribe t session fd last_v ?trace sql =
+  refresh_env t session last_v;
+  let send resp = Protocol.write_frame fd (Protocol.encode_response resp) in
+  let setup () =
+    (* build the maintained state and register under [env_m]: no DML can
+       slip between the snapshot and the first queued delta *)
+    Mutex.protect t.env_m (fun () ->
+        let q = Parser.parse_query sql in
+        if not (subscribable q) then raise (Exec.Error subscribe_shape_message);
+        let table = String.lowercase_ascii (List.hd q.Ast.from) in
+        let rel =
+          match Exec.find_table t.env table with
+          | Some rel -> rel
+          | None -> raise (Exec.Unknown_table { name = table; hint = None })
+        in
+        let p =
+          match Exec.full_preference ~registry:t.registry q with
+          | Some p -> p
+          | None -> raise (Exec.Error "SUBSCRIBE needs a PREFERRING clause")
+        in
+        let inc =
+          Pref_bmo.Incremental.create
+            (Pref_relation.Relation.schema rel)
+            p
+            (Pref_relation.Relation.rows rel)
+        in
+        let sub =
+          {
+            sub_fd = fd;
+            sub_table = table;
+            sub_trace = trace;
+            sub_m = Mutex.create ();
+            sub_c = Condition.create ();
+            sub_queue = Queue.create ();
+            sub_overflow = false;
+            sub_closed = false;
+            sub_inc = inc;
+          }
+        in
+        let snapshot = Pref_bmo.Incremental.result inc in
+        Mutex.protect t.subs_m (fun () ->
+            t.subs <- sub :: t.subs;
+            sync_subs_gauge t);
+        (sub, snapshot))
+  in
+  (* returns [true] when the connection should keep serving requests
+     (the subscription never started), [false] once the stream ended *)
+  match on_executor t setup with
+  | `Rejected err ->
+    send err;
+    true
+  | `Exn e ->
+    Atomic.incr t.c_queries;
+    Atomic.incr t.c_errors;
+    Pref_obs.Metrics.incr m_queries;
+    Pref_obs.Metrics.incr m_errors;
+    send (error_response ?trace e);
+    true
+  | `Ok (sub, snapshot) ->
+    Atomic.incr t.c_queries;
+    Pref_obs.Metrics.incr m_queries;
+    (try
+       send
+         (Protocol.Rows
+            {
+              relation = snapshot;
+              flags = Pref_bmo.Engine.complete;
+              served = None;
+              trace;
+            });
+       stream_subscriber t sub
+     with _ -> ());
+    unregister_subscriber t sub;
+    false
+
+(* ------------------------------------------------------------------ *)
+(* Single-row DML                                                      *)
+
+(* Apply one insert/delete: refresh the session from the authoritative
+   environment, run {!Pref_engine.Session.insert}/[delete] (table update
+   + cache patch + revision-seed patch), write the environment back, and
+   fan the event out to this table's subscribers — all under [env_m], so
+   concurrent DML serializes and every subscriber sees events in the
+   same order. *)
+let apply_dml t session last_v op table row_csv =
+  Mutex.protect t.env_m (fun () ->
+      let v = Atomic.get t.env_v in
+      if v <> !last_v then begin
+        last_v := v;
+        Pref_engine.Session.set_env session t.env
+      end;
+      let table = String.lowercase_ascii table in
+      let rel =
+        match Exec.find_table t.env table with
+        | Some rel -> rel
+        | None -> raise (Exec.Unknown_table { name = table; hint = None })
+      in
+      let row =
+        match
+          Protocol.decode_rows (Pref_relation.Relation.schema rel) [ row_csv ]
+        with
+        | Ok [ row ] -> row
+        | Ok _ -> assert false
+        | Error msg -> raise (Exec.Error msg)
+      in
+      let outcome =
+        match op with
+        | Protocol.Dml_insert ->
+          `Applied ("inserted into", Pref_engine.Session.insert session table row)
+        | Protocol.Dml_delete -> (
+          match Pref_engine.Session.delete session table row with
+          | Some patched -> `Applied ("deleted from", patched)
+          | None -> `No_match table)
+      in
+      (match outcome with
+      | `No_match _ -> ()
+      | `Applied _ ->
+        t.env <- Pref_engine.Session.env session;
+        let v' = Atomic.get t.env_v + 1 in
+        Atomic.set t.env_v v';
+        last_v := v';
+        let subs = Mutex.protect t.subs_m (fun () -> t.subs) in
+        List.iter
+          (fun sub ->
+            if String.equal sub.sub_table table then
+              notify_subscriber t sub op row)
+          subs);
+      (outcome, table))
+
+let run_dml t session fd last_v ?trace op table row_csv =
+  let send resp = Protocol.write_frame fd (Protocol.encode_response resp) in
+  match on_executor t (fun () -> apply_dml t session last_v op table row_csv) with
+  | `Rejected err -> send err
+  | `Exn e ->
+    Atomic.incr t.c_errors;
+    Pref_obs.Metrics.incr m_errors;
+    send (error_response ?trace e)
+  | `Ok (`Applied (verb, patched), table) ->
+    send
+      (Protocol.Done
+         (Printf.sprintf "%s %s (%d cached result%s patched)" verb table
+            patched
+            (if patched = 1 then "" else "s")))
+  | `Ok (`No_match table, _) ->
+    send
+      (Protocol.Err
+         {
+           kind = "exec";
+           retriable = false;
+           message = Printf.sprintf "no matching row in %s" table;
+           trace;
+         })
+
 (* Span attributes stamping the server-side trace with the wire trace
    context, so a client can stitch its trace to the span dumps in the
    slow-query log. *)
@@ -312,6 +672,34 @@ let run_explain t session fd ~analyze ~json ?trace sql =
   Pref_obs.Span.with_span "server.explain" ~attrs:(trace_attrs session trace)
   @@ fun () -> explain_payload session ~analyze ~json ~deadline ?trace sql
 
+let run_refine t session fd ?trace term =
+  let deadline = Pref_bmo.Engine.deadline_of (Pref_engine.Session.config session) in
+  submit_and_wait t fd ?trace @@ fun () ->
+  Pref_obs.Span.with_span "server.refine" ~attrs:(trace_attrs session trace)
+  @@ fun () ->
+  match Pref_engine.Session.refine_within session ~deadline term with
+  | outcome ->
+    Atomic.incr t.c_queries;
+    Pref_obs.Metrics.incr m_queries;
+    let result = outcome.Pref_engine.Revise.o_result in
+    let flags = result.Exec.flags in
+    if flags.Pref_bmo.Engine.partial then begin
+      Atomic.incr t.c_degraded;
+      Pref_obs.Metrics.incr m_degraded
+    end;
+    if flags.Pref_bmo.Engine.truncated then begin
+      Atomic.incr t.c_truncated;
+      Pref_obs.Metrics.incr m_truncated
+    end;
+    Protocol.encode_response
+      (Protocol.Rows { relation = result.Exec.relation; flags; served = None; trace })
+  | exception e ->
+    Atomic.incr t.c_queries;
+    Atomic.incr t.c_errors;
+    Pref_obs.Metrics.incr m_queries;
+    Pref_obs.Metrics.incr m_errors;
+    Protocol.encode_response (error_response ?trace e)
+
 exception Drain
 
 let handle_connection t fd =
@@ -322,45 +710,72 @@ let handle_connection t fd =
   in
   let send resp = Protocol.write_frame fd (Protocol.encode_response resp) in
   let on_wait () = if draining t then raise Drain in
+  (* the environment version this session last snapshot — see refresh_env *)
+  let last_v = ref (Atomic.get t.env_v) in
   let rec loop () =
     match Protocol.read_frame ~on_wait fd with
     | None -> ()
     | Some payload ->
-      (match Protocol.parse_request payload with
-      | Error msg ->
-        send
-          (Protocol.Err
-             { kind = "proto"; retriable = false; message = msg; trace = None })
-      | Ok (Protocol.Query { sql; trace }) -> run_query t session fd ?trace sql
-      | Ok (Protocol.Prepare { name; sql; trace }) -> (
-        match Pref_engine.Session.prepare session ~name sql with
-        | () -> send (Protocol.Done ("prepared " ^ name))
-        | exception e -> send (error_response ?trace e))
-      | Ok (Protocol.Explain { sql; analyze; json; trace }) ->
-        run_explain t session fd ~analyze ~json ?trace sql
-      | Ok (Protocol.Set (key, value)) -> (
-        match Pref_engine.Session.set session ~key ~value with
-        | Ok line -> send (Protocol.Done line)
+      let continue =
+        match Protocol.parse_request payload with
         | Error msg ->
           send
             (Protocol.Err
-               { kind = "set"; retriable = false; message = msg; trace = None }))
-      | Ok Protocol.Stats ->
-        send
-          (Protocol.Stats_resp
-             (List.map (fun (k, v) -> (k, string_of_int v)) (counters t)
-             @ Pref_engine.Session.stats_lines session
-             @ histogram_lines ()))
-      | Ok (Protocol.Metrics { json }) ->
-        (* rendering the registry is cheap — answer on the connection
-           thread rather than queueing behind queries *)
-        let body =
-          if json then Pref_obs.Json.to_string (Pref_obs.Export.to_json ())
-          else Pref_obs.Export.prometheus ()
-        in
-        send (Protocol.Metrics_resp body)
-      | Ok Protocol.Ping -> send Protocol.Pong);
-      loop ()
+               { kind = "proto"; retriable = false; message = msg; trace = None });
+          true
+        | Ok (Protocol.Query { sql; trace }) ->
+          refresh_env t session last_v;
+          run_query t session fd ?trace sql;
+          true
+        | Ok (Protocol.Prepare { name; sql; trace }) ->
+          (match Pref_engine.Session.prepare session ~name sql with
+          | () -> send (Protocol.Done ("prepared " ^ name))
+          | exception e -> send (error_response ?trace e));
+          true
+        | Ok (Protocol.Explain { sql; analyze; json; trace }) ->
+          refresh_env t session last_v;
+          run_explain t session fd ~analyze ~json ?trace sql;
+          true
+        | Ok (Protocol.Refine { term; trace }) ->
+          refresh_env t session last_v;
+          run_refine t session fd ?trace term;
+          true
+        | Ok (Protocol.Dml { op; table; row; trace }) ->
+          run_dml t session fd last_v ?trace op table row;
+          true
+        | Ok (Protocol.Subscribe { sql; trace }) ->
+          (* on success the connection is a one-way delta stream from
+             here on: serve it until the peer or the server closes it *)
+          run_subscribe t session fd last_v ?trace sql
+        | Ok (Protocol.Set (key, value)) ->
+          (match Pref_engine.Session.set session ~key ~value with
+          | Ok line -> send (Protocol.Done line)
+          | Error msg ->
+            send
+              (Protocol.Err
+                 { kind = "set"; retriable = false; message = msg; trace = None }));
+          true
+        | Ok Protocol.Stats ->
+          send
+            (Protocol.Stats_resp
+               (List.map (fun (k, v) -> (k, string_of_int v)) (counters t)
+               @ Pref_engine.Session.stats_lines session
+               @ histogram_lines ()));
+          true
+        | Ok (Protocol.Metrics { json }) ->
+          (* rendering the registry is cheap — answer on the connection
+             thread rather than queueing behind queries *)
+          let body =
+            if json then Pref_obs.Json.to_string (Pref_obs.Export.to_json ())
+            else Pref_obs.Export.prometheus ()
+          in
+          send (Protocol.Metrics_resp body);
+          true
+        | Ok Protocol.Ping ->
+          send Protocol.Pong;
+          true
+      in
+      if continue then loop ()
   in
   try loop () with
   | Drain | Protocol.Framing_error _ | Unix.Unix_error _ | Sys_error _ -> ()
@@ -449,6 +864,8 @@ let start ?(config = default_config) ?(registry = Translate.default_registry)
       cfg = config;
       registry;
       env;
+      env_m = Mutex.create ();
+      env_v = Atomic.make 0;
       listen_fd;
       bound_port;
       m = Mutex.create ();
@@ -468,6 +885,8 @@ let start ?(config = default_config) ?(registry = Translate.default_registry)
       conns_m = Mutex.create ();
       conns = [];
       conn_threads = [];
+      subs_m = Mutex.create ();
+      subs = [];
       c_accepted = Atomic.make 0;
       c_conn_rejected = Atomic.make 0;
       c_queries = Atomic.make 0;
@@ -477,6 +896,8 @@ let start ?(config = default_config) ?(registry = Translate.default_registry)
       c_deadline = Atomic.make 0;
       c_truncated = Atomic.make 0;
       c_errors = Atomic.make 0;
+      c_deltas = Atomic.make 0;
+      c_resyncs = Atomic.make 0;
       c_next_id = Atomic.make 0;
     }
   in
@@ -520,6 +941,15 @@ let stop t =
     List.iter
       (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
       conns;
+    (* streaming subscribers block on their queue condition, not the
+       socket: close them explicitly so their threads can be joined *)
+    let subs = Mutex.protect t.subs_m (fun () -> t.subs) in
+    List.iter
+      (fun sub ->
+        Mutex.protect sub.sub_m (fun () ->
+            sub.sub_closed <- true;
+            Condition.broadcast sub.sub_c))
+      subs;
     let threads = Mutex.protect t.conns_m (fun () -> t.conn_threads) in
     List.iter (fun (_, th) -> Thread.join th) threads;
     Mutex.protect t.conns_m (fun () -> t.conn_threads <- []);

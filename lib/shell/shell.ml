@@ -2,6 +2,7 @@ open Pref_relation
 open Preferences
 open Pref_sql
 module Session = Pref_engine.Session
+module Revise = Pref_engine.Revise
 module Client = Pref_server.Client
 
 (* All engine knobs (algorithm, domains, cache, check, profile, deadline,
@@ -265,54 +266,79 @@ let no_table shell name =
   Exec.unknown_table_message ~name
     ~hint:(Typo.nearest (List.map fst (env shell)) name)
 
-(* Single-tuple DML so cached BMO results can be patched incrementally
-   instead of recomputed: the relation is updated in the environment and
-   every cache entry for its old version is carried to the new one. *)
+(* Single-tuple DML, delegated to {!Session.insert}/[delete] (or the DML
+   wire verb when connected): cached BMO results are patched
+   incrementally instead of recomputed, and the session's revision seed
+   stays consistent for \refine. *)
 let dml_command shell op name spec =
-  match Exec.find_table (env shell) name with
-  | None -> Error (no_table shell name)
-  | Some rel -> (
-    let schema = Relation.schema rel in
-    let row = parse_row schema spec in
-    let cache = Pref_bmo.Cache.global in
-    match op with
-    | `Insert ->
-      let new_rel = Relation.add_row rel row in
-      let patched = Pref_bmo.Cache.on_insert cache ~old_rel:rel ~new_rel row in
-      add_table shell name new_rel;
-      Ok
-        (plain
-           [
-             Fmt.str "inserted into %s: %a — %d cached result(s) patched"
-               (String.lowercase_ascii name) Relation.pp new_rel patched;
-           ])
-    | `Delete ->
-      let removed = ref false in
-      let rows =
-        List.filter
-          (fun t ->
-            if (not !removed) && Tuple.equal t row then begin
-              removed := true;
-              false
-            end
-            else true)
-          (Relation.rows rel)
-      in
-      if not !removed then
-        Error (Printf.sprintf "no row in %s matches" name)
-      else begin
-        let new_rel = Relation.make schema rows in
-        let patched =
-          Pref_bmo.Cache.on_delete cache ~old_rel:rel ~new_rel row
+  match shell.remote with
+  | Some r -> (
+    let reply =
+      match op with
+      | `Insert -> Client.insert r.client ~table:name spec
+      | `Delete -> Client.delete r.client ~table:name spec
+    in
+    match reply with
+    | Ok line -> Ok (plain [ line ])
+    | Error msg -> Error msg)
+  | None -> (
+    match Exec.find_table (env shell) name with
+    | None -> Error (no_table shell name)
+    | Some rel -> (
+      let row = parse_row (Relation.schema rel) spec in
+      let describe verb patched =
+        let rel' =
+          match Session.find_table shell.session name with
+          | Some rel' -> rel'
+          | None -> rel
         in
-        add_table shell name new_rel;
+        plain
+          [
+            Fmt.str "%s %s: %a — %d cached result(s) patched" verb
+              (String.lowercase_ascii name) Relation.pp rel' patched;
+          ]
+      in
+      match op with
+      | `Insert -> Ok (describe "inserted into" (Session.insert shell.session name row))
+      | `Delete -> (
+        match Session.delete shell.session name row with
+        | Some patched -> Ok (describe "deleted from" patched)
+        | None -> Error (Printf.sprintf "no row in %s matches" name))))
+
+(* \refine [explain] <term> — revise the last preference statement in
+   place ({!Session.refine}); connected shells use the REFINE wire verb
+   so the revision works from the server session's seed. *)
+let refine_command shell args =
+  let explain, args =
+    match args with
+    | w :: rest when String.lowercase_ascii w = "explain" -> (true, rest)
+    | args -> (false, args)
+  in
+  if args = [] then Error "usage: \\refine [explain] <preference term>"
+  else
+    let term = expand_references shell (String.concat " " args) in
+    match shell.remote with
+    | Some r ->
+      if explain then
+        Error "\\refine explain works on the local session only"
+      else (
+        match Client.refine r.client term with
+        | Ok (rel, flags) -> Ok (table ~text:(flags_text flags) rel)
+        | Error msg -> Error msg)
+    | None ->
+      if explain then
+        Ok (plain (Pref_bmo.Explain.Plan.to_text (Session.refine_explain shell.session term)))
+      else
+        let o = Session.refine shell.session term in
+        let r = o.Revise.o_result in
         Ok
-          (plain
-             [
-               Fmt.str "deleted from %s: %a — %d cached result(s) patched"
-                 (String.lowercase_ascii name) Relation.pp new_rel patched;
-             ])
-      end)
+          (table
+             ~text:
+               (Fmt.str "-- refine: %s (%s; seed %d row(s))"
+                  (Revise.kind_to_string o.Revise.o_kind)
+                  o.Revise.o_plan o.Revise.o_seed_rows
+               :: flags_text r.Exec.flags)
+             r.Exec.relation)
 
 (* One engine knob, routed to wherever the session lives: the local
    [Session.set] or the server's [SET] verb. This is the single path for
@@ -504,6 +530,7 @@ let execute shell line =
         dml_command shell `Insert t (String.concat " " rest)
       | ".delete" :: t :: rest when rest <> [] ->
         dml_command shell `Delete t (String.concat " " rest)
+      | ".refine" :: rest -> refine_command shell rest
       | ".prepare" :: name :: rest when rest <> [] ->
         prepare_command shell name rest
       | ".check" :: rest when rest <> [] ->
@@ -556,6 +583,8 @@ let execute shell line =
                "          \\cache [on|off|stats|clear|budget <MiB>]  BMO result cache";
                "          .insert <t> v1,v2,..  .delete <t> v1,v2,..  single-row DML";
                "                                (patches cached results incrementally)";
+               "          \\refine [explain] <pref>  revise the last preference query";
+               "                                in place, reusing its BMO set as seed";
                "          \\check <query>  static analysis without executing";
                "          \\lint [on|off]  analyze every query; errors reject it";
                "          .help | .quit";

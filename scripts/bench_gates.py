@@ -14,6 +14,9 @@ Fails (exit 1) if any gated cell regresses:
   than cold evaluation).
 - b12_router: aggregate QPS at 4 shards >= 2.0x 1 shard, skipped below
   4 cores for the same reason.
+- b13_refine: every cell served from the cached seed (plan refine:seed)
+  must be >= 2.0x its cold evaluation; hot-window and cold routes are
+  reported but not gated.
 
 Every failure prints the gate formula it tripped AND the failing cell's
 full BENCH_JSON record, so a red CI run is diagnosable from the log
@@ -94,6 +97,17 @@ def main():
                 + cell_record("b12_router", "shards_01_vs_04", b12)
             )
 
+    for label, cell in data.get("b13_refine", {}).items():
+        if cell.get("plan") != "refine:seed":
+            continue
+        s = cell.get("speedup", 0.0)
+        if s < 2.0:
+            failures.append(
+                f"b13 {label}: gate is speedup >= 2.0 for refine:seed, "
+                f"got {s:.2f}x (speedup = cold_ms / refine_ms)\n"
+                + cell_record("b13_refine", label, cell)
+            )
+
     out = []
     for msg in skipped:
         out.append(f"bench-gates: SKIP {msg}")
@@ -101,7 +115,7 @@ def main():
         out.append(f"bench-gates: FAIL {msg}")
     if not failures:
         out.append(
-            "bench-gates: OK (every gated b9/b10/b12 cell within bounds)"
+            "bench-gates: OK (every gated b9/b10/b12/b13 cell within bounds)"
         )
     text = "\n".join(out)
     print(text)

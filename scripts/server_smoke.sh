@@ -116,6 +116,36 @@ if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
     "$SMOKE_ARTIFACT_DIR/"
 fi
 
+echo "== subscribe: continuous BMO over the wire =="
+# register a continuous query, then drive a single-row DML from another
+# connection: the new cheapest car must arrive as exactly one DELTA frame
+dune exec -- prefsoak --port "$port" --deltas 1 --delta-timeout 20 \
+  --subscribe "SELECT * FROM cars PREFERRING LOWEST(price)" \
+  >"$workdir/subscribe.log" 2>&1 &
+sub_pid=$!
+for _ in $(seq 1 100); do
+  grep -q '^subscribed:' "$workdir/subscribe.log" && break
+  kill -0 "$sub_pid" 2>/dev/null || break
+  sleep 0.1
+done
+grep -q '^subscribed:' "$workdir/subscribe.log" || {
+  echo "FAIL: subscriber never registered:"; cat "$workdir/subscribe.log"; exit 1
+}
+printf '\\connect 127.0.0.1 %s\n.insert cars 9999,Audi,roadster,red,manual,150,1,5,2000,100\n.quit\n' "$port" \
+  | dune exec -- prefsql >"$workdir/dml.log"
+grep -q 'inserted into cars' "$workdir/dml.log" || {
+  echo "FAIL: wire DML insert not acknowledged:"; cat "$workdir/dml.log"; exit 1
+}
+if ! wait "$sub_pid"; then
+  echo "FAIL: subscriber saw no delta for the insert:"
+  cat "$workdir/subscribe.log"; exit 1
+fi
+grep -q '^delta: +' "$workdir/subscribe.log" || {
+  echo "FAIL: no delta line in subscriber output:"
+  cat "$workdir/subscribe.log"; exit 1
+}
+cat "$workdir/subscribe.log"
+
 echo "== server counters =="
 printf '\\connect 127.0.0.1 %s\n\\stats\n.quit\n' "$port" \
   | dune exec -- prefsql | tee "$workdir/stats.txt"
@@ -127,6 +157,24 @@ expired=$(grep -o 'server\.deadline_exceeded=[0-9]*' "$workdir/stats.txt" \
 expired=${expired:-0}
 if [ "$expired" -ne 0 ]; then
   echo "FAIL: server.deadline_exceeded = $expired (expected 0)"
+  exit 1
+fi
+
+# the subscribe step must be visible in the counters: at least one delta
+# streamed, and the unread-queue never overflowed (a resync here would
+# mean the single delta was dropped)
+deltas=$(grep -o 'server\.deltas=[0-9]*' "$workdir/stats.txt" \
+  | head -n1 | cut -d= -f2)
+deltas=${deltas:-0}
+if [ "$deltas" -lt 1 ]; then
+  echo "FAIL: server.deltas = $deltas (expected >= 1 after the subscribe step)"
+  exit 1
+fi
+resyncs=$(grep -o 'server\.subscription_resyncs=[0-9]*' "$workdir/stats.txt" \
+  | head -n1 | cut -d= -f2)
+resyncs=${resyncs:-0}
+if [ "$resyncs" -ne 0 ]; then
+  echo "FAIL: server.subscription_resyncs = $resyncs (lost deltas in smoke)"
   exit 1
 fi
 

@@ -85,6 +85,80 @@ let test_cardinality_tracking () =
   check_int "one of the duplicates remains best" 1 (Incremental.size inc);
   check_int "three rows left" 3 (Incremental.cardinality inc)
 
+(* --- delta-reporting updates ------------------------------------------- *)
+
+let test_deltas () =
+  let schema =
+    Schema.make
+      [ ("fe", Value.TInt); ("ir", Value.TInt); ("nick", Value.TStr) ]
+  in
+  let car (f, i, n) = Tuple.make [ Value.Int f; Value.Int i; Value.Str n ] in
+  let p = Pref.pareto (Pref.highest "fe") (Pref.highest "ir") in
+  let inc = Incremental.create schema p [ car (100, 3, "frog") ] in
+  (* a dominated insert changes nothing *)
+  let d = Incremental.insert_delta inc (car (50, 3, "cat")) in
+  check "dominated insert is silent" true (d = Incremental.no_delta);
+  (* an incomparable insert joins without evicting *)
+  let d = Incremental.insert_delta inc (car (50, 10, "shark")) in
+  check "incomparable insert adds itself" true
+    (d.Incremental.added = [ car (50, 10, "shark") ]
+    && d.Incremental.removed = []);
+  (* a dominating insert reports its evictions *)
+  let d = Incremental.insert_delta inc (car (100, 10, "turtle")) in
+  check "evicting insert adds itself" true
+    (d.Incremental.added = [ car (100, 10, "turtle") ]);
+  check "and removes both losers" true
+    (List.length d.Incremental.removed = 2);
+  (* deleting a shadow row is a present-but-silent update *)
+  check "shadow delete" true
+    (Incremental.delete_delta inc (car (50, 3, "cat"))
+    = Some Incremental.no_delta);
+  (* deleting a best match reports the promotions *)
+  (match Incremental.delete_delta inc (car (100, 10, "turtle")) with
+  | None -> Alcotest.fail "turtle was present"
+  | Some d ->
+    check "removal reported" true (d.Incremental.removed = [ car (100, 10, "turtle") ]);
+    check "both resurrect" true (List.length d.Incremental.added = 2));
+  (* an absent row is None, distinguishing it from the silent cases *)
+  check "absent delete" true
+    (Incremental.delete_delta inc (car (1, 1, "ghost")) = None)
+
+(* replaying the reported deltas reconstructs σ[P](R) exactly *)
+let prop_delta_replay =
+  QCheck.Test.make ~count:200
+    ~name:"replaying insert/delete deltas reconstructs the BMO set"
+    (QCheck.make
+       QCheck.Gen.(pair Gen.pref ops_gen)
+       ~print:(fun (p, ops) ->
+         Fmt.str "%a with %d ops" Preferences.Show.pp p (List.length ops)))
+    (fun (p, ops) ->
+      let inc = Incremental.create Gen.schema p [] in
+      let replica = ref [] in
+      let remove_one t l =
+        let rec go acc = function
+          | [] -> List.rev acc
+          | x :: rest ->
+            if Tuple.equal x t then List.rev_append acc rest
+            else go (x :: acc) rest
+        in
+        go [] l
+      in
+      let apply (d : Incremental.delta) =
+        replica := List.fold_left (fun acc t -> remove_one t acc) !replica d.Incremental.removed;
+        replica := !replica @ d.Incremental.added
+      in
+      List.for_all
+        (fun (is_insert, t) ->
+          (if is_insert then apply (Incremental.insert_delta inc t)
+           else
+             match Incremental.delete_delta inc t with
+             | Some d -> apply d
+             | None -> ());
+          Relation.equal_as_sets
+            (Relation.make Gen.schema !replica)
+            (Incremental.result inc))
+        ops)
+
 (* --- sigma_levels ------------------------------------------------------ *)
 
 let test_sigma_levels () =
@@ -139,7 +213,9 @@ let suite =
   [
     Gen.quick "example 9 incrementally" test_example9_incremental;
     Gen.quick "cardinality tracking" test_cardinality_tracking;
+    Gen.quick "delta-reporting updates" test_deltas;
     Gen.quick "sigma_levels" test_sigma_levels;
     Gen.quick "exhaustive domain equivalence" test_agree_on_domains;
   ]
-  @ Gen.qsuite [ prop_matches_batch; prop_sigma_levels_nested ]
+  @ Gen.qsuite
+      [ prop_matches_batch; prop_delta_replay; prop_sigma_levels_nested ]

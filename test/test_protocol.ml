@@ -99,6 +99,25 @@ let test_request_roundtrip () =
       Protocol.Metrics { json = false };
       Protocol.Metrics { json = true };
       Protocol.Ping;
+      Protocol.Refine { term = "LOWEST(price) AND HIGHEST(power)"; trace = None };
+      Protocol.Refine { term = "LOWEST price"; trace = Some trace };
+      Protocol.Subscribe
+        { sql = "SELECT * FROM car PREFERRING LOWEST price"; trace = None };
+      Protocol.Subscribe { sql = "@best"; trace = Some trace };
+      Protocol.Dml
+        {
+          op = Protocol.Dml_insert;
+          table = "car";
+          row = "vw,12000,90,\"a, b\"";
+          trace = None;
+        };
+      Protocol.Dml
+        {
+          op = Protocol.Dml_delete;
+          table = "car";
+          row = "vw,12000,90,x";
+          trace = Some trace;
+        };
     ]
   in
   List.iter
@@ -113,7 +132,42 @@ let test_request_roundtrip () =
         (Printf.sprintf "rejects %S" payload)
         true
         (Result.is_error (Protocol.parse_request payload)))
-    [ ""; "FROBNICATE"; "QUERY\n"; "QUERY\n   "; "PREPARE x\n"; "SET key" ]
+    [
+      "";
+      "FROBNICATE";
+      "QUERY\n";
+      "QUERY\n   ";
+      "PREPARE x\n";
+      "SET key";
+      "REFINE\n";
+      "SUBSCRIBE\n  ";
+      "DML car\nrow";
+      (* missing op *)
+      "DML frob car\nrow";
+      (* unknown op *)
+      "DML insert car\n";
+      (* no row *)
+    ];
+  (* the verb registry drives parsing: every verb is listed, and an
+     unknown verb's error names them all *)
+  let verbs = Protocol.verbs () in
+  List.iter
+    (fun v -> check (v ^ " registered") true (List.mem v verbs))
+    [
+      "QUERY"; "PREPARE"; "EXPLAIN"; "SET"; "STATS"; "METRICS"; "PING";
+      "REFINE"; "SUBSCRIBE"; "DML";
+    ];
+  match Protocol.parse_request "FROBNICATE\nx" with
+  | Ok _ -> Alcotest.fail "parsed an unknown verb"
+  | Error msg ->
+    List.iter
+      (fun v ->
+        let n = String.length v in
+        let rec go i =
+          i + n <= String.length msg && (String.sub msg i n = v || go (i + 1))
+        in
+        check ("unknown-verb error lists " ^ v) true (go 0))
+      verbs
 
 let test_trace_words () =
   (* unknown verb-line words are ignored — a traced frame parses on a
@@ -224,6 +278,29 @@ let test_response_roundtrip () =
           message = "line 1:\n  boom";
           trace = Some trace;
         };
+      Protocol.Delta
+        {
+          added = awkward_relation;
+          removed =
+            Relation.make (Relation.schema awkward_relation)
+              [ List.hd (Relation.rows awkward_relation) ];
+          resync = false;
+          trace = None;
+        };
+      Protocol.Delta
+        {
+          added = awkward_relation;
+          removed = Relation.make (Relation.schema awkward_relation) [];
+          resync = true;
+          trace = Some trace;
+        };
+      Protocol.Delta
+        {
+          added = Relation.make [ ("a", Value.TInt) ] [];
+          removed = Relation.make [ ("a", Value.TInt) ] [];
+          resync = false;
+          trace = None;
+        };
     ]
   in
   List.iter
@@ -243,6 +320,17 @@ let test_response_roundtrip () =
           check "flags survive" true (f1 = f2);
           check "served survives" true (sv1 = sv2);
           check "trace echoes" true (t1 = t2)
+        | ( Protocol.Delta
+              { added = a1; removed = r1; resync = y1; trace = t1 },
+            Protocol.Delta
+              { added = a2; removed = r2; resync = y2; trace = t2 } ) ->
+          check "delta schema survives" true
+            (Relation.schema a1 = Relation.schema a2);
+          check "added rows survive" true (Relation.rows a1 = Relation.rows a2);
+          check "removed rows survive" true
+            (Relation.rows r1 = Relation.rows r2);
+          check "resync flag survives" true (y1 = y2);
+          check "delta trace echoes" true (t1 = t2)
         | _ -> check "response round-trips" true (got = resp)))
     cases;
   List.iter
@@ -264,6 +352,14 @@ let test_response_roundtrip () =
       (* unknown type *)
       "ROWS 1\na\n1";
       (* schema field without a type *)
+      "DELTA\nx";
+      (* missing counts *)
+      "DELTA x 0\na:int";
+      (* junk count *)
+      "DELTA -1 0\na:int";
+      (* negative count *)
+      "DELTA 2 0\na:int\n1";
+      (* count mismatch *)
     ]
 
 let test_wire_values () =

@@ -413,6 +413,197 @@ let test_router_explain () =
             check "explain includes per-shard plans" true
               (contains body "shard 0 plan:")))
 
+(* ------------------------------------------------------------------ *)
+(* Changing preferences through the router                             *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_router_refine () =
+  with_cluster (fun router _servers ->
+      with_client router (fun c ->
+          (* no preceding statement: a clean error, connection survives *)
+          (match Client.refine c "LOWEST(price)" with
+          | Ok _ -> Alcotest.fail "refine without a seed must fail"
+          | Error msg -> check "names the problem" true (contains msg "refine"));
+          check "connection survives" true (Client.ping c);
+          (match Client.query c pref_sql with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e);
+          (* the revision re-runs over the same shard channels and equals
+             a single-node evaluation of the revised statement *)
+          let term = "LOWEST(price) PRIOR TO LOWEST(mileage)" in
+          let expected =
+            (Exec.run [ ("cars", fleet) ]
+               ("SELECT * FROM cars PREFERRING " ^ term))
+              .Exec.relation
+          in
+          (match Client.refine c term with
+          | Ok (rel, _) ->
+            check "routed refine = single-node" true
+              (Relation.equal_as_sets rel expected)
+          | Error e -> Alcotest.fail e);
+          (* the revised statement is now the seed for the next REFINE *)
+          let term2 = "(" ^ term ^ ") AND HIGHEST(power)" in
+          let expected2 =
+            (Exec.run [ ("cars", fleet) ]
+               ("SELECT * FROM cars PREFERRING " ^ term2))
+              .Exec.relation
+          in
+          match Client.refine c term2 with
+          | Ok (rel, _) ->
+            check "chained routed refine" true
+              (Relation.equal_as_sets rel expected2)
+          | Error e -> Alcotest.fail e))
+
+let test_router_dml () =
+  with_cluster (fun router _servers ->
+      with_client router (fun c ->
+          let count table =
+            match Client.query c ("SELECT * FROM " ^ table) with
+            | Ok (rel, _) -> Relation.cardinality rel
+            | Error e -> Alcotest.fail e
+          in
+          check_int "fleet before" 240 (count "cars");
+          (* a sharded insert lands on the owning shard only *)
+          (match Client.insert c ~table:"cars" "vw,1,299,1" with
+          | Ok line -> check "ack" true (contains line "inserted into cars")
+          | Error e -> Alcotest.fail e);
+          check_int "fleet grew" 241 (count "cars");
+          (* deletes broadcast; exactly one shard matches *)
+          (match Client.delete c ~table:"cars" "vw,1,299,1" with
+          | Ok line ->
+            check "delete ack names one shard" true
+              (contains line "deleted from cars (1 shard(s))")
+          | Error e -> Alcotest.fail e);
+          check_int "fleet shrank back" 240 (count "cars");
+          (* absent rows are a plain error after the broadcast *)
+          (match Client.delete c ~table:"cars" "vw,1,299,1" with
+          | Ok _ -> Alcotest.fail "deleting an absent row must fail"
+          | Error msg ->
+            check "absent delete" true (contains msg "no matching row"));
+          (* unregistered tables are replicated: inserts keep every
+             backend in step *)
+          (match Client.insert c ~table:"specs" "bolt,1" with
+          | Ok line ->
+            check "replicated ack" true
+              (contains line "inserted into specs on 3/3 backend(s)")
+          | Error e -> Alcotest.fail e);
+          check_int "replicated insert visible via proxy" 3 (count "specs");
+          match Client.delete c ~table:"specs" "bolt,1" with
+          | Ok line ->
+            check "replicated delete hits all copies" true
+              (contains line "deleted from specs (3 shard(s))")
+          | Error e -> Alcotest.fail e))
+
+let test_router_subscribe () =
+  with_cluster (fun router _servers ->
+      with_client router (fun sub ->
+          with_client router (fun writer ->
+              let replica = ref [] in
+              let apply (d : Client.delta) =
+                let remove_one t l =
+                  let rec go acc = function
+                    | [] -> List.rev acc
+                    | x :: rest ->
+                      if Tuple.equal x t then List.rev_append acc rest
+                      else go (x :: acc) rest
+                  in
+                  go [] l
+                in
+                if d.Client.d_resync then
+                  replica := Relation.rows d.Client.d_added
+                else
+                  replica :=
+                    List.fold_left
+                      (fun acc t -> remove_one t acc)
+                      !replica
+                      (Relation.rows d.Client.d_removed)
+                    @ Relation.rows d.Client.d_added
+              in
+              let replica_rel () = Relation.make cars_schema !replica in
+              let expected_now rel =
+                (Exec.run [ ("cars", rel) ] pref_sql).Exec.relation
+              in
+              (match Client.subscribe sub pref_sql with
+              | Ok (snapshot, flags) ->
+                check "routed snapshot = single-node" true
+                  (Relation.equal_as_sets snapshot (expected_now fleet));
+                check "complete" true (flags = Engine.complete);
+                replica := Relation.rows snapshot
+              | Error e -> Alcotest.fail e);
+              (* a dominating insert through a second router connection
+                 arrives as one plain delta after the final winnow *)
+              (match Client.insert writer ~table:"cars" "vw,0,999,1" with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail e);
+              let champion =
+                Tuple.make
+                  [
+                    Value.Str "vw"; Value.Int 0; Value.Int 999; Value.Int 1;
+                  ]
+              in
+              (match Client.next_delta ~timeout_s:5. sub with
+              | Some d ->
+                check "plain delta" true (not d.Client.d_resync);
+                apply d;
+                check "champion evicts the whole BMO set" true
+                  (Relation.equal_as_sets (replica_rel ())
+                     (Relation.make cars_schema [ champion ]))
+              | None -> Alcotest.fail "no delta for the routed insert");
+              (* deleting it promotes the previous winners back *)
+              (match Client.delete writer ~table:"cars" "vw,0,999,1" with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail e);
+              (match Client.next_delta ~timeout_s:5. sub with
+              | Some d ->
+                apply d;
+                check "replica back to the original BMO set" true
+                  (Relation.equal_as_sets (replica_rel ())
+                     (expected_now fleet))
+              | None -> Alcotest.fail "no delta for the routed delete");
+              check "router counted the deltas" true
+                (match
+                   List.assoc_opt "router.deltas" (Router.counters router)
+                 with
+                | Some n -> n >= 2
+                | None -> false))))
+
+let test_router_subscribe_proxy () =
+  (* replicated tables must subscribe on ONE backend: a union of n
+     identical replicas would stream duplicate BMO rows *)
+  with_cluster (fun router _servers ->
+      with_client router (fun sub ->
+          with_client router (fun writer ->
+              (match
+                 Client.subscribe sub
+                   "SELECT * FROM specs PREFERRING HIGHEST(weight)"
+               with
+              | Ok (snapshot, _) ->
+                check "proxied snapshot has no duplicates" true
+                  (Relation.equal_as_sets snapshot
+                     (Relation.make (Relation.schema specs)
+                        [ Tuple.make [ Value.Str "engine"; Value.Int 120 ] ])
+                  && Relation.cardinality snapshot = 1)
+              | Error e -> Alcotest.fail e);
+              (* the broadcast insert reaches every replica but streams
+                 exactly one delta downstream *)
+              (match Client.insert writer ~table:"specs" "turbo,500" with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail e);
+              (match Client.next_delta ~timeout_s:5. sub with
+              | Some d ->
+                check "one added row, no duplicates" true
+                  (Relation.cardinality d.Client.d_added = 1
+                  && Relation.cardinality d.Client.d_removed = 1)
+              | None -> Alcotest.fail "no delta for the replicated insert");
+              match Client.next_delta ~timeout_s:0.3 sub with
+              | exception Client.Timeout -> ()
+              | Some _ -> Alcotest.fail "duplicate delta from a replica"
+              | None -> Alcotest.fail "stream closed unexpectedly")))
+
 let suite =
   [
     Alcotest.test_case "merge: final-winnow regime parity" `Slow
@@ -435,4 +626,12 @@ let suite =
       test_router_trace_and_stats;
     Alcotest.test_case "router: EXPLAIN prices the scatter" `Quick
       test_router_explain;
+    Alcotest.test_case "router: REFINE re-runs over the shards" `Quick
+      test_router_refine;
+    Alcotest.test_case "router: DML placement and broadcast" `Quick
+      test_router_dml;
+    Alcotest.test_case "router: SUBSCRIBE merges shard deltas" `Quick
+      test_router_subscribe;
+    Alcotest.test_case "router: SUBSCRIBE proxies replicated tables" `Quick
+      test_router_subscribe_proxy;
   ]

@@ -20,7 +20,7 @@ let env = [ ("sky", sky); ("big", big) ]
 let sky_query =
   "SELECT * FROM sky PREFERRING LOWEST(d0) AND LOWEST(d1) AND LOWEST(d2)"
 
-let with_server ?config f =
+let with_server ?config ?(env = env) f =
   let config =
     Option.value config
       ~default:{ Server.default_config with host; port = 0 }
@@ -545,6 +545,204 @@ let test_metrics_http () =
   check "body has the counter" true (contains resp "test_http_ping_total");
   check "404s unknown paths" true (contains (fetch "/nope") "404")
 
+(* ------------------------------------------------------------------ *)
+(* Changing preferences: REFINE, single-row DML, SUBSCRIBE             *)
+
+let test_refine_wire () =
+  with_server (fun server ->
+      with_client server (fun c ->
+          (* refining before any preference query is a clean, non-fatal
+             error *)
+          (match Client.refine c "LOWEST(d0)" with
+          | Ok _ -> Alcotest.fail "refine without a seed must fail"
+          | Error msg -> check "names the problem" true (contains msg "refine"));
+          check "connection survives" true (Client.ping c);
+          (match Client.query c "SELECT * FROM sky PREFERRING LOWEST(d0)" with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e);
+          let cold sql = (Pref_sql.Exec.run env sql).Pref_sql.Exec.relation in
+          (match Client.refine c "LOWEST(d0) PRIOR TO LOWEST(d1)" with
+          | Ok (rel, flags) ->
+            check "refined = local cold run" true
+              (Relation.equal_as_sets rel
+                 (cold
+                    "SELECT * FROM sky PREFERRING LOWEST(d0) PRIOR TO \
+                     LOWEST(d1)"));
+            check "complete" true (flags = Engine.complete)
+          | Error e -> Alcotest.fail e);
+          (* the revision became the connection's statement: chain another *)
+          match
+            Client.refine c "(LOWEST(d0) PRIOR TO LOWEST(d1)) AND HIGHEST(d2)"
+          with
+          | Ok (rel, _) ->
+            check "chained refine is exact" true
+              (Relation.equal_as_sets rel
+                 (cold
+                    "SELECT * FROM sky PREFERRING (LOWEST(d0) PRIOR TO \
+                     LOWEST(d1)) AND HIGHEST(d2)"))
+          | Error e -> Alcotest.fail e))
+
+let feed_schema = Schema.make [ ("k", Value.TInt); ("pad", Value.TStr) ]
+let feed_row k pad = Tuple.make [ Value.Int k; Value.Str pad ]
+
+let test_dml_wire () =
+  let feed = Relation.make feed_schema [ feed_row 1 "a"; feed_row 2 "b" ] in
+  with_server ~env:[ ("feed", feed) ] (fun server ->
+      with_client server (fun a ->
+          with_client server (fun b ->
+              (match Client.insert a ~table:"feed" "3,c" with
+              | Ok line -> check "ack" true (contains line "inserted into feed")
+              | Error e -> Alcotest.fail e);
+              (* the write is visible to the other connection *)
+              (match Client.query b "SELECT * FROM feed" with
+              | Ok (rel, _) ->
+                check "insert visible across connections" true
+                  (Relation.equal_as_sets rel
+                     (Relation.make feed_schema
+                        [ feed_row 1 "a"; feed_row 2 "b"; feed_row 3 "c" ]))
+              | Error e -> Alcotest.fail e);
+              (match Client.delete b ~table:"feed" "1,a" with
+              | Ok line ->
+                check "delete ack" true (contains line "deleted from feed")
+              | Error e -> Alcotest.fail e);
+              (match Client.query a "SELECT * FROM feed" with
+              | Ok (rel, _) ->
+                check "delete visible across connections" true
+                  (Relation.equal_as_sets rel
+                     (Relation.make feed_schema
+                        [ feed_row 2 "b"; feed_row 3 "c" ]))
+              | Error e -> Alcotest.fail e);
+              (* an absent row is a plain error, not silence *)
+              (match Client.delete a ~table:"feed" "9,zz" with
+              | Ok _ -> Alcotest.fail "deleting an absent row must fail"
+              | Error msg ->
+                check "absent delete" true (contains msg "no matching row"));
+              (* malformed rows and unknown tables are rejected cleanly *)
+              (match Client.insert a ~table:"feed" "only-one-column" with
+              | Ok _ -> Alcotest.fail "arity mismatch must fail"
+              | Error _ -> ());
+              (match Client.insert a ~table:"nope" "1,a" with
+              | Ok _ -> Alcotest.fail "unknown table must fail"
+              | Error msg -> check "unknown table" true (contains msg "nope"));
+              check "connection survives DML errors" true (Client.ping a))))
+
+let test_subscribe_stream () =
+  let env = [ ("feed", Relation.make feed_schema [ feed_row 0 "seed" ]) ] in
+  with_server ~env (fun server ->
+      with_client server (fun sub ->
+          with_client server (fun writer ->
+              (* shape errors leave the connection usable *)
+              (match Client.subscribe sub "SELECT * FROM feed" with
+              | Ok _ -> Alcotest.fail "SUBSCRIBE without PREFERRING must fail"
+              | Error msg ->
+                check "asks for PREFERRING" true (contains msg "PREFERRING"));
+              check "still a request connection" true (Client.ping sub);
+              let replica = ref [] in
+              (match
+                 Client.subscribe sub "SELECT * FROM feed PREFERRING HIGHEST(k)"
+               with
+              | Ok (snapshot, flags) ->
+                check "snapshot is the current BMO set" true
+                  (Relation.equal_as_sets snapshot
+                     (Relation.make feed_schema [ feed_row 0 "seed" ]));
+                check "complete" true (flags = Engine.complete);
+                replica := Relation.rows snapshot
+              | Error e -> Alcotest.fail e);
+              let remove_one t l =
+                let rec go acc = function
+                  | [] -> List.rev acc
+                  | x :: rest ->
+                    if Tuple.equal x t then List.rev_append acc rest
+                    else go (x :: acc) rest
+                in
+                go [] l
+              in
+              let apply (d : Client.delta) =
+                if d.Client.d_resync then
+                  replica := Relation.rows d.Client.d_added
+                else
+                  replica :=
+                    List.fold_left
+                      (fun acc t -> remove_one t acc)
+                      !replica
+                      (Relation.rows d.Client.d_removed)
+                    @ Relation.rows d.Client.d_added
+              in
+              let replica_is rows =
+                Relation.equal_as_sets
+                  (Relation.make feed_schema !replica)
+                  (Relation.make feed_schema rows)
+              in
+              (* phase 1: zero-loss soak — every DML event arrives as
+                 exactly one plain delta, in order *)
+              for k = 1 to 40 do
+                match
+                  Client.insert writer ~table:"feed"
+                    (Printf.sprintf "%d,p%d" k k)
+                with
+                | Ok _ -> ()
+                | Error e -> Alcotest.fail e
+              done;
+              for _ = 1 to 40 do
+                match Client.next_delta ~timeout_s:5. sub with
+                | Some d ->
+                  check "soak deltas are plain" true (not d.Client.d_resync);
+                  apply d
+                | None -> Alcotest.fail "stream closed during soak"
+              done;
+              check "replica tracked every event" true
+                (replica_is [ feed_row 40 "p40" ]);
+              check "no resync during the soak" true
+                (counter server "server.subscription_resyncs" = 0);
+              (* deleting the best row streams the promotion *)
+              (match Client.delete writer ~table:"feed" "40,p40" with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail e);
+              (match Client.next_delta ~timeout_s:5. sub with
+              | Some d ->
+                apply d;
+                check "delete demotes and promotes" true
+                  (replica_is [ feed_row 39 "p39" ])
+              | None -> Alcotest.fail "no delta for the delete");
+              (* phase 2: stop reading and flood with wide rows until the
+                 bounded per-subscriber queue overflows — the stream must
+                 recover with one full-snapshot resync frame *)
+              let pad = String.make 65536 'x' in
+              let last = ref 39 in
+              let k = ref 100 in
+              while
+                counter server "server.subscription_resyncs" = 0 && !k < 1000
+              do
+                (match
+                   Client.insert writer ~table:"feed"
+                     (Printf.sprintf "%d,%s" !k pad)
+                 with
+                | Ok _ -> last := !k
+                | Error e -> Alcotest.fail e);
+                incr k
+              done;
+              check "the flood forced an overflow" true
+                (counter server "server.subscription_resyncs" >= 1);
+              let final = [ feed_row !last pad ] in
+              let saw_resync = ref false in
+              let budget = ref 2000 in
+              let rec catch_up () =
+                if not (replica_is final) then begin
+                  decr budget;
+                  if !budget = 0 then Alcotest.fail "replica never converged";
+                  match Client.next_delta ~timeout_s:10. sub with
+                  | Some d ->
+                    if d.Client.d_resync then saw_resync := true;
+                    apply d;
+                    catch_up ()
+                  | None -> Alcotest.fail "stream closed while catching up"
+                end
+              in
+              catch_up ();
+              check "recovery went through a resync frame" true !saw_resync;
+              check "deltas were streamed" true
+                (counter server "server.deltas" > 0))))
+
 let suite =
   [
     Alcotest.test_case "server: wire round-trip and knobs" `Quick test_roundtrip;
@@ -562,4 +760,8 @@ let suite =
     Alcotest.test_case "server: METRICS wire op" `Quick test_metrics_op;
     Alcotest.test_case "server: slow-query log" `Quick test_slowlog;
     Alcotest.test_case "server: metrics HTTP listener" `Quick test_metrics_http;
+    Alcotest.test_case "server: REFINE over the wire" `Quick test_refine_wire;
+    Alcotest.test_case "server: DML over the wire" `Quick test_dml_wire;
+    Alcotest.test_case "server: SUBSCRIBE delta stream" `Quick
+      test_subscribe_stream;
   ]
